@@ -1,0 +1,301 @@
+//! The four benchmark applications of the DATE 1998 LYCOS allocation
+//! paper, reconstructed in LYC.
+//!
+//! | name       | origin (paper reference)                       | trait the paper relies on |
+//! |------------|------------------------------------------------|---------------------------|
+//! | `straight` | LYCOS system paper [9]                         | loop-free pipeline, parallelism only |
+//! | `hal`      | Paulin & Knight differential equation [11]     | multiplier-rich hot loop  |
+//! | `man`      | Mandelbrot set, Peitgen & Richter [12]         | one BSB full of parallel constant loads (over-allocation trigger) |
+//! | `eigen`    | eigenvectors for cloud-motion pictures [8]     | division-heavy rotation blocks (over-allocation trigger) |
+//!
+//! Each [`BenchmarkApp`] bundles the LYC source, its compiled CDFG, the
+//! hardware area budget used by the Table 1 reproduction, and — for
+//! `man` and `eigen` — the manual design iteration §5 applies to recover
+//! the best allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use lycos_apps::{all, hal};
+//! use lycos_ir::extract_bsbs;
+//!
+//! let app = hal();
+//! let bsbs = extract_bsbs(&app.cdfg, None)?;
+//! assert!(bsbs.len() >= 3);
+//! assert_eq!(all().len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use lycos_frontend::compile;
+use lycos_ir::{extract_bsbs, BsbArray, Cdfg};
+
+/// Gate-equivalent area budgets and iteration hints live here so the
+/// Table 1 harness, the examples and the tests all agree on them.
+pub mod budgets {
+    /// Total hardware area for `straight`: enough for a balanced data
+    /// path plus most stage controllers (the heuristic matches the
+    /// exhaustive best here, as in the paper).
+    pub const STRAIGHT: u64 = 10_500;
+    /// Total hardware area for `hal`: the multiplier-rich loop plus its
+    /// two controllers fit comfortably; heuristic ≈ best.
+    pub const HAL: u64 = 7_500;
+    /// Total hardware area for `man`, deliberately in the tight regime
+    /// of §5: the over-allocated constant generators displace the
+    /// colour-block controller, so the heuristic falls far behind the
+    /// best allocation until the manual design iteration removes them.
+    pub const MAN: u64 = 7_150;
+    /// Total hardware area for `eigen`, deliberately tight (§5): the
+    /// second divider the heuristic allocates displaces several block
+    /// controllers; removing one divider recovers most of the gap.
+    pub const EIGEN: u64 = 16_000;
+}
+
+/// The manual design iteration the paper applies after inspecting the
+/// automatic allocation (§5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IterationHint {
+    /// Reduce the named unit kind to exactly this many instances
+    /// (`man`: constant generators → 1).
+    SetCount {
+        /// Unit name in the standard library.
+        fu_name: &'static str,
+        /// Target instance count.
+        count: u32,
+    },
+    /// Remove one instance of the named unit kind
+    /// (`eigen`: dividers − 1).
+    ReduceByOne {
+        /// Unit name in the standard library.
+        fu_name: &'static str,
+    },
+}
+
+/// One benchmark application, compiled and parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkApp {
+    /// Application name as in Table 1.
+    pub name: &'static str,
+    /// The LYC source text.
+    pub source: &'static str,
+    /// Source line count (Table 1's `Lines` column).
+    pub lines: usize,
+    /// The compiled CDFG.
+    pub cdfg: Cdfg,
+    /// Total hardware area budget for the Table 1 experiment, in gate
+    /// equivalents.
+    pub area_budget: u64,
+    /// The §5 design iteration, if the paper needed one for this app.
+    pub iteration: Option<IterationHint>,
+}
+
+impl BenchmarkApp {
+    /// Extracts the leaf BSB array (annotated profile counts, no
+    /// overrides).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the bundled applications — their CDFGs are
+    /// validated by construction.
+    pub fn bsbs(&self) -> BsbArray {
+        extract_bsbs(&self.cdfg, None).expect("bundled apps are valid")
+    }
+}
+
+fn build(
+    name: &'static str,
+    source: &'static str,
+    area_budget: u64,
+    iteration: Option<IterationHint>,
+) -> BenchmarkApp {
+    let cdfg: Cdfg =
+        compile(source).unwrap_or_else(|e| panic!("bundled benchmark `{name}` must compile: {e}"));
+    BenchmarkApp {
+        name,
+        source,
+        lines: lycos_frontend::line_count(source),
+        cdfg,
+        area_budget,
+        iteration,
+    }
+}
+
+/// `straight` — the loop-free signal pipeline from the LYCOS paper [9].
+pub fn straight() -> BenchmarkApp {
+    build(
+        "straight",
+        include_str!("../lyc/straight.lyc"),
+        budgets::STRAIGHT,
+        None,
+    )
+}
+
+/// `hal` — the Paulin/Knight differential-equation benchmark [11].
+pub fn hal() -> BenchmarkApp {
+    build("hal", include_str!("../lyc/hal.lyc"), budgets::HAL, None)
+}
+
+/// `man` — the Mandelbrot renderer [12]; needs the constant-generator
+/// design iteration (§5).
+pub fn man() -> BenchmarkApp {
+    build(
+        "man",
+        include_str!("../lyc/man.lyc"),
+        budgets::MAN,
+        Some(IterationHint::SetCount {
+            fu_name: "constgen",
+            count: 1,
+        }),
+    )
+}
+
+/// `eigen` — the cloud-motion eigenvector kernel [8]; needs the
+/// divider design iteration (§5).
+pub fn eigen() -> BenchmarkApp {
+    build(
+        "eigen",
+        include_str!("../lyc/eigen.lyc"),
+        budgets::EIGEN,
+        Some(IterationHint::ReduceByOne { fu_name: "divider" }),
+    )
+}
+
+/// All four applications in Table 1 order.
+pub fn all() -> Vec<BenchmarkApp> {
+    vec![straight(), hal(), man(), eigen()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_hwlib::HwLibrary;
+    use lycos_ir::OpKind;
+
+    #[test]
+    fn all_four_compile() {
+        let apps = all();
+        assert_eq!(apps.len(), 4);
+        let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["straight", "hal", "man", "eigen"]);
+    }
+
+    #[test]
+    fn line_counts_track_the_paper() {
+        // Paper: straight 146, hal 61, man 103, eigen 488. The
+        // reconstructions should land in the same size class.
+        let within = |app: &BenchmarkApp, lo: usize, hi: usize| {
+            assert!(
+                (lo..=hi).contains(&app.lines),
+                "{} has {} lines, expected {lo}..={hi}",
+                app.name,
+                app.lines
+            );
+        };
+        within(&straight(), 80, 180);
+        within(&hal(), 40, 80);
+        within(&man(), 60, 130);
+        within(&eigen(), 230, 520);
+    }
+
+    #[test]
+    fn eigen_is_the_largest() {
+        let apps = all();
+        let eigen_lines = apps.iter().find(|a| a.name == "eigen").unwrap().lines;
+        for a in &apps {
+            assert!(a.lines <= eigen_lines);
+        }
+    }
+
+    #[test]
+    fn hal_body_is_multiplier_rich() {
+        let bsbs = hal().bsbs();
+        let body = bsbs
+            .iter()
+            .max_by_key(|b| b.dfg.count_of(OpKind::Mul))
+            .unwrap();
+        assert!(body.dfg.count_of(OpKind::Mul) >= 5, "five multiplies");
+        assert_eq!(body.profile, 1000, "hot loop profile");
+    }
+
+    #[test]
+    fn straight_has_no_loops_and_many_stages() {
+        let bsbs = straight().bsbs();
+        assert!(bsbs.len() >= 8, "one BSB per pipeline stage");
+        for b in &bsbs {
+            assert_eq!(b.profile, 1, "straight-line code profile");
+        }
+    }
+
+    #[test]
+    fn man_colour_block_has_parallel_constant_loads() {
+        let bsbs = man().bsbs();
+        let colour = bsbs
+            .iter()
+            .max_by_key(|b| b.dfg.count_of(OpKind::Const))
+            .unwrap();
+        assert!(
+            colour.dfg.count_of(OpKind::Const) >= 10,
+            "unshared palette constants: {}",
+            colour.dfg.count_of(OpKind::Const)
+        );
+        assert!(colour.profile >= 1000, "per-pixel block");
+    }
+
+    #[test]
+    fn man_inner_loop_dominates_dynamically() {
+        let bsbs = man().bsbs();
+        let hottest = bsbs.iter().max_by_key(|b| b.profile).unwrap();
+        assert!(hottest.profile >= 32_000, "pixels × iterations");
+        assert!(hottest.dfg.count_of(OpKind::Mul) >= 2);
+    }
+
+    #[test]
+    fn eigen_rotation_blocks_have_three_parallel_divisions() {
+        let bsbs = eigen().bsbs();
+        let lib = HwLibrary::standard();
+        let mut rot_blocks = 0;
+        for b in &bsbs {
+            if b.dfg.count_of(OpKind::Div) == 3 {
+                let par = lycos_sched::max_parallelism(&b.dfg, &lib).unwrap();
+                assert_eq!(
+                    par[&OpKind::Div],
+                    3,
+                    "{}: divisions must be parallel",
+                    b.name
+                );
+                rot_blocks += 1;
+            }
+        }
+        assert_eq!(rot_blocks, 3, "one rotation block per pivot");
+    }
+
+    #[test]
+    fn budgets_are_positive_and_iteration_hints_match_paper() {
+        for app in all() {
+            assert!(app.area_budget > 1_000);
+        }
+        assert_eq!(straight().iteration, None);
+        assert_eq!(hal().iteration, None);
+        assert!(matches!(
+            man().iteration,
+            Some(IterationHint::SetCount {
+                fu_name: "constgen",
+                count: 1
+            })
+        ));
+        assert!(matches!(
+            eigen().iteration,
+            Some(IterationHint::ReduceByOne { fu_name: "divider" })
+        ));
+    }
+
+    #[test]
+    fn sources_are_embedded_verbatim() {
+        assert!(straight().source.starts_with("app straight;"));
+        assert!(hal().source.contains("loop diffeq"));
+        assert!(man().source.contains("pragma unshared_consts;"));
+        assert!(eigen().source.contains("loop sweeps"));
+    }
+}

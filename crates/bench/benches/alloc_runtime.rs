@@ -1,0 +1,54 @@
+//! Benchmarks the allocation algorithm itself — the `CPU sec` column
+//! of Table 1 (experiment E1's runtime side).
+//!
+//! The paper reports 0.1–0.5 s on a Sparc20; absolute numbers differ
+//! on modern hardware, but the *ordering* (eigen slowest, hal/man
+//! fastest) should hold, and the algorithm must be orders of magnitude
+//! faster than exhaustive search (see `search_cost`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::PaceConfig;
+use std::hint::black_box;
+
+fn bench_allocation(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let mut group = c.benchmark_group("alloc_runtime");
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        group.bench_function(app.name, |b| {
+            b.iter(|| {
+                let out = allocate(
+                    black_box(&bsbs),
+                    &lib,
+                    &pace.eca,
+                    area,
+                    &restr,
+                    &AllocConfig::default(),
+                )
+                .unwrap();
+                black_box(out.allocation)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_restrictions(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let mut group = c.benchmark_group("restrictions_from_asap");
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        group.bench_function(app.name, |b| {
+            b.iter(|| black_box(Restrictions::from_asap(black_box(&bsbs), &lib).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation, bench_restrictions);
+criterion_main!(benches);

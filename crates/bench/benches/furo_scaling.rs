@@ -1,0 +1,68 @@
+//! Benchmarks the FURO pre-pass against the paper's complexity claim
+//! (§4.4, experiment E8): the initial computation of the Functional
+//! Unit Request Overlaps is proportional to `L · k²` for `L` blocks of
+//! at most `k` operations.
+//!
+//! Two sweeps: `L` at fixed `k`, and `k` at fixed `L`. Criterion's
+//! per-point times should grow ~linearly in the first sweep and
+//! ~quadratically in the second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lycos::core::FuroTable;
+use lycos::hwlib::HwLibrary;
+use lycos::ir::{Bsb, BsbArray, BsbId, BsbOrigin, Dfg, OpKind};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// A block of `k` same-type operations in `k/4`-wide layers — dense
+/// enough that most pairs are independent (the worst case for FURO).
+fn block(i: u32, k: usize) -> Bsb {
+    let mut dfg = Dfg::new();
+    let ids: Vec<_> = (0..k).map(|_| dfg.add_op(OpKind::Add)).collect();
+    // Sparse forward edges to keep some structure without serialising.
+    for w in ids.chunks(4) {
+        if w.len() == 4 {
+            dfg.add_edge(w[0], w[3]).unwrap();
+        }
+    }
+    Bsb {
+        id: BsbId(i),
+        name: format!("b{i}"),
+        dfg,
+        reads: BTreeSet::new(),
+        writes: BTreeSet::new(),
+        profile: 100,
+        origin: BsbOrigin::Body,
+    }
+}
+
+fn app(l: usize, k: usize) -> BsbArray {
+    BsbArray::from_bsbs("synthetic", (0..l).map(|i| block(i as u32, k)).collect())
+}
+
+fn bench_scaling_in_l(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let mut group = c.benchmark_group("furo_scaling_L_at_k16");
+    for l in [4usize, 8, 16, 32, 64] {
+        let bsbs = app(l, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &bsbs, |b, bsbs| {
+            b.iter(|| black_box(FuroTable::compute(black_box(bsbs), &lib).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_k(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let mut group = c.benchmark_group("furo_scaling_k_at_L8");
+    for k in [8usize, 16, 32, 64, 128] {
+        let bsbs = app(8, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &bsbs, |b, bsbs| {
+            b.iter(|| black_box(FuroTable::compute(black_box(bsbs), &lib).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_l, bench_scaling_in_k);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks one PACE evaluation (experiment E9's unit cost): the
+//! paper's footnote 1 says evaluating a single allocation took over
+//! 30 seconds in 1998, making exhaustive search on `eigen`
+//! "impossible". This measures our per-evaluation cost, which sets
+//! the scale for the search benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{compute_metrics, partition, PaceConfig};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let mut group = c.benchmark_group("pace_partition");
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        group.bench_function(app.name, |b| {
+            b.iter(|| {
+                black_box(partition(black_box(&bsbs), &lib, &out.allocation, area, &pace).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let mut group = c.benchmark_group("pace_metrics");
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        group.bench_function(app.name, |b| {
+            b.iter(|| {
+                black_box(compute_metrics(black_box(&bsbs), &lib, &out.allocation, &pace).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks heuristic allocation against allocation-space search
+//! (experiment E9): the paper's motivation for the algorithm is that
+//! "finding the optimal partition … by exhaustive search is an
+//! extremely time-consuming task due to the very large number of
+//! different allocations".
+//!
+//! `hal`'s space is small enough to exhaust inside a benchmark;
+//! larger spaces are represented by fixed-size random sampling so the
+//! per-point cost stays comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::explore::random_search;
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{exhaustive_best, PaceConfig};
+use std::hint::black_box;
+
+fn bench_heuristic_vs_search(c: &mut Criterion) {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    // hal: heuristic vs full exhaustive search (320 allocations).
+    let app = lycos::apps::hal();
+    let bsbs = app.bsbs();
+    let area = Area::new(app.area_budget);
+    let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+
+    let mut group = c.benchmark_group("search_cost_hal");
+    group.sample_size(10);
+    group.bench_function("heuristic_allocation", |b| {
+        b.iter(|| {
+            black_box(
+                allocate(
+                    black_box(&bsbs),
+                    &lib,
+                    &pace.eca,
+                    area,
+                    &restr,
+                    &AllocConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("exhaustive_search", |b| {
+        b.iter(|| {
+            black_box(exhaustive_best(black_box(&bsbs), &lib, area, &restr, &pace, None).unwrap())
+        })
+    });
+    group.bench_function("random_search_64", |b| {
+        b.iter(|| {
+            black_box(random_search(black_box(&bsbs), &lib, area, &restr, &pace, 64, 7).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristic_vs_search);
+criterion_main!(benches);

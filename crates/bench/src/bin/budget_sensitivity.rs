@@ -1,0 +1,36 @@
+//! Budget-sensitivity sweep: how wide is the §5 over-allocation
+//! regime, and how robust is the design iteration across budgets?
+//!
+//! For each benchmark, sweeps the total hardware area around its
+//! Table 1 operating point and prints heuristic / iterated /
+//! sampled-best speed-ups per budget.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin budget_sensitivity [app]
+//! ```
+
+use lycos::explore::{budget_sensitivity, format_sensitivity};
+use lycos::hwlib::HwLibrary;
+use lycos::pace::PaceConfig;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    for app in lycos::apps::all() {
+        if !filter.is_empty() && app.name != filter {
+            continue;
+        }
+        let centre = app.area_budget;
+        let lo = centre.saturating_sub(centre / 4).max(1_000);
+        let hi = centre + centre / 4;
+        let step = ((hi - lo) / 8).max(1);
+        println!("== {} (Table 1 point: {} GE) ==", app.name, centre);
+        match budget_sensitivity(&app, &lib, &pace, lo, hi, step, 24) {
+            Ok(points) => print!("{}", format_sensitivity(&points)),
+            Err(e) => println!("error: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! Budget calibration sweep (development tool, not a paper artifact).
+//!
+//! For each benchmark, sweeps the total hardware area and prints the
+//! heuristic vs best speed-up, the winning allocations and the Size /
+//! HW columns. Used to pick the per-app budgets in `lycos_apps::budgets`
+//! so the Table 1 *shape* matches the paper.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin calibrate [app] [lo] [hi] [step]
+//! ```
+
+use lycos::explore::{table1_row, Table1Options};
+use lycos::hwlib::HwLibrary;
+use lycos::pace::PaceConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args.get(1).cloned().unwrap_or_default();
+    let lo: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5_000);
+    let hi: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(14_000);
+    let step: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1_000);
+
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let options = Table1Options {
+        search_limit: Some(60_000),
+    };
+
+    for mut app in lycos::apps::all() {
+        if !filter.is_empty() && app.name != filter {
+            continue;
+        }
+        println!("== {} ==", app.name);
+        let mut budget = lo;
+        while budget <= hi {
+            app.area_budget = budget;
+            match table1_row(&app, &lib, &pace, &options) {
+                Ok(r) => {
+                    let it = r
+                        .iterated_su
+                        .map(|s| format!(" iter={s:.0}%"))
+                        .unwrap_or_default();
+                    println!(
+                        "budget {:>6}: heur {:>7.0}% best {:>7.0}%{} size {:>3.0}% hw {:>3.0}% | h={} b={}",
+                        budget,
+                        r.heuristic_su,
+                        r.best_su,
+                        it,
+                        r.size_fraction * 100.0,
+                        r.hw_fraction * 100.0,
+                        r.heuristic_allocation.display_with(&lib),
+                        r.best_allocation.display_with(&lib),
+                    );
+                }
+                Err(e) => println!("budget {budget}: error: {e}"),
+            }
+            budget += step;
+        }
+    }
+}

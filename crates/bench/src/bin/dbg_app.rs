@@ -1,0 +1,83 @@
+//! Development tool: dump per-block metrics and placements for one
+//! benchmark at one budget, for the heuristic / best / iterated
+//! allocations.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin dbg_app -- man 7000
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::explore::apply_iteration;
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{compute_metrics, exhaustive_best, partition, PaceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).cloned().unwrap_or_else(|| "man".into());
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7_000);
+
+    let app = lycos::apps::all()
+        .into_iter()
+        .find(|a| a.name == name)
+        .expect("unknown app");
+    let bsbs = app.bsbs();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let area = Area::new(budget);
+    let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+
+    let out = allocate(
+        &bsbs,
+        &lib,
+        &pace.eca,
+        area,
+        &restr,
+        &AllocConfig::default(),
+    )
+    .unwrap();
+    let search = exhaustive_best(&bsbs, &lib, area, &restr, &pace, Some(60_000)).unwrap();
+
+    let mut allocs = vec![
+        ("heuristic".to_string(), out.allocation.clone()),
+        ("best".to_string(), search.best_allocation.clone()),
+    ];
+    if let Some(hint) = app.iteration {
+        allocs.push((
+            "iterated".to_string(),
+            apply_iteration(&out.allocation, hint, &lib),
+        ));
+    }
+
+    println!(
+        "app {name} at budget {budget}; restrictions {}",
+        restr.display_with(&lib)
+    );
+    for (label, alloc) in allocs {
+        let p = partition(&bsbs, &lib, &alloc, area, &pace).unwrap();
+        let metrics = compute_metrics(&bsbs, &lib, &alloc, &pace).unwrap();
+        println!(
+            "\n== {label}: {} dp={} su={:.0}% ctl_used={} comm={} runs={:?}",
+            alloc.display_with(&lib),
+            alloc.area(&lib),
+            p.speedup_pct(),
+            p.controller_area,
+            p.comm_time.count(),
+            p.runs
+        );
+        for (i, b) in bsbs.iter().enumerate() {
+            let m = &metrics[i];
+            println!(
+                "  [{}] {:<12} p={:<6} ops={:<3} sw={:<8} hw={:<8} states={:<4} eca={:<5} {}",
+                if p.in_hw[i] { "HW" } else { "sw" },
+                b.name,
+                b.profile,
+                b.op_count(),
+                m.sw_time.count(),
+                m.hw_time.map(|c| c.count()).unwrap_or(0),
+                m.hw_states.unwrap_or(0),
+                m.controller_area.map(|a| a.gates()).unwrap_or(0),
+                if m.hw_feasible() { "" } else { "(infeasible)" },
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation for the §6 interconnect/storage extension: what happens to
+//! the Table 1 partitions when operand-mux and boundary-register area
+//! is charged on top of units and controllers.
+//!
+//! The base flow (like the paper) ignores interconnect; this binary
+//! shows how much area that assumption hides and whether the partition
+//! would still fit if it were charged.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin ext_interconnect
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::hwlib::{Area, HwLibrary, InterconnectModel};
+use lycos::pace::{partition, PaceConfig};
+
+fn main() {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let icm = InterconnectModel::standard();
+
+    println!("app         datapath    ctl      interconnect   total/budget");
+    println!("---------   ---------   ------   ------------   ------------");
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .expect("allocatable");
+        let p = partition(&bsbs, &lib, &out.allocation, area, &pace).expect("pace");
+        let hw_blocks: Vec<_> = bsbs
+            .iter()
+            .zip(&p.in_hw)
+            .filter(|&(_, &h)| h)
+            .map(|(b, _)| b)
+            .collect();
+        let extra = icm.total_overhead(
+            out.allocation.total_units(),
+            hw_blocks.iter().copied(),
+            &lib,
+        );
+        let total = p.datapath_area + p.controller_area + extra;
+        println!(
+            "{:<9}   {:>9}   {:>6}   {:>12}   {:>6} / {} {}",
+            app.name,
+            p.datapath_area.to_string(),
+            p.controller_area.to_string(),
+            extra.to_string(),
+            total.gates(),
+            app.area_budget,
+            if total.gates() <= app.area_budget {
+                "(fits)"
+            } else {
+                "(OVERFLOWS: a real flow must re-partition)"
+            }
+        );
+    }
+    println!("\nthe paper's model ignores these structures (§4: \"interconnect and");
+    println!("storage resources are not considered\"); §6 lists them as future work.");
+}

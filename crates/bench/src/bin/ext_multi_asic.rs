@@ -1,0 +1,64 @@
+//! Ablation for the §6 multi-ASIC extension: splitting an application
+//! across several ASICs with separate area budgets, versus one ASIC
+//! with the combined budget.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin ext_multi_asic
+//! ```
+
+use lycos::core::{allocate, allocate_multi_asic, AllocConfig, AsicPlan, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::PaceConfig;
+
+fn main() {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let total = app.area_budget;
+        println!("== {} (total budget {} GE) ==", app.name, total);
+
+        // One ASIC with everything.
+        let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+        let single = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            Area::new(total),
+            &restr,
+            &AllocConfig::default(),
+        )
+        .expect("allocatable");
+        println!(
+            "  1 ASIC : datapath {:>9}  units {:>2}  pseudo-HW blocks {}",
+            single.allocation.area(&lib).to_string(),
+            single.allocation.total_units(),
+            single.hw_bsbs().len()
+        );
+
+        // Two and three ASICs with the budget split evenly.
+        for k in [2usize, 3] {
+            let share = total / k as u64;
+            let plan = AsicPlan::new(vec![Area::new(share); k]);
+            let multi = allocate_multi_asic(&bsbs, &lib, &pace.eca, &plan, &AllocConfig::default())
+                .expect("multi");
+            let units: u64 = multi
+                .outcomes
+                .iter()
+                .map(|o| o.allocation.total_units())
+                .sum();
+            let hw: usize = multi.hw_bsbs().len();
+            println!(
+                "  {k} ASICs: datapath {:>9}  units {:>2}  pseudo-HW blocks {}  (per-ASIC {} GE)",
+                multi.total_datapath_area(&lib).to_string(),
+                units,
+                hw,
+                share
+            );
+        }
+        println!();
+    }
+    println!("splitting duplicates shared units across dies (each segment needs");
+    println!("its own adders and multipliers) — the cost of the §6 extension.");
+}

@@ -1,0 +1,68 @@
+//! Regenerates Figures 1 and 2 as measurements (experiment E7): the
+//! target architecture and the hardware model's area split into data
+//! path and per-BSB controllers after partitioning.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin fig12_area_split
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{compute_metrics, partition, PaceConfig};
+
+fn main() {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .expect("allocatable");
+        let p = partition(&bsbs, &lib, &out.allocation, area, &pace).expect("partitionable");
+        let metrics = compute_metrics(&bsbs, &lib, &out.allocation, &pace).expect("metrics");
+
+        println!("== {} — target architecture (Figure 1) ==", app.name);
+        println!("  processor : {}", pace.cpu.name());
+        println!("  ASIC      : {} total", area);
+        println!("  data path : {}", out.allocation.display_with(&lib));
+        println!();
+        println!("  hardware model (Figure 2):");
+        println!(
+            "    data path      {:>8}   ({:>4.1}% of used hardware)",
+            p.datapath_area.to_string(),
+            p.size_fraction() * 100.0
+        );
+        println!(
+            "    controllers    {:>8}   ({:>4.1}%)",
+            p.controller_area.to_string(),
+            (1.0 - p.size_fraction()) * 100.0
+        );
+        for (i, b) in bsbs.iter().enumerate() {
+            if p.in_hw[i] {
+                println!(
+                    "      controller for {:<12} {:>6}  ({} states)",
+                    b.name,
+                    metrics[i]
+                        .controller_area
+                        .map(|a| a.to_string())
+                        .unwrap_or_default(),
+                    metrics[i].hw_states.unwrap_or(0)
+                );
+            }
+        }
+        println!(
+            "    unused         {:>8}",
+            (area - p.datapath_area - p.controller_area).to_string()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Figure 3 as data (experiment E4 in DESIGN.md).
+//!
+//! The paper's Figure 3 is a conceptual drawing of the allocation
+//! trade-off: a small data path leaves room for many controllers
+//! ("many small speed-ups"), a large data path speeds blocks up more
+//! but moves fewer ("few large speed-ups"). This binary sweeps every
+//! legal allocation for each benchmark, bucketed by data-path share,
+//! and prints the measured trade-off curve.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin fig3_tradeoff [app]
+//! ```
+
+use lycos::core::Restrictions;
+use lycos::explore::{format_tradeoff, tradeoff_sweep};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::PaceConfig;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    for app in lycos::apps::all() {
+        if !filter.is_empty() && app.name != filter {
+            continue;
+        }
+        // eigen's space is too large for a full sweep; skip unless asked.
+        if app.name == "eigen" && filter.is_empty() {
+            println!(
+                "== {} == (skipped: {} allocations; run with arg `eigen`)\n",
+                app.name,
+                {
+                    let restr = Restrictions::from_asap(&app.bsbs(), &lib).expect("schedulable");
+                    lycos::pace::space_size(&lycos::pace::search_space(&restr))
+                }
+            );
+            continue;
+        }
+        let bsbs = app.bsbs();
+        let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+        let points = tradeoff_sweep(&bsbs, &lib, Area::new(app.area_budget), &restr, &pace, 10)
+            .expect("sweep");
+        println!("== {} (total area {} GE) ==", app.name, app.area_budget);
+        println!("{}", format_tradeoff(&points));
+    }
+    println!("paper reference (conceptual): the best speed-up sits between the");
+    println!("extremes — neither the smallest nor the largest data path wins.");
+}

@@ -1,0 +1,78 @@
+//! Baseline comparison: PACE's dynamic program against a greedy
+//! gain-density partitioner, over the bundled benchmarks and a set of
+//! synthetic applications.
+//!
+//! PACE's claim (reference [7]) is that sequence-aware dynamic
+//! programming finds partitions greedy selection misses — mainly where
+//! adjacent blocks are only profitable together because their
+//! communication cancels inside a run.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin pace_vs_greedy
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::explore::SyntheticSpec;
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{greedy_partition, partition, PaceConfig};
+
+fn main() {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    println!("application     budget     DP SU    greedy SU   DP advantage");
+    println!("-------------   -------   -------   ---------   ------------");
+
+    let mut rows: Vec<(String, u64)> = lycos::apps::all()
+        .into_iter()
+        .map(|a| {
+            let b = a.area_budget;
+            (a.name.to_owned(), b)
+        })
+        .collect();
+    // Synthetic workloads stress shapes the benchmarks do not cover.
+    for seed in 0..6u64 {
+        rows.push((format!("synthetic-{seed}"), 14_000));
+    }
+
+    for (name, budget) in rows {
+        let bsbs = match name.strip_prefix("synthetic-") {
+            Some(seed) => SyntheticSpec::medium().generate(seed.parse().expect("seed")),
+            None => lycos::apps::all()
+                .into_iter()
+                .find(|a| a.name == name)
+                .expect("bundled")
+                .bsbs(),
+        };
+        let area = Area::new(budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .expect("allocatable");
+        let dp = partition(&bsbs, &lib, &out.allocation, area, &pace).expect("dp");
+        let greedy = greedy_partition(&bsbs, &lib, &out.allocation, area, &pace).expect("greedy");
+        let dp_su = dp.speedup_pct();
+        let gr_su = greedy.speedup_pct();
+        assert!(
+            dp.total_time <= greedy.total_time,
+            "{name}: the DP must never lose"
+        );
+        let advantage = if gr_su > 0.0 {
+            format!("{:+.1}%", (dp_su - gr_su) / (100.0 + gr_su) * 100.0)
+        } else if dp_su > 0.0 {
+            "greedy found nothing".to_owned()
+        } else {
+            "tie (all software)".to_owned()
+        };
+        println!(
+            "{:<13}   {:>7}   {:>6.0}%   {:>8.0}%   {}",
+            name, budget, dp_su, gr_su, advantage
+        );
+    }
+}

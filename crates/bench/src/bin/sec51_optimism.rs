@@ -1,0 +1,55 @@
+//! Regenerates the §5.1 discussion as an ablation (experiment E3):
+//! the effect of the optimistic (ASAP) controller estimate on the
+//! allocation, versus scaled and fully serial estimates, plus the
+//! reduce-only designer walk that §5.1 says always suffices.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin sec51_optimism
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::explore::{format_optimism, optimism_report, reduce_only_walk};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{partition, PaceConfig};
+
+fn main() {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+
+        println!("== {} ==", app.name);
+        let points = optimism_report(&bsbs, &lib, area, &restr, &pace).expect("ablation runs");
+        println!("{}", format_optimism(&points));
+
+        // §5.1: "the designer can always reduce the number of allocated
+        // resources slightly in order to obtain the best possible
+        // partitions. It is never necessary to increase."
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .expect("allocatable");
+        let start = partition(&bsbs, &lib, &out.allocation, area, &pace)
+            .expect("partitionable")
+            .speedup_pct();
+        let (reduced, walked) =
+            reduce_only_walk(&bsbs, &lib, &out.allocation, area, &pace).expect("walk");
+        println!(
+            "reduce-only walk: {:.0}% -> {:.0}%  (allocation {} -> {})",
+            start,
+            walked,
+            out.allocation.display_with(&lib),
+            reduced.display_with(&lib)
+        );
+        assert!(walked >= start, "reducing must never hurt the best found");
+        println!();
+    }
+}

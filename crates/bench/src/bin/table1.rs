@@ -1,0 +1,61 @@
+//! Regenerates Table 1 of the paper (experiment E1 in DESIGN.md).
+//!
+//! For each of the four benchmark applications: run the allocation
+//! algorithm (timed), evaluate it through PACE, exhaustively search
+//! the allocation space for the best achievable speed-up, and apply
+//! the §5 design iteration where the paper did.
+//!
+//! ```text
+//! cargo run --release -p lycos-bench --bin table1
+//! ```
+
+use lycos::explore::{format_table1, table1_row, Table1Options};
+use lycos::hwlib::HwLibrary;
+use lycos::pace::PaceConfig;
+
+fn main() {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let options = Table1Options {
+        // eigen's space is large; the paper could not exhaust it either
+        // (footnote 1). 200k evaluations is plenty for the spaces the
+        // LYC benchmarks span.
+        search_limit: Some(200_000),
+    };
+
+    let mut rows = Vec::new();
+    for app in lycos::apps::all() {
+        eprintln!(
+            "[table1] {}: {} BSBs, budget {} GE, searching…",
+            app.name,
+            app.bsbs().len(),
+            app.area_budget
+        );
+        match table1_row(&app, &lib, &pace, &options) {
+            Ok(row) => {
+                eprintln!(
+                    "[table1] {}: heuristic {} | best {} | space {} ({} evaluated{})",
+                    app.name,
+                    row.heuristic_allocation.display_with(&lib),
+                    row.best_allocation.display_with(&lib),
+                    row.space_size,
+                    row.evaluated,
+                    if row.truncated { ", truncated" } else { "" },
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("[table1] {} failed: {e}", app.name);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\nTable 1 — results after partitioning (reproduction)\n");
+    println!("{}", format_table1(&rows));
+    println!("paper reference:");
+    println!("  straight   146  1610%/1610%   62%  58%/42%   0.1");
+    println!("  hal         61  4173%/4173%   93%  80%/20%   0.2");
+    println!("  man        103  30%/3081%     92%   8%/92%   0.2");
+    println!("  eigen      488  20%/311%      82%  19%/81%   0.5");
+}

@@ -1,0 +1,260 @@
+//! `lycos` — command-line driver for the LYCOS reproduction.
+//!
+//! ```text
+//! lycos inspect  <file.lyc>              show CDFG, BSBs and profiles
+//! lycos allocate <file.lyc> <area>       run Algorithm 1
+//! lycos partition <file.lyc> <area>      allocate, then PACE
+//! lycos best     <file.lyc> <area>       exhaustive best allocation
+//! lycos table1                            reproduce Table 1
+//! lycos apps                              list bundled benchmarks
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::explore::{format_table1, table1_row, Table1Options};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::ir::extract_bsbs;
+use lycos::pace::{exhaustive_best, partition, PaceConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("inspect") => inspect(&args[1..]),
+        Some("allocate") => cmd_allocate(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("best") => cmd_best(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("table1") => cmd_table1(),
+        Some("apps") => cmd_apps(),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lycos: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+lycos — hardware resource allocation for HW/SW partitioning (DATE 1998)
+
+usage:
+  lycos inspect   <file.lyc>          show the CDFG tree and BSB array
+  lycos allocate  <file.lyc> <area>   run the allocation algorithm
+  lycos partition <file.lyc> <area>   allocate, then partition with PACE
+  lycos best      <file.lyc> <area>   exhaustive best allocation
+  lycos explain   <file.lyc> <area>   step-by-step allocation trace
+  lycos table1                        reproduce Table 1 on the bundled apps
+  lycos apps                          list the bundled benchmark apps
+
+<file.lyc> may also be a bundled app name: straight, hal, man, eigen.
+";
+
+fn load(path: &str) -> Result<(lycos::ir::Cdfg, lycos::ir::BsbArray), String> {
+    let source = match path {
+        "straight" | "hal" | "man" | "eigen" => {
+            let app = lycos::apps::all()
+                .into_iter()
+                .find(|a| a.name == path)
+                .expect("bundled app names are fixed");
+            app.source.to_owned()
+        }
+        _ => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+    };
+    let cdfg = lycos::frontend::compile(&source).map_err(|e| e.to_string())?;
+    let bsbs = extract_bsbs(&cdfg, None).map_err(|e| e.to_string())?;
+    Ok((cdfg, bsbs))
+}
+
+fn parse_area(args: &[String], at: usize) -> Result<Area, String> {
+    let text = args
+        .get(at)
+        .ok_or_else(|| "missing <area> argument (gate equivalents)".to_owned())?;
+    text.parse::<u64>()
+        .map(Area::new)
+        .map_err(|_| format!("invalid area `{text}`"))
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.lyc> argument")?;
+    let (cdfg, bsbs) = load(path)?;
+    println!("{cdfg}");
+    println!("leaf BSB array ({} blocks):", bsbs.len());
+    for b in &bsbs {
+        println!(
+            "  {}: {} ops, profile {}, reads {:?}, writes {:?}",
+            b.name,
+            b.op_count(),
+            b.profile,
+            b.reads.iter().collect::<Vec<_>>(),
+            b.writes.iter().collect::<Vec<_>>()
+        );
+    }
+    println!();
+    print!("{}", lycos::ir::AppStats::of(&bsbs));
+    Ok(())
+}
+
+fn cmd_allocate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.lyc> argument")?;
+    let area = parse_area(args, 1)?;
+    let (_, bsbs) = load(path)?;
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
+    let out = allocate(
+        &bsbs,
+        &lib,
+        &pace.eca,
+        area,
+        &restr,
+        &AllocConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("restrictions : {}", restr.display_with(&lib));
+    println!("allocation   : {}", out.allocation.display_with(&lib));
+    println!("data path    : {}", out.allocation.area(&lib));
+    println!("controllers  : {} (pseudo partition)", out.controller_area);
+    println!("remaining    : {}", out.remaining);
+    println!(
+        "pseudo HW    : {} of {} blocks",
+        out.hw_bsbs().len(),
+        bsbs.len()
+    );
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.lyc> argument")?;
+    let area = parse_area(args, 1)?;
+    let (_, bsbs) = load(path)?;
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
+    let out = allocate(
+        &bsbs,
+        &lib,
+        &pace.eca,
+        area,
+        &restr,
+        &AllocConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let p = partition(&bsbs, &lib, &out.allocation, area, &pace).map_err(|e| e.to_string())?;
+    println!("allocation : {}", out.allocation.display_with(&lib));
+    println!("speed-up   : {:.0}%", p.speedup_pct());
+    println!("all-SW time: {}", p.all_sw_time);
+    println!("hybrid time: {} (comm {})", p.total_time, p.comm_time);
+    println!(
+        "area       : datapath {} + controllers {}",
+        p.datapath_area, p.controller_area
+    );
+    for (i, b) in bsbs.iter().enumerate() {
+        println!("  [{}] {}", if p.in_hw[i] { "HW" } else { "sw" }, b.name);
+    }
+    Ok(())
+}
+
+fn cmd_best(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file.lyc> argument")?;
+    let area = parse_area(args, 1)?;
+    let (_, bsbs) = load(path)?;
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
+    let res = exhaustive_best(&bsbs, &lib, area, &restr, &pace, Some(200_000))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "space      : {} allocations ({} evaluated, {} skipped{})",
+        res.space_size,
+        res.evaluated,
+        res.skipped,
+        if res.truncated { ", truncated" } else { "" }
+    );
+    println!("best       : {}", res.best_allocation.display_with(&lib));
+    println!("speed-up   : {:.0}%", res.best_partition.speedup_pct());
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    use lycos::core::TraceEvent;
+    let path = args.first().ok_or("missing <file.lyc> argument")?;
+    let area = parse_area(args, 1)?;
+    let (_, bsbs) = load(path)?;
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
+    let out = allocate(
+        &bsbs,
+        &lib,
+        &pace.eca,
+        area,
+        &restr,
+        &AllocConfig {
+            record_trace: true,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "allocation trace ({} steps, {} passes):",
+        out.steps, out.passes
+    );
+    for event in &out.trace {
+        match event {
+            TraceEvent::Moved { bsb, req, cost } => println!(
+                "  move {} to hardware: +{} (cost {cost})",
+                bsbs.bsb(*bsb).name,
+                req.display_with(&lib)
+            ),
+            TraceEvent::Augmented { bsb, fu } => println!(
+                "  {} is urgent: allocate one more {}",
+                bsbs.bsb(*bsb).name,
+                lib.fu(*fu).name
+            ),
+            TraceEvent::Skipped { bsb } => {
+                println!("  skip {}", bsbs.bsb(*bsb).name)
+            }
+            TraceEvent::Restarted => println!("  -- urgencies changed, rescan --"),
+        }
+    }
+    println!("final allocation: {}", out.allocation.display_with(&lib));
+    Ok(())
+}
+
+fn cmd_table1() -> Result<(), String> {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let options = Table1Options {
+        search_limit: Some(200_000),
+    };
+    let mut rows = Vec::new();
+    for app in lycos::apps::all() {
+        rows.push(table1_row(&app, &lib, &pace, &options).map_err(|e| e.to_string())?);
+    }
+    print!("{}", format_table1(&rows));
+    Ok(())
+}
+
+fn cmd_apps() -> Result<(), String> {
+    for app in lycos::apps::all() {
+        println!(
+            "{:<10} {:>4} lines, {:>2} BSBs, budget {} GE{}",
+            app.name,
+            app.lines,
+            app.bsbs().len(),
+            app.area_budget,
+            match app.iteration {
+                Some(_) => "  (design iteration in §5)",
+                None => "",
+            }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,607 @@
+//! The hardware resource allocation algorithm — Algorithm 1 of the paper.
+//!
+//! The algorithm produces a data-path allocation by building a *pseudo
+//! partition*: starting with every BSB in software, it repeatedly
+//! examines the most urgent block. A software block is moved to hardware
+//! if the remaining area pays for its controller (ECA) plus whatever
+//! required units the allocation still lacks; a block already in
+//! hardware asks for one more unit of its most urgent resource. Whenever
+//! the allocation changes, urgencies are recomputed and the scan
+//! restarts from the most urgent block. The loop ends when a whole pass
+//! makes no change or the area is exhausted.
+
+use crate::{max_urgency, prioritize, AllocError, FuroTable, RMap, Restrictions};
+use lycos_hwlib::{Area, EcaModel, FuId, HwLibrary};
+use lycos_ir::{Bsb, BsbArray, BsbId, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How the number of controller states of a BSB is estimated for the
+/// ECA cost (§4.2, §5.1).
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum StateEstimate {
+    /// The paper's choice: ASAP schedule length. Optimistic — the real,
+    /// resource-constrained schedule is never shorter.
+    #[default]
+    Asap,
+    /// Fully serial schedule (sum of operation latencies). Pessimistic —
+    /// a lower bound on no block, an upper bound on every block.
+    Serial,
+    /// ASAP length scaled by a factor (≥ 1.0 stretches towards the
+    /// serial estimate); used by the §5.1 optimism ablation.
+    Scaled(f64),
+}
+
+/// Tuning knobs for [`allocate`]. The default reproduces the paper.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AllocConfig {
+    /// Controller state estimation mode.
+    pub state_estimate: StateEstimate,
+    /// Record a step-by-step [`TraceEvent`] log in the outcome.
+    pub record_trace: bool,
+}
+
+/// One step of the allocation run (recorded when
+/// [`AllocConfig::record_trace`] is set).
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// A software block moved to hardware.
+    Moved {
+        /// The block.
+        bsb: BsbId,
+        /// Units newly allocated for it.
+        req: RMap,
+        /// Total charge (ECA + new units).
+        cost: Area,
+    },
+    /// A hardware block received one more unit for its most urgent
+    /// operation type.
+    Augmented {
+        /// The block.
+        bsb: BsbId,
+        /// The unit kind added.
+        fu: FuId,
+    },
+    /// The block was examined but nothing could be done.
+    Skipped {
+        /// The block.
+        bsb: BsbId,
+    },
+    /// Urgencies changed; the scan restarted from the front.
+    Restarted,
+}
+
+/// The result of an allocation run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AllocOutcome {
+    /// The allocated data path.
+    pub allocation: RMap,
+    /// Area left over after data path and pseudo-partition controllers.
+    pub remaining: Area,
+    /// Which blocks the pseudo partition placed in hardware.
+    pub in_hw: Vec<bool>,
+    /// Estimated controller area of the pseudo-hardware blocks.
+    pub controller_area: Area,
+    /// Number of priority recomputations (including the initial one).
+    pub passes: usize,
+    /// Number of main-loop iterations.
+    pub steps: usize,
+    /// Step-by-step log (empty unless requested).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl AllocOutcome {
+    /// Ids of the pseudo-hardware blocks, in array order.
+    pub fn hw_bsbs(&self) -> Vec<BsbId> {
+        self.in_hw
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h)
+            .map(|(i, _)| BsbId(i as u32))
+            .collect()
+    }
+
+    /// Data-path area of the allocation.
+    pub fn datapath_area(&self, lib: &HwLibrary) -> Area {
+        self.allocation.area(lib)
+    }
+
+    /// Data-path share of the used hardware area (the paper's *Size*
+    /// column, at pseudo-partition time): data path / (data path +
+    /// controllers).
+    pub fn datapath_fraction(&self, lib: &HwLibrary) -> f64 {
+        let dp = self.datapath_area(lib);
+        dp.fraction_of(dp + self.controller_area)
+    }
+}
+
+/// The minimum set of units needed to execute every operation of `bsb`
+/// (at most one unit of each kind — `GetReqResources`).
+///
+/// # Errors
+///
+/// [`AllocError::Hw`] if an operation kind has no default unit in `lib`.
+pub fn required_resources(bsb: &Bsb, lib: &HwLibrary) -> Result<RMap, AllocError> {
+    let mut kinds: BTreeSet<FuId> = BTreeSet::new();
+    for op in bsb.dfg.kinds_present() {
+        kinds.insert(lib.fu_for(op)?);
+    }
+    Ok(kinds.into_iter().map(|fu| (fu, 1)).collect())
+}
+
+/// `MostUrgentResource(B)` — the unit kind executing the operation type
+/// with the highest urgency in `bsb`, or `None` for a block with no
+/// operations.
+///
+/// # Errors
+///
+/// [`AllocError::Hw`] if the urgent operation has no default unit.
+pub fn most_urgent_resource(
+    bsb: &Bsb,
+    bsb_index: usize,
+    furo: &FuroTable,
+    allocation: &RMap,
+    lib: &HwLibrary,
+) -> Result<Option<FuId>, AllocError> {
+    let (_, kind) = max_urgency(furo, bsb, bsb_index, true, allocation, lib);
+    let kind: Option<OpKind> = kind.or_else(|| bsb.dfg.kinds_present().into_iter().next());
+    match kind {
+        Some(op) => Ok(Some(lib.fu_for(op)?)),
+        None => Ok(None),
+    }
+}
+
+/// Runs Algorithm 1: allocates data-path resources for `bsbs` within
+/// `area`, honouring `restrictions`.
+///
+/// # Errors
+///
+/// [`AllocError`] if a block cannot be scheduled or an operation has no
+/// default unit in the library.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::{allocate, AllocConfig, Restrictions};
+/// use lycos_hwlib::{Area, EcaModel, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+///
+/// let mut b = DfgBuilder::new();
+/// let m1 = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m1);
+/// let m2 = b.binary(OpKind::Mul, "c".into(), "d".into());
+/// b.assign("y", m2);
+/// let cdfg = Cdfg::new(
+///     "hot",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(1000),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let eca = EcaModel::standard();
+/// let restr = Restrictions::from_asap(&bsbs, &lib)?;
+///
+/// let out = allocate(&bsbs, &lib, &eca, Area::new(8000), &restr,
+///                    &AllocConfig::default())?;
+/// let mult = lib.fu_for(OpKind::Mul).unwrap();
+/// assert_eq!(out.allocation.count(mult), 2, "both multiplies in parallel");
+/// assert!(out.in_hw[0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn allocate(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    eca: &EcaModel,
+    area: Area,
+    restrictions: &Restrictions,
+    config: &AllocConfig,
+) -> Result<AllocOutcome, AllocError> {
+    let furo = FuroTable::compute(bsbs, lib)?;
+    let l = bsbs.len();
+
+    // Controller state estimate per block, per the configured mode.
+    let mut states = Vec::with_capacity(l);
+    for (k, bsb) in bsbs.iter().enumerate() {
+        let n = match config.state_estimate {
+            StateEstimate::Asap => furo.asap_length(k),
+            StateEstimate::Serial => {
+                let mut sum = 0u64;
+                for op in bsb.dfg.ops() {
+                    let fu = lib.fu_for(op.kind)?;
+                    sum += lib.fu(fu).latency as u64;
+                }
+                sum
+            }
+            StateEstimate::Scaled(f) => (furo.asap_length(k) as f64 * f).ceil() as u64,
+        };
+        states.push(n);
+    }
+
+    let mut allocation = RMap::new();
+    let mut remaining = area;
+    let mut in_hw = vec![false; l];
+    let mut controller_area = Area::ZERO;
+    let mut trace = Vec::new();
+    let mut order = prioritize(bsbs, &furo, &in_hw, &allocation, lib);
+    let mut passes = 1usize;
+    let mut steps = 0usize;
+
+    let mut i = 0usize;
+    while i < l && remaining > Area::ZERO {
+        steps += 1;
+        let k = order[i];
+        let bsb = &bsbs[k];
+        let mut changed = false;
+
+        if in_hw[k] {
+            // Some operation is urgent: try to add one more unit for it.
+            if let Some(fu) = most_urgent_resource(bsb, k, &furo, &allocation, lib)? {
+                let unit_area = lib.area_of(fu);
+                // Algorithm 1 verbatim: Area(R) ≤ RemainingArea and
+                // Allocation(R) + 1 ≤ Restrictions(R).
+                #[allow(clippy::int_plus_one)]
+                if unit_area <= remaining && allocation.count(fu) + 1 <= restrictions.cap(fu) {
+                    allocation.increment(fu);
+                    remaining -= unit_area;
+                    changed = true;
+                    if config.record_trace {
+                        trace.push(TraceEvent::Augmented { bsb: bsb.id, fu });
+                    }
+                }
+            }
+        } else {
+            let req = required_resources(bsb, lib)?.difference(&allocation);
+            let eca_area = eca.controller_area(states[k]);
+            let cost = eca_area + req.area(lib);
+            if cost <= remaining {
+                allocation = allocation.union(&req);
+                remaining -= cost;
+                controller_area += eca_area;
+                in_hw[k] = true;
+                // Note: moving with an empty `req` spends area on the
+                // controller but does not change the *allocation*, so it
+                // does not trigger re-prioritisation (Algorithm 1).
+                changed = !req.is_empty();
+                if config.record_trace {
+                    trace.push(TraceEvent::Moved {
+                        bsb: bsb.id,
+                        req,
+                        cost,
+                    });
+                }
+            }
+        }
+
+        if changed {
+            order = prioritize(bsbs, &furo, &in_hw, &allocation, lib);
+            passes += 1;
+            i = 0;
+            if config.record_trace {
+                trace.push(TraceEvent::Restarted);
+            }
+        } else {
+            if config.record_trace {
+                trace.push(TraceEvent::Skipped { bsb: bsb.id });
+            }
+            i += 1;
+        }
+    }
+
+    Ok(AllocOutcome {
+        allocation,
+        remaining,
+        in_hw,
+        controller_area,
+        passes,
+        steps,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{BsbOrigin, Dfg};
+    use std::collections::BTreeSet as VarSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn eca() -> EcaModel {
+        EcaModel::standard()
+    }
+
+    fn bsb(i: u32, dfg: Dfg, profile: u64) -> Bsb {
+        Bsb {
+            id: BsbId(i),
+            name: format!("b{i}"),
+            dfg,
+            reads: VarSet::new(),
+            writes: VarSet::new(),
+            profile,
+            origin: BsbOrigin::Body,
+        }
+    }
+
+    /// n independent ops of `kind`.
+    fn parallel(kind: OpKind, n: usize) -> Dfg {
+        let mut g = Dfg::new();
+        for _ in 0..n {
+            g.add_op(kind);
+        }
+        g
+    }
+
+    fn run(bsbs: &BsbArray, area: u64) -> AllocOutcome {
+        let lib = lib();
+        let restr = Restrictions::from_asap(bsbs, &lib).unwrap();
+        allocate(
+            bsbs,
+            &lib,
+            &eca(),
+            Area::new(area),
+            &restr,
+            &AllocConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_area_allocates_nothing() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, parallel(OpKind::Add, 4), 10)]);
+        let out = run(&bsbs, 0);
+        assert!(out.allocation.is_empty());
+        assert!(out.hw_bsbs().is_empty());
+        assert_eq!(out.remaining, Area::ZERO);
+    }
+
+    #[test]
+    fn single_block_gets_required_resources() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let m = g.add_op(OpKind::Mul);
+        g.add_edge(a, m).unwrap();
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, g, 10)]);
+        let out = run(&bsbs, 10_000);
+        let lib = lib();
+        assert_eq!(out.allocation.count(lib.fu_for(OpKind::Add).unwrap()), 1);
+        assert_eq!(out.allocation.count(lib.fu_for(OpKind::Mul).unwrap()), 1);
+        assert!(out.in_hw[0]);
+        // Chain ⇒ no parallelism ⇒ restrictions stop further units.
+        assert_eq!(out.allocation.total_units(), 2);
+    }
+
+    #[test]
+    fn parallel_block_receives_extra_units_up_to_restriction() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, parallel(OpKind::Add, 4), 50)]);
+        let out = run(&bsbs, 100_000);
+        let adder = lib().fu_for(OpKind::Add).unwrap();
+        assert_eq!(
+            out.allocation.count(adder),
+            4,
+            "urgency keeps adding adders until the ASAP cap"
+        );
+    }
+
+    #[test]
+    fn area_budget_is_never_exceeded() {
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, parallel(OpKind::Mul, 3), 40),
+                bsb(1, parallel(OpKind::Add, 5), 30),
+                bsb(2, parallel(OpKind::Div, 2), 20),
+            ],
+        );
+        for budget in [0u64, 100, 500, 2_500, 6_000, 20_000, 100_000] {
+            let out = run(&bsbs, budget);
+            let lib = lib();
+            let spent = out.allocation.area(&lib) + out.controller_area;
+            assert!(
+                spent + out.remaining == Area::new(budget),
+                "area accounting must balance at budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn restrictions_are_never_violated() {
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, parallel(OpKind::Add, 6), 99),
+                bsb(1, parallel(OpKind::Add, 3), 98),
+            ],
+        );
+        let lib = lib();
+        let mut restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+        restr.tighten(adder, 2);
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &eca(),
+            Area::new(1_000_000),
+            &restr,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.allocation.count(adder), 2, "user cap respected");
+    }
+
+    #[test]
+    fn hot_blocks_move_first() {
+        // Two identical blocks, wildly different profiles, area for only
+        // one block's controller + units.
+        let hot = bsb(0, parallel(OpKind::Mul, 2), 1000);
+        let cold = bsb(1, parallel(OpKind::Mul, 2), 1);
+        let bsbs = BsbArray::from_bsbs("t", vec![cold.clone(), hot.clone()]);
+        // 2 mults = 4000; controller ~ tiny. Budget 4100 : only one
+        // block's worth of units, shared by both if both move.
+        let out = run(&bsbs, 4_100);
+        // The hot block (index 1 in this array) must be in hardware.
+        assert!(out.in_hw[1], "hot block wins the area");
+    }
+
+    #[test]
+    fn second_block_reuses_existing_units() {
+        // Both blocks need an adder; the second move costs only ECA.
+        let b0 = bsb(0, parallel(OpKind::Add, 1), 10);
+        let b1 = bsb(1, parallel(OpKind::Add, 1), 9);
+        let bsbs = BsbArray::from_bsbs("t", vec![b0, b1]);
+        let out = run(&bsbs, 100_000);
+        let adder = lib().fu_for(OpKind::Add).unwrap();
+        assert!(out.in_hw.iter().all(|&h| h), "both blocks fit");
+        assert_eq!(
+            out.allocation.count(adder),
+            1,
+            "single-op blocks share one adder (ASAP cap 1)"
+        );
+    }
+
+    #[test]
+    fn outcome_accounting_is_consistent() {
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, parallel(OpKind::Add, 3), 7),
+                bsb(1, parallel(OpKind::Mul, 2), 6),
+            ],
+        );
+        let out = run(&bsbs, 50_000);
+        let lib = lib();
+        assert_eq!(
+            out.hw_bsbs().len(),
+            out.in_hw.iter().filter(|&&h| h).count()
+        );
+        let frac = out.datapath_fraction(&lib);
+        assert!((0.0..=1.0).contains(&frac));
+        assert!(out.passes >= 1);
+        assert!(out.steps >= 1);
+    }
+
+    #[test]
+    fn trace_records_moves_and_augments() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, parallel(OpKind::Add, 3), 7)]);
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &eca(),
+            Area::new(50_000),
+            &restr,
+            &AllocConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Moved { .. })));
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Augmented { .. })));
+        assert!(out.trace.iter().any(|e| matches!(e, TraceEvent::Restarted)));
+    }
+
+    #[test]
+    fn serial_state_estimate_shrinks_allocation() {
+        // A block with parallel constant loads: ASAP says 1 state
+        // (cheap controller), serial says 8 states (expensive). With a
+        // tight budget the serial estimate moves fewer blocks / units.
+        let mut blocks = Vec::new();
+        for i in 0..4 {
+            blocks.push(bsb(i, parallel(OpKind::Const, 8), 100));
+        }
+        let bsbs = BsbArray::from_bsbs("t", blocks);
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let budget = Area::new(1_000);
+        let optimistic =
+            allocate(&bsbs, &lib, &eca(), budget, &restr, &AllocConfig::default()).unwrap();
+        let pessimistic = allocate(
+            &bsbs,
+            &lib,
+            &eca(),
+            budget,
+            &restr,
+            &AllocConfig {
+                state_estimate: StateEstimate::Serial,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            pessimistic.allocation.total_units() <= optimistic.allocation.total_units(),
+            "pessimistic controllers leave less room for units"
+        );
+    }
+
+    #[test]
+    fn most_urgent_resource_for_uniform_block() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, parallel(OpKind::Mul, 2), 5)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let fu = most_urgent_resource(&bsbs[0], 0, &furo, &RMap::new(), &lib)
+            .unwrap()
+            .unwrap();
+        assert_eq!(lib.fu(fu).name, "multiplier");
+    }
+
+    #[test]
+    fn empty_block_has_no_urgent_resource() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, Dfg::new(), 5)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        assert_eq!(
+            most_urgent_resource(&bsbs[0], 0, &furo, &RMap::new(), &lib).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, parallel(OpKind::Mul, 3), 40),
+                bsb(1, parallel(OpKind::Add, 5), 30),
+            ],
+        );
+        for budget in [1_000u64, 2_500, 5_000, 10_000] {
+            let a = run(&bsbs, budget);
+            let b = run(&bsbs, budget);
+            assert_eq!(a.allocation, b.allocation, "budget {budget}");
+            assert_eq!(a.in_hw, b.in_hw);
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    /// Greedy pre-allocation is *not* monotone in the budget: a larger
+    /// budget can tempt the algorithm into moving an expensive block
+    /// whose units then starve cheaper ones. This pins the documented
+    /// behaviour so a future "fix" does not silently change it.
+    #[test]
+    fn non_monotone_budget_behaviour_is_possible() {
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, parallel(OpKind::Mul, 3), 40),
+                bsb(1, parallel(OpKind::Add, 5), 30),
+            ],
+        );
+        let small = run(&bsbs, 1_000).allocation.total_units();
+        let large = run(&bsbs, 2_700).allocation.total_units();
+        assert_eq!(small, 4, "budget 1000: four adders");
+        assert_eq!(large, 3, "budget 2700: two adders + one multiplier");
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the allocation algorithm.
+
+use lycos_hwlib::HwError;
+use lycos_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from FURO computation or the allocation algorithm.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AllocError {
+    /// A scheduling step failed (cyclic DFG, missing unit, …).
+    Sched(SchedError),
+    /// A hardware-library lookup failed.
+    Hw(HwError),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            AllocError::Hw(e) => write!(f, "hardware library lookup failed: {e}"),
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Sched(e) => Some(e),
+            AllocError::Hw(e) => Some(e),
+        }
+    }
+}
+
+impl From<SchedError> for AllocError {
+    fn from(e: SchedError) -> Self {
+        AllocError::Sched(e)
+    }
+}
+
+impl From<HwError> for AllocError {
+    fn from(e: HwError) -> Self {
+        AllocError::Hw(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::OpKind;
+
+    #[test]
+    fn display_and_sources() {
+        let e: AllocError = SchedError::NoUnitFor { op: OpKind::Div }.into();
+        assert!(format!("{e}").contains("div"));
+        assert!(Error::source(&e).is_some());
+        let e: AllocError = HwError::NoUnitFor { op: OpKind::Mul }.into();
+        assert!(format!("{e}").contains("mul"));
+        assert!(Error::source(&e).is_some());
+    }
+}

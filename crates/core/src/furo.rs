@@ -1,0 +1,327 @@
+//! Functional Unit Request Overlap — Definition 2.
+//!
+//! `FURO(o, Bk)` estimates, for operation type `o` in block `Bk`, the
+//! profile-weighted probability that two operations of that type compete
+//! for the same data-path unit:
+//!
+//! ```text
+//! FURO(o, Bk) = p_k · Σ_{i≠j}  Ovl(i,j) / (M(i)·M(j))
+//! ```
+//!
+//! summed over ordered pairs of type-`o` operations where neither is a
+//! transitive successor of the other (successors can never share a
+//! control step). `M` is the ASAP–ALAP mobility and `Ovl` the overlap of
+//! the two start windows ([`lycos_sched::Frames`]).
+//!
+//! The sum runs over *ordered* pairs exactly as the definition is
+//! written, so every unordered pair contributes twice — a constant factor
+//! that leaves the priority order unchanged.
+//!
+//! Computing the table costs `O(L·k²)` for `L` blocks of at most `k`
+//! operations (§4.4) and is done once; the dynamic urgency `U(o,Bk)`
+//! (Definition 3) only rescales these values as the allocation grows.
+
+use crate::AllocError;
+use lycos_hwlib::HwLibrary;
+use lycos_ir::{Bsb, BsbArray, OpKind};
+use lycos_sched::Frames;
+use std::collections::BTreeMap;
+
+/// FURO values for every `(block, operation type)` of an application,
+/// plus the per-block ASAP lengths that double as controller state
+/// estimates.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::FuroTable;
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+///
+/// // Two independent multiplies compete; a lone add does not.
+/// let mut b = DfgBuilder::new();
+/// let m1 = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m1);
+/// let m2 = b.binary(OpKind::Mul, "c".into(), "d".into());
+/// b.assign("y", m2);
+/// let s = b.binary(OpKind::Add, "x".into(), "y".into());
+/// b.assign("z", s);
+/// let cdfg = Cdfg::new("app", CdfgNode::block("b0", b.finish()));
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+///
+/// let table = FuroTable::compute(&bsbs, &HwLibrary::standard())?;
+/// assert!(table.furo(0, OpKind::Mul) > 0.0);
+/// assert_eq!(table.furo(0, OpKind::Add), 0.0, "single add cannot compete");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuroTable {
+    per_bsb: Vec<BTreeMap<OpKind, f64>>,
+    asap_lengths: Vec<u64>,
+}
+
+impl FuroTable {
+    /// Computes the table for every BSB of `bsbs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Sched`] if a block's DFG is cyclic or an
+    /// operation has no default unit in `lib`.
+    pub fn compute(bsbs: &BsbArray, lib: &HwLibrary) -> Result<FuroTable, AllocError> {
+        let mut per_bsb = Vec::with_capacity(bsbs.len());
+        let mut asap_lengths = Vec::with_capacity(bsbs.len());
+        for bsb in bsbs {
+            let (map, len) = furo_of_bsb(bsb, lib)?;
+            per_bsb.push(map);
+            asap_lengths.push(len);
+        }
+        Ok(FuroTable {
+            per_bsb,
+            asap_lengths,
+        })
+    }
+
+    /// `FURO(o, B_k)` for block index `k` and type `o` (0 if the block
+    /// has no competing pair of that type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bsb` is out of range.
+    pub fn furo(&self, bsb: usize, op: OpKind) -> f64 {
+        self.per_bsb[bsb].get(&op).copied().unwrap_or(0.0)
+    }
+
+    /// The operation types with non-zero FURO in block `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bsb` is out of range.
+    pub fn kinds(&self, bsb: usize) -> impl Iterator<Item = (OpKind, f64)> + '_ {
+        self.per_bsb[bsb].iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// ASAP schedule length of block `k` — the paper's optimistic
+    /// controller state count `N` (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bsb` is out of range.
+    pub fn asap_length(&self, bsb: usize) -> u64 {
+        self.asap_lengths[bsb]
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.per_bsb.len()
+    }
+
+    /// Whether the table covers no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.per_bsb.is_empty()
+    }
+}
+
+/// FURO values and ASAP length of a single block.
+fn furo_of_bsb(bsb: &Bsb, lib: &HwLibrary) -> Result<(BTreeMap<OpKind, f64>, u64), AllocError> {
+    let dfg = &bsb.dfg;
+    let frames = Frames::compute(dfg, lib)?;
+    let succ = dfg
+        .transitive_successors()
+        .map_err(lycos_sched::SchedError::from)?;
+    let p_k = bsb.profile as f64;
+
+    // Group operation indices by type.
+    let mut by_kind: BTreeMap<OpKind, Vec<usize>> = BTreeMap::new();
+    for id in dfg.op_ids() {
+        by_kind.entry(dfg.op(id).kind).or_default().push(id.index());
+    }
+
+    let mut out = BTreeMap::new();
+    for (kind, ops) in by_kind {
+        if ops.len() < 2 {
+            continue;
+        }
+        let mut sum = 0.0f64;
+        for (a, &i) in ops.iter().enumerate() {
+            for &j in &ops[a + 1..] {
+                // Unordered pair (i, j); skip dependent pairs.
+                if succ[i].contains(j) || succ[j].contains(i) {
+                    continue;
+                }
+                let fi = frames.as_slice()[i];
+                let fj = frames.as_slice()[j];
+                let ovl = fi.overlap(fj) as f64;
+                if ovl == 0.0 {
+                    continue;
+                }
+                let term = ovl / (fi.mobility() as f64 * fj.mobility() as f64);
+                // Definition 2 sums ordered pairs: count (i,j) and (j,i).
+                sum += 2.0 * term;
+            }
+        }
+        if sum > 0.0 {
+            out.insert(kind, p_k * sum);
+        }
+    }
+    Ok((out, frames.asap_length()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{BsbArray, BsbId, BsbOrigin, Dfg, DfgBuilder};
+    use std::collections::BTreeSet;
+
+    fn bsb_from_dfg(dfg: Dfg, profile: u64) -> BsbArray {
+        BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "b0".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }],
+        )
+    }
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    #[test]
+    fn two_parallel_same_type_ops_with_unit_mobility() {
+        // Two independent adds, nothing else: both are critical (M=1),
+        // overlap 1 → each ordered pair contributes 1/(1·1); two ordered
+        // pairs → FURO = 2.
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Add);
+        let t = FuroTable::compute(&bsb_from_dfg(g, 1), &lib()).unwrap();
+        assert_eq!(t.furo(0, OpKind::Add), 2.0);
+    }
+
+    #[test]
+    fn profile_scales_linearly() {
+        let mk = |p| {
+            let mut g = Dfg::new();
+            g.add_op(OpKind::Add);
+            g.add_op(OpKind::Add);
+            FuroTable::compute(&bsb_from_dfg(g, p), &lib()).unwrap()
+        };
+        let f1 = mk(1).furo(0, OpKind::Add);
+        let f10 = mk(10).furo(0, OpKind::Add);
+        assert!((f10 - 10.0 * f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_ops_do_not_compete() {
+        // a → b chain of adds: FURO(add) = 0.
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        let t = FuroTable::compute(&bsb_from_dfg(g, 5), &lib()).unwrap();
+        assert_eq!(t.furo(0, OpKind::Add), 0.0);
+    }
+
+    #[test]
+    fn transitively_dependent_ops_do_not_compete() {
+        // add → mul → add: the two adds are transitively dependent.
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let m = g.add_op(OpKind::Mul);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, m).unwrap();
+        g.add_edge(m, b).unwrap();
+        let t = FuroTable::compute(&bsb_from_dfg(g, 1), &lib()).unwrap();
+        assert_eq!(t.furo(0, OpKind::Add), 0.0);
+    }
+
+    #[test]
+    fn single_op_of_type_has_zero_furo() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Mul);
+        g.add_op(OpKind::Add);
+        let t = FuroTable::compute(&bsb_from_dfg(g, 3), &lib()).unwrap();
+        assert_eq!(t.furo(0, OpKind::Mul), 0.0);
+        assert_eq!(t.furo(0, OpKind::Add), 0.0);
+    }
+
+    #[test]
+    fn mobility_dampens_competition() {
+        // Block A: two adds, both critical (M=1 each, overlap 1).
+        // Block B: two adds with slack (longer parallel mul-chain), so
+        // mobility > 1 → smaller FURO.
+        let mut a = Dfg::new();
+        a.add_op(OpKind::Add);
+        a.add_op(OpKind::Add);
+
+        let mut b = Dfg::new();
+        b.add_op(OpKind::Add);
+        b.add_op(OpKind::Add);
+        // mul chain lengthens the schedule, giving the adds mobility.
+        let m1 = b.add_op(OpKind::Mul);
+        let m2 = b.add_op(OpKind::Mul);
+        b.add_edge(m1, m2).unwrap();
+
+        let lib = lib();
+        let ta = FuroTable::compute(&bsb_from_dfg(a, 1), &lib).unwrap();
+        let tb = FuroTable::compute(&bsb_from_dfg(b, 1), &lib).unwrap();
+        assert!(
+            ta.furo(0, OpKind::Add) > tb.furo(0, OpKind::Add),
+            "critical adds compete harder than mobile adds"
+        );
+        assert!(tb.furo(0, OpKind::Add) > 0.0);
+    }
+
+    #[test]
+    fn many_parallel_consts_have_huge_furo() {
+        // The `man` phenomenon: lots of parallel constant loads.
+        let mut b = DfgBuilder::with_unshared_constants();
+        for i in 0..8 {
+            let c = b.load_const(format!("{i}"));
+            let m = b.binary_ops(OpKind::Mul, Some(c), None);
+            b.assign(format!("t{i}"), m);
+        }
+        let code = b.finish();
+        let t = FuroTable::compute(&bsb_from_dfg(code.dfg, 100), &lib()).unwrap();
+        let furo_const = t.furo(0, OpKind::Const);
+        assert!(
+            furo_const > 100.0,
+            "8 overlapping consts × profile 100: {furo_const}"
+        );
+    }
+
+    #[test]
+    fn asap_length_recorded_per_bsb() {
+        let mut g = Dfg::new();
+        let m = g.add_op(OpKind::Mul);
+        let a = g.add_op(OpKind::Add);
+        g.add_edge(m, a).unwrap();
+        let t = FuroTable::compute(&bsb_from_dfg(g, 1), &lib()).unwrap();
+        assert_eq!(t.asap_length(0), 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn kinds_lists_only_nonzero() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Mul);
+        let t = FuroTable::compute(&bsb_from_dfg(g, 1), &lib()).unwrap();
+        let kinds: Vec<OpKind> = t.kinds(0).map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec![OpKind::Add]);
+    }
+
+    #[test]
+    fn empty_app_is_empty_table() {
+        let t = FuroTable::compute(&BsbArray::from_bsbs("e", vec![]), &lib()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Multi-ASIC targets — the paper's second future-work extension (§6).
+//!
+//! The base flow targets one processor plus one ASIC. This extension
+//! generalises to several ASICs, each with its own area budget and its
+//! own data path. BSBs are assigned to ASICs by splitting the BSB array
+//! into contiguous segments balanced by dynamic operation count
+//! (contiguity keeps communication local: adjacent blocks stay on the
+//! same device), then Algorithm 1 runs independently per segment.
+
+use crate::{allocate, AllocConfig, AllocError, AllocOutcome, Restrictions};
+use lycos_hwlib::{Area, EcaModel, HwLibrary};
+use lycos_ir::{BsbArray, BsbId};
+use std::ops::Range;
+
+/// The per-ASIC area budgets for a multi-ASIC target.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsicPlan {
+    /// One area budget per ASIC (at least one).
+    pub budgets: Vec<Area>,
+}
+
+impl AsicPlan {
+    /// A plan with the given budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty — a target needs at least one ASIC.
+    pub fn new(budgets: Vec<Area>) -> Self {
+        assert!(
+            !budgets.is_empty(),
+            "multi-ASIC plan needs at least one ASIC"
+        );
+        AsicPlan { budgets }
+    }
+
+    /// Number of ASICs.
+    pub fn asic_count(&self) -> usize {
+        self.budgets.len()
+    }
+}
+
+/// Result of a multi-ASIC allocation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MultiAsicOutcome {
+    /// The BSB index ranges assigned to each ASIC (contiguous,
+    /// non-overlapping, covering the whole array).
+    pub segments: Vec<Range<usize>>,
+    /// Per-ASIC allocation outcomes (indices match `segments`).
+    pub outcomes: Vec<AllocOutcome>,
+}
+
+impl MultiAsicOutcome {
+    /// Total data-path area across all ASICs.
+    pub fn total_datapath_area(&self, lib: &HwLibrary) -> Area {
+        self.outcomes.iter().map(|o| o.allocation.area(lib)).sum()
+    }
+
+    /// All pseudo-hardware blocks as `(asic, bsb)` pairs, with BSB ids
+    /// in the *original* array's numbering.
+    pub fn hw_bsbs(&self) -> Vec<(usize, BsbId)> {
+        let mut out = Vec::new();
+        for (asic, (seg, o)) in self.segments.iter().zip(&self.outcomes).enumerate() {
+            for (local, &h) in o.in_hw.iter().enumerate() {
+                if h {
+                    out.push((asic, BsbId((seg.start + local) as u32)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The ASIC a BSB was assigned to.
+    pub fn asic_of(&self, bsb: BsbId) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|seg| seg.contains(&bsb.index()))
+    }
+}
+
+/// Splits `bsbs` into `k` contiguous segments with approximately equal
+/// dynamic operation counts.
+fn balanced_segments(bsbs: &BsbArray, k: usize) -> Vec<Range<usize>> {
+    let n = bsbs.len();
+    if k == 1 {
+        // One segment spanning the whole array (not a range of ranges).
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..n];
+    }
+    let total: u64 = bsbs.iter().map(|b| b.dynamic_ops().max(1)).sum();
+    let per_segment = total.div_ceil(k as u64).max(1);
+    let mut segments: Vec<Range<usize>> = Vec::with_capacity(k);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, b) in bsbs.iter().enumerate() {
+        if segments.len() == k - 1 {
+            break;
+        }
+        acc += b.dynamic_ops().max(1);
+        let open_segments = (k - 1) - segments.len(); // still to close
+        let blocks_after = n - (i + 1);
+        // Close when full, or when the remaining blocks are only just
+        // enough to keep the remaining segments non-empty.
+        if acc >= per_segment || blocks_after == open_segments - 1 {
+            segments.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    segments.push(start..n);
+    while segments.len() < k {
+        segments.push(n..n);
+    }
+    segments
+}
+
+/// Allocates data paths for a multi-ASIC target.
+///
+/// # Errors
+///
+/// Propagates [`AllocError`] from any per-segment run.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::{allocate_multi_asic, AllocConfig, AsicPlan};
+/// use lycos_hwlib::{Area, EcaModel, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind};
+///
+/// let mut blocks = Vec::new();
+/// for i in 0..4 {
+///     let mut b = DfgBuilder::new();
+///     let t = b.binary(OpKind::Mul, "x".into(), "y".into());
+///     b.assign("t", t);
+///     blocks.push(CdfgNode::block(format!("b{i}"), b.finish()));
+/// }
+/// let cdfg = Cdfg::new("app", CdfgNode::seq(blocks));
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+///
+/// let plan = AsicPlan::new(vec![Area::new(4000), Area::new(4000)]);
+/// let out = allocate_multi_asic(&bsbs, &HwLibrary::standard(),
+///                               &EcaModel::standard(), &plan,
+///                               &AllocConfig::default())?;
+/// assert_eq!(out.segments.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn allocate_multi_asic(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    eca: &EcaModel,
+    plan: &AsicPlan,
+    config: &AllocConfig,
+) -> Result<MultiAsicOutcome, AllocError> {
+    let segments = balanced_segments(bsbs, plan.asic_count());
+    let mut outcomes = Vec::with_capacity(segments.len());
+    for (seg, &budget) in segments.iter().zip(&plan.budgets) {
+        let sub = BsbArray::from_bsbs(
+            format!("{}:{}..{}", bsbs.app_name(), seg.start, seg.end),
+            bsbs.as_slice()[seg.clone()].to_vec(),
+        );
+        let restrictions = Restrictions::from_asap(&sub, lib)?;
+        outcomes.push(allocate(&sub, lib, eca, budget, &restrictions, config)?);
+    }
+    Ok(MultiAsicOutcome { segments, outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn bsb(i: u32, kind: OpKind, n: usize, profile: u64) -> Bsb {
+        let mut dfg = Dfg::new();
+        for _ in 0..n {
+            dfg.add_op(kind);
+        }
+        Bsb {
+            id: BsbId(i),
+            name: format!("b{i}"),
+            dfg,
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+            profile,
+            origin: BsbOrigin::Body,
+        }
+    }
+
+    fn app() -> BsbArray {
+        BsbArray::from_bsbs(
+            "m",
+            vec![
+                bsb(0, OpKind::Add, 3, 10),
+                bsb(1, OpKind::Mul, 2, 10),
+                bsb(2, OpKind::Add, 2, 10),
+                bsb(3, OpKind::Sub, 2, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn segments_cover_and_do_not_overlap() {
+        for k in 1..=4 {
+            let segs = balanced_segments(&app(), k);
+            assert_eq!(segs.len(), k);
+            let mut covered = 0;
+            for (i, s) in segs.iter().enumerate() {
+                assert_eq!(s.start, covered, "segment {i} contiguous");
+                covered = s.end;
+            }
+            assert_eq!(covered, 4, "all blocks covered");
+        }
+    }
+
+    #[test]
+    fn single_asic_equals_base_algorithm() {
+        let bsbs = app();
+        let lib = HwLibrary::standard();
+        let eca = EcaModel::standard();
+        let plan = AsicPlan::new(vec![Area::new(10_000)]);
+        let multi = allocate_multi_asic(&bsbs, &lib, &eca, &plan, &AllocConfig::default()).unwrap();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let single = allocate(
+            &bsbs,
+            &lib,
+            &eca,
+            Area::new(10_000),
+            &restr,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(multi.outcomes.len(), 1);
+        assert_eq!(multi.outcomes[0].allocation, single.allocation);
+    }
+
+    #[test]
+    fn two_asics_split_the_blocks() {
+        let bsbs = app();
+        let lib = HwLibrary::standard();
+        let plan = AsicPlan::new(vec![Area::new(6_000), Area::new(6_000)]);
+        let out = allocate_multi_asic(
+            &bsbs,
+            &lib,
+            &EcaModel::standard(),
+            &plan,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.segments.len(), 2);
+        assert!(out.total_datapath_area(&lib) > Area::ZERO);
+        // Every hardware block maps back into the original numbering.
+        for (asic, id) in out.hw_bsbs() {
+            assert_eq!(out.asic_of(id), Some(asic));
+            assert!(id.index() < bsbs.len());
+        }
+    }
+
+    #[test]
+    fn more_asics_than_blocks_leaves_empty_segments() {
+        let bsbs = BsbArray::from_bsbs("s", vec![bsb(0, OpKind::Add, 2, 5)]);
+        let plan = AsicPlan::new(vec![Area::new(1_000); 3]);
+        let out = allocate_multi_asic(
+            &bsbs,
+            &HwLibrary::standard(),
+            &EcaModel::standard(),
+            &plan,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.segments.len(), 3);
+        let non_empty: usize = out.segments.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(non_empty, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ASIC")]
+    fn empty_plan_panics() {
+        AsicPlan::new(vec![]);
+    }
+
+    #[test]
+    fn asic_of_unassigned_block() {
+        let bsbs = app();
+        let out = allocate_multi_asic(
+            &bsbs,
+            &HwLibrary::standard(),
+            &EcaModel::standard(),
+            &AsicPlan::new(vec![Area::new(1_000), Area::new(1_000)]),
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.asic_of(BsbId(99)), None);
+    }
+}

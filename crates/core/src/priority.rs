@@ -1,0 +1,262 @@
+//! Dynamic urgency and BSB prioritisation (Definitions 3 and 4).
+//!
+//! Every block is annotated, per operation type, with an urgency
+//! `U(o, Bk)`: the raw FURO while the block is still in software, and
+//! FURO dampened by the number of already-allocated capable units once
+//! the block sits in hardware:
+//!
+//! ```text
+//! U(o, Bk) = FURO(o, Bk)                    if Bk in software
+//! U(o, Bk) = FURO(o, Bk) / (Alloc(o) + 1)   if Bk in hardware
+//! ```
+//!
+//! Blocks are ordered by their *maximum* urgency over all operation
+//! types (Definition 4). As Example 2 shows, a block already in hardware
+//! loses urgency as units are added, letting software blocks overtake it
+//! — the mechanism that balances "few large speed-ups" against "many
+//! small speed-ups" (Figure 3).
+
+use crate::{FuroTable, RMap};
+use lycos_hwlib::HwLibrary;
+use lycos_ir::{Bsb, BsbArray, OpKind};
+
+/// `U(o, B_k)` — Definition 3.
+///
+/// `in_hw` tells whether `B_k` currently sits in hardware;
+/// `allocation` is the allocation built so far.
+pub fn urgency(
+    furo: &FuroTable,
+    bsb_index: usize,
+    op: OpKind,
+    in_hw: bool,
+    allocation: &RMap,
+    lib: &HwLibrary,
+) -> f64 {
+    let f = furo.furo(bsb_index, op);
+    if in_hw {
+        f / (allocation.units_for_op(op, lib) as f64 + 1.0)
+    } else {
+        f
+    }
+}
+
+/// The maximum urgency of a block over all operation types present in
+/// it, together with the type attaining it (`None` for an empty block
+/// or a block whose every type has zero urgency — nothing can compete).
+pub fn max_urgency(
+    furo: &FuroTable,
+    bsb: &Bsb,
+    bsb_index: usize,
+    in_hw: bool,
+    allocation: &RMap,
+    lib: &HwLibrary,
+) -> (f64, Option<OpKind>) {
+    let mut best = 0.0f64;
+    let mut best_kind = None;
+    for kind in bsb.dfg.kinds_present() {
+        let u = urgency(furo, bsb_index, kind, in_hw, allocation, lib);
+        if u > best {
+            best = u;
+            best_kind = Some(kind);
+        }
+    }
+    (best, best_kind)
+}
+
+/// Orders the block indices by decreasing maximum urgency
+/// (Definition 4). Ties break deterministically: higher profile count
+/// first, then lower index.
+pub fn prioritize(
+    bsbs: &BsbArray,
+    furo: &FuroTable,
+    in_hw: &[bool],
+    allocation: &RMap,
+    lib: &HwLibrary,
+) -> Vec<usize> {
+    let mut keyed: Vec<(usize, f64)> = (0..bsbs.len())
+        .map(|k| {
+            let (u, _) = max_urgency(furo, &bsbs[k], k, in_hw[k], allocation, lib);
+            (k, u)
+        })
+        .collect();
+    keyed.sort_by(|&(ka, ua), &(kb, ub)| {
+        ub.partial_cmp(&ua)
+            .expect("urgencies are finite")
+            .then_with(|| bsbs[kb].profile.cmp(&bsbs[ka].profile))
+            .then_with(|| ka.cmp(&kb))
+    });
+    keyed.into_iter().map(|(k, _)| k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{BsbArray, BsbId, BsbOrigin, Dfg};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    /// An array of blocks, each with `n` independent ops of one kind and
+    /// a profile count.
+    fn array_of(blocks: &[(OpKind, usize, u64)]) -> BsbArray {
+        BsbArray::from_bsbs(
+            "t",
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, &(kind, n, profile))| {
+                    let mut dfg = Dfg::new();
+                    for _ in 0..n {
+                        dfg.add_op(kind);
+                    }
+                    Bsb {
+                        id: BsbId(i as u32),
+                        name: format!("b{i}"),
+                        dfg,
+                        reads: BTreeSet::new(),
+                        writes: BTreeSet::new(),
+                        profile,
+                        origin: BsbOrigin::Body,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn software_block_uses_raw_furo() {
+        let bsbs = array_of(&[(OpKind::Add, 2, 3)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let u = urgency(&furo, 0, OpKind::Add, false, &RMap::new(), &lib);
+        assert_eq!(u, furo.furo(0, OpKind::Add));
+        assert_eq!(u, 6.0, "2 ordered pairs × profile 3");
+    }
+
+    #[test]
+    fn hardware_block_is_dampened_by_allocation() {
+        let bsbs = array_of(&[(OpKind::Add, 2, 3)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+
+        let empty = RMap::new();
+        let one: RMap = [(adder, 1)].into_iter().collect();
+        let two: RMap = [(adder, 2)].into_iter().collect();
+
+        let u0 = urgency(&furo, 0, OpKind::Add, true, &empty, &lib);
+        let u1 = urgency(&furo, 0, OpKind::Add, true, &one, &lib);
+        let u2 = urgency(&furo, 0, OpKind::Add, true, &two, &lib);
+        assert_eq!(u0, 6.0, "no units yet: /(0+1)");
+        assert_eq!(u1, 3.0, "/(1+1)");
+        assert_eq!(u2, 2.0, "/(2+1)");
+    }
+
+    #[test]
+    fn example2_software_block_overtakes() {
+        // Two blocks with only one op type. B1 slightly more urgent.
+        let bsbs = array_of(&[(OpKind::Add, 2, 4), (OpKind::Add, 2, 3)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+
+        // Initially B1 ahead of B2.
+        let order = prioritize(&bsbs, &furo, &[false, false], &RMap::new(), &lib);
+        assert_eq!(order, vec![0, 1]);
+
+        // B1 moves to hardware, one adder allocated: U(B1) = 8/2 = 4,
+        // U(B2) = 6 → B2 overtakes.
+        let one: RMap = [(adder, 1)].into_iter().collect();
+        let order = prioritize(&bsbs, &furo, &[true, false], &one, &lib);
+        assert_eq!(order, vec![1, 0], "software block gets priority");
+    }
+
+    #[test]
+    fn max_urgency_picks_dominating_kind() {
+        // Block with 2 parallel muls and 2 parallel adds, mul FURO wins
+        // after mul is weighted the same; both present.
+        let mut dfg = Dfg::new();
+        dfg.add_op(OpKind::Mul);
+        dfg.add_op(OpKind::Mul);
+        dfg.add_op(OpKind::Add);
+        dfg.add_op(OpKind::Add);
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "b0".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile: 1,
+                origin: BsbOrigin::Body,
+            }],
+        );
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let (u, kind) = max_urgency(&furo, &bsbs[0], 0, false, &RMap::new(), &lib);
+        assert!(u > 0.0);
+        // Both kinds compete; the mul pair has full-schedule mobility
+        // overlap; whichever wins must be one of the two.
+        assert!(matches!(kind, Some(OpKind::Mul) | Some(OpKind::Add)));
+    }
+
+    #[test]
+    fn empty_block_has_no_urgent_kind() {
+        let bsbs = array_of(&[(OpKind::Add, 0, 1)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let (u, kind) = max_urgency(&furo, &bsbs[0], 0, false, &RMap::new(), &lib);
+        assert_eq!(u, 0.0);
+        assert_eq!(kind, None);
+    }
+
+    #[test]
+    fn serial_block_has_no_urgent_kind() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_op(OpKind::Add);
+        let b = dfg.add_op(OpKind::Add);
+        dfg.add_edge(a, b).unwrap();
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "chain".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile: 9,
+                origin: BsbOrigin::Body,
+            }],
+        );
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let (u, kind) = max_urgency(&furo, &bsbs[0], 0, false, &RMap::new(), &lib);
+        assert_eq!((u, kind), (0.0, None), "no parallelism, no urgency");
+    }
+
+    #[test]
+    fn ties_break_by_profile_then_index() {
+        // Three blocks with zero urgency: order by profile desc, index asc.
+        let bsbs = array_of(&[
+            (OpKind::Add, 1, 5),
+            (OpKind::Add, 1, 9),
+            (OpKind::Add, 1, 5),
+        ]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let order = prioritize(&bsbs, &furo, &[false; 3], &RMap::new(), &lib);
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn profile_dominates_priority_between_blocks() {
+        let bsbs = array_of(&[(OpKind::Add, 2, 1), (OpKind::Add, 2, 100)]);
+        let lib = lib();
+        let furo = FuroTable::compute(&bsbs, &lib).unwrap();
+        let order = prioritize(&bsbs, &furo, &[false, false], &RMap::new(), &lib);
+        assert_eq!(order[0], 1, "hot block first");
+    }
+}

@@ -1,0 +1,270 @@
+//! Allocation restrictions (§4.3).
+//!
+//! The allocation algorithm is greedy; without a cap it could keep
+//! allocating units of a kind whose operations never actually run in
+//! parallel. The ASAP schedule bounds the useful instance count: a unit
+//! kind can never have more instances busy than the maximum number of
+//! simultaneously active operations it executes in any block's ASAP
+//! schedule. User-supplied caps tighten (never loosen) the ASAP caps —
+//! that is exactly the paper's manual design iteration (§5: "the number
+//! of allocated constant generators was reduced … to one").
+
+use crate::AllocError;
+use lycos_hwlib::{FuId, HwLibrary};
+use lycos_ir::BsbArray;
+use lycos_sched::Frames;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-unit-kind allocation caps.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::Restrictions;
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind};
+///
+/// let mut b = DfgBuilder::new();
+/// for i in 0..3 {
+///     let t = b.binary(OpKind::Add, format!("a{i}").as_str().into(),
+///                      format!("b{i}").as_str().into());
+///     b.assign(format!("t{i}"), t);
+/// }
+/// let cdfg = Cdfg::new("app", CdfgNode::block("b0", b.finish()));
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+///
+/// let r = Restrictions::from_asap(&bsbs, &lib)?;
+/// let adder = lib.fu_for(OpKind::Add).unwrap();
+/// assert_eq!(r.cap(adder), 3, "three parallel adds at most");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Restrictions {
+    caps: BTreeMap<FuId, u32>,
+}
+
+impl Restrictions {
+    /// No restrictions at all — every cap is zero, nothing can be
+    /// allocated. Usually combined with [`Restrictions::from_asap`];
+    /// exposed for tests and custom flows.
+    pub fn new() -> Self {
+        Restrictions::default()
+    }
+
+    /// Derives caps from the ASAP schedules of all blocks: for each unit
+    /// kind, the maximum over blocks of the number of simultaneously
+    /// active operations the kind executes.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::Sched`] if a block's DFG cannot be scheduled.
+    pub fn from_asap(bsbs: &BsbArray, lib: &HwLibrary) -> Result<Self, AllocError> {
+        let mut caps: BTreeMap<FuId, u32> = BTreeMap::new();
+        for bsb in bsbs {
+            let frames = Frames::compute(&bsb.dfg, lib)?;
+            let len = frames.asap_length() as usize;
+            if len == 0 {
+                continue;
+            }
+            // Per unit kind, an activity histogram over ASAP steps.
+            let mut active: BTreeMap<FuId, Vec<u32>> = BTreeMap::new();
+            for id in bsb.dfg.op_ids() {
+                let kind = bsb.dfg.op(id).kind;
+                let fu = lib
+                    .fu_for(kind)
+                    .map_err(|_| lycos_sched::SchedError::NoUnitFor { op: kind })?;
+                let lat = lib.fu(fu).latency as u64;
+                let start = frames.frame(id).asap;
+                let hist = active.entry(fu).or_insert_with(|| vec![0; len]);
+                for t in start..start + lat {
+                    hist[(t - 1) as usize] += 1;
+                }
+            }
+            for (fu, hist) in active {
+                let peak = hist.into_iter().max().unwrap_or(0);
+                let cap = caps.entry(fu).or_insert(0);
+                *cap = (*cap).max(peak);
+            }
+        }
+        Ok(Restrictions { caps })
+    }
+
+    /// The cap for `fu` (0 if the application never uses the kind).
+    pub fn cap(&self, fu: FuId) -> u32 {
+        self.caps.get(&fu).copied().unwrap_or(0)
+    }
+
+    /// Tightens the cap for `fu` to `min(current, cap)`, returning
+    /// `self` for chaining. Raising a cap above the ASAP bound is never
+    /// useful (§5.1: "It is never necessary to increase the number of
+    /// allocated resources"), so this only lowers.
+    pub fn tighten(&mut self, fu: FuId, cap: u32) -> &mut Self {
+        let e = self.caps.entry(fu).or_insert(0);
+        *e = (*e).min(cap);
+        self
+    }
+
+    /// Iterates over `(kind, cap)` entries with non-zero caps.
+    pub fn iter(&self) -> impl Iterator<Item = (FuId, u32)> + '_ {
+        self.caps
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&fu, &c)| (fu, c))
+    }
+
+    /// Sum of all caps — an upper bound on the total units the
+    /// allocation algorithm can ever place (termination argument).
+    pub fn total_cap(&self) -> u64 {
+        self.caps.values().map(|&c| c as u64).sum()
+    }
+
+    /// Renders the caps with unit names from `lib`.
+    pub fn display_with(&self, lib: &HwLibrary) -> String {
+        let parts: Vec<String> = self
+            .iter()
+            .map(|(fu, c)| format!("{}≤{}", lib.fu(fu).name, c))
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Display for Restrictions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.iter().map(|(fu, c)| format!("{fu}≤{c}")).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn arr(dfgs: Vec<Dfg>) -> BsbArray {
+        BsbArray::from_bsbs(
+            "t",
+            dfgs.into_iter()
+                .enumerate()
+                .map(|(i, dfg)| Bsb {
+                    id: BsbId(i as u32),
+                    name: format!("b{i}"),
+                    dfg,
+                    reads: BTreeSet::new(),
+                    writes: BTreeSet::new(),
+                    profile: 1,
+                    origin: BsbOrigin::Body,
+                })
+                .collect(),
+        )
+    }
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    #[test]
+    fn chain_caps_at_one() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        let r = Restrictions::from_asap(&arr(vec![g]), &lib()).unwrap();
+        assert_eq!(r.cap(lib().fu_for(OpKind::Add).unwrap()), 1);
+    }
+
+    #[test]
+    fn parallel_ops_raise_cap() {
+        let mut g = Dfg::new();
+        for _ in 0..4 {
+            g.add_op(OpKind::Mul);
+        }
+        let r = Restrictions::from_asap(&arr(vec![g]), &lib()).unwrap();
+        assert_eq!(r.cap(lib().fu_for(OpKind::Mul).unwrap()), 4);
+    }
+
+    #[test]
+    fn caps_take_max_over_blocks() {
+        let mk = |n: usize| {
+            let mut g = Dfg::new();
+            for _ in 0..n {
+                g.add_op(OpKind::Add);
+            }
+            g
+        };
+        let r = Restrictions::from_asap(&arr(vec![mk(2), mk(5), mk(1)]), &lib()).unwrap();
+        assert_eq!(r.cap(lib().fu_for(OpKind::Add).unwrap()), 5);
+    }
+
+    #[test]
+    fn shared_unit_kinds_accumulate_activity() {
+        // Sub and Neg both run on the subtractor; two parallel ops of
+        // different kinds still need two subtractors.
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Sub);
+        g.add_op(OpKind::Neg);
+        let r = Restrictions::from_asap(&arr(vec![g]), &lib()).unwrap();
+        assert_eq!(r.cap(lib().fu_for(OpKind::Sub).unwrap()), 2);
+    }
+
+    #[test]
+    fn unused_kinds_cap_at_zero() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        let r = Restrictions::from_asap(&arr(vec![g]), &lib()).unwrap();
+        assert_eq!(r.cap(lib().fu_for(OpKind::Div).unwrap()), 0);
+    }
+
+    #[test]
+    fn tighten_only_lowers() {
+        let mut g = Dfg::new();
+        for _ in 0..4 {
+            g.add_op(OpKind::Const);
+        }
+        let lib = lib();
+        let cg = lib.fu_for(OpKind::Const).unwrap();
+        let mut r = Restrictions::from_asap(&arr(vec![g]), &lib).unwrap();
+        assert_eq!(r.cap(cg), 4);
+        r.tighten(cg, 1);
+        assert_eq!(r.cap(cg), 1, "manual design iteration");
+        r.tighten(cg, 10);
+        assert_eq!(r.cap(cg), 1, "tighten never raises");
+    }
+
+    #[test]
+    fn multi_cycle_activity_counts() {
+        // Two muls where the second starts while the first is still
+        // running (via an add delaying it by one step).
+        let mut g = Dfg::new();
+        let _m1 = g.add_op(OpKind::Mul);
+        let a = g.add_op(OpKind::Add);
+        let m2 = g.add_op(OpKind::Mul);
+        g.add_edge(a, m2).unwrap();
+        let r = Restrictions::from_asap(&arr(vec![g]), &lib()).unwrap();
+        assert_eq!(r.cap(lib().fu_for(OpKind::Mul).unwrap()), 2);
+    }
+
+    #[test]
+    fn total_cap_and_display() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Mul);
+        let lib = lib();
+        let r = Restrictions::from_asap(&arr(vec![g]), &lib).unwrap();
+        assert_eq!(r.total_cap(), 3);
+        let text = r.display_with(&lib);
+        assert!(text.contains("adder≤2"));
+        assert!(text.contains("multiplier≤1"));
+        assert!(format!("{r}").contains("≤2"));
+    }
+
+    #[test]
+    fn empty_app_has_no_caps() {
+        let r = Restrictions::from_asap(&arr(vec![]), &lib()).unwrap();
+        assert_eq!(r.total_cap(), 0);
+        assert_eq!(r.iter().count(), 0);
+    }
+}

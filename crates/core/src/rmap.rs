@@ -1,0 +1,351 @@
+//! Resource maps — Definition 1 of the paper.
+//!
+//! An `RMap` maps resources (functional-unit kinds) to instance counts.
+//! Two operators are defined:
+//!
+//! * `∪` ([`RMap::union`]) — pointwise **sum**. The paper's Example 1:
+//!   `{Adder→2, Mult→1} ∪ {Sub→1, Mult→2} = {Adder→2, Mult→3, Sub→1}`.
+//! * `\` ([`RMap::difference`]) — pointwise saturating subtraction,
+//!   dropping zero entries: `{Adder→2, Mult→1} \ {Sub→1, Mult→2} =
+//!   {Adder→2}`.
+//!
+//! Zero counts are never stored, so two maps are equal iff they describe
+//! the same multiset of units.
+
+use lycos_hwlib::{Area, FuId, HwLibrary};
+use lycos_ir::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A mapping from functional-unit kinds to instance counts — both the
+/// data-path allocation under construction and the required-resource sets
+/// handled by the allocation algorithm.
+///
+/// # Examples
+///
+/// Example 1 of the paper (with ids standing in for adder/mult/sub):
+///
+/// ```
+/// use lycos_core::RMap;
+/// use lycos_hwlib::FuId;
+///
+/// let (adder, mult, sub) = (FuId(0), FuId(1), FuId(2));
+/// let a1: RMap = [(adder, 2), (mult, 1)].into_iter().collect();
+/// let a2: RMap = [(sub, 1), (mult, 2)].into_iter().collect();
+///
+/// let union = a1.union(&a2);
+/// assert_eq!(union.count(adder), 2);
+/// assert_eq!(union.count(mult), 3);
+/// assert_eq!(union.count(sub), 1);
+///
+/// assert_eq!(a1.difference(&a2), [(adder, 2)].into_iter().collect());
+/// assert_eq!(
+///     a2.difference(&a1),
+///     [(sub, 1), (mult, 1)].into_iter().collect()
+/// );
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RMap {
+    counts: BTreeMap<FuId, u32>,
+}
+
+impl RMap {
+    /// The empty map (`{}` in the paper).
+    pub fn new() -> Self {
+        RMap::default()
+    }
+
+    /// Number of instances of `fu` (0 if absent).
+    pub fn count(&self, fu: FuId) -> u32 {
+        self.counts.get(&fu).copied().unwrap_or(0)
+    }
+
+    /// Sets the instance count of `fu`; a zero count removes the entry.
+    pub fn set(&mut self, fu: FuId, count: u32) {
+        if count == 0 {
+            self.counts.remove(&fu);
+        } else {
+            self.counts.insert(fu, count);
+        }
+    }
+
+    /// Adds one instance of `fu` (the paper's `Allocation(R) + 1` update).
+    pub fn increment(&mut self, fu: FuId) {
+        *self.counts.entry(fu).or_insert(0) += 1;
+    }
+
+    /// Removes one instance of `fu`, if present; returns whether a unit
+    /// was removed (used by design iteration, §5).
+    pub fn decrement(&mut self, fu: FuId) -> bool {
+        match self.counts.get_mut(&fu) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(&fu);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `self ∪ other`: pointwise sum (Definition 1 / Example 1).
+    #[must_use]
+    pub fn union(&self, other: &RMap) -> RMap {
+        let mut out = self.clone();
+        for (&fu, &c) in &other.counts {
+            *out.counts.entry(fu).or_insert(0) += c;
+        }
+        out
+    }
+
+    /// `self \ other`: pointwise saturating subtraction, dropping zeros.
+    #[must_use]
+    pub fn difference(&self, other: &RMap) -> RMap {
+        let mut out = RMap::new();
+        for (&fu, &c) in &self.counts {
+            let rest = c.saturating_sub(other.count(fu));
+            if rest > 0 {
+                out.counts.insert(fu, rest);
+            }
+        }
+        out
+    }
+
+    /// Whether the map holds no units.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of distinct unit kinds present.
+    pub fn kinds(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of unit instances.
+    pub fn total_units(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+
+    /// Iterates over `(kind, count)` entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuId, u32)> + '_ {
+        self.counts.iter().map(|(&fu, &c)| (fu, c))
+    }
+
+    /// Whether `self` has at least the units of `other` (pointwise ≥).
+    pub fn covers(&self, other: &RMap) -> bool {
+        other.counts.iter().all(|(&fu, &c)| self.count(fu) >= c)
+    }
+
+    /// Total data-path area of the mapped units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a unit id is not from `lib`.
+    pub fn area(&self, lib: &HwLibrary) -> Area {
+        self.counts
+            .iter()
+            .map(|(&fu, &c)| lib.area_of(fu) * c as u64)
+            .sum()
+    }
+
+    /// Number of allocated units able to execute operations of type `op`
+    /// (`Alloc(o)` in Definition 3). Counts *all* unit kinds whose spec
+    /// executes `op`, so alternative units from the module-selection
+    /// extension are included.
+    pub fn units_for_op(&self, op: OpKind, lib: &HwLibrary) -> u32 {
+        self.counts
+            .iter()
+            .filter(|&(&fu, _)| lib.fu(fu).executes(op))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Renders the map with unit names from `lib` (for reports).
+    pub fn display_with(&self, lib: &HwLibrary) -> String {
+        if self.counts.is_empty() {
+            return "{}".to_owned();
+        }
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(&fu, &c)| format!("{}×{}", c, lib.fu(fu).name))
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl FromIterator<(FuId, u32)> for RMap {
+    fn from_iter<I: IntoIterator<Item = (FuId, u32)>>(iter: I) -> Self {
+        let mut m = RMap::new();
+        for (fu, c) in iter {
+            if c > 0 {
+                *m.counts.entry(fu).or_insert(0) += c;
+            }
+        }
+        m
+    }
+}
+
+impl Extend<(FuId, u32)> for RMap {
+    fn extend<I: IntoIterator<Item = (FuId, u32)>>(&mut self, iter: I) {
+        for (fu, c) in iter {
+            if c > 0 {
+                *self.counts.entry(fu).or_insert(0) += c;
+            }
+        }
+    }
+}
+
+impl fmt::Display for RMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return f.write_str("{}");
+        }
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(&fu, &c)| format!("{fu}→{c}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: FuId = FuId(0);
+    const M: FuId = FuId(1);
+    const S: FuId = FuId(2);
+
+    fn a1() -> RMap {
+        [(A, 2), (M, 1)].into_iter().collect()
+    }
+
+    fn a2() -> RMap {
+        [(S, 1), (M, 2)].into_iter().collect()
+    }
+
+    #[test]
+    fn example1_union() {
+        let u = a1().union(&a2());
+        assert_eq!(u.count(A), 2);
+        assert_eq!(u.count(M), 3);
+        assert_eq!(u.count(S), 1);
+        assert_eq!(u.total_units(), 6);
+    }
+
+    #[test]
+    fn example1_differences() {
+        assert_eq!(a1().difference(&a2()), [(A, 2)].into_iter().collect());
+        assert_eq!(
+            a2().difference(&a1()),
+            [(S, 1), (M, 1)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn example1_indexing_update() {
+        // Allocation1(Adder) + 1 = {Adder→3, Multiplier→1}
+        let mut m = a1();
+        m.increment(A);
+        assert_eq!(m, [(A, 3), (M, 1)].into_iter().collect());
+    }
+
+    #[test]
+    fn zero_counts_are_never_stored() {
+        let mut m = RMap::new();
+        m.set(A, 0);
+        assert!(m.is_empty());
+        m.set(A, 2);
+        m.set(A, 0);
+        assert!(m.is_empty());
+        let from: RMap = [(A, 0), (M, 1)].into_iter().collect();
+        assert_eq!(from.kinds(), 1);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        assert_eq!(a1().union(&RMap::new()), a1());
+        assert_eq!(RMap::new().union(&a1()), a1());
+    }
+
+    #[test]
+    fn difference_with_self_is_empty() {
+        assert!(a1().difference(&a1()).is_empty());
+    }
+
+    #[test]
+    fn difference_saturates() {
+        let small: RMap = [(A, 1)].into_iter().collect();
+        let big: RMap = [(A, 5)].into_iter().collect();
+        assert!(small.difference(&big).is_empty());
+    }
+
+    #[test]
+    fn union_is_commutative_and_associative() {
+        let c: RMap = [(A, 1), (S, 4)].into_iter().collect();
+        assert_eq!(a1().union(&a2()), a2().union(&a1()));
+        assert_eq!(a1().union(&a2()).union(&c), a1().union(&a2().union(&c)));
+    }
+
+    #[test]
+    fn covers_is_pointwise_ge() {
+        assert!(a1().union(&a2()).covers(&a1()));
+        assert!(!a1().covers(&a2()));
+        assert!(a1().covers(&RMap::new()));
+    }
+
+    #[test]
+    fn decrement_removes_and_reports() {
+        let mut m: RMap = [(A, 2)].into_iter().collect();
+        assert!(m.decrement(A));
+        assert_eq!(m.count(A), 1);
+        assert!(m.decrement(A));
+        assert_eq!(m.count(A), 0);
+        assert!(!m.decrement(A));
+    }
+
+    #[test]
+    fn area_uses_library() {
+        let lib = HwLibrary::standard();
+        let adder = lib.by_name("adder").unwrap();
+        let mult = lib.by_name("multiplier").unwrap();
+        let m: RMap = [(adder, 2), (mult, 1)].into_iter().collect();
+        assert_eq!(m.area(&lib), Area::new(2 * 200 + 2000));
+        assert_eq!(RMap::new().area(&lib), Area::ZERO);
+    }
+
+    #[test]
+    fn units_for_op_counts_all_capable_kinds() {
+        let lib = HwLibrary::extended();
+        let adder = lib.by_name("adder").unwrap();
+        let cla = lib.by_name("cla-adder").unwrap();
+        let m: RMap = [(adder, 1), (cla, 2)].into_iter().collect();
+        assert_eq!(m.units_for_op(OpKind::Add, &lib), 3);
+        assert_eq!(m.units_for_op(OpKind::Mul, &lib), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", RMap::new()), "{}");
+        let m: RMap = [(A, 2)].into_iter().collect();
+        assert_eq!(format!("{m}"), "{fu0→2}");
+        let lib = HwLibrary::standard();
+        let adder = lib.by_name("adder").unwrap();
+        let named: RMap = [(adder, 2)].into_iter().collect();
+        assert_eq!(named.display_with(&lib), "{2×adder}");
+        assert_eq!(RMap::new().display_with(&lib), "{}");
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut m = a1();
+        m.extend([(A, 1), (S, 2)]);
+        assert_eq!(m.count(A), 3);
+        assert_eq!(m.count(S), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Module selection — the paper's first future-work extension (§6).
+//!
+//! The base algorithm assumes one fixed unit kind per operation type.
+//! When the library offers alternatives (a ripple-carry vs a
+//! carry-lookahead adder, a serial vs an array multiplier),
+//! [`select_modules`] decides which alternative becomes the default
+//! before allocation runs. Selection is per operation type, driven by a
+//! [`SelectionStrategy`].
+
+use crate::AllocError;
+use lycos_hwlib::HwLibrary;
+use lycos_ir::BsbArray;
+use serde::{Deserialize, Serialize};
+
+/// How to choose among alternative units for one operation type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Minimise latency; break ties by area. Maximises per-block
+    /// speed-up at the cost of data-path area.
+    Fastest,
+    /// Minimise area; break ties by latency. Leaves the most room for
+    /// controllers (the "many small speed-ups" end of Figure 3).
+    Smallest,
+    /// Minimise the area–delay product — a balanced middle ground.
+    AreaDelayProduct,
+}
+
+/// Returns a copy of `lib` whose default unit for every operation type
+/// appearing in `bsbs` is chosen by `strategy` from the library's
+/// candidates.
+///
+/// Operation types not used by the application keep their defaults.
+///
+/// # Errors
+///
+/// [`AllocError::Hw`] if some used operation type has no candidate unit
+/// at all.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::{select_modules, SelectionStrategy};
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind};
+///
+/// let mut b = DfgBuilder::new();
+/// let s = b.binary(OpKind::Add, "x".into(), "y".into());
+/// b.assign("s", s);
+/// let cdfg = Cdfg::new("sum", CdfgNode::block("b0", b.finish()));
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+///
+/// let lib = select_modules(&HwLibrary::extended(), &bsbs,
+///                          SelectionStrategy::Smallest)?;
+/// let adder = lib.fu_for(OpKind::Add).unwrap();
+/// assert_eq!(lib.fu(adder).name, "ripple-adder", "cheapest adder wins");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn select_modules(
+    lib: &HwLibrary,
+    bsbs: &BsbArray,
+    strategy: SelectionStrategy,
+) -> Result<HwLibrary, AllocError> {
+    let mut out = lib.clone();
+    let mut used = std::collections::BTreeSet::new();
+    for bsb in bsbs {
+        used.extend(bsb.dfg.kinds_present());
+    }
+    for op in used {
+        let candidates = lib.candidates(op);
+        let best = candidates
+            .into_iter()
+            .min_by_key(|&fu| {
+                let spec = lib.fu(fu);
+                let area = spec.area.gates();
+                let lat = spec.latency as u64;
+                match strategy {
+                    SelectionStrategy::Fastest => (lat, area, fu.0),
+                    SelectionStrategy::Smallest => (area, lat, fu.0),
+                    SelectionStrategy::AreaDelayProduct => (area * lat, lat, fu.0),
+                }
+            })
+            .ok_or(lycos_hwlib::HwError::NoUnitFor { op })?;
+        out.set_default(op, best)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn app_with(kinds: &[OpKind]) -> BsbArray {
+        let mut dfg = Dfg::new();
+        for &k in kinds {
+            dfg.add_op(k);
+        }
+        BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "b0".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile: 1,
+                origin: BsbOrigin::Body,
+            }],
+        )
+    }
+
+    #[test]
+    fn smallest_picks_ripple_adder_and_serial_units() {
+        let lib = select_modules(
+            &HwLibrary::extended(),
+            &app_with(&[OpKind::Add, OpKind::Mul, OpKind::Div]),
+            SelectionStrategy::Smallest,
+        )
+        .unwrap();
+        assert_eq!(
+            lib.fu(lib.fu_for(OpKind::Add).unwrap()).name,
+            "ripple-adder"
+        );
+        assert_eq!(
+            lib.fu(lib.fu_for(OpKind::Mul).unwrap()).name,
+            "serial-multiplier"
+        );
+        assert_eq!(
+            lib.fu(lib.fu_for(OpKind::Div).unwrap()).name,
+            "serial-divider"
+        );
+    }
+
+    #[test]
+    fn fastest_prefers_low_latency_then_area() {
+        let lib = select_modules(
+            &HwLibrary::extended(),
+            &app_with(&[OpKind::Add, OpKind::Mul]),
+            SelectionStrategy::Fastest,
+        )
+        .unwrap();
+        // adder (200, 1cs) and cla-adder (350, 1cs) tie on latency;
+        // area breaks the tie towards the standard adder.
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Add).unwrap()).name, "adder");
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Mul).unwrap()).name, "multiplier");
+    }
+
+    #[test]
+    fn area_delay_product_balances() {
+        let lib = select_modules(
+            &HwLibrary::extended(),
+            &app_with(&[OpKind::Add]),
+            SelectionStrategy::AreaDelayProduct,
+        )
+        .unwrap();
+        // adder: 200·1 = 200; ripple: 120·2 = 240; cla: 350·1 = 350.
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Add).unwrap()).name, "adder");
+    }
+
+    #[test]
+    fn unused_kinds_keep_their_defaults() {
+        let before = HwLibrary::extended();
+        let after = select_modules(
+            &before,
+            &app_with(&[OpKind::Add]),
+            SelectionStrategy::Smallest,
+        )
+        .unwrap();
+        assert_eq!(
+            after.fu_for(OpKind::Mul).unwrap(),
+            before.fu_for(OpKind::Mul).unwrap(),
+            "mul untouched"
+        );
+    }
+
+    #[test]
+    fn standard_library_is_a_fixed_point() {
+        // With one candidate per type, every strategy returns the same
+        // defaults.
+        let std_lib = HwLibrary::standard();
+        for strat in [
+            SelectionStrategy::Fastest,
+            SelectionStrategy::Smallest,
+            SelectionStrategy::AreaDelayProduct,
+        ] {
+            let sel =
+                select_modules(&std_lib, &app_with(&[OpKind::Add, OpKind::Div]), strat).unwrap();
+            assert_eq!(
+                sel.fu_for(OpKind::Add).unwrap(),
+                std_lib.fu_for(OpKind::Add).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_candidates_error() {
+        let empty = HwLibrary::new();
+        let err = select_modules(
+            &empty,
+            &app_with(&[OpKind::Add]),
+            SelectionStrategy::Fastest,
+        );
+        assert!(err.is_err());
+    }
+}

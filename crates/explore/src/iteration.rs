@@ -1,0 +1,108 @@
+//! The manual design iteration of §5.
+//!
+//! For `man` and `eigen` the automatic allocation over-provisions one
+//! unit kind (constant generators, resp. dividers) because the
+//! optimistic controller estimate hides the real area pressure. The
+//! paper's designer fixes this with a single manual step — reduce the
+//! offending count — and recovers the best speed-up. "It is never
+//! necessary to increase the number of allocated resources" (§5.1).
+
+use lycos_apps::IterationHint;
+use lycos_core::RMap;
+use lycos_hwlib::HwLibrary;
+
+/// Applies a design-iteration hint to an automatic allocation,
+/// returning the adjusted allocation.
+///
+/// Unknown unit names and already-satisfied counts leave the
+/// allocation unchanged (the iteration only ever *reduces*).
+#[must_use]
+pub fn apply_iteration(allocation: &RMap, hint: IterationHint, lib: &HwLibrary) -> RMap {
+    let mut out = allocation.clone();
+    match hint {
+        IterationHint::SetCount { fu_name, count } => {
+            if let Some(fu) = lib.by_name(fu_name) {
+                let current = out.count(fu);
+                if current > count {
+                    out.set(fu, count);
+                }
+            }
+        }
+        IterationHint::ReduceByOne { fu_name } => {
+            if let Some(fu) = lib.by_name(fu_name) {
+                out.decrement(fu);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_count_caps_high_counts() {
+        let lib = HwLibrary::standard();
+        let cg = lib.by_name("constgen").unwrap();
+        let alloc: RMap = [(cg, 9)].into_iter().collect();
+        let out = apply_iteration(
+            &alloc,
+            IterationHint::SetCount {
+                fu_name: "constgen",
+                count: 1,
+            },
+            &lib,
+        );
+        assert_eq!(out.count(cg), 1);
+    }
+
+    #[test]
+    fn set_count_never_raises() {
+        let lib = HwLibrary::standard();
+        let cg = lib.by_name("constgen").unwrap();
+        let alloc = RMap::new();
+        let out = apply_iteration(
+            &alloc,
+            IterationHint::SetCount {
+                fu_name: "constgen",
+                count: 1,
+            },
+            &lib,
+        );
+        assert_eq!(out.count(cg), 0, "0 stays 0");
+    }
+
+    #[test]
+    fn reduce_by_one_decrements() {
+        let lib = HwLibrary::standard();
+        let div = lib.by_name("divider").unwrap();
+        let alloc: RMap = [(div, 2)].into_iter().collect();
+        let out = apply_iteration(
+            &alloc,
+            IterationHint::ReduceByOne { fu_name: "divider" },
+            &lib,
+        );
+        assert_eq!(out.count(div), 1);
+        let out2 = apply_iteration(
+            &out,
+            IterationHint::ReduceByOne { fu_name: "divider" },
+            &lib,
+        );
+        assert_eq!(out2.count(div), 0);
+        let out3 = apply_iteration(
+            &out2,
+            IterationHint::ReduceByOne { fu_name: "divider" },
+            &lib,
+        );
+        assert_eq!(out3.count(div), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn unknown_unit_is_a_no_op() {
+        let lib = HwLibrary::standard();
+        let alloc: RMap = [(lib.by_name("adder").unwrap(), 2)].into_iter().collect();
+        let out = apply_iteration(&alloc, IterationHint::ReduceByOne { fu_name: "flux" }, &lib);
+        assert_eq!(out, alloc);
+    }
+}

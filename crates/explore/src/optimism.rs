@@ -1,0 +1,231 @@
+//! The §5.1 ablation: what the optimistic controller estimate costs.
+//!
+//! The allocation algorithm estimates controller states from the ASAP
+//! schedule, which is never longer than the real (resource-constrained)
+//! schedule. §5.1 predicts the consequence: "the algorithm will
+//! allocate a few too many resources for the hardware data-path than
+//! actually affordable", fixable by *reducing* units, never by adding.
+//!
+//! [`optimism_report`] reruns Algorithm 1 under three state estimates
+//! (ASAP as published, a scaled middle ground, and the fully serial
+//! worst case) and evaluates each allocation through PACE.
+
+use lycos_core::{allocate, AllocConfig, RMap, Restrictions, StateEstimate};
+use lycos_hwlib::{Area, HwLibrary};
+use lycos_ir::BsbArray;
+use lycos_pace::{partition, PaceConfig, PaceError};
+
+/// Results of one state-estimate variant.
+#[derive(Clone, Debug)]
+pub struct OptimismPoint {
+    /// Which estimate produced this point.
+    pub estimate: StateEstimate,
+    /// Total units allocated.
+    pub units: u64,
+    /// Data-path area of the allocation.
+    pub datapath: Area,
+    /// Speed-up after PACE, percent.
+    pub speedup: f64,
+}
+
+/// Runs the ablation for one application.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from allocation or partitioning.
+pub fn optimism_report(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+) -> Result<Vec<OptimismPoint>, PaceError> {
+    let estimates = [
+        StateEstimate::Asap,
+        StateEstimate::Scaled(1.5),
+        StateEstimate::Serial,
+    ];
+    let mut out = Vec::with_capacity(estimates.len());
+    for estimate in estimates {
+        let config = AllocConfig {
+            state_estimate: estimate,
+            record_trace: false,
+        };
+        let outcome = allocate(bsbs, lib, &pace.eca, total_area, restrictions, &config)?;
+        let p = partition(bsbs, lib, &outcome.allocation, total_area, pace)?;
+        out.push(OptimismPoint {
+            estimate,
+            units: outcome.allocation.total_units(),
+            datapath: outcome.allocation.area(lib),
+            speedup: p.speedup_pct(),
+        });
+    }
+    Ok(out)
+}
+
+/// Checks the §5.1 claim on an allocation: walking *down* from the
+/// automatic allocation (removing one unit at a time, greedily keeping
+/// the best) must reach a speed-up at least as good as the starting
+/// point. Returns the best allocation found on the downward walk.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+pub fn reduce_only_walk(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    start: &RMap,
+    total_area: Area,
+    pace: &PaceConfig,
+) -> Result<(RMap, f64), PaceError> {
+    let mut current = start.clone();
+    let mut best_su = partition(bsbs, lib, &current, total_area, pace)?.speedup_pct();
+    loop {
+        let mut improved = false;
+        let kinds: Vec<_> = current.iter().map(|(fu, _)| fu).collect();
+        for fu in kinds {
+            let mut candidate = current.clone();
+            candidate.decrement(fu);
+            let su = partition(bsbs, lib, &candidate, total_area, pace)?.speedup_pct();
+            if su > best_su {
+                best_su = su;
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return Ok((current, best_su));
+        }
+    }
+}
+
+/// Renders the ablation as an aligned text table.
+pub fn format_optimism(points: &[OptimismPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("estimate        units   datapath       SU\n");
+    out.push_str("------------    -----   ----------  -------\n");
+    for p in points {
+        let name = match p.estimate {
+            StateEstimate::Asap => "ASAP (paper)".to_owned(),
+            StateEstimate::Serial => "serial".to_owned(),
+            StateEstimate::Scaled(f) => format!("ASAP × {f:.1}"),
+        };
+        out.push_str(&format!(
+            "{:<12}    {:>5}   {:>10}  {:>6.0}%\n",
+            name,
+            p.units,
+            p.datapath.to_string(),
+            p.speedup,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn app() -> BsbArray {
+        let mk = |i: u32, kind: OpKind, n: usize, profile: u64| {
+            let mut dfg = Dfg::new();
+            for _ in 0..n {
+                dfg.add_op(kind);
+            }
+            Bsb {
+                id: BsbId(i),
+                name: format!("b{i}"),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }
+        };
+        BsbArray::from_bsbs(
+            "t",
+            vec![
+                mk(0, OpKind::Const, 8, 500),
+                mk(1, OpKind::Add, 4, 400),
+                mk(2, OpKind::Mul, 2, 300),
+            ],
+        )
+    }
+
+    #[test]
+    fn serial_estimate_never_allocates_more_units() {
+        let bsbs = app();
+        let lib = HwLibrary::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let pts = optimism_report(
+            &bsbs,
+            &lib,
+            Area::new(3_000),
+            &restr,
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 3);
+        let asap = pts
+            .iter()
+            .find(|p| matches!(p.estimate, StateEstimate::Asap))
+            .unwrap();
+        let serial = pts
+            .iter()
+            .find(|p| matches!(p.estimate, StateEstimate::Serial))
+            .unwrap();
+        assert!(
+            serial.units <= asap.units,
+            "pessimistic controllers leave less room for units: {} vs {}",
+            serial.units,
+            asap.units
+        );
+    }
+
+    #[test]
+    fn reduce_only_walk_never_gets_worse() {
+        let bsbs = app();
+        let lib = HwLibrary::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let pace = PaceConfig::standard();
+        let area = Area::new(3_000);
+        let outcome = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &lycos_core::AllocConfig::default(),
+        )
+        .unwrap();
+        let start_su = partition(&bsbs, &lib, &outcome.allocation, area, &pace)
+            .unwrap()
+            .speedup_pct();
+        let (_, walked_su) =
+            reduce_only_walk(&bsbs, &lib, &outcome.allocation, area, &pace).unwrap();
+        assert!(walked_su >= start_su);
+    }
+
+    #[test]
+    fn format_lists_all_estimates() {
+        let pts = vec![
+            OptimismPoint {
+                estimate: StateEstimate::Asap,
+                units: 5,
+                datapath: Area::new(1_000),
+                speedup: 900.0,
+            },
+            OptimismPoint {
+                estimate: StateEstimate::Serial,
+                units: 3,
+                datapath: Area::new(700),
+                speedup: 800.0,
+            },
+        ];
+        let text = format_optimism(&pts);
+        assert!(text.contains("ASAP (paper)"));
+        assert!(text.contains("serial"));
+    }
+}

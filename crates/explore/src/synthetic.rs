@@ -1,0 +1,210 @@
+//! Synthetic workload generation.
+//!
+//! Scaling studies (the §4.4 complexity claims, allocator stress
+//! tests) need applications larger and more varied than the four
+//! bundled benchmarks. [`SyntheticSpec`] generates reproducible random
+//! BSB arrays with controllable size, operation mix, parallelism and
+//! profile skew.
+
+use lycos_ir::{Bsb, BsbArray, BsbId, BsbOrigin, Dfg, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Parameters of a synthetic application.
+#[derive(Clone, Debug)]
+pub struct SyntheticSpec {
+    /// Number of leaf blocks (`L`).
+    pub blocks: usize,
+    /// Operations per block (`k`), chosen uniformly in this range.
+    pub ops_per_block: (usize, usize),
+    /// Probability of a forward data edge between two ops of a block —
+    /// higher means more serial blocks, lower means more parallelism.
+    pub edge_density: f64,
+    /// Maximum profile count; blocks draw log-uniformly from
+    /// `1..=max_profile`, giving the hot/cold skew real programs have.
+    pub max_profile: u64,
+    /// Operation kinds to draw from (uniformly).
+    pub kinds: Vec<OpKind>,
+}
+
+impl SyntheticSpec {
+    /// A medium-sized default: 16 blocks of 4–20 ops with a realistic
+    /// mix of arithmetic, comparisons and constants.
+    pub fn medium() -> Self {
+        SyntheticSpec {
+            blocks: 16,
+            ops_per_block: (4, 20),
+            edge_density: 0.15,
+            max_profile: 10_000,
+            kinds: vec![
+                OpKind::Add,
+                OpKind::Sub,
+                OpKind::Mul,
+                OpKind::Const,
+                OpKind::Lt,
+                OpKind::Shl,
+                OpKind::And,
+            ],
+        }
+    }
+
+    /// Generates the application for a seed. Equal seeds give equal
+    /// applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (no blocks, no kinds, an empty
+    /// ops range, or `edge_density` outside `[0, 1]`).
+    pub fn generate(&self, seed: u64) -> BsbArray {
+        assert!(self.blocks > 0, "need at least one block");
+        assert!(!self.kinds.is_empty(), "need at least one op kind");
+        assert!(
+            self.ops_per_block.0 >= 1 && self.ops_per_block.0 <= self.ops_per_block.1,
+            "invalid ops range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.edge_density),
+            "edge density must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut blocks = Vec::with_capacity(self.blocks);
+        for i in 0..self.blocks {
+            let n = rng.gen_range(self.ops_per_block.0..=self.ops_per_block.1);
+            let mut dfg = Dfg::new();
+            let ids: Vec<_> = (0..n)
+                .map(|_| {
+                    let kind = self.kinds[rng.gen_range(0..self.kinds.len())];
+                    dfg.add_op(kind)
+                })
+                .collect();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(self.edge_density) {
+                        dfg.add_edge(ids[a], ids[b]).expect("forward edge");
+                    }
+                }
+            }
+            // Log-uniform profile: exponentiate a uniform draw.
+            let log_max = (self.max_profile as f64).ln();
+            let profile = (rng.gen_range(0.0..=log_max)).exp() as u64;
+            let (reads, writes) = io_sets(&mut rng, i, self.blocks);
+            blocks.push(Bsb {
+                id: BsbId(i as u32),
+                name: format!("s{i}"),
+                dfg,
+                reads,
+                writes,
+                profile: profile.max(1),
+                origin: BsbOrigin::Body,
+            });
+        }
+        BsbArray::from_bsbs(format!("synthetic-{seed}"), blocks)
+    }
+}
+
+/// Chained variable sets: each block reads a couple of variables from
+/// its predecessors' namespace and writes its own.
+fn io_sets(rng: &mut StdRng, index: usize, total: usize) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut reads = BTreeSet::new();
+    if index > 0 {
+        for _ in 0..rng.gen_range(0..3) {
+            reads.insert(format!("v{}", rng.gen_range(0..index)));
+        }
+    } else {
+        reads.insert("input".to_owned());
+    }
+    let mut writes = BTreeSet::new();
+    writes.insert(format!("v{index}"));
+    let _ = total;
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_core::Restrictions;
+    use lycos_hwlib::HwLibrary;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let spec = SyntheticSpec::medium();
+        let a = spec.generate(42);
+        let b = spec.generate(42);
+        assert_eq!(a, b);
+        let c = spec.generate(43);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn respects_the_spec_bounds() {
+        let spec = SyntheticSpec {
+            blocks: 9,
+            ops_per_block: (3, 7),
+            edge_density: 0.3,
+            max_profile: 500,
+            kinds: vec![OpKind::Add, OpKind::Mul],
+        };
+        let app = spec.generate(7);
+        assert_eq!(app.len(), 9);
+        for b in &app {
+            assert!((3..=7).contains(&b.op_count()));
+            assert!((1..=500).contains(&b.profile));
+            for op in b.dfg.ops() {
+                assert!(matches!(op.kind, OpKind::Add | OpKind::Mul));
+            }
+            b.dfg.validate().expect("acyclic by construction");
+        }
+    }
+
+    #[test]
+    fn generated_apps_are_schedulable_and_allocatable() {
+        let lib = HwLibrary::standard();
+        for seed in 0..8 {
+            let app = SyntheticSpec::medium().generate(seed);
+            let restr =
+                Restrictions::from_asap(&app, &lib).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(restr.total_cap() > 0);
+        }
+    }
+
+    #[test]
+    fn profiles_are_skewed_not_uniform() {
+        let app = SyntheticSpec::medium().generate(1);
+        let profiles: Vec<u64> = app.iter().map(|b| b.profile).collect();
+        let max = *profiles.iter().max().unwrap();
+        let min = *profiles.iter().min().unwrap();
+        assert!(max > 10 * min.max(1), "log-uniform draw spreads 1..10k");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        SyntheticSpec {
+            blocks: 0,
+            ..SyntheticSpec::medium()
+        }
+        .generate(0);
+    }
+
+    #[test]
+    fn edge_density_extremes() {
+        let serial = SyntheticSpec {
+            edge_density: 1.0,
+            ..SyntheticSpec::medium()
+        }
+        .generate(3);
+        for b in &serial {
+            // Fully dense forward edges: depth equals op count.
+            assert_eq!(b.dfg.depth(), b.op_count());
+        }
+        let parallel = SyntheticSpec {
+            edge_density: 0.0,
+            ..SyntheticSpec::medium()
+        }
+        .generate(3);
+        for b in &parallel {
+            assert_eq!(b.dfg.edge_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The Table 1 experiment: heuristic allocation vs exhaustive best.
+//!
+//! For one application the flow is exactly §5 of the paper:
+//!
+//! 1. run the allocation algorithm (Algorithm 1) and time it — the
+//!    `CPU sec` column;
+//! 2. evaluate its allocation through PACE — the `SU` numerator;
+//! 3. exhaustively evaluate *every* allocation through PACE — the
+//!    `SU(best)` denominator;
+//! 4. if the paper applied a design iteration (`man`, `eigen`), rerun
+//!    PACE on the manually adjusted allocation.
+//!
+//! The row also reports the data-path share of the used hardware area
+//! (`Size`) and the static hardware/software split (`HW/SW`).
+
+use crate::apply_iteration;
+use lycos_apps::BenchmarkApp;
+use lycos_core::{allocate, AllocConfig, RMap, Restrictions};
+use lycos_hwlib::{Area, HwLibrary};
+use lycos_pace::{exhaustive_best, partition, PaceConfig, PaceError, Partition};
+use std::time::{Duration, Instant};
+
+/// One row of the reproduced Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Application name.
+    pub name: String,
+    /// LYC source lines.
+    pub lines: usize,
+    /// Speed-up of the heuristic allocation, percent.
+    pub heuristic_su: f64,
+    /// Speed-up of the exhaustive best allocation, percent.
+    pub best_su: f64,
+    /// Speed-up after the paper's design iteration, if one applies.
+    pub iterated_su: Option<f64>,
+    /// Data-path share of used hardware area under the heuristic
+    /// allocation's partition (`Size`).
+    pub size_fraction: f64,
+    /// Static share of the application placed in hardware (`HW`).
+    pub hw_fraction: f64,
+    /// Allocation-algorithm runtime (`CPU sec`).
+    pub alloc_time: Duration,
+    /// The heuristic allocation.
+    pub heuristic_allocation: RMap,
+    /// The best allocation found by exhaustive search.
+    pub best_allocation: RMap,
+    /// Allocations evaluated by the exhaustive search.
+    pub evaluated: usize,
+    /// Size of the full allocation space.
+    pub space_size: u128,
+    /// Whether the exhaustive search hit its step limit.
+    pub truncated: bool,
+}
+
+impl Table1Row {
+    /// `SU / SU(best)` as a ratio in `[0, 1]` (1 = heuristic matches
+    /// the best allocation; guards against a zero best).
+    pub fn su_ratio(&self) -> f64 {
+        if self.best_su <= 0.0 {
+            if self.heuristic_su <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.heuristic_su / self.best_su
+        }
+    }
+
+    /// Whether the design iteration (when present) recovers at least
+    /// this fraction of the best speed-up.
+    pub fn iteration_recovers(&self, fraction: f64) -> bool {
+        match self.iterated_su {
+            Some(su) => su >= self.best_su * fraction,
+            None => true,
+        }
+    }
+}
+
+/// Options for a Table 1 run.
+#[derive(Clone, Debug, Default)]
+pub struct Table1Options {
+    /// Cap on exhaustively evaluated allocations (`None` = no cap; the
+    /// paper itself could not exhaust `eigen`, footnote 1).
+    pub search_limit: Option<usize>,
+}
+
+/// Runs the full Table 1 flow for one application.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from allocation or partitioning.
+pub fn table1_row(
+    app: &BenchmarkApp,
+    lib: &HwLibrary,
+    pace: &PaceConfig,
+    options: &Table1Options,
+) -> Result<Table1Row, PaceError> {
+    let bsbs = app.bsbs();
+    let area = Area::new(app.area_budget);
+    let restrictions = Restrictions::from_asap(&bsbs, lib)?;
+
+    // 1. The allocation algorithm, timed.
+    let started = Instant::now();
+    let outcome = allocate(
+        &bsbs,
+        lib,
+        &pace.eca,
+        area,
+        &restrictions,
+        &AllocConfig::default(),
+    )?;
+    let alloc_time = started.elapsed();
+
+    // 2. PACE on the heuristic allocation.
+    let heuristic: Partition = partition(&bsbs, lib, &outcome.allocation, area, pace)?;
+
+    // 3. PACE on every allocation.
+    let search = exhaustive_best(&bsbs, lib, area, &restrictions, pace, options.search_limit)?;
+
+    // 4. The manual design iteration, when the paper used one.
+    let iterated_su = match app.iteration {
+        Some(hint) => {
+            let adjusted = apply_iteration(&outcome.allocation, hint, lib);
+            let p = partition(&bsbs, lib, &adjusted, area, pace)?;
+            Some(p.speedup_pct())
+        }
+        None => None,
+    };
+
+    Ok(Table1Row {
+        name: app.name.to_owned(),
+        lines: app.lines,
+        heuristic_su: heuristic.speedup_pct(),
+        best_su: search.best_partition.speedup_pct(),
+        iterated_su,
+        size_fraction: heuristic.size_fraction(),
+        hw_fraction: heuristic.hw_fraction_static(&bsbs),
+        alloc_time,
+        heuristic_allocation: outcome.allocation,
+        best_allocation: search.best_allocation,
+        evaluated: search.evaluated,
+        space_size: search.space_size,
+        truncated: search.truncated,
+    })
+}
+
+/// Renders rows in the paper's layout.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Example    Lines  SU/SU(best)           Size   HW/SW      CPU sec\n");
+    out.push_str("---------- -----  --------------------- -----  ---------  -------\n");
+    for r in rows {
+        let su = format!("{:.0}%/{:.0}%", r.heuristic_su, r.best_su);
+        let hwsw = format!(
+            "{:.0}%/{:.0}%",
+            r.hw_fraction * 100.0,
+            (1.0 - r.hw_fraction) * 100.0
+        );
+        out.push_str(&format!(
+            "{:<10} {:>5}  {:<21} {:>4.0}%  {:<9}  {:>7.3}\n",
+            r.name,
+            r.lines,
+            su,
+            r.size_fraction * 100.0,
+            hwsw,
+            r.alloc_time.as_secs_f64(),
+        ));
+        if let Some(su) = r.iterated_su {
+            out.push_str(&format!(
+                "           `-- after design iteration: SU = {su:.0}%\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, h: f64, b: f64, it: Option<f64>) -> Table1Row {
+        Table1Row {
+            name: name.into(),
+            lines: 100,
+            heuristic_su: h,
+            best_su: b,
+            iterated_su: it,
+            size_fraction: 0.8,
+            hw_fraction: 0.5,
+            alloc_time: Duration::from_millis(3),
+            heuristic_allocation: RMap::new(),
+            best_allocation: RMap::new(),
+            evaluated: 10,
+            space_size: 10,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn su_ratio_handles_edges() {
+        assert_eq!(row("a", 50.0, 100.0, None).su_ratio(), 0.5);
+        assert_eq!(row("a", 0.0, 0.0, None).su_ratio(), 1.0);
+        assert!(row("a", 10.0, 0.0, None).su_ratio().is_infinite());
+    }
+
+    #[test]
+    fn iteration_recovery_check() {
+        assert!(row("m", 30.0, 3000.0, Some(2990.0)).iteration_recovers(0.95));
+        assert!(!row("m", 30.0, 3000.0, Some(1000.0)).iteration_recovers(0.95));
+        assert!(row("s", 100.0, 100.0, None).iteration_recovers(0.95));
+    }
+
+    #[test]
+    fn format_includes_all_columns() {
+        let text = format_table1(&[
+            row("hal", 2000.0, 2000.0, None),
+            row("man", 30.0, 3000.0, Some(2990.0)),
+        ]);
+        assert!(text.contains("hal"));
+        assert!(text.contains("2000%/2000%"));
+        assert!(text.contains("50%/50%"));
+        assert!(text.contains("after design iteration"));
+    }
+}

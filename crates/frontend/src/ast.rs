@@ -1,0 +1,200 @@
+//! Abstract syntax of LYC programs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A binary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Bitwise complement `~`.
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// A numeric literal (kept as text; LYC is untyped fixed-point).
+    Num(String),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A two-way select `sel(cond, a, b)`.
+    Sel(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Variables referenced anywhere in the expression.
+    pub fn vars(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(v.as_str());
+            }
+            Expr::Num(_) => {}
+            Expr::Unary(_, e) => e.collect_vars(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Sel(c, a, b) => {
+                c.collect_vars(out);
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `target = expr;`
+    Assign {
+        /// Assigned variable.
+        target: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `loop label times N [test (expr)] { body }`
+    Loop {
+        /// Profile label of the loop.
+        label: String,
+        /// Annotated trip count.
+        trips: u64,
+        /// Optional loop-condition expression (its own BSB).
+        test: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if label prob P [test (expr)] { then } [else { else }]`
+    If {
+        /// Profile label of the conditional.
+        label: String,
+        /// Probability that the `then` branch is taken.
+        prob: f64,
+        /// Optional condition expression (its own BSB).
+        test: Option<Expr>,
+        /// Taken branch.
+        then_branch: Vec<Stmt>,
+        /// Not-taken branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `wait label;`
+    Wait {
+        /// Label of the wait statement.
+        label: String,
+    },
+    /// `call f;` — inlines the body of function `f`.
+    Call {
+        /// Callee name.
+        name: String,
+    },
+    /// `emit a, b;` — marks variables as program outputs (keeps them
+    /// live for the communication model).
+    Emit {
+        /// The emitted variables.
+        vars: Vec<String>,
+    },
+}
+
+/// A whole LYC program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Application name from the `app` header.
+    pub name: String,
+    /// Pragmas, e.g. `unshared_consts`.
+    pub pragmas: BTreeSet<String>,
+    /// Named functions (callable from `main` or each other).
+    pub funcs: BTreeMap<String, Vec<Stmt>>,
+    /// Top-level statements.
+    pub main: Vec<Stmt>,
+    /// Number of source lines the program was parsed from.
+    pub source_lines: usize,
+}
+
+impl Program {
+    /// Whether the `unshared_consts` pragma is set (each constant use
+    /// loads through its own constant generator — the `man` structure).
+    pub fn unshared_consts(&self) -> bool {
+        self.pragmas.contains("unshared_consts")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_vars_walks_every_node() {
+        let e = Expr::Sel(
+            Box::new(Expr::bin(
+                BinOp::Lt,
+                Expr::Var("a".into()),
+                Expr::Num("1".into()),
+            )),
+            Box::new(Expr::Unary(UnOp::Neg, Box::new(Expr::Var("b".into())))),
+            Box::new(Expr::Var("c".into())),
+        );
+        let vars = e.vars();
+        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn program_pragma_lookup() {
+        let mut p = Program::default();
+        assert!(!p.unshared_consts());
+        p.pragmas.insert("unshared_consts".into());
+        assert!(p.unshared_consts());
+    }
+}

@@ -1,0 +1,114 @@
+//! Error reporting for the LYC frontend.
+
+use lycos_ir::IrError;
+use std::error::Error;
+use std::fmt;
+
+/// A position in LYC source text (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing or lowering LYC programs.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum FrontError {
+    /// An unexpected character in the source text.
+    Lex {
+        /// Where it happened.
+        pos: Pos,
+        /// The offending character.
+        found: char,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// Where it happened.
+        pos: Pos,
+        /// Human-readable expectation, e.g. "expected `;`".
+        message: String,
+    },
+    /// A `call` referenced an unknown function.
+    UnknownFunc {
+        /// The missing function name.
+        name: String,
+    },
+    /// Function calls form a cycle (LYC inlines calls, so recursion is
+    /// not expressible).
+    RecursiveCall {
+        /// The function on the cycle.
+        name: String,
+    },
+    /// Lowering produced an invalid graph (should not happen for
+    /// parser-produced ASTs; surfaced for direct AST construction).
+    Lower(IrError),
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontError::Lex { pos, found } => {
+                write!(f, "{pos}: unexpected character `{found}`")
+            }
+            FrontError::Parse { pos, message } => write!(f, "{pos}: {message}"),
+            FrontError::UnknownFunc { name } => write!(f, "call to unknown function `{name}`"),
+            FrontError::RecursiveCall { name } => {
+                write!(f, "recursive call through function `{name}`")
+            }
+            FrontError::Lower(e) => write!(f, "lowering failed: {e}"),
+        }
+    }
+}
+
+impl Error for FrontError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrontError::Lower(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for FrontError {
+    fn from(e: IrError) -> Self {
+        FrontError::Lower(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = FrontError::Lex {
+            pos: Pos { line: 3, col: 7 },
+            found: '@',
+        };
+        assert_eq!(format!("{e}"), "3:7: unexpected character `@`");
+        let e = FrontError::Parse {
+            pos: Pos { line: 1, col: 1 },
+            message: "expected `;`".into(),
+        };
+        assert_eq!(format!("{e}"), "1:1: expected `;`");
+        assert!(format!("{}", FrontError::UnknownFunc { name: "f".into() }).contains("`f`"));
+        assert!(
+            format!("{}", FrontError::RecursiveCall { name: "g".into() }).contains("recursive")
+        );
+    }
+
+    #[test]
+    fn lower_wraps_ir_error() {
+        let e: FrontError = IrError::UnknownLabel { label: "x".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,267 @@
+//! Lexer for the LYC mini-language.
+//!
+//! LYC is the reproduction's stand-in for the paper's VHDL/C input: a
+//! small imperative language covering exactly the CDFG fragment LYCOS
+//! consumes — assignments of arithmetic expressions, counted loops with
+//! optional test expressions, profiled conditionals, wait statements,
+//! function calls and output markers.
+
+use crate::{FrontError, Pos};
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// The kinds of LYC tokens.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer or decimal literal (kept as text).
+    Number(String),
+    /// A punctuation or operator token, e.g. `;`, `<=`, `<<`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Tokenises LYC source text.
+///
+/// Comments run from `//` to end of line. Identifiers are
+/// `[A-Za-z_][A-Za-z0-9_]*`; numbers are `[0-9]+(\.[0-9]+)?`.
+///
+/// # Errors
+///
+/// [`FrontError::Lex`] on any character that starts no token.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_frontend::lex;
+///
+/// let tokens = lex("x = a * 3; // comment")?;
+/// assert_eq!(tokens.len(), 7, "x = a * 3 ; eof");
+/// # Ok::<(), lycos_frontend::FrontError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let two_char: &[&'static str] = &["<=", ">=", "==", "!=", "<<", ">>"];
+    let one_char: &[&'static str] = &[
+        "+", "-", "*", "/", "%", "=", ";", ",", "(", ")", "{", "}", "<", ">", "&", "|", "^", "~",
+        "!",
+    ];
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+                col += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(bytes[start..i].iter().collect()),
+                pos,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            if i < bytes.len()
+                && bytes[i] == '.'
+                && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                col += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number(bytes[start..i].iter().collect()),
+                pos,
+            });
+            continue;
+        }
+        // Two-character operators first.
+        if i + 1 < bytes.len() {
+            let pair: String = bytes[i..i + 2].iter().collect();
+            if let Some(&p) = two_char.iter().find(|&&p| p == pair) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    pos,
+                });
+                i += 2;
+                col += 2;
+                continue;
+            }
+        }
+        let single = c.to_string();
+        if let Some(&p) = one_char.iter().find(|&&p| p == single) {
+            tokens.push(Token {
+                kind: TokenKind::Punct(p),
+                pos,
+            });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        return Err(FrontError::Lex { pos, found: c });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(tokens)
+}
+
+/// Number of source lines — the `Lines` column of Table 1.
+pub fn line_count(source: &str) -> usize {
+    source.lines().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let ks = kinds("x1 = y_2 + 34;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x1".into()),
+                TokenKind::Punct("="),
+                TokenKind::Ident("y_2".into()),
+                TokenKind::Punct("+"),
+                TokenKind::Number("34".into()),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn decimals_lex_as_one_number() {
+        let ks = kinds("p = 0.25;");
+        assert!(ks.contains(&TokenKind::Number("0.25".into())));
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let ks = kinds("a <= b << 2 != c");
+        assert!(ks.contains(&TokenKind::Punct("<=")));
+        assert!(ks.contains(&TokenKind::Punct("<<")));
+        assert!(ks.contains(&TokenKind::Punct("!=")));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // everything here vanishes ; x = 1\nb");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("a\n  bb").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_position() {
+        match lex("x = @;") {
+            Err(FrontError::Lex { pos, found }) => {
+                assert_eq!(found, '@');
+                assert_eq!(pos, Pos { line: 1, col: 5 });
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn line_count_counts_all_lines() {
+        assert_eq!(line_count("a\nb\nc"), 3);
+        assert_eq!(line_count(""), 0);
+        assert_eq!(line_count("one line"), 1);
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let ks = kinds("a / b");
+        assert!(ks.contains(&TokenKind::Punct("/")));
+    }
+
+    #[test]
+    fn token_kind_display() {
+        assert_eq!(format!("{}", TokenKind::Ident("x".into())), "`x`");
+        assert_eq!(format!("{}", TokenKind::Number("1".into())), "number `1`");
+        assert_eq!(format!("{}", TokenKind::Punct(";")), "`;`");
+        assert_eq!(format!("{}", TokenKind::Eof), "end of input");
+    }
+}

@@ -1,0 +1,60 @@
+//! LYC — the mini-language frontend of the LYCOS reproduction.
+//!
+//! The paper's applications enter LYCOS as VHDL or C and are translated
+//! into CDFGs (§3). LYC is this reproduction's equivalent input
+//! language: a small imperative language covering exactly the constructs
+//! the CDFG can express — assignments, counted loops with optional test
+//! expressions, profiled conditionals, waits, function calls and output
+//! markers.
+//!
+//! # A complete program
+//!
+//! ```text
+//! app integrate;              // application name
+//! pragma unshared_consts;     // optional: constants load individually
+//!
+//! func step() {
+//!     y = y + u * dx;         // straight-line code groups into one BSB
+//!     u = u - 3 * x * u * dx;
+//! }
+//!
+//! loop main times 100 test (x < a) {   // label + profiled trip count
+//!     call step;
+//!     x = x + dx;
+//!     if sat prob 0.1 test (y > ymax) { y = ymax; }
+//!     wait sync;
+//! }
+//! emit y;                     // keep the result live at the boundary
+//! ```
+//!
+//! # From source to BSBs
+//!
+//! ```
+//! use lycos_frontend::compile;
+//! use lycos_ir::extract_bsbs;
+//!
+//! let cdfg = compile(
+//!     "app demo;
+//!      loop l times 100 {
+//!        acc = acc + x * x;
+//!      }",
+//! )?;
+//! let bsbs = extract_bsbs(&cdfg, None)?;
+//! assert_eq!(bsbs[0].profile, 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinOp, Expr, Program, Stmt, UnOp};
+pub use error::{FrontError, Pos};
+pub use lexer::{lex, line_count, Token, TokenKind};
+pub use lower::{compile, lower};
+pub use parser::parse;

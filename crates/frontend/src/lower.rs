@@ -1,0 +1,509 @@
+//! Lowering LYC ASTs to CDFGs.
+//!
+//! Straight-line runs of assignments collapse into one data-flow block
+//! (a future leaf BSB); control statements start new blocks and become
+//! the corresponding CDFG control nodes. Function calls are inlined
+//! under a `Fu` hierarchy node, matching the paper's "functional
+//! hierarchy" (Figure 4).
+
+use crate::{BinOp, Expr, FrontError, Program, Stmt, UnOp};
+use lycos_ir::{Cdfg, CdfgNode, DfgBlock, DfgBuilder, OpId, OpKind, Operand, TripCount};
+
+/// Parses and lowers in one step.
+///
+/// # Errors
+///
+/// Any [`FrontError`] from parsing or lowering.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_frontend::compile;
+///
+/// let cdfg = compile(
+///     "app squares;
+///      loop l times 16 {
+///        s = s + i * i;
+///        i = i + 1;
+///      }",
+/// )?;
+/// assert_eq!(cdfg.name(), "squares");
+/// assert_eq!(cdfg.root().leaf_count(), 1);
+/// # Ok::<(), lycos_frontend::FrontError>(())
+/// ```
+pub fn compile(source: &str) -> Result<Cdfg, FrontError> {
+    lower(&crate::parse(source)?)
+}
+
+/// Lowers a parsed [`Program`] to a [`Cdfg`].
+///
+/// # Errors
+///
+/// [`FrontError::UnknownFunc`] / [`FrontError::RecursiveCall`] for bad
+/// `call` statements.
+pub fn lower(program: &Program) -> Result<Cdfg, FrontError> {
+    let mut l = Lowerer {
+        program,
+        blocks: 0,
+        call_stack: Vec::new(),
+    };
+    let nodes = l.lower_stmts(&program.main)?;
+    Ok(Cdfg::new(program.name.clone(), CdfgNode::seq(nodes)))
+}
+
+struct Lowerer<'a> {
+    program: &'a Program,
+    blocks: usize,
+    call_stack: Vec<String>,
+}
+
+impl Lowerer<'_> {
+    fn new_builder(&self) -> DfgBuilder {
+        if self.program.unshared_consts() {
+            DfgBuilder::with_unshared_constants()
+        } else {
+            DfgBuilder::new()
+        }
+    }
+
+    fn next_name(&mut self, suffix: &str) -> String {
+        let n = self.blocks;
+        self.blocks += 1;
+        if suffix.is_empty() {
+            format!("b{n}")
+        } else {
+            format!("b{n}.{suffix}")
+        }
+    }
+
+    /// Flushes the accumulated straight-line code into a leaf node.
+    fn flush(&mut self, builder: &mut Option<DfgBuilder>, out: &mut Vec<CdfgNode>) {
+        if let Some(b) = builder.take() {
+            let code = b.finish();
+            if !code.dfg.is_empty() || !code.reads.is_empty() || !code.writes.is_empty() {
+                let name = self.next_name("");
+                out.push(CdfgNode::Block(DfgBlock::new(name, code)));
+            }
+        }
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<CdfgNode>, FrontError> {
+        let mut out = Vec::new();
+        let mut builder: Option<DfgBuilder> = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, expr } => {
+                    let b = builder.get_or_insert_with(|| self.new_builder());
+                    lower_assign(b, target, expr);
+                }
+                Stmt::Loop {
+                    label,
+                    trips,
+                    test,
+                    body,
+                } => {
+                    self.flush(&mut builder, &mut out);
+                    let test_block = self.lower_test(label, test);
+                    let body_nodes = self.lower_stmts(body)?;
+                    out.push(CdfgNode::Loop {
+                        label: label.clone(),
+                        test: test_block,
+                        body: Box::new(CdfgNode::seq(body_nodes)),
+                        trip: TripCount::Fixed(*trips),
+                    });
+                }
+                Stmt::If {
+                    label,
+                    prob,
+                    test,
+                    then_branch,
+                    else_branch,
+                } => {
+                    self.flush(&mut builder, &mut out);
+                    let test_block = self.lower_test(label, test);
+                    let then_nodes = self.lower_stmts(then_branch)?;
+                    let else_nodes = if else_branch.is_empty() {
+                        None
+                    } else {
+                        Some(Box::new(CdfgNode::seq(self.lower_stmts(else_branch)?)))
+                    };
+                    out.push(CdfgNode::Cond {
+                        label: label.clone(),
+                        test: test_block,
+                        then_branch: Box::new(CdfgNode::seq(then_nodes)),
+                        else_branch: else_nodes,
+                        taken: *prob,
+                    });
+                }
+                Stmt::Wait { label } => {
+                    self.flush(&mut builder, &mut out);
+                    out.push(CdfgNode::Wait {
+                        label: label.clone(),
+                        block: None,
+                    });
+                }
+                Stmt::Call { name } => {
+                    self.flush(&mut builder, &mut out);
+                    let body = self
+                        .program
+                        .funcs
+                        .get(name)
+                        .ok_or_else(|| FrontError::UnknownFunc { name: name.clone() })?;
+                    if self.call_stack.contains(name) {
+                        return Err(FrontError::RecursiveCall { name: name.clone() });
+                    }
+                    self.call_stack.push(name.clone());
+                    let nodes = self.lower_stmts(body)?;
+                    self.call_stack.pop();
+                    out.push(CdfgNode::Func {
+                        name: name.clone(),
+                        body: Box::new(CdfgNode::seq(nodes)),
+                    });
+                }
+                Stmt::Emit { vars } => {
+                    // An output marker: a block that *reads* the emitted
+                    // variables without computing. It keeps them live for
+                    // the communication model but offers no operations,
+                    // so neither the allocator nor the partitioner will
+                    // ever move it to hardware.
+                    self.flush(&mut builder, &mut out);
+                    let mut b = self.new_builder();
+                    for v in vars {
+                        b.mark_read(v.clone());
+                    }
+                    let name = self.next_name("emit");
+                    out.push(CdfgNode::Block(DfgBlock::new(name, b.finish())));
+                }
+            }
+        }
+        self.flush(&mut builder, &mut out);
+        Ok(out)
+    }
+
+    fn lower_test(&mut self, label: &str, test: &Option<Expr>) -> Option<DfgBlock> {
+        test.as_ref().map(|e| {
+            let mut b = self.new_builder();
+            lower_expr(&mut b, e);
+            let name = format!("{}.test", label);
+            let _ = self.next_name(""); // keep block numbering monotone
+            DfgBlock::new(name, b.finish())
+        })
+    }
+}
+
+fn lower_assign(b: &mut DfgBuilder, target: &str, expr: &Expr) {
+    match expr {
+        // Bare variable: alias a local producer, or a copy of a live-in.
+        Expr::Var(v) => match b.use_var(v) {
+            Some(id) => b.assign(target, id),
+            None => {
+                let id = b.unary(OpKind::Copy, Operand::var(v.clone()));
+                b.assign(target, id);
+            }
+        },
+        _ => {
+            let id = lower_expr(b, expr).expect("non-variable expressions produce an op");
+            b.assign(target, id);
+        }
+    }
+}
+
+/// Lowers an expression, returning its producing operation (`None` only
+/// for a bare live-in variable reference).
+fn lower_expr(b: &mut DfgBuilder, expr: &Expr) -> Option<OpId> {
+    match expr {
+        Expr::Var(v) => {
+            let local = b.use_var(v);
+            if local.is_none() {
+                b.mark_read(v.clone());
+            }
+            local
+        }
+        Expr::Num(n) => Some(b.load_const(n.clone())),
+        Expr::Unary(op, inner) => {
+            let p = lower_expr(b, inner);
+            let kind = match op {
+                UnOp::Neg => OpKind::Neg,
+                UnOp::Not => OpKind::Not,
+            };
+            Some(b.nary_ops(kind, &[p]))
+        }
+        // `0 - x` is arithmetic negation, executed by the subtractor's
+        // negate mode — no constant generator involved.
+        Expr::Binary(BinOp::Sub, lhs, rhs) if matches!(&**lhs, Expr::Num(n) if n == "0") => {
+            let p = lower_expr(b, rhs);
+            Some(b.nary_ops(OpKind::Neg, &[p]))
+        }
+        // A shift by a literal amount configures the barrel shifter; the
+        // amount is a control setting, not a data operand, so no
+        // constant-generator operation is materialised for it.
+        Expr::Binary(op @ (BinOp::Shl | BinOp::Shr), lhs, rhs)
+            if matches!(&**rhs, Expr::Num(_)) =>
+        {
+            let pl = lower_expr(b, lhs);
+            Some(b.nary_ops(binop_kind(*op), &[pl]))
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let pl = lower_expr(b, lhs);
+            let pr = lower_expr(b, rhs);
+            Some(b.nary_ops(binop_kind(*op), &[pl, pr]))
+        }
+        Expr::Sel(c, t, e) => {
+            let pc = lower_expr(b, c);
+            let pt = lower_expr(b, t);
+            let pe = lower_expr(b, e);
+            Some(b.nary_ops(OpKind::Mux, &[pc, pt, pe]))
+        }
+    }
+}
+
+fn binop_kind(op: BinOp) -> OpKind {
+    match op {
+        BinOp::Add => OpKind::Add,
+        BinOp::Sub => OpKind::Sub,
+        BinOp::Mul => OpKind::Mul,
+        BinOp::Div => OpKind::Div,
+        BinOp::Mod => OpKind::Mod,
+        BinOp::Lt => OpKind::Lt,
+        BinOp::Le => OpKind::Le,
+        BinOp::Gt => OpKind::Gt,
+        BinOp::Ge => OpKind::Ge,
+        BinOp::Eq => OpKind::Eq,
+        BinOp::Ne => OpKind::Ne,
+        BinOp::And => OpKind::And,
+        BinOp::Or => OpKind::Or,
+        BinOp::Xor => OpKind::Xor,
+        BinOp::Shl => OpKind::Shl,
+        BinOp::Shr => OpKind::Shr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::extract_bsbs;
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let cdfg = compile(
+            "app a;
+             t = x + y;
+             u = t * t;
+             v = u - 1;",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs.len(), 1);
+        // add, mul, sub, const 1
+        assert_eq!(bsbs[0].op_count(), 4);
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Mul), 1);
+        assert!(bsbs[0].reads.contains("x"));
+        assert!(bsbs[0].writes.contains("v"));
+    }
+
+    #[test]
+    fn control_statements_split_blocks() {
+        let cdfg = compile(
+            "app a;
+             x = x + 1;
+             loop l times 4 {
+               y = y * 2;
+             }
+             z = x + y;",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs.len(), 3, "pre-block, body, post-block");
+        assert_eq!(bsbs[1].profile, 4, "loop body profile");
+    }
+
+    #[test]
+    fn loop_test_becomes_its_own_bsb() {
+        let cdfg = compile(
+            "app a;
+             loop l times 8 test (i < n) {
+               i = i + 1;
+             }",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs.len(), 2);
+        assert_eq!(bsbs[0].name, "l.test");
+        assert_eq!(bsbs[0].profile, 9, "test runs trips + 1 times");
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Lt), 1);
+    }
+
+    #[test]
+    fn if_branches_weighted_by_probability() {
+        let cdfg = compile(
+            "app a;
+             loop l times 100 {
+               if br prob 0.25 { x = x + 1; } else { x = x - 1; }
+             }",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        let hot = bsbs
+            .iter()
+            .find(|b| b.dfg.count_of(OpKind::Add) == 1)
+            .unwrap();
+        let cold = bsbs
+            .iter()
+            .find(|b| b.dfg.count_of(OpKind::Sub) == 1)
+            .unwrap();
+        assert_eq!(hot.profile, 25);
+        assert_eq!(cold.profile, 75);
+    }
+
+    #[test]
+    fn calls_inline_under_func_nodes() {
+        let cdfg = compile(
+            "app a;
+             func twice() { y = x + x; }
+             call twice;
+             call twice;",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs.len(), 2, "two inlined copies");
+        let tree = cdfg.root().render_tree();
+        assert!(tree.contains("Fu twice"));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        assert!(matches!(
+            compile("app a; call nope;"),
+            Err(FrontError::UnknownFunc { .. })
+        ));
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let err = compile(
+            "app a;
+             func f() { call g; }
+             func g() { call f; }
+             call f;",
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrontError::RecursiveCall { .. }));
+    }
+
+    #[test]
+    fn emit_keeps_outputs_live() {
+        let cdfg = compile(
+            "app a;
+             y = x * x;
+             emit y;",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs.len(), 2);
+        let emit = &bsbs[1];
+        assert!(emit.reads.contains("y"));
+        assert!(emit.dfg.is_empty(), "emit blocks carry no operations");
+    }
+
+    #[test]
+    fn copy_of_live_in_variable_materialises() {
+        let cdfg = compile("app a; x = y;").unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Copy), 1);
+        assert!(bsbs[0].reads.contains("y"));
+        assert!(bsbs[0].writes.contains("x"));
+    }
+
+    #[test]
+    fn alias_of_local_value_adds_no_op() {
+        let cdfg = compile(
+            "app a;
+             t = x + 1;
+             u = t;
+             v = u * 2;",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Copy), 0);
+        // add, const 1, mul, const 2
+        assert_eq!(bsbs[0].op_count(), 4);
+    }
+
+    #[test]
+    fn unshared_consts_pragma_duplicates_loads() {
+        let shared = compile("app a; x = k * 3; y = m * 3;").unwrap();
+        let unshared = compile(
+            "app a;
+             pragma unshared_consts;
+             x = k * 3;
+             y = m * 3;",
+        )
+        .unwrap();
+        let b_shared = extract_bsbs(&shared, None).unwrap();
+        let b_unshared = extract_bsbs(&unshared, None).unwrap();
+        assert_eq!(b_shared[0].dfg.count_of(OpKind::Const), 1);
+        assert_eq!(b_unshared[0].dfg.count_of(OpKind::Const), 2);
+    }
+
+    #[test]
+    fn sel_lowers_to_mux_with_three_inputs() {
+        let cdfg = compile("app a; m = sel(c > 0, x + 1, y - 1);").unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        let dfg = &bsbs[0].dfg;
+        assert_eq!(dfg.count_of(OpKind::Mux), 1);
+        let mux = dfg
+            .op_ids()
+            .find(|&i| dfg.op(i).kind == OpKind::Mux)
+            .unwrap();
+        assert_eq!(dfg.preds(mux).len(), 3);
+    }
+
+    #[test]
+    fn shift_by_literal_has_no_constant_operand() {
+        let cdfg = compile("app a; y = x >> 3; z = x << 2;").unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Const), 0);
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Shr), 1);
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Shl), 1);
+    }
+
+    #[test]
+    fn shift_by_variable_keeps_the_operand() {
+        let cdfg = compile("app a; y = x >> k;").unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert!(bsbs[0].reads.contains("k"));
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Const), 0);
+    }
+
+    #[test]
+    fn zero_minus_becomes_negation() {
+        let cdfg = compile("app a; y = 0 - x;").unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Neg), 1);
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Sub), 0);
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Const), 0);
+    }
+
+    #[test]
+    fn nonzero_minus_stays_a_subtraction() {
+        let cdfg = compile("app a; y = 5 - x;").unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Sub), 1);
+        assert_eq!(bsbs[0].dfg.count_of(OpKind::Const), 1);
+    }
+
+    #[test]
+    fn nested_loops_multiply_profiles() {
+        let cdfg = compile(
+            "app a;
+             loop outer times 10 {
+               loop inner times 5 {
+                 s = s + 1;
+               }
+             }",
+        )
+        .unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert_eq!(bsbs[0].profile, 50);
+    }
+}

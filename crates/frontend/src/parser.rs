@@ -1,0 +1,572 @@
+//! Recursive-descent parser for LYC.
+//!
+//! Grammar sketch (see the crate docs for a full example):
+//!
+//! ```text
+//! program := 'app' IDENT ';' ('pragma' IDENT ';')* item*
+//! item    := 'func' IDENT '(' ')' block | stmt
+//! stmt    := IDENT '=' expr ';'
+//!          | 'loop' IDENT 'times' INT ('test' '(' expr ')')? block
+//!          | 'if' IDENT 'prob' NUM ('test' '(' expr ')')? block
+//!            ('else' block)?
+//!          | 'wait' IDENT ';'
+//!          | 'call' IDENT ';'
+//!          | 'emit' IDENT (',' IDENT)* ';'
+//! block   := '{' stmt* '}'
+//! expr    := C-like precedence over | ^ & (cmp) (shift) (+ -) (* / %)
+//!            with unary - ~ and 'sel(c, a, b)'
+//! ```
+
+use crate::{lex, line_count, FrontError, Pos, Token, TokenKind};
+use crate::{BinOp, Expr, Program, Stmt, UnOp};
+
+/// Parses LYC source into a [`Program`].
+///
+/// # Errors
+///
+/// [`FrontError::Lex`] or [`FrontError::Parse`] with a source position.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_frontend::parse;
+///
+/// let p = parse(
+///     "app tiny;
+///      loop l times 10 {
+///        y = y + u * dx;
+///      }",
+/// )?;
+/// assert_eq!(p.name, "tiny");
+/// assert_eq!(p.main.len(), 1);
+/// # Ok::<(), lycos_frontend::FrontError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, FrontError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, at: 0 };
+    let mut program = p.program()?;
+    program.source_lines = line_count(source);
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        k
+    }
+
+    fn error(&self, message: impl Into<String>) -> FrontError {
+        FrontError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), FrontError> {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, FrontError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), FrontError> {
+        match self.peek() {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_number(&mut self) -> Result<String, FrontError> {
+        match self.peek().clone() {
+            TokenKind::Number(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected number, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, FrontError> {
+        let mut program = Program::default();
+        self.expect_keyword("app")?;
+        program.name = self.expect_ident()?;
+        self.expect_punct(";")?;
+        while self.at_keyword("pragma") {
+            self.bump();
+            program.pragmas.insert(self.expect_ident()?);
+            self.expect_punct(";")?;
+        }
+        while self.peek() != &TokenKind::Eof {
+            if self.at_keyword("func") {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect_punct("(")?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                if program.funcs.insert(name.clone(), body).is_some() {
+                    return Err(self.error(format!("function `{name}` defined twice")));
+                }
+            } else {
+                let stmt = self.stmt()?;
+                program.main.push(stmt);
+            }
+        }
+        Ok(program)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, FrontError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while self.peek() != &TokenKind::Punct("}") {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unclosed block: expected `}`"));
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump(); // consume `}`
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontError> {
+        if self.at_keyword("loop") {
+            return self.loop_stmt();
+        }
+        if self.at_keyword("if") {
+            return self.if_stmt();
+        }
+        if self.at_keyword("wait") {
+            self.bump();
+            let label = self.expect_ident()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Wait { label });
+        }
+        if self.at_keyword("call") {
+            self.bump();
+            let name = self.expect_ident()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Call { name });
+        }
+        if self.at_keyword("emit") {
+            self.bump();
+            let mut vars = vec![self.expect_ident()?];
+            while self.peek() == &TokenKind::Punct(",") {
+                self.bump();
+                vars.push(self.expect_ident()?);
+            }
+            self.expect_punct(";")?;
+            return Ok(Stmt::Emit { vars });
+        }
+        // Assignment.
+        let target = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let expr = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign { target, expr })
+    }
+
+    fn loop_stmt(&mut self) -> Result<Stmt, FrontError> {
+        self.expect_keyword("loop")?;
+        let label = self.expect_ident()?;
+        self.expect_keyword("times")?;
+        let trips_text = self.expect_number()?;
+        let trips: u64 = trips_text
+            .parse()
+            .map_err(|_| self.error(format!("loop count `{trips_text}` is not an integer")))?;
+        let test = self.optional_test()?;
+        let body = self.block()?;
+        Ok(Stmt::Loop {
+            label,
+            trips,
+            test,
+            body,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, FrontError> {
+        self.expect_keyword("if")?;
+        let label = self.expect_ident()?;
+        self.expect_keyword("prob")?;
+        let prob_text = self.expect_number()?;
+        let prob: f64 = prob_text
+            .parse()
+            .map_err(|_| self.error(format!("probability `{prob_text}` is not a number")))?;
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(self.error(format!("probability {prob} outside [0, 1]")));
+        }
+        let test = self.optional_test()?;
+        let then_branch = self.block()?;
+        let else_branch = if self.at_keyword("else") {
+            self.bump();
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            label,
+            prob,
+            test,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn optional_test(&mut self) -> Result<Option<Expr>, FrontError> {
+        if !self.at_keyword("test") {
+            return Ok(None);
+        }
+        self.bump();
+        self.expect_punct("(")?;
+        let e = self.expr()?;
+        self.expect_punct(")")?;
+        Ok(Some(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, FrontError> {
+        self.bit_or()
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.bit_xor()?;
+        while self.peek() == &TokenKind::Punct("|") {
+            self.bump();
+            lhs = Expr::bin(BinOp::Or, lhs, self.bit_xor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.bit_and()?;
+        while self.peek() == &TokenKind::Punct("^") {
+            self.bump();
+            lhs = Expr::bin(BinOp::Xor, lhs, self.bit_and()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.comparison()?;
+        while self.peek() == &TokenKind::Punct("&") {
+            self.bump();
+            lhs = Expr::bin(BinOp::And, lhs, self.comparison()?);
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, FrontError> {
+        let lhs = self.shift()?;
+        let op = match self.peek() {
+            TokenKind::Punct("<") => Some(BinOp::Lt),
+            TokenKind::Punct("<=") => Some(BinOp::Le),
+            TokenKind::Punct(">") => Some(BinOp::Gt),
+            TokenKind::Punct(">=") => Some(BinOp::Ge),
+            TokenKind::Punct("==") => Some(BinOp::Eq),
+            TokenKind::Punct("!=") => Some(BinOp::Ne),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                Ok(Expr::bin(op, lhs, self.shift()?))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.add_sub()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct("<<") => BinOp::Shl,
+                TokenKind::Punct(">>") => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            lhs = Expr::bin(op, lhs, self.add_sub()?);
+        }
+        Ok(lhs)
+    }
+
+    fn add_sub(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.mul_div()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct("+") => BinOp::Add,
+                TokenKind::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            lhs = Expr::bin(op, lhs, self.mul_div()?);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_div(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct("*") => BinOp::Mul,
+                TokenKind::Punct("/") => BinOp::Div,
+                TokenKind::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            lhs = Expr::bin(op, lhs, self.unary()?);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontError> {
+        match self.peek() {
+            TokenKind::Punct("-") => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Punct("~") => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, FrontError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Ident(name) if name == "sel" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let c = self.expr()?;
+                self.expect_punct(",")?;
+                let a = self.expr()?;
+                self.expect_punct(",")?;
+                let b = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Sel(Box::new(c), Box::new(a), Box::new(b)))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program() {
+        let p = parse("app a;").unwrap();
+        assert_eq!(p.name, "a");
+        assert!(p.main.is_empty());
+        assert_eq!(p.source_lines, 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("app a; x = a + b * c;").unwrap();
+        match &p.main[0] {
+            Stmt::Assign { expr, .. } => match expr {
+                Expr::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse("app a; x = (a + b) * c;").unwrap();
+        match &p.main[0] {
+            Stmt::Assign { expr, .. } => {
+                assert!(matches!(expr, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_with_test_and_body() {
+        let p = parse(
+            "app a;
+             loop l times 64 test (x < limit) {
+               x = x + 1;
+             }",
+        )
+        .unwrap();
+        match &p.main[0] {
+            Stmt::Loop {
+                label,
+                trips,
+                test,
+                body,
+            } => {
+                assert_eq!(label, "l");
+                assert_eq!(*trips, 64);
+                assert!(matches!(test, Some(Expr::Binary(BinOp::Lt, _, _))));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_with_prob_and_else() {
+        let p = parse(
+            "app a;
+             if br prob 0.25 test (x == 0) { y = 1; } else { y = 2; }",
+        )
+        .unwrap();
+        match &p.main[0] {
+            Stmt::If {
+                prob,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(*prob, 0.25);
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probability_out_of_range_is_rejected() {
+        assert!(parse("app a; if b prob 1.5 { x = 1; }").is_err());
+    }
+
+    #[test]
+    fn functions_and_calls() {
+        let p = parse(
+            "app a;
+             func f() { x = x + 1; }
+             call f;",
+        )
+        .unwrap();
+        assert!(p.funcs.contains_key("f"));
+        assert!(matches!(p.main[0], Stmt::Call { .. }));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let err = parse("app a; func f() { } func f() { }").unwrap_err();
+        assert!(matches!(err, FrontError::Parse { .. }));
+    }
+
+    #[test]
+    fn wait_emit_and_pragma() {
+        let p = parse(
+            "app a;
+             pragma unshared_consts;
+             wait w0;
+             emit x, y;",
+        )
+        .unwrap();
+        assert!(p.unshared_consts());
+        assert!(matches!(p.main[0], Stmt::Wait { .. }));
+        match &p.main[1] {
+            Stmt::Emit { vars } => assert_eq!(vars, &["x".to_string(), "y".to_string()]),
+            other => panic!("expected emit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sel_parses_as_mux() {
+        let p = parse("app a; m = sel(c, x, y);").unwrap();
+        match &p.main[0] {
+            Stmt::Assign { expr, .. } => assert!(matches!(expr, Expr::Sel(_, _, _))),
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse("app a; x = -y + ~z;").unwrap();
+        match &p.main[0] {
+            Stmt::Assign { expr, .. } => {
+                assert!(matches!(expr, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_block_reports_position() {
+        let err = parse("app a; loop l times 2 { x = 1;").unwrap_err();
+        match err {
+            FrontError::Parse { message, .. } => assert!(message.contains("unclosed")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_reports_expected() {
+        let err = parse("app a; x = 1").unwrap_err();
+        match err {
+            FrontError::Parse { message, .. } => assert!(message.contains("`;`")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shift_and_bitwise_parse() {
+        let p = parse("app a; x = a << 2 & b | c ^ d;").unwrap();
+        assert!(matches!(
+            &p.main[0],
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::Or, _, _),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,116 @@
+//! Golden-structure tests: complete LYC programs lower to exactly the
+//! expected BSB arrays, plus fuzz-ish robustness checks on the parser.
+
+use lycos_frontend::{compile, parse, FrontError};
+use lycos_ir::{extract_bsbs, OpKind};
+use proptest::prelude::*;
+
+#[test]
+fn figure4_like_program_produces_expected_hierarchy() {
+    // The paper's Figure 4 structure: loop, conditional with two
+    // branches, a wait and a function.
+    let cdfg = compile(
+        "app fig4;
+         func filter() {
+           acc = acc + x * k;
+         }
+         loop l times 8 test (i < n) {
+           i = i + 1;
+           call filter;
+         }
+         if br prob 0.5 test (acc > 100) {
+           y = acc >> 1;
+         } else {
+           y = acc;
+         }
+         wait w;
+         emit y;",
+    )
+    .unwrap();
+    let bsbs = extract_bsbs(&cdfg, None).unwrap();
+    let names: Vec<&str> = bsbs.iter().map(|b| b.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["l.test", "b1", "b2", "br.test", "b4", "b5", "b6.emit"]
+    );
+    assert_eq!(bsbs[0].profile, 9, "loop test: trips + 1");
+    assert_eq!(bsbs[1].profile, 8, "loop body");
+    assert_eq!(bsbs[2].profile, 8, "inlined call body");
+    assert_eq!(bsbs[4].profile, 1, "then branch: 0.5 rounds to 1");
+    let tree = cdfg.root().render_tree();
+    assert!(tree.contains("Fu filter"));
+    assert!(tree.contains("Cond br"));
+    assert!(tree.contains("Wait w"));
+}
+
+#[test]
+fn hal_golden_structure() {
+    let app = lycos_apps_source("hal");
+    let cdfg = compile(&app).unwrap();
+    let bsbs = extract_bsbs(&cdfg, None).unwrap();
+    assert_eq!(bsbs.len(), 5);
+    let body = &bsbs[2];
+    assert_eq!(body.dfg.count_of(OpKind::Mul), 5);
+    assert_eq!(body.dfg.count_of(OpKind::Sub), 2);
+    assert_eq!(body.dfg.count_of(OpKind::Add), 2);
+    assert_eq!(body.dfg.count_of(OpKind::Const), 1, "the shared literal 3");
+}
+
+/// Reads a bundled app source from the apps crate's data directory
+/// (the test exercises the same files the crate embeds).
+fn lycos_apps_source(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../apps/lyc");
+    std::fs::read_to_string(format!("{path}/{name}.lyc")).expect("bundled source exists")
+}
+
+#[test]
+fn all_bundled_sources_compile_through_the_public_entry() {
+    for name in ["straight", "hal", "man", "eigen"] {
+        let src = lycos_apps_source(name);
+        let cdfg = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(extract_bsbs(&cdfg, None).unwrap().len() >= 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer/parser never panic on arbitrary input — they either
+    /// parse or return a positioned error.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Any parse error carries a sane position.
+    #[test]
+    fn parse_errors_have_positions(input in "app [a-z]{1,8}; [a-z =+*;(){}0-9]{0,60}") {
+        match parse(&input) {
+            Ok(p) => prop_assert!(!p.name.is_empty()),
+            Err(FrontError::Parse { pos, .. }) => {
+                prop_assert!(pos.line >= 1);
+                prop_assert!(pos.col >= 1);
+            }
+            Err(FrontError::Lex { pos, .. }) => {
+                prop_assert!(pos.line >= 1);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Well-formed single-assignment programs always compile, and the
+    /// DFG has exactly the ops the expression tree implies.
+    #[test]
+    fn arithmetic_round_trip(ops in prop::collection::vec(
+        prop::sample::select(vec!["+", "-", "*"]), 1..6))
+    {
+        let mut expr = String::from("x0");
+        for (i, op) in ops.iter().enumerate() {
+            expr.push_str(&format!(" {op} x{}", i + 1));
+        }
+        let src = format!("app t; y = {expr};");
+        let cdfg = compile(&src).unwrap();
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        prop_assert_eq!(bsbs[0].op_count(), ops.len());
+    }
+}

@@ -1,0 +1,97 @@
+//! Hardware/software communication model.
+//!
+//! The LYCOS target architecture assumes memory-mapped communication
+//! between processor and ASIC (§1): every value crossing the boundary is
+//! a bus transfer with a fixed per-word cost, and every burst pays a
+//! synchronisation overhead. The paper's speed-ups "include
+//! hardware/software communication time estimates" (§5), so the PACE
+//! evaluation charges this model at every software↔hardware boundary.
+
+use crate::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Memory-mapped bus transfer cost model.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::{CommModel, Cycles};
+///
+/// let bus = CommModel::standard();
+/// assert_eq!(bus.transfer_time(0), Cycles::ZERO);
+/// // 4 words: sync overhead + 4 per-word transfers.
+/// assert_eq!(bus.transfer_time(4), Cycles::new(10 + 4 * 4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Bus cycles per transferred word.
+    pub cycles_per_word: u64,
+    /// Fixed synchronisation cost per transfer burst.
+    pub sync_overhead: u64,
+}
+
+impl CommModel {
+    /// The default model: 4 cycles per word, 10 cycles handshake.
+    pub const fn standard() -> Self {
+        CommModel {
+            cycles_per_word: 4,
+            sync_overhead: 10,
+        }
+    }
+
+    /// A model with no communication cost (for ablations that ignore
+    /// communication, as the allocation algorithm itself does — §4.1).
+    pub const fn free() -> Self {
+        CommModel {
+            cycles_per_word: 0,
+            sync_overhead: 0,
+        }
+    }
+
+    /// Time to move `words` values across the boundary in one burst.
+    /// Zero words costs nothing (no burst is issued).
+    pub fn transfer_time(&self, words: u64) -> Cycles {
+        if words == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new(self.sync_overhead + self.cycles_per_word * words)
+        }
+    }
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_words_is_free() {
+        assert_eq!(CommModel::standard().transfer_time(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn cost_is_affine_in_words() {
+        let m = CommModel::standard();
+        let one = m.transfer_time(1).count();
+        let two = m.transfer_time(2).count();
+        let three = m.transfer_time(3).count();
+        assert_eq!(two - one, three - two, "constant marginal word cost");
+        assert_eq!(two - one, m.cycles_per_word);
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let m = CommModel::free();
+        assert_eq!(m.transfer_time(100), Cycles::ZERO);
+    }
+
+    #[test]
+    fn standard_is_default() {
+        assert_eq!(CommModel::standard(), CommModel::default());
+    }
+}

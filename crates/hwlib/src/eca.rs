@@ -1,0 +1,151 @@
+//! Estimated Controller Area — ECA (§4.2).
+//!
+//! Moving a BSB to hardware costs, besides any data-path resources, the
+//! area of the finite-state-machine controller that sequences it. The
+//! paper estimates the number of states `N` as the ASAP schedule length
+//! (optimistic — §5.1) and sets
+//!
+//! ```text
+//! ECA = A_R + A_AG + A_OG + log2(N)·A_R + (N − 1)·(A_IG + 2·A_AG)
+//! ```
+//!
+//! where `A_R`, `A_AG`, `A_OG`, `A_IG` are the areas of a register, an
+//! and-gate, an or-gate and an inverter ([`GateCosts`]).
+
+use crate::{Area, GateCosts};
+use serde::{Deserialize, Serialize};
+
+/// The controller area model.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::{Area, EcaModel};
+///
+/// let eca = EcaModel::standard();
+/// // A one-state controller still needs its base logic.
+/// assert!(eca.controller_area(1) > Area::ZERO);
+/// // More states, more area — monotone in N.
+/// assert!(eca.controller_area(20) > eca.controller_area(10));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EcaModel {
+    gates: GateCosts,
+}
+
+impl EcaModel {
+    /// The model with standard gate costs.
+    pub fn standard() -> Self {
+        EcaModel {
+            gates: GateCosts::standard(),
+        }
+    }
+
+    /// A model with custom gate costs.
+    pub fn new(gates: GateCosts) -> Self {
+        EcaModel { gates }
+    }
+
+    /// The gate costs in use.
+    pub fn gates(&self) -> GateCosts {
+        self.gates
+    }
+
+    /// The Estimated Controller Area for a controller with `states`
+    /// states, per the paper's formula. `log2` is taken as
+    /// `ceil(log2(N))` — the number of state-register bits needed to
+    /// encode `N` states. A zero-state (empty) block costs nothing.
+    pub fn controller_area(&self, states: u64) -> Area {
+        if states == 0 {
+            return Area::ZERO;
+        }
+        let g = &self.gates;
+        let state_bits = bits_for(states);
+        g.register
+            + g.and_gate
+            + g.or_gate
+            + g.register * state_bits
+            + (g.inverter + g.and_gate * 2) * (states - 1)
+    }
+}
+
+impl Default for EcaModel {
+    fn default() -> Self {
+        EcaModel::standard()
+    }
+}
+
+/// Number of register bits needed to encode `n ≥ 1` states:
+/// `ceil(log2(n))`, with one state needing zero bits.
+fn bits_for(n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    64 - (n - 1).leading_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_matches_ceil_log2() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+        assert_eq!(bits_for(1024), 10);
+        assert_eq!(bits_for(1025), 11);
+    }
+
+    #[test]
+    fn zero_states_costs_nothing() {
+        assert_eq!(EcaModel::standard().controller_area(0), Area::ZERO);
+    }
+
+    #[test]
+    fn one_state_controller_is_base_logic_only() {
+        // A_R + A_AG + A_OG + 0·A_R + 0·(...) = 64 + 16 + 16 = 96
+        assert_eq!(EcaModel::standard().controller_area(1), Area::new(96));
+    }
+
+    #[test]
+    fn formula_hand_check_n10() {
+        // 96 + ceil(log2 10)=4 bits ·64 + 9·(8 + 2·16) = 96 + 256 + 360 = 712
+        assert_eq!(EcaModel::standard().controller_area(10), Area::new(712));
+    }
+
+    #[test]
+    fn formula_hand_check_n50() {
+        // 96 + 6·64 + 49·40 = 2440
+        assert_eq!(EcaModel::standard().controller_area(50), Area::new(2440));
+    }
+
+    #[test]
+    fn monotone_in_states() {
+        let eca = EcaModel::standard();
+        let mut prev = eca.controller_area(1);
+        for n in 2..200 {
+            let cur = eca.controller_area(n);
+            assert!(cur > prev, "ECA must grow with N (n={n})");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn custom_gates_scale_result() {
+        let double = GateCosts {
+            register: Area::new(128),
+            and_gate: Area::new(32),
+            or_gate: Area::new(32),
+            inverter: Area::new(16),
+        };
+        let eca = EcaModel::new(double);
+        assert_eq!(
+            eca.controller_area(10).gates(),
+            EcaModel::standard().controller_area(10).gates() * 2
+        );
+        assert_eq!(eca.gates(), double);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for hardware-library operations.
+
+use crate::FuId;
+use lycos_ir::OpKind;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or querying a [`crate::HwLibrary`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A functional-unit id was not present in the library.
+    UnknownFu {
+        /// The offending id.
+        fu: FuId,
+    },
+    /// A unit was registered as default for an operation it cannot execute.
+    CannotExecute {
+        /// The unit.
+        fu: FuId,
+        /// The operation it was asked to execute.
+        op: OpKind,
+    },
+    /// No unit in the library can execute the operation.
+    NoUnitFor {
+        /// The unsupported operation.
+        op: OpKind,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::UnknownFu { fu } => write!(f, "unknown functional unit {fu}"),
+            HwError::CannotExecute { fu, op } => {
+                write!(f, "functional unit {fu} cannot execute `{op}`")
+            }
+            HwError::NoUnitFor { op } => {
+                write!(f, "no functional unit in the library executes `{op}`")
+            }
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            format!("{}", HwError::UnknownFu { fu: FuId(9) }),
+            "unknown functional unit fu9"
+        );
+        assert!(format!(
+            "{}",
+            HwError::CannotExecute {
+                fu: FuId(0),
+                op: OpKind::Div
+            }
+        )
+        .contains("div"));
+        assert!(format!("{}", HwError::NoUnitFor { op: OpKind::Mul }).contains("mul"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync>() {}
+        assert_err::<HwError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Gate-level area primitives for the controller estimate (§4.2).
+//!
+//! The Estimated Controller Area formula is expressed in terms of the
+//! areas of a register, an and-gate, an or-gate and an inverter. The
+//! defaults are typical standard-cell gate-equivalent figures; they are
+//! configurable so the area model can be re-fitted to another technology.
+
+use crate::Area;
+use serde::{Deserialize, Serialize};
+
+/// Areas of the four gate primitives used by the ECA formula.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::GateCosts;
+///
+/// let g = GateCosts::default();
+/// assert!(g.register.gates() > g.and_gate.gates());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GateCosts {
+    /// Area of one state register bit (`A_R`).
+    pub register: Area,
+    /// Area of one and-gate (`A_AG`).
+    pub and_gate: Area,
+    /// Area of one or-gate (`A_OG`).
+    pub or_gate: Area,
+    /// Area of one inverter (`A_IG`).
+    pub inverter: Area,
+}
+
+impl GateCosts {
+    /// Defaults fitted to the paper's era: controller state registers
+    /// and decode logic were laid out alongside wide data-path cells,
+    /// so one register bit weighs in at 64 area units, and/or gates at
+    /// 16 and inverters at 8 (the 8:2:2:1 ratio of standard-cell gate
+    /// equivalents, scaled so that a realistic controller costs a
+    /// double-digit percentage of its block's data path — Table 1's
+    /// *Size* column).
+    pub const fn standard() -> Self {
+        GateCosts {
+            register: Area::new(64),
+            and_gate: Area::new(16),
+            or_gate: Area::new(16),
+            inverter: Area::new(8),
+        }
+    }
+}
+
+impl Default for GateCosts {
+    fn default() -> Self {
+        GateCosts::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matches_default() {
+        assert_eq!(GateCosts::standard(), GateCosts::default());
+    }
+
+    #[test]
+    fn standard_values() {
+        let g = GateCosts::standard();
+        assert_eq!(g.register, Area::new(64));
+        assert_eq!(g.and_gate, Area::new(16));
+        assert_eq!(g.or_gate, Area::new(16));
+        assert_eq!(g.inverter, Area::new(8));
+        // The classic 8:2:2:1 gate-equivalent ratio is preserved.
+        assert_eq!(g.register.gates(), 8 * g.inverter.gates());
+        assert_eq!(g.and_gate, g.or_gate);
+    }
+}

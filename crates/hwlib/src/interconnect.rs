@@ -1,0 +1,128 @@
+//! Interconnect and storage area estimates — the paper's third
+//! future-work item (§6: "incorporating interconnect and storage size
+//! estimates would be interesting to look into").
+//!
+//! The base cost model counts only functional units and controllers.
+//! This model adds the structures that connect them: operand
+//! multiplexers in front of shared unit inputs, and the registers that
+//! hold a block's live values at its boundary. Both are simple linear
+//! estimates — the intent (as for the ECA) is a fast pre-partitioning
+//! figure, not a layout.
+
+use crate::{Area, HwLibrary};
+use lycos_ir::Bsb;
+use serde::{Deserialize, Serialize};
+
+/// Linear interconnect/storage area model.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::{Area, InterconnectModel};
+///
+/// let m = InterconnectModel::standard();
+/// // Sharing grows muxes: five units cost more glue than one.
+/// assert!(m.datapath_overhead(5) > m.datapath_overhead(1));
+/// assert_eq!(m.datapath_overhead(0), Area::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct InterconnectModel {
+    /// Mux area per functional-unit operand input (units have two).
+    pub mux_per_input: Area,
+    /// Register area per boundary-live value of a block.
+    pub register_per_value: Area,
+}
+
+impl InterconnectModel {
+    /// Defaults: a 16-bit 2:1 operand mux ≈ 48 GE; a 16-bit boundary
+    /// register ≈ 128 GE (16 × the 8-GE-scaled flip-flop of
+    /// [`crate::GateCosts`]).
+    pub const fn standard() -> Self {
+        InterconnectModel {
+            mux_per_input: Area::new(48),
+            register_per_value: Area::new(128),
+        }
+    }
+
+    /// Steering overhead for a data path of `units` functional-unit
+    /// instances: every instance carries muxes on its two operand
+    /// inputs.
+    pub fn datapath_overhead(&self, units: u64) -> Area {
+        self.mux_per_input * (2 * units)
+    }
+
+    /// Storage for one block's boundary values: a register per
+    /// variable read from or written to the environment.
+    pub fn block_storage(&self, bsb: &Bsb) -> Area {
+        let values = (bsb.reads.len() + bsb.writes.len()) as u64;
+        self.register_per_value * values
+    }
+
+    /// Total extra area for an allocation of `units` instances driving
+    /// the given hardware blocks — the figure to add to data path +
+    /// controllers when the extension is enabled.
+    pub fn total_overhead<'a>(
+        &self,
+        units: u64,
+        hw_blocks: impl IntoIterator<Item = &'a Bsb>,
+        _lib: &HwLibrary,
+    ) -> Area {
+        self.datapath_overhead(units)
+            + hw_blocks
+                .into_iter()
+                .map(|b| self.block_storage(b))
+                .sum::<Area>()
+    }
+}
+
+impl Default for InterconnectModel {
+    fn default() -> Self {
+        InterconnectModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{BsbId, BsbOrigin, Dfg};
+    use std::collections::BTreeSet;
+
+    fn bsb(reads: &[&str], writes: &[&str]) -> Bsb {
+        Bsb {
+            id: BsbId(0),
+            name: "b".into(),
+            dfg: Dfg::new(),
+            reads: reads.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            writes: writes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+            profile: 1,
+            origin: BsbOrigin::Body,
+        }
+    }
+
+    #[test]
+    fn overhead_is_linear_in_units() {
+        let m = InterconnectModel::standard();
+        assert_eq!(m.datapath_overhead(1), Area::new(96));
+        assert_eq!(m.datapath_overhead(4), Area::new(4 * 96));
+    }
+
+    #[test]
+    fn storage_counts_boundary_values() {
+        let m = InterconnectModel::standard();
+        let b = bsb(&["a", "b"], &["x"]);
+        assert_eq!(m.block_storage(&b), Area::new(3 * 128));
+        assert_eq!(m.block_storage(&bsb(&[], &[])), Area::ZERO);
+    }
+
+    #[test]
+    fn total_combines_both_parts() {
+        let m = InterconnectModel::standard();
+        let lib = HwLibrary::standard();
+        let blocks = [bsb(&["a"], &["x"]), bsb(&["x"], &["y"])];
+        let total = m.total_overhead(3, blocks.iter(), &lib);
+        assert_eq!(total, Area::new(3 * 96 + 2 * 128 + 2 * 128));
+    }
+}

@@ -1,0 +1,50 @@
+//! Hardware resource library for the LYCOS reproduction.
+//!
+//! Implements the hardware side of the paper's target architecture
+//! (Figure 1) and cost models (§4.2):
+//!
+//! * [`FuSpec`] / [`HwLibrary`] — functional-unit kinds (area, latency,
+//!   executable operations) and the default unit per operation type;
+//! * [`GateCosts`] / [`EcaModel`] — the Estimated Controller Area formula
+//!   `ECA = A_R + A_AG + A_OG + log2(N)·A_R + (N−1)·(A_IG + 2·A_AG)`;
+//! * [`SwProcessor`] — serial software execution costs;
+//! * [`CommModel`] — memory-mapped hardware/software transfer costs;
+//! * [`Area`] / [`Cycles`] — unit newtypes keeping cost domains apart.
+//!
+//! # Examples
+//!
+//! ```
+//! use lycos_hwlib::{EcaModel, HwLibrary};
+//! use lycos_ir::OpKind;
+//!
+//! let lib = HwLibrary::standard();
+//! let mult = lib.fu_for(OpKind::Mul)?;
+//! println!("a multiplier costs {}", lib.area_of(mult));
+//!
+//! let eca = EcaModel::standard();
+//! println!("a 12-state controller costs {}", eca.controller_area(12));
+//! # Ok::<(), lycos_hwlib::HwError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod comm;
+mod eca;
+mod error;
+mod gates;
+mod interconnect;
+mod library;
+mod processor;
+mod resource;
+mod units;
+
+pub use comm::CommModel;
+pub use eca::EcaModel;
+pub use error::HwError;
+pub use gates::GateCosts;
+pub use interconnect::InterconnectModel;
+pub use library::HwLibrary;
+pub use processor::SwProcessor;
+pub use resource::{FuId, FuSpec};
+pub use units::{Area, Cycles};

@@ -1,0 +1,368 @@
+//! The hardware resource library.
+//!
+//! A [`HwLibrary`] holds the functional-unit kinds available to the data
+//! path and designates, for every operation type, the *default* unit the
+//! base flow allocates (the paper assumes a fixed resource per operation
+//! type; choosing among alternatives is its future-work extension,
+//! implemented in `lycos-core::selection`).
+
+use crate::{Area, FuId, FuSpec, HwError};
+use lycos_ir::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A library of functional-unit kinds plus the default unit per operation.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::OpKind;
+///
+/// let lib = HwLibrary::standard();
+/// let mul = lib.fu_for(OpKind::Mul)?;
+/// assert_eq!(lib.fu(mul).name, "multiplier");
+/// assert!(lib.fu(mul).area > lib.fu(lib.fu_for(OpKind::Add)?).area);
+/// # Ok::<(), lycos_hwlib::HwError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct HwLibrary {
+    fus: Vec<FuSpec>,
+    defaults: BTreeMap<OpKind, FuId>,
+}
+
+impl HwLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        HwLibrary::default()
+    }
+
+    /// The standard library used throughout the reproduction: one unit
+    /// kind per operation class, with gate-equivalent areas and latencies
+    /// typical for 16-bit units.
+    pub fn standard() -> Self {
+        let mut lib = HwLibrary::new();
+        let specs = [
+            ("adder", 200, 1, vec![OpKind::Add]),
+            ("subtractor", 220, 1, vec![OpKind::Sub, OpKind::Neg]),
+            ("multiplier", 2000, 2, vec![OpKind::Mul]),
+            ("divider", 3500, 8, vec![OpKind::Div, OpKind::Mod]),
+            (
+                "comparator",
+                150,
+                1,
+                vec![
+                    OpKind::Lt,
+                    OpKind::Le,
+                    OpKind::Gt,
+                    OpKind::Ge,
+                    OpKind::Eq,
+                    OpKind::Ne,
+                ],
+            ),
+            ("shifter", 250, 1, vec![OpKind::Shl, OpKind::Shr]),
+            (
+                "logic",
+                100,
+                1,
+                vec![OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Not],
+            ),
+            ("mover", 50, 1, vec![OpKind::Mux, OpKind::Copy]),
+            ("constgen", 60, 1, vec![OpKind::Const]),
+            ("memport", 400, 2, vec![OpKind::Load, OpKind::Store]),
+        ];
+        for (name, area, lat, ops) in specs {
+            let ops_clone = ops.clone();
+            let id = lib.add_fu(FuSpec::new(name, Area::new(area), lat, ops));
+            for op in ops_clone {
+                lib.defaults.insert(op, id);
+            }
+        }
+        lib
+    }
+
+    /// The standard library plus slower/cheaper and faster/larger
+    /// alternatives for adders, multipliers and dividers — the input for
+    /// the module-selection extension (paper §6 future work).
+    ///
+    /// Defaults stay on the standard units; the alternatives only appear
+    /// through [`HwLibrary::candidates`].
+    pub fn extended() -> Self {
+        let mut lib = HwLibrary::standard();
+        lib.add_fu(FuSpec::new(
+            "ripple-adder",
+            Area::new(120),
+            2,
+            vec![OpKind::Add],
+        ));
+        lib.add_fu(FuSpec::new(
+            "cla-adder",
+            Area::new(350),
+            1,
+            vec![OpKind::Add],
+        ));
+        lib.add_fu(FuSpec::new(
+            "serial-multiplier",
+            Area::new(800),
+            6,
+            vec![OpKind::Mul],
+        ));
+        lib.add_fu(FuSpec::new(
+            "serial-divider",
+            Area::new(1800),
+            16,
+            vec![OpKind::Div, OpKind::Mod],
+        ));
+        lib
+    }
+
+    /// Adds a unit kind and returns its id. The unit does not become a
+    /// default for any operation; use [`HwLibrary::set_default`].
+    pub fn add_fu(&mut self, spec: FuSpec) -> FuId {
+        let id = FuId(self.fus.len() as u32);
+        self.fus.push(spec);
+        id
+    }
+
+    /// Number of unit kinds in the library.
+    pub fn len(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Whether the library holds no unit kinds.
+    pub fn is_empty(&self) -> bool {
+        self.fus.is_empty()
+    }
+
+    /// The unit kinds, indexable by [`FuId::index`].
+    pub fn fus(&self) -> &[FuSpec] {
+        &self.fus
+    }
+
+    /// The spec of one unit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this library.
+    pub fn fu(&self, id: FuId) -> &FuSpec {
+        &self.fus[id.index()]
+    }
+
+    /// Ids of all unit kinds.
+    pub fn fu_ids(&self) -> impl ExactSizeIterator<Item = FuId> + '_ {
+        (0..self.fus.len() as u32).map(FuId)
+    }
+
+    /// Declares `fu` the default unit for operation `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::UnknownFu`] if `fu` is not in the library;
+    /// [`HwError::CannotExecute`] if the unit does not execute `op`.
+    pub fn set_default(&mut self, op: OpKind, fu: FuId) -> Result<(), HwError> {
+        let spec = self.fus.get(fu.index()).ok_or(HwError::UnknownFu { fu })?;
+        if !spec.executes(op) {
+            return Err(HwError::CannotExecute { fu, op });
+        }
+        self.defaults.insert(op, fu);
+        Ok(())
+    }
+
+    /// The default unit kind for operation `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::NoUnitFor`] if no default was registered for `op`.
+    pub fn fu_for(&self, op: OpKind) -> Result<FuId, HwError> {
+        self.defaults
+            .get(&op)
+            .copied()
+            .ok_or(HwError::NoUnitFor { op })
+    }
+
+    /// All unit kinds able to execute `op` (defaults and alternatives).
+    pub fn candidates(&self, op: OpKind) -> Vec<FuId> {
+        self.fu_ids()
+            .filter(|&id| self.fu(id).executes(op))
+            .collect()
+    }
+
+    /// Latency, in control steps, of `op` on its default unit.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::NoUnitFor`] if no default was registered for `op`.
+    pub fn latency_of(&self, op: OpKind) -> Result<u32, HwError> {
+        Ok(self.fu(self.fu_for(op)?).latency)
+    }
+
+    /// Area of one instance of the unit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this library.
+    pub fn area_of(&self, id: FuId) -> Area {
+        self.fu(id).area
+    }
+
+    /// Looks a unit kind up by name.
+    pub fn by_name(&self, name: &str) -> Option<FuId> {
+        self.fu_ids().find(|&id| self.fu(id).name == name)
+    }
+
+    /// Checks that every default unit actually executes its operation and
+    /// that every id is in range (library invariant).
+    ///
+    /// # Errors
+    ///
+    /// The first violated mapping as [`HwError`].
+    pub fn validate(&self) -> Result<(), HwError> {
+        for (&op, &fu) in &self.defaults {
+            let spec = self.fus.get(fu.index()).ok_or(HwError::UnknownFu { fu })?;
+            if !spec.executes(op) {
+                return Err(HwError::CannotExecute { fu, op });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for HwLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "hardware library ({} unit kinds)", self.fus.len())?;
+        for id in self.fu_ids() {
+            let d = self
+                .defaults
+                .iter()
+                .filter(|&(_, &v)| v == id)
+                .map(|(k, _)| k.mnemonic())
+                .collect::<Vec<_>>();
+            let marker = if d.is_empty() {
+                String::new()
+            } else {
+                format!("  [default for {}]", d.join(","))
+            };
+            writeln!(f, "  {}: {}{}", id, self.fu(id), marker)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_covers_all_op_kinds() {
+        let lib = HwLibrary::standard();
+        for op in OpKind::ALL {
+            let fu = lib
+                .fu_for(op)
+                .unwrap_or_else(|_| panic!("no unit for {op}"));
+            assert!(lib.fu(fu).executes(op));
+        }
+        lib.validate().unwrap();
+    }
+
+    #[test]
+    fn default_mapping_is_one_to_one_per_op() {
+        let lib = HwLibrary::standard();
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Add).unwrap()).name, "adder");
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Neg).unwrap()).name, "subtractor");
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Mod).unwrap()).name, "divider");
+        assert_eq!(lib.fu(lib.fu_for(OpKind::Const).unwrap()).name, "constgen");
+    }
+
+    #[test]
+    fn area_ordering_is_sane() {
+        let lib = HwLibrary::standard();
+        let area = |n: &str| lib.fu(lib.by_name(n).unwrap()).area;
+        assert!(area("divider") > area("multiplier"));
+        assert!(area("multiplier") > area("adder"));
+        assert!(area("adder") > area("constgen"));
+    }
+
+    #[test]
+    fn extended_adds_alternatives_without_changing_defaults() {
+        let std_lib = HwLibrary::standard();
+        let ext = HwLibrary::extended();
+        assert!(ext.len() > std_lib.len());
+        assert_eq!(
+            ext.fu(ext.fu_for(OpKind::Mul).unwrap()).name,
+            "multiplier",
+            "default unchanged"
+        );
+        let muls = ext.candidates(OpKind::Mul);
+        assert_eq!(muls.len(), 2, "multiplier + serial-multiplier");
+        let adds = ext.candidates(OpKind::Add);
+        assert_eq!(adds.len(), 3, "adder + ripple + cla");
+    }
+
+    #[test]
+    fn set_default_validates() {
+        let mut lib = HwLibrary::standard();
+        let cla = lib.add_fu(FuSpec::new("cla", Area::new(350), 1, vec![OpKind::Add]));
+        lib.set_default(OpKind::Add, cla).unwrap();
+        assert_eq!(lib.fu_for(OpKind::Add).unwrap(), cla);
+        assert_eq!(
+            lib.set_default(OpKind::Mul, cla),
+            Err(HwError::CannotExecute {
+                fu: cla,
+                op: OpKind::Mul
+            })
+        );
+        assert_eq!(
+            lib.set_default(OpKind::Add, FuId(99)),
+            Err(HwError::UnknownFu { fu: FuId(99) })
+        );
+    }
+
+    #[test]
+    fn empty_library_reports_no_unit() {
+        let lib = HwLibrary::new();
+        assert!(lib.is_empty());
+        assert_eq!(
+            lib.fu_for(OpKind::Add),
+            Err(HwError::NoUnitFor { op: OpKind::Add })
+        );
+        assert!(lib.candidates(OpKind::Add).is_empty());
+    }
+
+    #[test]
+    fn latency_of_default_units() {
+        let lib = HwLibrary::standard();
+        assert_eq!(lib.latency_of(OpKind::Add).unwrap(), 1);
+        assert_eq!(lib.latency_of(OpKind::Mul).unwrap(), 2);
+        assert_eq!(lib.latency_of(OpKind::Div).unwrap(), 8);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let lib = HwLibrary::standard();
+        assert!(lib.by_name("adder").is_some());
+        assert!(lib.by_name("flux-capacitor").is_none());
+    }
+
+    #[test]
+    fn display_lists_units_and_defaults() {
+        let lib = HwLibrary::standard();
+        let text = format!("{lib}");
+        assert!(text.contains("multiplier"));
+        assert!(text.contains("[default for"));
+    }
+
+    #[test]
+    fn validate_catches_broken_default() {
+        let mut lib = HwLibrary::standard();
+        let mult = lib.by_name("multiplier").unwrap();
+        lib.defaults.insert(OpKind::Add, mult); // bypasses set_default checks
+        assert_eq!(
+            lib.validate(),
+            Err(HwError::CannotExecute {
+                fu: mult,
+                op: OpKind::Add
+            })
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Software execution model — the processor side of the target
+//! architecture (Figure 1).
+//!
+//! In software, operations execute serially (§2); a BSB's software time is
+//! the sum of its operations' cycle costs times its profile count. The
+//! default cost table models a small embedded integer core: single-cycle
+//! ALU with load/store and multi-cycle multiply/divide, plus a constant
+//! per-operation fetch/decode overhead folded into the figures.
+
+use crate::Cycles;
+use lycos_ir::{Bsb, Dfg, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-operation software cycle costs.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::{Cycles, SwProcessor};
+/// use lycos_ir::{Dfg, OpKind};
+///
+/// let cpu = SwProcessor::standard();
+/// let mut dfg = Dfg::new();
+/// dfg.add_op(OpKind::Mul);
+/// dfg.add_op(OpKind::Add);
+/// // mul (6) + add (2) = 8 cycles, executed serially.
+/// assert_eq!(cpu.block_time(&dfg), Cycles::new(8));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SwProcessor {
+    name: String,
+    cycles: BTreeMap<OpKind, u64>,
+}
+
+impl SwProcessor {
+    /// The default embedded-core model.
+    pub fn standard() -> Self {
+        let mut cycles = BTreeMap::new();
+        let table = [
+            (OpKind::Add, 2),
+            (OpKind::Sub, 2),
+            (OpKind::Mul, 6),
+            (OpKind::Div, 24),
+            (OpKind::Mod, 24),
+            (OpKind::Neg, 2),
+            (OpKind::Shl, 2),
+            (OpKind::Shr, 2),
+            (OpKind::And, 2),
+            (OpKind::Or, 2),
+            (OpKind::Xor, 2),
+            (OpKind::Not, 2),
+            (OpKind::Lt, 2),
+            (OpKind::Le, 2),
+            (OpKind::Gt, 2),
+            (OpKind::Ge, 2),
+            (OpKind::Eq, 2),
+            (OpKind::Ne, 2),
+            (OpKind::Mux, 3),
+            (OpKind::Const, 1),
+            (OpKind::Load, 3),
+            (OpKind::Store, 3),
+            (OpKind::Copy, 1),
+        ];
+        for (op, c) in table {
+            cycles.insert(op, c);
+        }
+        SwProcessor {
+            name: "embedded-risc".into(),
+            cycles,
+        }
+    }
+
+    /// A processor with a custom name and cost table. Operations missing
+    /// from the table cost [`SwProcessor::DEFAULT_OP_CYCLES`].
+    pub fn new(name: impl Into<String>, cycles: BTreeMap<OpKind, u64>) -> Self {
+        SwProcessor {
+            name: name.into(),
+            cycles,
+        }
+    }
+
+    /// A non-pipelined 1998-vintage embedded core of the kind the LYCOS
+    /// experiments targeted: every data-path operation expands into a
+    /// couple of instructions (operand loads, the ALU op, the store) at
+    /// several cycles each, and multiply/divide run in software-assisted
+    /// loops. The Table 1 reproduction uses this model; the hardware
+    /// data path runs one control step per cycle off the same clock.
+    pub fn embedded_1998() -> Self {
+        let mut cycles = BTreeMap::new();
+        let table = [
+            (OpKind::Add, 6),
+            (OpKind::Sub, 6),
+            (OpKind::Mul, 32),
+            // Software division on a core without a divide unit is a
+            // bit-serial library routine — easily 10× a multiply.
+            (OpKind::Div, 160),
+            (OpKind::Mod, 160),
+            (OpKind::Neg, 5),
+            (OpKind::Shl, 6),
+            (OpKind::Shr, 6),
+            (OpKind::And, 5),
+            (OpKind::Or, 5),
+            (OpKind::Xor, 5),
+            (OpKind::Not, 4),
+            (OpKind::Lt, 6),
+            (OpKind::Le, 6),
+            (OpKind::Gt, 6),
+            (OpKind::Ge, 6),
+            (OpKind::Eq, 6),
+            (OpKind::Ne, 6),
+            (OpKind::Mux, 7),
+            (OpKind::Const, 3),
+            (OpKind::Load, 8),
+            (OpKind::Store, 8),
+            (OpKind::Copy, 3),
+        ];
+        for (op, c) in table {
+            cycles.insert(op, c);
+        }
+        SwProcessor {
+            name: "embedded-1998".into(),
+            cycles,
+        }
+    }
+
+    /// Cost assumed for operations absent from the table.
+    pub const DEFAULT_OP_CYCLES: u64 = 2;
+
+    /// The processor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Software cycles for one operation of kind `op`.
+    pub fn op_time(&self, op: OpKind) -> Cycles {
+        Cycles::new(
+            self.cycles
+                .get(&op)
+                .copied()
+                .unwrap_or(Self::DEFAULT_OP_CYCLES),
+        )
+    }
+
+    /// Overrides the cost of one operation kind.
+    pub fn set_op_time(&mut self, op: OpKind, cycles: u64) -> &mut Self {
+        self.cycles.insert(op, cycles);
+        self
+    }
+
+    /// Serial execution time of one block body (one execution).
+    pub fn block_time(&self, dfg: &Dfg) -> Cycles {
+        dfg.ops().iter().map(|o| self.op_time(o.kind)).sum()
+    }
+
+    /// Total software time of a BSB over a whole application run:
+    /// `block_time × profile`.
+    pub fn bsb_time(&self, bsb: &Bsb) -> Cycles {
+        self.block_time(&bsb.dfg) * bsb.profile
+    }
+}
+
+impl Default for SwProcessor {
+    fn default() -> Self {
+        SwProcessor::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{BsbArray, DfgBuilder};
+
+    #[test]
+    fn standard_covers_every_kind() {
+        let cpu = SwProcessor::standard();
+        for op in OpKind::ALL {
+            assert!(cpu.op_time(op).count() >= 1, "{op} must cost time");
+        }
+    }
+
+    #[test]
+    fn division_is_much_slower_than_addition() {
+        let cpu = SwProcessor::standard();
+        assert!(cpu.op_time(OpKind::Div).count() >= 10 * cpu.op_time(OpKind::Add).count() / 2);
+        assert!(cpu.op_time(OpKind::Mul) > cpu.op_time(OpKind::Add));
+    }
+
+    #[test]
+    fn block_time_is_serial_sum() {
+        let mut b = DfgBuilder::new();
+        let t = b.binary(OpKind::Mul, "a".into(), "b".into());
+        b.assign("t", t);
+        let u = b.binary(OpKind::Add, "t".into(), "c".into());
+        b.assign("u", u);
+        let code = b.finish();
+        let cpu = SwProcessor::standard();
+        assert_eq!(cpu.block_time(&code.dfg), Cycles::new(6 + 2));
+    }
+
+    #[test]
+    fn bsb_time_scales_with_profile() {
+        let mut b = DfgBuilder::new();
+        let t = b.binary(OpKind::Add, "a".into(), "b".into());
+        b.assign("t", t);
+        let code = b.finish();
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![lycos_ir::Bsb {
+                id: lycos_ir::BsbId(0),
+                name: "b0".into(),
+                dfg: code.dfg,
+                reads: code.reads,
+                writes: code.writes,
+                profile: 7,
+                origin: lycos_ir::BsbOrigin::Body,
+            }],
+        );
+        let cpu = SwProcessor::standard();
+        assert_eq!(cpu.bsb_time(&bsbs[0]), Cycles::new(2 * 7));
+    }
+
+    #[test]
+    fn unknown_ops_get_default_cost() {
+        let cpu = SwProcessor::new("custom", BTreeMap::new());
+        assert_eq!(
+            cpu.op_time(OpKind::Mul).count(),
+            SwProcessor::DEFAULT_OP_CYCLES
+        );
+        assert_eq!(cpu.name(), "custom");
+    }
+
+    #[test]
+    fn embedded_1998_is_uniformly_slower() {
+        let old = SwProcessor::embedded_1998();
+        let new = SwProcessor::standard();
+        for op in OpKind::ALL {
+            assert!(
+                old.op_time(op) >= new.op_time(op),
+                "{op}: 1998 core must not beat the standard core"
+            );
+        }
+        assert_eq!(old.name(), "embedded-1998");
+        assert_eq!(old.op_time(OpKind::Mul).count(), 32);
+        assert_eq!(old.op_time(OpKind::Div).count(), 160);
+    }
+
+    #[test]
+    fn set_op_time_overrides() {
+        let mut cpu = SwProcessor::standard();
+        cpu.set_op_time(OpKind::Mul, 40);
+        assert_eq!(cpu.op_time(OpKind::Mul), Cycles::new(40));
+    }
+
+    #[test]
+    fn empty_block_costs_nothing() {
+        let cpu = SwProcessor::standard();
+        assert_eq!(cpu.block_time(&Dfg::new()), Cycles::ZERO);
+    }
+}

@@ -1,0 +1,142 @@
+//! Functional-unit descriptions.
+//!
+//! The hardware data path is composed of functional units (adders,
+//! multipliers, …). A [`FuSpec`] describes one unit kind: its area, its
+//! latency in control steps and the operation types it can execute.
+//! Units live in a [`crate::HwLibrary`] and are referred to by [`FuId`].
+
+use crate::{Area, Cycles};
+use lycos_ir::OpKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a functional-unit kind within one [`crate::HwLibrary`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FuId(pub u32);
+
+impl FuId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// Description of one functional-unit kind.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::{Area, FuSpec};
+/// use lycos_ir::OpKind;
+///
+/// let adder = FuSpec::new("adder", Area::new(200), 1, vec![OpKind::Add]);
+/// assert!(adder.executes(OpKind::Add));
+/// assert!(!adder.executes(OpKind::Mul));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FuSpec {
+    /// Human-readable unit name (`"adder"`, `"cla-adder"`, …).
+    pub name: String,
+    /// Data-path area of one instance.
+    pub area: Area,
+    /// Latency of one operation, in control steps (≥ 1).
+    pub latency: u32,
+    /// Operation types this unit can execute.
+    pub ops: Vec<OpKind>,
+}
+
+impl FuSpec {
+    /// Creates a unit description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero or `ops` is empty — a unit must take
+    /// time and must execute something.
+    pub fn new(name: impl Into<String>, area: Area, latency: u32, ops: Vec<OpKind>) -> Self {
+        assert!(latency >= 1, "functional unit latency must be >= 1");
+        assert!(
+            !ops.is_empty(),
+            "functional unit must execute some operation"
+        );
+        FuSpec {
+            name: name.into(),
+            area,
+            latency,
+            ops,
+        }
+    }
+
+    /// Whether this unit can execute operations of type `op`.
+    pub fn executes(&self, op: OpKind) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// The latency as [`Cycles`].
+    pub fn latency_cycles(&self) -> Cycles {
+        Cycles::new(self.latency as u64)
+    }
+}
+
+impl fmt::Display for FuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<&str> = self.ops.iter().map(|o| o.mnemonic()).collect();
+        write!(
+            f,
+            "{} ({}, {} cs, executes {})",
+            self.name,
+            self.area,
+            self.latency,
+            ops.join("/")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_construction_and_queries() {
+        let mul = FuSpec::new("mult", Area::new(2000), 2, vec![OpKind::Mul]);
+        assert!(mul.executes(OpKind::Mul));
+        assert!(!mul.executes(OpKind::Add));
+        assert_eq!(mul.latency_cycles(), Cycles::new(2));
+        assert_eq!(format!("{mul}"), "mult (2000 GE, 2 cs, executes mul)");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be >= 1")]
+    fn zero_latency_rejected() {
+        FuSpec::new("bad", Area::new(1), 0, vec![OpKind::Add]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must execute some operation")]
+    fn empty_ops_rejected() {
+        FuSpec::new("bad", Area::new(1), 1, vec![]);
+    }
+
+    #[test]
+    fn fu_id_display() {
+        assert_eq!(format!("{}", FuId(3)), "fu3");
+        assert_eq!(FuId(3).index(), 3);
+    }
+
+    #[test]
+    fn multi_op_units() {
+        let alu = FuSpec::new(
+            "alu",
+            Area::new(300),
+            1,
+            vec![OpKind::Add, OpKind::Sub, OpKind::And],
+        );
+        assert!(alu.executes(OpKind::Sub));
+        assert!(alu.executes(OpKind::And));
+    }
+}

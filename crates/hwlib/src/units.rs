@@ -1,0 +1,247 @@
+//! Physical units: gate-equivalent area and clock cycles.
+//!
+//! The paper measures hardware cost in abstract area units derived from
+//! gate areas (registers, and/or/inverter gates — §4.2) and time in
+//! control steps / processor cycles. Newtypes keep the two from mixing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Hardware area in gate equivalents.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::Area;
+///
+/// let a = Area::new(200) + Area::new(50);
+/// assert_eq!(a.gates(), 250);
+/// assert_eq!(a - Area::new(100), Area::new(150));
+/// assert_eq!(Area::new(30) * 3, Area::new(90));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Area(u64);
+
+impl Area {
+    /// Zero area.
+    pub const ZERO: Area = Area(0);
+
+    /// An area of `gates` gate equivalents.
+    pub const fn new(gates: u64) -> Self {
+        Area(gates)
+    }
+
+    /// The raw gate-equivalent count.
+    pub const fn gates(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction (never goes below zero).
+    pub fn saturating_sub(self, rhs: Area) -> Area {
+        Area(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs` is larger.
+    pub fn checked_sub(self, rhs: Area) -> Option<Area> {
+        self.0.checked_sub(rhs.0).map(Area)
+    }
+
+    /// This area as a fraction of `total` (0 when `total` is zero).
+    pub fn fraction_of(self, total: Area) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Area {
+    type Output = Area;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`Area::saturating_sub`]/[`Area::checked_sub`] where underflow is
+    /// expected.
+    fn sub(self, rhs: Area) -> Area {
+        Area(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Area {
+    fn sub_assign(&mut self, rhs: Area) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Area {
+    type Output = Area;
+    fn mul(self, rhs: u64) -> Area {
+        Area(self.0 * rhs)
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} GE", self.0)
+    }
+}
+
+/// A duration in clock cycles (control steps on hardware, processor
+/// cycles on software; the reproduction runs both off one clock).
+///
+/// # Examples
+///
+/// ```
+/// use lycos_hwlib::Cycles;
+///
+/// let t = Cycles::new(10) + Cycles::new(5);
+/// assert_eq!(t.count(), 15);
+/// assert!(Cycles::new(3) < Cycles::new(4));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// A duration of `n` cycles.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw cycle count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_arithmetic() {
+        assert_eq!(Area::new(2) + Area::new(3), Area::new(5));
+        assert_eq!(Area::new(5) - Area::new(3), Area::new(2));
+        assert_eq!(Area::new(5) * 4, Area::new(20));
+        let mut a = Area::new(1);
+        a += Area::new(2);
+        a -= Area::new(1);
+        assert_eq!(a, Area::new(2));
+    }
+
+    #[test]
+    fn area_saturating_and_checked_sub() {
+        assert_eq!(Area::new(1).saturating_sub(Area::new(5)), Area::ZERO);
+        assert_eq!(Area::new(5).checked_sub(Area::new(1)), Some(Area::new(4)));
+        assert_eq!(Area::new(1).checked_sub(Area::new(5)), None);
+    }
+
+    #[test]
+    fn area_fraction() {
+        assert_eq!(Area::new(25).fraction_of(Area::new(100)), 0.25);
+        assert_eq!(Area::new(25).fraction_of(Area::ZERO), 0.0);
+    }
+
+    #[test]
+    fn area_sum_and_display() {
+        let total: Area = [Area::new(1), Area::new(2), Area::new(3)].into_iter().sum();
+        assert_eq!(total, Area::new(6));
+        assert_eq!(format!("{total}"), "6 GE");
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        assert_eq!(Cycles::new(2) + Cycles::new(3), Cycles::new(5));
+        assert_eq!(Cycles::new(5) - Cycles::new(3), Cycles::new(2));
+        assert_eq!(Cycles::new(5) * 2, Cycles::new(10));
+        assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+        let mut c = Cycles::new(1);
+        c += Cycles::new(1);
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn cycles_sum_and_display() {
+        let total: Cycles = [Cycles::new(4), Cycles::new(6)].into_iter().sum();
+        assert_eq!(total, Cycles::new(10));
+        assert_eq!(format!("{total}"), "10 cycles");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Area::new(2) < Area::new(10));
+        assert!(Cycles::new(2) < Cycles::new(10));
+    }
+}

@@ -1,0 +1,334 @@
+//! A compact fixed-capacity bit set.
+//!
+//! The data-flow graph uses bit sets to store transitive successor
+//! relations ([`crate::Dfg::transitive_successors`]); with one set per
+//! operation the closure of a `k`-operation block costs `O(k^2 / 64)`
+//! words, which keeps the FURO pre-pass (paper §4.4, `L·k²`) cheap.
+
+use std::fmt;
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+///
+/// The capacity is chosen at construction and never grows; indices
+/// `>= capacity` are rejected with a panic in `insert`/`contains`
+/// (callers in this crate always index by operation id, which is
+/// bounded by the block size).
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(4));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of indices this set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `index` into the set. Returns `true` if it was absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.capacity,
+            "bit index {index} out of capacity {}",
+            self.capacity
+        );
+        let (w, b) = (index / 64, index % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `index` from the set. Returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.capacity,
+            "bit index {index} out of capacity {}",
+            self.capacity
+        );
+        let (w, b) = (index / 64, index % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether `index` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn contains(&self, index: usize) -> bool {
+        assert!(
+            index < self.capacity,
+            "bit index {index} out of capacity {}",
+            self.capacity
+        );
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union: `self = self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bit set capacity mismatch in union"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection: `self = self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bit set capacity mismatch in intersection"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Whether `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the contained indices in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the indices of a [`BitSet`], produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one past the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let mut s = BitSet::new(70);
+        s.insert(65);
+        assert!(s.remove(65));
+        assert!(!s.remove(65));
+        assert!(!s.contains(65));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(8).insert(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn contains_out_of_range_panics() {
+        BitSet::new(8).contains(64);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(2);
+        b.insert(70);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 70]);
+    }
+
+    #[test]
+    fn intersect_with_keeps_common() {
+        let mut a: BitSet = [1usize, 5, 9].into_iter().collect();
+        let b: BitSet = [5usize, 9].into_iter().collect();
+        let b2 = {
+            let mut t = BitSet::new(a.capacity());
+            for i in b.iter() {
+                t.insert(i);
+            }
+            t
+        };
+        a.intersect_with(&b2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 9]);
+    }
+
+    #[test]
+    fn disjoint_and_subset() {
+        let a: BitSet = [1usize, 2, 63, 64].into_iter().collect();
+        let mut b = BitSet::new(65);
+        b.insert(2);
+        b.insert(64);
+        assert!(!a.is_disjoint(&b));
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        let mut c = BitSet::new(65);
+        c.insert(3);
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let s: BitSet = [0usize, 63, 64, 127, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: BitSet = [0usize, 10].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let s = BitSet::new(4);
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn zero_capacity_set_works() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

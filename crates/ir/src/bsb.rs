@@ -1,0 +1,435 @@
+//! Basic Scheduling Blocks — the partitioning granularity (§3).
+//!
+//! The CDFG is translated into a BSB hierarchy whose *leaf* BSBs carry the
+//! computation; the allocation algorithm and the PACE partitioner both see
+//! the application as an array of leaf BSBs in document order
+//! (`[B1; B2; …; BL]` in the paper). [`extract_bsbs`] performs the
+//! flattening and computes each leaf's profile count from the loop trip
+//! counts and branch probabilities on the path to the root.
+
+use crate::{Cdfg, CdfgNode, Dfg, DfgBlock, IrError, ProfileOverrides};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a leaf BSB within one [`BsbArray`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BsbId(pub u32);
+
+impl BsbId {
+    /// The id as a `usize` index into the array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BsbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0 + 1)
+    }
+}
+
+/// Where in the control structure a leaf BSB originated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BsbOrigin {
+    /// Straight-line body code.
+    Body,
+    /// The test block of a loop.
+    LoopTest,
+    /// The test block of a conditional.
+    CondTest,
+    /// Computation attached to a wait statement.
+    Wait,
+}
+
+/// One leaf Basic Scheduling Block.
+///
+/// Carries everything the allocation algorithm (FURO, required resources)
+/// and the partitioner (read/write sets for communication, profile count
+/// for weighting) need to know about the block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Bsb {
+    /// Position in the BSB array.
+    pub id: BsbId,
+    /// Human-readable name (from the CDFG block).
+    pub name: String,
+    /// The block's computation.
+    pub dfg: Dfg,
+    /// Variables consumed from outside the block.
+    pub reads: BTreeSet<String>,
+    /// Variables produced for the outside.
+    pub writes: BTreeSet<String>,
+    /// Profile count `p_k`: executions per application run.
+    pub profile: u64,
+    /// Provenance within the control structure.
+    pub origin: BsbOrigin,
+}
+
+impl Bsb {
+    /// Number of operations in the block.
+    pub fn op_count(&self) -> usize {
+        self.dfg.len()
+    }
+
+    /// Total dynamic operations: `op_count × profile`.
+    pub fn dynamic_ops(&self) -> u64 {
+        self.dfg.len() as u64 * self.profile
+    }
+}
+
+impl fmt::Display for Bsb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} `{}` ({} ops, profile {})",
+            self.id,
+            self.name,
+            self.op_count(),
+            self.profile
+        )
+    }
+}
+
+/// The flattened application: leaf BSBs in document order.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+///
+/// let mut b = DfgBuilder::new();
+/// let t = b.binary(OpKind::Mul, "x".into(), "x".into());
+/// b.assign("y", t);
+/// let cdfg = Cdfg::new(
+///     "squares",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(5),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// assert_eq!(bsbs.len(), 1);
+/// assert_eq!(bsbs[0].profile, 5);
+/// # Ok::<(), lycos_ir::IrError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct BsbArray {
+    app_name: String,
+    bsbs: Vec<Bsb>,
+}
+
+impl BsbArray {
+    /// Builds an array directly from leaf blocks (used by tests and
+    /// synthetic workload generators; ids are reassigned by position).
+    pub fn from_bsbs(app_name: impl Into<String>, mut bsbs: Vec<Bsb>) -> Self {
+        for (i, b) in bsbs.iter_mut().enumerate() {
+            b.id = BsbId(i as u32);
+        }
+        BsbArray {
+            app_name: app_name.into(),
+            bsbs,
+        }
+    }
+
+    /// The application name.
+    pub fn app_name(&self) -> &str {
+        &self.app_name
+    }
+
+    /// Number of leaf BSBs (`L` in the paper).
+    pub fn len(&self) -> usize {
+        self.bsbs.len()
+    }
+
+    /// Whether the application has no leaf BSBs.
+    pub fn is_empty(&self) -> bool {
+        self.bsbs.is_empty()
+    }
+
+    /// Iterates over the BSBs in document order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Bsb> {
+        self.bsbs.iter()
+    }
+
+    /// The BSBs as a slice.
+    pub fn as_slice(&self) -> &[Bsb] {
+        &self.bsbs
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn bsb(&self, id: BsbId) -> &Bsb {
+        &self.bsbs[id.index()]
+    }
+
+    /// The maximum operation count over all BSBs (`k` in §4.4).
+    pub fn max_ops(&self) -> usize {
+        self.bsbs.iter().map(Bsb::op_count).max().unwrap_or(0)
+    }
+
+    /// Total static operations over all BSBs.
+    pub fn total_ops(&self) -> usize {
+        self.bsbs.iter().map(Bsb::op_count).sum()
+    }
+
+    /// Total dynamic operations (weighted by profile counts).
+    pub fn total_dynamic_ops(&self) -> u64 {
+        self.bsbs.iter().map(Bsb::dynamic_ops).sum()
+    }
+}
+
+impl std::ops::Index<usize> for BsbArray {
+    type Output = Bsb;
+
+    fn index(&self, i: usize) -> &Bsb {
+        &self.bsbs[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a BsbArray {
+    type Item = &'a Bsb;
+    type IntoIter = std::slice::Iter<'a, Bsb>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Flattens a CDFG into its leaf-BSB array and computes profile counts.
+///
+/// Profile counts multiply along the path from the root: a loop multiplies
+/// its body by the trip count (and its test by `trips + 1`); a conditional
+/// multiplies the `then` branch by the taken probability and the `else`
+/// branch by its complement. Fractional expected counts are rounded to the
+/// nearest integer at the leaf.
+///
+/// # Errors
+///
+/// Returns [`IrError::UnknownLabel`] if `overrides` references a label not
+/// present in `cdfg`, or [`IrError::Cycle`] if any leaf DFG is cyclic.
+pub fn extract_bsbs(
+    cdfg: &Cdfg,
+    overrides: Option<&ProfileOverrides>,
+) -> Result<BsbArray, IrError> {
+    if let Some(o) = overrides {
+        o.validate_against(cdfg)?;
+    }
+    let mut bsbs = Vec::new();
+    walk(cdfg.root(), 1.0, overrides, &mut bsbs)?;
+    Ok(BsbArray::from_bsbs(cdfg.name(), bsbs))
+}
+
+fn push_leaf(
+    block: &DfgBlock,
+    weight: f64,
+    origin: BsbOrigin,
+    out: &mut Vec<Bsb>,
+) -> Result<(), IrError> {
+    block.code.dfg.validate()?;
+    out.push(Bsb {
+        id: BsbId(out.len() as u32),
+        name: block.name.clone(),
+        dfg: block.code.dfg.clone(),
+        reads: block.code.reads.clone(),
+        writes: block.code.writes.clone(),
+        profile: weight.round().max(0.0) as u64,
+        origin,
+    });
+    Ok(())
+}
+
+fn walk(
+    node: &CdfgNode,
+    weight: f64,
+    overrides: Option<&ProfileOverrides>,
+    out: &mut Vec<Bsb>,
+) -> Result<(), IrError> {
+    match node {
+        CdfgNode::Seq(cs) => {
+            for c in cs {
+                walk(c, weight, overrides, out)?;
+            }
+        }
+        CdfgNode::Block(b) => push_leaf(b, weight, BsbOrigin::Body, out)?,
+        CdfgNode::Loop {
+            label,
+            test,
+            body,
+            trip,
+        } => {
+            let trips = overrides
+                .and_then(|o| o.trip(label))
+                .unwrap_or_else(|| trip.count());
+            if let Some(t) = test {
+                push_leaf(t, weight * (trips + 1) as f64, BsbOrigin::LoopTest, out)?;
+            }
+            walk(body, weight * trips as f64, overrides, out)?;
+        }
+        CdfgNode::Cond {
+            label,
+            test,
+            then_branch,
+            else_branch,
+            taken,
+        } => {
+            let p = overrides.and_then(|o| o.taken(label)).unwrap_or(*taken);
+            if let Some(t) = test {
+                push_leaf(t, weight, BsbOrigin::CondTest, out)?;
+            }
+            walk(then_branch, weight * p, overrides, out)?;
+            if let Some(e) = else_branch {
+                walk(e, weight * (1.0 - p), overrides, out)?;
+            }
+        }
+        CdfgNode::Wait { block, .. } => {
+            if let Some(b) = block {
+                push_leaf(b, weight, BsbOrigin::Wait, out)?;
+            }
+        }
+        CdfgNode::Func { body, .. } => walk(body, weight, overrides, out)?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockCode, DfgBuilder, OpKind, TripCount};
+
+    fn code(ops: usize) -> BlockCode {
+        let mut b = DfgBuilder::new();
+        for i in 0..ops {
+            let id = b.binary(OpKind::Add, "a".into(), "b".into());
+            b.assign(format!("t{i}"), id);
+        }
+        b.finish()
+    }
+
+    fn nested_cdfg() -> Cdfg {
+        // outer loop ×10 { inner loop ×4 { body }, cond p=0.25 { hot } else { cold } }
+        let inner = CdfgNode::Loop {
+            label: "inner".into(),
+            test: Some(DfgBlock::new("inner.test", code(1))),
+            body: Box::new(CdfgNode::block("body", code(3))),
+            trip: TripCount::Fixed(4),
+        };
+        let cond = CdfgNode::Cond {
+            label: "br".into(),
+            test: Some(DfgBlock::new("br.test", code(1))),
+            then_branch: Box::new(CdfgNode::block("hot", code(2))),
+            else_branch: Some(Box::new(CdfgNode::block("cold", code(2)))),
+            taken: 0.25,
+        };
+        Cdfg::new(
+            "nested",
+            CdfgNode::Loop {
+                label: "outer".into(),
+                test: None,
+                body: Box::new(CdfgNode::seq(vec![inner, cond])),
+                trip: TripCount::Fixed(10),
+            },
+        )
+    }
+
+    #[test]
+    fn profile_counts_multiply_along_path() {
+        let bsbs = extract_bsbs(&nested_cdfg(), None).unwrap();
+        let by_name = |n: &str| bsbs.iter().find(|b| b.name == n).unwrap();
+        assert_eq!(by_name("inner.test").profile, 10 * (4 + 1));
+        assert_eq!(by_name("body").profile, 10 * 4);
+        assert_eq!(by_name("br.test").profile, 10);
+        assert_eq!(by_name("hot").profile, (10.0_f64 * 0.25).round() as u64);
+        assert_eq!(by_name("cold").profile, (10.0_f64 * 0.75).round() as u64);
+    }
+
+    #[test]
+    fn document_order_is_preserved() {
+        let bsbs = extract_bsbs(&nested_cdfg(), None).unwrap();
+        let names: Vec<&str> = bsbs.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["inner.test", "body", "br.test", "hot", "cold"]);
+        for (i, b) in bsbs.iter().enumerate() {
+            assert_eq!(b.id.index(), i, "ids are dense and positional");
+        }
+    }
+
+    #[test]
+    fn overrides_change_counts() {
+        let mut p = ProfileOverrides::new();
+        p.set_trip("outer", 2);
+        p.set_taken("br", 1.0).unwrap();
+        let bsbs = extract_bsbs(&nested_cdfg(), Some(&p)).unwrap();
+        let by_name = |n: &str| bsbs.iter().find(|b| b.name == n).unwrap();
+        assert_eq!(by_name("body").profile, 2 * 4);
+        assert_eq!(by_name("hot").profile, 2);
+        assert_eq!(by_name("cold").profile, 0, "never-taken branch");
+    }
+
+    #[test]
+    fn unknown_override_label_is_reported() {
+        let mut p = ProfileOverrides::new();
+        p.set_trip("missing", 5);
+        assert!(matches!(
+            extract_bsbs(&nested_cdfg(), Some(&p)),
+            Err(IrError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn array_statistics() {
+        let bsbs = extract_bsbs(&nested_cdfg(), None).unwrap();
+        assert_eq!(bsbs.len(), 5);
+        assert_eq!(bsbs.max_ops(), 3); // `body` has three adds, a/b are live-in
+        assert_eq!(
+            bsbs.total_ops(),
+            bsbs.iter().map(|b| b.op_count()).sum::<usize>()
+        );
+        assert!(bsbs.total_dynamic_ops() >= bsbs.total_ops() as u64);
+        assert_eq!(bsbs.app_name(), "nested");
+    }
+
+    #[test]
+    fn display_formats() {
+        let bsbs = extract_bsbs(&nested_cdfg(), None).unwrap();
+        let text = format!("{}", bsbs[0]);
+        assert!(text.contains("B1"));
+        assert!(text.contains("inner.test"));
+        assert_eq!(format!("{}", BsbId(0)), "B1");
+    }
+
+    #[test]
+    fn from_bsbs_reassigns_ids() {
+        let a = extract_bsbs(&nested_cdfg(), None).unwrap();
+        let mut blocks: Vec<Bsb> = a.iter().cloned().collect();
+        blocks.reverse();
+        let b = BsbArray::from_bsbs("rev", blocks);
+        for (i, blk) in b.iter().enumerate() {
+            assert_eq!(blk.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn wait_without_block_produces_no_leaf() {
+        let cdfg = Cdfg::new(
+            "w",
+            CdfgNode::Wait {
+                label: "w0".into(),
+                block: None,
+            },
+        );
+        let bsbs = extract_bsbs(&cdfg, None).unwrap();
+        assert!(bsbs.is_empty());
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let bsbs = extract_bsbs(&nested_cdfg(), None).unwrap();
+        assert_eq!(bsbs[0].name, "inner.test");
+        assert_eq!(bsbs.bsb(BsbId(1)).name, "body");
+        let collected: Vec<&Bsb> = (&bsbs).into_iter().collect();
+        assert_eq!(collected.len(), 5);
+    }
+}

@@ -1,0 +1,332 @@
+//! Convenience builder that assembles a [`Dfg`] from variable-level code.
+//!
+//! The frontend, the benchmark applications and many tests all need to turn
+//! statements like `u1 = u - k1 * dx` into a data-flow graph. The builder
+//! tracks the last producer of every variable inside the block, inserts
+//! dependency edges automatically, materialises constant loads as
+//! [`OpKind::Const`] operations (the paper's *constant generators*), and
+//! records which variables the block reads from and writes to its
+//! environment — the read/write sets later drive the hardware/software
+//! communication estimates in the PACE partitioner.
+
+use crate::{Dfg, OpId, OpKind, Operation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An operand of a block-level statement.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::Operand;
+///
+/// let v = Operand::var("x");
+/// let c = Operand::constant("3");
+/// assert!(matches!(v, Operand::Var(_)));
+/// assert!(matches!(c, Operand::Const(_)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A named variable. If it was assigned earlier in the same block the
+    /// producing operation becomes a predecessor; otherwise the variable is
+    /// recorded as a live-in read of the block.
+    Var(String),
+    /// A literal constant, loaded by a `const` operation.
+    Const(String),
+}
+
+impl Operand {
+    /// A variable operand.
+    pub fn var(name: impl Into<String>) -> Self {
+        Operand::Var(name.into())
+    }
+
+    /// A constant operand with the given literal text.
+    pub fn constant(text: impl Into<String>) -> Self {
+        Operand::Const(text.into())
+    }
+}
+
+impl From<&str> for Operand {
+    /// Interprets numeric-looking text as a constant, anything else as a
+    /// variable — handy in tests: `"x"` is a variable, `"42"` a constant.
+    fn from(s: &str) -> Self {
+        if s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.')
+        {
+            Operand::Const(s.to_owned())
+        } else {
+            Operand::Var(s.to_owned())
+        }
+    }
+}
+
+/// Builds one leaf block's [`Dfg`] plus its read/write sets.
+///
+/// # Examples
+///
+/// The HAL statement `y1 = y + u * dx` (with `y`, `u`, `dx` live-in):
+///
+/// ```
+/// use lycos_ir::{DfgBuilder, OpKind};
+///
+/// let mut b = DfgBuilder::new();
+/// let prod = b.binary(OpKind::Mul, "u".into(), "dx".into());
+/// b.assign("prod", prod);
+/// let sum = b.binary(OpKind::Add, "y".into(), "prod".into());
+/// b.assign("y1", sum);
+/// let block = b.finish();
+/// assert_eq!(block.dfg.len(), 2);
+/// assert!(block.reads.contains("u"));
+/// assert!(block.reads.contains("dx"));
+/// assert!(block.reads.contains("y"));
+/// assert!(block.writes.contains("y1"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+    defs: BTreeMap<String, OpId>,
+    consts: BTreeMap<String, OpId>,
+    reads: BTreeSet<String>,
+    writes: BTreeSet<String>,
+    share_constants: bool,
+}
+
+/// The product of a [`DfgBuilder`]: a data-flow graph plus the variables it
+/// reads from and writes to its surroundings.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct BlockCode {
+    /// The block's computation.
+    pub dfg: Dfg,
+    /// Variables consumed from outside the block (live-in).
+    pub reads: BTreeSet<String>,
+    /// Variables assigned by the block (live-out candidates).
+    pub writes: BTreeSet<String>,
+}
+
+impl DfgBuilder {
+    /// Creates an empty builder that shares constant loads with identical
+    /// literal text (one `const` operation per distinct literal).
+    pub fn new() -> Self {
+        DfgBuilder {
+            share_constants: true,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a builder that materialises a fresh `const` operation for
+    /// every constant use, even for identical literals.
+    ///
+    /// The `man` benchmark's hot block relies on many *parallel* constant
+    /// loads; disabling sharing reproduces that structure.
+    pub fn with_unshared_constants() -> Self {
+        DfgBuilder::default()
+    }
+
+    /// Resolves a variable use: the local producer if the variable was
+    /// assigned earlier in this block, otherwise records a live-in read and
+    /// returns `None` (the consuming operation gets no predecessor edge).
+    pub fn use_var(&self, name: &str) -> Option<OpId> {
+        self.defs.get(name).copied()
+    }
+
+    /// Loads a constant, returning the producing `const` operation.
+    pub fn load_const(&mut self, text: impl Into<String>) -> OpId {
+        let text = text.into();
+        if self.share_constants {
+            if let Some(&id) = self.consts.get(&text) {
+                return id;
+            }
+        }
+        let id = self
+            .dfg
+            .add_op(Operation::new(OpKind::Const).with_label(text.clone()));
+        if self.share_constants {
+            self.consts.insert(text, id);
+        }
+        id
+    }
+
+    fn operand(&mut self, o: Operand) -> Option<OpId> {
+        match o {
+            Operand::Var(name) => {
+                let local = self.use_var(&name);
+                if local.is_none() {
+                    self.reads.insert(name);
+                }
+                local
+            }
+            Operand::Const(text) => Some(self.load_const(text)),
+        }
+    }
+
+    /// Adds a binary operation over two operands and returns its id.
+    pub fn binary(&mut self, kind: OpKind, a: Operand, b: Operand) -> OpId {
+        let pa = self.operand(a);
+        let pb = self.operand(b);
+        self.binary_ops(kind, pa, pb)
+    }
+
+    /// Adds a binary operation over already-resolved producers.
+    ///
+    /// `None` producers are live-in values and contribute no edge.
+    pub fn binary_ops(&mut self, kind: OpKind, a: Option<OpId>, b: Option<OpId>) -> OpId {
+        let id = self.dfg.add_op(kind);
+        for p in [a, b].into_iter().flatten() {
+            self.dfg
+                .add_edge(p, id)
+                .expect("builder produces valid edges");
+        }
+        id
+    }
+
+    /// Adds an operation over any number of already-resolved producers.
+    ///
+    /// `None` producers are live-in values and contribute no edge.
+    pub fn nary_ops(&mut self, kind: OpKind, producers: &[Option<OpId>]) -> OpId {
+        let id = self.dfg.add_op(kind);
+        for p in producers.iter().copied().flatten() {
+            self.dfg
+                .add_edge(p, id)
+                .expect("builder produces valid edges");
+        }
+        id
+    }
+
+    /// Adds a unary operation over one operand and returns its id.
+    pub fn unary(&mut self, kind: OpKind, a: Operand) -> OpId {
+        let pa = self.operand(a);
+        let id = self.dfg.add_op(kind);
+        if let Some(p) = pa {
+            self.dfg
+                .add_edge(p, id)
+                .expect("builder produces valid edges");
+        }
+        id
+    }
+
+    /// Records that `var` is produced by operation `producer` from here on.
+    pub fn assign(&mut self, var: impl Into<String>, producer: OpId) {
+        let var = var.into();
+        self.defs.insert(var.clone(), producer);
+        self.writes.insert(var);
+    }
+
+    /// Marks `var` as read by the block's environment interface even if no
+    /// operation consumes it (e.g. a value forwarded unchanged).
+    pub fn mark_read(&mut self, var: impl Into<String>) {
+        let var = var.into();
+        if !self.defs.contains_key(&var) {
+            self.reads.insert(var);
+        }
+    }
+
+    /// Direct access to the graph under construction.
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// Finishes the block, returning graph and read/write sets.
+    pub fn finish(self) -> BlockCode {
+        BlockCode {
+            dfg: self.dfg,
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_assignments_create_edges() {
+        // t = a + b; u = t * t
+        let mut b = DfgBuilder::new();
+        let t = b.binary(OpKind::Add, "a".into(), "b".into());
+        b.assign("t", t);
+        let u = b.binary(OpKind::Mul, "t".into(), "t".into());
+        b.assign("u", u);
+        let code = b.finish();
+        assert_eq!(code.dfg.len(), 2);
+        assert_eq!(code.dfg.preds(u), &[t]);
+        assert_eq!(
+            code.reads.iter().collect::<Vec<_>>(),
+            vec!["a", "b"],
+            "a and b are live-in"
+        );
+        assert_eq!(code.writes.iter().collect::<Vec<_>>(), vec!["t", "u"]);
+    }
+
+    #[test]
+    fn shared_constants_reuse_one_op() {
+        let mut b = DfgBuilder::new();
+        let x = b.binary(OpKind::Mul, "x".into(), "3".into());
+        b.assign("x3", x);
+        let y = b.binary(OpKind::Mul, "y".into(), "3".into());
+        b.assign("y3", y);
+        let code = b.finish();
+        assert_eq!(code.dfg.count_of(OpKind::Const), 1, "literal 3 shared");
+        assert_eq!(code.dfg.len(), 3);
+    }
+
+    #[test]
+    fn unshared_constants_duplicate_loads() {
+        let mut b = DfgBuilder::with_unshared_constants();
+        b.binary(OpKind::Mul, "x".into(), "3".into());
+        b.binary(OpKind::Mul, "y".into(), "3".into());
+        let code = b.finish();
+        assert_eq!(code.dfg.count_of(OpKind::Const), 2);
+    }
+
+    #[test]
+    fn redefinition_shadows_earlier_producer() {
+        let mut b = DfgBuilder::new();
+        let first = b.binary(OpKind::Add, "a".into(), "b".into());
+        b.assign("x", first);
+        let second = b.binary(OpKind::Sub, "x".into(), "1".into());
+        b.assign("x", second);
+        let user = b.binary(OpKind::Mul, "x".into(), "x".into());
+        let code = b.finish();
+        assert_eq!(code.dfg.preds(user), &[second], "uses latest definition");
+    }
+
+    #[test]
+    fn operand_from_str_heuristic() {
+        assert_eq!(Operand::from("x"), Operand::var("x"));
+        assert_eq!(Operand::from("42"), Operand::constant("42"));
+        assert_eq!(Operand::from("-1"), Operand::constant("-1"));
+        assert_eq!(Operand::from(".5"), Operand::constant(".5"));
+    }
+
+    #[test]
+    fn mark_read_respects_local_defs() {
+        let mut b = DfgBuilder::new();
+        let t = b.binary(OpKind::Add, "a".into(), "b".into());
+        b.assign("t", t);
+        b.mark_read("t");
+        b.mark_read("z");
+        let code = b.finish();
+        assert!(!code.reads.contains("t"), "locally defined, not live-in");
+        assert!(code.reads.contains("z"));
+    }
+
+    #[test]
+    fn unary_op_wires_predecessor() {
+        let mut b = DfgBuilder::new();
+        let t = b.binary(OpKind::Add, "a".into(), "b".into());
+        b.assign("t", t);
+        let n = b.unary(OpKind::Neg, "t".into());
+        let code = b.finish();
+        assert_eq!(code.dfg.preds(n), &[t]);
+    }
+
+    #[test]
+    fn default_block_code_is_empty() {
+        let code = BlockCode::default();
+        assert!(code.dfg.is_empty());
+        assert!(code.reads.is_empty());
+        assert!(code.writes.is_empty());
+    }
+}

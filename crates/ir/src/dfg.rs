@@ -1,0 +1,450 @@
+//! Data-flow graphs — the computation inside a leaf BSB.
+//!
+//! A [`Dfg`] is a directed acyclic graph whose nodes are [`Operation`]s and
+//! whose edges are data dependencies. The paper's FURO metric (Definition 2)
+//! needs, for every pair of same-type operations, whether one is a
+//! (transitive) successor of the other — [`Dfg::transitive_successors`]
+//! computes exactly the `Succ(i)` sets of the paper.
+
+use crate::{BitSet, IrError, OpId, OpKind, Operation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A data-flow graph: operations plus data-dependency edges.
+///
+/// Edges `a → b` mean "b consumes a value produced by a", so `b` cannot
+/// start before `a` finishes. The graph is kept acyclic: [`Dfg::add_edge`]
+/// rejects self loops immediately, and [`Dfg::topological_order`] reports a
+/// witness if a cycle was assembled.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::{Dfg, OpKind};
+///
+/// let mut dfg = Dfg::new();
+/// let a = dfg.add_op(OpKind::Const);
+/// let b = dfg.add_op(OpKind::Const);
+/// let m = dfg.add_op(OpKind::Mul);
+/// dfg.add_edge(a, m)?;
+/// dfg.add_edge(b, m)?;
+/// assert_eq!(dfg.len(), 3);
+/// assert_eq!(dfg.preds(m), &[a, b]);
+/// let order = dfg.topological_order()?;
+/// assert_eq!(order.last(), Some(&m));
+/// # Ok::<(), lycos_ir::IrError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Dfg {
+    ops: Vec<Operation>,
+    preds: Vec<Vec<OpId>>,
+    succs: Vec<Vec<OpId>>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dfg::default()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Adds an operation and returns its id.
+    ///
+    /// Accepts anything convertible into an [`Operation`], in particular a
+    /// bare [`OpKind`].
+    pub fn add_op(&mut self, op: impl Into<Operation>) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(op.into());
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Adds a data-dependency edge `from → to`.
+    ///
+    /// Duplicate edges are ignored (the dependency is already recorded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownOp`] if either endpoint does not exist and
+    /// [`IrError::SelfLoop`] if `from == to`.
+    pub fn add_edge(&mut self, from: OpId, to: OpId) -> Result<(), IrError> {
+        let len = self.ops.len();
+        for id in [from, to] {
+            if id.index() >= len {
+                return Err(IrError::UnknownOp { op: id, len });
+            }
+        }
+        if from == to {
+            return Err(IrError::SelfLoop { op: from });
+        }
+        if !self.succs[from.index()].contains(&to) {
+            self.succs[from.index()].push(to);
+            self.preds[to.index()].push(from);
+        }
+        Ok(())
+    }
+
+    /// The operation with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an id of this graph.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// All operations, indexable by [`OpId::index`].
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Ids of all operations, in insertion order.
+    pub fn op_ids(&self) -> impl ExactSizeIterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Direct predecessors (producers consumed by `id`).
+    pub fn preds(&self, id: OpId) -> &[OpId] {
+        &self.preds[id.index()]
+    }
+
+    /// Direct successors (consumers of `id`'s value).
+    pub fn succs(&self, id: OpId) -> &[OpId] {
+        &self.succs[id.index()]
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |&t| (OpId(i as u32), t)))
+    }
+
+    /// A topological order of the operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Cycle`] with a witness operation if the graph has
+    /// a dependency cycle.
+    pub fn topological_order(&self) -> Result<Vec<OpId>, IrError> {
+        let n = self.ops.len();
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<OpId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| OpId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &s in &self.succs[v.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            let witness = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| OpId(i as u32))
+                .expect("cycle must leave positive in-degree");
+            return Err(IrError::Cycle { witness });
+        }
+        Ok(order)
+    }
+
+    /// Validates that the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Cycle`] if it is not.
+    pub fn validate(&self) -> Result<(), IrError> {
+        self.topological_order().map(|_| ())
+    }
+
+    /// The transitive successor sets `Succ(i)` of the paper.
+    ///
+    /// `result[i.index()].contains(j.index())` iff there is a non-empty
+    /// directed path `i → … → j`. FURO excludes pairs where either is a
+    /// transitive successor of the other, because such operations can never
+    /// compete for a unit in the same control step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Cycle`] if the graph has a cycle.
+    pub fn transitive_successors(&self) -> Result<Vec<BitSet>, IrError> {
+        let n = self.ops.len();
+        let order = self.topological_order()?;
+        let mut succ: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        // Reverse topological order: successors of v are the union of its
+        // direct successors and their closures, all already computed.
+        for &v in order.iter().rev() {
+            // Move the set out to appease the borrow checker, then put back.
+            let mut acc = std::mem::replace(&mut succ[v.index()], BitSet::new(0));
+            for &s in &self.succs[v.index()] {
+                acc.insert(s.index());
+                acc.union_with(&succ[s.index()]);
+            }
+            succ[v.index()] = acc;
+        }
+        Ok(succ)
+    }
+
+    /// Operations that have no predecessors (graph inputs).
+    pub fn sources(&self) -> Vec<OpId> {
+        self.op_ids()
+            .filter(|id| self.preds[id.index()].is_empty())
+            .collect()
+    }
+
+    /// Operations that have no successors (graph outputs).
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.op_ids()
+            .filter(|id| self.succs[id.index()].is_empty())
+            .collect()
+    }
+
+    /// Counts operations per kind, in a deterministic (sorted) map.
+    ///
+    /// This is the basis of `GetReqResources` in the allocation algorithm:
+    /// a BSB needs at least one unit for every kind that appears here.
+    pub fn op_counts(&self) -> BTreeMap<OpKind, usize> {
+        let mut m = BTreeMap::new();
+        for op in &self.ops {
+            *m.entry(op.kind).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// The distinct operation kinds present, sorted.
+    pub fn kinds_present(&self) -> Vec<OpKind> {
+        self.op_counts().into_keys().collect()
+    }
+
+    /// Number of operations of one kind.
+    pub fn count_of(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Length of the longest path in unit-latency steps (= number of
+    /// operations on it). An empty graph has depth 0.
+    ///
+    /// This is the unit-latency ASAP schedule length; the latency-aware
+    /// version lives in `lycos-sched`.
+    pub fn depth(&self) -> usize {
+        let order = match self.topological_order() {
+            Ok(o) => o,
+            Err(_) => return 0,
+        };
+        let mut level = vec![0usize; self.ops.len()];
+        let mut max = 0;
+        for &v in &order {
+            let l = self.preds[v.index()]
+                .iter()
+                .map(|p| level[p.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            level[v.index()] = l;
+            max = max.max(l);
+        }
+        max
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "dfg with {} ops, {} edges",
+            self.len(),
+            self.edge_count()
+        )?;
+        for id in self.op_ids() {
+            let succs: Vec<String> = self.succs(id).iter().map(|s| s.to_string()).collect();
+            writeln!(f, "  {id}: {} -> [{}]", self.op(id), succs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the diamond `a → {b, c} → d`.
+    fn diamond() -> (Dfg, [OpId; 4]) {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Const);
+        let b = g.add_op(OpKind::Add);
+        let c = g.add_op(OpKind::Mul);
+        let d = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Dfg::new();
+        assert!(g.is_empty());
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.topological_order().unwrap().is_empty());
+        assert!(g.sources().is_empty());
+    }
+
+    #[test]
+    fn add_edge_rejects_unknown_ops() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let err = g.add_edge(a, OpId(9)).unwrap_err();
+        assert_eq!(
+            err,
+            IrError::UnknownOp {
+                op: OpId(9),
+                len: 1
+            }
+        );
+    }
+
+    #[test]
+    fn add_edge_rejects_self_loop() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        assert_eq!(g.add_edge(a, a).unwrap_err(), IrError::SelfLoop { op: a });
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.preds(b), &[a]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = g.topological_order().unwrap();
+        let pos = |x: OpId| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn cycle_is_detected_with_witness() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        let c = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        match g.topological_order() {
+            Err(IrError::Cycle { witness }) => assert!([a, b, c].contains(&witness)),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn transitive_successors_of_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let succ = g.transitive_successors().unwrap();
+        assert_eq!(
+            succ[a.index()].iter().collect::<Vec<_>>(),
+            vec![b.index(), c.index(), d.index()]
+        );
+        assert_eq!(succ[b.index()].iter().collect::<Vec<_>>(), vec![d.index()]);
+        assert!(succ[d.index()].is_empty());
+        // b and c are parallel: neither is in the other's closure.
+        assert!(!succ[b.index()].contains(c.index()));
+        assert!(!succ[c.index()].contains(b.index()));
+    }
+
+    #[test]
+    fn transitive_successors_of_chain() {
+        let mut g = Dfg::new();
+        let ids: Vec<OpId> = (0..5).map(|_| g.add_op(OpKind::Add)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let succ = g.transitive_successors().unwrap();
+        assert_eq!(succ[0].len(), 4);
+        assert_eq!(succ[3].len(), 1);
+        assert_eq!(g.depth(), 5);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn op_counts_and_kinds() {
+        let (g, _) = diamond();
+        let counts = g.op_counts();
+        assert_eq!(counts[&OpKind::Add], 2);
+        assert_eq!(counts[&OpKind::Mul], 1);
+        assert_eq!(counts[&OpKind::Const], 1);
+        assert_eq!(g.count_of(OpKind::Add), 2);
+        assert_eq!(
+            g.kinds_present(),
+            vec![OpKind::Add, OpKind::Mul, OpKind::Const]
+        );
+    }
+
+    #[test]
+    fn depth_of_diamond_is_three() {
+        let (g, _) = diamond();
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn display_lists_every_op() {
+        let (g, _) = diamond();
+        let text = format!("{g}");
+        assert!(text.contains("4 ops"));
+        assert!(text.contains("op0"));
+        assert!(text.contains("op3"));
+    }
+
+    #[test]
+    fn edges_iterator_matches_edge_count() {
+        let (g, _) = diamond();
+        assert_eq!(g.edges().count(), g.edge_count());
+    }
+}

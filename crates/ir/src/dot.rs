@@ -1,0 +1,202 @@
+//! Graphviz export for data-flow graphs and CDFGs.
+//!
+//! Useful for inspecting the benchmark applications and for the Figure-4
+//! style renderings produced by the bench harness.
+
+use crate::{Cdfg, CdfgNode, Dfg};
+use std::fmt::Write;
+
+/// Renders a data-flow graph in Graphviz `dot` syntax.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::{dot::dfg_to_dot, Dfg, OpKind};
+///
+/// let mut g = Dfg::new();
+/// let a = g.add_op(OpKind::Const);
+/// let m = g.add_op(OpKind::Mul);
+/// g.add_edge(a, m)?;
+/// let text = dfg_to_dot(&g, "tiny");
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("const"));
+/// # Ok::<(), lycos_ir::IrError>(())
+/// ```
+pub fn dfg_to_dot(dfg: &Dfg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for id in dfg.op_ids() {
+        let op = dfg.op(id);
+        let label = match &op.label {
+            Some(l) => format!("{}\\n{}", op.kind, sanitize(l)),
+            None => op.kind.to_string(),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{label}\"];", id.index());
+    }
+    for (from, to) in dfg.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", from.index(), to.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a CDFG hierarchy in Graphviz `dot` syntax (one cluster per
+/// control construct, leaf DFG blocks as boxes).
+pub fn cdfg_to_dot(cdfg: &Cdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(cdfg.name()));
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    let mut counter = 0usize;
+    render(cdfg.root(), &mut out, &mut counter, 1);
+    out.push_str("}\n");
+    out
+}
+
+fn render(node: &CdfgNode, out: &mut String, counter: &mut usize, depth: usize) -> usize {
+    let pad = "  ".repeat(depth);
+    let my = *counter;
+    *counter += 1;
+    match node {
+        CdfgNode::Seq(cs) => {
+            let _ = writeln!(out, "{pad}c{my} [label=\"seq\", shape=plaintext];");
+            for c in cs {
+                let child = render(c, out, counter, depth);
+                let _ = writeln!(out, "{pad}c{my} -> c{child};");
+            }
+        }
+        CdfgNode::Block(b) => {
+            let _ = writeln!(
+                out,
+                "{pad}c{my} [label=\"DFG {} ({} ops)\"];",
+                sanitize(&b.name),
+                b.code.dfg.len()
+            );
+        }
+        CdfgNode::Loop {
+            label, test, body, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}c{my} [label=\"Loop {}\", shape=diamond];",
+                sanitize(label)
+            );
+            if let Some(t) = test {
+                let tid = *counter;
+                *counter += 1;
+                let _ = writeln!(
+                    out,
+                    "{pad}c{tid} [label=\"Test {} ({} ops)\"];",
+                    sanitize(&t.name),
+                    t.code.dfg.len()
+                );
+                let _ = writeln!(out, "{pad}c{my} -> c{tid};");
+            }
+            let child = render(body, out, counter, depth);
+            let _ = writeln!(out, "{pad}c{my} -> c{child};");
+        }
+        CdfgNode::Cond {
+            label,
+            test,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}c{my} [label=\"Cond {}\", shape=diamond];",
+                sanitize(label)
+            );
+            if let Some(t) = test {
+                let tid = *counter;
+                *counter += 1;
+                let _ = writeln!(
+                    out,
+                    "{pad}c{tid} [label=\"Test {} ({} ops)\"];",
+                    sanitize(&t.name),
+                    t.code.dfg.len()
+                );
+                let _ = writeln!(out, "{pad}c{my} -> c{tid};");
+            }
+            let t = render(then_branch, out, counter, depth);
+            let _ = writeln!(out, "{pad}c{my} -> c{t} [label=\"then\"];");
+            if let Some(e) = else_branch {
+                let e = render(e, out, counter, depth);
+                let _ = writeln!(out, "{pad}c{my} -> c{e} [label=\"else\"];");
+            }
+        }
+        CdfgNode::Wait { label, block } => {
+            let _ = writeln!(
+                out,
+                "{pad}c{my} [label=\"Wait {}\", shape=hexagon];",
+                sanitize(label)
+            );
+            if let Some(b) = block {
+                let bid = *counter;
+                *counter += 1;
+                let _ = writeln!(
+                    out,
+                    "{pad}c{bid} [label=\"DFG {} ({} ops)\"];",
+                    sanitize(&b.name),
+                    b.code.dfg.len()
+                );
+                let _ = writeln!(out, "{pad}c{my} -> c{bid};");
+            }
+        }
+        CdfgNode::Func { name, body } => {
+            let _ = writeln!(
+                out,
+                "{pad}c{my} [label=\"Fu {}\", shape=folder];",
+                sanitize(name)
+            );
+            let child = render(body, out, counter, depth);
+            let _ = writeln!(out, "{pad}c{my} -> c{child};");
+        }
+    }
+    my
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockCode, DfgBuilder, OpKind, TripCount};
+
+    #[test]
+    fn dfg_dot_contains_nodes_and_edges() {
+        let mut b = DfgBuilder::new();
+        let t = b.binary(OpKind::Mul, "x".into(), "2".into());
+        b.assign("y", t);
+        let code = b.finish();
+        let dot = dfg_to_dot(&code.dfg, "g");
+        assert!(dot.starts_with("digraph \"g\""));
+        assert!(dot.contains("mul"));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cdfg_dot_renders_control_nodes() {
+        let cdfg = Cdfg::new(
+            "app",
+            CdfgNode::Loop {
+                label: "l".into(),
+                test: None,
+                body: Box::new(CdfgNode::block("b", BlockCode::default())),
+                trip: TripCount::Fixed(3),
+            },
+        );
+        let dot = cdfg_to_dot(&cdfg);
+        assert!(dot.contains("Loop l"));
+        assert!(dot.contains("DFG b"));
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        assert_eq!(sanitize("a\"b\\c"), "a'b/c");
+    }
+}

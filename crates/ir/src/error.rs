@@ -1,0 +1,91 @@
+//! Error types for the application model.
+
+use crate::OpId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating the application model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An edge referenced an operation id that does not exist in the graph.
+    UnknownOp {
+        /// The offending id.
+        op: OpId,
+        /// Number of operations actually in the graph.
+        len: usize,
+    },
+    /// An edge connected an operation to itself.
+    SelfLoop {
+        /// The operation with the self edge.
+        op: OpId,
+    },
+    /// The data-flow graph contains a dependency cycle.
+    Cycle {
+        /// An operation known to participate in the cycle.
+        witness: OpId,
+    },
+    /// A referenced control-flow label (loop / conditional) was not found.
+    UnknownLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A profile annotation was invalid (e.g. probability outside `[0,1]`).
+    InvalidProfile {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownOp { op, len } => {
+                write!(f, "unknown operation {op} (graph has {len} operations)")
+            }
+            IrError::SelfLoop { op } => write!(f, "self dependency on operation {op}"),
+            IrError::Cycle { witness } => {
+                write!(f, "data-flow graph has a cycle through {witness}")
+            }
+            IrError::UnknownLabel { label } => write!(f, "unknown control label `{label}`"),
+            IrError::InvalidProfile { reason } => write!(f, "invalid profile: {reason}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = IrError::UnknownOp {
+            op: OpId(3),
+            len: 2,
+        };
+        assert_eq!(
+            format!("{e}"),
+            "unknown operation op3 (graph has 2 operations)"
+        );
+        let e = IrError::SelfLoop { op: OpId(1) };
+        assert_eq!(format!("{e}"), "self dependency on operation op1");
+        let e = IrError::Cycle { witness: OpId(0) };
+        assert!(format!("{e}").contains("cycle"));
+        let e = IrError::UnknownLabel {
+            label: "outer".into(),
+        };
+        assert!(format!("{e}").contains("outer"));
+        let e = IrError::InvalidProfile {
+            reason: "p=2".into(),
+        };
+        assert!(format!("{e}").contains("p=2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Application model for the LYCOS reproduction.
+//!
+//! This crate implements §3 of *Hardware Resource Allocation for
+//! Hardware/Software Partitioning in the LYCOS System* (Grode, Knudsen,
+//! Madsen — DATE 1998): applications are Control/Data Flow Graphs
+//! ([`Cdfg`]) whose leaves are data-flow graphs ([`Dfg`]) of operations
+//! ([`Operation`]); for partitioning, the hierarchy is flattened into an
+//! array of Basic Scheduling Blocks ([`BsbArray`]) annotated with profile
+//! counts.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+//!
+//! // y = y + u*dx, looped 100 times.
+//! let mut b = DfgBuilder::new();
+//! let prod = b.binary(OpKind::Mul, "u".into(), "dx".into());
+//! b.assign("prod", prod);
+//! let sum = b.binary(OpKind::Add, "y".into(), "prod".into());
+//! b.assign("y", sum);
+//!
+//! let cdfg = Cdfg::new(
+//!     "integrate",
+//!     CdfgNode::Loop {
+//!         label: "main".into(),
+//!         test: None,
+//!         body: Box::new(CdfgNode::block("step", b.finish())),
+//!         trip: TripCount::Fixed(100),
+//!     },
+//! );
+//!
+//! let bsbs = extract_bsbs(&cdfg, None)?;
+//! assert_eq!(bsbs.len(), 1);
+//! assert_eq!(bsbs[0].profile, 100);
+//! assert_eq!(bsbs[0].dfg.count_of(OpKind::Mul), 1);
+//! # Ok::<(), lycos_ir::IrError>(())
+//! ```
+//!
+//! The sibling crates build on these types: `lycos-sched` schedules leaf
+//! DFGs (ASAP/ALAP/list), `lycos-core` runs the paper's allocation
+//! algorithm over a [`BsbArray`], and `lycos-pace` partitions it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitset;
+mod bsb;
+mod builder;
+mod cdfg;
+mod dfg;
+pub mod dot;
+mod error;
+mod op;
+mod profile;
+mod stats;
+
+pub use bitset::BitSet;
+pub use bsb::{extract_bsbs, Bsb, BsbArray, BsbId, BsbOrigin};
+pub use builder::{BlockCode, DfgBuilder, Operand};
+pub use cdfg::{Cdfg, CdfgNode, DfgBlock, TripCount};
+pub use dfg::Dfg;
+pub use error::IrError;
+pub use op::{OpId, OpKind, Operation};
+pub use profile::ProfileOverrides;
+pub use stats::AppStats;

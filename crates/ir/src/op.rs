@@ -1,0 +1,305 @@
+//! Operations — the atoms of a data-flow graph.
+//!
+//! The paper's application model (§3) represents the computation inside a
+//! leaf BSB as a data-flow graph whose nodes are operations such as
+//! multiplication or addition. [`OpKind`] enumerates the operation types
+//! the LYC frontend can produce; the mapping from operation types to the
+//! functional units able to execute them lives in `lycos-hwlib`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operation inside one [`crate::Dfg`].
+///
+/// Ids are dense indices assigned in insertion order, so they can be used
+/// to index per-operation side tables (schedules, mobility windows, …).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The type of an operation (`T(i)` in Definition 2 of the paper).
+///
+/// Operation types matter twice: the FURO metric is computed per type, and
+/// the hardware library maps each type to the functional-unit kind that
+/// executes it.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::OpKind;
+///
+/// assert!(OpKind::Mul.is_arithmetic());
+/// assert!(OpKind::Lt.is_comparison());
+/// assert_eq!(OpKind::Add.mnemonic(), "add");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Integer/fixed-point addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Mod,
+    /// Arithmetic negation.
+    Neg,
+    /// Left shift.
+    Shl,
+    /// Right shift.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Bitwise complement.
+    Not,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Two-way select (multiplexer).
+    Mux,
+    /// Constant generation — loading an immediate into the data path.
+    ///
+    /// The paper's `man` discussion (§5) hinges on blocks dominated by
+    /// parallel constant loads, so constant generation is a first-class
+    /// operation executed by a *constant generator* unit.
+    Const,
+    /// Memory/variable read.
+    Load,
+    /// Memory/variable write.
+    Store,
+    /// Register-to-register move.
+    Copy,
+}
+
+impl OpKind {
+    /// All operation kinds, in a fixed order.
+    pub const ALL: [OpKind; 23] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Mod,
+        OpKind::Neg,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::Lt,
+        OpKind::Le,
+        OpKind::Gt,
+        OpKind::Ge,
+        OpKind::Eq,
+        OpKind::Ne,
+        OpKind::Mux,
+        OpKind::Const,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Copy,
+    ];
+
+    /// Short lower-case mnemonic used by the pretty printers.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Mod => "mod",
+            OpKind::Neg => "neg",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Not => "not",
+            OpKind::Lt => "lt",
+            OpKind::Le => "le",
+            OpKind::Gt => "gt",
+            OpKind::Ge => "ge",
+            OpKind::Eq => "eq",
+            OpKind::Ne => "ne",
+            OpKind::Mux => "mux",
+            OpKind::Const => "const",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Copy => "copy",
+        }
+    }
+
+    /// Whether this is an arithmetic operation (`add`, `mul`, …).
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Mod | OpKind::Neg
+        )
+    }
+
+    /// Whether this is a comparison producing a one-bit result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Eq | OpKind::Ne
+        )
+    }
+
+    /// Whether this is a bitwise/logic operation.
+    pub fn is_logic(self) -> bool {
+        matches!(
+            self,
+            OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not | OpKind::Shl | OpKind::Shr
+        )
+    }
+
+    /// Whether this touches memory (load/store).
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One operation node of a data-flow graph.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::{OpKind, Operation};
+///
+/// let op = Operation::new(OpKind::Mul).with_label("x*dx");
+/// assert_eq!(op.kind, OpKind::Mul);
+/// assert_eq!(op.label.as_deref(), Some("x*dx"));
+/// assert_eq!(op.width, Operation::DEFAULT_WIDTH);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Operation {
+    /// The operation type.
+    pub kind: OpKind,
+    /// Optional human-readable label (variable or expression text).
+    pub label: Option<String>,
+    /// Bit width of the produced value.
+    pub width: u8,
+}
+
+impl Operation {
+    /// Default operand width, in bits, when none is specified.
+    pub const DEFAULT_WIDTH: u8 = 16;
+
+    /// Creates an unlabelled operation of the given kind at the default width.
+    pub fn new(kind: OpKind) -> Self {
+        Operation {
+            kind,
+            label: None,
+            width: Self::DEFAULT_WIDTH,
+        }
+    }
+
+    /// Attaches a label, consuming and returning the operation.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the bit width, consuming and returning the operation.
+    pub fn with_width(mut self, width: u8) -> Self {
+        self.width = width;
+        self
+    }
+}
+
+impl From<OpKind> for Operation {
+    fn from(kind: OpKind) -> Self {
+        Operation::new(kind)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{} ({l})", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in OpKind::ALL {
+            assert!(
+                seen.insert(k.mnemonic()),
+                "duplicate mnemonic {}",
+                k.mnemonic()
+            );
+        }
+        assert_eq!(seen.len(), OpKind::ALL.len());
+    }
+
+    #[test]
+    fn classification_partitions_sensibly() {
+        assert!(OpKind::Add.is_arithmetic());
+        assert!(OpKind::Div.is_arithmetic());
+        assert!(!OpKind::Add.is_comparison());
+        assert!(OpKind::Eq.is_comparison());
+        assert!(OpKind::Xor.is_logic());
+        assert!(OpKind::Load.is_memory());
+        assert!(!OpKind::Const.is_memory());
+    }
+
+    #[test]
+    fn operation_builder_chains() {
+        let op = Operation::new(OpKind::Const).with_label("c0").with_width(8);
+        assert_eq!(op.width, 8);
+        assert_eq!(format!("{op}"), "const (c0)");
+    }
+
+    #[test]
+    fn op_from_kind() {
+        let op: Operation = OpKind::Sub.into();
+        assert_eq!(op.kind, OpKind::Sub);
+        assert!(op.label.is_none());
+    }
+
+    #[test]
+    fn op_id_display_and_index() {
+        let id = OpId(7);
+        assert_eq!(format!("{id}"), "op7");
+        assert_eq!(id.index(), 7);
+    }
+}

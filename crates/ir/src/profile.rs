@@ -1,0 +1,209 @@
+//! Profiling information (`p_k` of Definition 2).
+//!
+//! The paper weights a BSB's FURO by its *profile count*: how often the
+//! block executes during one run of the application. Loop trip counts and
+//! branch probabilities annotated on the CDFG determine the counts; a
+//! [`ProfileOverrides`] table can replace the annotations without
+//! rebuilding the CDFG (re-profiling with a different input data set).
+
+use crate::{Cdfg, CdfgNode, IrError};
+use std::collections::BTreeMap;
+
+/// Replacement profile data, addressed by loop / conditional labels.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::ProfileOverrides;
+///
+/// let mut p = ProfileOverrides::new();
+/// p.set_trip("outer", 64);
+/// p.set_taken("escape", 0.1)?;
+/// assert_eq!(p.trip("outer"), Some(64));
+/// assert_eq!(p.taken("escape"), Some(0.1));
+/// # Ok::<(), lycos_ir::IrError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ProfileOverrides {
+    trips: BTreeMap<String, u64>,
+    taken: BTreeMap<String, f64>,
+}
+
+impl ProfileOverrides {
+    /// An empty override table (all annotations apply unchanged).
+    pub fn new() -> Self {
+        ProfileOverrides::default()
+    }
+
+    /// Overrides the trip count of the loop labelled `label`.
+    pub fn set_trip(&mut self, label: impl Into<String>, trips: u64) -> &mut Self {
+        self.trips.insert(label.into(), trips);
+        self
+    }
+
+    /// Overrides the taken probability of the conditional labelled `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidProfile`] if `p` is not within `[0, 1]`
+    /// or not finite.
+    pub fn set_taken(&mut self, label: impl Into<String>, p: f64) -> Result<&mut Self, IrError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(IrError::InvalidProfile {
+                reason: format!("taken probability {p} outside [0,1]"),
+            });
+        }
+        self.taken.insert(label.into(), p);
+        Ok(self)
+    }
+
+    /// The overridden trip count for `label`, if any.
+    pub fn trip(&self, label: &str) -> Option<u64> {
+        self.trips.get(label).copied()
+    }
+
+    /// The overridden taken probability for `label`, if any.
+    pub fn taken(&self, label: &str) -> Option<f64> {
+        self.taken.get(label).copied()
+    }
+
+    /// Whether the table contains no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.trips.is_empty() && self.taken.is_empty()
+    }
+
+    /// Checks that every override addresses a label that exists in `cdfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownLabel`] naming the first label that does
+    /// not appear in the application.
+    pub fn validate_against(&self, cdfg: &Cdfg) -> Result<(), IrError> {
+        let mut loops = Vec::new();
+        let mut conds = Vec::new();
+        collect_labels(cdfg.root(), &mut loops, &mut conds);
+        for label in self.trips.keys() {
+            if !loops.iter().any(|l| l == label) {
+                return Err(IrError::UnknownLabel {
+                    label: label.clone(),
+                });
+            }
+        }
+        for label in self.taken.keys() {
+            if !conds.iter().any(|c| c == label) {
+                return Err(IrError::UnknownLabel {
+                    label: label.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_labels(node: &CdfgNode, loops: &mut Vec<String>, conds: &mut Vec<String>) {
+    match node {
+        CdfgNode::Seq(cs) => cs.iter().for_each(|c| collect_labels(c, loops, conds)),
+        CdfgNode::Block(_) => {}
+        CdfgNode::Loop { label, body, .. } => {
+            loops.push(label.clone());
+            collect_labels(body, loops, conds);
+        }
+        CdfgNode::Cond {
+            label,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            conds.push(label.clone());
+            collect_labels(then_branch, loops, conds);
+            if let Some(e) = else_branch {
+                collect_labels(e, loops, conds);
+            }
+        }
+        CdfgNode::Wait { .. } => {}
+        CdfgNode::Func { body, .. } => collect_labels(body, loops, conds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockCode, TripCount};
+
+    fn one_loop_cdfg() -> Cdfg {
+        Cdfg::new(
+            "app",
+            CdfgNode::Loop {
+                label: "outer".into(),
+                test: None,
+                body: Box::new(CdfgNode::Cond {
+                    label: "br".into(),
+                    test: None,
+                    then_branch: Box::new(CdfgNode::block("t", BlockCode::default())),
+                    else_branch: None,
+                    taken: 0.5,
+                }),
+                trip: TripCount::Fixed(4),
+            },
+        )
+    }
+
+    #[test]
+    fn overrides_round_trip() {
+        let mut p = ProfileOverrides::new();
+        p.set_trip("outer", 9);
+        p.set_taken("br", 0.25).unwrap();
+        assert_eq!(p.trip("outer"), Some(9));
+        assert_eq!(p.taken("br"), Some(0.25));
+        assert_eq!(p.trip("inner"), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn probability_out_of_range_rejected() {
+        let mut p = ProfileOverrides::new();
+        assert!(p.set_taken("br", 1.5).is_err());
+        assert!(p.set_taken("br", -0.1).is_err());
+        assert!(p.set_taken("br", f64::NAN).is_err());
+        assert!(p.set_taken("br", 1.0).is_ok());
+        assert!(p.set_taken("br", 0.0).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_known_labels() {
+        let cdfg = one_loop_cdfg();
+        let mut p = ProfileOverrides::new();
+        p.set_trip("outer", 100);
+        p.set_taken("br", 0.9).unwrap();
+        assert!(p.validate_against(&cdfg).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_loop() {
+        let cdfg = one_loop_cdfg();
+        let mut p = ProfileOverrides::new();
+        p.set_trip("nope", 1);
+        match p.validate_against(&cdfg) {
+            Err(IrError::UnknownLabel { label }) => assert_eq!(label, "nope"),
+            other => panic!("expected unknown label, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_cond() {
+        let cdfg = one_loop_cdfg();
+        let mut p = ProfileOverrides::new();
+        p.set_taken("nope", 0.1).unwrap();
+        assert!(matches!(
+            p.validate_against(&cdfg),
+            Err(IrError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_table_is_empty_and_valid() {
+        let p = ProfileOverrides::new();
+        assert!(p.is_empty());
+        assert!(p.validate_against(&one_loop_cdfg()).is_ok());
+    }
+}

@@ -1,0 +1,183 @@
+//! Application statistics — the summary numbers reports and tools
+//! print about a BSB array (operation mix, dynamic weight, hot spots).
+
+use crate::{BsbArray, OpKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of one application.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_ir::{extract_bsbs, AppStats, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+///
+/// let mut b = DfgBuilder::new();
+/// let m = b.binary(OpKind::Mul, "x".into(), "x".into());
+/// b.assign("y", m);
+/// let cdfg = Cdfg::new(
+///     "sq",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(10),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let stats = AppStats::of(&bsbs);
+/// assert_eq!(stats.blocks, 1);
+/// assert_eq!(stats.static_ops, 1);
+/// assert_eq!(stats.dynamic_ops, 10);
+/// # Ok::<(), lycos_ir::IrError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct AppStats {
+    /// Number of leaf BSBs.
+    pub blocks: usize,
+    /// Total static operations.
+    pub static_ops: usize,
+    /// Total dynamic operations (static × profile).
+    pub dynamic_ops: u64,
+    /// Largest block size (`k` of §4.4).
+    pub max_block_ops: usize,
+    /// Static operation counts per kind.
+    pub static_mix: BTreeMap<OpKind, usize>,
+    /// Dynamic operation counts per kind.
+    pub dynamic_mix: BTreeMap<OpKind, u64>,
+    /// Index of the dynamically hottest block, if any.
+    pub hottest_block: Option<usize>,
+    /// Share of dynamic operations in the hottest block (0..=1).
+    pub hot_share: f64,
+}
+
+impl AppStats {
+    /// Computes the statistics of `bsbs`.
+    pub fn of(bsbs: &BsbArray) -> AppStats {
+        let mut static_mix: BTreeMap<OpKind, usize> = BTreeMap::new();
+        let mut dynamic_mix: BTreeMap<OpKind, u64> = BTreeMap::new();
+        for bsb in bsbs {
+            for (kind, n) in bsb.dfg.op_counts() {
+                *static_mix.entry(kind).or_insert(0) += n;
+                *dynamic_mix.entry(kind).or_insert(0) += n as u64 * bsb.profile;
+            }
+        }
+        let dynamic_ops = bsbs.total_dynamic_ops();
+        let hottest_block = (0..bsbs.len()).max_by_key(|&i| bsbs[i].dynamic_ops());
+        let hot_share = match hottest_block {
+            Some(i) if dynamic_ops > 0 => bsbs[i].dynamic_ops() as f64 / dynamic_ops as f64,
+            _ => 0.0,
+        };
+        AppStats {
+            blocks: bsbs.len(),
+            static_ops: bsbs.total_ops(),
+            dynamic_ops,
+            max_block_ops: bsbs.max_ops(),
+            static_mix,
+            dynamic_mix,
+            hottest_block,
+            hot_share,
+        }
+    }
+}
+
+impl fmt::Display for AppStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} blocks, {} static ops ({} dynamic), largest block {} ops",
+            self.blocks, self.static_ops, self.dynamic_ops, self.max_block_ops
+        )?;
+        writeln!(f, "dynamic operation mix:")?;
+        let total = self.dynamic_ops.max(1) as f64;
+        let mut mix: Vec<_> = self.dynamic_mix.iter().collect();
+        mix.sort_by(|a, b| b.1.cmp(a.1));
+        for (kind, n) in mix {
+            writeln!(
+                f,
+                "  {:<6} {:>10}  ({:>4.1}%)",
+                kind.mnemonic(),
+                n,
+                *n as f64 / total * 100.0
+            )?;
+        }
+        if let Some(i) = self.hottest_block {
+            writeln!(
+                f,
+                "hottest block: index {} ({:.0}% of dynamic ops)",
+                i,
+                self.hot_share * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bsb, BsbId, BsbOrigin, Dfg};
+    use std::collections::BTreeSet;
+
+    fn app() -> BsbArray {
+        let mk = |i: u32, kinds: &[OpKind], profile: u64| {
+            let mut dfg = Dfg::new();
+            for &k in kinds {
+                dfg.add_op(k);
+            }
+            Bsb {
+                id: BsbId(i),
+                name: format!("b{i}"),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }
+        };
+        BsbArray::from_bsbs(
+            "s",
+            vec![
+                mk(0, &[OpKind::Add, OpKind::Mul], 10),
+                mk(1, &[OpKind::Add, OpKind::Add, OpKind::Div], 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let s = AppStats::of(&app());
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.static_ops, 5);
+        assert_eq!(s.dynamic_ops, 2 * 10 + 3 * 100);
+        assert_eq!(s.max_block_ops, 3);
+        assert_eq!(s.static_mix[&OpKind::Add], 3);
+        assert_eq!(s.dynamic_mix[&OpKind::Add], 10 + 200);
+        assert_eq!(s.dynamic_mix[&OpKind::Div], 100);
+    }
+
+    #[test]
+    fn hottest_block_and_share() {
+        let s = AppStats::of(&app());
+        assert_eq!(s.hottest_block, Some(1));
+        assert!((s.hot_share - 300.0 / 320.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_app_is_all_zero() {
+        let s = AppStats::of(&BsbArray::from_bsbs("e", vec![]));
+        assert_eq!(s.blocks, 0);
+        assert_eq!(s.dynamic_ops, 0);
+        assert_eq!(s.hottest_block, None);
+        assert_eq!(s.hot_share, 0.0);
+    }
+
+    #[test]
+    fn display_orders_by_dynamic_weight() {
+        let text = format!("{}", AppStats::of(&app()));
+        let add_pos = text.find("add").unwrap();
+        let mul_pos = text.find("mul").unwrap();
+        assert!(add_pos < mul_pos, "hotter kind listed first");
+        assert!(text.contains("hottest block"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the IR data structures.
+
+use lycos_ir::{BitSet, Dfg, OpId, OpKind};
+use proptest::prelude::*;
+
+fn arb_dag(max: usize) -> impl Strategy<Value = Dfg> {
+    (
+        prop::collection::vec(
+            prop::sample::select(vec![OpKind::Add, OpKind::Mul, OpKind::Const]),
+            1..=max,
+        ),
+        prop::collection::vec(any::<(u8, u8)>(), 0..=3 * max),
+    )
+        .prop_map(|(ops, edges)| {
+            let mut g = Dfg::new();
+            let ids: Vec<_> = ops.into_iter().map(|k| g.add_op(k)).collect();
+            for (a, b) in edges {
+                let (a, b) = (a as usize % ids.len(), b as usize % ids.len());
+                if a < b {
+                    g.add_edge(ids[a], ids[b]).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Set semantics of the bit set match a reference BTreeSet.
+    #[test]
+    fn bitset_matches_btreeset(ops in prop::collection::vec((any::<bool>(), 0usize..200), 0..300)) {
+        let mut bs = BitSet::new(200);
+        let mut reference = std::collections::BTreeSet::new();
+        for (insert, idx) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(idx), reference.insert(idx));
+            } else {
+                prop_assert_eq!(bs.remove(idx), reference.remove(&idx));
+            }
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Union/intersection against the reference implementation.
+    #[test]
+    fn bitset_algebra(a in prop::collection::btree_set(0usize..128, 0..64),
+                      b in prop::collection::btree_set(0usize..128, 0..64)) {
+        let mk = |s: &std::collections::BTreeSet<usize>| {
+            let mut bs = BitSet::new(128);
+            for &i in s { bs.insert(i); }
+            bs
+        };
+        let (ba, bb) = (mk(&a), mk(&b));
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(),
+                        a.union(&b).copied().collect::<Vec<_>>());
+        let mut i = ba.clone();
+        i.intersect_with(&bb);
+        prop_assert_eq!(i.iter().collect::<Vec<_>>(),
+                        a.intersection(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ba.is_disjoint(&bb), a.is_disjoint(&b));
+        prop_assert_eq!(ba.is_subset(&bb), a.is_subset(&b));
+    }
+
+    /// Topological order puts every edge forward, covers every op.
+    #[test]
+    fn topo_order_is_valid(g in arb_dag(12)) {
+        let order = g.topological_order().unwrap();
+        prop_assert_eq!(order.len(), g.len());
+        let pos: std::collections::BTreeMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (from, to) in g.edges() {
+            prop_assert!(pos[&from] < pos[&to]);
+        }
+    }
+
+    /// Transitive successors agree with a reachability BFS.
+    #[test]
+    fn closure_matches_bfs(g in arb_dag(10)) {
+        let succ = g.transitive_successors().unwrap();
+        for start in g.op_ids() {
+            // BFS from start.
+            let mut seen = vec![false; g.len()];
+            let mut queue = vec![start];
+            while let Some(v) = queue.pop() {
+                for &s in g.succs(v) {
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        queue.push(s);
+                    }
+                }
+            }
+            for j in g.op_ids() {
+                prop_assert_eq!(
+                    succ[start.index()].contains(j.index()),
+                    seen[j.index()],
+                    "closure mismatch {} -> {}", start, j
+                );
+            }
+        }
+    }
+
+    /// Depth equals the longest path plus one, never exceeds op count.
+    #[test]
+    fn depth_is_bounded(g in arb_dag(10)) {
+        let d = g.depth();
+        prop_assert!(d <= g.len());
+        prop_assert!(g.is_empty() || d >= 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Hardware/software communication estimation for block runs.
+//!
+//! PACE moves *runs* of adjacent BSBs to hardware; values flowing inside
+//! a run stay in the ASIC for free, while values crossing the boundary
+//! pay bus transfers. For each variable the transfer count is estimated
+//! as `min(producer executions, consumer executions)` — a value that
+//! changes rarely but is read often (a per-pixel constant in an inner
+//! loop) is transferred at its *production* rate, not its consumption
+//! rate, which models keeping it in an ASIC register across iterations.
+
+use lycos_hwlib::{CommModel, Cycles};
+use lycos_ir::BsbArray;
+use std::collections::BTreeMap;
+
+/// Word traffic of one candidate hardware run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunTraffic {
+    /// Total words transferred into the run over the application run.
+    pub in_words: u64,
+    /// Estimated number of inbound transfer bursts.
+    pub in_bursts: u64,
+    /// Total words transferred out of the run.
+    pub out_words: u64,
+    /// Estimated number of outbound transfer bursts.
+    pub out_bursts: u64,
+}
+
+impl RunTraffic {
+    /// Bus time for this traffic under `comm`.
+    pub fn cost(&self, comm: &CommModel) -> Cycles {
+        let cycles = |words: u64, bursts: u64| {
+            if words == 0 {
+                0
+            } else {
+                comm.sync_overhead * bursts + comm.cycles_per_word * words
+            }
+        };
+        Cycles::new(cycles(self.in_words, self.in_bursts) + cycles(self.out_words, self.out_bursts))
+    }
+}
+
+/// Estimates the boundary traffic of the hardware run `[j, k]`
+/// (inclusive block indices).
+///
+/// * **Inbound**: a variable read by a run block whose latest definition
+///   is outside the run (or is a program input) is transferred
+///   `min(producer profile, consumer profile)` times (program inputs
+///   once). Several consumers of the same variable are charged at the
+///   highest such rate, once.
+/// * **Outbound**: a variable written in the run and read by a later
+///   block before being overwritten is transferred
+///   `min(writer profile, first reader profile)` times.
+///
+/// Burst counts are the per-direction maxima over variables — an
+/// estimate of how often the run boundary is actually crossed.
+///
+/// # Panics
+///
+/// Panics if `j > k` or `k` is out of range.
+pub fn run_traffic(bsbs: &BsbArray, j: usize, k: usize) -> RunTraffic {
+    assert!(j <= k && k < bsbs.len(), "invalid run [{j}, {k}]");
+    let blocks = bsbs.as_slice();
+
+    // Inbound: per variable, the strongest (producer, consumer) rate.
+    let mut in_rate: BTreeMap<&str, u64> = BTreeMap::new();
+    for (c, block) in blocks.iter().enumerate().take(k + 1).skip(j) {
+        for v in &block.reads {
+            // Latest definition strictly before block c.
+            let producer = blocks[..c].iter().rposition(|b| b.writes.contains(v));
+            let from_inside = producer.is_some_and(|p| p >= j);
+            if from_inside {
+                continue; // value lives in the data path already
+            }
+            let rate = match producer {
+                Some(p) => blocks[p].profile.min(block.profile),
+                None => 1, // program input: load once
+            };
+            let e = in_rate.entry(v.as_str()).or_insert(0);
+            *e = (*e).max(rate);
+        }
+    }
+
+    // Outbound: last writer in the run vs first later reader.
+    let mut out_rate: BTreeMap<&str, u64> = BTreeMap::new();
+    for (w, block) in blocks.iter().enumerate().take(k + 1).skip(j) {
+        for v in &block.writes {
+            let is_last_writer_in_run = !blocks[w + 1..=k].iter().any(|b| b.writes.contains(v));
+            if !is_last_writer_in_run {
+                continue;
+            }
+            // Scan forward past the run: a reader consumes the value; a
+            // rewriter kills it.
+            for later in &blocks[k + 1..] {
+                if later.reads.contains(v) {
+                    out_rate.insert(v.as_str(), block.profile.min(later.profile));
+                    break;
+                }
+                if later.writes.contains(v) {
+                    break;
+                }
+            }
+        }
+    }
+
+    RunTraffic {
+        in_words: in_rate.values().sum(),
+        in_bursts: in_rate.values().max().copied().unwrap_or(0),
+        out_words: out_rate.values().sum(),
+        out_bursts: out_rate.values().max().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg};
+    use std::collections::BTreeSet;
+
+    fn bsb(i: u32, profile: u64, reads: &[&str], writes: &[&str]) -> Bsb {
+        Bsb {
+            id: BsbId(i),
+            name: format!("b{i}"),
+            dfg: Dfg::new(),
+            reads: reads.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            writes: writes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+            profile,
+            origin: BsbOrigin::Body,
+        }
+    }
+
+    #[test]
+    fn values_inside_a_run_are_free() {
+        // b0 writes x; b1 reads x. Run [0,1]: no traffic for x.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![bsb(0, 10, &[], &["x"]), bsb(1, 10, &["x"], &["y"])],
+        );
+        let t = run_traffic(&bsbs, 0, 1);
+        assert_eq!(t.in_words, 0);
+        assert_eq!(t.out_words, 0, "y is never read later");
+    }
+
+    #[test]
+    fn inbound_rate_is_min_of_producer_and_consumer() {
+        // b0 (profile 4) writes c; b1 (profile 100, inner loop) reads c.
+        // Run [1,1]: c transferred per b0 execution, not per b1.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![bsb(0, 4, &[], &["c"]), bsb(1, 100, &["c"], &["z"])],
+        );
+        let t = run_traffic(&bsbs, 1, 1);
+        assert_eq!(t.in_words, 4, "per-pixel constant enters 4 times");
+        assert_eq!(t.in_bursts, 4);
+    }
+
+    #[test]
+    fn program_inputs_enter_once() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, 50, &["in"], &["out"])]);
+        let t = run_traffic(&bsbs, 0, 0);
+        assert_eq!(t.in_words, 1);
+    }
+
+    #[test]
+    fn outbound_rate_is_min_of_writer_and_reader() {
+        // Inner block (100) writes r; outer block (4) reads it after.
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, 100, &[], &["r"]), bsb(1, 4, &["r"], &[])]);
+        let t = run_traffic(&bsbs, 0, 0);
+        assert_eq!(t.out_words, 4, "only the final value per outer iteration");
+    }
+
+    #[test]
+    fn rewritten_values_are_dead() {
+        // b0 writes x; b1 rewrites x without reading; b2 reads x.
+        // Run [0,0]: x from b0 never escapes.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, 10, &[], &["x"]),
+                bsb(1, 10, &[], &["x"]),
+                bsb(2, 10, &["x"], &[]),
+            ],
+        );
+        let t = run_traffic(&bsbs, 0, 0);
+        assert_eq!(t.out_words, 0);
+    }
+
+    #[test]
+    fn last_writer_in_run_wins() {
+        // Both b0 and b1 write x inside the run; reader sees b1's value.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, 10, &[], &["x"]),
+                bsb(1, 3, &[], &["x"]),
+                bsb(2, 7, &["x"], &[]),
+            ],
+        );
+        let t = run_traffic(&bsbs, 0, 1);
+        assert_eq!(t.out_words, 3, "min(writer b1 = 3, reader = 7)");
+    }
+
+    #[test]
+    fn shared_inbound_variable_charged_once_at_max_rate() {
+        // c read by two run blocks with different profiles.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, 5, &[], &["c"]),
+                bsb(1, 10, &["c"], &[]),
+                bsb(2, 50, &["c"], &[]),
+            ],
+        );
+        let t = run_traffic(&bsbs, 1, 2);
+        assert_eq!(t.in_words, 5, "min(5, 50) beats min(5, 10), charged once");
+    }
+
+    #[test]
+    fn traffic_cost_uses_comm_model() {
+        let t = RunTraffic {
+            in_words: 4,
+            in_bursts: 2,
+            out_words: 1,
+            out_bursts: 1,
+        };
+        let comm = CommModel::standard(); // sync 10, word 4
+        assert_eq!(t.cost(&comm), Cycles::new((10 * 2 + 4 * 4) + (10 + 4)));
+        assert_eq!(RunTraffic::default().cost(&comm), Cycles::ZERO);
+        assert_eq!(t.cost(&CommModel::free()), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run")]
+    fn invalid_run_panics() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, 1, &[], &[])]);
+        run_traffic(&bsbs, 0, 5);
+    }
+}

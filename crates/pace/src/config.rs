@@ -1,0 +1,94 @@
+//! Configuration of the PACE evaluation.
+
+use lycos_hwlib::{CommModel, EcaModel, SwProcessor};
+
+/// All cost models and tuning knobs the partitioner needs.
+///
+/// The default reproduces the paper's setting: a 1998-vintage embedded
+/// processor, memory-mapped communication, standard gate costs and a
+/// 16-GE dynamic-programming area quantum.
+#[derive(Clone, Debug)]
+pub struct PaceConfig {
+    /// Software processor model.
+    pub cpu: SwProcessor,
+    /// Hardware/software bus model.
+    pub comm: CommModel,
+    /// Controller area model (applied to *list-schedule* state counts —
+    /// the realistic estimate of §5.1).
+    pub eca: EcaModel,
+    /// Gate-equivalents per dynamic-programming area unit. Controller
+    /// areas are rounded *up* to whole quanta, so the area budget is
+    /// never exceeded. Smaller quanta cost DP time, larger quanta waste
+    /// a little area.
+    pub quantum: u64,
+}
+
+impl PaceConfig {
+    /// The paper-reproduction default.
+    pub fn standard() -> Self {
+        PaceConfig {
+            cpu: SwProcessor::embedded_1998(),
+            comm: CommModel::standard(),
+            eca: EcaModel::standard(),
+            quantum: 16,
+        }
+    }
+
+    /// Replaces the processor model.
+    pub fn with_cpu(mut self, cpu: SwProcessor) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replaces the communication model.
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Replaces the DP area quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum >= 1, "area quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+}
+
+impl Default for PaceConfig {
+    fn default() -> Self {
+        PaceConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_standard() {
+        let d = PaceConfig::default();
+        assert_eq!(d.quantum, 16);
+        assert_eq!(d.cpu.name(), "embedded-1998");
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = PaceConfig::standard()
+            .with_cpu(SwProcessor::standard())
+            .with_comm(CommModel::free())
+            .with_quantum(8);
+        assert_eq!(c.cpu.name(), "embedded-risc");
+        assert_eq!(c.comm, CommModel::free());
+        assert_eq!(c.quantum, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_panics() {
+        PaceConfig::standard().with_quantum(0);
+    }
+}

@@ -1,0 +1,545 @@
+//! The PACE dynamic-programming partitioner (Knudsen & Madsen, Codes/
+//! CASHE '96 — reference [7] of the paper).
+//!
+//! Given a fixed data-path allocation, PACE chooses which BSBs to move
+//! to hardware so that total execution time is minimal under the area
+//! left for controllers. The DP walks the BSB sequence once per area
+//! level; a block either stays in software, or closes a *run* of
+//! adjacent hardware blocks `[j, i]`. Runs matter because adjacent
+//! hardware blocks communicate for free — this is PACE's "inclusion of
+//! adjacent sequences".
+//!
+//! Controller areas are the realistic, list-schedule-based figures from
+//! [`crate::compute_metrics`], so a partition produced here reflects
+//! what the synthesised system would actually cost (§5.1).
+
+use crate::{compute_metrics, run_traffic, PaceConfig, PaceError};
+use lycos_core::RMap;
+use lycos_hwlib::{Area, Cycles, HwLibrary};
+use lycos_ir::BsbArray;
+use std::ops::Range;
+
+/// A hardware/software partition and its cost breakdown.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Partition {
+    /// Block placement: `true` = hardware.
+    pub in_hw: Vec<bool>,
+    /// Total execution time of the partitioned system, communication
+    /// included.
+    pub total_time: Cycles,
+    /// Execution time of the all-software solution.
+    pub all_sw_time: Cycles,
+    /// Bus time included in `total_time`.
+    pub comm_time: Cycles,
+    /// Exact (unquantised) controller area of the hardware blocks.
+    pub controller_area: Area,
+    /// Data-path area of the allocation this partition was built for.
+    pub datapath_area: Area,
+    /// The maximal hardware runs, in order.
+    pub runs: Vec<Range<usize>>,
+}
+
+impl Partition {
+    /// The paper's speed-up figure: the decrease in execution time from
+    /// the all-software solution, as a percentage of the hybrid time —
+    /// `(T_sw − T_hybrid) / T_hybrid × 100`.
+    pub fn speedup_pct(&self) -> f64 {
+        if self.total_time.count() == 0 {
+            return 0.0;
+        }
+        (self.all_sw_time.count() as f64 - self.total_time.count() as f64)
+            / self.total_time.count() as f64
+            * 100.0
+    }
+
+    /// Number of blocks in hardware.
+    pub fn hw_count(&self) -> usize {
+        self.in_hw.iter().filter(|&&h| h).count()
+    }
+
+    /// Static fraction of blocks in hardware (`HW` of Table 1's HW/SW
+    /// column, by operation count).
+    pub fn hw_fraction_static(&self, bsbs: &BsbArray) -> f64 {
+        let total: usize = bsbs.total_ops();
+        if total == 0 {
+            return 0.0;
+        }
+        let hw: usize = bsbs
+            .iter()
+            .zip(&self.in_hw)
+            .filter(|&(_, &h)| h)
+            .map(|(b, _)| b.op_count())
+            .sum();
+        hw as f64 / total as f64
+    }
+
+    /// Data-path share of the used hardware area (Table 1's *Size*):
+    /// `datapath / (datapath + controllers)`.
+    pub fn size_fraction(&self) -> f64 {
+        self.datapath_area
+            .fraction_of(self.datapath_area + self.controller_area)
+    }
+}
+
+/// Runs PACE: partitions `bsbs` for the data path `allocation` within
+/// `total_area` of hardware.
+///
+/// # Errors
+///
+/// * [`PaceError::DatapathTooLarge`] if the allocation alone exceeds
+///   `total_area`.
+/// * [`PaceError::Sched`] / [`PaceError::Hw`] if a block cannot be
+///   scheduled at all.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::RMap;
+/// use lycos_hwlib::{Area, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+/// use lycos_pace::{partition, PaceConfig};
+///
+/// let mut b = DfgBuilder::new();
+/// let m1 = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m1);
+/// let m2 = b.binary(OpKind::Mul, "x".into(), "x".into());
+/// b.assign("y", m2);
+/// let cdfg = Cdfg::new(
+///     "hot",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(500),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let mult = lib.fu_for(OpKind::Mul).unwrap();
+/// let alloc: RMap = [(mult, 1)].into_iter().collect();
+///
+/// let p = partition(&bsbs, &lib, &alloc, Area::new(4000), &PaceConfig::standard())?;
+/// assert!(p.in_hw[0], "the hot block moves to hardware");
+/// assert!(p.speedup_pct() > 100.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn partition(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    config: &PaceConfig,
+) -> Result<Partition, PaceError> {
+    let datapath_area = allocation.area(lib);
+    let ctl_budget = total_area
+        .checked_sub(datapath_area)
+        .ok_or(PaceError::DatapathTooLarge {
+            datapath: datapath_area,
+            total: total_area,
+        })?;
+
+    let metrics = compute_metrics(bsbs, lib, allocation, config)?;
+    let l = bsbs.len();
+    let all_sw_time: Cycles = metrics.iter().map(|m| m.sw_time).sum();
+
+    if l == 0 {
+        return Ok(Partition {
+            in_hw: Vec::new(),
+            total_time: Cycles::ZERO,
+            all_sw_time,
+            comm_time: Cycles::ZERO,
+            controller_area: Area::ZERO,
+            datapath_area,
+            runs: Vec::new(),
+        });
+    }
+
+    let q = config.quantum;
+    let levels = (ctl_budget.gates() / q) as usize;
+
+    // Per-run cost tables. run[j][i] covers blocks j..=i (only feasible
+    // prefixes are materialised).
+    // quanta(j,i) = ceil(Σ ctl / q); time(j,i) = Σ hw + comm.
+    let feasible: Vec<bool> = metrics.iter().map(|m| m.hw_feasible()).collect();
+    let mut run_time = vec![Vec::<u64>::new(); l];
+    let mut run_quanta = vec![Vec::<usize>::new(); l];
+    let mut run_ctl = vec![Vec::<u64>::new(); l];
+    for j in 0..l {
+        let mut hw_sum = 0u64;
+        let mut ctl_sum = 0u64;
+        for i in j..l {
+            if !feasible[i] {
+                break;
+            }
+            hw_sum += metrics[i].hw_time.expect("feasible").count();
+            ctl_sum += metrics[i].controller_area.expect("feasible").gates();
+            let comm = run_traffic(bsbs, j, i).cost(&config.comm).count();
+            run_time[j].push(hw_sum + comm);
+            run_quanta[j].push(ctl_sum.div_ceil(q) as usize);
+            run_ctl[j].push(ctl_sum);
+        }
+    }
+
+    // dp[i][a]: min time for blocks 0..i with ≤ a quanta of controller.
+    // choice: 0 = block i-1 in software; j+1 = hardware run j..=i-1.
+    const INF: u64 = u64::MAX / 4;
+    let width = levels + 1;
+    let mut dp = vec![INF; (l + 1) * width];
+    let mut choice = vec![0u32; (l + 1) * width];
+    dp[..=levels].fill(0);
+    for i in 1..=l {
+        for a in 0..=levels {
+            let mut best = dp[(i - 1) * width + a].saturating_add(metrics[i - 1].sw_time.count());
+            let mut pick = 0u32;
+            // Runs ending at block i-1, starting at j-1 (1-based j).
+            for j in (1..=i).rev() {
+                let idx = i - j; // offset into run_*[j-1]
+                if run_time[j - 1].len() <= idx {
+                    break; // infeasible block inside the run
+                }
+                let quanta = run_quanta[j - 1][idx];
+                if quanta > a {
+                    continue;
+                }
+                let t = dp[(j - 1) * width + (a - quanta)].saturating_add(run_time[j - 1][idx]);
+                if t < best {
+                    best = t;
+                    pick = j as u32;
+                }
+            }
+            dp[i * width + a] = best;
+            choice[i * width + a] = pick;
+        }
+    }
+
+    // Backtrack from (l, levels).
+    let mut in_hw = vec![false; l];
+    let mut runs = Vec::new();
+    let mut comm_time = 0u64;
+    let mut controller_area = 0u64;
+    let mut i = l;
+    let mut a = levels;
+    while i > 0 {
+        let pick = choice[i * width + a];
+        if pick == 0 {
+            i -= 1;
+        } else {
+            let j = pick as usize; // 1-based start
+            let idx = i - j;
+            for b in in_hw.iter_mut().take(i).skip(j - 1) {
+                *b = true;
+            }
+            runs.push(j - 1..i);
+            comm_time += run_traffic(bsbs, j - 1, i - 1).cost(&config.comm).count();
+            controller_area += run_ctl[j - 1][idx];
+            a -= run_quanta[j - 1][idx];
+            i = j - 1;
+        }
+    }
+    runs.reverse();
+
+    Ok(Partition {
+        in_hw,
+        total_time: Cycles::new(dp[l * width + levels]),
+        all_sw_time,
+        comm_time: Cycles::new(comm_time),
+        controller_area: Area::new(controller_area),
+        datapath_area,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn bsb_full(
+        i: u32,
+        kind: OpKind,
+        n: usize,
+        profile: u64,
+        reads: &[&str],
+        writes: &[&str],
+    ) -> Bsb {
+        let mut dfg = Dfg::new();
+        for _ in 0..n {
+            dfg.add_op(kind);
+        }
+        Bsb {
+            id: BsbId(i),
+            name: format!("b{i}"),
+            dfg,
+            reads: reads.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            writes: writes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+            profile,
+            origin: BsbOrigin::Body,
+        }
+    }
+
+    fn alloc_of(pairs: &[(OpKind, u32)]) -> RMap {
+        let lib = lib();
+        pairs
+            .iter()
+            .map(|&(op, c)| (lib.fu_for(op).unwrap(), c))
+            .collect()
+    }
+
+    #[test]
+    fn empty_allocation_keeps_everything_in_software() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb_full(0, OpKind::Add, 4, 100, &[], &[])]);
+        let p = partition(
+            &bsbs,
+            &lib(),
+            &RMap::new(),
+            Area::new(10_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert_eq!(p.hw_count(), 0);
+        assert_eq!(p.total_time, p.all_sw_time);
+        assert_eq!(p.speedup_pct(), 0.0);
+        assert!(p.runs.is_empty());
+    }
+
+    #[test]
+    fn hot_feasible_block_moves_to_hardware() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb_full(0, OpKind::Add, 4, 1000, &[], &[])]);
+        let p = partition(
+            &bsbs,
+            &lib(),
+            &alloc_of(&[(OpKind::Add, 4)]),
+            Area::new(10_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert!(p.in_hw[0]);
+        // 4 adds × 6 cyc × 1000 = 24000 SW vs 1 step × 1000 HW.
+        assert_eq!(p.all_sw_time, Cycles::new(24_000));
+        assert!(p.total_time < Cycles::new(2_000));
+        assert!(p.speedup_pct() > 1_000.0);
+    }
+
+    #[test]
+    fn no_controller_room_means_no_hardware() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb_full(0, OpKind::Add, 4, 1000, &[], &[])]);
+        let alloc = alloc_of(&[(OpKind::Add, 4)]);
+        let lib = lib();
+        let datapath = alloc.area(&lib);
+        // Total area exactly the data path: zero controller budget.
+        let p = partition(&bsbs, &lib, &alloc, datapath, &PaceConfig::standard()).unwrap();
+        assert_eq!(p.hw_count(), 0, "controller does not fit");
+    }
+
+    #[test]
+    fn datapath_larger_than_total_is_an_error() {
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb_full(0, OpKind::Add, 1, 1, &[], &[])]);
+        let err = partition(
+            &bsbs,
+            &lib(),
+            &alloc_of(&[(OpKind::Add, 1)]),
+            Area::new(10),
+            &PaceConfig::standard(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PaceError::DatapathTooLarge { .. }));
+    }
+
+    #[test]
+    fn area_budget_limits_how_many_blocks_move() {
+        // Many hot blocks; controller budget fits only some.
+        let blocks: Vec<Bsb> = (0..6)
+            .map(|i| bsb_full(i, OpKind::Add, 4, 1000, &[], &[]))
+            .collect();
+        let bsbs = BsbArray::from_bsbs("t", blocks);
+        let lib = lib();
+        let alloc = alloc_of(&[(OpKind::Add, 4)]);
+        let dp_area = alloc.area(&lib);
+        let cfg = PaceConfig::standard();
+        // Each controller: 1 state → ECA(1) = 96 GE. A merged run of k
+        // controllers costs 96k GE rounded up to 16-GE quanta (= 6k
+        // quanta). 18 quanta = 288 GE: three controllers fit (288),
+        // four (384) do not.
+        let budget = Area::new(dp_area.gates() + 18 * cfg.quantum);
+        let p = partition(&bsbs, &lib, &alloc, budget, &cfg).unwrap();
+        assert_eq!(p.hw_count(), 3, "exactly three controllers fit");
+        // And with a huge budget all six move.
+        let p = partition(&bsbs, &lib, &alloc, Area::new(100_000), &cfg).unwrap();
+        assert_eq!(p.hw_count(), 6);
+    }
+
+    #[test]
+    fn infeasible_blocks_stay_in_software() {
+        // Block 1 needs a divider the allocation lacks.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb_full(0, OpKind::Add, 4, 100, &[], &[]),
+                bsb_full(1, OpKind::Div, 2, 100, &[], &[]),
+            ],
+        );
+        let p = partition(
+            &bsbs,
+            &lib(),
+            &alloc_of(&[(OpKind::Add, 4)]),
+            Area::new(10_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert!(p.in_hw[0]);
+        assert!(!p.in_hw[1]);
+    }
+
+    #[test]
+    fn adjacent_blocks_merge_into_one_run() {
+        // Chain of data through three hot blocks: one run, intra-run
+        // traffic free.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb_full(0, OpKind::Add, 3, 500, &["a"], &["x"]),
+                bsb_full(1, OpKind::Add, 3, 500, &["x"], &["y"]),
+                bsb_full(2, OpKind::Add, 3, 500, &["y"], &["z"]),
+            ],
+        );
+        let p = partition(
+            &bsbs,
+            &lib(),
+            &alloc_of(&[(OpKind::Add, 3)]),
+            Area::new(10_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert_eq!(p.hw_count(), 3);
+        assert_eq!(p.runs.len(), 1, "one maximal run");
+        assert_eq!(p.runs[0], 0..3);
+    }
+
+    #[test]
+    fn communication_can_keep_a_block_in_software() {
+        // A lukewarm block whose inputs change every execution: the bus
+        // cost exceeds the modest compute gain.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                // Producer in software (cheap, cold): writes 8 vars.
+                bsb_full(0, OpKind::Add, 1, 1000, &[], &["v0"]),
+                // Consumer: reads the fresh value each time; tiny gain.
+                bsb_full(1, OpKind::Add, 2, 1000, &["v0"], &["w"]),
+                // Final reader keeps w live.
+                bsb_full(2, OpKind::Add, 1, 1000, &["w"], &[]),
+            ],
+        );
+        let lib = lib();
+        // Only allow moving the middle block: SW 2×6 = 12/exec,
+        // HW 1 step + comm in 14 + out 14 per exec — not worth it.
+        let alloc = alloc_of(&[(OpKind::Add, 2)]);
+        let p = partition(
+            &bsbs,
+            &lib,
+            &alloc,
+            Area::new(1_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        // Moving all three is better than moving just the middle one;
+        // but with a budget that fits only one controller the middle
+        // block alone must NOT move.
+        let dp = alloc.area(&lib);
+        let tight = partition(
+            &bsbs,
+            &lib,
+            &alloc,
+            Area::new(dp.gates() + 16),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert!(
+            !tight.in_hw[1] || tight.comm_time.count() == 0,
+            "middle block alone should not pay the bus"
+        );
+        let _ = p;
+    }
+
+    #[test]
+    fn partition_accounting_is_consistent() {
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb_full(0, OpKind::Add, 3, 100, &["a"], &["x"]),
+                bsb_full(1, OpKind::Mul, 2, 900, &["x"], &["y"]),
+                bsb_full(2, OpKind::Add, 1, 10, &["y"], &["z"]),
+            ],
+        );
+        let lib = lib();
+        let alloc = alloc_of(&[(OpKind::Add, 3), (OpKind::Mul, 2)]);
+        let p = partition(
+            &bsbs,
+            &lib,
+            &alloc,
+            Area::new(20_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert_eq!(p.datapath_area, alloc.area(&lib));
+        assert!(p.total_time <= p.all_sw_time, "DP never loses to all-SW");
+        assert!(p.comm_time <= p.total_time);
+        let in_runs: usize = p.runs.iter().map(|r| r.len()).sum();
+        assert_eq!(in_runs, p.hw_count());
+        assert!((0.0..=1.0).contains(&p.size_fraction()));
+        assert!((0.0..=1.0).contains(&p.hw_fraction_static(&bsbs)));
+    }
+
+    #[test]
+    fn empty_application_partitions_trivially() {
+        let bsbs = BsbArray::from_bsbs("t", vec![]);
+        let p = partition(
+            &bsbs,
+            &lib(),
+            &RMap::new(),
+            Area::new(1_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        assert_eq!(p.total_time, Cycles::ZERO);
+        assert_eq!(p.speedup_pct(), 0.0);
+    }
+
+    #[test]
+    fn dp_beats_or_matches_all_software_everywhere() {
+        // Randomised-ish structure, several budgets.
+        let blocks: Vec<Bsb> = (0..8)
+            .map(|i| {
+                let kind = match i % 3 {
+                    0 => OpKind::Add,
+                    1 => OpKind::Mul,
+                    _ => OpKind::Sub,
+                };
+                bsb_full(i, kind, 1 + (i as usize % 4), 10 * (i as u64 + 1), &[], &[])
+            })
+            .collect();
+        let bsbs = BsbArray::from_bsbs("t", blocks);
+        let alloc = alloc_of(&[(OpKind::Add, 2), (OpKind::Mul, 1), (OpKind::Sub, 1)]);
+        let lib = lib();
+        let dp_area = alloc.area(&lib).gates();
+        for extra in [0u64, 50, 200, 1_000, 10_000] {
+            let p = partition(
+                &bsbs,
+                &lib,
+                &alloc,
+                Area::new(dp_area + extra),
+                &PaceConfig::standard(),
+            )
+            .unwrap();
+            assert!(p.total_time <= p.all_sw_time, "budget +{extra}");
+        }
+    }
+}

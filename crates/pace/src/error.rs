@@ -1,0 +1,91 @@
+//! Error type for partitioning.
+
+use lycos_core::AllocError;
+use lycos_hwlib::{Area, HwError};
+use lycos_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the PACE evaluation.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum PaceError {
+    /// A scheduling step failed.
+    Sched(SchedError),
+    /// A hardware-library lookup failed.
+    Hw(HwError),
+    /// The data path alone is larger than the total hardware area, so no
+    /// partition exists for this allocation.
+    DatapathTooLarge {
+        /// Area of the allocated data path.
+        datapath: Area,
+        /// The total hardware area.
+        total: Area,
+    },
+}
+
+impl fmt::Display for PaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaceError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            PaceError::Hw(e) => write!(f, "hardware library lookup failed: {e}"),
+            PaceError::DatapathTooLarge { datapath, total } => write!(
+                f,
+                "data path ({datapath}) exceeds the total hardware area ({total})"
+            ),
+        }
+    }
+}
+
+impl Error for PaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PaceError::Sched(e) => Some(e),
+            PaceError::Hw(e) => Some(e),
+            PaceError::DatapathTooLarge { .. } => None,
+        }
+    }
+}
+
+impl From<SchedError> for PaceError {
+    fn from(e: SchedError) -> Self {
+        PaceError::Sched(e)
+    }
+}
+
+impl From<HwError> for PaceError {
+    fn from(e: HwError) -> Self {
+        PaceError::Hw(e)
+    }
+}
+
+impl From<AllocError> for PaceError {
+    fn from(e: AllocError) -> Self {
+        match e {
+            AllocError::Sched(s) => PaceError::Sched(s),
+            AllocError::Hw(h) => PaceError::Hw(h),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::OpKind;
+
+    #[test]
+    fn display_all_variants() {
+        let e = PaceError::DatapathTooLarge {
+            datapath: Area::new(100),
+            total: Area::new(50),
+        };
+        assert!(format!("{e}").contains("100 GE"));
+        assert!(Error::source(&e).is_none());
+        let e: PaceError = SchedError::NoUnitFor { op: OpKind::Mul }.into();
+        assert!(Error::source(&e).is_some());
+        let e: PaceError = HwError::NoUnitFor { op: OpKind::Mul }.into();
+        assert!(Error::source(&e).is_some());
+        let e: PaceError = AllocError::Hw(HwError::NoUnitFor { op: OpKind::Add }).into();
+        assert!(matches!(e, PaceError::Hw(_)));
+    }
+}

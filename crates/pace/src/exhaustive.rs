@@ -1,0 +1,306 @@
+//! Exhaustive allocation search — the paper's baseline (§5).
+//!
+//! "First, the PACE algorithm is used to generate a partition of the
+//! application for all possible allocations. Through this exhaustive
+//! search, the allocation that gives the best partitioning result in
+//! terms of speed-up is marked as the best allocation."
+//!
+//! The space is the Cartesian product of `0..=cap` instances for every
+//! unit kind the application uses (caps from [`Restrictions`], §4.3) —
+//! beyond a cap extra units can never help. Allocations whose data path
+//! does not fit the total area are skipped. A step limit makes the
+//! search usable on spaces like `eigen`'s, which the paper itself calls
+//! "impossible" to exhaust (footnote 1).
+
+use crate::{partition, PaceConfig, PaceError, Partition};
+use lycos_core::{RMap, Restrictions};
+use lycos_hwlib::{Area, FuId, HwLibrary};
+use lycos_ir::BsbArray;
+
+/// Outcome of an allocation-space search.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SearchResult {
+    /// The best allocation found (empty = all software).
+    pub best_allocation: RMap,
+    /// Its partition.
+    pub best_partition: Partition,
+    /// Number of allocations actually evaluated through PACE.
+    pub evaluated: usize,
+    /// Number skipped because the data path alone exceeded the area.
+    pub skipped: usize,
+    /// Total size of the allocation space (including skipped).
+    pub space_size: u128,
+    /// Whether a step limit cut the search short.
+    pub truncated: bool,
+}
+
+/// The searchable dimensions: each used unit kind and its cap.
+pub fn search_space(restrictions: &Restrictions) -> Vec<(FuId, u32)> {
+    restrictions.iter().collect()
+}
+
+/// Number of points in the space (`Π (cap + 1)`).
+pub fn space_size(dims: &[(FuId, u32)]) -> u128 {
+    dims.iter().map(|&(_, cap)| cap as u128 + 1).product()
+}
+
+/// Exhaustively evaluates every allocation within `restrictions`,
+/// returning the one whose PACE partition is fastest. Ties prefer the
+/// smaller data path.
+///
+/// `limit` bounds the number of *evaluated* allocations; when hit, the
+/// best found so far is returned with `truncated = true`.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation (the
+/// all-software case is always evaluable, so a best partition always
+/// exists).
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::Restrictions;
+/// use lycos_hwlib::{Area, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+/// use lycos_pace::{exhaustive_best, PaceConfig};
+///
+/// let mut b = DfgBuilder::new();
+/// let m = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m);
+/// let m2 = b.binary(OpKind::Mul, "c".into(), "d".into());
+/// b.assign("y", m2);
+/// let cdfg = Cdfg::new(
+///     "hot",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(400),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let restr = Restrictions::from_asap(&bsbs, &lib)?;
+///
+/// let res = exhaustive_best(&bsbs, &lib, Area::new(6000), &restr,
+///                           &PaceConfig::standard(), None)?;
+/// assert!(res.best_partition.speedup_pct() > 0.0);
+/// assert!(!res.truncated);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exhaustive_best(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    config: &PaceConfig,
+    limit: Option<usize>,
+) -> Result<SearchResult, PaceError> {
+    let dims = search_space(restrictions);
+    let space = space_size(&dims);
+
+    let mut best_allocation = RMap::new();
+    let mut best_partition = partition(bsbs, lib, &best_allocation, total_area, config)?;
+    let mut evaluated = 1usize; // the all-software point
+    let mut skipped = 0usize;
+    let mut truncated = false;
+
+    // Odometer over the caps; the all-zero point is the baseline above.
+    let mut counts = vec![0u32; dims.len()];
+    'outer: loop {
+        // Advance the odometer.
+        let mut pos = 0;
+        loop {
+            if pos == dims.len() {
+                break 'outer; // wrapped all the way: done
+            }
+            counts[pos] += 1;
+            if counts[pos] <= dims[pos].1 {
+                break;
+            }
+            counts[pos] = 0;
+            pos += 1;
+        }
+
+        let candidate: RMap = dims
+            .iter()
+            .zip(&counts)
+            .map(|(&(fu, _), &c)| (fu, c))
+            .collect();
+        if candidate.area(lib) > total_area {
+            skipped += 1;
+            continue;
+        }
+        if let Some(max) = limit {
+            if evaluated >= max {
+                truncated = true;
+                break;
+            }
+        }
+        let p = partition(bsbs, lib, &candidate, total_area, config)?;
+        evaluated += 1;
+        let better = p.total_time < best_partition.total_time
+            || (p.total_time == best_partition.total_time
+                && candidate.area(lib) < best_allocation.area(lib));
+        if better {
+            best_allocation = candidate;
+            best_partition = p;
+        }
+    }
+
+    Ok(SearchResult {
+        best_allocation,
+        best_partition,
+        evaluated,
+        skipped,
+        space_size: space,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn app() -> BsbArray {
+        let mk = |i: u32, kind: OpKind, n: usize, profile: u64| {
+            let mut dfg = Dfg::new();
+            for _ in 0..n {
+                dfg.add_op(kind);
+            }
+            Bsb {
+                id: BsbId(i),
+                name: format!("b{i}"),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }
+        };
+        BsbArray::from_bsbs(
+            "t",
+            vec![mk(0, OpKind::Add, 3, 500), mk(1, OpKind::Mul, 2, 500)],
+        )
+    }
+
+    #[test]
+    fn space_enumeration_matches_caps() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        // adder cap 3, multiplier cap 2 → (3+1)·(2+1) = 12 points.
+        assert_eq!(space_size(&dims), 12);
+    }
+
+    #[test]
+    fn search_covers_space_minus_skipped() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let res = exhaustive_best(
+            &bsbs,
+            &lib,
+            Area::new(100_000),
+            &restr,
+            &PaceConfig::standard(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(res.evaluated as u128, res.space_size);
+        assert_eq!(res.skipped, 0);
+        assert!(!res.truncated);
+    }
+
+    #[test]
+    fn best_beats_every_alternative() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let cfg = PaceConfig::standard();
+        let area = Area::new(8_000);
+        let res = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, None).unwrap();
+        // Probe a few specific allocations; none may beat the winner.
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+        let mult = lib.fu_for(OpKind::Mul).unwrap();
+        for probe in [
+            RMap::new(),
+            [(adder, 1)].into_iter().collect::<RMap>(),
+            [(adder, 3)].into_iter().collect::<RMap>(),
+            [(mult, 1)].into_iter().collect::<RMap>(),
+            [(adder, 3), (mult, 2)].into_iter().collect::<RMap>(),
+        ] {
+            if probe.area(&lib) > area {
+                continue;
+            }
+            let p = partition(&bsbs, &lib, &probe, area, &cfg).unwrap();
+            assert!(
+                res.best_partition.total_time <= p.total_time,
+                "probe {probe} beats the exhaustive winner"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_area_skips_large_allocations() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        // Area fits one multiplier at most (2000), not two.
+        let res = exhaustive_best(
+            &bsbs,
+            &lib,
+            Area::new(2_500),
+            &restr,
+            &PaceConfig::standard(),
+            None,
+        )
+        .unwrap();
+        assert!(res.skipped > 0, "two-multiplier points must be skipped");
+        assert!(res.best_allocation.area(&lib) <= Area::new(2_500));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let res = exhaustive_best(
+            &bsbs,
+            &lib,
+            Area::new(100_000),
+            &restr,
+            &PaceConfig::standard(),
+            Some(3),
+        )
+        .unwrap();
+        assert!(res.truncated);
+        assert!(res.evaluated <= 3);
+    }
+
+    #[test]
+    fn empty_restrictions_yield_all_software() {
+        let bsbs = app();
+        let lib = lib();
+        let res = exhaustive_best(
+            &bsbs,
+            &lib,
+            Area::new(100_000),
+            &Restrictions::new(),
+            &PaceConfig::standard(),
+            None,
+        )
+        .unwrap();
+        assert!(res.best_allocation.is_empty());
+        assert_eq!(res.space_size, 1);
+        assert_eq!(res.best_partition.speedup_pct(), 0.0);
+    }
+}

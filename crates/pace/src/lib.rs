@@ -1,0 +1,67 @@
+//! PACE — the hardware/software partitioning substrate of the LYCOS
+//! reproduction.
+//!
+//! The DATE 1998 allocation paper evaluates its allocations by running
+//! the PACE partitioner (Knudsen & Madsen 1996, reference [7]) on each
+//! candidate data path. This crate reimplements that evaluation chain:
+//!
+//! * [`compute_metrics`] — per-BSB software/hardware times and
+//!   *realistic* (list-schedule based) controller areas under a given
+//!   allocation;
+//! * [`run_traffic`] — boundary communication estimates for runs of
+//!   adjacent hardware blocks;
+//! * [`partition`] — the dynamic program choosing which blocks move to
+//!   hardware within the area left over by the data path;
+//! * [`exhaustive_best`] — the paper's baseline: PACE over *every*
+//!   allocation, marking the best one.
+//!
+//! # Examples
+//!
+//! ```
+//! use lycos_core::{allocate, AllocConfig, Restrictions};
+//! use lycos_hwlib::{Area, EcaModel, HwLibrary};
+//! use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+//! use lycos_pace::{partition, PaceConfig};
+//!
+//! // Build a hot loop, pre-allocate a data path, then partition.
+//! let mut b = DfgBuilder::new();
+//! let m = b.binary(OpKind::Mul, "a".into(), "b".into());
+//! b.assign("x", m);
+//! let cdfg = Cdfg::new(
+//!     "app",
+//!     CdfgNode::Loop {
+//!         label: "l".into(),
+//!         test: None,
+//!         body: Box::new(CdfgNode::block("body", b.finish())),
+//!         trip: TripCount::Fixed(1000),
+//!     },
+//! );
+//! let bsbs = extract_bsbs(&cdfg, None)?;
+//! let lib = HwLibrary::standard();
+//! let area = Area::new(4000);
+//! let restr = Restrictions::from_asap(&bsbs, &lib)?;
+//! let alloc = allocate(&bsbs, &lib, &EcaModel::standard(), area, &restr,
+//!                      &AllocConfig::default())?.allocation;
+//! let part = partition(&bsbs, &lib, &alloc, area, &PaceConfig::standard())?;
+//! println!("speed-up: {:.0}%", part.speedup_pct());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod comm;
+mod config;
+mod dp;
+mod error;
+mod exhaustive;
+mod greedy;
+mod metrics;
+
+pub use comm::{run_traffic, RunTraffic};
+pub use config::PaceConfig;
+pub use dp::{partition, Partition};
+pub use error::PaceError;
+pub use exhaustive::{exhaustive_best, search_space, space_size, SearchResult};
+pub use greedy::greedy_partition;
+pub use metrics::{compute_metrics, BsbMetrics};

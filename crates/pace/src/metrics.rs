@@ -1,0 +1,182 @@
+//! Per-BSB cost metrics under a fixed data-path allocation.
+//!
+//! For every block the partitioner needs: its software time, and — if
+//! the allocation covers its operations at all — its hardware time and
+//! the *realistic* controller area derived from the resource-constrained
+//! list schedule (§5.1: the allocation algorithm's ASAP estimate is
+//! optimistic; at partition time the real schedule is in hand).
+
+use crate::{PaceConfig, PaceError};
+use lycos_core::{required_resources, RMap};
+use lycos_hwlib::{Area, Cycles, HwLibrary};
+use lycos_ir::BsbArray;
+use lycos_sched::{list_schedule, FuCounts};
+
+/// Cost figures of one BSB under a concrete allocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BsbMetrics {
+    /// Total software time over the application run
+    /// (`block time × profile`).
+    pub sw_time: Cycles,
+    /// Total hardware time over the application run, if the allocation
+    /// can execute the block at all.
+    pub hw_time: Option<Cycles>,
+    /// List-schedule control steps (= realistic controller states).
+    pub hw_states: Option<u64>,
+    /// Realistic controller area (ECA over `hw_states`).
+    pub controller_area: Option<Area>,
+}
+
+impl BsbMetrics {
+    /// Whether the allocation can execute this block in hardware.
+    pub fn hw_feasible(&self) -> bool {
+        self.hw_time.is_some()
+    }
+
+    /// The speed gained by moving this block to hardware (ignoring
+    /// communication), zero if infeasible.
+    pub fn local_gain(&self) -> Cycles {
+        match self.hw_time {
+            Some(hw) => self.sw_time.saturating_sub(hw),
+            None => Cycles::ZERO,
+        }
+    }
+}
+
+/// Computes [`BsbMetrics`] for every block of `bsbs` under `allocation`.
+///
+/// # Errors
+///
+/// [`PaceError::Sched`] if a block's DFG cannot be scheduled at all
+/// (cyclic graph or an operation with no default unit in `lib`). A block
+/// merely lacking unit *instances* is not an error — it is reported as
+/// hardware-infeasible.
+pub fn compute_metrics(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    config: &PaceConfig,
+) -> Result<Vec<BsbMetrics>, PaceError> {
+    let counts: FuCounts = allocation.iter().collect();
+    let mut out = Vec::with_capacity(bsbs.len());
+    for bsb in bsbs {
+        let sw_time = config.cpu.bsb_time(bsb);
+        let needed = required_resources(bsb, lib)?;
+        let feasible = !bsb.dfg.is_empty() && allocation.covers(&needed);
+        if !feasible {
+            out.push(BsbMetrics {
+                sw_time,
+                hw_time: None,
+                hw_states: None,
+                controller_area: None,
+            });
+            continue;
+        }
+        let sched = list_schedule(&bsb.dfg, lib, &counts)?;
+        let states = sched.length();
+        out.push(BsbMetrics {
+            sw_time,
+            hw_time: Some(Cycles::new(states) * bsb.profile),
+            hw_states: Some(states),
+            controller_area: Some(config.eca.controller_area(states)),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn one_bsb(dfg: Dfg, profile: u64) -> BsbArray {
+        BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "b0".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }],
+        )
+    }
+
+    #[test]
+    fn feasible_block_gets_hw_numbers() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Add);
+        let bsbs = one_bsb(g, 10);
+        let lib = lib();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+        let alloc: RMap = [(adder, 2)].into_iter().collect();
+        let m = compute_metrics(&bsbs, &lib, &alloc, &PaceConfig::standard()).unwrap();
+        assert!(m[0].hw_feasible());
+        assert_eq!(m[0].hw_states, Some(1), "two adds on two adders");
+        assert_eq!(m[0].hw_time, Some(Cycles::new(10)));
+        // embedded-1998 add = 6 cycles, two adds, ten executions.
+        assert_eq!(m[0].sw_time, Cycles::new(2 * 6 * 10));
+        assert_eq!(m[0].local_gain(), Cycles::new(120 - 10));
+    }
+
+    #[test]
+    fn fewer_instances_stretch_hw_time() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        g.add_op(OpKind::Add);
+        let bsbs = one_bsb(g, 1);
+        let lib = lib();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+        let one: RMap = [(adder, 1)].into_iter().collect();
+        let two: RMap = [(adder, 2)].into_iter().collect();
+        let cfg = PaceConfig::standard();
+        let m1 = compute_metrics(&bsbs, &lib, &one, &cfg).unwrap();
+        let m2 = compute_metrics(&bsbs, &lib, &two, &cfg).unwrap();
+        assert_eq!(m1[0].hw_states, Some(2));
+        assert_eq!(m2[0].hw_states, Some(1));
+        assert!(m1[0].controller_area.unwrap() > m2[0].controller_area.unwrap());
+    }
+
+    #[test]
+    fn uncovered_block_is_infeasible_not_an_error() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Div);
+        let bsbs = one_bsb(g, 5);
+        let m = compute_metrics(&bsbs, &lib(), &RMap::new(), &PaceConfig::standard()).unwrap();
+        assert!(!m[0].hw_feasible());
+        assert_eq!(m[0].hw_time, None);
+        assert_eq!(m[0].local_gain(), Cycles::ZERO);
+        assert!(m[0].sw_time > Cycles::ZERO, "software still runs it");
+    }
+
+    #[test]
+    fn empty_block_is_not_movable() {
+        let bsbs = one_bsb(Dfg::new(), 5);
+        let m = compute_metrics(&bsbs, &lib(), &RMap::new(), &PaceConfig::standard()).unwrap();
+        assert!(!m[0].hw_feasible());
+        assert_eq!(m[0].sw_time, Cycles::ZERO);
+    }
+
+    #[test]
+    fn partial_coverage_is_infeasible() {
+        // Block needs adder + multiplier; allocation has only the adder.
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let m = g.add_op(OpKind::Mul);
+        g.add_edge(a, m).unwrap();
+        let lib = lib();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+        let alloc: RMap = [(adder, 1)].into_iter().collect();
+        let metrics =
+            compute_metrics(&one_bsb(g, 1), &lib, &alloc, &PaceConfig::standard()).unwrap();
+        assert!(!metrics[0].hw_feasible());
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-validation of the PACE dynamic program against brute force.
+//!
+//! For small applications every one of the `2^L` placements can be
+//! costed directly with the same metrics, run-communication and
+//! controller-area rules the DP uses. With an area quantum of 1 the DP
+//! must find a placement exactly as fast as the brute-force optimum —
+//! this pins the DP's correctness, not just its internal consistency.
+
+use lycos_core::RMap;
+use lycos_hwlib::{Area, Cycles, HwLibrary};
+use lycos_ir::{Bsb, BsbArray, BsbId, BsbOrigin, Dfg, OpKind};
+use lycos_pace::{compute_metrics, partition, run_traffic, PaceConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Costs one explicit placement under the DP's own rules. Returns
+/// `None` if the placement is infeasible (controller area exceeds the
+/// budget or a hardware block is not covered by the allocation).
+fn placement_cost(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    config: &PaceConfig,
+    in_hw: &[bool],
+) -> Option<Cycles> {
+    let metrics = compute_metrics(bsbs, lib, allocation, config).ok()?;
+    let ctl_budget = total_area.checked_sub(allocation.area(lib))?;
+
+    let mut total = Cycles::ZERO;
+    let mut ctl = 0u64;
+    for (i, m) in metrics.iter().enumerate() {
+        if in_hw[i] {
+            total += m.hw_time?; // None => infeasible placement
+            ctl += m.controller_area?.gates();
+        } else {
+            total += m.sw_time;
+        }
+    }
+    // Quantised per maximal run, exactly like the DP (quantum q).
+    let q = config.quantum;
+    let mut quanta = 0u64;
+    let mut i = 0;
+    while i < in_hw.len() {
+        if in_hw[i] {
+            let start = i;
+            while i < in_hw.len() && in_hw[i] {
+                i += 1;
+            }
+            let run_ctl: u64 = (start..i)
+                .map(|b| metrics[b].controller_area.expect("feasible").gates())
+                .sum();
+            quanta += run_ctl.div_ceil(q);
+            total += run_traffic(bsbs, start, i - 1).cost(&config.comm);
+        } else {
+            i += 1;
+        }
+    }
+    let _ = ctl;
+    if quanta > ctl_budget.gates() / q {
+        return None;
+    }
+    Some(total)
+}
+
+fn brute_force_best(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    config: &PaceConfig,
+) -> Cycles {
+    let l = bsbs.len();
+    let mut best = Cycles::new(u64::MAX);
+    for mask in 0u32..(1 << l) {
+        let in_hw: Vec<bool> = (0..l).map(|i| mask & (1 << i) != 0).collect();
+        if let Some(c) = placement_cost(bsbs, lib, allocation, total_area, config, &in_hw) {
+            best = best.min(c);
+        }
+    }
+    best
+}
+
+fn arb_small_app() -> impl Strategy<Value = BsbArray> {
+    let kinds = prop::sample::select(vec![OpKind::Add, OpKind::Sub, OpKind::Mul]);
+    prop::collection::vec(
+        (
+            prop::collection::vec(kinds, 1..5),
+            1u64..300,
+            prop::collection::vec(0usize..4, 0..2), // reads drawn from v0..v3
+        ),
+        1..8,
+    )
+    .prop_map(|blocks| {
+        BsbArray::from_bsbs(
+            "brute",
+            blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (ops, profile, reads))| {
+                    let mut dfg = Dfg::new();
+                    for k in ops {
+                        dfg.add_op(k);
+                    }
+                    Bsb {
+                        id: BsbId(i as u32),
+                        name: format!("b{i}"),
+                        dfg,
+                        reads: reads
+                            .into_iter()
+                            .map(|r| format!("v{r}"))
+                            .collect::<BTreeSet<_>>(),
+                        writes: [format!("v{}", i % 4)].into_iter().collect(),
+                        profile,
+                        origin: BsbOrigin::Body,
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// With quantum 1, the DP's total time equals the brute-force
+    /// optimum over all 2^L placements.
+    #[test]
+    fn dp_matches_brute_force_optimum(app in arb_small_app(), extra in 0u64..4_000) {
+        let lib = HwLibrary::standard();
+        let config = PaceConfig::standard().with_quantum(1);
+        // A mid-sized allocation: one unit per kind used.
+        let mut alloc = RMap::new();
+        for bsb in &app {
+            for kind in bsb.dfg.kinds_present() {
+                let fu = lib.fu_for(kind).unwrap();
+                if alloc.count(fu) == 0 {
+                    alloc.set(fu, 1);
+                }
+            }
+        }
+        let total_area = Area::new(alloc.area(&lib).gates() + extra);
+        let dp = partition(&app, &lib, &alloc, total_area, &config).unwrap();
+        let brute = brute_force_best(&app, &lib, &alloc, total_area, &config);
+        prop_assert_eq!(
+            dp.total_time, brute,
+            "DP {} vs brute-force {} on {} blocks",
+            dp.total_time, brute, app.len()
+        );
+    }
+
+    /// With the default quantum (16) the DP may round run areas up but
+    /// can never beat the unquantised optimum, and never exceeds its
+    /// own reported all-software time.
+    #[test]
+    fn quantised_dp_is_sound(app in arb_small_app(), extra in 0u64..4_000) {
+        let lib = HwLibrary::standard();
+        let fine = PaceConfig::standard().with_quantum(1);
+        let coarse = PaceConfig::standard(); // quantum 16
+        let mut alloc = RMap::new();
+        for bsb in &app {
+            for kind in bsb.dfg.kinds_present() {
+                let fu = lib.fu_for(kind).unwrap();
+                alloc.set(fu, 1);
+            }
+        }
+        let total_area = Area::new(alloc.area(&lib).gates() + extra);
+        let dp_fine = partition(&app, &lib, &alloc, total_area, &fine).unwrap();
+        let dp_coarse = partition(&app, &lib, &alloc, total_area, &coarse).unwrap();
+        prop_assert!(dp_coarse.total_time >= dp_fine.total_time,
+            "coarser quanta cannot find faster partitions");
+        prop_assert!(dp_coarse.total_time <= dp_coarse.all_sw_time);
+    }
+}
+
+#[test]
+fn dp_matches_brute_force_on_a_handwritten_case() {
+    // Deterministic witness: three chained hot blocks plus a cold one.
+    let mk = |i: u32, n: usize, p: u64, r: &[&str], w: &[&str]| Bsb {
+        id: BsbId(i),
+        name: format!("b{i}"),
+        dfg: {
+            let mut d = Dfg::new();
+            for _ in 0..n {
+                d.add_op(OpKind::Add);
+            }
+            d
+        },
+        reads: r.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+        writes: w.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+        profile: p,
+        origin: BsbOrigin::Body,
+    };
+    let app = BsbArray::from_bsbs(
+        "hand",
+        vec![
+            mk(0, 3, 400, &["in"], &["a"]),
+            mk(1, 3, 400, &["a"], &["b"]),
+            mk(2, 3, 400, &["b"], &["c"]),
+            mk(3, 1, 2, &["c"], &["d"]),
+        ],
+    );
+    let lib = HwLibrary::standard();
+    let config = PaceConfig::standard().with_quantum(1);
+    let alloc: RMap = [(lib.fu_for(OpKind::Add).unwrap(), 3)].into_iter().collect();
+    let total = Area::new(alloc.area(&lib).gates() + 1_000);
+    let dp = partition(&app, &lib, &alloc, total, &config).unwrap();
+    let brute = brute_force_best(&app, &lib, &alloc, total, &config);
+    assert_eq!(dp.total_time, brute);
+    assert!(dp.in_hw[0] && dp.in_hw[1] && dp.in_hw[2], "hot chain moves");
+}

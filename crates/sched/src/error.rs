@@ -1,0 +1,78 @@
+//! Error type for scheduling.
+
+use lycos_ir::{IrError, OpKind};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from schedule construction.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The data-flow graph was invalid (typically cyclic).
+    Ir(IrError),
+    /// No functional unit in the library executes this operation, so no
+    /// latency can be assigned.
+    NoUnitFor {
+        /// The unsupported operation kind.
+        op: OpKind,
+    },
+    /// The resource-constrained scheduler was given an allocation with no
+    /// instance of the unit needed by this operation.
+    InsufficientResources {
+        /// The starved operation kind.
+        op: OpKind,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Ir(e) => write!(f, "invalid data-flow graph: {e}"),
+            SchedError::NoUnitFor { op } => {
+                write!(f, "no functional unit executes `{op}`")
+            }
+            SchedError::InsufficientResources { op } => {
+                write!(f, "allocation has no unit instance for `{op}`")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for SchedError {
+    fn from(e: IrError) -> Self {
+        SchedError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::OpId;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedError::Ir(IrError::Cycle { witness: OpId(0) });
+        assert!(format!("{e}").contains("cycle"));
+        assert!(Error::source(&e).is_some());
+        let e = SchedError::NoUnitFor { op: OpKind::Div };
+        assert!(format!("{e}").contains("div"));
+        assert!(Error::source(&e).is_none());
+        let e = SchedError::InsufficientResources { op: OpKind::Mul };
+        assert!(format!("{e}").contains("mul"));
+    }
+
+    #[test]
+    fn from_ir_error() {
+        let e: SchedError = IrError::SelfLoop { op: OpId(1) }.into();
+        assert!(matches!(e, SchedError::Ir(_)));
+    }
+}

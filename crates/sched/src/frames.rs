@@ -1,0 +1,298 @@
+//! ASAP/ALAP time frames, mobility and overlap (§4.1, Figure 5).
+//!
+//! The FURO metric needs, for every operation, the window of control
+//! steps in which it may start: `[ASAP(i), ALAP(i)]`. Mobility is the
+//! window length `M(i) = ALAP(i) − ASAP(i) + 1`, and `Ovl(i,j)` is the
+//! length of the windows' intersection. Control steps are 1-based as in
+//! the paper's figures (the first step is `t = 1`).
+
+use crate::SchedError;
+use lycos_hwlib::HwLibrary;
+use lycos_ir::{Dfg, OpId};
+
+/// The start-time window of one operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimeFrame {
+    /// Earliest possible start step (1-based).
+    pub asap: u64,
+    /// Latest start step that still meets the critical-path length.
+    pub alap: u64,
+}
+
+impl TimeFrame {
+    /// Mobility `M(i) = ALAP − ASAP + 1` (≥ 1).
+    pub fn mobility(self) -> u64 {
+        self.alap - self.asap + 1
+    }
+
+    /// Overlap of the two start windows, in control steps.
+    ///
+    /// This is `Ovl(i,j)` of Definition 2: the number of steps in
+    /// `[asap_i, alap_i] ∩ [asap_j, alap_j]`.
+    pub fn overlap(self, other: TimeFrame) -> u64 {
+        let lo = self.asap.max(other.asap);
+        let hi = self.alap.min(other.alap);
+        if hi >= lo {
+            hi - lo + 1
+        } else {
+            0
+        }
+    }
+}
+
+/// ASAP/ALAP frames for every operation of one data-flow graph.
+///
+/// # Examples
+///
+/// The Figure 5 situation — an operation free to start anywhere in a
+/// five-step schedule overlapping a three-step window:
+///
+/// ```
+/// use lycos_sched::TimeFrame;
+///
+/// let i = TimeFrame { asap: 1, alap: 5 };
+/// let j = TimeFrame { asap: 3, alap: 5 };
+/// assert_eq!(i.mobility(), 5);
+/// assert_eq!(i.overlap(j), 3);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Frames {
+    frames: Vec<TimeFrame>,
+    length: u64,
+}
+
+impl Frames {
+    /// Computes unconstrained ASAP and ALAP schedules for `dfg`, taking
+    /// each operation's latency from its default unit in `lib`.
+    ///
+    /// The ALAP schedule is laid out against the ASAP (critical-path)
+    /// length, so critical operations get mobility 1.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Ir`] if the graph is cyclic, [`SchedError::NoUnitFor`]
+    /// if some operation has no default unit in `lib`.
+    pub fn compute(dfg: &Dfg, lib: &HwLibrary) -> Result<Frames, SchedError> {
+        let n = dfg.len();
+        let mut latency = vec![0u64; n];
+        for id in dfg.op_ids() {
+            let kind = dfg.op(id).kind;
+            let fu = lib
+                .fu_for(kind)
+                .map_err(|_| SchedError::NoUnitFor { op: kind })?;
+            latency[id.index()] = lib.fu(fu).latency as u64;
+        }
+        let order = dfg.topological_order()?;
+
+        // ASAP: earliest start given predecessors' finish times.
+        let mut asap = vec![1u64; n];
+        for &v in &order {
+            let start = dfg
+                .preds(v)
+                .iter()
+                .map(|p| asap[p.index()] + latency[p.index()])
+                .max()
+                .unwrap_or(1);
+            asap[v.index()] = start;
+        }
+        let length = dfg
+            .op_ids()
+            .map(|v| asap[v.index()] + latency[v.index()] - 1)
+            .max()
+            .unwrap_or(0);
+
+        // ALAP: latest start that still finishes by `length`.
+        let mut alap = vec![0u64; n];
+        for &v in order.iter().rev() {
+            let finish = dfg
+                .succs(v)
+                .iter()
+                .map(|s| alap[s.index()] - 1)
+                .min()
+                .unwrap_or(length);
+            alap[v.index()] = finish + 1 - latency[v.index()];
+        }
+
+        let frames = (0..n)
+            .map(|i| TimeFrame {
+                asap: asap[i],
+                alap: alap[i],
+            })
+            .collect();
+        Ok(Frames { frames, length })
+    }
+
+    /// The window of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an operation of the scheduled graph.
+    pub fn frame(&self, id: OpId) -> TimeFrame {
+        self.frames[id.index()]
+    }
+
+    /// Mobility of operation `id` (`M(i)` in Definition 2).
+    pub fn mobility(&self, id: OpId) -> u64 {
+        self.frame(id).mobility()
+    }
+
+    /// `Ovl(i,j)`: overlap of the two operations' start windows.
+    pub fn overlap(&self, i: OpId, j: OpId) -> u64 {
+        self.frame(i).overlap(self.frame(j))
+    }
+
+    /// The unconstrained (ASAP) schedule length in control steps — the
+    /// paper's optimistic estimate `N` of the number of controller states.
+    pub fn asap_length(&self) -> u64 {
+        self.length
+    }
+
+    /// Number of operations covered.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the graph was empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// All frames, indexable by [`OpId::index`].
+    pub fn as_slice(&self) -> &[TimeFrame] {
+        &self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::OpKind;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    /// a → b → c chain of adds: no mobility anywhere.
+    #[test]
+    fn chain_has_unit_mobility() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        let c = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let f = Frames::compute(&g, &lib()).unwrap();
+        assert_eq!(f.asap_length(), 3);
+        for id in g.op_ids() {
+            assert_eq!(f.mobility(id), 1, "critical ops have mobility 1");
+        }
+        assert_eq!(f.frame(a), TimeFrame { asap: 1, alap: 1 });
+        assert_eq!(f.frame(c), TimeFrame { asap: 3, alap: 3 });
+    }
+
+    /// Side operation next to a long chain picks up slack.
+    #[test]
+    fn slack_becomes_mobility() {
+        // chain a→b→c (3 steps) plus independent d feeding c.
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        let c = g.add_op(OpKind::Add);
+        let d = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(d, c).unwrap();
+        let f = Frames::compute(&g, &lib()).unwrap();
+        // d may start at step 1 or 2 (must finish before c at step 3).
+        assert_eq!(f.frame(d), TimeFrame { asap: 1, alap: 2 });
+        assert_eq!(f.mobility(d), 2);
+    }
+
+    #[test]
+    fn multi_cycle_ops_stretch_the_schedule() {
+        // mul (2 cs) → add: length 3.
+        let mut g = Dfg::new();
+        let m = g.add_op(OpKind::Mul);
+        let a = g.add_op(OpKind::Add);
+        g.add_edge(m, a).unwrap();
+        let f = Frames::compute(&g, &lib()).unwrap();
+        assert_eq!(f.asap_length(), 3);
+        assert_eq!(f.frame(m), TimeFrame { asap: 1, alap: 1 });
+        assert_eq!(f.frame(a), TimeFrame { asap: 3, alap: 3 });
+    }
+
+    #[test]
+    fn independent_ops_all_start_at_one_with_full_mobility() {
+        let mut g = Dfg::new();
+        let c1 = g.add_op(OpKind::Const);
+        let c2 = g.add_op(OpKind::Const);
+        let m = g.add_op(OpKind::Mul);
+        g.add_edge(c1, m).unwrap();
+        // c2 drives nothing: free to float across the whole schedule.
+        let f = Frames::compute(&g, &lib()).unwrap();
+        assert_eq!(f.asap_length(), 3);
+        assert_eq!(f.frame(c2), TimeFrame { asap: 1, alap: 3 });
+        assert_eq!(f.mobility(c2), 3);
+        let _ = c2;
+    }
+
+    #[test]
+    fn figure5_overlap_example() {
+        let i = TimeFrame { asap: 1, alap: 5 };
+        let j = TimeFrame { asap: 3, alap: 5 };
+        assert_eq!(i.mobility(), 5, "M(i) = 5 - 1 + 1");
+        assert_eq!(i.overlap(j), 3, "Ovl(i,j) = 3");
+        assert_eq!(j.overlap(i), 3, "overlap is symmetric");
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_overlap() {
+        let i = TimeFrame { asap: 1, alap: 2 };
+        let j = TimeFrame { asap: 3, alap: 4 };
+        assert_eq!(i.overlap(j), 0);
+        let k = TimeFrame { asap: 2, alap: 3 };
+        assert_eq!(i.overlap(k), 1, "single shared step");
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let f = Frames::compute(&Dfg::new(), &lib()).unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.asap_length(), 0);
+    }
+
+    #[test]
+    fn missing_unit_is_reported() {
+        let mut empty_lib = HwLibrary::new();
+        let _ = &mut empty_lib;
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        assert_eq!(
+            Frames::compute(&g, &empty_lib),
+            Err(SchedError::NoUnitFor { op: OpKind::Add })
+        );
+    }
+
+    #[test]
+    fn asap_before_alap_everywhere() {
+        // Random-ish layered graph.
+        let mut g = Dfg::new();
+        let ids: Vec<_> = (0..12)
+            .map(|i| g.add_op(if i % 3 == 0 { OpKind::Mul } else { OpKind::Add }))
+            .collect();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if (i * 7 + j) % 5 == 0 {
+                    g.add_edge(ids[i], ids[j]).unwrap();
+                }
+            }
+        }
+        let f = Frames::compute(&g, &lib()).unwrap();
+        for id in g.op_ids() {
+            let fr = f.frame(id);
+            assert!(fr.asap >= 1);
+            assert!(fr.asap <= fr.alap, "ASAP ≤ ALAP for {id}");
+        }
+    }
+}

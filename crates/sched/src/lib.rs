@@ -1,0 +1,49 @@
+//! Scheduling substrate for the LYCOS reproduction.
+//!
+//! Three schedulers back the paper's models:
+//!
+//! * [`Frames`] — unconstrained ASAP/ALAP start-time windows, mobility
+//!   `M(i)` and overlap `Ovl(i,j)` (Definition 2, Figure 5). The ASAP
+//!   length is the optimistic controller state count of §4.2.
+//! * [`list_schedule`] — resource-constrained ALAP-priority list
+//!   scheduling, giving a BSB's real hardware latency and state count
+//!   under a concrete allocation (used by the PACE evaluation, §5.1).
+//! * [`max_parallelism`] — per-type concurrent-activity bounds from the
+//!   ASAP schedule, the source of allocation restrictions (§4.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use lycos_sched::{Frames, list_schedule, FuCounts};
+//! use lycos_hwlib::HwLibrary;
+//! use lycos_ir::{Dfg, OpKind};
+//!
+//! let lib = HwLibrary::standard();
+//! let mut dfg = Dfg::new();
+//! let a = dfg.add_op(OpKind::Mul);
+//! let b = dfg.add_op(OpKind::Mul);
+//!
+//! // Unconstrained: both multiplies run in parallel, 2 control steps.
+//! let frames = Frames::compute(&dfg, &lib)?;
+//! assert_eq!(frames.asap_length(), 2);
+//!
+//! // One multiplier: they serialise, 4 control steps.
+//! let mut alloc = FuCounts::new();
+//! alloc.insert(lib.fu_for(OpKind::Mul).unwrap(), 1);
+//! assert_eq!(list_schedule(&dfg, &lib, &alloc)?.length(), 4);
+//! # let _ = (a, b);
+//! # Ok::<(), lycos_sched::SchedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod frames;
+mod list;
+mod parallelism;
+
+pub use error::SchedError;
+pub use frames::{Frames, TimeFrame};
+pub use list::{list_schedule, FuCounts, ListSchedule};
+pub use parallelism::{app_max_parallelism, bsb_max_parallelism, max_parallelism};

@@ -1,0 +1,321 @@
+//! Resource-constrained list scheduling.
+//!
+//! Under a concrete allocation the hardware cannot exploit more
+//! parallelism than there are unit instances; the schedule stretches
+//! accordingly. The PACE evaluation uses this scheduler to obtain a BSB's
+//! *real* hardware execution time and controller state count (which is
+//! why the paper's ASAP-based controller estimate is optimistic — §5.1).
+//!
+//! The scheduler is a classic ALAP-priority list scheduler: at every
+//! control step the ready operations are considered in order of
+//! increasing ALAP (most critical first) and started if an instance of
+//! the unit kind executing them is free. Multi-cycle operations hold
+//! their instance until they finish.
+
+use crate::{Frames, SchedError};
+use lycos_hwlib::{FuId, HwLibrary};
+use lycos_ir::{Dfg, OpId};
+use std::collections::BTreeMap;
+
+/// Unit-instance counts per kind — the data-path allocation as the
+/// scheduler sees it.
+pub type FuCounts = BTreeMap<FuId, u32>;
+
+/// The result of list scheduling one data-flow graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ListSchedule {
+    start: Vec<u64>,
+    length: u64,
+}
+
+impl ListSchedule {
+    /// Start step (1-based) of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an operation of the scheduled graph.
+    pub fn start(&self, id: OpId) -> u64 {
+        self.start[id.index()]
+    }
+
+    /// Schedule length in control steps — the number of controller
+    /// states the BSB needs under this allocation.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// All start steps, indexable by [`OpId::index`].
+    pub fn starts(&self) -> &[u64] {
+        &self.start
+    }
+}
+
+/// List-schedules `dfg` under the unit counts in `alloc`.
+///
+/// # Errors
+///
+/// * [`SchedError::Ir`] — the graph is cyclic.
+/// * [`SchedError::NoUnitFor`] — an operation has no default unit in `lib`.
+/// * [`SchedError::InsufficientResources`] — `alloc` holds zero instances
+///   of a unit kind the graph needs.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_sched::{list_schedule, FuCounts};
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::{Dfg, OpKind};
+///
+/// let lib = HwLibrary::standard();
+/// let mut dfg = Dfg::new();
+/// let a = dfg.add_op(OpKind::Add);
+/// let b = dfg.add_op(OpKind::Add);
+/// let mut one_adder = FuCounts::new();
+/// one_adder.insert(lib.fu_for(OpKind::Add)?, 1);
+/// let sched = list_schedule(&dfg, &lib, &one_adder)?;
+/// // Two independent adds on one adder serialise onto steps 1 and 2.
+/// assert_eq!(sched.length(), 2);
+/// # let _ = (a, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn list_schedule(
+    dfg: &Dfg,
+    lib: &HwLibrary,
+    alloc: &FuCounts,
+) -> Result<ListSchedule, SchedError> {
+    let n = dfg.len();
+    if n == 0 {
+        return Ok(ListSchedule {
+            start: Vec::new(),
+            length: 0,
+        });
+    }
+
+    // Latency and unit kind per operation; check instance availability.
+    let mut latency = vec![0u64; n];
+    let mut unit = vec![FuId(0); n];
+    for id in dfg.op_ids() {
+        let kind = dfg.op(id).kind;
+        let fu = lib
+            .fu_for(kind)
+            .map_err(|_| SchedError::NoUnitFor { op: kind })?;
+        if alloc.get(&fu).copied().unwrap_or(0) == 0 {
+            return Err(SchedError::InsufficientResources { op: kind });
+        }
+        latency[id.index()] = lib.fu(fu).latency as u64;
+        unit[id.index()] = fu;
+    }
+
+    // ALAP priorities from the unconstrained frames (also validates DAG).
+    let frames = Frames::compute(dfg, lib)?;
+
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut done = vec![false; n];
+    let mut placed = 0usize;
+    // Per unit kind: next-free step of every instance.
+    let mut free_at: BTreeMap<FuId, Vec<u64>> = alloc
+        .iter()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(&fu, &c)| (fu, vec![1u64; c as usize]))
+        .collect();
+
+    // With at least one instance per needed kind, fully serial execution
+    // bounds the makespan by the sum of latencies.
+    let horizon: u64 = latency.iter().sum::<u64>() + 1;
+    let mut length = 0u64;
+    let mut t = 1u64;
+    while placed < n {
+        assert!(t <= horizon, "list scheduler failed to converge (bug)");
+        // Ready: unscheduled, all predecessors finished strictly before t.
+        let mut ready: Vec<OpId> = dfg
+            .op_ids()
+            .filter(|&v| {
+                !done[v.index()]
+                    && dfg
+                        .preds(v)
+                        .iter()
+                        .all(|p| done[p.index()] && finish[p.index()] < t)
+            })
+            .collect();
+        ready.sort_by_key(|&v| (frames.frame(v).alap, v));
+        for v in ready {
+            let instances = free_at.get_mut(&unit[v.index()]).expect("non-zero kinds");
+            if let Some(slot) = instances.iter_mut().find(|f| **f <= t) {
+                done[v.index()] = true;
+                start[v.index()] = t;
+                finish[v.index()] = t + latency[v.index()] - 1;
+                *slot = finish[v.index()] + 1;
+                length = length.max(finish[v.index()]);
+                placed += 1;
+            }
+        }
+        t += 1;
+    }
+
+    Ok(ListSchedule { start, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::OpKind;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn counts(lib: &HwLibrary, pairs: &[(OpKind, u32)]) -> FuCounts {
+        let mut m = FuCounts::new();
+        for &(op, c) in pairs {
+            let fu = lib.fu_for(op).unwrap();
+            *m.entry(fu).or_insert(0) += c;
+        }
+        m
+    }
+
+    /// Eight independent adds, varying adder count.
+    fn eight_adds() -> Dfg {
+        let mut g = Dfg::new();
+        for _ in 0..8 {
+            g.add_op(OpKind::Add);
+        }
+        g
+    }
+
+    #[test]
+    fn parallelism_is_bounded_by_instances() {
+        let lib = lib();
+        let g = eight_adds();
+        for (adders, expect) in [(1u32, 8u64), (2, 4), (4, 2), (8, 1), (16, 1)] {
+            let s = list_schedule(&g, &lib, &counts(&lib, &[(OpKind::Add, adders)])).unwrap();
+            assert_eq!(s.length(), expect, "{adders} adders");
+        }
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let lib = lib();
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Mul);
+        let c = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let s = list_schedule(
+            &g,
+            &lib,
+            &counts(&lib, &[(OpKind::Add, 1), (OpKind::Mul, 1)]),
+        )
+        .unwrap();
+        assert_eq!(s.start(a), 1);
+        assert_eq!(s.start(b), 2, "starts after a finishes");
+        assert_eq!(s.start(c), 4, "mul takes 2 steps");
+        assert_eq!(s.length(), 4);
+    }
+
+    #[test]
+    fn multi_cycle_ops_hold_their_instance() {
+        let lib = lib();
+        // Two independent muls, one multiplier (latency 2): steps 1-2, 3-4.
+        let mut g = Dfg::new();
+        let m1 = g.add_op(OpKind::Mul);
+        let m2 = g.add_op(OpKind::Mul);
+        let s = list_schedule(&g, &lib, &counts(&lib, &[(OpKind::Mul, 1)])).unwrap();
+        let (s1, s2) = (s.start(m1).min(s.start(m2)), s.start(m1).max(s.start(m2)));
+        assert_eq!((s1, s2), (1, 3));
+        assert_eq!(s.length(), 4);
+    }
+
+    #[test]
+    fn critical_ops_win_ties() {
+        let lib = lib();
+        // chain: a(add) → b(add) → c(add); plus independent d(add).
+        // One adder. Critical chain ops must not be starved by d.
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        let c = g.add_op(OpKind::Add);
+        let d = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let s = list_schedule(&g, &lib, &counts(&lib, &[(OpKind::Add, 1)])).unwrap();
+        // a (alap 1) beats d (alap 4) for step 1.
+        assert_eq!(s.start(a), 1);
+        assert_eq!(s.start(b), 2);
+        assert!(s.start(d) >= 3);
+        assert_eq!(s.length(), 4);
+        let _ = c;
+    }
+
+    #[test]
+    fn list_length_never_beats_asap_length() {
+        let lib = lib();
+        let mut g = Dfg::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_op(if i % 2 == 0 { OpKind::Mul } else { OpKind::Add }))
+            .collect();
+        for w in ids.chunks(2) {
+            if w.len() == 2 {
+                g.add_edge(w[0], w[1]).unwrap();
+            }
+        }
+        let frames = Frames::compute(&g, &lib).unwrap();
+        let s = list_schedule(
+            &g,
+            &lib,
+            &counts(&lib, &[(OpKind::Mul, 1), (OpKind::Add, 1)]),
+        )
+        .unwrap();
+        assert!(s.length() >= frames.asap_length());
+    }
+
+    #[test]
+    fn ample_resources_reach_asap_length() {
+        let lib = lib();
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        let m = g.add_op(OpKind::Mul);
+        g.add_edge(a, m).unwrap();
+        g.add_edge(b, m).unwrap();
+        let frames = Frames::compute(&g, &lib).unwrap();
+        let s = list_schedule(
+            &g,
+            &lib,
+            &counts(&lib, &[(OpKind::Add, 2), (OpKind::Mul, 1)]),
+        )
+        .unwrap();
+        assert_eq!(s.length(), frames.asap_length());
+    }
+
+    #[test]
+    fn missing_instances_are_reported() {
+        let lib = lib();
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Div);
+        assert_eq!(
+            list_schedule(&g, &lib, &FuCounts::new()),
+            Err(SchedError::InsufficientResources { op: OpKind::Div })
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_length_zero() {
+        let s = list_schedule(&Dfg::new(), &lib(), &FuCounts::new()).unwrap();
+        assert_eq!(s.length(), 0);
+        assert!(s.starts().is_empty());
+    }
+
+    #[test]
+    fn every_op_gets_a_start() {
+        let lib = lib();
+        let g = eight_adds();
+        let s = list_schedule(&g, &lib, &counts(&lib, &[(OpKind::Add, 3)])).unwrap();
+        for id in g.op_ids() {
+            assert!(s.start(id) >= 1, "{id} scheduled");
+        }
+        // 8 adds on 3 adders: ceil(8/3) = 3 steps.
+        assert_eq!(s.length(), 3);
+    }
+}

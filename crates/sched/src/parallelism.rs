@@ -1,0 +1,181 @@
+//! ASAP-parallelism estimates — the basis of allocation restrictions
+//! (§4.3).
+//!
+//! "The ASAP-schedule can be used to give an estimate of the maximum
+//! number of operations of a specific type that can be executed in
+//! parallel. The algorithm will not produce allocations that exceed
+//! these limits." An operation is *active* in every control step from
+//! its ASAP start until it finishes; the per-type maximum of concurrently
+//! active operations caps how many unit instances could ever be busy at
+//! once.
+
+use crate::{Frames, SchedError};
+use lycos_hwlib::HwLibrary;
+use lycos_ir::{Bsb, BsbArray, Dfg, OpKind};
+use std::collections::BTreeMap;
+
+/// Maximum number of same-kind operations simultaneously active in the
+/// ASAP schedule of `dfg`.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from frame computation (cyclic graph,
+/// missing unit).
+///
+/// # Examples
+///
+/// ```
+/// use lycos_sched::max_parallelism;
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::{Dfg, OpKind};
+///
+/// let lib = HwLibrary::standard();
+/// let mut dfg = Dfg::new();
+/// dfg.add_op(OpKind::Add);
+/// dfg.add_op(OpKind::Add);
+/// dfg.add_op(OpKind::Add);
+/// let par = max_parallelism(&dfg, &lib)?;
+/// assert_eq!(par[&OpKind::Add], 3, "all three adds start in step 1");
+/// # Ok::<(), lycos_sched::SchedError>(())
+/// ```
+pub fn max_parallelism(dfg: &Dfg, lib: &HwLibrary) -> Result<BTreeMap<OpKind, usize>, SchedError> {
+    let frames = Frames::compute(dfg, lib)?;
+    let mut out = BTreeMap::new();
+    if dfg.is_empty() {
+        return Ok(out);
+    }
+    // Per kind, a step-indexed activity histogram over the ASAP schedule.
+    let mut active: BTreeMap<OpKind, Vec<usize>> = BTreeMap::new();
+    let len = frames.asap_length() as usize;
+    for id in dfg.op_ids() {
+        let kind = dfg.op(id).kind;
+        let fu = lib
+            .fu_for(kind)
+            .map_err(|_| SchedError::NoUnitFor { op: kind })?;
+        let lat = lib.fu(fu).latency as u64;
+        let start = frames.frame(id).asap;
+        let hist = active.entry(kind).or_insert_with(|| vec![0; len + 1]);
+        for t in start..start + lat {
+            hist[t as usize - 1] += 1;
+        }
+    }
+    for (kind, hist) in active {
+        out.insert(kind, hist.into_iter().max().unwrap_or(0));
+    }
+    Ok(out)
+}
+
+/// Per-kind maximum ASAP parallelism over every BSB of an application.
+///
+/// One BSB executes at a time on the data path, so the application-wide
+/// cap for a kind is the *maximum* over BSBs, not the sum. Kinds absent
+/// from the application are absent from the map.
+///
+/// # Errors
+///
+/// Propagates the first [`SchedError`] from any BSB.
+pub fn app_max_parallelism(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+) -> Result<BTreeMap<OpKind, usize>, SchedError> {
+    let mut out: BTreeMap<OpKind, usize> = BTreeMap::new();
+    for bsb in bsbs {
+        for (kind, par) in bsb_max_parallelism(bsb, lib)? {
+            let e = out.entry(kind).or_insert(0);
+            *e = (*e).max(par);
+        }
+    }
+    Ok(out)
+}
+
+/// [`max_parallelism`] of one BSB's data-flow graph.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from frame computation.
+pub fn bsb_max_parallelism(
+    bsb: &Bsb,
+    lib: &HwLibrary,
+) -> Result<BTreeMap<OpKind, usize>, SchedError> {
+    max_parallelism(&bsb.dfg, lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{BsbId, BsbOrigin};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    #[test]
+    fn chain_has_parallelism_one() {
+        let mut g = Dfg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, b).unwrap();
+        let par = max_parallelism(&g, &lib()).unwrap();
+        assert_eq!(par[&OpKind::Add], 1);
+    }
+
+    #[test]
+    fn independent_ops_count_fully() {
+        let mut g = Dfg::new();
+        for _ in 0..5 {
+            g.add_op(OpKind::Mul);
+        }
+        let par = max_parallelism(&g, &lib()).unwrap();
+        assert_eq!(par[&OpKind::Mul], 5);
+    }
+
+    #[test]
+    fn multi_cycle_overlap_counts_as_active() {
+        // m1 starts at 1 (runs 1-2); add a feeding m2 so m2 starts at 2
+        // (runs 2-3): both muls active in step 2.
+        let mut g = Dfg::new();
+        let _m1 = g.add_op(OpKind::Mul);
+        let a = g.add_op(OpKind::Add);
+        let m2 = g.add_op(OpKind::Mul);
+        g.add_edge(a, m2).unwrap();
+        let par = max_parallelism(&g, &lib()).unwrap();
+        assert_eq!(par[&OpKind::Mul], 2, "latency-2 muls overlap in step 2");
+    }
+
+    #[test]
+    fn empty_graph_has_no_entries() {
+        let par = max_parallelism(&Dfg::new(), &lib()).unwrap();
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn app_takes_max_over_bsbs_not_sum() {
+        let mk = |n_adds: usize| {
+            let mut g = Dfg::new();
+            for _ in 0..n_adds {
+                g.add_op(OpKind::Add);
+            }
+            Bsb {
+                id: BsbId(0),
+                name: format!("b{n_adds}"),
+                dfg: g,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile: 1,
+                origin: BsbOrigin::Body,
+            }
+        };
+        let arr = BsbArray::from_bsbs("app", vec![mk(2), mk(5), mk(3)]);
+        let par = app_max_parallelism(&arr, &lib()).unwrap();
+        assert_eq!(par[&OpKind::Add], 5, "max over blocks, not 10");
+    }
+
+    #[test]
+    fn kinds_absent_from_app_are_absent_from_map() {
+        let mut g = Dfg::new();
+        g.add_op(OpKind::Add);
+        let par = max_parallelism(&g, &lib()).unwrap();
+        assert!(!par.contains_key(&OpKind::Div));
+    }
+}

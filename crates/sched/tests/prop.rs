@@ -1,0 +1,152 @@
+//! Property tests for the schedulers.
+
+use lycos_hwlib::HwLibrary;
+use lycos_ir::{Dfg, OpKind};
+use lycos_sched::{list_schedule, max_parallelism, Frames, FuCounts};
+use proptest::prelude::*;
+
+fn arb_dag(max: usize) -> impl Strategy<Value = Dfg> {
+    (
+        prop::collection::vec(
+            prop::sample::select(vec![
+                OpKind::Add,
+                OpKind::Sub,
+                OpKind::Mul,
+                OpKind::Div,
+                OpKind::Const,
+                OpKind::Lt,
+            ]),
+            1..=max,
+        ),
+        prop::collection::vec(any::<(u8, u8)>(), 0..=2 * max),
+    )
+        .prop_map(|(ops, edges)| {
+            let mut g = Dfg::new();
+            let ids: Vec<_> = ops.into_iter().map(|k| g.add_op(k)).collect();
+            for (a, b) in edges {
+                let (a, b) = (a as usize % ids.len(), b as usize % ids.len());
+                if a < b {
+                    g.add_edge(ids[a], ids[b]).unwrap();
+                }
+            }
+            g
+        })
+}
+
+fn ample(lib: &HwLibrary, g: &Dfg) -> FuCounts {
+    let mut counts = FuCounts::new();
+    for op in g.ops() {
+        let fu = lib.fu_for(op.kind).unwrap();
+        counts.insert(fu, g.len() as u32);
+    }
+    counts
+}
+
+fn scarce(lib: &HwLibrary, g: &Dfg) -> FuCounts {
+    let mut counts = FuCounts::new();
+    for op in g.ops() {
+        let fu = lib.fu_for(op.kind).unwrap();
+        counts.insert(fu, 1);
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ASAP ≤ ALAP for every op; windows fit inside the schedule.
+    #[test]
+    fn frames_are_well_formed(g in arb_dag(12)) {
+        let lib = HwLibrary::standard();
+        let frames = Frames::compute(&g, &lib).unwrap();
+        for id in g.op_ids() {
+            let f = frames.frame(id);
+            prop_assert!(f.asap >= 1);
+            prop_assert!(f.asap <= f.alap);
+            prop_assert!(f.alap <= frames.asap_length());
+            prop_assert!(f.mobility() >= 1);
+        }
+    }
+
+    /// Edges force strictly increasing ASAP times (by latency).
+    #[test]
+    fn frames_respect_dependencies(g in arb_dag(12)) {
+        let lib = HwLibrary::standard();
+        let frames = Frames::compute(&g, &lib).unwrap();
+        for (from, to) in g.edges() {
+            let lat = lib.fu(lib.fu_for(g.op(from).kind).unwrap()).latency as u64;
+            prop_assert!(frames.frame(to).asap >= frames.frame(from).asap + lat);
+        }
+    }
+
+    /// Overlap is symmetric and bounded by both mobilities.
+    #[test]
+    fn overlap_is_symmetric_and_bounded(g in arb_dag(12)) {
+        let lib = HwLibrary::standard();
+        let frames = Frames::compute(&g, &lib).unwrap();
+        for i in g.op_ids() {
+            for j in g.op_ids() {
+                let o = frames.overlap(i, j);
+                prop_assert_eq!(o, frames.overlap(j, i));
+                prop_assert!(o <= frames.mobility(i));
+                prop_assert!(o <= frames.mobility(j));
+            }
+        }
+    }
+
+    /// List schedule: respects deps, instance limits, and brackets
+    /// between ASAP length and the serial sum of latencies.
+    #[test]
+    fn list_schedule_is_legal(g in arb_dag(10)) {
+        let lib = HwLibrary::standard();
+        let frames = Frames::compute(&g, &lib).unwrap();
+        for counts in [scarce(&lib, &g), ample(&lib, &g)] {
+            let s = list_schedule(&g, &lib, &counts).unwrap();
+            let lat = |id: lycos_ir::OpId| {
+                lib.fu(lib.fu_for(g.op(id).kind).unwrap()).latency as u64
+            };
+            // Dependencies.
+            for (from, to) in g.edges() {
+                prop_assert!(s.start(to) >= s.start(from) + lat(from));
+            }
+            // Bounds.
+            prop_assert!(s.length() >= frames.asap_length());
+            let serial: u64 = g.op_ids().map(lat).sum();
+            prop_assert!(s.length() <= serial);
+            // Instance limits: at no step are more ops of a kind active
+            // than there are instances.
+            for t in 1..=s.length() {
+                let mut active: std::collections::BTreeMap<_, u32> = Default::default();
+                for id in g.op_ids() {
+                    if s.start(id) <= t && t < s.start(id) + lat(id) {
+                        *active.entry(lib.fu_for(g.op(id).kind).unwrap()).or_insert(0) += 1;
+                    }
+                }
+                for (fu, n) in active {
+                    prop_assert!(n <= counts[&fu], "step {t}: {n} active on {fu}");
+                }
+            }
+        }
+    }
+
+    /// Ample resources reach the ASAP length exactly.
+    #[test]
+    fn ample_resources_meet_asap(g in arb_dag(10)) {
+        let lib = HwLibrary::standard();
+        let frames = Frames::compute(&g, &lib).unwrap();
+        let s = list_schedule(&g, &lib, &ample(&lib, &g)).unwrap();
+        prop_assert_eq!(s.length(), frames.asap_length());
+    }
+
+    /// Max parallelism is at least 1 for every present kind and never
+    /// exceeds the kind's op count.
+    #[test]
+    fn parallelism_is_sane(g in arb_dag(12)) {
+        let lib = HwLibrary::standard();
+        let par = max_parallelism(&g, &lib).unwrap();
+        for (kind, p) in par {
+            prop_assert!(p >= 1);
+            prop_assert!(p <= g.count_of(kind));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Using a custom hardware library plus the paper's §6 future-work
+//! extensions: module selection and multi-ASIC allocation.
+//!
+//! ```text
+//! cargo run --release --example custom_library
+//! ```
+
+use lycos::core::{
+    allocate, allocate_multi_asic, select_modules, AllocConfig, AsicPlan, Restrictions,
+    SelectionStrategy,
+};
+use lycos::hwlib::{Area, EcaModel, FuSpec, HwLibrary};
+use lycos::ir::OpKind;
+use lycos::pace::{partition, PaceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = lycos::apps::hal();
+    let bsbs = app.bsbs();
+    let area = Area::new(app.area_budget);
+    let pace = PaceConfig::standard();
+
+    // --- module selection (§6 extension) --------------------------------
+    // The extended library offers slower/cheaper and faster/larger
+    // alternatives; selection picks a default per operation type.
+    let extended = HwLibrary::extended();
+    for strategy in [
+        SelectionStrategy::Fastest,
+        SelectionStrategy::Smallest,
+        SelectionStrategy::AreaDelayProduct,
+    ] {
+        let lib = select_modules(&extended, &bsbs, strategy)?;
+        let restr = Restrictions::from_asap(&bsbs, &lib)?;
+        let out = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )?;
+        let p = partition(&bsbs, &lib, &out.allocation, area, &pace)?;
+        println!(
+            "{strategy:?}: multiplier = {:<17} speed-up {:>6.0}%  datapath {}",
+            lib.fu(lib.fu_for(OpKind::Mul)?).name,
+            p.speedup_pct(),
+            out.allocation.area(&lib)
+        );
+    }
+
+    // --- a hand-rolled library ------------------------------------------
+    // A genuinely custom technology: a fused multiply-add unit.
+    let mut custom = HwLibrary::standard();
+    let mac = custom.add_fu(FuSpec::new(
+        "mac",
+        Area::new(2_300),
+        2,
+        vec![OpKind::Mul, OpKind::Add],
+    ));
+    custom.set_default(OpKind::Mul, mac)?;
+    custom.set_default(OpKind::Add, mac)?;
+    let restr = Restrictions::from_asap(&bsbs, &custom)?;
+    let out = allocate(
+        &bsbs,
+        &custom,
+        &EcaModel::standard(),
+        area,
+        &restr,
+        &AllocConfig::default(),
+    )?;
+    let p = partition(&bsbs, &custom, &out.allocation, area, &pace)?;
+    println!(
+        "\ncustom MAC library: {}  speed-up {:.0}%",
+        out.allocation.display_with(&custom),
+        p.speedup_pct()
+    );
+
+    // --- multi-ASIC targets (§6 extension) -------------------------------
+    // Split the eigen kernel across two ASICs with separate budgets.
+    let eigen = lycos::apps::eigen();
+    let ebsbs = eigen.bsbs();
+    let lib = HwLibrary::standard();
+    let plan = AsicPlan::new(vec![Area::new(9_000), Area::new(9_000)]);
+    let multi = allocate_multi_asic(&ebsbs, &lib, &pace.eca, &plan, &AllocConfig::default())?;
+    println!("\nmulti-ASIC eigen: {} ASICs", multi.segments.len());
+    for (i, (seg, out)) in multi.segments.iter().zip(&multi.outcomes).enumerate() {
+        println!(
+            "  ASIC {i}: blocks {:>2}..{:<2} data path {} = {}",
+            seg.start,
+            seg.end,
+            out.allocation.area(&lib),
+            out.allocation.display_with(&lib)
+        );
+    }
+    Ok(())
+}

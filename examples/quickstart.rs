@@ -1,0 +1,66 @@
+//! Quickstart: from LYC source to a partitioned hardware/software
+//! system in five steps.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::ir::extract_bsbs;
+use lycos::pace::{partition, PaceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An application in LYC: a hot integration loop plus cold set-up.
+    let source = "
+        app integrate;
+        x = 0;
+        loop steps times 2000 test (x < limit) {
+            v1 = k1 * x;
+            v2 = k2 * x;
+            y = y + v1 + v2;
+            x = x + dx;
+        }
+        emit y;
+    ";
+    let cdfg = lycos::frontend::compile(source)?;
+    println!("--- CDFG ---\n{cdfg}");
+
+    // 2. Flatten to the leaf BSB array the algorithms work on.
+    let bsbs = extract_bsbs(&cdfg, None)?;
+    for b in &bsbs {
+        println!("{b}");
+    }
+
+    // 3. Derive the ASAP-parallelism allocation caps (§4.3).
+    let lib = HwLibrary::standard();
+    let restrictions = Restrictions::from_asap(&bsbs, &lib)?;
+    println!("\nrestrictions: {}", restrictions.display_with(&lib));
+
+    // 4. Pre-allocate the data path within 6000 gate equivalents
+    //    (the paper's Algorithm 1).
+    let pace = PaceConfig::standard();
+    let area = Area::new(6_000);
+    let outcome = allocate(
+        &bsbs,
+        &lib,
+        &pace.eca,
+        area,
+        &restrictions,
+        &AllocConfig::default(),
+    )?;
+    println!("allocation  : {}", outcome.allocation.display_with(&lib));
+    println!("data path   : {}", outcome.allocation.area(&lib));
+
+    // 5. Partition with PACE and report the speed-up.
+    let part = partition(&bsbs, &lib, &outcome.allocation, area, &pace)?;
+    println!("\n--- partition ---");
+    for (i, b) in bsbs.iter().enumerate() {
+        println!("  [{}] {}", if part.in_hw[i] { "HW" } else { "sw" }, b.name);
+    }
+    println!("all-software time : {}", part.all_sw_time);
+    println!("hybrid time       : {}", part.total_time);
+    println!("speed-up          : {:.0}%", part.speedup_pct());
+    assert!(part.speedup_pct() > 0.0, "the hot loop must gain");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The Figure 3 trade-off, measured: small data path / many
+//! controllers versus large data path / few controllers.
+//!
+//! Sweeps every legal allocation for the `hal` benchmark, buckets them
+//! by data-path share of the total hardware area and prints the best
+//! speed-up and hardware-block count per bucket — the quantitative
+//! version of the paper's conceptual Figure 3.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_explorer
+//! ```
+
+use lycos::core::Restrictions;
+use lycos::explore::{format_tradeoff, tradeoff_sweep};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::PaceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = lycos::apps::hal();
+    let bsbs = app.bsbs();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let area = Area::new(app.area_budget);
+    let restrictions = Restrictions::from_asap(&bsbs, &lib)?;
+
+    println!(
+        "Figure 3 sweep on `{}` (total area {area}, {} allocations max)\n",
+        app.name,
+        lycos::pace::space_size(&lycos::pace::search_space(&restrictions)),
+    );
+    let points = tradeoff_sweep(&bsbs, &lib, area, &restrictions, &pace, 10)?;
+    println!("{}", format_tradeoff(&points));
+
+    // The printable moral of Figure 3: the best speed-up lives neither
+    // at the smallest nor necessarily at the largest data path.
+    let non_empty: Vec<_> = points.iter().filter(|p| p.allocations > 0).collect();
+    if let Some(best) = non_empty
+        .iter()
+        .max_by(|a, b| a.best_su.partial_cmp(&b.best_su).expect("finite"))
+    {
+        println!(
+            "best bucket: {:.0}-{:.0}% data path -> {:.0}% speed-up with {} HW blocks",
+            best.dp_fraction_lo * 100.0,
+            best.dp_fraction_hi * 100.0,
+            best.best_su,
+            best.hw_blocks
+        );
+    }
+    Ok(())
+}

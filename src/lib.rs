@@ -1,0 +1,63 @@
+//! # lycos — a reproduction of the DATE 1998 LYCOS allocation paper
+//!
+//! This facade crate re-exports the whole reproduction of *Hardware
+//! Resource Allocation for Hardware/Software Partitioning in the LYCOS
+//! System* (Grode, Knudsen, Madsen — DATE 1998):
+//!
+//! * [`ir`] — operations, DFGs, CDFGs, BSBs, profiling (paper §3);
+//! * [`frontend`] — the LYC mini-language (the paper's VHDL/C input);
+//! * [`hwlib`] — functional units, gate/ECA/processor/bus cost models
+//!   (§4.2);
+//! * [`sched`] — ASAP/ALAP frames, mobility/overlap, list scheduling
+//!   (§4.1, §5.1);
+//! * [`core`] — **the contribution**: RMap, FURO, urgencies,
+//!   restrictions and Algorithm 1, plus the §6 future-work extensions;
+//! * [`pace`] — the PACE partitioner and exhaustive search used for
+//!   evaluation (§5);
+//! * [`apps`] — the four Table 1 benchmarks in LYC;
+//! * [`explore`] — the experiments themselves (Table 1, Figure 3,
+//!   §5.1 ablation, randomised search).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lycos::core::{allocate, AllocConfig, Restrictions};
+//! use lycos::hwlib::{Area, EcaModel, HwLibrary};
+//! use lycos::ir::extract_bsbs;
+//! use lycos::pace::{partition, PaceConfig};
+//!
+//! // 1. Compile a LYC program to a CDFG and flatten it to BSBs.
+//! let cdfg = lycos::frontend::compile(
+//!     "app demo;
+//!      loop l times 500 {
+//!        y = y + u * dx;
+//!        u = u - 3 * y * dx;
+//!      }",
+//! )?;
+//! let bsbs = extract_bsbs(&cdfg, None)?;
+//!
+//! // 2. Pre-allocate the data path (the paper's Algorithm 1).
+//! let lib = HwLibrary::standard();
+//! let area = Area::new(6_000);
+//! let restr = Restrictions::from_asap(&bsbs, &lib)?;
+//! let out = allocate(&bsbs, &lib, &EcaModel::standard(), area, &restr,
+//!                    &AllocConfig::default())?;
+//!
+//! // 3. Partition with PACE and read off the speed-up.
+//! let part = partition(&bsbs, &lib, &out.allocation, area,
+//!                      &PaceConfig::standard())?;
+//! assert!(part.speedup_pct() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lycos_apps as apps;
+pub use lycos_core as core;
+pub use lycos_explore as explore;
+pub use lycos_frontend as frontend;
+pub use lycos_hwlib as hwlib;
+pub use lycos_ir as ir;
+pub use lycos_pace as pace;
+pub use lycos_sched as sched;

@@ -1,0 +1,167 @@
+//! End-to-end integration: LYC source → CDFG → BSBs → allocation →
+//! PACE partition, across all bundled benchmarks.
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{partition, PaceConfig};
+
+/// Allocation plus partition for one app at its Table 1 budget.
+fn run_app(app: &lycos::apps::BenchmarkApp) -> (lycos::core::AllocOutcome, lycos::pace::Partition) {
+    let bsbs = app.bsbs();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let area = Area::new(app.area_budget);
+    let restr = Restrictions::from_asap(&bsbs, &lib).expect("schedulable");
+    let out = allocate(
+        &bsbs,
+        &lib,
+        &pace.eca,
+        area,
+        &restr,
+        &AllocConfig::default(),
+    )
+    .expect("allocatable");
+    let part = partition(&bsbs, &lib, &out.allocation, area, &pace).expect("partitionable");
+    (out, part)
+}
+
+#[test]
+fn every_benchmark_flows_end_to_end() {
+    for app in lycos::apps::all() {
+        let (out, part) = run_app(&app);
+        assert!(
+            !out.allocation.is_empty(),
+            "{}: allocation must not be empty",
+            app.name
+        );
+        assert!(
+            part.speedup_pct() > 0.0,
+            "{}: partition must gain over all-software",
+            app.name
+        );
+        assert!(
+            part.total_time <= part.all_sw_time,
+            "{}: hybrid never loses",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn allocations_never_exceed_the_budget() {
+    let lib = HwLibrary::standard();
+    for app in lycos::apps::all() {
+        let (out, part) = run_app(&app);
+        let budget = Area::new(app.area_budget);
+        assert!(
+            out.allocation.area(&lib) + out.controller_area <= budget,
+            "{}: allocator overspent",
+            app.name
+        );
+        assert!(
+            part.datapath_area + part.controller_area <= budget,
+            "{}: partitioner overspent",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn restrictions_bound_every_allocation() {
+    let lib = HwLibrary::standard();
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let (out, _) = run_app(&app);
+        for (fu, count) in out.allocation.iter() {
+            assert!(
+                count <= restr.cap(fu),
+                "{}: {} × {} exceeds cap {}",
+                app.name,
+                count,
+                lib.fu(fu).name,
+                restr.cap(fu)
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_runs_are_contiguous_and_consistent() {
+    for app in lycos::apps::all() {
+        let (_, part) = run_app(&app);
+        let mut covered = vec![false; part.in_hw.len()];
+        for run in &part.runs {
+            assert!(run.start < run.end, "{}: empty run", app.name);
+            for i in run.clone() {
+                assert!(part.in_hw[i], "{}: run block not marked HW", app.name);
+                assert!(!covered[i], "{}: runs overlap", app.name);
+                covered[i] = true;
+            }
+        }
+        for (i, (&h, &c)) in part.in_hw.iter().zip(&covered).enumerate() {
+            assert_eq!(h, c, "{}: block {i} marked HW outside any run", app.name);
+        }
+    }
+}
+
+#[test]
+fn hot_loops_end_up_in_hardware() {
+    // For hal and man the hot inner-loop body must be placed in
+    // hardware by the automatic flow — that is the whole point of the
+    // speed-up architecture (Figure 1).
+    for app in [lycos::apps::hal(), lycos::apps::man()] {
+        let bsbs = app.bsbs();
+        let (_, part) = run_app(&app);
+        let hottest = (0..bsbs.len())
+            .max_by_key(|&i| bsbs[i].dynamic_ops())
+            .expect("non-empty");
+        assert!(
+            part.in_hw[hottest],
+            "{}: hottest block `{}` stayed in software",
+            app.name, bsbs[hottest].name
+        );
+    }
+}
+
+#[test]
+fn emit_blocks_never_move_to_hardware() {
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let (_, part) = run_app(&app);
+        for (i, b) in bsbs.iter().enumerate() {
+            if b.dfg.is_empty() {
+                assert!(!part.in_hw[i], "{}: empty block {} in HW", app.name, b.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_overrides_change_the_partition_inputs() {
+    // Re-profile man with a deeper escape iteration: the inner loop
+    // gets hotter, software time grows accordingly.
+    use lycos::ir::{extract_bsbs, ProfileOverrides};
+    let app = lycos::apps::man();
+    let base = extract_bsbs(&app.cdfg, None).unwrap();
+    let mut deeper = ProfileOverrides::new();
+    deeper.set_trip("iter", 64);
+    let hot = extract_bsbs(&app.cdfg, Some(&deeper)).unwrap();
+    assert!(hot.total_dynamic_ops() > base.total_dynamic_ops());
+}
+
+#[test]
+fn cli_level_source_round_trip() {
+    // The bundled sources re-parse to the same BSB structure.
+    for app in lycos::apps::all() {
+        let reparsed = lycos::frontend::compile(app.source).expect("bundled source parses");
+        let a = lycos::ir::extract_bsbs(&reparsed, None).unwrap();
+        let b = app.bsbs();
+        assert_eq!(a.len(), b.len(), "{}", app.name);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.op_count(), y.op_count());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-crate property tests: randomly generated applications must
+//! uphold the allocator/partitioner invariants.
+
+use lycos::core::{allocate, AllocConfig, RMap, Restrictions};
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::ir::{Bsb, BsbArray, BsbId, BsbOrigin, Dfg, OpKind};
+use lycos::pace::{partition, PaceConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random DAG of up to `max_ops` operations: edges only go from
+/// lower to higher indices, so the result is acyclic by construction.
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    let kinds = prop::sample::select(vec![
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Const,
+        OpKind::Lt,
+        OpKind::Shl,
+    ]);
+    (
+        prop::collection::vec(kinds, 1..=max_ops),
+        prop::collection::vec(any::<(u8, u8)>(), 0..=2 * max_ops),
+    )
+        .prop_map(|(ops, raw_edges)| {
+            let mut dfg = Dfg::new();
+            let ids: Vec<_> = ops.into_iter().map(|k| dfg.add_op(k)).collect();
+            for (a, b) in raw_edges {
+                let (a, b) = (a as usize % ids.len(), b as usize % ids.len());
+                if a < b {
+                    dfg.add_edge(ids[a], ids[b]).expect("forward edge");
+                }
+            }
+            dfg
+        })
+}
+
+fn arb_app(max_blocks: usize) -> impl Strategy<Value = BsbArray> {
+    prop::collection::vec((arb_dfg(8), 1u64..500), 1..=max_blocks).prop_map(|blocks| {
+        BsbArray::from_bsbs(
+            "prop",
+            blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dfg, profile))| Bsb {
+                    id: BsbId(i as u32),
+                    name: format!("b{i}"),
+                    dfg,
+                    reads: BTreeSet::new(),
+                    writes: BTreeSet::new(),
+                    profile,
+                    origin: BsbOrigin::Body,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The allocator always balances its books and respects caps.
+    #[test]
+    fn allocator_invariants(app in arb_app(6), budget in 0u64..30_000) {
+        let lib = HwLibrary::standard();
+        let pace = PaceConfig::standard();
+        let area = Area::new(budget);
+        let restr = Restrictions::from_asap(&app, &lib).unwrap();
+        let out = allocate(&app, &lib, &pace.eca, area, &restr,
+                           &AllocConfig::default()).unwrap();
+        // Books balance exactly.
+        prop_assert_eq!(
+            out.allocation.area(&lib) + out.controller_area + out.remaining,
+            area
+        );
+        // Restrictions hold per kind.
+        for (fu, count) in out.allocation.iter() {
+            prop_assert!(count <= restr.cap(fu));
+        }
+        // Pseudo-HW blocks have their required units covered.
+        for (i, &h) in out.in_hw.iter().enumerate() {
+            if h && !app[i].dfg.is_empty() {
+                let req = lycos::core::required_resources(&app[i], &lib).unwrap();
+                prop_assert!(out.allocation.covers(&req),
+                    "block {} moved without units", i);
+            }
+        }
+    }
+
+    /// PACE never loses to all-software and never overspends.
+    #[test]
+    fn partitioner_invariants(app in arb_app(6), budget in 0u64..30_000) {
+        let lib = HwLibrary::standard();
+        let pace = PaceConfig::standard();
+        let area = Area::new(budget);
+        let restr = Restrictions::from_asap(&app, &lib).unwrap();
+        let out = allocate(&app, &lib, &pace.eca, area, &restr,
+                           &AllocConfig::default()).unwrap();
+        let p = partition(&app, &lib, &out.allocation, area, &pace).unwrap();
+        prop_assert!(p.total_time <= p.all_sw_time);
+        prop_assert!(p.datapath_area + p.controller_area <= area);
+        prop_assert!(p.speedup_pct() >= 0.0);
+        // Blocks in runs are exactly the HW blocks.
+        let run_blocks: usize = p.runs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(run_blocks, p.hw_count());
+    }
+
+    /// The whole flow is deterministic.
+    #[test]
+    fn flow_is_deterministic(app in arb_app(5), budget in 100u64..20_000) {
+        let lib = HwLibrary::standard();
+        let pace = PaceConfig::standard();
+        let area = Area::new(budget);
+        let restr = Restrictions::from_asap(&app, &lib).unwrap();
+        let a = allocate(&app, &lib, &pace.eca, area, &restr,
+                         &AllocConfig::default()).unwrap();
+        let b = allocate(&app, &lib, &pace.eca, area, &restr,
+                         &AllocConfig::default()).unwrap();
+        prop_assert_eq!(&a.allocation, &b.allocation);
+        let pa = partition(&app, &lib, &a.allocation, area, &pace).unwrap();
+        let pb = partition(&app, &lib, &b.allocation, area, &pace).unwrap();
+        prop_assert_eq!(pa.total_time, pb.total_time);
+        prop_assert_eq!(pa.in_hw, pb.in_hw);
+    }
+
+    /// RMap algebra: the Definition 1 laws hold for arbitrary maps.
+    #[test]
+    fn rmap_laws(
+        a in prop::collection::btree_map(0u32..8, 1u32..5, 0..6),
+        b in prop::collection::btree_map(0u32..8, 1u32..5, 0..6),
+    ) {
+        use lycos::hwlib::FuId;
+        let a: RMap = a.into_iter().map(|(k, v)| (FuId(k), v)).collect();
+        let b: RMap = b.into_iter().map(|(k, v)| (FuId(k), v)).collect();
+        // Union is commutative and sums counts.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(
+            a.union(&b).total_units(),
+            a.total_units() + b.total_units()
+        );
+        // Difference never exceeds the minuend; (a \ b) ∪ (a ∩ b)-ish:
+        // a \ b ⊆ a and (a \ b) ∪ b ⊇ a.
+        prop_assert!(a.covers(&a.difference(&b)));
+        prop_assert!(a.difference(&b).union(&b).covers(&a));
+        // Identity and annihilation.
+        prop_assert_eq!(a.union(&RMap::new()), a.clone());
+        prop_assert!(a.difference(&a).is_empty());
+    }
+}
