@@ -8,12 +8,15 @@
 //! lycos table1                            reproduce Table 1
 //! lycos apps                              list bundled benchmarks
 //! ```
+//!
+//! All commands drive the [`lycos::Pipeline`] facade; `best` drops to
+//! the exploration layer for the exhaustive search.
 
-use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::core::{AllocConfig, Restrictions};
 use lycos::explore::{format_table1, table1_row, Table1Options};
 use lycos::hwlib::{Area, HwLibrary};
-use lycos::ir::extract_bsbs;
-use lycos::pace::{exhaustive_best, partition, PaceConfig};
+use lycos::pace::{exhaustive_best, PaceConfig};
+use lycos::Pipeline;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -56,20 +59,22 @@ usage:
 <file.lyc> may also be a bundled app name: straight, hal, man, eigen.
 ";
 
-fn load(path: &str) -> Result<(lycos::ir::Cdfg, lycos::ir::BsbArray), String> {
-    let source = match path {
+/// Builds a pipeline over a bundled app name or a `.lyc` file path.
+fn pipeline_for(path: &str) -> Result<Pipeline, String> {
+    match path {
         "straight" | "hal" | "man" | "eigen" => {
             let app = lycos::apps::all()
                 .into_iter()
                 .find(|a| a.name == path)
                 .expect("bundled app names are fixed");
-            app.source.to_owned()
+            Ok(Pipeline::for_app(&app))
         }
-        _ => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
-    };
-    let cdfg = lycos::frontend::compile(&source).map_err(|e| e.to_string())?;
-    let bsbs = extract_bsbs(&cdfg, None).map_err(|e| e.to_string())?;
-    Ok((cdfg, bsbs))
+        _ => {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Ok(Pipeline::new(source))
+        }
+    }
 }
 
 fn parse_area(args: &[String], at: usize) -> Result<Area, String> {
@@ -83,10 +88,10 @@ fn parse_area(args: &[String], at: usize) -> Result<Area, String> {
 
 fn inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.lyc> argument")?;
-    let (cdfg, bsbs) = load(path)?;
-    println!("{cdfg}");
-    println!("leaf BSB array ({} blocks):", bsbs.len());
-    for b in &bsbs {
+    let compiled = pipeline_for(path)?.compile().map_err(|e| e.to_string())?;
+    println!("{}", compiled.cdfg);
+    println!("leaf BSB array ({} blocks):", compiled.bsbs.len());
+    for b in &compiled.bsbs {
         println!(
             "  {}: {} ops, profile {}, reads {:?}, writes {:?}",
             b.name,
@@ -97,35 +102,36 @@ fn inspect(args: &[String]) -> Result<(), String> {
         );
     }
     println!();
-    print!("{}", lycos::ir::AppStats::of(&bsbs));
+    print!("{}", lycos::ir::AppStats::of(&compiled.bsbs));
     Ok(())
 }
 
 fn cmd_allocate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.lyc> argument")?;
     let area = parse_area(args, 1)?;
-    let (_, bsbs) = load(path)?;
-    let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
-    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
-    let out = allocate(
-        &bsbs,
-        &lib,
-        &pace.eca,
-        area,
-        &restr,
-        &AllocConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
-    println!("restrictions : {}", restr.display_with(&lib));
-    println!("allocation   : {}", out.allocation.display_with(&lib));
-    println!("data path    : {}", out.allocation.area(&lib));
-    println!("controllers  : {} (pseudo partition)", out.controller_area);
-    println!("remaining    : {}", out.remaining);
+    let allocated = pipeline_for(path)?
+        .with_budget(area)
+        .allocate()
+        .map_err(|e| e.to_string())?;
+    let lib = allocated.library();
+    println!(
+        "restrictions : {}",
+        allocated.restrictions.display_with(lib)
+    );
+    println!(
+        "allocation   : {}",
+        allocated.allocation().display_with(lib)
+    );
+    println!("data path    : {}", allocated.allocation().area(lib));
+    println!(
+        "controllers  : {} (pseudo partition)",
+        allocated.outcome.controller_area
+    );
+    println!("remaining    : {}", allocated.outcome.remaining);
     println!(
         "pseudo HW    : {} of {} blocks",
-        out.hw_bsbs().len(),
-        bsbs.len()
+        allocated.outcome.hw_bsbs().len(),
+        allocated.bsbs.len()
     );
     Ok(())
 }
@@ -133,21 +139,16 @@ fn cmd_allocate(args: &[String]) -> Result<(), String> {
 fn cmd_partition(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.lyc> argument")?;
     let area = parse_area(args, 1)?;
-    let (_, bsbs) = load(path)?;
-    let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
-    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
-    let out = allocate(
-        &bsbs,
-        &lib,
-        &pace.eca,
-        area,
-        &restr,
-        &AllocConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
-    let p = partition(&bsbs, &lib, &out.allocation, area, &pace).map_err(|e| e.to_string())?;
-    println!("allocation : {}", out.allocation.display_with(&lib));
+    let allocated = pipeline_for(path)?
+        .with_budget(area)
+        .allocate()
+        .map_err(|e| e.to_string())?;
+    let part = allocated.partition().map_err(|e| e.to_string())?;
+    let p = &part.partition;
+    println!(
+        "allocation : {}",
+        part.allocation.display_with(allocated.library())
+    );
     println!("speed-up   : {:.0}%", p.speedup_pct());
     println!("all-SW time: {}", p.all_sw_time);
     println!("hybrid time: {} (comm {})", p.total_time, p.comm_time);
@@ -155,7 +156,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         "area       : datapath {} + controllers {}",
         p.datapath_area, p.controller_area
     );
-    for (i, b) in bsbs.iter().enumerate() {
+    for (i, b) in allocated.bsbs.iter().enumerate() {
         println!("  [{}] {}", if p.in_hw[i] { "HW" } else { "sw" }, b.name);
     }
     Ok(())
@@ -164,11 +165,13 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
 fn cmd_best(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <file.lyc> argument")?;
     let area = parse_area(args, 1)?;
-    let (_, bsbs) = load(path)?;
+    // The exhaustive baseline needs only the compiled BSBs and the
+    // restriction caps — no heuristic allocation.
+    let compiled = pipeline_for(path)?.compile().map_err(|e| e.to_string())?;
     let lib = HwLibrary::standard();
     let pace = PaceConfig::standard();
-    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
-    let res = exhaustive_best(&bsbs, &lib, area, &restr, &pace, Some(200_000))
+    let restr = Restrictions::from_asap(&compiled.bsbs, &lib).map_err(|e| e.to_string())?;
+    let res = exhaustive_best(&compiled.bsbs, &lib, area, &restr, &pace, Some(200_000))
         .map_err(|e| e.to_string())?;
     println!(
         "space      : {} allocations ({} evaluated, {} skipped{})",
@@ -186,22 +189,17 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     use lycos::core::TraceEvent;
     let path = args.first().ok_or("missing <file.lyc> argument")?;
     let area = parse_area(args, 1)?;
-    let (_, bsbs) = load(path)?;
-    let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
-    let restr = Restrictions::from_asap(&bsbs, &lib).map_err(|e| e.to_string())?;
-    let out = allocate(
-        &bsbs,
-        &lib,
-        &pace.eca,
-        area,
-        &restr,
-        &AllocConfig {
+    let allocated = pipeline_for(path)?
+        .with_budget(area)
+        .with_alloc_config(AllocConfig {
             record_trace: true,
             ..Default::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
+        })
+        .allocate()
+        .map_err(|e| e.to_string())?;
+    let lib = allocated.library();
+    let bsbs = &allocated.bsbs;
+    let out = &allocated.outcome;
     println!(
         "allocation trace ({} steps, {} passes):",
         out.steps, out.passes
@@ -211,7 +209,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             TraceEvent::Moved { bsb, req, cost } => println!(
                 "  move {} to hardware: +{} (cost {cost})",
                 bsbs.bsb(*bsb).name,
-                req.display_with(&lib)
+                req.display_with(lib)
             ),
             TraceEvent::Augmented { bsb, fu } => println!(
                 "  {} is urgent: allocate one more {}",
@@ -224,7 +222,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             TraceEvent::Restarted => println!("  -- urgencies changed, rescan --"),
         }
     }
-    println!("final allocation: {}", out.allocation.display_with(&lib));
+    println!("final allocation: {}", out.allocation.display_with(lib));
     Ok(())
 }
 

@@ -1,0 +1,632 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container building this workspace has no crates-io access, so
+//! this crate reimplements the subset of proptest the test suites use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and tuple
+//!   composition;
+//! * `prop::sample::select`, `prop::collection::{vec, btree_map,
+//!   btree_set}`, [`any`] for primitives and tuples, integer/float
+//!   range strategies and a small regex-subset string strategy;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`]
+//!   macros and [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: inputs are drawn from a deterministic per-test RNG (seeded
+//! from the test name), so failures reproduce across runs. The macro
+//! reports the failing case index so a failure can be replayed by
+//! temporarily lowering the case count.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one property, seeded from the test name.
+#[doc(hidden)]
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    StdRng::seed_from_u64(h.finish() ^ 0x5EED_CAFE_F00D_D00D)
+}
+
+/// A generator of random values — the proptest strategy interface.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical strategy, used through [`any`].
+pub trait Arbitrary {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<(u8, u8)>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for a full primitive integer domain or a coin flip.
+pub struct Prim<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_prim_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Strategy for Prim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Prim<$t>;
+            fn arbitrary() -> Prim<$t> {
+                Prim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_prim_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Prim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Prim<bool>;
+    fn arbitrary() -> Prim<bool> {
+        Prim(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_tuple_arbitrary {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            type Strategy = ($($name::Strategy,)+);
+            fn arbitrary() -> Self::Strategy {
+                ($($name::arbitrary(),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_arbitrary!(A);
+impl_tuple_arbitrary!(A, B);
+impl_tuple_arbitrary!(A, B, C);
+impl_tuple_arbitrary!(A, B, C, D);
+
+/// An inclusive size window for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::sample`, `prop::collection`).
+pub mod prop {
+    /// Strategies drawing from explicit value lists.
+    pub mod sample {
+        use super::super::*;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+
+        /// Chooses uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+    }
+
+    /// Collection strategies (`vec`, `btree_map`, `btree_set`).
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec<S::Value>` with a size window.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = self.size.draw(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// A vector of values from `elem`, sized within `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy for `BTreeMap<K::Value, V::Value>`.
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = self.size.draw(rng);
+                let mut out = BTreeMap::new();
+                for _ in 0..n {
+                    out.insert(self.key.generate(rng), self.value.generate(rng));
+                }
+                out
+            }
+        }
+
+        /// A map with keys from `key`, values from `value`, and up to
+        /// `size` entries (duplicate keys collapse).
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy {
+                key,
+                value,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>`.
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = self.size.draw(rng);
+                let mut out = BTreeSet::new();
+                for _ in 0..n {
+                    out.insert(self.elem.generate(rng));
+                }
+                out
+            }
+        }
+
+        /// A set of values from `elem` with up to `size` elements
+        /// (duplicates collapse).
+        pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy.
+//
+// Proptest treats `&str` as a regex describing the strings to draw.
+// The subset the workspace uses: literal characters, `\PC` (any
+// printable character), character classes `[a-z0-9 ;]` with ranges,
+// and `{m,n}` repetition.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PatternAtom {
+    Literal(char),
+    AnyPrintable,
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct PatternPart {
+    atom: PatternAtom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                PatternAtom::AnyPrintable
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`"));
+                i += 2;
+                PatternAtom::Literal(c)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unclosed class in pattern `{pattern}`");
+                i += 1; // consume `]`
+                PatternAtom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                PatternAtom::Literal(c)
+            }
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = (i..chars.len())
+                .find(|&j| chars[j] == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern `{pattern}`"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart { atom, min, max });
+    }
+    parts
+}
+
+fn printable_pool() -> impl Iterator<Item = char> {
+    (0x20u8..0x7F).map(char::from).chain("äßλ→€".chars())
+}
+
+impl PatternAtom {
+    fn draw(&self, rng: &mut StdRng) -> char {
+        match self {
+            PatternAtom::Literal(c) => *c,
+            PatternAtom::AnyPrintable => {
+                let pool: Vec<char> = printable_pool().collect();
+                pool[rng.gen_range(0..pool.len())]
+            }
+            PatternAtom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(a as u32 + pick).expect("valid class char");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick within total")
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let n = rng.gen_range(part.min..=part.max);
+            for _ in 0..n {
+                out.push(part.atom.draw(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a property holds; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts two values are equal; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let ($($pat,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                let run = || -> () { $body };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest: property `{}` failed at case {}/{}",
+                        stringify!($name), case + 1, config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_rng("t1");
+        let strat = (0u32..10, 5u64..=6, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::test_rng("t2");
+        let v = prop::collection::vec(0usize..5, 2..=4);
+        let m = prop::collection::btree_map(0u32..6, 1u32..6, 0..5);
+        for _ in 0..100 {
+            let xs = v.generate(&mut rng);
+            assert!((2..=4).contains(&xs.len()));
+            let map = m.generate(&mut rng);
+            assert!(map.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn select_only_returns_options() {
+        let mut rng = crate::test_rng("t3");
+        let s = prop::sample::select(vec!["+", "-"]);
+        for _ in 0..50 {
+            let x = s.generate(&mut rng);
+            assert!(x == "+" || x == "-");
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_rng("t4");
+        let s = "app [a-z]{1,8}; [a-z =+*;(){}0-9]{0,60}";
+        for _ in 0..100 {
+            let text = s.generate(&mut rng);
+            assert!(text.starts_with("app "));
+            let rest = &text[4..];
+            let semi = rest.find(';').expect("semicolon present");
+            assert!((1..=8).contains(&semi));
+        }
+        let any = "\\PC{0,120}";
+        for _ in 0..100 {
+            let text = any.generate(&mut rng);
+            assert!(text.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = crate::test_rng("t5");
+        let s = (0u32..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multiple args, trailing comma, patterns.
+        #[test]
+        fn macro_smoke(x in 0u32..10, (a, b) in (0u8..4, any::<bool>()),) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 4);
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* (traits and derive
+//! macros) so that `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile without registry
+//! access. The derives expand to nothing, and nothing in this
+//! workspace requires the trait bounds, so the stand-in is inert at
+//! runtime. Point the workspace dependency back at crates.io to get
+//! real serialisation.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never required by this
+/// workspace; present so bounds written against it still compile).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never required by this
+/// workspace; present so bounds written against it still compile).
+pub trait Deserialize<'de>: Sized {}

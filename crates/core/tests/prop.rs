@@ -163,4 +163,36 @@ proptest! {
         let c: RMap = [(FuId(0), 1)].into_iter().collect();
         prop_assert!(a.union(&c).difference(&b).covers(&a.difference(&b)));
     }
+
+    /// The Definition 1 algebra: `∪` is associative and commutative,
+    /// `A \ A = ∅`, and `|A ∪ B| ≤ |A| + |B|` (with multiset union the
+    /// bound is tight).
+    #[test]
+    fn rmap_union_is_an_abelian_monoid(
+        a in prop::collection::btree_map(0u32..8, 1u32..6, 0..6),
+        b in prop::collection::btree_map(0u32..8, 1u32..6, 0..6),
+        c in prop::collection::btree_map(0u32..8, 1u32..6, 0..6),
+    ) {
+        let a: RMap = a.into_iter().map(|(k, v)| (FuId(k), v)).collect();
+        let b: RMap = b.into_iter().map(|(k, v)| (FuId(k), v)).collect();
+        let c: RMap = c.into_iter().map(|(k, v)| (FuId(k), v)).collect();
+
+        // Associativity and commutativity.
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        // Identity.
+        prop_assert_eq!(a.union(&RMap::new()), a.clone());
+
+        // A \ A = ∅.
+        prop_assert!(a.difference(&a).is_empty());
+        prop_assert_eq!(a.difference(&a), RMap::new());
+
+        // |A ∪ B| ≤ |A| + |B| (tight for multiset union), and counts
+        // add exactly per kind.
+        let u = a.union(&b);
+        prop_assert!(u.total_units() <= a.total_units() + b.total_units());
+        for (fu, count) in u.iter() {
+            prop_assert_eq!(count, a.count(fu) + b.count(fu));
+        }
+    }
 }

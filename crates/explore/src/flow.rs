@@ -1,0 +1,128 @@
+//! The shared allocate→partition seam of the exploration experiments.
+//!
+//! Every experiment in this crate runs the same two stages — Algorithm
+//! 1, then PACE — before doing anything interesting. This module is
+//! that seam, factored once: the crate-internal mirror of the facade's
+//! `lycos::Pipeline` (which sits *above* this crate and therefore
+//! cannot be used here).
+
+use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
+use lycos_hwlib::{Area, HwLibrary};
+use lycos_ir::BsbArray;
+use lycos_pace::{partition, PaceConfig, PaceError, Partition};
+use std::time::{Duration, Instant};
+
+/// The result of one allocate→partition run.
+#[derive(Clone, Debug)]
+pub struct FlowOutcome {
+    /// The allocation stage's full outcome.
+    pub outcome: AllocOutcome,
+    /// The PACE partition of the automatic allocation.
+    pub partition: Partition,
+    /// Wall-clock time of the allocation algorithm alone (the paper's
+    /// `CPU sec` column).
+    pub alloc_time: Duration,
+}
+
+impl FlowOutcome {
+    /// The automatic allocation.
+    pub fn allocation(&self) -> &RMap {
+        &self.outcome.allocation
+    }
+
+    /// Speed-up of the automatic allocation's partition, percent.
+    pub fn speedup_pct(&self) -> f64 {
+        self.partition.speedup_pct()
+    }
+}
+
+/// Runs Algorithm 1 and PACE back to back.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from either stage.
+pub fn allocate_and_partition(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    config: &AllocConfig,
+) -> Result<FlowOutcome, PaceError> {
+    let started = Instant::now();
+    let outcome = allocate(bsbs, lib, &pace.eca, total_area, restrictions, config)?;
+    let alloc_time = started.elapsed();
+    let partition = partition(bsbs, lib, &outcome.allocation, total_area, pace)?;
+    Ok(FlowOutcome {
+        outcome,
+        partition,
+        alloc_time,
+    })
+}
+
+/// Evaluates one explicit allocation through PACE — the seam used by
+/// design iterations, downward walks and sampling searches.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from the partitioner.
+pub fn evaluate(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    pace: &PaceConfig,
+) -> Result<Partition, PaceError> {
+    partition(bsbs, lib, allocation, total_area, pace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn app() -> BsbArray {
+        let mut dfg = Dfg::new();
+        for _ in 0..3 {
+            dfg.add_op(OpKind::Mul);
+        }
+        BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "b0".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile: 400,
+                origin: BsbOrigin::Body,
+            }],
+        )
+    }
+
+    #[test]
+    fn flow_matches_the_hand_rolled_stages() {
+        let bsbs = app();
+        let lib = HwLibrary::standard();
+        let pace = PaceConfig::standard();
+        let area = Area::new(8_000);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let flow =
+            allocate_and_partition(&bsbs, &lib, area, &restr, &pace, &AllocConfig::default())
+                .unwrap();
+        let direct = allocate(
+            &bsbs,
+            &lib,
+            &pace.eca,
+            area,
+            &restr,
+            &AllocConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(flow.outcome.allocation, direct.allocation);
+        let p = evaluate(&bsbs, &lib, flow.allocation(), area, &pace).unwrap();
+        assert_eq!(p.total_time, flow.partition.total_time);
+        assert!(flow.speedup_pct() >= 0.0);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flow;
 mod iteration;
 mod optimism;
 mod random;
@@ -43,6 +44,7 @@ mod synthetic;
 mod table1;
 mod tradeoff;
 
+pub use flow::{allocate_and_partition, FlowOutcome};
 pub use iteration::apply_iteration;
 pub use optimism::{format_optimism, optimism_report, reduce_only_walk, OptimismPoint};
 pub use random::{random_search, RandomSearchResult};

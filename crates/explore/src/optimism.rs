@@ -10,10 +10,11 @@
 //! (ASAP as published, a scaled middle ground, and the fully serial
 //! worst case) and evaluates each allocation through PACE.
 
-use lycos_core::{allocate, AllocConfig, RMap, Restrictions, StateEstimate};
+use crate::flow::{allocate_and_partition, evaluate};
+use lycos_core::{AllocConfig, RMap, Restrictions, StateEstimate};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
-use lycos_pace::{partition, PaceConfig, PaceError};
+use lycos_pace::{PaceConfig, PaceError};
 
 /// Results of one state-estimate variant.
 #[derive(Clone, Debug)]
@@ -51,13 +52,12 @@ pub fn optimism_report(
             state_estimate: estimate,
             record_trace: false,
         };
-        let outcome = allocate(bsbs, lib, &pace.eca, total_area, restrictions, &config)?;
-        let p = partition(bsbs, lib, &outcome.allocation, total_area, pace)?;
+        let flow = allocate_and_partition(bsbs, lib, total_area, restrictions, pace, &config)?;
         out.push(OptimismPoint {
             estimate,
-            units: outcome.allocation.total_units(),
-            datapath: outcome.allocation.area(lib),
-            speedup: p.speedup_pct(),
+            units: flow.allocation().total_units(),
+            datapath: flow.allocation().area(lib),
+            speedup: flow.speedup_pct(),
         });
     }
     Ok(out)
@@ -79,14 +79,14 @@ pub fn reduce_only_walk(
     pace: &PaceConfig,
 ) -> Result<(RMap, f64), PaceError> {
     let mut current = start.clone();
-    let mut best_su = partition(bsbs, lib, &current, total_area, pace)?.speedup_pct();
+    let mut best_su = evaluate(bsbs, lib, &current, total_area, pace)?.speedup_pct();
     loop {
         let mut improved = false;
         let kinds: Vec<_> = current.iter().map(|(fu, _)| fu).collect();
         for fu in kinds {
             let mut candidate = current.clone();
             candidate.decrement(fu);
-            let su = partition(bsbs, lib, &candidate, total_area, pace)?.speedup_pct();
+            let su = evaluate(bsbs, lib, &candidate, total_area, pace)?.speedup_pct();
             if su > best_su {
                 best_su = su;
                 current = candidate;
@@ -191,21 +191,17 @@ mod tests {
         let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
         let pace = PaceConfig::standard();
         let area = Area::new(3_000);
-        let outcome = allocate(
+        let flow = allocate_and_partition(
             &bsbs,
             &lib,
-            &pace.eca,
             area,
             &restr,
+            &pace,
             &lycos_core::AllocConfig::default(),
         )
         .unwrap();
-        let start_su = partition(&bsbs, &lib, &outcome.allocation, area, &pace)
-            .unwrap()
-            .speedup_pct();
-        let (_, walked_su) =
-            reduce_only_walk(&bsbs, &lib, &outcome.allocation, area, &pace).unwrap();
-        assert!(walked_su >= start_su);
+        let (_, walked_su) = reduce_only_walk(&bsbs, &lib, flow.allocation(), area, &pace).unwrap();
+        assert!(walked_su >= flow.speedup_pct());
     }
 
     #[test]

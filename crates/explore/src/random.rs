@@ -6,10 +6,11 @@
 //! provides the equivalent tool for large spaces: uniform sampling
 //! within the restriction caps, keeping the best PACE result.
 
+use crate::flow::evaluate;
 use lycos_core::{RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
-use lycos_pace::{partition, search_space, PaceConfig, PaceError, Partition};
+use lycos_pace::{search_space, PaceConfig, PaceError, Partition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -67,7 +68,7 @@ pub fn random_search(
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut best_allocation = RMap::new();
-    let mut best_partition = partition(bsbs, lib, &best_allocation, total_area, pace)?;
+    let mut best_partition = evaluate(bsbs, lib, &best_allocation, total_area, pace)?;
     let mut evaluated = 1usize;
     let mut rejected = 0usize;
 
@@ -80,7 +81,7 @@ pub fn random_search(
             rejected += 1;
             continue;
         }
-        let p = partition(bsbs, lib, &candidate, total_area, pace)?;
+        let p = evaluate(bsbs, lib, &candidate, total_area, pace)?;
         evaluated += 1;
         if p.total_time < best_partition.total_time {
             best_allocation = candidate;

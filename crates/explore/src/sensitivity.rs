@@ -7,11 +7,12 @@
 //! heuristic / iterated / sampled-best speed-ups — showing how wide
 //! the interesting regime is and how robust the design iteration is.
 
+use crate::flow::{allocate_and_partition, evaluate};
 use crate::{apply_iteration, random_search};
 use lycos_apps::BenchmarkApp;
-use lycos_core::{allocate, AllocConfig, Restrictions};
+use lycos_core::{AllocConfig, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
-use lycos_pace::{partition, PaceConfig, PaceError};
+use lycos_pace::{PaceConfig, PaceError};
 
 /// One budget point of the sensitivity sweep.
 #[derive(Clone, Debug)]
@@ -55,12 +56,12 @@ pub fn budget_sensitivity(
     let mut budget = lo;
     while budget <= hi {
         let area = Area::new(budget);
-        let outcome = allocate(&bsbs, lib, &pace.eca, area, &restr, &AllocConfig::default())?;
-        let heuristic_su = partition(&bsbs, lib, &outcome.allocation, area, pace)?.speedup_pct();
+        let flow = allocate_and_partition(&bsbs, lib, area, &restr, pace, &AllocConfig::default())?;
+        let heuristic_su = flow.speedup_pct();
         let iterated_su = match app.iteration {
             Some(hint) => {
-                let adjusted = apply_iteration(&outcome.allocation, hint, lib);
-                partition(&bsbs, lib, &adjusted, area, pace)?.speedup_pct()
+                let adjusted = apply_iteration(flow.allocation(), hint, lib);
+                evaluate(&bsbs, lib, &adjusted, area, pace)?.speedup_pct()
             }
             None => heuristic_su,
         };

@@ -14,11 +14,12 @@
 //! (`Size`) and the static hardware/software split (`HW/SW`).
 
 use crate::apply_iteration;
+use crate::flow::{allocate_and_partition, evaluate};
 use lycos_apps::BenchmarkApp;
-use lycos_core::{allocate, AllocConfig, RMap, Restrictions};
+use lycos_core::{AllocConfig, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
-use lycos_pace::{exhaustive_best, partition, PaceConfig, PaceError, Partition};
-use std::time::{Duration, Instant};
+use lycos_pace::{exhaustive_best, PaceConfig, PaceError};
+use std::time::Duration;
 
 /// One row of the reproduced Table 1.
 #[derive(Clone, Debug)]
@@ -100,20 +101,16 @@ pub fn table1_row(
     let area = Area::new(app.area_budget);
     let restrictions = Restrictions::from_asap(&bsbs, lib)?;
 
-    // 1. The allocation algorithm, timed.
-    let started = Instant::now();
-    let outcome = allocate(
+    // 1–2. The allocation algorithm (timed) and PACE on its result.
+    let flow = allocate_and_partition(
         &bsbs,
         lib,
-        &pace.eca,
         area,
         &restrictions,
+        pace,
         &AllocConfig::default(),
     )?;
-    let alloc_time = started.elapsed();
-
-    // 2. PACE on the heuristic allocation.
-    let heuristic: Partition = partition(&bsbs, lib, &outcome.allocation, area, pace)?;
+    let heuristic = &flow.partition;
 
     // 3. PACE on every allocation.
     let search = exhaustive_best(&bsbs, lib, area, &restrictions, pace, options.search_limit)?;
@@ -121,9 +118,8 @@ pub fn table1_row(
     // 4. The manual design iteration, when the paper used one.
     let iterated_su = match app.iteration {
         Some(hint) => {
-            let adjusted = apply_iteration(&outcome.allocation, hint, lib);
-            let p = partition(&bsbs, lib, &adjusted, area, pace)?;
-            Some(p.speedup_pct())
+            let adjusted = apply_iteration(flow.allocation(), hint, lib);
+            Some(evaluate(&bsbs, lib, &adjusted, area, pace)?.speedup_pct())
         }
         None => None,
     };
@@ -136,8 +132,8 @@ pub fn table1_row(
         iterated_su,
         size_fraction: heuristic.size_fraction(),
         hw_fraction: heuristic.hw_fraction_static(&bsbs),
-        alloc_time,
-        heuristic_allocation: outcome.allocation,
+        alloc_time: flow.alloc_time,
+        heuristic_allocation: flow.outcome.allocation,
         best_allocation: search.best_allocation,
         evaluated: search.evaluated,
         space_size: search.space_size,

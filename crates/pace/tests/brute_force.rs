@@ -202,7 +202,9 @@ fn dp_matches_brute_force_on_a_handwritten_case() {
     );
     let lib = HwLibrary::standard();
     let config = PaceConfig::standard().with_quantum(1);
-    let alloc: RMap = [(lib.fu_for(OpKind::Add).unwrap(), 3)].into_iter().collect();
+    let alloc: RMap = [(lib.fu_for(OpKind::Add).unwrap(), 3)]
+        .into_iter()
+        .collect();
     let total = Area::new(alloc.area(&lib).gates() + 1_000);
     let dp = partition(&app, &lib, &alloc, total, &config).unwrap();
     let brute = brute_force_best(&app, &lib, &alloc, total, &config);

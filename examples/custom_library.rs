@@ -5,45 +5,34 @@
 //! cargo run --release --example custom_library
 //! ```
 
-use lycos::core::{
-    allocate, allocate_multi_asic, select_modules, AllocConfig, AsicPlan, Restrictions,
-    SelectionStrategy,
-};
-use lycos::hwlib::{Area, EcaModel, FuSpec, HwLibrary};
+use lycos::core::{allocate_multi_asic, select_modules, AllocConfig, AsicPlan, SelectionStrategy};
+use lycos::hwlib::{Area, FuSpec, HwLibrary};
 use lycos::ir::OpKind;
-use lycos::pace::{partition, PaceConfig};
+use lycos::{LycosError, Pipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), LycosError> {
     let app = lycos::apps::hal();
-    let bsbs = app.bsbs();
-    let area = Area::new(app.area_budget);
-    let pace = PaceConfig::standard();
 
     // --- module selection (§6 extension) --------------------------------
     // The extended library offers slower/cheaper and faster/larger
-    // alternatives; selection picks a default per operation type.
+    // alternatives; selection picks a default per operation type, and
+    // the pipeline runs the whole flow under each choice.
     let extended = HwLibrary::extended();
+    let bsbs = app.bsbs();
     for strategy in [
         SelectionStrategy::Fastest,
         SelectionStrategy::Smallest,
         SelectionStrategy::AreaDelayProduct,
     ] {
         let lib = select_modules(&extended, &bsbs, strategy)?;
-        let restr = Restrictions::from_asap(&bsbs, &lib)?;
-        let out = allocate(
-            &bsbs,
-            &lib,
-            &pace.eca,
-            area,
-            &restr,
-            &AllocConfig::default(),
-        )?;
-        let p = partition(&bsbs, &lib, &out.allocation, area, &pace)?;
+        let allocated = Pipeline::for_app(&app).with_library(lib).allocate()?;
+        let p = allocated.partition()?;
+        let lib = allocated.library();
         println!(
             "{strategy:?}: multiplier = {:<17} speed-up {:>6.0}%  datapath {}",
             lib.fu(lib.fu_for(OpKind::Mul)?).name,
             p.speedup_pct(),
-            out.allocation.area(&lib)
+            allocated.allocation().area(lib)
         );
     }
 
@@ -58,19 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     custom.set_default(OpKind::Mul, mac)?;
     custom.set_default(OpKind::Add, mac)?;
-    let restr = Restrictions::from_asap(&bsbs, &custom)?;
-    let out = allocate(
-        &bsbs,
-        &custom,
-        &EcaModel::standard(),
-        area,
-        &restr,
-        &AllocConfig::default(),
-    )?;
-    let p = partition(&bsbs, &custom, &out.allocation, area, &pace)?;
+    let allocated = Pipeline::for_app(&app).with_library(custom).allocate()?;
+    let p = allocated.partition()?;
     println!(
         "\ncustom MAC library: {}  speed-up {:.0}%",
-        out.allocation.display_with(&custom),
+        allocated.allocation().display_with(allocated.library()),
         p.speedup_pct()
     );
 
@@ -79,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eigen = lycos::apps::eigen();
     let ebsbs = eigen.bsbs();
     let lib = HwLibrary::standard();
+    let pace = lycos::pace::PaceConfig::standard();
     let plan = AsicPlan::new(vec![Area::new(9_000), Area::new(9_000)]);
     let multi = allocate_multi_asic(&ebsbs, &lib, &pace.eca, &plan, &AllocConfig::default())?;
     println!("\nmulti-ASIC eigen: {} ASICs", multi.segments.len());

@@ -2,40 +2,27 @@
 //!
 //! Reproduces the paper's `man` narrative end to end: the optimistic
 //! controller estimate makes Algorithm 1 over-allocate constant
-//! generators; the partitioner then cannot afford the colour-block
-//! controller and the speed-up collapses. One manual step — reduce the
-//! constant generators to one — recovers nearly the best speed-up.
+//! generators; the partitioner then cannot afford the hot blocks'
+//! controllers and the speed-up collapses. One manual step — reduce
+//! the constant generators to one — recovers nearly the best speed-up.
 //!
 //! ```text
 //! cargo run --release --example design_iteration
 //! ```
 
-use lycos::core::{allocate, AllocConfig, Restrictions};
 use lycos::explore::apply_iteration;
-use lycos::hwlib::{Area, HwLibrary};
-use lycos::pace::{partition, PaceConfig};
+use lycos::{LycosError, Pipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), LycosError> {
     let app = lycos::apps::man();
-    let bsbs = app.bsbs();
-    let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
-    let area = Area::new(app.area_budget);
-    let restrictions = Restrictions::from_asap(&bsbs, &lib)?;
 
-    // The automatic allocation.
-    let outcome = allocate(
-        &bsbs,
-        &lib,
-        &pace.eca,
-        area,
-        &restrictions,
-        &AllocConfig::default(),
-    )?;
-    let auto = partition(&bsbs, &lib, &outcome.allocation, area, &pace)?;
+    // The automatic flow: compile, allocate, partition.
+    let allocated = Pipeline::for_app(&app).allocate()?;
+    let lib = allocated.library();
+    let auto = allocated.partition()?;
     println!(
         "automatic allocation: {}",
-        outcome.allocation.display_with(&lib)
+        allocated.allocation().display_with(lib)
     );
     println!(
         "  speed-up {:.0}%  ({} blocks in HW)",
@@ -46,16 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let constgen = lib.by_name("constgen").expect("standard library unit");
     println!(
         "  -> {} constant generators allocated; the colour block's dozen\n     parallel palette loads drove the overlap metric (§5)",
-        outcome.allocation.count(constgen)
+        allocated.allocation().count(constgen)
     );
 
-    // The designer's single iteration: constant generators -> 1.
+    // The designer's single iteration: constant generators -> 1,
+    // re-partitioned over the same compiled state.
     let hint = app.iteration.expect("man carries the §5 iteration");
-    let adjusted = apply_iteration(&outcome.allocation, hint, &lib);
-    let fixed = partition(&bsbs, &lib, &adjusted, area, &pace)?;
+    let adjusted = apply_iteration(allocated.allocation(), hint, lib);
+    let fixed = allocated.partition_with(&adjusted)?;
     println!(
         "\nafter one design iteration: {}",
-        adjusted.display_with(&lib)
+        adjusted.display_with(lib)
     );
     println!(
         "  speed-up {:.0}%  ({} blocks in HW)",

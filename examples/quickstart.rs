@@ -1,18 +1,17 @@
 //! Quickstart: from LYC source to a partitioned hardware/software
-//! system in five steps.
+//! system through the `Pipeline` facade.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use lycos::core::{allocate, AllocConfig, Restrictions};
 use lycos::hwlib::{Area, HwLibrary};
-use lycos::ir::extract_bsbs;
-use lycos::pace::{partition, PaceConfig};
+use lycos::{LycosError, Pipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), LycosError> {
     // 1. An application in LYC: a hot integration loop plus cold set-up.
-    let source = "
+    let pipeline = Pipeline::new(
+        "
         app integrate;
         x = 0;
         loop steps times 2000 test (x < limit) {
@@ -22,44 +21,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             x = x + dx;
         }
         emit y;
-    ";
-    let cdfg = lycos::frontend::compile(source)?;
-    println!("--- CDFG ---\n{cdfg}");
+    ",
+    )
+    .with_library(HwLibrary::standard())
+    .with_budget(Area::new(6_000));
 
-    // 2. Flatten to the leaf BSB array the algorithms work on.
-    let bsbs = extract_bsbs(&cdfg, None)?;
-    for b in &bsbs {
+    // 2. The frontend stage alone: CDFG plus the leaf BSB array.
+    let compiled = pipeline.compile()?;
+    println!("--- CDFG ---\n{}", compiled.cdfg);
+    for b in &compiled.bsbs {
         println!("{b}");
     }
 
-    // 3. Derive the ASAP-parallelism allocation caps (§4.3).
-    let lib = HwLibrary::standard();
-    let restrictions = Restrictions::from_asap(&bsbs, &lib)?;
-    println!("\nrestrictions: {}", restrictions.display_with(&lib));
+    // 3. Algorithm 1: ASAP restrictions + data-path pre-allocation
+    //    within 6000 gate equivalents (handing the compiled stage
+    //    forward, so the frontend runs once).
+    let allocated = pipeline.allocate_compiled(compiled)?;
+    let lib = allocated.library();
+    println!(
+        "\nrestrictions: {}",
+        allocated.restrictions.display_with(lib)
+    );
+    println!("allocation  : {}", allocated.allocation().display_with(lib));
+    println!("data path   : {}", allocated.allocation().area(lib));
 
-    // 4. Pre-allocate the data path within 6000 gate equivalents
-    //    (the paper's Algorithm 1).
-    let pace = PaceConfig::standard();
-    let area = Area::new(6_000);
-    let outcome = allocate(
-        &bsbs,
-        &lib,
-        &pace.eca,
-        area,
-        &restrictions,
-        &AllocConfig::default(),
-    )?;
-    println!("allocation  : {}", outcome.allocation.display_with(&lib));
-    println!("data path   : {}", outcome.allocation.area(&lib));
-
-    // 5. Partition with PACE and report the speed-up.
-    let part = partition(&bsbs, &lib, &outcome.allocation, area, &pace)?;
+    // 4. Partition with PACE and report the speed-up.
+    let part = allocated.partition()?;
+    let p = &part.partition;
     println!("\n--- partition ---");
-    for (i, b) in bsbs.iter().enumerate() {
-        println!("  [{}] {}", if part.in_hw[i] { "HW" } else { "sw" }, b.name);
+    for (i, b) in allocated.bsbs.iter().enumerate() {
+        println!("  [{}] {}", if p.in_hw[i] { "HW" } else { "sw" }, b.name);
     }
-    println!("all-software time : {}", part.all_sw_time);
-    println!("hybrid time       : {}", part.total_time);
+    println!("all-software time : {}", p.all_sw_time);
+    println!("hybrid time       : {}", p.total_time);
     println!("speed-up          : {:.0}%", part.speedup_pct());
     assert!(part.speedup_pct() > 0.0, "the hot loop must gain");
     Ok(())

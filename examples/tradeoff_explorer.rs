@@ -10,25 +10,30 @@
 //! cargo run --release --example tradeoff_explorer
 //! ```
 
-use lycos::core::Restrictions;
 use lycos::explore::{format_tradeoff, tradeoff_sweep};
-use lycos::hwlib::{Area, HwLibrary};
-use lycos::pace::PaceConfig;
+use lycos::{LycosError, Pipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), LycosError> {
     let app = lycos::apps::hal();
-    let bsbs = app.bsbs();
-    let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
-    let area = Area::new(app.area_budget);
-    let restrictions = Restrictions::from_asap(&bsbs, &lib)?;
+
+    // The pipeline's allocation stage provides everything the sweep
+    // needs: the compiled BSBs, the restriction caps and the budget.
+    let allocated = Pipeline::for_app(&app).allocate()?;
 
     println!(
-        "Figure 3 sweep on `{}` (total area {area}, {} allocations max)\n",
+        "Figure 3 sweep on `{}` (total area {}, {} allocations max)\n",
         app.name,
-        lycos::pace::space_size(&lycos::pace::search_space(&restrictions)),
+        allocated.budget(),
+        lycos::pace::space_size(&lycos::pace::search_space(&allocated.restrictions)),
     );
-    let points = tradeoff_sweep(&bsbs, &lib, area, &restrictions, &pace, 10)?;
+    let points = tradeoff_sweep(
+        &allocated.bsbs,
+        allocated.library(),
+        allocated.budget(),
+        &allocated.restrictions,
+        allocated.pace(),
+        10,
+    )?;
     println!("{}", format_tradeoff(&points));
 
     // The printable moral of Figure 3: the best speed-up lives neither

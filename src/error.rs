@@ -1,0 +1,136 @@
+//! The unified error type of the facade.
+
+use lycos_core::AllocError;
+use lycos_frontend::FrontError;
+use lycos_hwlib::HwError;
+use lycos_ir::IrError;
+use lycos_pace::PaceError;
+use lycos_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error a [`crate::Pipeline`] stage can produce.
+///
+/// Every per-crate error type converts into `LycosError` via `From`,
+/// so `?` works across the whole flow:
+///
+/// ```
+/// use lycos::LycosError;
+///
+/// fn flow() -> Result<(), LycosError> {
+///     let cdfg = lycos::frontend::compile("app a; y = x * x;")?; // FrontError
+///     let bsbs = lycos::ir::extract_bsbs(&cdfg, None)?;          // IrError
+///     let lib = lycos::hwlib::HwLibrary::standard();
+///     let restr = lycos::core::Restrictions::from_asap(&bsbs, &lib)?; // AllocError
+///     let _ = restr;
+///     Ok(())
+/// }
+/// flow().unwrap();
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum LycosError {
+    /// Lexing, parsing or lowering LYC source failed.
+    Frontend(FrontError),
+    /// Building or validating the application model failed.
+    Ir(IrError),
+    /// A hardware-library lookup failed.
+    Hw(HwError),
+    /// A scheduling step failed.
+    Sched(SchedError),
+    /// The allocation algorithm failed.
+    Alloc(AllocError),
+    /// The PACE partitioner failed.
+    Pace(PaceError),
+}
+
+impl fmt::Display for LycosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LycosError::Frontend(e) => write!(f, "frontend: {e}"),
+            LycosError::Ir(e) => write!(f, "application model: {e}"),
+            LycosError::Hw(e) => write!(f, "hardware library: {e}"),
+            LycosError::Sched(e) => write!(f, "scheduling: {e}"),
+            LycosError::Alloc(e) => write!(f, "allocation: {e}"),
+            LycosError::Pace(e) => write!(f, "partitioning: {e}"),
+        }
+    }
+}
+
+impl Error for LycosError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LycosError::Frontend(e) => Some(e),
+            LycosError::Ir(e) => Some(e),
+            LycosError::Hw(e) => Some(e),
+            LycosError::Sched(e) => Some(e),
+            LycosError::Alloc(e) => Some(e),
+            LycosError::Pace(e) => Some(e),
+        }
+    }
+}
+
+impl From<FrontError> for LycosError {
+    fn from(e: FrontError) -> Self {
+        LycosError::Frontend(e)
+    }
+}
+
+impl From<IrError> for LycosError {
+    fn from(e: IrError) -> Self {
+        LycosError::Ir(e)
+    }
+}
+
+impl From<HwError> for LycosError {
+    fn from(e: HwError) -> Self {
+        LycosError::Hw(e)
+    }
+}
+
+impl From<SchedError> for LycosError {
+    fn from(e: SchedError) -> Self {
+        LycosError::Sched(e)
+    }
+}
+
+impl From<AllocError> for LycosError {
+    fn from(e: AllocError) -> Self {
+        LycosError::Alloc(e)
+    }
+}
+
+impl From<PaceError> for LycosError {
+    fn from(e: PaceError) -> Self {
+        LycosError::Pace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{OpId, OpKind};
+
+    #[test]
+    fn every_layer_converts() {
+        let front: LycosError = FrontError::UnknownFunc { name: "f".into() }.into();
+        assert!(matches!(front, LycosError::Frontend(_)));
+        let ir: LycosError = IrError::SelfLoop { op: OpId(0) }.into();
+        assert!(matches!(ir, LycosError::Ir(_)));
+        let hw: LycosError = HwError::NoUnitFor { op: OpKind::Add }.into();
+        assert!(matches!(hw, LycosError::Hw(_)));
+        let sched: LycosError = SchedError::NoUnitFor { op: OpKind::Div }.into();
+        assert!(matches!(sched, LycosError::Sched(_)));
+        let alloc: LycosError = AllocError::Hw(HwError::NoUnitFor { op: OpKind::Mul }).into();
+        assert!(matches!(alloc, LycosError::Alloc(_)));
+        let pace: LycosError = PaceError::Hw(HwError::NoUnitFor { op: OpKind::Mul }).into();
+        assert!(matches!(pace, LycosError::Pace(_)));
+    }
+
+    #[test]
+    fn display_prefixes_the_stage() {
+        let e: LycosError = HwError::NoUnitFor { op: OpKind::Add }.into();
+        assert!(format!("{e}").starts_with("hardware library: "));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,6 +1,6 @@
 //! # lycos — a reproduction of the DATE 1998 LYCOS allocation paper
 //!
-//! This facade crate re-exports the whole reproduction of *Hardware
+//! This facade crate ties together the whole reproduction of *Hardware
 //! Resource Allocation for Hardware/Software Partitioning in the LYCOS
 //! System* (Grode, Knudsen, Madsen — DATE 1998):
 //!
@@ -18,40 +18,62 @@
 //! * [`explore`] — the experiments themselves (Table 1, Figure 3,
 //!   §5.1 ablation, randomised search).
 //!
+//! The crate's own contribution is the [`Pipeline`] builder — one
+//! end-to-end entry point over those layers — and [`LycosError`], the
+//! unified error every per-crate error converts into.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use lycos::core::{allocate, AllocConfig, Restrictions};
-//! use lycos::hwlib::{Area, EcaModel, HwLibrary};
-//! use lycos::ir::extract_bsbs;
-//! use lycos::pace::{partition, PaceConfig};
+//! use lycos::hwlib::{Area, HwLibrary};
+//! use lycos::Pipeline;
 //!
-//! // 1. Compile a LYC program to a CDFG and flatten it to BSBs.
-//! let cdfg = lycos::frontend::compile(
+//! // Compile a LYC program, pre-allocate the data path within 6000
+//! // gate equivalents (Algorithm 1), then partition with PACE.
+//! let allocated = lycos::Pipeline::new(
 //!     "app demo;
 //!      loop l times 500 {
 //!        y = y + u * dx;
 //!        u = u - 3 * y * dx;
 //!      }",
-//! )?;
-//! let bsbs = extract_bsbs(&cdfg, None)?;
+//! )
+//! .with_library(HwLibrary::standard())
+//! .with_budget(Area::new(6_000))
+//! .allocate()?;
 //!
-//! // 2. Pre-allocate the data path (the paper's Algorithm 1).
-//! let lib = HwLibrary::standard();
-//! let area = Area::new(6_000);
-//! let restr = Restrictions::from_asap(&bsbs, &lib)?;
-//! let out = allocate(&bsbs, &lib, &EcaModel::standard(), area, &restr,
-//!                    &AllocConfig::default())?;
+//! println!("data path: {}", allocated.allocation().display_with(allocated.library()));
 //!
-//! // 3. Partition with PACE and read off the speed-up.
-//! let part = partition(&bsbs, &lib, &out.allocation, area,
-//!                      &PaceConfig::standard())?;
+//! let part = allocated.partition()?;
 //! assert!(part.speedup_pct() > 0.0);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), lycos::LycosError>(())
+//! ```
+//!
+//! The individual layers stay available for flows the builder does not
+//! cover (exhaustive search, module selection, multi-ASIC allocation):
+//!
+//! ```
+//! use lycos::core::{allocate, AllocConfig, Restrictions};
+//! use lycos::hwlib::{Area, EcaModel, HwLibrary};
+//! use lycos::ir::extract_bsbs;
+//!
+//! let cdfg = lycos::frontend::compile("app tiny; y = a * b + c;")?;
+//! let bsbs = extract_bsbs(&cdfg, None)?;
+//! let lib = HwLibrary::standard();
+//! let restr = Restrictions::from_asap(&bsbs, &lib)?;
+//! let out = allocate(&bsbs, &lib, &EcaModel::standard(), Area::new(6_000),
+//!                    &restr, &AllocConfig::default())?;
+//! assert!(out.remaining <= Area::new(6_000));
+//! # Ok::<(), lycos::LycosError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod error;
+mod pipeline;
+
+pub use error::LycosError;
+pub use pipeline::{Allocated, Compiled, Partitioned, Pipeline};
 
 pub use lycos_apps as apps;
 pub use lycos_core as core;

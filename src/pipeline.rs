@@ -1,0 +1,332 @@
+//! The end-to-end pipeline: LYC source → CDFG → BSBs → allocation →
+//! partition.
+//!
+//! [`Pipeline`] is a builder over the whole reproduction. Configure it
+//! with a source text (or a bundled [`lycos_apps::BenchmarkApp`]), a
+//! hardware library and an area budget, then drive it through its
+//! stages; every stage returns a value that carries everything the
+//! next stage needs, so callers never have to thread BSB arrays,
+//! restriction tables and configs by hand.
+
+use crate::LycosError;
+use lycos_apps::BenchmarkApp;
+use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
+use lycos_hwlib::{Area, HwLibrary};
+use lycos_ir::{extract_bsbs, BsbArray, Cdfg, ProfileOverrides};
+use lycos_pace::{partition, PaceConfig, Partition};
+
+/// Builder for the full LYCOS flow.
+///
+/// # Examples
+///
+/// ```
+/// use lycos::Pipeline;
+/// use lycos::hwlib::{Area, HwLibrary};
+///
+/// let part = Pipeline::new(
+///     "app demo;
+///      loop l times 500 {
+///        y = y + u * dx;
+///        u = u - 3 * y * dx;
+///      }",
+/// )
+/// .with_library(HwLibrary::standard())
+/// .with_budget(Area::new(6_000))
+/// .allocate()?
+/// .partition()?;
+/// assert!(part.speedup_pct() > 0.0);
+/// # Ok::<(), lycos::LycosError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    source: String,
+    // Pre-lowered CDFG (bundled apps ship one); skips re-parsing.
+    precompiled: Option<Cdfg>,
+    library: HwLibrary,
+    pace: PaceConfig,
+    budget: Area,
+    alloc_config: AllocConfig,
+    overrides: Option<ProfileOverrides>,
+}
+
+impl Pipeline {
+    /// A pipeline over `source`, with the standard library, the
+    /// standard PACE configuration and a 10 000 GE budget.
+    pub fn new(source: impl Into<String>) -> Self {
+        Pipeline {
+            source: source.into(),
+            precompiled: None,
+            library: HwLibrary::standard(),
+            pace: PaceConfig::standard(),
+            budget: Area::new(10_000),
+            alloc_config: AllocConfig::default(),
+            overrides: None,
+        }
+    }
+
+    /// A pipeline over a bundled benchmark, at its Table 1 budget.
+    /// Reuses the app's already-compiled CDFG.
+    pub fn for_app(app: &BenchmarkApp) -> Self {
+        let mut p = Pipeline::new(app.source).with_budget(Area::new(app.area_budget));
+        p.precompiled = Some(app.cdfg.clone());
+        p
+    }
+
+    /// Replaces the hardware library.
+    #[must_use]
+    pub fn with_library(mut self, library: HwLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Sets the total hardware area budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Area) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the PACE configuration (ECA model, communication
+    /// costs, controller quantum).
+    #[must_use]
+    pub fn with_pace(mut self, pace: PaceConfig) -> Self {
+        self.pace = pace;
+        self
+    }
+
+    /// Replaces the allocation configuration (state estimate, tracing).
+    #[must_use]
+    pub fn with_alloc_config(mut self, config: AllocConfig) -> Self {
+        self.alloc_config = config;
+        self
+    }
+
+    /// Applies profile overrides (trip counts, probabilities) when
+    /// flattening the CDFG to BSBs.
+    #[must_use]
+    pub fn with_profile_overrides(mut self, overrides: ProfileOverrides) -> Self {
+        self.overrides = Some(overrides);
+        self
+    }
+
+    /// Runs the frontend only: parse + lower + flatten (or reuse the
+    /// pre-lowered CDFG of a bundled app).
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Frontend`] / [`LycosError::Ir`].
+    pub fn compile(&self) -> Result<Compiled, LycosError> {
+        let cdfg = match &self.precompiled {
+            Some(cdfg) => cdfg.clone(),
+            None => lycos_frontend::compile(&self.source)?,
+        };
+        let bsbs = extract_bsbs(&cdfg, self.overrides.as_ref())?;
+        Ok(Compiled { cdfg, bsbs })
+    }
+
+    /// Runs the flow through Algorithm 1: compile, derive ASAP
+    /// restrictions, pre-allocate the data path.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error as [`LycosError`].
+    pub fn allocate(self) -> Result<Allocated, LycosError> {
+        let compiled = self.compile()?;
+        self.allocate_compiled(compiled)
+    }
+
+    /// Runs Algorithm 1 over an already-compiled stage output, so a
+    /// caller that inspected [`Compiled`] does not pay for a second
+    /// frontend pass.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error as [`LycosError`].
+    pub fn allocate_compiled(self, compiled: Compiled) -> Result<Allocated, LycosError> {
+        let Compiled { cdfg, bsbs } = compiled;
+        let restrictions = Restrictions::from_asap(&bsbs, &self.library)?;
+        let outcome = allocate(
+            &bsbs,
+            &self.library,
+            &self.pace.eca,
+            self.budget,
+            &restrictions,
+            &self.alloc_config,
+        )?;
+        Ok(Allocated {
+            library: self.library,
+            pace: self.pace,
+            budget: self.budget,
+            cdfg,
+            bsbs,
+            restrictions,
+            outcome,
+        })
+    }
+}
+
+/// Output of the frontend stage: the CDFG and its flattened BSB array.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The lowered control/data flow graph.
+    pub cdfg: Cdfg,
+    /// The leaf BSB array with annotated profiles.
+    pub bsbs: BsbArray,
+}
+
+/// Output of the allocation stage, ready to partition.
+#[derive(Clone, Debug)]
+pub struct Allocated {
+    library: HwLibrary,
+    pace: PaceConfig,
+    budget: Area,
+    /// The compiled CDFG (kept for inspection and reporting).
+    pub cdfg: Cdfg,
+    /// The flattened BSB array the allocation was computed over.
+    pub bsbs: BsbArray,
+    /// The ASAP-parallelism allocation caps.
+    pub restrictions: Restrictions,
+    /// The result of Algorithm 1.
+    pub outcome: AllocOutcome,
+}
+
+impl Allocated {
+    /// The allocated data path.
+    pub fn allocation(&self) -> &RMap {
+        &self.outcome.allocation
+    }
+
+    /// The hardware library this allocation was computed against.
+    pub fn library(&self) -> &HwLibrary {
+        &self.library
+    }
+
+    /// The PACE configuration the pipeline carries.
+    pub fn pace(&self) -> &PaceConfig {
+        &self.pace
+    }
+
+    /// The total hardware area budget.
+    pub fn budget(&self) -> Area {
+        self.budget
+    }
+
+    /// Partitions with PACE under the automatic allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from the partitioner.
+    pub fn partition(&self) -> Result<Partitioned, LycosError> {
+        self.partition_with(self.allocation())
+    }
+
+    /// Partitions with PACE under an explicit allocation — the seam
+    /// used by design iterations (§5) and exploration sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from the partitioner.
+    pub fn partition_with(&self, allocation: &RMap) -> Result<Partitioned, LycosError> {
+        let partition = partition(
+            &self.bsbs,
+            &self.library,
+            allocation,
+            self.budget,
+            &self.pace,
+        )?;
+        Ok(Partitioned {
+            allocation: allocation.clone(),
+            partition,
+        })
+    }
+}
+
+/// Output of the partitioning stage.
+#[derive(Clone, Debug)]
+pub struct Partitioned {
+    /// The data-path allocation the partition was evaluated under.
+    pub allocation: RMap,
+    /// The PACE partition.
+    pub partition: Partition,
+}
+
+impl Partitioned {
+    /// Speed-up over all-software execution, in percent.
+    pub fn speedup_pct(&self) -> f64 {
+        self.partition.speedup_pct()
+    }
+
+    /// Blocks placed in hardware.
+    pub fn hw_count(&self) -> usize {
+        self.partition.hw_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT_LOOP: &str = "app t;
+        loop l times 800 {
+          y = y + u * dx;
+          u = u - 3 * y * dx;
+        }";
+
+    #[test]
+    fn compile_stage_exposes_cdfg_and_bsbs() {
+        let c = Pipeline::new(HOT_LOOP).compile().unwrap();
+        assert_eq!(c.cdfg.name(), "t");
+        assert_eq!(c.bsbs.len(), 1);
+        assert_eq!(c.bsbs[0].profile, 800);
+    }
+
+    #[test]
+    fn full_chain_produces_a_gainful_partition() {
+        let part = Pipeline::new(HOT_LOOP)
+            .with_budget(Area::new(6_000))
+            .allocate()
+            .unwrap()
+            .partition()
+            .unwrap();
+        assert!(part.speedup_pct() > 0.0);
+        assert!(part.hw_count() >= 1);
+    }
+
+    #[test]
+    fn partition_with_reuses_the_compiled_state() {
+        let allocated = Pipeline::new(HOT_LOOP)
+            .with_budget(Area::new(6_000))
+            .allocate()
+            .unwrap();
+        let auto = allocated.partition().unwrap();
+        // An empty allocation forces everything to software.
+        let sw = allocated.partition_with(&RMap::new()).unwrap();
+        assert_eq!(sw.partition.hw_count(), 0);
+        assert!(auto.partition.total_time <= sw.partition.total_time);
+    }
+
+    #[test]
+    fn frontend_errors_surface_as_lycos_errors() {
+        let err = Pipeline::new("app broken").compile().unwrap_err();
+        assert!(matches!(err, LycosError::Frontend(_)));
+    }
+
+    #[test]
+    fn overrides_change_profiles() {
+        let mut ov = ProfileOverrides::new();
+        ov.set_trip("l", 50);
+        let c = Pipeline::new(HOT_LOOP)
+            .with_profile_overrides(ov)
+            .compile()
+            .unwrap();
+        assert_eq!(c.bsbs[0].profile, 50);
+    }
+
+    #[test]
+    fn for_app_matches_the_bundled_budget() {
+        let app = lycos_apps::hal();
+        let allocated = Pipeline::for_app(&app).allocate().unwrap();
+        assert_eq!(allocated.budget(), Area::new(app.area_budget));
+        assert!(!allocated.allocation().is_empty());
+    }
+}

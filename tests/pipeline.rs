@@ -1,9 +1,11 @@
 //! End-to-end integration: LYC source → CDFG → BSBs → allocation →
-//! PACE partition, across all bundled benchmarks.
+//! PACE partition, across all bundled benchmarks — through the layered
+//! API and through the `Pipeline` facade, which must agree.
 
 use lycos::core::{allocate, AllocConfig, Restrictions};
 use lycos::hwlib::{Area, HwLibrary};
 use lycos::pace::{partition, PaceConfig};
+use lycos::{LycosError, Pipeline};
 
 /// Allocation plus partition for one app at its Table 1 budget.
 fn run_app(app: &lycos::apps::BenchmarkApp) -> (lycos::core::AllocOutcome, lycos::pace::Partition) {
@@ -148,6 +150,92 @@ fn profile_overrides_change_the_partition_inputs() {
     deeper.set_trip("iter", 64);
     let hot = extract_bsbs(&app.cdfg, Some(&deeper)).unwrap();
     assert!(hot.total_dynamic_ops() > base.total_dynamic_ops());
+}
+
+#[test]
+fn pipeline_drives_a_source_end_to_end() -> Result<(), LycosError> {
+    // The satellite flow: one LYC source through compile →
+    // extract_bsbs → allocate → partition, all via the builder.
+    let pipeline = Pipeline::new(
+        "app diffeq;
+         loop l times 1000 test (x < a) {
+           t = u * dx;
+           u = u - 3 * x * t - 3 * y * dx;
+           y = y + t;
+           x = x + dx;
+         }
+         emit y;",
+    )
+    .with_library(HwLibrary::standard())
+    .with_budget(Area::new(7_000));
+
+    let compiled = pipeline.compile()?;
+    assert_eq!(compiled.cdfg.name(), "diffeq");
+    assert!(compiled.bsbs.len() >= 3, "test, body and emit blocks");
+
+    let allocated = pipeline.allocate()?;
+    assert!(!allocated.allocation().is_empty());
+    let lib = allocated.library();
+    assert!(
+        allocated.allocation().area(lib) + allocated.outcome.controller_area <= allocated.budget()
+    );
+
+    let part = allocated.partition()?;
+    assert!(part.speedup_pct() > 0.0, "hot loop must gain");
+    assert!(part.hw_count() >= 1);
+    Ok(())
+}
+
+#[test]
+fn pipeline_agrees_with_the_layered_api() {
+    for app in lycos::apps::all() {
+        let (out, part) = run_app(&app);
+        let allocated = Pipeline::for_app(&app)
+            .allocate()
+            .expect("pipeline allocates");
+        assert_eq!(
+            allocated.allocation(),
+            &out.allocation,
+            "{}: same allocation either way",
+            app.name
+        );
+        let p = allocated.partition().expect("pipeline partitions");
+        assert_eq!(p.partition.total_time, part.total_time, "{}", app.name);
+        assert_eq!(p.partition.in_hw, part.in_hw, "{}", app.name);
+    }
+}
+
+#[test]
+fn pipeline_produces_table1_shaped_output() {
+    // The Table 1 row shape, via the facade: a positive speed-up, a
+    // data-path share in (0, 1], and a static HW/SW split that sums
+    // to one.
+    for app in lycos::apps::all() {
+        let allocated = Pipeline::for_app(&app).allocate().expect("allocates");
+        let part = allocated.partition().expect("partitions");
+        let su = part.speedup_pct();
+        let size = part.partition.size_fraction();
+        let hw = part.partition.hw_fraction_static(&allocated.bsbs);
+        assert!(su > 0.0, "{}: SU column positive", app.name);
+        assert!(
+            (0.0..=1.0).contains(&size) && size > 0.0,
+            "{}: Size column is a fraction, got {size}",
+            app.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&hw),
+            "{}: HW/SW column is a fraction, got {hw}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_errors_carry_the_failing_stage() {
+    let err = Pipeline::new("app broken; x = ;").allocate().unwrap_err();
+    assert!(matches!(err, LycosError::Frontend(_)), "got {err}");
+    let msg = err.to_string();
+    assert!(msg.starts_with("frontend: "), "got {msg}");
 }
 
 #[test]
