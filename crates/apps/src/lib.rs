@@ -3,10 +3,10 @@
 //!
 //! | name       | origin (paper reference)                       | trait the paper relies on |
 //! |------------|------------------------------------------------|---------------------------|
-//! | `straight` | LYCOS system paper [9]                         | loop-free pipeline, parallelism only |
-//! | `hal`      | Paulin & Knight differential equation [11]     | multiplier-rich hot loop  |
-//! | `man`      | Mandelbrot set, Peitgen & Richter [12]         | one BSB full of parallel constant loads (over-allocation trigger) |
-//! | `eigen`    | eigenvectors for cloud-motion pictures [8]     | division-heavy rotation blocks (over-allocation trigger) |
+//! | `straight` | LYCOS system paper \[9\]                       | loop-free pipeline, parallelism only |
+//! | `hal`      | Paulin & Knight differential equation \[11\]   | multiplier-rich hot loop  |
+//! | `man`      | Mandelbrot set, Peitgen & Richter \[12\]       | one BSB full of parallel constant loads (over-allocation trigger) |
+//! | `eigen`    | eigenvectors for cloud-motion pictures \[8\]   | division-heavy rotation blocks (over-allocation trigger) |
 //!
 //! Each [`BenchmarkApp`] bundles the LYC source, its compiled CDFG, the
 //! hardware area budget used by the Table 1 reproduction, and — for
@@ -122,7 +122,7 @@ fn build(
     }
 }
 
-/// `straight` — the loop-free signal pipeline from the LYCOS paper [9].
+/// `straight` — the loop-free signal pipeline from the LYCOS paper \[9\].
 pub fn straight() -> BenchmarkApp {
     build(
         "straight",
@@ -132,12 +132,12 @@ pub fn straight() -> BenchmarkApp {
     )
 }
 
-/// `hal` — the Paulin/Knight differential-equation benchmark [11].
+/// `hal` — the Paulin/Knight differential-equation benchmark \[11\].
 pub fn hal() -> BenchmarkApp {
     build("hal", include_str!("../lyc/hal.lyc"), budgets::HAL, None)
 }
 
-/// `man` — the Mandelbrot renderer [12]; needs the constant-generator
+/// `man` — the Mandelbrot renderer \[12\]; needs the constant-generator
 /// design iteration (§5).
 pub fn man() -> BenchmarkApp {
     build(
@@ -151,7 +151,7 @@ pub fn man() -> BenchmarkApp {
     )
 }
 
-/// `eigen` — the cloud-motion eigenvector kernel [8]; needs the
+/// `eigen` — the cloud-motion eigenvector kernel \[8\]; needs the
 /// divider design iteration (§5).
 pub fn eigen() -> BenchmarkApp {
     build(

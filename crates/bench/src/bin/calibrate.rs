@@ -24,6 +24,7 @@ fn main() {
     let pace = PaceConfig::standard();
     let options = Table1Options {
         search_limit: Some(60_000),
+        threads: 0,
     };
 
     for mut app in lycos::apps::all() {

@@ -2,7 +2,7 @@
 //! gain-density partitioner, over the bundled benchmarks and a set of
 //! synthetic applications.
 //!
-//! PACE's claim (reference [7]) is that sequence-aware dynamic
+//! PACE's claim (the paper's reference 7) is that sequence-aware dynamic
 //! programming finds partitions greedy selection misses — mainly where
 //! adjacent blocks are only profitable together because their
 //! communication cancels inside a run.

@@ -1,0 +1,107 @@
+//! Scaling study: allocation-algorithm runtime versus application size
+//! (the ROADMAP item behind the paper's §4.4 complexity claim).
+//!
+//! §4.4 argues the allocator runs in roughly `O(L·k²)` — linear in the
+//! number of BSBs `L` and quadratic in the operations per block `k` —
+//! which is what makes it attractive against the exhaustive baseline.
+//! This study sweeps both axes over [`SyntheticSpec`] applications and
+//! prints a CSV with a `runtime / (L·k²)` column: if the claim holds,
+//! that column is roughly flat along each axis.
+//!
+//! ```text
+//! cargo run --release -p lycos_bench --bin scaling_study [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the sweep for CI smoke runs; the CSV schema is
+//! identical and archived as a workflow artifact either way.
+
+use lycos::core::{allocate, AllocConfig, Restrictions};
+use lycos::explore::SyntheticSpec;
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::ir::OpKind;
+use lycos::pace::PaceConfig;
+use std::time::{Duration, Instant};
+
+/// One sweep point: `reps` timed allocator runs over one synthetic
+/// app; the median is what lands in the CSV.
+fn measure(spec: &SyntheticSpec, seed: u64, budget: u64, reps: usize) -> (usize, Duration) {
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let app = spec.generate(seed);
+    let restr = Restrictions::from_asap(&app, &lib).expect("synthetic apps are schedulable");
+    let config = AllocConfig::default();
+    let area = Area::new(budget);
+    let mut samples = Vec::with_capacity(reps);
+    let mut steps = 0usize;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let out = allocate(&app, &lib, &pace.eca, area, &restr, &config)
+            .expect("synthetic apps allocate");
+        samples.push(started.elapsed());
+        steps = out.steps;
+    }
+    samples.sort();
+    (steps, samples[samples.len() / 2])
+}
+
+fn spec(blocks: usize, ops: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        blocks,
+        ops_per_block: (ops, ops),
+        edge_density: 0.15,
+        max_profile: 10_000,
+        kinds: vec![
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Const,
+            OpKind::Lt,
+            OpKind::Shl,
+            OpKind::And,
+        ],
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 9 };
+    // L axis at fixed k, k axis at fixed L. The area budget scales
+    // with the block count so the allocator works a comparable regime
+    // at every point instead of saturating a fixed budget.
+    let l_axis: &[usize] = if quick {
+        &[4, 8, 16, 32]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256]
+    };
+    let k_axis: &[usize] = if quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
+    const FIXED_K: usize = 8;
+    const FIXED_L: usize = 16;
+
+    println!("axis,blocks,ops_per_block,alloc_steps,runtime_us,runtime_per_lk2_ns");
+    for &l in l_axis {
+        let (steps, t) = measure(&spec(l, FIXED_K), 11, 1_500 * l as u64, reps);
+        report("L", l, FIXED_K, steps, t);
+    }
+    for &k in k_axis {
+        let (steps, t) = measure(&spec(FIXED_L, k), 13, 1_500 * FIXED_L as u64, reps);
+        report("k", FIXED_L, k, steps, t);
+    }
+    eprintln!(
+        "[scaling_study] §4.4 check: runtime_per_lk2_ns should stay \
+         within a small constant factor along each axis ({} reps/point)",
+        reps
+    );
+}
+
+fn report(axis: &str, l: usize, k: usize, steps: usize, t: Duration) {
+    let lk2 = (l * k * k) as f64;
+    println!(
+        "{axis},{l},{k},{steps},{:.1},{:.2}",
+        t.as_secs_f64() * 1e6,
+        t.as_secs_f64() * 1e9 / lk2,
+    );
+}

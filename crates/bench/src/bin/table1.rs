@@ -2,18 +2,47 @@
 //!
 //! For each of the four benchmark applications: run the allocation
 //! algorithm (timed), evaluate it through PACE, exhaustively search
-//! the allocation space for the best achievable speed-up, and apply
-//! the §5 design iteration where the paper did.
+//! the allocation space for the best achievable speed-up (memoised,
+//! all cores), and apply the §5 design iteration where the paper did.
 //!
 //! ```text
-//! cargo run --release -p lycos-bench --bin table1
+//! cargo run --release -p lycos_bench --bin table1 [-- --csv]
 //! ```
+//!
+//! `--csv` emits one machine-readable row per application on stdout
+//! instead of the formatted table — the shape CI archives as an
+//! artifact.
 
-use lycos::explore::{format_table1, table1_row, Table1Options};
+use lycos::explore::{format_table1, table1_row, Table1Options, Table1Row};
 use lycos::hwlib::HwLibrary;
 use lycos::pace::PaceConfig;
 
+fn csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
+         size_fraction,hw_fraction,alloc_seconds,evaluated,space_size,truncated\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.2},{:.2},{},{:.4},{:.4},{:.6},{},{},{}\n",
+            r.name,
+            r.lines,
+            r.heuristic_su,
+            r.best_su,
+            r.iterated_su.map(|s| format!("{s:.2}")).unwrap_or_default(),
+            r.size_fraction,
+            r.hw_fraction,
+            r.alloc_time.as_secs_f64(),
+            r.evaluated,
+            r.space_size,
+            r.truncated,
+        ));
+    }
+    out
+}
+
 fn main() {
+    let as_csv = std::env::args().any(|a| a == "--csv");
     let lib = HwLibrary::standard();
     let pace = PaceConfig::standard();
     let options = Table1Options {
@@ -21,6 +50,7 @@ fn main() {
         // (footnote 1). 200k evaluations is plenty for the spaces the
         // LYC benchmarks span.
         search_limit: Some(200_000),
+        threads: 0, // one worker per core
     };
 
     let mut rows = Vec::new();
@@ -51,6 +81,10 @@ fn main() {
         }
     }
 
+    if as_csv {
+        print!("{}", csv(&rows));
+        return;
+    }
     println!("\nTable 1 — results after partitioning (reproduction)\n");
     println!("{}", format_table1(&rows));
     println!("paper reference:");

@@ -15,7 +15,7 @@
 use lycos::core::{AllocConfig, Restrictions};
 use lycos::explore::{format_table1, table1_row, Table1Options};
 use lycos::hwlib::{Area, HwLibrary};
-use lycos::pace::{exhaustive_best, PaceConfig};
+use lycos::pace::SearchOptions;
 use lycos::Pipeline;
 use std::process::ExitCode;
 
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
         Some("partition") => cmd_partition(&args[1..]),
         Some("best") => cmd_best(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
-        Some("table1") => cmd_table1(),
+        Some("table1") => cmd_table1(&args[1..]),
         Some("apps") => cmd_apps(),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -51,13 +51,53 @@ usage:
   lycos inspect   <file.lyc>          show the CDFG tree and BSB array
   lycos allocate  <file.lyc> <area>   run the allocation algorithm
   lycos partition <file.lyc> <area>   allocate, then partition with PACE
-  lycos best      <file.lyc> <area>   exhaustive best allocation
+  lycos best      <file.lyc> <area>   search the space for the best allocation
   lycos explain   <file.lyc> <area>   step-by-step allocation trace
   lycos table1                        reproduce Table 1 on the bundled apps
   lycos apps                          list the bundled benchmark apps
 
+search knobs (best, table1):
+  --threads <n>   sweep workers (0 = one per core; default 0)
+  --limit <n>     cap on evaluated allocations (0 = unlimited;
+                  best defaults to 200000)
+  --no-cache      disable the per-BSB schedule memo (best only)
+
 <file.lyc> may also be a bundled app name: straight, hal, man, eigen.
 ";
+
+/// Pulls `--threads N`, `--limit N` and `--no-cache` out of `args`,
+/// returning the remaining positional arguments and the options.
+fn parse_search_flags(
+    args: &[String],
+    default_limit: Option<usize>,
+) -> Result<(Vec<String>, SearchOptions), String> {
+    let mut options = SearchOptions {
+        limit: default_limit,
+        ..SearchOptions::default()
+    };
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let number = |flag: &str, text: Option<&String>| -> Result<usize, String> {
+            text.ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<usize>()
+                .map_err(|_| format!("invalid {flag} value"))
+        };
+        match arg.as_str() {
+            "--threads" => options.threads = number("--threads", it.next())?,
+            "--limit" => {
+                // 0 = unlimited, by analogy with `--threads 0`.
+                options.limit = match number("--limit", it.next())? {
+                    0 => None,
+                    n => Some(n),
+                };
+            }
+            "--no-cache" => options.cache = false,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, options))
+}
 
 /// Builds a pipeline over a bundled app name or a `.lyc` file path.
 fn pipeline_for(path: &str) -> Result<Pipeline, String> {
@@ -163,15 +203,19 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_best(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing <file.lyc> argument")?;
-    let area = parse_area(args, 1)?;
-    // The exhaustive baseline needs only the compiled BSBs and the
+    let (rest, options) = parse_search_flags(args, Some(200_000))?;
+    let path = rest.first().ok_or("missing <file.lyc> argument")?;
+    let area = parse_area(&rest, 1)?;
+    if let Some(extra) = rest.get(2) {
+        return Err(format!("unexpected argument `{extra}`\n{USAGE}"));
+    }
+    // The search baseline needs only the compiled BSBs and the
     // restriction caps — no heuristic allocation.
     let compiled = pipeline_for(path)?.compile().map_err(|e| e.to_string())?;
     let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
+    let pace = lycos::pace::PaceConfig::standard();
     let restr = Restrictions::from_asap(&compiled.bsbs, &lib).map_err(|e| e.to_string())?;
-    let res = exhaustive_best(&compiled.bsbs, &lib, area, &restr, &pace, Some(200_000))
+    let res = lycos::pace::search_best(&compiled.bsbs, &lib, area, &restr, &pace, &options)
         .map_err(|e| e.to_string())?;
     println!(
         "space      : {} allocations ({} evaluated, {} skipped{})",
@@ -182,6 +226,15 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
     );
     println!("best       : {}", res.best_allocation.display_with(&lib));
     println!("speed-up   : {:.0}%", res.best_partition.speedup_pct());
+    println!(
+        "engine     : {} thread(s), {:.0} evals/s, cache hit rate {:.1}% ({} hits / {} misses), {:.3}s",
+        res.stats.threads,
+        res.eval_rate(),
+        res.stats.hit_rate() * 100.0,
+        res.stats.cache_hits,
+        res.stats.cache_misses,
+        res.stats.elapsed.as_secs_f64(),
+    );
     Ok(())
 }
 
@@ -226,11 +279,19 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table1() -> Result<(), String> {
+fn cmd_table1(args: &[String]) -> Result<(), String> {
+    let (rest, search) = parse_search_flags(args, Some(200_000))?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("table1 takes no positional argument `{extra}`"));
+    }
+    if !search.cache {
+        return Err("--no-cache applies to `best` only; table1 always caches".to_owned());
+    }
     let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
+    let pace = lycos::pace::PaceConfig::standard();
     let options = Table1Options {
-        search_limit: Some(200_000),
+        search_limit: search.limit,
+        threads: search.threads,
     };
     let mut rows = Vec::new();
     for app in lycos::apps::all() {

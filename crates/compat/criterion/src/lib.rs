@@ -7,6 +7,11 @@
 //! criterion's full statistical machinery. Good enough to compare
 //! orders of magnitude, which is all the Table 1 `CPU sec` and scaling
 //! benches claim.
+//!
+//! Setting `LYCOS_BENCH_QUICK` (to any value) caps every benchmark at
+//! three timed samples — the mode CI's `perf-smoke` job runs, where
+//! the point is catching gross regressions and producing artifacts,
+//! not tight confidence intervals.
 
 #![forbid(unsafe_code)]
 
@@ -120,6 +125,11 @@ fn run_one<F>(group: &str, name: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = if std::env::var_os("LYCOS_BENCH_QUICK").is_some() {
+        sample_size.min(3)
+    } else {
+        sample_size
+    };
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
     };

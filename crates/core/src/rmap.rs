@@ -139,6 +139,18 @@ impl RMap {
         other.counts.iter().all(|(&fu, &c)| self.count(fu) >= c)
     }
 
+    /// Projects the map onto `kinds`, returning the instance count of
+    /// each kind in order (0 for absent kinds).
+    ///
+    /// A BSB's list schedule depends only on the counts of the unit
+    /// kinds its operations actually use, so this projection is the
+    /// memoisation key of the allocation-search engine: two
+    /// allocations with equal projections yield identical per-BSB
+    /// metrics.
+    pub fn project(&self, kinds: &[FuId]) -> Vec<u32> {
+        kinds.iter().map(|&fu| self.count(fu)).collect()
+    }
+
     /// Total data-path area of the mapped units.
     ///
     /// # Panics
@@ -307,6 +319,25 @@ mod tests {
         assert!(m.decrement(A));
         assert_eq!(m.count(A), 0);
         assert!(!m.decrement(A));
+    }
+
+    #[test]
+    fn project_reads_counts_in_kind_order() {
+        let m = a1(); // {A→2, M→1}
+        assert_eq!(m.project(&[A, M, S]), vec![2, 1, 0]);
+        assert_eq!(m.project(&[S, A]), vec![0, 2]);
+        assert_eq!(m.project(&[]), Vec::<u32>::new());
+        assert_eq!(RMap::new().project(&[A, M]), vec![0, 0]);
+    }
+
+    #[test]
+    fn equal_projections_for_differing_maps() {
+        // Two allocations differing only outside the projected kinds
+        // project identically — the cache-key property.
+        let a: RMap = [(A, 2), (S, 5)].into_iter().collect();
+        let b: RMap = [(A, 2), (M, 9)].into_iter().collect();
+        assert_eq!(a.project(&[A]), b.project(&[A]));
+        assert_ne!(a.project(&[A, S]), b.project(&[A, S]));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
-use lycos_pace::{partition, PaceConfig, PaceError, Partition};
+use lycos_pace::{partition, PaceConfig, PaceError, Partition, SearchOptions, SearchResult};
 use std::time::{Duration, Instant};
 
 /// The result of one allocate→partition run.
@@ -74,6 +74,25 @@ pub fn evaluate(
     pace: &PaceConfig,
 ) -> Result<Partition, PaceError> {
     partition(bsbs, lib, allocation, total_area, pace)
+}
+
+/// Sweeps the allocation space through the memoised search engine —
+/// the seam the Table 1 experiment and the CLI `best` command share.
+/// With `threads: 1` and no cache this is exactly the paper's
+/// sequential baseline; the defaults fan out over all cores.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+pub fn search(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    options: &SearchOptions,
+) -> Result<SearchResult, PaceError> {
+    lycos_pace::search_best(bsbs, lib, total_area, restrictions, pace, options)
 }
 
 #[cfg(test)]

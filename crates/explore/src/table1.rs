@@ -14,11 +14,11 @@
 //! (`Size`) and the static hardware/software split (`HW/SW`).
 
 use crate::apply_iteration;
-use crate::flow::{allocate_and_partition, evaluate};
+use crate::flow::{allocate_and_partition, evaluate, search};
 use lycos_apps::BenchmarkApp;
 use lycos_core::{AllocConfig, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
-use lycos_pace::{exhaustive_best, PaceConfig, PaceError};
+use lycos_pace::{PaceConfig, PaceError, SearchOptions};
 use std::time::Duration;
 
 /// One row of the reproduced Table 1.
@@ -84,6 +84,21 @@ pub struct Table1Options {
     /// Cap on exhaustively evaluated allocations (`None` = no cap; the
     /// paper itself could not exhaust `eigen`, footnote 1).
     pub search_limit: Option<usize>,
+    /// Worker threads for the exhaustive sweep (`0` = one per core).
+    /// The result is identical at any thread count; only the wall
+    /// clock changes.
+    pub threads: usize,
+}
+
+impl Table1Options {
+    /// The search-engine configuration this run implies.
+    pub fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            threads: self.threads,
+            limit: self.search_limit,
+            cache: true,
+        }
+    }
 }
 
 /// Runs the full Table 1 flow for one application.
@@ -112,8 +127,15 @@ pub fn table1_row(
     )?;
     let heuristic = &flow.partition;
 
-    // 3. PACE on every allocation.
-    let search = exhaustive_best(&bsbs, lib, area, &restrictions, pace, options.search_limit)?;
+    // 3. PACE on every allocation, through the memoised search engine.
+    let search = search(
+        &bsbs,
+        lib,
+        area,
+        &restrictions,
+        pace,
+        &options.search_options(),
+    )?;
 
     // 4. The manual design iteration, when the paper used one.
     let iterated_su = match app.iteration {

@@ -1,0 +1,101 @@
+//! Property: the search engine's metric cache is invisible.
+//!
+//! For any synthetic application and any sequence of allocations drawn
+//! within (and slightly beyond) the ASAP restriction caps, a
+//! [`MetricsCache`] must return exactly what a fresh
+//! [`compute_metrics`] call returns — including on repeat queries that
+//! are served from the cache, and when interleaved with projections
+//! that only differ in unit kinds a block does not use.
+
+use lycos_core::{RMap, Restrictions};
+use lycos_explore::SyntheticSpec;
+use lycos_hwlib::HwLibrary;
+use lycos_ir::OpKind;
+use lycos_pace::{compute_metrics, MetricsCache, PaceConfig};
+use proptest::prelude::*;
+
+fn spec(blocks: usize, max_ops: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        blocks,
+        ops_per_block: (1, max_ops),
+        edge_density: 0.2,
+        max_profile: 2_000,
+        kinds: vec![
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Const,
+            OpKind::Lt,
+        ],
+    }
+}
+
+/// Allocations to probe: scaled-down and scaled-up variants of the
+/// restriction caps, so the sequence crosses feasibility boundaries
+/// and revisits projections in a different order than any odometer.
+fn probe_allocations(restr: &Restrictions, picks: &[u8]) -> Vec<RMap> {
+    let dims: Vec<_> = restr.iter().collect();
+    let mut out = vec![RMap::new()];
+    for &pick in picks {
+        let alloc: RMap = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(fu, cap))| {
+                // Pseudo-mix the pick across dimensions: counts in
+                // 0..=cap+1 (one beyond the cap exercises harmless
+                // over-allocation).
+                let c = (pick as u32 + i as u32 * 7) % (cap + 2);
+                (fu, c)
+            })
+            .collect();
+        out.push(alloc);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached metrics equal fresh `compute_metrics`, query after query.
+    #[test]
+    fn cached_metrics_match_fresh(
+        seed in 0u64..512,
+        blocks in 1usize..10,
+        max_ops in 1usize..12,
+        picks in prop::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let app = spec(blocks, max_ops).generate(seed);
+        let lib = HwLibrary::standard();
+        let config = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&app, &lib).unwrap();
+        let mut cache = MetricsCache::new(&app, &lib, &config).unwrap();
+
+        for alloc in probe_allocations(&restr, &picks) {
+            let fresh = compute_metrics(&app, &lib, &alloc, &config).unwrap();
+            let cached = cache.metrics(&alloc).unwrap();
+            prop_assert_eq!(&cached, &fresh, "first query diverged");
+            // The second query is served from the cache and must not
+            // drift either.
+            let again = cache.metrics(&alloc).unwrap();
+            prop_assert_eq!(&again, &fresh, "cached re-query diverged");
+        }
+    }
+
+    /// Repeat queries hit; the hit counter proves the cache is live
+    /// (not silently recomputing).
+    #[test]
+    fn repeat_queries_are_hits(seed in 0u64..128) {
+        let app = spec(6, 8).generate(seed);
+        let lib = HwLibrary::standard();
+        let config = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&app, &lib).unwrap();
+        let full: RMap = restr.iter().collect();
+        let mut cache = MetricsCache::new(&app, &lib, &config).unwrap();
+        let first = cache.metrics(&full).unwrap();
+        let misses_after_first = cache.misses();
+        let second = cache.metrics(&full).unwrap();
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(cache.misses(), misses_after_first, "no new misses");
+        prop_assert!(cache.hits() > 0, "repeat lookups must hit");
+    }
+}

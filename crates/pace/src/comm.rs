@@ -110,6 +110,48 @@ pub fn run_traffic(bsbs: &BsbArray, j: usize, k: usize) -> RunTraffic {
     }
 }
 
+/// Lazily-filled memo table of run bus costs.
+///
+/// [`run_traffic`] depends only on the BSB array, never on the
+/// allocation, so its costs can be shared across every candidate of an
+/// allocation-space search instead of being recomputed per partition
+/// call. Entries are filled on first use; a full table over `eigen`'s
+/// 46 blocks is ~2k words, so the memo is kept dense.
+#[derive(Clone, Debug)]
+pub struct CommCosts {
+    n: usize,
+    cost: Vec<u64>,
+    known: Vec<bool>,
+}
+
+impl CommCosts {
+    /// An empty table for an application of `n` blocks.
+    pub fn new(n: usize) -> Self {
+        CommCosts {
+            n,
+            cost: vec![0; n * n],
+            known: vec![false; n * n],
+        }
+    }
+
+    /// Bus cost (in cycles) of the hardware run `[j, k]`, memoised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > k`, `k` is out of range, or `bsbs` has a
+    /// different length than the table was created for.
+    pub fn cost(&mut self, bsbs: &BsbArray, comm: &CommModel, j: usize, k: usize) -> u64 {
+        assert_eq!(bsbs.len(), self.n, "table built for another app");
+        assert!(j <= k && k < self.n, "invalid run [{j}, {k}]");
+        let idx = j * self.n + k;
+        if !self.known[idx] {
+            self.cost[idx] = run_traffic(bsbs, j, k).cost(comm).count();
+            self.known[idx] = true;
+        }
+        self.cost[idx]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

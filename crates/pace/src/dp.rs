@@ -13,7 +13,8 @@
 //! [`crate::compute_metrics`], so a partition produced here reflects
 //! what the synthesised system would actually cost (§5.1).
 
-use crate::{compute_metrics, run_traffic, PaceConfig, PaceError};
+use crate::metrics::BsbMetrics;
+use crate::{compute_metrics, CommCosts, PaceConfig, PaceError};
 use lycos_core::RMap;
 use lycos_hwlib::{Area, Cycles, HwLibrary};
 use lycos_ir::BsbArray;
@@ -139,11 +140,34 @@ pub fn partition(
         })?;
 
     let metrics = compute_metrics(bsbs, lib, allocation, config)?;
+    let mut comm = CommCosts::new(bsbs.len());
+    Ok(partition_from_metrics(
+        bsbs,
+        &metrics,
+        &mut comm,
+        datapath_area,
+        ctl_budget,
+        config,
+    ))
+}
+
+/// The PACE dynamic program over precomputed per-block metrics — the
+/// seam the allocation-search engine drives: metrics come from its
+/// memo cache and `comm` is shared across every candidate (run traffic
+/// never depends on the allocation).
+pub(crate) fn partition_from_metrics(
+    bsbs: &BsbArray,
+    metrics: &[BsbMetrics],
+    comm: &mut CommCosts,
+    datapath_area: Area,
+    ctl_budget: Area,
+    config: &PaceConfig,
+) -> Partition {
     let l = bsbs.len();
     let all_sw_time: Cycles = metrics.iter().map(|m| m.sw_time).sum();
 
     if l == 0 {
-        return Ok(Partition {
+        return Partition {
             in_hw: Vec::new(),
             total_time: Cycles::ZERO,
             all_sw_time,
@@ -151,7 +175,7 @@ pub fn partition(
             controller_area: Area::ZERO,
             datapath_area,
             runs: Vec::new(),
-        });
+        };
     }
 
     let q = config.quantum;
@@ -173,7 +197,7 @@ pub fn partition(
             }
             hw_sum += metrics[i].hw_time.expect("feasible").count();
             ctl_sum += metrics[i].controller_area.expect("feasible").gates();
-            let comm = run_traffic(bsbs, j, i).cost(&config.comm).count();
+            let comm = comm.cost(bsbs, &config.comm, j, i);
             run_time[j].push(hw_sum + comm);
             run_quanta[j].push(ctl_sum.div_ceil(q) as usize);
             run_ctl[j].push(ctl_sum);
@@ -230,7 +254,7 @@ pub fn partition(
                 *b = true;
             }
             runs.push(j - 1..i);
-            comm_time += run_traffic(bsbs, j - 1, i - 1).cost(&config.comm).count();
+            comm_time += comm.cost(bsbs, &config.comm, j - 1, i - 1);
             controller_area += run_ctl[j - 1][idx];
             a -= run_quanta[j - 1][idx];
             i = j - 1;
@@ -238,7 +262,7 @@ pub fn partition(
     }
     runs.reverse();
 
-    Ok(Partition {
+    Partition {
         in_hw,
         total_time: Cycles::new(dp[l * width + levels]),
         all_sw_time,
@@ -246,7 +270,7 @@ pub fn partition(
         controller_area: Area::new(controller_area),
         datapath_area,
         runs,
-    })
+    }
 }
 
 #[cfg(test)]

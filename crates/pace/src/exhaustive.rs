@@ -12,13 +12,14 @@
 //! search usable on spaces like `eigen`'s, which the paper itself calls
 //! "impossible" to exhaust (footnote 1).
 
-use crate::{partition, PaceConfig, PaceError, Partition};
+use crate::{partition, PaceConfig, PaceError, Partition, SearchStats};
 use lycos_core::{RMap, Restrictions};
 use lycos_hwlib::{Area, FuId, HwLibrary};
 use lycos_ir::BsbArray;
+use std::time::Instant;
 
 /// Outcome of an allocation-space search.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct SearchResult {
     /// The best allocation found (empty = all software).
     pub best_allocation: RMap,
@@ -32,6 +33,38 @@ pub struct SearchResult {
     pub space_size: u128,
     /// Whether a step limit cut the search short.
     pub truncated: bool,
+    /// Telemetry of the run (threads, cache hits, wall clock). Not
+    /// part of result equality: the memoised parallel engine and the
+    /// sequential walk compare equal whenever they found the same
+    /// answer over the same space.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// Allocations evaluated per wall-clock second — the headline
+    /// search-engine telemetry figure.
+    pub fn eval_rate(&self) -> f64 {
+        let secs = self.stats.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.evaluated as f64 / secs
+        }
+    }
+}
+
+impl PartialEq for SearchResult {
+    /// Equality over the *search outcome* — `stats` is telemetry and
+    /// deliberately excluded, so a memoised parallel run compares
+    /// equal to the sequential walk it reproduces.
+    fn eq(&self, other: &Self) -> bool {
+        self.best_allocation == other.best_allocation
+            && self.best_partition == other.best_partition
+            && self.evaluated == other.evaluated
+            && self.skipped == other.skipped
+            && self.space_size == other.space_size
+            && self.truncated == other.truncated
+    }
 }
 
 /// The searchable dimensions: each used unit kind and its cap.
@@ -97,11 +130,15 @@ pub fn exhaustive_best(
     config: &PaceConfig,
     limit: Option<usize>,
 ) -> Result<SearchResult, PaceError> {
+    let started = Instant::now();
     let dims = search_space(restrictions);
     let space = space_size(&dims);
 
     let mut best_allocation = RMap::new();
     let mut best_partition = partition(bsbs, lib, &best_allocation, total_area, config)?;
+    // Hoisted alongside `best_partition`: the tie-break reads the
+    // incumbent's area on every candidate, so never recompute it there.
+    let mut best_area = best_allocation.area(lib);
     let mut evaluated = 1usize; // the all-software point
     let mut skipped = 0usize;
     let mut truncated = false;
@@ -128,7 +165,8 @@ pub fn exhaustive_best(
             .zip(&counts)
             .map(|(&(fu, _), &c)| (fu, c))
             .collect();
-        if candidate.area(lib) > total_area {
+        let candidate_area = candidate.area(lib);
+        if candidate_area > total_area {
             skipped += 1;
             continue;
         }
@@ -141,11 +179,11 @@ pub fn exhaustive_best(
         let p = partition(bsbs, lib, &candidate, total_area, config)?;
         evaluated += 1;
         let better = p.total_time < best_partition.total_time
-            || (p.total_time == best_partition.total_time
-                && candidate.area(lib) < best_allocation.area(lib));
+            || (p.total_time == best_partition.total_time && candidate_area < best_area);
         if better {
             best_allocation = candidate;
             best_partition = p;
+            best_area = candidate_area;
         }
     }
 
@@ -156,6 +194,12 @@ pub fn exhaustive_best(
         skipped,
         space_size: space,
         truncated,
+        stats: SearchStats {
+            threads: 1,
+            cache_hits: 0,
+            cache_misses: 0, // no cache in the reference walk
+            elapsed: started.elapsed(),
+        },
     })
 }
 

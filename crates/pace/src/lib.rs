@@ -2,7 +2,7 @@
 //! reproduction.
 //!
 //! The DATE 1998 allocation paper evaluates its allocations by running
-//! the PACE partitioner (Knudsen & Madsen 1996, reference [7]) on each
+//! the PACE partitioner (Knudsen & Madsen 1996, reference 7) on each
 //! candidate data path. This crate reimplements that evaluation chain:
 //!
 //! * [`compute_metrics`] — per-BSB software/hardware times and
@@ -13,7 +13,11 @@
 //! * [`partition`] — the dynamic program choosing which blocks move to
 //!   hardware within the area left over by the data path;
 //! * [`exhaustive_best`] — the paper's baseline: PACE over *every*
-//!   allocation, marking the best one.
+//!   allocation, marking the best one;
+//! * [`search_best`] — the same search, memoised and parallel: per-BSB
+//!   schedules cached on the allocation's projection onto each block's
+//!   unit kinds, the odometer range fanned out over scoped threads,
+//!   results bit-identical to the sequential walk.
 //!
 //! # Examples
 //!
@@ -57,11 +61,13 @@ mod error;
 mod exhaustive;
 mod greedy;
 mod metrics;
+mod search;
 
-pub use comm::{run_traffic, RunTraffic};
+pub use comm::{run_traffic, CommCosts, RunTraffic};
 pub use config::PaceConfig;
 pub use dp::{partition, Partition};
 pub use error::PaceError;
 pub use exhaustive::{exhaustive_best, search_space, space_size, SearchResult};
 pub use greedy::greedy_partition;
 pub use metrics::{compute_metrics, BsbMetrics};
+pub use search::{search_best, MetricsCache, SearchOptions, SearchStats};

@@ -8,8 +8,8 @@
 
 use crate::{PaceConfig, PaceError};
 use lycos_core::{required_resources, RMap};
-use lycos_hwlib::{Area, Cycles, HwLibrary};
-use lycos_ir::BsbArray;
+use lycos_hwlib::{Area, Cycles, FuId, HwLibrary};
+use lycos_ir::{Bsb, BsbArray};
 use lycos_sched::{list_schedule, FuCounts};
 
 /// Cost figures of one BSB under a concrete allocation.
@@ -43,6 +43,79 @@ impl BsbMetrics {
     }
 }
 
+/// Allocation-independent facts about one BSB, precomputed once and
+/// reused across every candidate of an allocation-space search.
+#[derive(Clone, Debug)]
+pub(crate) struct BsbStatics {
+    /// Total software time (`block time × profile`).
+    pub sw_time: Cycles,
+    /// Minimum unit set for hardware feasibility (`GetReqResources`).
+    pub needed: RMap,
+    /// Sorted distinct default-unit kinds of the block's operations —
+    /// the domain of the memoisation key ([`RMap::project`]).
+    pub kinds: Vec<FuId>,
+    /// Whether the block has operations at all (empty blocks cannot
+    /// move to hardware).
+    pub movable: bool,
+}
+
+/// Precomputes [`BsbStatics`] for every block.
+///
+/// # Errors
+///
+/// [`PaceError::Hw`] if an operation kind has no default unit.
+pub(crate) fn bsb_statics(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    config: &PaceConfig,
+) -> Result<Vec<BsbStatics>, PaceError> {
+    let mut out = Vec::with_capacity(bsbs.len());
+    for bsb in bsbs {
+        let needed = required_resources(bsb, lib)?;
+        let kinds: Vec<FuId> = needed.iter().map(|(fu, _)| fu).collect();
+        out.push(BsbStatics {
+            sw_time: config.cpu.bsb_time(bsb),
+            needed,
+            kinds,
+            movable: !bsb.dfg.is_empty(),
+        });
+    }
+    Ok(out)
+}
+
+/// Metrics of one hardware-feasible block under `counts`. `counts` must
+/// hold at least one instance of every kind in the block's DFG.
+///
+/// # Errors
+///
+/// [`PaceError::Sched`] if the DFG cannot be scheduled (cyclic graph).
+pub(crate) fn feasible_block_metrics(
+    bsb: &Bsb,
+    lib: &HwLibrary,
+    counts: &FuCounts,
+    sw_time: Cycles,
+    config: &PaceConfig,
+) -> Result<BsbMetrics, PaceError> {
+    let sched = list_schedule(&bsb.dfg, lib, counts)?;
+    let states = sched.length();
+    Ok(BsbMetrics {
+        sw_time,
+        hw_time: Some(Cycles::new(states) * bsb.profile),
+        hw_states: Some(states),
+        controller_area: Some(config.eca.controller_area(states)),
+    })
+}
+
+/// Metrics of a block the allocation cannot (or need not) execute.
+pub(crate) fn infeasible_block_metrics(sw_time: Cycles) -> BsbMetrics {
+    BsbMetrics {
+        sw_time,
+        hw_time: None,
+        hw_states: None,
+        controller_area: None,
+    }
+}
+
 /// Computes [`BsbMetrics`] for every block of `bsbs` under `allocation`.
 ///
 /// # Errors
@@ -57,28 +130,15 @@ pub fn compute_metrics(
     allocation: &RMap,
     config: &PaceConfig,
 ) -> Result<Vec<BsbMetrics>, PaceError> {
+    let statics = bsb_statics(bsbs, lib, config)?;
     let counts: FuCounts = allocation.iter().collect();
     let mut out = Vec::with_capacity(bsbs.len());
-    for bsb in bsbs {
-        let sw_time = config.cpu.bsb_time(bsb);
-        let needed = required_resources(bsb, lib)?;
-        let feasible = !bsb.dfg.is_empty() && allocation.covers(&needed);
-        if !feasible {
-            out.push(BsbMetrics {
-                sw_time,
-                hw_time: None,
-                hw_states: None,
-                controller_area: None,
-            });
-            continue;
-        }
-        let sched = list_schedule(&bsb.dfg, lib, &counts)?;
-        let states = sched.length();
-        out.push(BsbMetrics {
-            sw_time,
-            hw_time: Some(Cycles::new(states) * bsb.profile),
-            hw_states: Some(states),
-            controller_area: Some(config.eca.controller_area(states)),
+    for (bsb, stat) in bsbs.iter().zip(&statics) {
+        let feasible = stat.movable && allocation.covers(&stat.needed);
+        out.push(if feasible {
+            feasible_block_metrics(bsb, lib, &counts, stat.sw_time, config)?
+        } else {
+            infeasible_block_metrics(stat.sw_time)
         });
     }
     Ok(out)

@@ -1,0 +1,820 @@
+//! Memoised, parallel allocation-space search.
+//!
+//! The paper's baseline partitions the application for *every*
+//! allocation in the space (§5) — exactly the cost its §4.4 complexity
+//! argument holds against the PACE allocator. [`search_best`] makes
+//! that baseline usable on larger spaces with two observations:
+//!
+//! * **Memoisation** — a BSB's list schedule depends only on the unit
+//!   counts of the kinds its operations use, so per-BSB metrics are
+//!   cached under the allocation's projection onto that kind set
+//!   ([`lycos_core::RMap::project`]). Adjacent odometer steps change
+//!   one dimension, so most blocks hit the cache on most candidates.
+//!   Run communication costs never depend on the allocation at all and
+//!   are memoised across every candidate a worker evaluates
+//!   ([`CommCosts`]), instead of being recomputed per partition call.
+//! * **Parallelism** — the odometer sequence is split into contiguous
+//!   index ranges fanned out over [`std::thread::scope`] workers, each
+//!   with a private cache. Worker results are reduced deterministically
+//!   in range order under the same strict `(time, area)` improvement
+//!   rule the sequential walk uses, so the outcome is bit-identical to
+//!   [`exhaustive_best`] — including `evaluated`, `skipped` and
+//!   truncation behaviour, which are pinned ahead of the sweep by a
+//!   cheap area-only pre-walk.
+
+use crate::dp::partition_from_metrics;
+use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
+use crate::{
+    search_space, space_size, BsbMetrics, CommCosts, PaceConfig, PaceError, Partition, SearchResult,
+};
+use lycos_core::{RMap, Restrictions};
+use lycos_hwlib::{Area, FuId, HwLibrary};
+use lycos_ir::BsbArray;
+use lycos_sched::FuCounts;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Knobs of the allocation-search engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SearchOptions {
+    /// Worker threads for the sweep. `0` = one per available core;
+    /// `1` = sequential (still memoised when `cache` is on).
+    pub threads: usize,
+    /// Cap on the number of *evaluated* allocations, as in
+    /// [`exhaustive_best`](crate::exhaustive_best); `None` exhausts
+    /// the space.
+    pub limit: Option<usize>,
+    /// Whether to memoise per-BSB metrics across candidates. Disabling
+    /// exists for benchmarking the cache itself; results are identical
+    /// either way.
+    pub cache: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            threads: 0,
+            limit: None,
+            cache: true,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Sequential, memoised, unlimited — the reference configuration.
+    pub fn sequential() -> Self {
+        SearchOptions {
+            threads: 1,
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// Telemetry of one search run. Not part of a [`SearchResult`]'s
+/// identity — two results are equal if they found the same answer over
+/// the same space, however long it took.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Worker threads the sweep actually used.
+    pub threads: usize,
+    /// Per-BSB metric lookups answered from the memo cache.
+    pub cache_hits: u64,
+    /// Per-BSB metric lookups that had to list-schedule.
+    pub cache_misses: u64,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Fraction of metric lookups answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memo cache of per-BSB metrics, keyed on the allocation's projection
+/// onto each block's used unit kinds.
+///
+/// Guarantees that [`MetricsCache::metrics`] returns exactly what
+/// [`crate::compute_metrics`] returns for the same allocation — the
+/// cache is a pure evaluation-order optimisation (asserted by property
+/// tests in the exploration crate).
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::RMap;
+/// use lycos_hwlib::HwLibrary;
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+/// use lycos_pace::{compute_metrics, MetricsCache, PaceConfig};
+///
+/// let mut b = DfgBuilder::new();
+/// let m = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m);
+/// let cdfg = Cdfg::new("app", CdfgNode::block("b0", b.finish()));
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let config = PaceConfig::standard();
+/// let mult = lib.fu_for(OpKind::Mul).unwrap();
+/// let alloc: RMap = [(mult, 1)].into_iter().collect();
+///
+/// let mut cache = MetricsCache::new(&bsbs, &lib, &config)?;
+/// let cached = cache.metrics(&alloc)?;
+/// assert_eq!(cached, compute_metrics(&bsbs, &lib, &alloc, &config)?);
+/// let again = cache.metrics(&alloc)?;
+/// assert_eq!(again, cached);
+/// assert!(cache.hits() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MetricsCache<'a> {
+    bsbs: &'a BsbArray,
+    lib: &'a HwLibrary,
+    config: &'a PaceConfig,
+    statics: Vec<BsbStatics>,
+    entries: Vec<HashMap<Vec<u32>, BsbMetrics>>,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> MetricsCache<'a> {
+    /// A cache over `bsbs`, precomputing the allocation-independent
+    /// per-block facts (software times, required resources, kind sets).
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Hw`] if an operation kind has no default unit.
+    pub fn new(
+        bsbs: &'a BsbArray,
+        lib: &'a HwLibrary,
+        config: &'a PaceConfig,
+    ) -> Result<Self, PaceError> {
+        Self::build(bsbs, lib, config, true)
+    }
+
+    /// A pass-through variant that recomputes every lookup — used to
+    /// benchmark the cache against itself.
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Hw`] if an operation kind has no default unit.
+    pub fn disabled(
+        bsbs: &'a BsbArray,
+        lib: &'a HwLibrary,
+        config: &'a PaceConfig,
+    ) -> Result<Self, PaceError> {
+        Self::build(bsbs, lib, config, false)
+    }
+
+    fn build(
+        bsbs: &'a BsbArray,
+        lib: &'a HwLibrary,
+        config: &'a PaceConfig,
+        enabled: bool,
+    ) -> Result<Self, PaceError> {
+        let statics = bsb_statics(bsbs, lib, config)?;
+        Ok(Self::from_statics(bsbs, lib, config, statics, enabled))
+    }
+
+    /// A cache over statics already computed elsewhere — the search
+    /// engine precomputes them once and hands each worker a clone
+    /// instead of re-deriving them per thread.
+    pub(crate) fn from_statics(
+        bsbs: &'a BsbArray,
+        lib: &'a HwLibrary,
+        config: &'a PaceConfig,
+        statics: Vec<BsbStatics>,
+        enabled: bool,
+    ) -> Self {
+        let entries = vec![HashMap::new(); bsbs.len()];
+        MetricsCache {
+            bsbs,
+            lib,
+            config,
+            statics,
+            entries,
+            enabled,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Metrics for every block under `allocation`, served from the
+    /// cache where the projection matches an earlier candidate.
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Sched`] if a block's DFG cannot be scheduled at all.
+    pub fn metrics(&mut self, allocation: &RMap) -> Result<Vec<BsbMetrics>, PaceError> {
+        let mut out = Vec::with_capacity(self.bsbs.len());
+        for (i, (bsb, stat)) in self.bsbs.iter().zip(&self.statics).enumerate() {
+            let feasible = stat.movable && allocation.covers(&stat.needed);
+            if !feasible {
+                out.push(infeasible_block_metrics(stat.sw_time));
+                continue;
+            }
+            let key = allocation.project(&stat.kinds);
+            if self.enabled {
+                if let Some(hit) = self.entries[i].get(&key) {
+                    self.hits += 1;
+                    out.push(hit.clone());
+                    continue;
+                }
+            }
+            self.misses += 1;
+            // Counts restricted to the block's own kinds: the list
+            // scheduler only ever looks those up, so the schedule is
+            // identical to one under the full allocation.
+            let counts: FuCounts = stat
+                .kinds
+                .iter()
+                .zip(&key)
+                .map(|(&fu, &c)| (fu, c))
+                .collect();
+            let m = feasible_block_metrics(bsb, self.lib, &counts, stat.sw_time, self.config)?;
+            if self.enabled {
+                self.entries[i].insert(key, m.clone());
+            }
+            out.push(m);
+        }
+        Ok(out)
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the list scheduler.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Mixed-radix odometer over the allocation space, with incremental
+/// data-path area tracking. Dimension 0 is the least-significant digit,
+/// matching the sequential walk of [`exhaustive_best`]: the point at
+/// index `i` is the `i`-th allocation that walk visits.
+struct Odometer {
+    caps: Vec<u32>,
+    fus: Vec<FuId>,
+    unit_area: Vec<u64>,
+    counts: Vec<u32>,
+    area: u64,
+}
+
+impl Odometer {
+    /// The odometer positioned at `index` (`0 ≤ index < space size`).
+    fn at(dims: &[(FuId, u32)], lib: &HwLibrary, index: u128) -> Odometer {
+        let caps: Vec<u32> = dims.iter().map(|&(_, cap)| cap).collect();
+        let fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
+        let unit_area: Vec<u64> = fus.iter().map(|&fu| lib.area_of(fu).gates()).collect();
+        let mut rest = index;
+        let mut counts = vec![0u32; dims.len()];
+        for (c, &cap) in counts.iter_mut().zip(&caps) {
+            let base = cap as u128 + 1;
+            *c = (rest % base) as u32;
+            rest /= base;
+        }
+        debug_assert_eq!(rest, 0, "index outside the space");
+        let area = counts
+            .iter()
+            .zip(&unit_area)
+            .map(|(&c, &a)| c as u64 * a)
+            .sum();
+        Odometer {
+            caps,
+            fus,
+            unit_area,
+            counts,
+            area,
+        }
+    }
+
+    /// Advances to the next point; `false` once the space is exhausted.
+    fn step(&mut self) -> bool {
+        for pos in 0..self.counts.len() {
+            self.counts[pos] += 1;
+            self.area += self.unit_area[pos];
+            if self.counts[pos] <= self.caps[pos] {
+                return true;
+            }
+            self.area -= self.unit_area[pos] * (self.caps[pos] as u64 + 1);
+            self.counts[pos] = 0;
+        }
+        false
+    }
+
+    /// The current point as a resource map.
+    fn rmap(&self) -> RMap {
+        self.fus
+            .iter()
+            .zip(&self.counts)
+            .map(|(&fu, &c)| (fu, c))
+            .collect()
+    }
+
+    /// Data-path area of the current point, in gate equivalents.
+    fn area_gates(&self) -> u64 {
+        self.area
+    }
+}
+
+/// Pins where a limited search stops, before any partitioning runs.
+///
+/// The sequential walk evaluates the all-software point, then skips
+/// area-infeasible candidates freely and truncates at the first
+/// evaluable candidate past the limit. Walking the odometer with area
+/// tracking alone (no scheduling) finds that exact index, so parallel
+/// workers can cover `[0, bound)` and reproduce `evaluated`, `skipped`
+/// and `truncated` bit-for-bit.
+fn truncation_bound(
+    dims: &[(FuId, u32)],
+    lib: &HwLibrary,
+    total_gates: u64,
+    space: u128,
+    limit: Option<usize>,
+) -> (u128, bool) {
+    let Some(limit) = limit else {
+        return (space, false);
+    };
+    // The all-software point (index 0) is always evaluated, even under
+    // `limit = 0`; truncation strikes the (limit+1)-th evaluable point.
+    let target = limit.max(1) as u128 + 1;
+    let mut odo = Odometer::at(dims, lib, 0);
+    let mut evaluable = 1u128;
+    let mut index = 0u128;
+    loop {
+        if !odo.step() {
+            return (space, false);
+        }
+        index += 1;
+        if odo.area_gates() <= total_gates {
+            evaluable += 1;
+            if evaluable == target {
+                return (index, true);
+            }
+        }
+    }
+}
+
+/// What one worker brings back from its odometer range.
+#[derive(Default)]
+struct WorkerOut {
+    /// Best candidate of the range: allocation, partition, data-path
+    /// gates (the earliest point achieving the range's minimal
+    /// `(time, area)`).
+    best: Option<(RMap, Partition, u64)>,
+    evaluated: usize,
+    skipped: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Evaluates every point of `range`, memoised, single-threaded.
+/// `statics` is a clone of the engine's one-time precompute; the
+/// run-traffic memo is private to the worker and filled on demand.
+#[allow(clippy::too_many_arguments)] // internal seam of search_best
+fn sweep_range(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    config: &PaceConfig,
+    total_gates: u64,
+    dims: &[(FuId, u32)],
+    range: Range<u128>,
+    statics: Vec<BsbStatics>,
+    cache_on: bool,
+) -> Result<WorkerOut, PaceError> {
+    let mut cache = MetricsCache::from_statics(bsbs, lib, config, statics, cache_on);
+    let mut comm = CommCosts::new(bsbs.len());
+    let mut out = WorkerOut::default();
+    if range.is_empty() {
+        return Ok(out);
+    }
+    let mut odo = Odometer::at(dims, lib, range.start);
+    let mut index = range.start;
+    loop {
+        let gates = odo.area_gates();
+        if gates > total_gates {
+            out.skipped += 1;
+        } else {
+            let candidate = odo.rmap();
+            let metrics = cache.metrics(&candidate)?;
+            let p = partition_from_metrics(
+                bsbs,
+                &metrics,
+                &mut comm,
+                Area::new(gates),
+                Area::new(total_gates - gates),
+                config,
+            );
+            out.evaluated += 1;
+            let better = match &out.best {
+                None => true,
+                Some((_, bp, barea)) => {
+                    p.total_time < bp.total_time
+                        || (p.total_time == bp.total_time && gates < *barea)
+                }
+            };
+            if better {
+                out.best = Some((candidate, p, gates));
+            }
+        }
+        index += 1;
+        if index >= range.end {
+            break;
+        }
+        let advanced = odo.step();
+        debug_assert!(advanced, "range ends within the space");
+    }
+    out.hits = cache.hits();
+    out.misses = cache.misses();
+    Ok(out)
+}
+
+/// `bound` points split into at most `threads` contiguous ranges of
+/// near-equal size, in odometer order.
+fn split_ranges(bound: u128, threads: usize) -> Vec<Range<u128>> {
+    let threads = threads.max(1) as u128;
+    let base = bound / threads;
+    let extra = bound % threads;
+    let mut ranges = Vec::new();
+    let mut start = 0u128;
+    for w in 0..threads {
+        let len = base + u128::from(w < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Resolves the worker count: `0` = available parallelism, and never
+/// more workers than points.
+fn effective_threads(requested: usize, bound: u128) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let t = if requested == 0 { hw() } else { requested };
+    t.clamp(1, bound.clamp(1, 1024) as usize)
+}
+
+/// Memoised, optionally parallel exhaustive search — result-identical
+/// to [`exhaustive_best`](crate::exhaustive_best) (same best
+/// allocation and partition, same
+/// `evaluated`/`skipped`/`truncated` accounting), but with per-BSB
+/// schedules cached across candidates and the odometer range fanned
+/// out over scoped worker threads.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation, as the
+/// sequential walk does.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::Restrictions;
+/// use lycos_hwlib::{Area, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+/// use lycos_pace::{exhaustive_best, search_best, PaceConfig, SearchOptions};
+///
+/// let mut b = DfgBuilder::new();
+/// let m = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m);
+/// let m2 = b.binary(OpKind::Mul, "c".into(), "d".into());
+/// b.assign("y", m2);
+/// let cdfg = Cdfg::new(
+///     "hot",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(400),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let restr = Restrictions::from_asap(&bsbs, &lib)?;
+/// let config = PaceConfig::standard();
+/// let area = Area::new(6000);
+///
+/// let fast = search_best(&bsbs, &lib, area, &restr, &config,
+///                        &SearchOptions { threads: 2, ..Default::default() })?;
+/// let slow = exhaustive_best(&bsbs, &lib, area, &restr, &config, None)?;
+/// assert_eq!(fast, slow, "telemetry aside, the results are identical");
+/// assert!(fast.stats.cache_misses > 0);
+/// assert!(fast.eval_rate() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn search_best(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    config: &PaceConfig,
+    options: &SearchOptions,
+) -> Result<SearchResult, PaceError> {
+    let started = Instant::now();
+    let dims = search_space(restrictions);
+    let space = space_size(&dims);
+    let total_gates = total_area.gates();
+    let (bound, truncated) = truncation_bound(&dims, lib, total_gates, space, options.limit);
+    let threads = effective_threads(options.threads, bound);
+    let ranges = split_ranges(bound, threads);
+
+    // One-time precompute shared across the sweep: the per-block
+    // statics (software times, required resources, kind sets). Workers
+    // get clones — small, flat vectors — instead of re-deriving them.
+    // The run-traffic memo stays lazy *per worker* on purpose: eagerly
+    // filling the full O(L²) table costs more than a short or heavily
+    // limited sweep ever spends on traffic, and a worker only pays for
+    // the runs its own candidates make feasible.
+    let statics = bsb_statics(bsbs, lib, config)?;
+
+    let outs: Vec<Result<WorkerOut, PaceError>> = if ranges.len() <= 1 {
+        vec![sweep_range(
+            bsbs,
+            lib,
+            config,
+            total_gates,
+            &dims,
+            0..bound,
+            statics,
+            options.cache,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    let dims = &dims;
+                    let statics = statics.clone();
+                    scope.spawn(move || {
+                        sweep_range(
+                            bsbs,
+                            lib,
+                            config,
+                            total_gates,
+                            dims,
+                            range,
+                            statics,
+                            options.cache,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut best: Option<(RMap, Partition, u64)> = None;
+    let mut evaluated = 0usize;
+    let mut skipped = 0usize;
+    let mut stats = SearchStats {
+        threads: ranges.len().max(1),
+        ..SearchStats::default()
+    };
+    // Merge in range order under the strict (time, area) improvement
+    // rule: ties keep the earlier range, exactly as the sequential
+    // walk keeps the earlier point.
+    for out in outs {
+        let out = out?;
+        evaluated += out.evaluated;
+        skipped += out.skipped;
+        stats.cache_hits += out.hits;
+        stats.cache_misses += out.misses;
+        if let Some((alloc, part, gates)) = out.best {
+            let better = match &best {
+                None => true,
+                Some((_, bp, bgates)) => {
+                    part.total_time < bp.total_time
+                        || (part.total_time == bp.total_time && gates < *bgates)
+                }
+            };
+            if better {
+                best = Some((alloc, part, gates));
+            }
+        }
+    }
+    let (best_allocation, best_partition, _) =
+        best.expect("the all-software point is always evaluated");
+    stats.elapsed = started.elapsed();
+
+    Ok(SearchResult {
+        best_allocation,
+        best_partition,
+        evaluated,
+        skipped,
+        space_size: space,
+        truncated,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive_best;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn app() -> BsbArray {
+        let mk = |i: u32, kind: OpKind, n: usize, profile: u64| {
+            let mut dfg = Dfg::new();
+            for _ in 0..n {
+                dfg.add_op(kind);
+            }
+            Bsb {
+                id: BsbId(i),
+                name: format!("b{i}"),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }
+        };
+        BsbArray::from_bsbs(
+            "t",
+            vec![
+                mk(0, OpKind::Add, 3, 500),
+                mk(1, OpKind::Mul, 2, 500),
+                mk(2, OpKind::Add, 2, 90),
+            ],
+        )
+    }
+
+    fn restr(bsbs: &BsbArray, lib: &HwLibrary) -> Restrictions {
+        Restrictions::from_asap(bsbs, lib).unwrap()
+    }
+
+    #[test]
+    fn odometer_matches_sequential_enumeration() {
+        let bsbs = app();
+        let lib = lib();
+        let dims = search_space(&restr(&bsbs, &lib));
+        let space = space_size(&dims);
+        // Walk by stepping from 0 and by direct decode; both must agree.
+        let mut stepped = Odometer::at(&dims, &lib, 0);
+        for index in 0..space {
+            let decoded = Odometer::at(&dims, &lib, index);
+            assert_eq!(decoded.counts, stepped.counts, "index {index}");
+            assert_eq!(decoded.area, stepped.area, "index {index}");
+            assert_eq!(
+                decoded.rmap().area(&lib).gates(),
+                decoded.area_gates(),
+                "incremental area drifted at {index}"
+            );
+            if index + 1 < space {
+                assert!(stepped.step());
+            }
+        }
+        assert!(!stepped.step(), "space exhausted");
+    }
+
+    #[test]
+    fn sequential_memoised_and_parallel_agree() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        let area = Area::new(8_000);
+        let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, None).unwrap();
+        for threads in [1, 2, 3, 7] {
+            for cache in [true, false] {
+                let opts = SearchOptions {
+                    threads,
+                    limit: None,
+                    cache,
+                };
+                let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
+                assert_eq!(got, seed, "threads={threads} cache={cache}");
+            }
+        }
+    }
+
+    #[test]
+    fn limits_truncate_identically() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        // A tight area forces skips, exercising the skip-aware bound.
+        let area = Area::new(2_500);
+        for limit in [0, 1, 3, 10, 10_000] {
+            let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, Some(limit)).unwrap();
+            for threads in [1, 4] {
+                let opts = SearchOptions {
+                    threads,
+                    limit: Some(limit),
+                    cache: true,
+                };
+                let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
+                assert_eq!(got, seed, "limit={limit} threads={threads}");
+                assert_eq!(got.evaluated, seed.evaluated, "limit={limit}");
+                assert_eq!(got.skipped, seed.skipped, "limit={limit}");
+                assert_eq!(got.truncated, seed.truncated, "limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_dominate_on_full_sweeps() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        let res = search_best(
+            &bsbs,
+            &lib,
+            Area::new(100_000),
+            &restr,
+            &cfg,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        assert!(res.stats.cache_misses > 0);
+        assert!(
+            res.stats.hit_rate() > 0.5,
+            "odometer locality should make most lookups hit (rate {})",
+            res.stats.hit_rate()
+        );
+        assert!(res.stats.threads == 1);
+    }
+
+    #[test]
+    fn empty_restrictions_search_is_all_software() {
+        let bsbs = app();
+        let lib = lib();
+        let res = search_best(
+            &bsbs,
+            &lib,
+            Area::new(10_000),
+            &Restrictions::new(),
+            &PaceConfig::standard(),
+            &SearchOptions::default(),
+        )
+        .unwrap();
+        assert!(res.best_allocation.is_empty());
+        assert_eq!(res.space_size, 1);
+        assert_eq!(res.evaluated, 1);
+    }
+
+    #[test]
+    fn worker_split_covers_the_space_exactly() {
+        for bound in [0u128, 1, 2, 5, 97, 1000] {
+            for threads in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(bound, threads);
+                let total: u128 = ranges.iter().map(|r| r.end - r.start).sum();
+                assert_eq!(total, bound, "bound={bound} threads={threads}");
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_equality_is_ignored() {
+        let a = SearchResult {
+            best_allocation: RMap::new(),
+            best_partition: crate::partition(
+                &app(),
+                &lib(),
+                &RMap::new(),
+                Area::new(1_000),
+                &PaceConfig::standard(),
+            )
+            .unwrap(),
+            evaluated: 1,
+            skipped: 0,
+            space_size: 1,
+            truncated: false,
+            stats: SearchStats::default(),
+        };
+        let mut b = a.clone();
+        b.stats.cache_hits = 99;
+        b.stats.elapsed = Duration::from_secs(5);
+        assert_eq!(a, b, "telemetry must not break result identity");
+    }
+}

@@ -13,7 +13,7 @@ use lycos_apps::BenchmarkApp;
 use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::{extract_bsbs, BsbArray, Cdfg, ProfileOverrides};
-use lycos_pace::{partition, PaceConfig, Partition};
+use lycos_pace::{partition, search_best, PaceConfig, Partition, SearchOptions, SearchResult};
 
 /// Builder for the full LYCOS flow.
 ///
@@ -46,6 +46,7 @@ pub struct Pipeline {
     pace: PaceConfig,
     budget: Area,
     alloc_config: AllocConfig,
+    search: SearchOptions,
     overrides: Option<ProfileOverrides>,
 }
 
@@ -60,6 +61,7 @@ impl Pipeline {
             pace: PaceConfig::standard(),
             budget: Area::new(10_000),
             alloc_config: AllocConfig::default(),
+            search: SearchOptions::default(),
             overrides: None,
         }
     }
@@ -98,6 +100,14 @@ impl Pipeline {
     #[must_use]
     pub fn with_alloc_config(mut self, config: AllocConfig) -> Self {
         self.alloc_config = config;
+        self
+    }
+
+    /// Configures the allocation-space search engine (worker threads,
+    /// evaluation limit, metric cache) used by [`Allocated::search`].
+    #[must_use]
+    pub fn with_search_options(mut self, options: SearchOptions) -> Self {
+        self.search = options;
         self
     }
 
@@ -157,6 +167,7 @@ impl Pipeline {
             library: self.library,
             pace: self.pace,
             budget: self.budget,
+            search: self.search,
             cdfg,
             bsbs,
             restrictions,
@@ -180,6 +191,7 @@ pub struct Allocated {
     library: HwLibrary,
     pace: PaceConfig,
     budget: Area,
+    search: SearchOptions,
     /// The compiled CDFG (kept for inspection and reporting).
     pub cdfg: Cdfg,
     /// The flattened BSB array the allocation was computed over.
@@ -218,6 +230,50 @@ impl Allocated {
     /// [`LycosError::Pace`] from the partitioner.
     pub fn partition(&self) -> Result<Partitioned, LycosError> {
         self.partition_with(self.allocation())
+    }
+
+    /// Sweeps the whole allocation space with the memoised, parallel
+    /// search engine, returning the best allocation the partitioner
+    /// can find — the paper's exhaustive baseline (§5), under the
+    /// options set via [`Pipeline::with_search_options`].
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from partition evaluation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lycos::pace::SearchOptions;
+    /// use lycos::Pipeline;
+    ///
+    /// let allocated = Pipeline::for_app(&lycos::apps::hal())
+    ///     .with_search_options(SearchOptions { threads: 2, ..Default::default() })
+    ///     .allocate()?;
+    /// let best = allocated.search()?;
+    /// let auto = allocated.partition()?;
+    /// assert!(best.best_partition.speedup_pct() >= auto.speedup_pct());
+    /// # Ok::<(), lycos::LycosError>(())
+    /// ```
+    pub fn search(&self) -> Result<SearchResult, LycosError> {
+        self.search_with(&self.search)
+    }
+
+    /// Sweeps the allocation space under explicit search options,
+    /// ignoring the ones stored in the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from partition evaluation.
+    pub fn search_with(&self, options: &SearchOptions) -> Result<SearchResult, LycosError> {
+        Ok(search_best(
+            &self.bsbs,
+            &self.library,
+            self.budget,
+            &self.restrictions,
+            &self.pace,
+            options,
+        )?)
     }
 
     /// Partitions with PACE under an explicit allocation — the seam
@@ -303,6 +359,35 @@ mod tests {
         let sw = allocated.partition_with(&RMap::new()).unwrap();
         assert_eq!(sw.partition.hw_count(), 0);
         assert!(auto.partition.total_time <= sw.partition.total_time);
+    }
+
+    #[test]
+    fn search_stage_honours_the_stored_options() {
+        let allocated = Pipeline::new(HOT_LOOP)
+            .with_budget(Area::new(6_000))
+            .with_search_options(SearchOptions {
+                threads: 1,
+                limit: Some(2),
+                cache: true,
+            })
+            .allocate()
+            .unwrap();
+        let res = allocated.search().unwrap();
+        assert!(res.truncated, "limit 2 must cut the space short");
+        assert!(res.evaluated <= 2);
+        // Explicit options override the stored ones.
+        let full = allocated
+            .search_with(&SearchOptions {
+                threads: 2,
+                limit: None,
+                cache: true,
+            })
+            .unwrap();
+        assert!(!full.truncated);
+        assert_eq!(
+            full.evaluated as u128 + full.skipped as u128,
+            full.space_size
+        );
     }
 
     #[test]

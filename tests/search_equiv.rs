@@ -1,0 +1,145 @@
+//! ISSUE 2 acceptance: the memoised + multi-threaded search engine
+//! returns a [`SearchResult`] identical to the seed sequential walk on
+//! all four bundled benchmarks — best allocation, best partition, and
+//! the `evaluated`/`skipped`/`truncated` accounting.
+//!
+//! `eigen`'s space is the one the paper calls "impossible" to exhaust
+//! (footnote 1); its equivalence runs under an evaluation limit so the
+//! suite stays quick, which also exercises the engine's skip-aware
+//! truncation pre-walk.
+
+use lycos::core::Restrictions;
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{exhaustive_best, search_best, PaceConfig, SearchOptions, SearchResult};
+
+fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
+    let app = lycos::apps::all()
+        .into_iter()
+        .find(|a| a.name == name)
+        .expect("bundled app");
+    let bsbs = app.bsbs();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let area = Area::new(app.area_budget);
+    let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+
+    let seed = exhaustive_best(&bsbs, &lib, area, &restr, &pace, limit).unwrap();
+    let memoised = search_best(
+        &bsbs,
+        &lib,
+        area,
+        &restr,
+        &pace,
+        &SearchOptions {
+            limit,
+            ..SearchOptions::sequential()
+        },
+    )
+    .unwrap();
+    let parallel = search_best(
+        &bsbs,
+        &lib,
+        area,
+        &restr,
+        &pace,
+        &SearchOptions {
+            threads: 4,
+            limit,
+            cache: true,
+        },
+    )
+    .unwrap();
+
+    assert_eq!(memoised, seed, "{name}: memoised != sequential seed");
+    assert_eq!(parallel, seed, "{name}: parallel != sequential seed");
+    // Identity is field-exact, not just PartialEq-close.
+    for engine in [&memoised, &parallel] {
+        assert_eq!(engine.best_allocation, seed.best_allocation, "{name}");
+        assert_eq!(
+            engine.best_partition.in_hw, seed.best_partition.in_hw,
+            "{name}"
+        );
+        assert_eq!(
+            engine.best_partition.total_time, seed.best_partition.total_time,
+            "{name}"
+        );
+        assert_eq!(engine.evaluated, seed.evaluated, "{name}");
+        assert_eq!(engine.skipped, seed.skipped, "{name}");
+        assert_eq!(engine.space_size, seed.space_size, "{name}");
+        assert_eq!(engine.truncated, seed.truncated, "{name}");
+    }
+    (seed, memoised)
+}
+
+#[test]
+fn straight_search_is_engine_invariant() {
+    let (seed, memo) = check_app("straight", None);
+    assert!(!seed.truncated);
+    assert!(memo.stats.hit_rate() > 0.5, "odometer locality");
+}
+
+#[test]
+fn hal_search_is_engine_invariant() {
+    let (seed, _) = check_app("hal", None);
+    assert_eq!(seed.evaluated as u128, seed.space_size);
+}
+
+#[test]
+fn man_search_is_engine_invariant() {
+    let (seed, _) = check_app("man", None);
+    assert!(seed.skipped > 0, "man's tight budget skips allocations");
+}
+
+#[test]
+fn eigen_search_is_engine_invariant_under_limit() {
+    let (seed, _) = check_app("eigen", Some(150));
+    assert!(seed.truncated, "the limit must bite on eigen's space");
+    assert_eq!(seed.evaluated, 150);
+}
+
+/// The ≥2× per-candidate claim of ISSUE 2, on the space that motivated
+/// the engine. The release-mode margin is ~5× (see the `search_cost`
+/// bench); this tripwire asserts 2×. Seed and memoised runs are
+/// *interleaved* and their totals compared, so background load slows
+/// both sides and preserves the ratio. Ignored in the default suite —
+/// a wall-clock assertion does not belong in the functional gate where
+/// sibling tests compete for cores; CI's perf-smoke job runs it
+/// explicitly, in release, with nothing else scheduled:
+/// `cargo test --release --test search_equiv -- --ignored`.
+#[test]
+#[ignore = "perf tripwire: run explicitly in release (CI perf-smoke job)"]
+fn eigen_memoised_engine_is_at_least_twice_as_fast() {
+    let app = lycos::apps::eigen();
+    let bsbs = app.bsbs();
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let area = Area::new(app.area_budget);
+    let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+    let limit = Some(150);
+
+    let mut seed_secs = 0.0f64;
+    let mut memo_secs = 0.0f64;
+    for _ in 0..2 {
+        let seed = exhaustive_best(&bsbs, &lib, area, &restr, &pace, limit).unwrap();
+        seed_secs += seed.stats.elapsed.as_secs_f64();
+        let memo = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &pace,
+            &SearchOptions {
+                limit,
+                ..SearchOptions::sequential()
+            },
+        )
+        .unwrap();
+        memo_secs += memo.stats.elapsed.as_secs_f64();
+        assert_eq!(memo, seed);
+    }
+    let ratio = seed_secs / memo_secs.max(f64::EPSILON);
+    assert!(
+        ratio >= 2.0,
+        "memoised engine only {ratio:.2}x faster than the seed walk on eigen"
+    );
+}
