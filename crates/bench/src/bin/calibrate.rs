@@ -25,6 +25,7 @@ fn main() {
     let options = Table1Options {
         search_limit: Some(60_000),
         threads: 0,
+        cache: true,
     };
 
     for mut app in lycos::apps::all() {

@@ -6,83 +6,79 @@
 //! all cores), and apply the §5 design iteration where the paper did.
 //!
 //! ```text
-//! cargo run --release -p lycos_bench --bin table1 [-- --csv]
+//! cargo run --release -p lycos_bench --bin table1 [-- --csv [--stable]]
 //! ```
 //!
-//! `--csv` emits one machine-readable row per application on stdout
-//! instead of the formatted table — the shape CI archives as an
-//! artifact.
+//! `--csv` emits the canonical machine-readable CSV on stdout — the
+//! shape CI archives as an artifact — through the same
+//! `Pipeline::table1_batch` + `format_table1_csv` seam the allocation
+//! service uses, so the two outputs cannot drift. `--stable` blanks
+//! the `alloc_seconds` column, making the document a pure function of
+//! the search outcome; the CI serve-smoke step diffs service
+//! responses against `--csv --stable` byte for byte.
 
-use lycos::explore::{format_table1, table1_row, Table1Options, Table1Row};
+use lycos::explore::{format_table1, format_table1_csv, Table1Options};
 use lycos::hwlib::HwLibrary;
-use lycos::pace::PaceConfig;
-
-fn csv(rows: &[Table1Row]) -> String {
-    let mut out = String::from(
-        "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
-         size_fraction,hw_fraction,alloc_seconds,evaluated,space_size,truncated\n",
-    );
-    for r in rows {
-        out.push_str(&format!(
-            "{},{},{:.2},{:.2},{},{:.4},{:.4},{:.6},{},{},{}\n",
-            r.name,
-            r.lines,
-            r.heuristic_su,
-            r.best_su,
-            r.iterated_su.map(|s| format!("{s:.2}")).unwrap_or_default(),
-            r.size_fraction,
-            r.hw_fraction,
-            r.alloc_time.as_secs_f64(),
-            r.evaluated,
-            r.space_size,
-            r.truncated,
-        ));
-    }
-    out
-}
+use lycos::Pipeline;
 
 fn main() {
-    let as_csv = std::env::args().any(|a| a == "--csv");
+    let mut as_csv = false;
+    let mut stable = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--csv" => as_csv = true,
+            "--stable" => stable = true,
+            other => {
+                // Mistyped flags must fail loudly: CI diffs this
+                // output byte-for-byte, and a silently-ignored
+                // `--stabel` would surface as a confusing column
+                // mismatch instead of an argument error.
+                eprintln!("table1: unknown argument `{other}` (expected --csv [--stable])");
+                std::process::exit(2);
+            }
+        }
+    }
     let lib = HwLibrary::standard();
-    let pace = PaceConfig::standard();
     let options = Table1Options {
         // eigen's space is large; the paper could not exhaust it either
         // (footnote 1). 200k evaluations is plenty for the spaces the
         // LYC benchmarks span.
         search_limit: Some(200_000),
         threads: 0, // one worker per core
+        cache: true,
     };
 
-    let mut rows = Vec::new();
-    for app in lycos::apps::all() {
+    let apps = lycos::apps::all();
+    for app in &apps {
         eprintln!(
-            "[table1] {}: {} BSBs, budget {} GE, searching…",
+            "[table1] {}: {} BSBs, budget {} GE",
             app.name,
             app.bsbs().len(),
             app.area_budget
         );
-        match table1_row(&app, &lib, &pace, &options) {
-            Ok(row) => {
-                eprintln!(
-                    "[table1] {}: heuristic {} | best {} | space {} ({} evaluated{})",
-                    app.name,
-                    row.heuristic_allocation.display_with(&lib),
-                    row.best_allocation.display_with(&lib),
-                    row.space_size,
-                    row.evaluated,
-                    if row.truncated { ", truncated" } else { "" },
-                );
-                rows.push(row);
-            }
-            Err(e) => {
-                eprintln!("[table1] {} failed: {e}", app.name);
-                std::process::exit(1);
-            }
+    }
+    let pipelines: Vec<Pipeline> = apps.iter().map(Pipeline::for_app).collect();
+    let rows = match Pipeline::table1_batch(&pipelines, &options) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("[table1] failed: {e}");
+            std::process::exit(1);
         }
+    };
+    for row in &rows {
+        eprintln!(
+            "[table1] {}: heuristic {} | best {} | space {} ({} evaluated{})",
+            row.name,
+            row.heuristic_allocation.display_with(&lib),
+            row.best_allocation.display_with(&lib),
+            row.space_size,
+            row.evaluated,
+            if row.truncated { ", truncated" } else { "" },
+        );
     }
 
     if as_csv {
-        print!("{}", csv(&rows));
+        print!("{}", format_table1_csv(&rows, !stable));
         return;
     }
     println!("\nTable 1 — results after partitioning (reproduction)\n");

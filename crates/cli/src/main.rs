@@ -6,17 +6,20 @@
 //! lycos partition <file.lyc> <area>      allocate, then PACE
 //! lycos best     <file.lyc> <area>       exhaustive best allocation
 //! lycos table1                            reproduce Table 1
+//! lycos serve                             run the allocation service
 //! lycos apps                              list bundled benchmarks
 //! ```
 //!
 //! All commands drive the [`lycos::Pipeline`] facade; `best` drops to
-//! the exploration layer for the exhaustive search.
+//! the exploration layer for the exhaustive search, `serve` hands the
+//! parsed knobs to `lycos_serve`.
 
 use lycos::core::{AllocConfig, Restrictions};
-use lycos::explore::{format_table1, table1_row, Table1Options};
+use lycos::explore::{format_table1, Table1Options};
 use lycos::hwlib::{Area, HwLibrary};
 use lycos::pace::SearchOptions;
 use lycos::Pipeline;
+use lycos_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
         Some("best") => cmd_best(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("table1") => cmd_table1(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("apps") => cmd_apps(),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -54,49 +58,135 @@ usage:
   lycos best      <file.lyc> <area>   search the space for the best allocation
   lycos explain   <file.lyc> <area>   step-by-step allocation trace
   lycos table1                        reproduce Table 1 on the bundled apps
+  lycos serve                         run the batch allocation service
   lycos apps                          list the bundled benchmark apps
 
-search knobs (best, table1):
+search knobs (best, table1; request defaults for serve):
   --threads <n>   sweep workers (0 = one per core; default 0)
   --limit <n>     cap on evaluated allocations (0 = unlimited;
-                  best defaults to 200000)
-  --no-cache      disable the per-BSB schedule memo (best only)
+                  best, table1 and serve default to 200000)
+  --no-cache      disable the per-BSB schedule memo
+
+serve knobs:
+  --addr <host:port>   listen address (default 127.0.0.1:7878)
+  --workers <n>        connections served concurrently (default 4)
+  --queue <n>          accepted connections that may wait for a worker
+                       before the server answers `busy` (default 8)
 
 <file.lyc> may also be a bundled app name: straight, hal, man, eigen.
 ";
 
+/// The flags every search-driven command understands.
+const SEARCH_FLAGS: [&str; 3] = ["--threads", "--limit", "--no-cache"];
+
+/// Smallest number of single-character edits turning `a` into `b` —
+/// classic two-row Levenshtein, plenty for flag names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row.push(subst.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag, when it is close enough to be a plausible
+/// typo (distance ≤ 3 — `--threds` → `--threads`).
+fn closest_flag<'a>(unknown: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|&k| (edit_distance(unknown, k), k))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, k)| k)
+}
+
+/// What flag parsing yields: positionals, search options, and the
+/// command-specific `(flag, value)` pairs in order of appearance.
+type ParsedFlags = (Vec<String>, SearchOptions, Vec<(String, String)>);
+
 /// Pulls `--threads N`, `--limit N` and `--no-cache` out of `args`,
-/// returning the remaining positional arguments and the options.
+/// plus any command-specific value flags named in `extra` (for
+/// `serve`: `--addr`, `--workers`, `--queue`). Returns the remaining
+/// positional arguments, the search options, and the `extra` pairs in
+/// order of appearance.
+///
+/// Any other `--` token is rejected with a "did you mean" hint
+/// instead of being passed through as a bogus positional — a typo
+/// like `--threds 4` must fail here, not resurface later as a
+/// confusing missing-file error. `--flag=value` is accepted as a
+/// synonym for `--flag value`.
 fn parse_search_flags(
     args: &[String],
     default_limit: Option<usize>,
-) -> Result<(Vec<String>, SearchOptions), String> {
+    extra: &[&'static str],
+) -> Result<ParsedFlags, String> {
     let mut options = SearchOptions {
         limit: default_limit,
         ..SearchOptions::default()
     };
     let mut rest = Vec::new();
+    let mut extras = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let number = |flag: &str, text: Option<&String>| -> Result<usize, String> {
-            text.ok_or_else(|| format!("{flag} needs a value"))?
-                .parse::<usize>()
-                .map_err(|_| format!("invalid {flag} value"))
+        if !arg.starts_with("--") {
+            rest.push(arg.clone());
+            continue;
+        }
+        // `--flag=value` and `--flag value` are equivalent.
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_owned())),
+            None => (arg.as_str(), None),
         };
-        match arg.as_str() {
-            "--threads" => options.threads = number("--threads", it.next())?,
+        let mut value = |flag: &str| -> Result<String, String> {
+            match &inline_value {
+                Some(v) => Ok(v.clone()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value")),
+            }
+        };
+        let number = |flag: &str, text: String| -> Result<usize, String> {
+            text.parse::<usize>()
+                .map_err(|_| format!("invalid {flag} value `{text}`"))
+        };
+        match flag {
+            "--threads" => options.threads = number("--threads", value("--threads")?)?,
             "--limit" => {
                 // 0 = unlimited, by analogy with `--threads 0`.
-                options.limit = match number("--limit", it.next())? {
+                options.limit = match number("--limit", value("--limit")?)? {
                     0 => None,
                     n => Some(n),
                 };
             }
-            "--no-cache" => options.cache = false,
-            _ => rest.push(arg.clone()),
+            "--no-cache" => {
+                if inline_value.is_some() {
+                    return Err("--no-cache takes no value".to_owned());
+                }
+                options.cache = false;
+            }
+            _ if extra.contains(&flag) => {
+                let v = value(flag)?;
+                extras.push((flag.to_owned(), v));
+            }
+            _ => {
+                let known: Vec<&str> = SEARCH_FLAGS.iter().chain(extra).copied().collect();
+                let hint = match closest_flag(flag, &known) {
+                    Some(suggestion) => format!(" (did you mean `{suggestion}`?)"),
+                    None => String::new(),
+                };
+                return Err(format!("unknown flag `{flag}`{hint}"));
+            }
         }
     }
-    Ok((rest, options))
+    Ok((rest, options, extras))
 }
 
 /// Builds a pipeline over a bundled app name or a `.lyc` file path.
@@ -203,7 +293,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_best(args: &[String]) -> Result<(), String> {
-    let (rest, options) = parse_search_flags(args, Some(200_000))?;
+    let (rest, options, _) = parse_search_flags(args, Some(200_000), &[])?;
     let path = rest.first().ok_or("missing <file.lyc> argument")?;
     let area = parse_area(&rest, 1)?;
     if let Some(extra) = rest.get(2) {
@@ -280,25 +370,57 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_table1(args: &[String]) -> Result<(), String> {
-    let (rest, search) = parse_search_flags(args, Some(200_000))?;
+    let (rest, search, _) = parse_search_flags(args, Some(200_000), &[])?;
     if let Some(extra) = rest.first() {
         return Err(format!("table1 takes no positional argument `{extra}`"));
     }
-    if !search.cache {
-        return Err("--no-cache applies to `best` only; table1 always caches".to_owned());
-    }
-    let lib = HwLibrary::standard();
-    let pace = lycos::pace::PaceConfig::standard();
     let options = Table1Options {
         search_limit: search.limit,
         threads: search.threads,
+        cache: search.cache,
     };
-    let mut rows = Vec::new();
-    for app in lycos::apps::all() {
-        rows.push(table1_row(&app, &lib, &pace, &options).map_err(|e| e.to_string())?);
-    }
+    let pipelines: Vec<Pipeline> = lycos::apps::all().iter().map(Pipeline::for_app).collect();
+    let rows = Pipeline::table1_batch(&pipelines, &options).map_err(|e| e.to_string())?;
     print!("{}", format_table1(&rows));
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (rest, defaults, extras) =
+        parse_search_flags(args, Some(200_000), &["--addr", "--workers", "--queue"])?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("serve takes no positional argument `{extra}`"));
+    }
+    let mut config = ServeConfig {
+        defaults,
+        ..ServeConfig::default()
+    };
+    for (flag, value) in extras {
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--workers" => {
+                config.workers = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid --workers value `{value}`"))?;
+            }
+            "--queue" => {
+                config.queue = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --queue value `{value}`"))?;
+            }
+            _ => unreachable!("extras are limited to the declared flags"),
+        }
+    }
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "lycos serve: listening on {addr} ({} workers, queue {}); send `shutdown` to stop",
+        server.config().workers,
+        server.config().queue,
+    );
+    server.run().map_err(|e| e.to_string())
 }
 
 fn cmd_apps() -> Result<(), String> {
@@ -316,4 +438,133 @@ fn cmd_apps() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_pass_through_untouched() {
+        let (rest, opts, extras) =
+            parse_search_flags(&args(&["hal", "7500"]), Some(200_000), &[]).unwrap();
+        assert_eq!(rest, args(&["hal", "7500"]));
+        assert_eq!(opts.limit, Some(200_000));
+        assert_eq!(opts.threads, 0);
+        assert!(opts.cache);
+        assert!(extras.is_empty());
+    }
+
+    #[test]
+    fn flags_interleave_with_positionals() {
+        let (rest, opts, _) = parse_search_flags(
+            &args(&[
+                "--threads",
+                "4",
+                "hal",
+                "--limit",
+                "50",
+                "7500",
+                "--no-cache",
+            ]),
+            None,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(rest, args(&["hal", "7500"]));
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.limit, Some(50));
+        assert!(!opts.cache);
+    }
+
+    #[test]
+    fn limit_zero_means_unlimited() {
+        let (_, opts, _) =
+            parse_search_flags(&args(&["--limit", "0"]), Some(200_000), &[]).unwrap();
+        assert_eq!(opts.limit, None);
+    }
+
+    #[test]
+    fn equals_form_is_accepted() {
+        let (rest, opts, extras) = parse_search_flags(
+            &args(&["--threads=2", "--limit=7", "--addr=0.0.0.0:9"]),
+            None,
+            &["--addr"],
+        )
+        .unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.limit, Some(7));
+        assert_eq!(extras, vec![("--addr".to_owned(), "0.0.0.0:9".to_owned())]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_a_suggestion() {
+        // The motivating bug: `--threds 4` used to become a bogus
+        // positional and die later as a missing-file error.
+        let err = parse_search_flags(&args(&["--threds", "4"]), None, &[]).unwrap_err();
+        assert!(err.contains("unknown flag `--threds`"), "{err}");
+        assert!(err.contains("did you mean `--threads`?"), "{err}");
+
+        let err = parse_search_flags(&args(&["--cache"]), None, &[]).unwrap_err();
+        assert!(err.contains("did you mean `--no-cache`?"), "{err}");
+
+        // Far-off garbage gets no misleading suggestion.
+        let err = parse_search_flags(&args(&["--frobnicate-now"]), None, &[]).unwrap_err();
+        assert!(err.contains("unknown flag `--frobnicate-now`"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn suggestions_cover_command_specific_flags() {
+        let err = parse_search_flags(&args(&["--adr", "x"]), None, &["--addr"]).unwrap_err();
+        assert!(err.contains("did you mean `--addr`?"), "{err}");
+        // The same flag without the extras declaration is unknown for
+        // other commands — serve knobs don't leak into `best`.
+        let err = parse_search_flags(&args(&["--addr", "x"]), None, &[]).unwrap_err();
+        assert!(err.contains("unknown flag `--addr`"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_malformed_values_error_cleanly() {
+        let err = parse_search_flags(&args(&["--threads"]), None, &[]).unwrap_err();
+        assert_eq!(err, "--threads needs a value");
+        let err = parse_search_flags(&args(&["--limit", "many"]), None, &[]).unwrap_err();
+        assert_eq!(err, "invalid --limit value `many`");
+        let err = parse_search_flags(&args(&["--no-cache=yes"]), None, &[]).unwrap_err();
+        assert_eq!(err, "--no-cache takes no value");
+        let err = parse_search_flags(&args(&["--addr"]), None, &["--addr"]).unwrap_err();
+        assert_eq!(err, "--addr needs a value");
+    }
+
+    #[test]
+    fn extras_preserve_order_and_repeats() {
+        let (_, _, extras) = parse_search_flags(
+            &args(&["--addr", "a:1", "--workers", "2", "--addr", "b:2"]),
+            None,
+            &["--addr", "--workers"],
+        )
+        .unwrap();
+        assert_eq!(
+            extras,
+            vec![
+                ("--addr".to_owned(), "a:1".to_owned()),
+                ("--workers".to_owned(), "2".to_owned()),
+                ("--addr".to_owned(), "b:2".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn edit_distance_grounds_the_suggestions() {
+        assert_eq!(edit_distance("--threds", "--threads"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+        assert_eq!(closest_flag("--thread", &SEARCH_FLAGS), Some("--threads"));
+        assert_eq!(closest_flag("--zzzzzzzzz", &SEARCH_FLAGS), None);
+    }
 }

@@ -50,5 +50,8 @@ pub use optimism::{format_optimism, optimism_report, reduce_only_walk, OptimismP
 pub use random::{random_search, RandomSearchResult};
 pub use sensitivity::{budget_sensitivity, format_sensitivity, SensitivityPoint};
 pub use synthetic::SyntheticSpec;
-pub use table1::{format_table1, table1_row, Table1Options, Table1Row};
+pub use table1::{
+    format_table1, format_table1_csv, table1_csv_row, table1_row, table1_row_for, Table1Options,
+    Table1Row, Table1Subject, TABLE1_CSV_HEADER,
+};
 pub use tradeoff::{format_tradeoff, tradeoff_sweep, TradeoffPoint};

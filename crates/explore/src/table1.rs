@@ -15,9 +15,10 @@
 
 use crate::apply_iteration;
 use crate::flow::{allocate_and_partition, evaluate, search};
-use lycos_apps::BenchmarkApp;
+use lycos_apps::{BenchmarkApp, IterationHint};
 use lycos_core::{AllocConfig, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
+use lycos_ir::BsbArray;
 use lycos_pace::{PaceConfig, PaceError, SearchOptions};
 use std::time::Duration;
 
@@ -79,7 +80,7 @@ impl Table1Row {
 }
 
 /// Options for a Table 1 run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Table1Options {
     /// Cap on exhaustively evaluated allocations (`None` = no cap; the
     /// paper itself could not exhaust `eigen`, footnote 1).
@@ -88,6 +89,19 @@ pub struct Table1Options {
     /// The result is identical at any thread count; only the wall
     /// clock changes.
     pub threads: usize,
+    /// Whether the sweep memoises per-BSB schedules (identical results
+    /// either way; off exists for benchmarking the cache).
+    pub cache: bool,
+}
+
+impl Default for Table1Options {
+    fn default() -> Self {
+        Table1Options {
+            search_limit: None,
+            threads: 0,
+            cache: true,
+        }
+    }
 }
 
 impl Table1Options {
@@ -96,7 +110,39 @@ impl Table1Options {
         SearchOptions {
             threads: self.threads,
             limit: self.search_limit,
-            cache: true,
+            cache: self.cache,
+        }
+    }
+}
+
+/// The application-shaped inputs of one Table 1 row, decoupled from
+/// [`BenchmarkApp`] so ad-hoc sources (a `.lyc` file, an inline
+/// program handed to the allocation service) run the exact same flow
+/// as the bundled benchmarks.
+#[derive(Clone, Debug)]
+pub struct Table1Subject<'a> {
+    /// Application name (Table 1's `Example` column).
+    pub name: &'a str,
+    /// LYC source lines (the `Lines` column).
+    pub lines: usize,
+    /// The compiled leaf BSB array.
+    pub bsbs: &'a BsbArray,
+    /// Total hardware area budget, in gate equivalents.
+    pub budget: Area,
+    /// The §5 design iteration, if one applies.
+    pub iteration: Option<IterationHint>,
+}
+
+impl<'a> Table1Subject<'a> {
+    /// The subject a bundled benchmark defines, over its pre-extracted
+    /// BSB array.
+    pub fn of_app(app: &'a BenchmarkApp, bsbs: &'a BsbArray) -> Self {
+        Table1Subject {
+            name: app.name,
+            lines: app.lines,
+            bsbs,
+            budget: Area::new(app.area_budget),
+            iteration: app.iteration,
         }
     }
 }
@@ -113,12 +159,29 @@ pub fn table1_row(
     options: &Table1Options,
 ) -> Result<Table1Row, PaceError> {
     let bsbs = app.bsbs();
-    let area = Area::new(app.area_budget);
-    let restrictions = Restrictions::from_asap(&bsbs, lib)?;
+    table1_row_for(&Table1Subject::of_app(app, &bsbs), lib, pace, options)
+}
+
+/// Runs the full Table 1 flow for an arbitrary subject — the seam the
+/// bundled-app path above, the `table1` bin and the allocation service
+/// all share.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from allocation or partitioning.
+pub fn table1_row_for(
+    subject: &Table1Subject<'_>,
+    lib: &HwLibrary,
+    pace: &PaceConfig,
+    options: &Table1Options,
+) -> Result<Table1Row, PaceError> {
+    let bsbs = subject.bsbs;
+    let area = subject.budget;
+    let restrictions = Restrictions::from_asap(bsbs, lib)?;
 
     // 1–2. The allocation algorithm (timed) and PACE on its result.
     let flow = allocate_and_partition(
-        &bsbs,
+        bsbs,
         lib,
         area,
         &restrictions,
@@ -129,7 +192,7 @@ pub fn table1_row(
 
     // 3. PACE on every allocation, through the memoised search engine.
     let search = search(
-        &bsbs,
+        bsbs,
         lib,
         area,
         &restrictions,
@@ -138,22 +201,22 @@ pub fn table1_row(
     )?;
 
     // 4. The manual design iteration, when the paper used one.
-    let iterated_su = match app.iteration {
+    let iterated_su = match subject.iteration {
         Some(hint) => {
             let adjusted = apply_iteration(flow.allocation(), hint, lib);
-            Some(evaluate(&bsbs, lib, &adjusted, area, pace)?.speedup_pct())
+            Some(evaluate(bsbs, lib, &adjusted, area, pace)?.speedup_pct())
         }
         None => None,
     };
 
     Ok(Table1Row {
-        name: app.name.to_owned(),
-        lines: app.lines,
+        name: subject.name.to_owned(),
+        lines: subject.lines,
         heuristic_su: heuristic.speedup_pct(),
         best_su: search.best_partition.speedup_pct(),
         iterated_su,
         size_fraction: heuristic.size_fraction(),
-        hw_fraction: heuristic.hw_fraction_static(&bsbs),
+        hw_fraction: heuristic.hw_fraction_static(bsbs),
         alloc_time: flow.alloc_time,
         heuristic_allocation: flow.outcome.allocation,
         best_allocation: search.best_allocation,
@@ -161,6 +224,50 @@ pub fn table1_row(
         space_size: search.space_size,
         truncated: search.truncated,
     })
+}
+
+/// Header of the canonical machine-readable Table 1 CSV (no trailing
+/// newline). Shared by the `table1` bin and the allocation service so
+/// the two outputs cannot drift.
+pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
+     size_fraction,hw_fraction,alloc_seconds,evaluated,space_size,truncated";
+
+/// One canonical CSV row (no trailing newline). With `timing` off the
+/// `alloc_seconds` column is left empty, making the row a pure
+/// function of the search outcome — byte-identical across runs,
+/// machines and transports, which is what the service smoke tests
+/// diff against.
+pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
+    format!(
+        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{}",
+        r.name,
+        r.lines,
+        r.heuristic_su,
+        r.best_su,
+        r.iterated_su.map(|s| format!("{s:.2}")).unwrap_or_default(),
+        r.size_fraction,
+        r.hw_fraction,
+        if timing {
+            format!("{:.6}", r.alloc_time.as_secs_f64())
+        } else {
+            String::new()
+        },
+        r.evaluated,
+        r.space_size,
+        r.truncated,
+    )
+}
+
+/// Renders the complete CSV document: header plus one line per row,
+/// each `\n`-terminated.
+pub fn format_table1_csv(rows: &[Table1Row], timing: bool) -> String {
+    let mut out = String::from(TABLE1_CSV_HEADER);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&table1_csv_row(r, timing));
+        out.push('\n');
+    }
+    out
 }
 
 /// Renders rows in the paper's layout.
@@ -227,6 +334,53 @@ mod tests {
         assert!(row("m", 30.0, 3000.0, Some(2990.0)).iteration_recovers(0.95));
         assert!(!row("m", 30.0, 3000.0, Some(1000.0)).iteration_recovers(0.95));
         assert!(row("s", 100.0, 100.0, None).iteration_recovers(0.95));
+    }
+
+    #[test]
+    fn csv_rows_are_deterministic_without_timing() {
+        let r = row("hal", 2000.0, 2000.0, None);
+        let stable = table1_csv_row(&r, false);
+        assert_eq!(
+            stable,
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,10,false"
+        );
+        // The timing column is the only difference between the modes.
+        let timed = table1_csv_row(&r, true);
+        assert_eq!(
+            timed,
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,10,false"
+        );
+    }
+
+    #[test]
+    fn csv_document_has_header_and_one_line_per_row() {
+        let rows = [
+            row("hal", 2000.0, 2000.0, None),
+            row("man", 30.0, 3000.0, Some(2990.0)),
+        ];
+        let doc = format_table1_csv(&rows, false);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], TABLE1_CSV_HEADER);
+        assert!(lines[2].starts_with("man,100,30.00,3000.00,2990.00,"));
+        assert!(doc.ends_with('\n'));
+        // Column count matches the header in both timing modes.
+        let cols = TABLE1_CSV_HEADER.split(',').count();
+        for r in &rows {
+            assert_eq!(table1_csv_row(r, false).split(',').count(), cols);
+            assert_eq!(table1_csv_row(r, true).split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn subject_of_app_mirrors_the_bundled_fields() {
+        let app = lycos_apps::hal();
+        let bsbs = app.bsbs();
+        let s = Table1Subject::of_app(&app, &bsbs);
+        assert_eq!(s.name, "hal");
+        assert_eq!(s.lines, app.lines);
+        assert_eq!(s.budget, Area::new(app.area_budget));
+        assert_eq!(s.iteration, app.iteration);
     }
 
     #[test]

@@ -43,10 +43,22 @@ pub struct SearchResult {
 impl SearchResult {
     /// Allocations evaluated per wall-clock second — the headline
     /// search-engine telemetry figure.
+    ///
+    /// When the clock reads exactly zero (tiny spaces on fast
+    /// machines, or coarse timers), the rate is the mathematical
+    /// limit rather than a misleading `0.0`: [`f64::INFINITY`] when
+    /// anything was evaluated — a search always evaluates at least
+    /// the all-software point — and `0.0` only for an empty run.
+    /// The rate is therefore strictly positive for every real search,
+    /// however fast it finished.
     pub fn eval_rate(&self) -> f64 {
         let secs = self.stats.elapsed.as_secs_f64();
         if secs == 0.0 {
-            0.0
+            if self.evaluated == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.evaluated as f64 / secs
         }
@@ -328,6 +340,30 @@ mod tests {
         .unwrap();
         assert!(res.truncated);
         assert!(res.evaluated <= 3);
+    }
+
+    #[test]
+    fn eval_rate_is_positive_even_on_a_zero_clock() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let mut res = exhaustive_best(
+            &bsbs,
+            &lib,
+            Area::new(8_000),
+            &restr,
+            &PaceConfig::standard(),
+            None,
+        )
+        .unwrap();
+        // Force the degenerate clock a fast machine can produce.
+        res.stats.elapsed = std::time::Duration::ZERO;
+        assert!(res.evaluated > 0);
+        assert_eq!(res.eval_rate(), f64::INFINITY);
+        assert!(res.eval_rate() > 0.0, "the documented contract");
+        // Only a run that evaluated nothing reports a zero rate.
+        res.evaluated = 0;
+        assert_eq!(res.eval_rate(), 0.0);
     }
 
     #[test]

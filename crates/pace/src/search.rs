@@ -440,6 +440,13 @@ fn sweep_range(
 
 /// `bound` points split into at most `threads` contiguous ranges of
 /// near-equal size, in odometer order.
+///
+/// Invariants (pinned by unit tests across the degenerate corners —
+/// `bound == 0`, `threads > bound`, `bound` at the `u128` limit):
+/// the ranges are non-empty, non-overlapping, contiguous from `0`,
+/// and their lengths sum to exactly `bound`; `bound == 0` yields no
+/// ranges at all. `start + len` never overflows because every prefix
+/// sum of lengths is bounded by `bound` itself.
 fn split_ranges(bound: u128, threads: usize) -> Vec<Range<u128>> {
     let threads = threads.max(1) as u128;
     let base = bound / threads;
@@ -457,8 +464,14 @@ fn split_ranges(bound: u128, threads: usize) -> Vec<Range<u128>> {
     ranges
 }
 
-/// Resolves the worker count: `0` = available parallelism, and never
-/// more workers than points.
+/// Hard cap on sweep workers: beyond this, thread spawn/join overhead
+/// dwarfs any split benefit on every machine this could run on.
+const MAX_THREADS: usize = 1024;
+
+/// Resolves the worker count: `0` = available parallelism, never more
+/// workers than points, and never more than [`MAX_THREADS`]. A
+/// degenerate `bound == 0` still resolves to one worker, so the caller
+/// always gets a well-formed (possibly empty) range split.
 fn effective_threads(requested: usize, bound: u128) -> usize {
     let hw = || {
         std::thread::available_parallelism()
@@ -466,7 +479,7 @@ fn effective_threads(requested: usize, bound: u128) -> usize {
             .unwrap_or(1)
     };
     let t = if requested == 0 { hw() } else { requested };
-    t.clamp(1, bound.clamp(1, 1024) as usize)
+    t.clamp(1, bound.clamp(1, MAX_THREADS as u128) as usize)
 }
 
 /// Memoised, optionally parallel exhaustive search — result-identical
@@ -514,6 +527,8 @@ fn effective_threads(requested: usize, bound: u128) -> usize {
 /// let slow = exhaustive_best(&bsbs, &lib, area, &restr, &config, None)?;
 /// assert_eq!(fast, slow, "telemetry aside, the results are identical");
 /// assert!(fast.stats.cache_misses > 0);
+/// // Never flakes: with at least one evaluation the rate is +∞ when
+/// // the wall clock reads zero (see `SearchResult::eval_rate`).
 /// assert!(fast.eval_rate() > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -530,6 +545,11 @@ pub fn search_best(
     let space = space_size(&dims);
     let total_gates = total_area.gates();
     let (bound, truncated) = truncation_bound(&dims, lib, total_gates, space, options.limit);
+    // The all-software point (index 0) is always inside the bound —
+    // `truncation_bound` returns ≥ 1 even under `limit = 0`, and an
+    // empty dimension list still spans one point — so the reduce below
+    // always sees at least one evaluated candidate.
+    debug_assert!(bound >= 1, "search bound excludes the all-SW point");
     let threads = effective_threads(options.threads, bound);
     let ranges = split_ranges(bound, threads);
 
@@ -791,6 +811,93 @@ mod tests {
                 }
                 assert!(ranges.iter().all(|r| !r.is_empty()));
             }
+        }
+    }
+
+    #[test]
+    fn worker_split_degenerate_corners() {
+        // bound == 0: no ranges — nothing to sweep, nothing overlapping.
+        assert!(split_ranges(0, 1).is_empty());
+        assert!(split_ranges(0, 64).is_empty());
+        // threads == 0 is treated as 1, not a division by zero.
+        assert_eq!(split_ranges(10, 0), vec![0..10]);
+        // More workers than points: one singleton range per point, in
+        // order, never an empty or duplicated range.
+        let ranges = split_ranges(3, 8);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn worker_split_survives_u128_extremes() {
+        // Near-max bounds must neither overflow `start + len` nor lose
+        // or double-count points. (Summing lens stays in u128 because
+        // it telescopes back to `bound`.)
+        for bound in [u128::MAX, u128::MAX - 1, u128::MAX / 2 + 3] {
+            for threads in [1usize, 2, 3, 7, 1024] {
+                let ranges = split_ranges(bound, threads);
+                assert_eq!(ranges.first().map(|r| r.start), Some(0));
+                assert_eq!(ranges.last().map(|r| r.end), Some(bound));
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous, no overlap");
+                }
+                // Lengths differ by at most one across workers.
+                let lens: Vec<u128> = ranges.iter().map(|r| r.end - r.start).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1, "bound={bound} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_points_and_cap() {
+        // Explicit requests clamp to the number of points…
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(1, 3), 1);
+        // …a degenerate empty space still yields one worker…
+        assert_eq!(effective_threads(4, 0), 1);
+        assert_eq!(effective_threads(0, 0), 1);
+        // …huge spaces cap at MAX_THREADS however much is requested…
+        assert_eq!(effective_threads(1_000_000, u128::MAX), MAX_THREADS);
+        // …and `0` resolves to the machine's parallelism, at least 1.
+        let auto = effective_threads(0, u128::MAX);
+        assert!((1..=MAX_THREADS).contains(&auto));
+    }
+
+    #[test]
+    fn truncation_bound_always_covers_the_all_sw_point() {
+        let bsbs = app();
+        let lib = lib();
+        let dims = search_space(&restr(&bsbs, &lib));
+        let space = space_size(&dims);
+        // Even `limit = 0` keeps index 0 (the all-SW baseline) in
+        // range; the bound is never 0.
+        for limit in [Some(0), Some(1), Some(usize::MAX), None] {
+            let (bound, _) = truncation_bound(&dims, &lib, 8_000, space, limit);
+            assert!(bound >= 1, "limit={limit:?}");
+            assert!(bound <= space, "limit={limit:?}");
+        }
+        // An empty dimension list spans exactly the all-SW point.
+        let (bound, truncated) = truncation_bound(&[], &lib, 8_000, 1, Some(0));
+        assert_eq!((bound, truncated), (1, false));
+    }
+
+    #[test]
+    fn limit_zero_and_huge_limits_search_like_the_seed() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        let area = Area::new(8_000);
+        for limit in [Some(0), Some(usize::MAX)] {
+            let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, limit).unwrap();
+            let opts = SearchOptions {
+                threads: 4,
+                limit,
+                cache: true,
+            };
+            let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
+            assert_eq!(got, seed, "limit={limit:?}");
         }
     }
 

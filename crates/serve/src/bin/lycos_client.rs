@@ -1,0 +1,62 @@
+//! Shell client for the allocation service.
+//!
+//! ```text
+//! lycos_client <addr> <request-line>...
+//! ```
+//!
+//! Sends each request line over one connection, in order. `ok` bodies
+//! go to stdout verbatim (so `table1 … format=csv` output can be
+//! diffed against `table1 --csv --stable` directly); `pong`/`bye`
+//! acknowledgements go to stderr. Exits non-zero on `err`, `busy` or
+//! any transport failure. Connection attempts retry for up to ten
+//! seconds, so the server may still be starting when this launches.
+
+use lycos_serve::{Client, Response};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: lycos_client <addr> <request-line>...\n\
+       e.g. lycos_client 127.0.0.1:7878 'table1 apps=straight,hal format=csv'";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((addr, requests)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if requests.is_empty() {
+        eprintln!("lycos_client: no request lines given\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut client = match Client::connect_with_retry(addr, Duration::from_secs(10)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("lycos_client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for line in requests {
+        match client.send_line(line) {
+            Ok(Response::Ok(body)) => {
+                for row in body {
+                    println!("{row}");
+                }
+            }
+            Ok(Response::Pong) => eprintln!("lycos_client: pong"),
+            Ok(Response::Bye) => eprintln!("lycos_client: server shutting down"),
+            Ok(Response::Error(msg)) => {
+                eprintln!("lycos_client: server error: {msg}");
+                return ExitCode::FAILURE;
+            }
+            Ok(Response::Busy(msg)) => {
+                eprintln!("lycos_client: server busy: {msg}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("lycos_client: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

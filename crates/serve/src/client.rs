@@ -1,0 +1,69 @@
+//! A minimal blocking client for the allocation service — the test
+//! harness, the CI smoke step and ad-hoc shell use all drive the
+//! server through this.
+
+use crate::protocol::{read_response, Request, Response};
+use crate::ServeError;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects once.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the server is not reachable.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connects, retrying until `deadline` elapses — for callers that
+    /// race a server still binding its socket (CI starts the two as
+    /// parallel processes).
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect_with_retry(addr: &str, deadline: Duration) -> Result<Client, ServeError> {
+        let started = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if started.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on transport failure or a malformed response.
+    pub fn send(&mut self, request: &Request) -> Result<Response, ServeError> {
+        self.send_line(&request.to_line())
+    }
+
+    /// Sends one raw request line — the seam the `lycos_client` bin
+    /// uses so shell callers can speak the wire format directly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on transport failure or a malformed response.
+    pub fn send_line(&mut self, line: &str) -> Result<Response, ServeError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}

@@ -1,0 +1,566 @@
+//! The newline-delimited wire protocol of the allocation service.
+//!
+//! One request per line, one response per request, in order. A
+//! request is a verb followed by space-separated `key=value` fields
+//! (or bare flags); free-form text — inline LYC sources, error
+//! messages — travels percent-encoded so it can never contain a space
+//! or a newline on the wire.
+//!
+//! ```text
+//! C: table1 app=hal threads=1 limit=400 format=csv
+//! S: ok 2
+//! S: name,lines,heuristic_su_pct,…
+//! S: hal,61,…
+//! C: shutdown
+//! S: bye
+//! ```
+//!
+//! Every type round-trips: [`Request::parse`] inverts
+//! [`Request::to_line`], and [`read_response`] inverts
+//! [`Response::write_to`] — both pinned by unit tests, so client and
+//! server cannot drift.
+
+use crate::ServeError;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Default listen address of `lycos serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Bytes that travel unencoded: everything else becomes `%XX`.
+fn is_safe(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'~' | b'-')
+}
+
+/// Percent-encodes arbitrary text into a single space-free,
+/// newline-free token.
+pub fn encode(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for b in text.bytes() {
+        if is_safe(b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Decodes a token produced by [`encode`].
+///
+/// # Errors
+///
+/// [`ProtocolError::BadEncoding`] on a truncated or non-hex escape,
+/// on invalid UTF-8, or on a byte that should have been escaped.
+pub fn decode(token: &str) -> Result<String, ProtocolError> {
+    let bad = || ProtocolError::BadEncoding(token.to_owned());
+    let mut bytes = Vec::with_capacity(token.len());
+    let mut it = token.bytes();
+    while let Some(b) = it.next() {
+        if b == b'%' {
+            let hi = it.next().ok_or_else(bad)?;
+            let lo = it.next().ok_or_else(bad)?;
+            let hex = |c: u8| (c as char).to_digit(16).ok_or_else(bad);
+            bytes.push((hex(hi)? * 16 + hex(lo)?) as u8);
+        } else if is_safe(b) {
+            bytes.push(b);
+        } else {
+            return Err(bad());
+        }
+    }
+    String::from_utf8(bytes).map_err(|_| bad())
+}
+
+/// A malformed request or response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// The line held no verb at all.
+    Empty,
+    /// The verb is not one of `ping`, `shutdown`, `table1`.
+    UnknownVerb(String),
+    /// A `table1` field key is not recognised.
+    UnknownField(String),
+    /// A field value failed to parse.
+    BadValue {
+        /// The field name.
+        field: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+    },
+    /// A percent-encoded token could not be decoded.
+    BadEncoding(String),
+    /// A response status line is malformed.
+    BadResponse(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty request"),
+            ProtocolError::UnknownVerb(v) => {
+                write!(f, "unknown verb `{v}` (expected ping, shutdown or table1)")
+            }
+            ProtocolError::UnknownField(k) => write!(f, "unknown table1 field `{k}`"),
+            ProtocolError::BadValue { field, value } => {
+                write!(f, "invalid {field} value `{value}`")
+            }
+            ProtocolError::BadEncoding(t) => write!(f, "malformed percent-encoding `{t}`"),
+            ProtocolError::BadResponse(l) => write!(f, "malformed response line `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Output shape of a `table1` request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Format {
+    /// The canonical machine CSV (header + one line per row),
+    /// byte-identical to `table1 --csv --stable`.
+    #[default]
+    Csv,
+    /// The paper-layout text table.
+    Text,
+}
+
+/// Where one job's LYC program comes from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobSource {
+    /// A bundled benchmark, by name (`straight`, `hal`, `man`, `eigen`).
+    App(String),
+    /// An inline LYC source text.
+    Inline(String),
+}
+
+/// One application to push through the Table 1 flow.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Job {
+    /// The program.
+    pub source: JobSource,
+    /// Area budget in gate equivalents; `None` = the app's bundled
+    /// budget, or the pipeline default (10 000 GE) for inline sources.
+    pub budget: Option<u64>,
+}
+
+/// A batch of Table 1 jobs plus per-request search knobs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Table1Request {
+    /// The applications to evaluate, in response order.
+    pub jobs: Vec<Job>,
+    /// Sweep worker threads (`0` = one per core); `None` = server
+    /// default.
+    pub threads: Option<usize>,
+    /// Evaluation cap (`0` = unlimited, as in the CLI); `None` =
+    /// server default.
+    pub limit: Option<usize>,
+    /// Disable the per-BSB schedule memo for this request.
+    pub no_cache: bool,
+    /// Response body shape.
+    pub format: Format,
+    /// Include the measured allocator wall clock in CSV rows
+    /// (off by default, keeping responses byte-deterministic).
+    pub timing: bool,
+}
+
+/// One parsed request line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Health probe; answered with [`Response::Pong`].
+    Ping,
+    /// Graceful shutdown: drain queued work, then stop.
+    Shutdown,
+    /// A Table 1 batch.
+    Table1(Table1Request),
+}
+
+/// Splits a job token into its payload and optional `@budget` suffix.
+fn split_budget(field: &'static str, token: &str) -> Result<(String, Option<u64>), ProtocolError> {
+    match token.rsplit_once('@') {
+        None => Ok((token.to_owned(), None)),
+        Some((payload, budget)) => {
+            let gates = budget.parse::<u64>().map_err(|_| ProtocolError::BadValue {
+                field,
+                value: token.to_owned(),
+            })?;
+            Ok((payload.to_owned(), Some(gates)))
+        }
+    }
+}
+
+impl Request {
+    /// Parses one wire line (already stripped of its newline).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] describing the first malformed token.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or(ProtocolError::Empty)?;
+        match verb {
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "table1" => {
+                let mut req = Table1Request::default();
+                for token in tokens {
+                    let (key, value) = match token.split_once('=') {
+                        Some((k, v)) => (k, v),
+                        None => (token, ""),
+                    };
+                    match key {
+                        "app" => {
+                            let (name, budget) = split_budget("app", value)?;
+                            req.jobs.push(Job {
+                                source: JobSource::App(name),
+                                budget,
+                            });
+                        }
+                        "apps" => {
+                            for name in value.split(',').filter(|n| !n.is_empty()) {
+                                req.jobs.push(Job {
+                                    source: JobSource::App(name.to_owned()),
+                                    budget: None,
+                                });
+                            }
+                        }
+                        "src" => {
+                            let (enc, budget) = split_budget("src", value)?;
+                            req.jobs.push(Job {
+                                source: JobSource::Inline(decode(&enc)?),
+                                budget,
+                            });
+                        }
+                        "threads" => {
+                            req.threads =
+                                Some(value.parse().map_err(|_| ProtocolError::BadValue {
+                                    field: "threads",
+                                    value: value.to_owned(),
+                                })?);
+                        }
+                        "limit" => {
+                            req.limit =
+                                Some(value.parse().map_err(|_| ProtocolError::BadValue {
+                                    field: "limit",
+                                    value: value.to_owned(),
+                                })?);
+                        }
+                        // Bare flags: reject `=value` forms instead of
+                        // silently enabling what `timing=false` tried
+                        // to turn off.
+                        "no-cache" | "timing" => {
+                            if token.contains('=') {
+                                return Err(ProtocolError::BadValue {
+                                    field: if key == "timing" {
+                                        "timing"
+                                    } else {
+                                        "no-cache"
+                                    },
+                                    value: value.to_owned(),
+                                });
+                            }
+                            if key == "timing" {
+                                req.timing = true;
+                            } else {
+                                req.no_cache = true;
+                            }
+                        }
+                        "format" => {
+                            req.format = match value {
+                                "csv" => Format::Csv,
+                                "text" => Format::Text,
+                                _ => {
+                                    return Err(ProtocolError::BadValue {
+                                        field: "format",
+                                        value: value.to_owned(),
+                                    })
+                                }
+                            };
+                        }
+                        _ => return Err(ProtocolError::UnknownField(key.to_owned())),
+                    }
+                }
+                Ok(Request::Table1(req))
+            }
+            other => Err(ProtocolError::UnknownVerb(other.to_owned())),
+        }
+    }
+
+    /// Renders the canonical wire line (no trailing newline).
+    /// [`Request::parse`] inverts this exactly.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => "ping".to_owned(),
+            Request::Shutdown => "shutdown".to_owned(),
+            Request::Table1(req) => {
+                let mut out = String::from("table1");
+                for job in &req.jobs {
+                    let budget = job.budget.map(|b| format!("@{b}")).unwrap_or_default();
+                    match &job.source {
+                        JobSource::App(name) => {
+                            out.push_str(&format!(" app={name}{budget}"));
+                        }
+                        JobSource::Inline(src) => {
+                            out.push_str(&format!(" src={}{budget}", encode(src)));
+                        }
+                    }
+                }
+                if let Some(t) = req.threads {
+                    out.push_str(&format!(" threads={t}"));
+                }
+                if let Some(l) = req.limit {
+                    out.push_str(&format!(" limit={l}"));
+                }
+                if req.no_cache {
+                    out.push_str(" no-cache");
+                }
+                if req.format == Format::Text {
+                    out.push_str(" format=text");
+                }
+                if req.timing {
+                    out.push_str(" timing");
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One response, possibly multi-line on the wire.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// Success: the body lines (`ok <n>` followed by `n` lines).
+    Ok(Vec<String>),
+    /// The request failed; the message travels percent-encoded.
+    Error(String),
+    /// Backpressure: the server's queue is full; retry later.
+    Busy(String),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Shutdown`]; the connection closes after.
+    Bye,
+}
+
+impl Response {
+    /// Writes the wire form, newline-terminated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        match self {
+            Response::Ok(lines) => {
+                writeln!(w, "ok {}", lines.len())?;
+                for line in lines {
+                    debug_assert!(!line.contains('\n'), "body lines are single lines");
+                    writeln!(w, "{line}")?;
+                }
+                Ok(())
+            }
+            Response::Error(msg) => writeln!(w, "err {}", encode(msg)),
+            Response::Busy(msg) => writeln!(w, "busy {}", encode(msg)),
+            Response::Pong => writeln!(w, "pong"),
+            Response::Bye => writeln!(w, "bye"),
+        }
+    }
+}
+
+/// Reads one complete response from `r` — the inverse of
+/// [`Response::write_to`].
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on transport failure or premature EOF,
+/// [`ServeError::Protocol`] on a malformed status line.
+pub fn read_response(r: &mut impl BufRead) -> Result<Response, ServeError> {
+    let status = read_wire_line(r)?;
+    let (kind, rest) = match status.split_once(' ') {
+        Some((k, rest)) => (k, rest),
+        None => (status.as_str(), ""),
+    };
+    match kind {
+        "ok" => {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| ServeError::Protocol(ProtocolError::BadResponse(status.clone())))?;
+            let mut lines = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                lines.push(read_wire_line(r)?);
+            }
+            Ok(Response::Ok(lines))
+        }
+        "err" => Ok(Response::Error(decode(rest).map_err(ServeError::Protocol)?)),
+        "busy" => Ok(Response::Busy(decode(rest).map_err(ServeError::Protocol)?)),
+        "pong" => Ok(Response::Pong),
+        "bye" => Ok(Response::Bye),
+        _ => Err(ServeError::Protocol(ProtocolError::BadResponse(status))),
+    }
+}
+
+/// One `\n`-terminated line, stripped; EOF is an error (responses are
+/// never silently cut short).
+fn read_wire_line(r: &mut impl BufRead) -> Result<String, ServeError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_round_trips_arbitrary_text() {
+        for text in [
+            "",
+            "plain-token_1.2~ok",
+            "app demo;\nloop l times 500 {\n  y = y + u * dx;\n}",
+            "spaces, = signs, @ ats, % percents, 100%",
+            "unicode: λύκος → LYCOS",
+        ] {
+            let enc = encode(text);
+            assert!(!enc.contains(' ') && !enc.contains('\n'), "{enc}");
+            assert_eq!(decode(&enc).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_tokens() {
+        for bad in ["%", "%2", "%GG", "has space", "new\nline", "at@sign"] {
+            assert!(decode(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Shutdown,
+            Request::Table1(Table1Request::default()),
+            Request::Table1(Table1Request {
+                jobs: vec![
+                    Job {
+                        source: JobSource::App("hal".into()),
+                        budget: None,
+                    },
+                    Job {
+                        source: JobSource::App("man".into()),
+                        budget: Some(6_900),
+                    },
+                    Job {
+                        source: JobSource::Inline("app t;\ny = a * b;".into()),
+                        budget: Some(6_000),
+                    },
+                ],
+                threads: Some(2),
+                limit: Some(0),
+                no_cache: true,
+                format: Format::Text,
+                timing: true,
+            }),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        for req in sample_requests() {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one request = one line: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_apps_shorthand() {
+        let req = Request::parse("table1 apps=straight,hal,man,eigen threads=1").unwrap();
+        let Request::Table1(t) = req else {
+            panic!("not a table1 request")
+        };
+        assert_eq!(t.jobs.len(), 4);
+        assert!(t
+            .jobs
+            .iter()
+            .all(|j| matches!(j.source, JobSource::App(_)) && j.budget.is_none()));
+        assert_eq!(t.threads, Some(1));
+        assert_eq!(t.limit, None);
+    }
+
+    #[test]
+    fn parse_reports_the_offending_token() {
+        assert_eq!(Request::parse("  "), Err(ProtocolError::Empty));
+        assert_eq!(
+            Request::parse("frobnicate"),
+            Err(ProtocolError::UnknownVerb("frobnicate".into()))
+        );
+        assert_eq!(
+            Request::parse("table1 app=hal speed=11"),
+            Err(ProtocolError::UnknownField("speed".into()))
+        );
+        assert_eq!(
+            Request::parse("table1 threads=many"),
+            Err(ProtocolError::BadValue {
+                field: "threads",
+                value: "many".into()
+            })
+        );
+        assert_eq!(
+            Request::parse("table1 app=hal@lots"),
+            Err(ProtocolError::BadValue {
+                field: "app",
+                value: "hal@lots".into()
+            })
+        );
+        // Bare flags must not silently swallow a value: `timing=false`
+        // enabling timing would break byte-for-byte diffs downstream.
+        assert_eq!(
+            Request::parse("table1 app=hal timing=false"),
+            Err(ProtocolError::BadValue {
+                field: "timing",
+                value: "false".into()
+            })
+        );
+        assert_eq!(
+            Request::parse("table1 app=hal no-cache=0"),
+            Err(ProtocolError::BadValue {
+                field: "no-cache",
+                value: "0".into()
+            })
+        );
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_form() {
+        let samples = vec![
+            Response::Ok(vec![]),
+            Response::Ok(vec!["a,b,c".into(), "1,2,3".into()]),
+            Response::Error("unknown app `x` (bundled: straight, hal, man, eigen)".into()),
+            Response::Busy("queue full (4 workers busy, queue depth 8)".into()),
+            Response::Pong,
+            Response::Bye,
+        ];
+        for resp in samples {
+            let mut wire = Vec::new();
+            resp.write_to(&mut wire).unwrap();
+            let text = String::from_utf8(wire.clone()).unwrap();
+            assert!(text.ends_with('\n'), "{text:?}");
+            let mut reader = std::io::BufReader::new(&wire[..]);
+            assert_eq!(read_response(&mut reader).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_responses_error_instead_of_hanging() {
+        let mut reader = std::io::BufReader::new(&b"ok 3\nonly-one\n"[..]);
+        assert!(matches!(read_response(&mut reader), Err(ServeError::Io(_))));
+        let mut reader = std::io::BufReader::new(&b"ok lots\n"[..]);
+        assert!(matches!(
+            read_response(&mut reader),
+            Err(ServeError::Protocol(ProtocolError::BadResponse(_)))
+        ));
+    }
+}

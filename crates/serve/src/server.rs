@@ -1,0 +1,366 @@
+//! The allocation server: a bounded pool of worker threads over a
+//! [`TcpListener`], fed by a rendezvous/backlog channel.
+//!
+//! Architecture (the PR 2 fan-out idiom, kept resident):
+//!
+//! * the **acceptor** (the thread that called [`Server::run`]) polls a
+//!   non-blocking listener and hands each accepted connection to the
+//!   pool through a bounded [`mpsc::sync_channel`];
+//! * `workers` **scoped threads** each pull one connection at a time
+//!   and answer its requests in order — every request builds fresh
+//!   [`lycos::Pipeline`] values, so requests share no mutable state;
+//! * when the channel is full the acceptor answers
+//!   [`Response::Busy`] immediately and closes — **backpressure**
+//!   instead of unbounded queueing;
+//! * a `shutdown` request flips one flag: the acceptor stops, the
+//!   channel closes, workers drain what was already queued and join —
+//!   **graceful shutdown** with no request dropped mid-flight.
+
+use crate::protocol::{Format, JobSource, Request, Response, Table1Request, DEFAULT_ADDR};
+use crate::ServeError;
+use lycos::explore::{format_table1, format_table1_csv, Table1Options};
+use lycos::hwlib::Area;
+use lycos::pace::SearchOptions;
+use lycos::Pipeline;
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How often blocked reads and the acceptor poll re-check the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Upper bound on one blocking response write. A peer that stops
+/// reading its responses hits this, fails the connection, and frees
+/// the worker — instead of pinning it (and stalling shutdown) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration of one [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port `0` picks a free port).
+    pub addr: String,
+    /// Worker threads — the number of connections served concurrently.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before
+    /// the server answers `busy` (0 = hand-offs only).
+    pub queue: usize,
+    /// Search knobs applied when a request leaves them unset.
+    pub defaults: SearchOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_owned(),
+            workers: 4,
+            queue: 8,
+            defaults: SearchOptions {
+                threads: 0,
+                // eigen's space cannot be exhausted (paper footnote 1);
+                // the same default cap the CLI and the table1 bin use.
+                limit: Some(200_000),
+                cache: true,
+            },
+        }
+    }
+}
+
+/// A bound listener, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the configured address. The listener is non-blocking so
+    /// the accept loop can watch the shutdown flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] from the socket.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The configuration this server runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains queued
+    /// connections, joins every worker and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a non-transient accept failure. Per-
+    /// connection I/O errors only drop that connection.
+    pub fn run(self) -> Result<(), ServeError> {
+        let Server { listener, config } = self;
+        let workers = config.workers.max(1);
+        let shutdown = AtomicBool::new(false);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue);
+        let rx = Mutex::new(rx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&rx, &config, &shutdown));
+            }
+            loop {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            reject_busy(stream, workers, config.queue);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(e) => {
+                        // Transient per-connection failures (reset
+                        // during accept) are not fatal to the server.
+                        if e.kind() == std::io::ErrorKind::ConnectionAborted
+                            || e.kind() == std::io::ErrorKind::ConnectionReset
+                            || e.kind() == std::io::ErrorKind::Interrupted
+                        {
+                            continue;
+                        }
+                        shutdown.store(true, Ordering::Release);
+                        drop(tx);
+                        return Err(ServeError::Io(e));
+                    }
+                }
+            }
+            // Close the channel: workers finish queued connections,
+            // then their recv() errors and they exit; scope joins.
+            drop(tx);
+            Ok(())
+        })
+    }
+}
+
+/// Pulls connections until the channel closes. Queued connections are
+/// still served after shutdown flips — graceful, not abortive.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, config: &ServeConfig, shutdown: &AtomicBool) {
+    loop {
+        // Holding the lock while blocked in recv() is deliberate: the
+        // channel hands one connection to exactly one worker, and the
+        // others queue on the mutex, which drops the moment a stream
+        // arrives.
+        let stream = match rx.lock().expect("receiver lock poisoned").recv() {
+            Ok(stream) => stream,
+            Err(_) => return,
+        };
+        // A broken connection is the client's problem, not the pool's.
+        let _ = handle_connection(stream, config, shutdown);
+    }
+}
+
+/// Answers `busy` on a connection the pool has no room for.
+fn reject_busy(stream: TcpStream, workers: usize, queue: usize) {
+    // Accepted sockets inherit the listener's non-blocking mode on
+    // some platforms (Windows); normalise, and never block long on a
+    // peer we are rejecting anyway.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut w = BufWriter::new(stream);
+    let msg = format!("queue full ({workers} workers busy, queue depth {queue}); retry later");
+    let _ = Response::Busy(msg).write_to(&mut w);
+    let _ = w.flush();
+}
+
+/// Longest accepted request line, in bytes. Generous for any real
+/// batch (inline sources travel percent-encoded, so this admits
+/// megabyte-scale programs) while bounding what one peer can make the
+/// server buffer.
+const MAX_LINE: usize = 4 << 20;
+
+/// Serves one connection: request lines in, responses out, in order,
+/// until the peer closes, `shutdown`/`bye` ends the session, or the
+/// server starts draining. Malformed framing (overlong line, not
+/// UTF-8) answers one `err` and closes instead of silently dropping.
+fn handle_connection(
+    stream: TcpStream,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // See reject_busy: make the accepted socket's mode explicit
+    // before relying on timeout semantics.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    let mut pending = Vec::new();
+    loop {
+        let line = match next_line(&mut reader, &mut pending, shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = Response::Error(e.to_string()).write_to(&mut writer);
+                let _ = writer.flush();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        // Once the server is draining, stop serving new requests even
+        // on connections that keep streaming — otherwise one chatty
+        // peer could stall shutdown forever.
+        if shutdown.load(Ordering::Acquire) {
+            let _ = Response::Busy("server shutting down".to_owned()).write_to(&mut writer);
+            let _ = writer.flush();
+            return Ok(());
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue; // stray blank lines are forgiven, not answered
+        }
+        let response = respond(line, config, shutdown);
+        response.write_to(&mut writer)?;
+        writer.flush()?;
+        if matches!(response, Response::Bye) {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, buffering partial reads across the
+/// read timeout so a slow sender never corrupts framing. Returns
+/// `None` on EOF, or — once shutdown has flipped — on an idle peer,
+/// so draining workers cannot be pinned forever. A line growing past
+/// [`MAX_LINE`] without a newline is `InvalidData`, bounding what one
+/// peer can make the server hold.
+fn next_line(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    let take = |bytes: Vec<u8>| {
+        String::from_utf8(bytes).map(Some).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "request is not UTF-8")
+        })
+    };
+    loop {
+        if let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=nl).collect();
+            return take(line);
+        }
+        if pending.len() > MAX_LINE {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("request line exceeds {MAX_LINE} bytes"),
+            ));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if pending.is_empty() {
+                    return Ok(None);
+                }
+                // A final line without its newline still counts.
+                return take(std::mem::take(pending));
+            }
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Maps one request line to its response. Never panics: every failure
+/// becomes [`Response::Error`].
+fn respond(line: &str, config: &ServeConfig, shutdown: &AtomicBool) -> Response {
+    match Request::parse(line) {
+        Err(e) => Response::Error(e.to_string()),
+        Ok(Request::Ping) => Response::Pong,
+        Ok(Request::Shutdown) => {
+            shutdown.store(true, Ordering::Release);
+            Response::Bye
+        }
+        Ok(Request::Table1(req)) => run_table1(&req, config),
+    }
+}
+
+/// The bundled benchmarks, compiled once per process: `apps::all()`
+/// runs the frontend over every bundled source, far too costly for a
+/// long-running service's per-request hot path.
+fn bundled_apps() -> &'static [lycos::apps::BenchmarkApp] {
+    static APPS: std::sync::OnceLock<Vec<lycos::apps::BenchmarkApp>> = std::sync::OnceLock::new();
+    APPS.get_or_init(lycos::apps::all)
+}
+
+/// Runs one Table 1 batch through the shared
+/// [`Pipeline::table1_batch`] seam — the same code path as the
+/// `table1` bin, so the service's rows are byte-identical to it.
+fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
+    if req.jobs.is_empty() {
+        return Response::Error(
+            "table1 request names no jobs (add app=<name> or src=<encoded-lyc>)".to_owned(),
+        );
+    }
+    let mut pipelines = Vec::with_capacity(req.jobs.len());
+    for job in &req.jobs {
+        let mut pipeline = match &job.source {
+            JobSource::App(name) => match bundled_apps().iter().find(|a| a.name == *name) {
+                Some(app) => Pipeline::for_app(app),
+                None => {
+                    return Response::Error(format!(
+                        "unknown app `{name}` (bundled: straight, hal, man, eigen)"
+                    ))
+                }
+            },
+            JobSource::Inline(source) => Pipeline::new(source.clone()),
+        };
+        if let Some(gates) = job.budget {
+            pipeline = pipeline.with_budget(Area::new(gates));
+        }
+        pipelines.push(pipeline);
+    }
+    let defaults = &config.defaults;
+    let options = Table1Options {
+        search_limit: match req.limit {
+            Some(0) => None, // 0 = unlimited, as in the CLI
+            Some(n) => Some(n),
+            None => defaults.limit,
+        },
+        threads: req.threads.unwrap_or(defaults.threads),
+        cache: !req.no_cache && defaults.cache,
+    };
+    match Pipeline::table1_batch(&pipelines, &options) {
+        Err(e) => Response::Error(e.to_string()),
+        Ok(rows) => {
+            let body = match req.format {
+                Format::Csv => format_table1_csv(&rows, req.timing),
+                Format::Text => format_table1(&rows),
+            };
+            Response::Ok(body.lines().map(str::to_owned).collect())
+        }
+    }
+}

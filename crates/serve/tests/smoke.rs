@@ -1,0 +1,227 @@
+//! End-to-end smoke tests of the allocation service: concurrent batch
+//! requests must reproduce the sequential `table1 --csv` path
+//! byte-for-byte, backpressure must answer `busy`, and shutdown must
+//! drain gracefully.
+
+use lycos::explore::{format_table1_csv, Table1Options};
+use lycos::pace::SearchOptions;
+use lycos::Pipeline;
+use lycos_serve::{Client, Request, Response, ServeConfig, Server};
+use std::time::Duration;
+
+const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Binds an ephemeral port and runs the server on a plain OS thread,
+/// returning the address and the join handle for the shutdown check.
+fn spawn_server(config: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+#[test]
+fn concurrent_batches_match_the_sequential_csv_byte_for_byte() {
+    // Small spaces + a tight evaluation cap keep this debug-friendly;
+    // the CI smoke step runs the full four-app batch in release mode.
+    let options = Table1Options {
+        search_limit: Some(400),
+        threads: 1,
+        cache: true,
+    };
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 4,
+        queue: 8,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            cache: true,
+        },
+        ..ServeConfig::default()
+    });
+
+    // The sequential reference: the exact seam the `table1` bin uses.
+    let apps = [lycos::apps::straight(), lycos::apps::hal()];
+    let pipelines: Vec<Pipeline> = apps.iter().map(Pipeline::for_app).collect();
+    let rows = Pipeline::table1_batch(&pipelines, &options).expect("sequential batch");
+    let expected = format_table1_csv(&rows, false);
+
+    // ≥4 concurrent batch requests, each on its own connection. The
+    // request relies on the server defaults for threads/limit, so it
+    // also proves the CLI-routed defaults reach the engine.
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+                let request = Request::parse("table1 apps=straight,hal format=csv").expect("parse");
+                match client.send(&request).expect("send") {
+                    Response::Ok(lines) => (i, lines),
+                    other => panic!("client {i}: unexpected response {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for handle in clients {
+        let (i, lines) = handle.join().expect("client thread");
+        let got = lines.join("\n") + "\n";
+        assert_eq!(got, expected, "client {i} drifted from the sequential CSV");
+    }
+
+    // Graceful shutdown: the run() thread returns once asked.
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn per_request_options_and_budgets_are_honoured() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 2,
+        queue: 2,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(50),
+            cache: true,
+        },
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+
+    // An inline source with an explicit budget, overriding the
+    // request defaults; text format exercises the other emitter.
+    let src = lycos_serve::protocol::encode(
+        "app hot;\nloop l times 500 {\n  y = y + u * dx;\n  u = u - 3 * y * dx;\n}",
+    );
+    let line = format!("table1 src={src}@6000 threads=1 limit=400 format=text");
+    match client.send_line(&line).expect("send") {
+        Response::Ok(lines) => {
+            assert!(lines[0].starts_with("Example"), "text header: {lines:?}");
+            assert!(
+                lines.iter().any(|l| l.starts_with("hot")),
+                "row named after the app declaration: {lines:?}"
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Pipelined on the same connection: bad requests answer `err`
+    // without poisoning the session.
+    match client.send_line("table1 app=nosuch").expect("send") {
+        Response::Error(msg) => assert!(msg.contains("unknown app"), "{msg}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+    match client.send_line("table1").expect("send") {
+        Response::Error(msg) => assert!(msg.contains("no jobs"), "{msg}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert_eq!(client.send(&Request::Ping).expect("send"), Response::Pong);
+
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn peers_still_sending_cannot_stall_shutdown() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 2,
+        queue: 2,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(10),
+            cache: true,
+        },
+        ..ServeConfig::default()
+    });
+
+    // A chatty peer on one worker…
+    let mut chatty = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    assert_eq!(chatty.send(&Request::Ping).expect("send"), Response::Pong);
+    // …while another connection asks for shutdown.
+    let mut killer = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    assert_eq!(
+        killer.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+
+    // The chatty peer keeps sending; the server must answer `busy
+    // server shutting down` or close the connection within a bounded
+    // time instead of serving it forever.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "a streaming peer kept the draining server alive"
+        );
+        match chatty.send(&Request::Ping) {
+            // Requests in flight before the flag propagated may still
+            // be answered; keep pushing.
+            Ok(Response::Pong) => std::thread::sleep(Duration::from_millis(10)),
+            Ok(Response::Busy(msg)) => {
+                assert!(msg.contains("shutting down"), "{msg}");
+                break;
+            }
+            Err(_) => break, // connection closed: also fine
+            Ok(other) => panic!("unexpected response {other:?}"),
+        }
+    }
+    // And run() itself returns — the scope joined every worker.
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn full_pool_answers_busy_instead_of_queueing() {
+    // One worker, zero queue slots: the second connection must be
+    // rejected with backpressure status while the first is parked on
+    // the only worker.
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 1,
+        queue: 0,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(10),
+            cache: true,
+        },
+        ..ServeConfig::default()
+    });
+
+    // Occupy the worker: after the pong the worker is parked in this
+    // connection's read loop, not back in the pool. With a zero-depth
+    // queue the hand-off is a pure rendezvous, so the very first
+    // connection can race the worker thread reaching its recv() and
+    // bounce with `busy` — retry until the worker has us.
+    let mut holder = loop {
+        let mut candidate = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+        match candidate.send(&Request::Ping).expect("send") {
+            Response::Pong => break candidate,
+            Response::Busy(_) => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+
+    let mut second = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    match second.send(&Request::Ping) {
+        Ok(Response::Busy(msg)) => {
+            assert!(msg.contains("queue full"), "{msg}");
+            assert!(msg.contains("1 workers"), "{msg}");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    assert_eq!(
+        holder.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}

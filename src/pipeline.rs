@@ -9,8 +9,9 @@
 //! restriction tables and configs by hand.
 
 use crate::LycosError;
-use lycos_apps::BenchmarkApp;
+use lycos_apps::{BenchmarkApp, IterationHint};
 use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
+use lycos_explore::{table1_row_for, Table1Options, Table1Row, Table1Subject};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::{extract_bsbs, BsbArray, Cdfg, ProfileOverrides};
 use lycos_pace::{partition, search_best, PaceConfig, Partition, SearchOptions, SearchResult};
@@ -48,6 +49,9 @@ pub struct Pipeline {
     alloc_config: AllocConfig,
     search: SearchOptions,
     overrides: Option<ProfileOverrides>,
+    // §5 design iteration carried by bundled apps; drives the
+    // `iterated_su` column of a Table 1 row.
+    iteration: Option<IterationHint>,
 }
 
 impl Pipeline {
@@ -63,14 +67,17 @@ impl Pipeline {
             alloc_config: AllocConfig::default(),
             search: SearchOptions::default(),
             overrides: None,
+            iteration: None,
         }
     }
 
     /// A pipeline over a bundled benchmark, at its Table 1 budget.
-    /// Reuses the app's already-compiled CDFG.
+    /// Reuses the app's already-compiled CDFG and carries its §5
+    /// design-iteration hint.
     pub fn for_app(app: &BenchmarkApp) -> Self {
         let mut p = Pipeline::new(app.source).with_budget(Area::new(app.area_budget));
         p.precompiled = Some(app.cdfg.clone());
+        p.iteration = app.iteration;
         p
     }
 
@@ -117,6 +124,59 @@ impl Pipeline {
     pub fn with_profile_overrides(mut self, overrides: ProfileOverrides) -> Self {
         self.overrides = Some(overrides);
         self
+    }
+
+    /// Attaches a §5 design-iteration hint, reported as the
+    /// `iterated_su` column by [`Pipeline::table1_row`]. Bundled apps
+    /// carry theirs automatically via [`Pipeline::for_app`].
+    #[must_use]
+    pub fn with_iteration(mut self, hint: IterationHint) -> Self {
+        self.iteration = Some(hint);
+        self
+    }
+
+    /// Runs the complete §5 Table 1 flow for this pipeline — heuristic
+    /// allocation (timed), PACE on its result, exhaustive best via the
+    /// memoised search engine, the design iteration if one is attached
+    /// — under the pipeline's library, PACE configuration and budget.
+    ///
+    /// This is the single entry point behind the `table1` bin, the
+    /// `lycos table1` command and the allocation service, so their
+    /// rows cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error as [`LycosError`].
+    pub fn table1_row(&self, options: &Table1Options) -> Result<Table1Row, LycosError> {
+        let compiled = self.compile()?;
+        let subject = Table1Subject {
+            name: compiled.cdfg.name(),
+            lines: lycos_frontend::line_count(&self.source),
+            bsbs: &compiled.bsbs,
+            budget: self.budget,
+            iteration: self.iteration,
+        };
+        Ok(table1_row_for(
+            &subject,
+            &self.library,
+            &self.pace,
+            options,
+        )?)
+    }
+
+    /// Runs [`Pipeline::table1_row`] over a batch of pipelines under
+    /// one set of options, in order — the batch seam the allocation
+    /// service and the `table1` bin share.
+    ///
+    /// # Errors
+    ///
+    /// The first failing row's [`LycosError`]; earlier rows' work is
+    /// discarded.
+    pub fn table1_batch(
+        pipelines: &[Pipeline],
+        options: &Table1Options,
+    ) -> Result<Vec<Table1Row>, LycosError> {
+        pipelines.iter().map(|p| p.table1_row(options)).collect()
     }
 
     /// Runs the frontend only: parse + lower + flatten (or reuse the
@@ -405,6 +465,45 @@ mod tests {
             .compile()
             .unwrap();
         assert_eq!(c.bsbs[0].profile, 50);
+    }
+
+    #[test]
+    fn table1_row_matches_the_explore_path() {
+        let app = lycos_apps::hal();
+        let options = Table1Options {
+            search_limit: Some(500),
+            threads: 1,
+            cache: true,
+        };
+        let via_pipeline = Pipeline::for_app(&app).table1_row(&options).unwrap();
+        let direct = lycos_explore::table1_row(
+            &app,
+            &HwLibrary::standard(),
+            &PaceConfig::standard(),
+            &options,
+        )
+        .unwrap();
+        // Identical up to the (nondeterministic) allocator wall clock.
+        assert_eq!(
+            lycos_explore::table1_csv_row(&via_pipeline, false),
+            lycos_explore::table1_csv_row(&direct, false),
+        );
+        assert!(via_pipeline.iterated_su.is_none());
+    }
+
+    #[test]
+    fn table1_batch_keeps_row_order() {
+        let apps = [lycos_apps::straight(), lycos_apps::hal()];
+        let pipelines: Vec<Pipeline> = apps.iter().map(Pipeline::for_app).collect();
+        let options = Table1Options {
+            search_limit: Some(200),
+            threads: 1,
+            cache: true,
+        };
+        let rows = Pipeline::table1_batch(&pipelines, &options).unwrap();
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["straight", "hal"]);
+        assert_eq!(rows[0].lines, apps[0].lines);
     }
 
     #[test]
