@@ -26,6 +26,7 @@ fn main() {
         search_limit: Some(60_000),
         threads: 0,
         cache: true,
+        dp_threads: 1,
     };
 
     for mut app in lycos::apps::all() {

@@ -46,6 +46,7 @@ fn main() {
         search_limit: Some(200_000),
         threads: 0, // one worker per core
         cache: true,
+        dp_threads: 1, // candidate-level fan-out already saturates
     };
 
     let apps = lycos::apps::all();

@@ -62,10 +62,14 @@ usage:
   lycos apps                          list the bundled benchmark apps
 
 search knobs (best, table1; request defaults for serve):
-  --threads <n>   sweep workers (0 = one per core; default 0)
-  --limit <n>     cap on evaluated allocations (0 = unlimited;
-                  best, table1 and serve default to 200000)
-  --no-cache      disable the per-BSB schedule memo
+  --threads <n>     sweep workers (0 = one per core; default 0)
+  --limit <n>       cap on evaluated allocations (0 = unlimited;
+                    best, table1 and serve default to 200000)
+  --no-cache        disable the per-BSB schedule memo
+  --dp-threads <n>  workers inside one PACE DP evaluation (1 =
+                    sequential, the default; 0 = one per core);
+                    identical results, meant for large single
+                    evaluations rather than saturated sweeps
 
 serve knobs:
   --addr <host:port>   listen address (default 127.0.0.1:7878)
@@ -77,7 +81,7 @@ serve knobs:
 ";
 
 /// The flags every search-driven command understands.
-const SEARCH_FLAGS: [&str; 3] = ["--threads", "--limit", "--no-cache"];
+const SEARCH_FLAGS: [&str; 4] = ["--threads", "--limit", "--no-cache", "--dp-threads"];
 
 /// Smallest number of single-character edits turning `a` into `b` —
 /// classic two-row Levenshtein, plenty for flag names.
@@ -159,6 +163,9 @@ fn parse_search_flags(
         };
         match flag {
             "--threads" => options.threads = number("--threads", value("--threads")?)?,
+            "--dp-threads" => {
+                options.dp_threads = number("--dp-threads", value("--dp-threads")?)?;
+            }
             "--limit" => {
                 // 0 = unlimited, by analogy with `--threads 0`.
                 options.limit = match number("--limit", value("--limit")?)? {
@@ -378,6 +385,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         search_limit: search.limit,
         threads: search.threads,
         cache: search.cache,
+        dp_threads: search.dp_threads,
     };
     let pipelines: Vec<Pipeline> = lycos::apps::all().iter().map(Pipeline::for_app).collect();
     let rows = Pipeline::table1_batch(&pipelines, &options).map_err(|e| e.to_string())?;
@@ -456,7 +464,22 @@ mod tests {
         assert_eq!(opts.limit, Some(200_000));
         assert_eq!(opts.threads, 0);
         assert!(opts.cache);
+        assert_eq!(opts.dp_threads, 1, "intra-candidate split is opt-in");
         assert!(extras.is_empty());
+    }
+
+    #[test]
+    fn dp_threads_flag_parses_like_threads() {
+        let (rest, opts, _) =
+            parse_search_flags(&args(&["--dp-threads", "3", "hal"]), None, &[]).unwrap();
+        assert_eq!(rest, args(&["hal"]));
+        assert_eq!(opts.dp_threads, 3);
+        let (_, opts, _) = parse_search_flags(&args(&["--dp-threads=0"]), None, &[]).unwrap();
+        assert_eq!(opts.dp_threads, 0, "0 = one per core");
+        let err = parse_search_flags(&args(&["--dp-threads", "many"]), None, &[]).unwrap_err();
+        assert_eq!(err, "invalid --dp-threads value `many`");
+        let err = parse_search_flags(&args(&["--dp-treads", "2"]), None, &[]).unwrap_err();
+        assert!(err.contains("did you mean `--dp-threads`?"), "{err}");
     }
 
     #[test]

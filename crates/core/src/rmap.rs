@@ -148,7 +148,20 @@ impl RMap {
     /// allocations with equal projections yield identical per-BSB
     /// metrics.
     pub fn project(&self, kinds: &[FuId]) -> Vec<u32> {
-        kinds.iter().map(|&fu| self.count(fu)).collect()
+        let mut out = Vec::with_capacity(kinds.len());
+        self.project_into(kinds, &mut out);
+        out
+    }
+
+    /// [`RMap::project`] into a caller-owned buffer, clearing it first.
+    ///
+    /// The allocation-search engine probes its memo once per block per
+    /// candidate; projecting into a reused scratch buffer lets it probe
+    /// by slice and allocate a key only when an entry is actually
+    /// inserted.
+    pub fn project_into(&self, kinds: &[FuId], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(kinds.iter().map(|&fu| self.count(fu)));
     }
 
     /// Total data-path area of the mapped units.

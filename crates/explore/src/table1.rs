@@ -92,6 +92,10 @@ pub struct Table1Options {
     /// Whether the sweep memoises per-BSB schedules (identical results
     /// either way; off exists for benchmarking the cache).
     pub cache: bool,
+    /// Worker threads *inside* one PACE DP evaluation (`1` =
+    /// sequential, `0` = one per core). Identical results at any
+    /// setting; see `SearchOptions::dp_threads` for when it pays off.
+    pub dp_threads: usize,
 }
 
 impl Default for Table1Options {
@@ -100,6 +104,7 @@ impl Default for Table1Options {
             search_limit: None,
             threads: 0,
             cache: true,
+            dp_threads: 1,
         }
     }
 }
@@ -111,6 +116,7 @@ impl Table1Options {
             threads: self.threads,
             limit: self.search_limit,
             cache: self.cache,
+            dp_threads: self.dp_threads,
         }
     }
 }

@@ -1,0 +1,100 @@
+//! Property: the reusable DP workspace is invisible.
+//!
+//! For any sequence of synthetic applications and any allocations
+//! drawn within (and slightly beyond) their ASAP restriction caps, a
+//! [`DpScratch`] threaded through every evaluation — across *different*
+//! applications, budgets and level counts, exactly as a search worker
+//! reuses it — must produce partitions identical to a fresh
+//! [`partition`] call, and so must the intra-candidate `dp_threads`
+//! row split at any worker count.
+
+use lycos_core::{RMap, Restrictions};
+use lycos_explore::SyntheticSpec;
+use lycos_hwlib::{Area, HwLibrary};
+use lycos_ir::OpKind;
+use lycos_pace::{partition, partition_with_scratch, DpScratch, PaceConfig};
+use proptest::prelude::*;
+
+fn spec(blocks: usize, max_ops: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        blocks,
+        ops_per_block: (1, max_ops),
+        edge_density: 0.2,
+        max_profile: 2_000,
+        kinds: vec![
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Const,
+            OpKind::Lt,
+        ],
+    }
+}
+
+/// Allocations to probe: scaled variants of the restriction caps, so
+/// the sequence crosses feasibility boundaries block by block.
+fn probe_allocations(restr: &Restrictions, picks: &[u8]) -> Vec<RMap> {
+    let dims: Vec<_> = restr.iter().collect();
+    let mut out = vec![RMap::new()];
+    for &pick in picks {
+        let alloc: RMap = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(fu, cap))| {
+                let c = (pick as u32 + i as u32 * 7) % (cap + 2);
+                (fu, c)
+            })
+            .collect();
+        out.push(alloc);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One scratch across a random sequence of apps/budgets equals a
+    /// fresh partition per call — sequentially and with the row split.
+    #[test]
+    fn reused_scratch_matches_fresh_partitions(
+        seed in 0u64..512,
+        blocks in 1usize..9,
+        max_ops in 1usize..10,
+        picks in prop::collection::vec(any::<u8>(), 1..8),
+        // Up to ~9.4k controller levels: wide enough that some draws
+        // genuinely engage the dp_threads row split (≥4k cells per
+        // worker), tight enough that others prune hard.
+        extras in prop::collection::vec(0u64..150_000, 2..5),
+    ) {
+        let lib = HwLibrary::standard();
+        let config = PaceConfig::standard();
+        let mut scratch = DpScratch::new();
+        let mut split = DpScratch::with_dp_threads(3);
+
+        // Two different applications share the same workspaces, in
+        // alternation — the reuse pattern a long-lived search worker
+        // (or the allocation service) exhibits.
+        let apps = [
+            spec(blocks, max_ops).generate(seed),
+            spec(blocks.max(2) - 1, max_ops).generate(seed ^ 0x9E37_79B9),
+        ];
+        for app in &apps {
+            let restr = Restrictions::from_asap(app, &lib).unwrap();
+            for alloc in probe_allocations(&restr, &picks) {
+                let datapath = alloc.area(&lib).gates();
+                for &extra in &extras {
+                    let total = Area::new(datapath + extra);
+                    let fresh = partition(app, &lib, &alloc, total, &config).unwrap();
+                    let reused =
+                        partition_with_scratch(app, &lib, &alloc, total, &config, &mut scratch)
+                            .unwrap();
+                    prop_assert_eq!(&reused, &fresh, "scratch reuse diverged (+{} GE)", extra);
+                    let par =
+                        partition_with_scratch(app, &lib, &alloc, total, &config, &mut split)
+                            .unwrap();
+                    prop_assert_eq!(&par, &fresh, "dp_threads split diverged (+{} GE)", extra);
+                }
+            }
+        }
+    }
+}

@@ -117,6 +117,11 @@ pub fn run_traffic(bsbs: &BsbArray, j: usize, k: usize) -> RunTraffic {
 /// allocation-space search instead of being recomputed per partition
 /// call. Entries are filled on first use; a full table over `eigen`'s
 /// 46 blocks is ~2k words, so the memo is kept dense.
+///
+/// The DP queries each run once while building its tables and copies
+/// the cost into them — the backtrack reads the run table, never this
+/// memo, and runs the controller budget can never admit are not
+/// queried at all (see `crate::DpScratch`).
 #[derive(Clone, Debug)]
 pub struct CommCosts {
     n: usize,

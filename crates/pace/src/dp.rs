@@ -12,6 +12,40 @@
 //! Controller areas are the realistic, list-schedule-based figures from
 //! [`crate::compute_metrics`], so a partition produced here reflects
 //! what the synthesised system would actually cost (§5.1).
+//!
+//! # The allocation-free hot path
+//!
+//! An allocation-space sweep runs this DP millions of times, so the
+//! core is built around a reusable [`DpScratch`] workspace instead of
+//! per-call heap tables:
+//!
+//! * **Scratch reuse** — the run tables are flat structure-of-arrays
+//!   slabs (`run_off[j] .. run_off[j] + run_len[j]` indexes the runs
+//!   starting at block `j`) and the `dp`/`choice` grids are flat
+//!   vectors, all owned by the [`DpScratch`] a caller threads through
+//!   repeated evaluations. After warm-up, evaluating a candidate
+//!   allocates nothing: buffers are cleared and refilled in place.
+//! * **Monotone pruning** — a run's controller quanta only grow as the
+//!   run extends (`ctl_sum` is a sum of non-negative areas), so the
+//!   per-cell scan over runs ending at block `i-1` can *stop* at the
+//!   first run that exceeds the remaining area budget `a`, instead of
+//!   skipping it and scanning on. For the same reason, runs whose
+//!   quanta exceed the total level count are never materialised at
+//!   all: the table for start `j` is truncated at the first such run,
+//!   which also bounds the scan from the feasibility side.
+//! * **Intra-candidate parallelism** — within one row `i`, the cells
+//!   `dp[i][a]` for different area levels `a` are independent (they
+//!   read only rows `< i`), so the row can be split across scoped
+//!   worker threads ([`DpScratch::with_dp_threads`]). Rows stay
+//!   sequential. Results are bit-identical at any worker count; the
+//!   mode is opt-in because it only pays off when `levels` is large
+//!   and the caller is not already saturating the machine with
+//!   candidate-level parallelism (see `SearchOptions::dp_threads`).
+//!
+//! The pre-optimisation implementation is retained as
+//! [`reference_partition_from_metrics`] (hidden from docs): the
+//! equivalence tests pin the new core against it, and the perf
+//! harness uses it as the measured baseline.
 
 use crate::metrics::BsbMetrics;
 use crate::{compute_metrics, CommCosts, PaceConfig, PaceError};
@@ -82,8 +116,343 @@ impl Partition {
     }
 }
 
+/// Sentinel for an unreachable DP cell, far from `u64` overflow even
+/// after a saturating add of any real cost.
+const INF: u64 = u64::MAX / 4;
+
+/// Minimum DP cells one intra-candidate worker must own before the row
+/// split engages. The workers are spawned and joined *per row* (the
+/// mutable row slice changes every iteration, so the scope cannot
+/// outlive it), and a spawn/join cycle costs tens of microseconds — a
+/// worker's chunk must be big enough that its scan dwarfs that, or the
+/// split makes the evaluation strictly slower. At ~4k cells a chunk
+/// costs on the order of 100 µs of scan work; smaller rows run
+/// sequentially whatever `dp_threads` says (the result is identical
+/// either way).
+const DP_PAR_MIN_CELLS: usize = 4096;
+
+/// Reusable workspace of the PACE dynamic program.
+///
+/// Owns the flat run tables and the `dp`/`choice` grids so that
+/// repeated evaluations — one per candidate of an allocation-space
+/// sweep — perform no steady-state heap allocation: buffers are
+/// cleared and refilled in place, and capacity ratchets up to the
+/// largest problem seen. A scratch is freely reusable across
+/// *different* applications and budgets; every evaluation resizes its
+/// views first (pinned by property tests in the exploration crate).
+///
+/// Construct with [`DpScratch::new`] (sequential) or
+/// [`DpScratch::with_dp_threads`] (opt-in intra-candidate row
+/// parallelism), then thread `&mut` through
+/// [`partition_with_scratch`] or [`partition_from_metrics`].
+#[derive(Clone, Debug)]
+pub struct DpScratch {
+    /// Intra-candidate workers: `1` = sequential, `0` = one per core.
+    dp_threads: usize,
+    /// Per-block hardware feasibility under the current metrics.
+    feasible: Vec<bool>,
+    /// `run_off[j]` = first flat index of the runs starting at `j`.
+    run_off: Vec<usize>,
+    /// Number of materialised runs starting at `j` (truncated at the
+    /// first infeasible block *or* the first run over the level
+    /// budget).
+    run_len: Vec<usize>,
+    /// Run execution time (hardware + boundary communication).
+    run_time: Vec<u64>,
+    /// Run controller quanta (`ceil(Σ ctl / quantum)`), nondecreasing
+    /// along each `j` slab.
+    run_quanta: Vec<usize>,
+    /// Exact run controller area, for the backtrack's accounting.
+    run_ctl: Vec<u64>,
+    /// Run boundary bus cost, so the backtrack reads the table instead
+    /// of re-querying the [`CommCosts`] memo.
+    run_comm: Vec<u64>,
+    /// `dp[i * (levels+1) + a]`: min time for blocks `0..i` within `a`
+    /// quanta.
+    dp: Vec<u64>,
+    /// `0` = block `i-1` in software; `j` = hardware run `j-1..=i-1`
+    /// (1-based start).
+    choice: Vec<u32>,
+    /// Problem shape of the last [`DpScratch::evaluate`] call.
+    l: usize,
+    levels: usize,
+}
+
+impl Default for DpScratch {
+    fn default() -> Self {
+        DpScratch::new()
+    }
+}
+
+impl DpScratch {
+    /// An empty sequential workspace.
+    pub fn new() -> Self {
+        Self::with_dp_threads(1)
+    }
+
+    /// A workspace whose evaluations split each DP row across
+    /// `dp_threads` scoped workers (`0` = one per available core,
+    /// `1` = sequential). Results are identical at any setting; rows
+    /// too small to give each worker ~4k cells stay sequential, since
+    /// the per-row spawn/join would otherwise outweigh the scan.
+    pub fn with_dp_threads(dp_threads: usize) -> Self {
+        DpScratch {
+            dp_threads,
+            feasible: Vec::new(),
+            run_off: Vec::new(),
+            run_len: Vec::new(),
+            run_time: Vec::new(),
+            run_quanta: Vec::new(),
+            run_ctl: Vec::new(),
+            run_comm: Vec::new(),
+            dp: Vec::new(),
+            choice: Vec::new(),
+            l: 0,
+            levels: 0,
+        }
+    }
+
+    /// The configured intra-candidate worker count.
+    pub fn dp_threads(&self) -> usize {
+        self.dp_threads
+    }
+
+    /// Reconfigures the intra-candidate worker count in place, keeping
+    /// the warmed buffers.
+    pub fn set_dp_threads(&mut self, dp_threads: usize) {
+        self.dp_threads = dp_threads;
+    }
+
+    /// Workers the next row split would actually use for `width` cells.
+    fn effective_dp_workers(&self, width: usize) -> usize {
+        let requested = if self.dp_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.dp_threads
+        };
+        requested.clamp(1, (width / DP_PAR_MIN_CELLS).max(1))
+    }
+
+    /// Runs the forward DP over `metrics`, filling the run tables and
+    /// the `dp`/`choice` grids in place, and returns the hybrid total
+    /// time at the full controller budget — everything a sweep needs
+    /// to rank a candidate. Call [`DpScratch::backtrack`] afterwards
+    /// to materialise the winning [`Partition`].
+    pub(crate) fn evaluate(
+        &mut self,
+        bsbs: &BsbArray,
+        metrics: &[BsbMetrics],
+        comm: &mut CommCosts,
+        ctl_budget: Area,
+        config: &PaceConfig,
+    ) -> u64 {
+        let l = bsbs.len();
+        debug_assert_eq!(metrics.len(), l, "one metrics entry per block");
+        let q = config.quantum;
+        let levels = (ctl_budget.gates() / q) as usize;
+        self.l = l;
+        self.levels = levels;
+
+        // Per-run cost tables, flat SoA. The slab for start j covers
+        // runs j..=i for growing i; it stops at the first infeasible
+        // block, and at the first run whose quanta exceed `levels` —
+        // ctl_sum only grows, so no longer run could ever fit either.
+        self.feasible.clear();
+        self.feasible
+            .extend(metrics.iter().map(|m| m.hw_feasible()));
+        self.run_off.clear();
+        self.run_len.clear();
+        self.run_time.clear();
+        self.run_quanta.clear();
+        self.run_ctl.clear();
+        self.run_comm.clear();
+        for j in 0..l {
+            self.run_off.push(self.run_time.len());
+            let mut hw_sum = 0u64;
+            let mut ctl_sum = 0u64;
+            let mut len = 0usize;
+            for (i, m) in metrics.iter().enumerate().take(l).skip(j) {
+                if !self.feasible[i] {
+                    break;
+                }
+                hw_sum += m.hw_time.expect("feasible").count();
+                ctl_sum += m.controller_area.expect("feasible").gates();
+                let quanta = ctl_sum.div_ceil(q) as usize;
+                if quanta > levels {
+                    break; // over budget now and for every longer run
+                }
+                let c = comm.cost(bsbs, &config.comm, j, i);
+                self.run_time.push(hw_sum + c);
+                self.run_quanta.push(quanta);
+                self.run_ctl.push(ctl_sum);
+                self.run_comm.push(c);
+                len += 1;
+            }
+            self.run_len.push(len);
+        }
+
+        // dp/choice grids. Only row 0 needs initialising: every cell of
+        // rows 1..=l is written before it is read, so stale values from
+        // the previous evaluation are harmless and the resize is a
+        // no-op whenever the shape already fits.
+        let width = levels + 1;
+        let need = (l + 1) * width;
+        self.dp.resize(need, INF);
+        self.choice.resize(need, 0);
+        self.dp[..width].fill(0);
+
+        let workers = self.effective_dp_workers(width);
+        let run_off: &[usize] = &self.run_off;
+        let run_len: &[usize] = &self.run_len;
+        let run_time: &[u64] = &self.run_time;
+        let run_quanta: &[usize] = &self.run_quanta;
+        let dp = &mut self.dp;
+        let choice = &mut self.choice;
+        for i in 1..=l {
+            let sw_prev = metrics[i - 1].sw_time.count();
+            let (done, rest) = dp.split_at_mut(i * width);
+            let dp_row = &mut rest[..width];
+            let choice_row = &mut choice[i * width..(i + 1) * width];
+            if workers <= 1 {
+                dp_row_cells(
+                    i, width, 0, done, dp_row, choice_row, sw_prev, run_off, run_len, run_time,
+                    run_quanta,
+                );
+            } else {
+                // Cells of one row only read rows < i (`done`), so
+                // contiguous chunks of the area axis are independent.
+                let chunk = width.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (w, (dp_chunk, choice_chunk)) in dp_row
+                        .chunks_mut(chunk)
+                        .zip(choice_row.chunks_mut(chunk))
+                        .enumerate()
+                    {
+                        let done = &*done;
+                        scope.spawn(move || {
+                            dp_row_cells(
+                                i,
+                                width,
+                                w * chunk,
+                                done,
+                                dp_chunk,
+                                choice_chunk,
+                                sw_prev,
+                                run_off,
+                                run_len,
+                                run_time,
+                                run_quanta,
+                            );
+                        });
+                    }
+                });
+            }
+        }
+        self.dp[l * width + levels]
+    }
+
+    /// Materialises the [`Partition`] chosen by the last
+    /// [`DpScratch::evaluate`] call. Reads the run tables for the
+    /// per-run communication and controller figures — the
+    /// [`CommCosts`] memo is never re-queried.
+    pub(crate) fn backtrack(&self, metrics: &[BsbMetrics], datapath_area: Area) -> Partition {
+        let l = self.l;
+        let levels = self.levels;
+        let width = levels + 1;
+        let all_sw_time: Cycles = metrics.iter().map(|m| m.sw_time).sum();
+
+        let mut in_hw = vec![false; l];
+        let mut runs = Vec::new();
+        let mut comm_time = 0u64;
+        let mut controller_area = 0u64;
+        let mut i = l;
+        let mut a = levels;
+        while i > 0 {
+            let pick = self.choice[i * width + a];
+            if pick == 0 {
+                i -= 1;
+            } else {
+                let j = pick as usize; // 1-based start
+                let e = self.run_off[j - 1] + (i - j);
+                for b in in_hw.iter_mut().take(i).skip(j - 1) {
+                    *b = true;
+                }
+                runs.push(j - 1..i);
+                comm_time += self.run_comm[e];
+                controller_area += self.run_ctl[e];
+                a -= self.run_quanta[e];
+                i = j - 1;
+            }
+        }
+        runs.reverse();
+
+        Partition {
+            in_hw,
+            total_time: Cycles::new(self.dp[l * width + levels]),
+            all_sw_time,
+            comm_time: Cycles::new(comm_time),
+            controller_area: Area::new(controller_area),
+            datapath_area,
+            runs,
+        }
+    }
+}
+
+/// Computes the cells `a0 .. a0 + dp_row.len()` of DP row `i`.
+///
+/// The run scan walks start positions `j` from `i` down to `1`, i.e.
+/// runs ending at block `i-1` from shortest to longest. Both stopping
+/// conditions are monotone in run length — a truncated table stays
+/// truncated, and `run_quanta` is nondecreasing along a slab — so the
+/// scan `break`s where the pre-optimisation core `continue`d.
+#[allow(clippy::too_many_arguments)] // internal kernel of DpScratch::evaluate
+fn dp_row_cells(
+    i: usize,
+    width: usize,
+    a0: usize,
+    done: &[u64],
+    dp_row: &mut [u64],
+    choice_row: &mut [u32],
+    sw_prev: u64,
+    run_off: &[usize],
+    run_len: &[usize],
+    run_time: &[u64],
+    run_quanta: &[usize],
+) {
+    for (k, (cell, pick_cell)) in dp_row.iter_mut().zip(choice_row).enumerate() {
+        let a = a0 + k;
+        let mut best = done[(i - 1) * width + a].saturating_add(sw_prev);
+        let mut pick = 0u32;
+        for j in (1..=i).rev() {
+            let idx = i - j; // offset into the slab of start j-1
+            if run_len[j - 1] <= idx {
+                break; // infeasible or over-budget block inside the run
+            }
+            let e = run_off[j - 1] + idx;
+            let quanta = run_quanta[e];
+            if quanta > a {
+                break; // monotone: every longer run needs more quanta
+            }
+            let t = done[(j - 1) * width + (a - quanta)].saturating_add(run_time[e]);
+            if t < best {
+                best = t;
+                pick = j as u32;
+            }
+        }
+        *cell = best;
+        *pick_cell = pick;
+    }
+}
+
 /// Runs PACE: partitions `bsbs` for the data path `allocation` within
 /// `total_area` of hardware.
+///
+/// One-shot convenience over [`partition_with_scratch`]: a fresh
+/// workspace is built per call. Hot loops — anything evaluating many
+/// allocations — should hold a [`DpScratch`] (and a [`CommCosts`])
+/// and use the reusable seams instead.
 ///
 /// # Errors
 ///
@@ -131,6 +500,25 @@ pub fn partition(
     total_area: Area,
     config: &PaceConfig,
 ) -> Result<Partition, PaceError> {
+    let mut scratch = DpScratch::new();
+    partition_with_scratch(bsbs, lib, allocation, total_area, config, &mut scratch)
+}
+
+/// [`partition`] reusing a caller-owned [`DpScratch`] — identical
+/// results, no steady-state DP allocations across calls. The scratch
+/// may have served any other application or budget before.
+///
+/// # Errors
+///
+/// Same conditions as [`partition`].
+pub fn partition_with_scratch(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    config: &PaceConfig,
+    scratch: &mut DpScratch,
+) -> Result<Partition, PaceError> {
     let datapath_area = allocation.area(lib);
     let ctl_budget = total_area
         .checked_sub(datapath_area)
@@ -145,6 +533,7 @@ pub fn partition(
         bsbs,
         &metrics,
         &mut comm,
+        scratch,
         datapath_area,
         ctl_budget,
         config,
@@ -153,9 +542,34 @@ pub fn partition(
 
 /// The PACE dynamic program over precomputed per-block metrics — the
 /// seam the allocation-search engine drives: metrics come from its
-/// memo cache and `comm` is shared across every candidate (run traffic
-/// never depends on the allocation).
-pub(crate) fn partition_from_metrics(
+/// memo cache ([`crate::MetricsCache`]), `comm` is shared across every
+/// candidate (run traffic never depends on the allocation), and
+/// `scratch` carries the DP tables from evaluation to evaluation.
+///
+/// `metrics` must hold one entry per block of `bsbs`, e.g. from
+/// [`crate::compute_metrics`].
+#[allow(clippy::too_many_arguments)] // the documented hot-path seam
+pub fn partition_from_metrics(
+    bsbs: &BsbArray,
+    metrics: &[BsbMetrics],
+    comm: &mut CommCosts,
+    scratch: &mut DpScratch,
+    datapath_area: Area,
+    ctl_budget: Area,
+    config: &PaceConfig,
+) -> Partition {
+    scratch.evaluate(bsbs, metrics, comm, ctl_budget, config);
+    scratch.backtrack(metrics, datapath_area)
+}
+
+/// The pre-optimisation (PR 3) DP core, kept verbatim: fresh nested
+/// `Vec` run tables per call, a `continue`-based run scan, and a
+/// backtrack that re-queries the [`CommCosts`] memo. Not part of the
+/// public API — it exists so equivalence tests can pin the optimised
+/// core against the exact seed behaviour, and so the perf harness has
+/// a real baseline to measure against.
+#[doc(hidden)]
+pub fn reference_partition_from_metrics(
     bsbs: &BsbArray,
     metrics: &[BsbMetrics],
     comm: &mut CommCosts,
@@ -181,9 +595,6 @@ pub(crate) fn partition_from_metrics(
     let q = config.quantum;
     let levels = (ctl_budget.gates() / q) as usize;
 
-    // Per-run cost tables. run[j][i] covers blocks j..=i (only feasible
-    // prefixes are materialised).
-    // quanta(j,i) = ceil(Σ ctl / q); time(j,i) = Σ hw + comm.
     let feasible: Vec<bool> = metrics.iter().map(|m| m.hw_feasible()).collect();
     let mut run_time = vec![Vec::<u64>::new(); l];
     let mut run_quanta = vec![Vec::<usize>::new(); l];
@@ -204,9 +615,6 @@ pub(crate) fn partition_from_metrics(
         }
     }
 
-    // dp[i][a]: min time for blocks 0..i with ≤ a quanta of controller.
-    // choice: 0 = block i-1 in software; j+1 = hardware run j..=i-1.
-    const INF: u64 = u64::MAX / 4;
     let width = levels + 1;
     let mut dp = vec![INF; (l + 1) * width];
     let mut choice = vec![0u32; (l + 1) * width];
@@ -215,9 +623,8 @@ pub(crate) fn partition_from_metrics(
         for a in 0..=levels {
             let mut best = dp[(i - 1) * width + a].saturating_add(metrics[i - 1].sw_time.count());
             let mut pick = 0u32;
-            // Runs ending at block i-1, starting at j-1 (1-based j).
             for j in (1..=i).rev() {
-                let idx = i - j; // offset into run_*[j-1]
+                let idx = i - j;
                 if run_time[j - 1].len() <= idx {
                     break; // infeasible block inside the run
                 }
@@ -236,7 +643,6 @@ pub(crate) fn partition_from_metrics(
         }
     }
 
-    // Backtrack from (l, levels).
     let mut in_hw = vec![false; l];
     let mut runs = Vec::new();
     let mut comm_time = 0u64;
@@ -315,6 +721,29 @@ mod tests {
             .iter()
             .map(|&(op, c)| (lib.fu_for(op).unwrap(), c))
             .collect()
+    }
+
+    /// The seed behaviour, end to end: fresh metrics and comm table per
+    /// call, through the retained reference DP core.
+    fn reference_partition(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        allocation: &RMap,
+        total_area: Area,
+        config: &PaceConfig,
+    ) -> Partition {
+        let datapath_area = allocation.area(lib);
+        let ctl_budget = total_area.checked_sub(datapath_area).expect("fits");
+        let metrics = compute_metrics(bsbs, lib, allocation, config).unwrap();
+        let mut comm = CommCosts::new(bsbs.len());
+        reference_partition_from_metrics(
+            bsbs,
+            &metrics,
+            &mut comm,
+            datapath_area,
+            ctl_budget,
+            config,
+        )
     }
 
     #[test]
@@ -565,5 +994,214 @@ mod tests {
             .unwrap();
             assert!(p.total_time <= p.all_sw_time, "budget +{extra}");
         }
+    }
+
+    /// A mix of shapes the reuse/pruning/parallel tests sweep over:
+    /// feasible and infeasible blocks, chained traffic, hot and cold
+    /// profiles.
+    fn zoo() -> Vec<(BsbArray, RMap)> {
+        vec![
+            (
+                BsbArray::from_bsbs("one", vec![bsb_full(0, OpKind::Add, 4, 1000, &[], &[])]),
+                alloc_of(&[(OpKind::Add, 4)]),
+            ),
+            (
+                BsbArray::from_bsbs(
+                    "chain",
+                    vec![
+                        bsb_full(0, OpKind::Add, 3, 500, &["a"], &["x"]),
+                        bsb_full(1, OpKind::Mul, 2, 700, &["x"], &["y"]),
+                        bsb_full(2, OpKind::Add, 2, 90, &["y"], &["z"]),
+                        bsb_full(3, OpKind::Div, 1, 40, &["z"], &["w"]),
+                    ],
+                ),
+                alloc_of(&[(OpKind::Add, 3), (OpKind::Mul, 1)]),
+            ),
+            (
+                BsbArray::from_bsbs(
+                    "wide",
+                    (0..9)
+                        .map(|i| {
+                            bsb_full(
+                                i,
+                                OpKind::Add,
+                                1 + (i as usize % 3),
+                                10 * (i as u64 + 1),
+                                &[],
+                                &[],
+                            )
+                        })
+                        .collect(),
+                ),
+                alloc_of(&[(OpKind::Add, 3)]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn new_core_matches_the_reference_everywhere() {
+        // The optimised core (scratch reuse, truncated tables, break
+        // scan) against the retained seed core, across shapes and
+        // budgets — including budgets tight enough that most runs are
+        // never materialised.
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let mut scratch = DpScratch::new();
+        for (bsbs, alloc) in zoo() {
+            let dp_gates = alloc.area(&lib).gates();
+            for extra in [0u64, 16, 100, 300, 1_000, 10_000] {
+                let total = Area::new(dp_gates + extra);
+                let seed = reference_partition(&bsbs, &lib, &alloc, total, &cfg);
+                let new =
+                    partition_with_scratch(&bsbs, &lib, &alloc, total, &cfg, &mut scratch).unwrap();
+                assert_eq!(new, seed, "{} +{extra}", bsbs.app_name());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_across_apps_and_budgets() {
+        // One scratch, interleaved across applications of different
+        // sizes and budgets of different level counts: identical to a
+        // fresh partition every time.
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let mut scratch = DpScratch::new();
+        for round in 0..3 {
+            for (bsbs, alloc) in zoo() {
+                let total = Area::new(alloc.area(&lib).gates() + 400 * (round + 1));
+                let fresh = partition(&bsbs, &lib, &alloc, total, &cfg).unwrap();
+                let reused =
+                    partition_with_scratch(&bsbs, &lib, &alloc, total, &cfg, &mut scratch).unwrap();
+                assert_eq!(reused, fresh, "{} round {round}", bsbs.app_name());
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_break_matches_the_continue_scan_on_a_quanta_plateau() {
+        // A giant quantum makes every run of 1..=6 blocks cost exactly
+        // one quantum — a plateau where the old scan `continue`d over
+        // equal values and the new scan must keep scanning too (it may
+        // only break on *strictly* greater quanta). A wrong `>=` break
+        // would miss the longer, communication-free runs.
+        let bsbs = BsbArray::from_bsbs(
+            "plateau",
+            vec![
+                bsb_full(0, OpKind::Add, 2, 400, &["in"], &["a"]),
+                bsb_full(1, OpKind::Add, 2, 400, &["a"], &["b"]),
+                bsb_full(2, OpKind::Add, 2, 400, &["b"], &["c"]),
+                bsb_full(3, OpKind::Add, 2, 400, &["c"], &["d"]),
+                bsb_full(4, OpKind::Add, 2, 400, &["d"], &["e"]),
+                bsb_full(5, OpKind::Add, 2, 400, &["e"], &["out"]),
+            ],
+        );
+        let lib = lib();
+        let alloc = alloc_of(&[(OpKind::Add, 2)]);
+        let cfg = PaceConfig {
+            quantum: 4_096, // ECA(1..6 controllers) all round up to 1 quantum
+            ..PaceConfig::standard()
+        };
+        let dp_gates = alloc.area(&lib).gates();
+        let mut scratch = DpScratch::new();
+        for extra_quanta in [1u64, 2, 3] {
+            let total = Area::new(dp_gates + extra_quanta * cfg.quantum);
+            let metrics = compute_metrics(&bsbs, &lib, &alloc, &cfg).unwrap();
+            let ctl = total.checked_sub(alloc.area(&lib)).unwrap();
+            let mut comm_ref = CommCosts::new(bsbs.len());
+            let seed = reference_partition_from_metrics(
+                &bsbs,
+                &metrics,
+                &mut comm_ref,
+                alloc.area(&lib),
+                ctl,
+                &cfg,
+            );
+            let mut comm_new = CommCosts::new(bsbs.len());
+            let new = partition_from_metrics(
+                &bsbs,
+                &metrics,
+                &mut comm_new,
+                &mut scratch,
+                alloc.area(&lib),
+                ctl,
+                &cfg,
+            );
+            assert_eq!(new, seed, "+{extra_quanta} quanta");
+            // The plateau really is exercised: one quantum admits the
+            // full six-block run, whose intra-run traffic is free.
+            if extra_quanta == 1 {
+                assert_eq!(new.runs, vec![0..6], "whole chain in one run");
+                assert_eq!(new.comm_time, seed.comm_time);
+            }
+        }
+    }
+
+    #[test]
+    fn over_budget_runs_are_never_materialised() {
+        // Six hot blocks but room for three controllers: the run slabs
+        // must stop at the first run over the level budget instead of
+        // materialising all O(L²) entries.
+        let blocks: Vec<Bsb> = (0..6)
+            .map(|i| bsb_full(i, OpKind::Add, 4, 1000, &[], &[]))
+            .collect();
+        let bsbs = BsbArray::from_bsbs("t", blocks);
+        let lib = lib();
+        let alloc = alloc_of(&[(OpKind::Add, 4)]);
+        let cfg = PaceConfig::standard();
+        let metrics = compute_metrics(&bsbs, &lib, &alloc, &cfg).unwrap();
+        let ctl = Area::new(18 * cfg.quantum); // three 6-quanta controllers
+        let mut comm = CommCosts::new(bsbs.len());
+        let mut scratch = DpScratch::new();
+        let time = scratch.evaluate(&bsbs, &metrics, &mut comm, ctl, &cfg);
+        assert!(time < u64::MAX / 8);
+        // Every slab holds at most 3 runs (4+ controllers > 18 quanta),
+        // and the result still matches the reference.
+        assert!(
+            scratch.run_len.iter().all(|&n| n <= 3),
+            "{:?}",
+            scratch.run_len
+        );
+        let new = scratch.backtrack(&metrics, alloc.area(&lib));
+        let mut comm_ref = CommCosts::new(bsbs.len());
+        let seed = reference_partition_from_metrics(
+            &bsbs,
+            &metrics,
+            &mut comm_ref,
+            alloc.area(&lib),
+            ctl,
+            &cfg,
+        );
+        assert_eq!(new, seed);
+        assert_eq!(new.hw_count(), 3);
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_on_wide_budgets() {
+        // Budgets wide enough (thousands of levels, so each worker's
+        // chunk clears DP_PAR_MIN_CELLS) that the row split actually
+        // engages, across several worker counts including the auto
+        // setting.
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        for (bsbs, alloc) in zoo() {
+            let total = Area::new(alloc.area(&lib).gates() + 140_000); // 8750 levels
+            let fresh = partition(&bsbs, &lib, &alloc, total, &cfg).unwrap();
+            for dp_threads in [0usize, 2, 5] {
+                let mut scratch = DpScratch::with_dp_threads(dp_threads);
+                let par =
+                    partition_with_scratch(&bsbs, &lib, &alloc, total, &cfg, &mut scratch).unwrap();
+                assert_eq!(par, fresh, "{} dp_threads={dp_threads}", bsbs.app_name());
+            }
+        }
+        // The split genuinely engages for multi-worker settings on a
+        // row wide enough to feed them, and genuinely does not on rows
+        // where a chunk could not amortise its per-row spawn.
+        let s = DpScratch::with_dp_threads(4);
+        assert_eq!(s.effective_dp_workers(4 * DP_PAR_MIN_CELLS), 4);
+        assert_eq!(s.effective_dp_workers(8_751), 2);
+        assert_eq!(s.effective_dp_workers(2_501), 1);
+        assert_eq!(s.effective_dp_workers(63), 1);
+        assert_eq!(DpScratch::new().dp_threads(), 1);
     }
 }

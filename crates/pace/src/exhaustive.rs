@@ -12,7 +12,10 @@
 //! search usable on spaces like `eigen`'s, which the paper itself calls
 //! "impossible" to exhaust (footnote 1).
 
-use crate::{partition, PaceConfig, PaceError, Partition, SearchStats};
+use crate::{
+    compute_metrics, partition_from_metrics, CommCosts, DpScratch, PaceConfig, PaceError,
+    Partition, SearchStats,
+};
 use lycos_core::{RMap, Restrictions};
 use lycos_hwlib::{Area, FuId, HwLibrary};
 use lycos_ir::BsbArray;
@@ -146,11 +149,38 @@ pub fn exhaustive_best(
     let dims = search_space(restrictions);
     let space = space_size(&dims);
 
+    // Reused across every candidate: metrics are recomputed per point
+    // (this is the uncached reference walk), but the DP workspace and
+    // the allocation-independent run-traffic memo carry over — results
+    // are identical either way, the walk just stops paying their
+    // allocation cost per call.
+    let mut scratch = DpScratch::new();
+    let mut comm = CommCosts::new(bsbs.len());
+    let eval = |allocation: &RMap,
+                datapath_area: Area,
+                scratch: &mut DpScratch,
+                comm: &mut CommCosts|
+     -> Result<Partition, PaceError> {
+        let ctl_budget = total_area
+            .checked_sub(datapath_area)
+            .expect("candidate fits the area");
+        let metrics = compute_metrics(bsbs, lib, allocation, config)?;
+        Ok(partition_from_metrics(
+            bsbs,
+            &metrics,
+            comm,
+            scratch,
+            datapath_area,
+            ctl_budget,
+            config,
+        ))
+    };
+
     let mut best_allocation = RMap::new();
-    let mut best_partition = partition(bsbs, lib, &best_allocation, total_area, config)?;
     // Hoisted alongside `best_partition`: the tie-break reads the
     // incumbent's area on every candidate, so never recompute it there.
     let mut best_area = best_allocation.area(lib);
+    let mut best_partition = eval(&best_allocation, best_area, &mut scratch, &mut comm)?;
     let mut evaluated = 1usize; // the all-software point
     let mut skipped = 0usize;
     let mut truncated = false;
@@ -188,7 +218,7 @@ pub fn exhaustive_best(
                 break;
             }
         }
-        let p = partition(bsbs, lib, &candidate, total_area, config)?;
+        let p = eval(&candidate, candidate_area, &mut scratch, &mut comm)?;
         evaluated += 1;
         let better = p.total_time < best_partition.total_time
             || (p.total_time == best_partition.total_time && candidate_area < best_area);
@@ -210,6 +240,7 @@ pub fn exhaustive_best(
             threads: 1,
             cache_hits: 0,
             cache_misses: 0, // no cache in the reference walk
+            key_allocs: 0,
             elapsed: started.elapsed(),
         },
     })
@@ -218,6 +249,7 @@ pub fn exhaustive_best(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition;
     use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
     use std::collections::BTreeSet;
 

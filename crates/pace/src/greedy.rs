@@ -9,7 +9,8 @@
 //! blocks are only worthwhile *together* because their communication
 //! cancels.
 
-use crate::{compute_metrics, run_traffic, PaceConfig, PaceError, Partition};
+use crate::metrics::BsbMetrics;
+use crate::{compute_metrics, CommCosts, PaceConfig, PaceError, Partition};
 use lycos_core::RMap;
 use lycos_hwlib::{Area, Cycles, HwLibrary};
 use lycos_ir::BsbArray;
@@ -21,6 +22,11 @@ use lycos_ir::BsbArray;
 /// Communication is charged afterwards on the resulting maximal runs,
 /// exactly as [`crate::partition`] charges it, so the two results are
 /// comparable.
+///
+/// One-shot convenience over [`greedy_partition_from_metrics`]: loops
+/// comparing the baseline against many allocations should precompute
+/// metrics (or serve them from a [`crate::MetricsCache`]) and share a
+/// [`CommCosts`] memo, exactly as the DP's hot path does.
 ///
 /// # Errors
 ///
@@ -40,7 +46,32 @@ pub fn greedy_partition(
             total: total_area,
         })?;
     let metrics = compute_metrics(bsbs, lib, allocation, config)?;
+    let mut comm = CommCosts::new(bsbs.len());
+    Ok(greedy_partition_from_metrics(
+        bsbs,
+        &metrics,
+        &mut comm,
+        datapath_area,
+        ctl_budget,
+        config,
+    ))
+}
+
+/// The greedy baseline over precomputed per-block metrics — the mirror
+/// of [`crate::partition_from_metrics`], so sweeps can drive both
+/// partitioners from one metrics cache and one run-traffic memo.
+///
+/// `metrics` must hold one entry per block of `bsbs`.
+pub fn greedy_partition_from_metrics(
+    bsbs: &BsbArray,
+    metrics: &[BsbMetrics],
+    comm: &mut CommCosts,
+    datapath_area: Area,
+    ctl_budget: Area,
+    config: &PaceConfig,
+) -> Partition {
     let l = bsbs.len();
+    debug_assert_eq!(metrics.len(), l, "one metrics entry per block");
 
     // Rank hardware-feasible blocks by gain density.
     let mut order: Vec<usize> = (0..l).filter(|&i| metrics[i].hw_feasible()).collect();
@@ -95,13 +126,13 @@ pub fn greedy_partition(
         }
     }
     for run in &runs {
-        let c = run_traffic(bsbs, run.start, run.end - 1).cost(&config.comm);
+        let c = Cycles::new(comm.cost(bsbs, &config.comm, run.start, run.end - 1));
         total += c;
         comm_time += c;
     }
     let all_sw_time: Cycles = metrics.iter().map(|m| m.sw_time).sum();
 
-    Ok(Partition {
+    Partition {
         in_hw,
         total_time: total,
         all_sw_time,
@@ -109,7 +140,7 @@ pub fn greedy_partition(
         controller_area,
         datapath_area,
         runs,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,12 @@
 //! * [`run_traffic`] — boundary communication estimates for runs of
 //!   adjacent hardware blocks;
 //! * [`partition`] — the dynamic program choosing which blocks move to
-//!   hardware within the area left over by the data path;
+//!   hardware within the area left over by the data path. Its hot path
+//!   is allocation-free: a reusable [`DpScratch`] workspace carries
+//!   flat run tables and DP grids across evaluations
+//!   ([`partition_with_scratch`], [`partition_from_metrics`]), the run
+//!   scan prunes monotonically, and an opt-in `dp_threads` mode splits
+//!   each DP row across scoped workers;
 //! * [`exhaustive_best`] — the paper's baseline: PACE over *every*
 //!   allocation, marking the best one;
 //! * [`search_best`] — the same search, memoised and parallel: per-BSB
@@ -65,9 +70,11 @@ mod search;
 
 pub use comm::{run_traffic, CommCosts, RunTraffic};
 pub use config::PaceConfig;
-pub use dp::{partition, Partition};
+#[doc(hidden)]
+pub use dp::reference_partition_from_metrics;
+pub use dp::{partition, partition_from_metrics, partition_with_scratch, DpScratch, Partition};
 pub use error::PaceError;
 pub use exhaustive::{exhaustive_best, search_space, space_size, SearchResult};
-pub use greedy::greedy_partition;
+pub use greedy::{greedy_partition, greedy_partition_from_metrics};
 pub use metrics::{compute_metrics, BsbMetrics};
 pub use search::{search_best, MetricsCache, SearchOptions, SearchStats};

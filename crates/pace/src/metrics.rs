@@ -13,7 +13,11 @@ use lycos_ir::{Bsb, BsbArray};
 use lycos_sched::{list_schedule, FuCounts};
 
 /// Cost figures of one BSB under a concrete allocation.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// `Copy`: four machine words, cloned once per block per candidate on
+/// the search engine's cache-hit path — the common case of a sweep —
+/// so a hit must never touch the heap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BsbMetrics {
     /// Total software time over the application run
     /// (`block time × profile`).

@@ -13,6 +13,11 @@
 //!   Run communication costs never depend on the allocation at all and
 //!   are memoised across every candidate a worker evaluates
 //!   ([`CommCosts`]), instead of being recomputed per partition call.
+//! * **Allocation-free evaluation** — each worker owns a reusable
+//!   [`DpScratch`], a metrics buffer and a candidate map; memo probes
+//!   go through a scratch projection key. After warm-up, a candidate
+//!   that does not improve on the incumbent allocates nothing on the
+//!   heap; the full [`Partition`] is only materialised on improvement.
 //! * **Parallelism** — the odometer sequence is split into contiguous
 //!   index ranges fanned out over [`std::thread::scope`] workers, each
 //!   with a private cache. Worker results are reduced deterministically
@@ -22,10 +27,10 @@
 //!   truncation behaviour, which are pinned ahead of the sweep by a
 //!   cheap area-only pre-walk.
 
-use crate::dp::partition_from_metrics;
 use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
 use crate::{
-    search_space, space_size, BsbMetrics, CommCosts, PaceConfig, PaceError, Partition, SearchResult,
+    search_space, space_size, BsbMetrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition,
+    SearchResult,
 };
 use lycos_core::{RMap, Restrictions};
 use lycos_hwlib::{Area, FuId, HwLibrary};
@@ -49,6 +54,15 @@ pub struct SearchOptions {
     /// exists for benchmarking the cache itself; results are identical
     /// either way.
     pub cache: bool,
+    /// Worker threads *inside* one PACE DP evaluation: each DP row's
+    /// area axis is split across scoped workers while rows stay
+    /// sequential ([`DpScratch::with_dp_threads`]). `1` (the default)
+    /// = sequential; `0` = one per available core. Results are
+    /// bit-identical at any setting. Opt-in: when `threads` already
+    /// fans candidates out across cores, leave this at `1` — it pays
+    /// off for large single-candidate evaluations (many controller
+    /// levels), not for saturated sweeps.
+    pub dp_threads: usize,
 }
 
 impl Default for SearchOptions {
@@ -57,6 +71,7 @@ impl Default for SearchOptions {
             threads: 0,
             limit: None,
             cache: true,
+            dp_threads: 1,
         }
     }
 }
@@ -82,6 +97,12 @@ pub struct SearchStats {
     pub cache_hits: u64,
     /// Per-BSB metric lookups that had to list-schedule.
     pub cache_misses: u64,
+    /// Memo keys actually allocated (one per cache insert). Every
+    /// lookup used to allocate a key vector just to probe; probing now
+    /// goes through a reused scratch buffer, so
+    /// `cache_hits + cache_misses − key_allocs` probes cost no
+    /// allocation at all.
+    pub key_allocs: u64,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -139,8 +160,12 @@ pub struct MetricsCache<'a> {
     statics: Vec<BsbStatics>,
     entries: Vec<HashMap<Vec<u32>, BsbMetrics>>,
     enabled: bool,
+    // Scratch projection key: probes go by slice; a key vector is
+    // cloned out of here only when an entry is actually inserted.
+    key_buf: Vec<u32>,
     hits: u64,
     misses: u64,
+    key_allocs: u64,
 }
 
 impl<'a> MetricsCache<'a> {
@@ -200,8 +225,10 @@ impl<'a> MetricsCache<'a> {
             statics,
             entries,
             enabled,
+            key_buf: Vec::new(),
             hits: 0,
             misses: 0,
+            key_allocs: 0,
         }
     }
 
@@ -213,17 +240,37 @@ impl<'a> MetricsCache<'a> {
     /// [`PaceError::Sched`] if a block's DFG cannot be scheduled at all.
     pub fn metrics(&mut self, allocation: &RMap) -> Result<Vec<BsbMetrics>, PaceError> {
         let mut out = Vec::with_capacity(self.bsbs.len());
+        self.metrics_into(allocation, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MetricsCache::metrics`] into a caller-owned buffer (cleared
+    /// first) — the sweep's steady-state path, which reuses one buffer
+    /// across every candidate a worker evaluates. Projection keys are
+    /// built in a scratch buffer and probed by slice; a key is only
+    /// allocated when an entry is inserted (counted by
+    /// [`MetricsCache::key_allocs`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Sched`] if a block's DFG cannot be scheduled at all.
+    pub fn metrics_into(
+        &mut self,
+        allocation: &RMap,
+        out: &mut Vec<BsbMetrics>,
+    ) -> Result<(), PaceError> {
+        out.clear();
         for (i, (bsb, stat)) in self.bsbs.iter().zip(&self.statics).enumerate() {
             let feasible = stat.movable && allocation.covers(&stat.needed);
             if !feasible {
                 out.push(infeasible_block_metrics(stat.sw_time));
                 continue;
             }
-            let key = allocation.project(&stat.kinds);
+            allocation.project_into(&stat.kinds, &mut self.key_buf);
             if self.enabled {
-                if let Some(hit) = self.entries[i].get(&key) {
+                if let Some(&hit) = self.entries[i].get(self.key_buf.as_slice()) {
                     self.hits += 1;
-                    out.push(hit.clone());
+                    out.push(hit);
                     continue;
                 }
             }
@@ -234,16 +281,17 @@ impl<'a> MetricsCache<'a> {
             let counts: FuCounts = stat
                 .kinds
                 .iter()
-                .zip(&key)
+                .zip(&self.key_buf)
                 .map(|(&fu, &c)| (fu, c))
                 .collect();
             let m = feasible_block_metrics(bsb, self.lib, &counts, stat.sw_time, self.config)?;
             if self.enabled {
-                self.entries[i].insert(key, m.clone());
+                self.key_allocs += 1;
+                self.entries[i].insert(self.key_buf.clone(), m);
             }
             out.push(m);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Lookups answered from the cache so far.
@@ -254,6 +302,12 @@ impl<'a> MetricsCache<'a> {
     /// Lookups that had to run the list scheduler.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Projection keys allocated so far — one per insert, never per
+    /// probe.
+    pub fn key_allocs(&self) -> u64 {
+        self.key_allocs
     }
 }
 
@@ -311,13 +365,22 @@ impl Odometer {
         false
     }
 
-    /// The current point as a resource map.
+    /// The current point as a resource map (test-only: the sweep
+    /// itself reuses one map via [`Odometer::write_rmap`]).
+    #[cfg(test)]
     fn rmap(&self) -> RMap {
-        self.fus
-            .iter()
-            .zip(&self.counts)
-            .map(|(&fu, &c)| (fu, c))
-            .collect()
+        let mut out = RMap::new();
+        self.write_rmap(&mut out);
+        out
+    }
+
+    /// Writes the current point into a reused resource map — the
+    /// sweep's steady-state path, which updates one map in place
+    /// instead of rebuilding a fresh `RMap` per candidate.
+    fn write_rmap(&self, into: &mut RMap) {
+        for (&fu, &c) in self.fus.iter().zip(&self.counts) {
+            into.set(fu, c);
+        }
     }
 
     /// Data-path area of the current point, in gate equivalents.
@@ -375,11 +438,17 @@ struct WorkerOut {
     skipped: usize,
     hits: u64,
     misses: u64,
+    key_allocs: u64,
 }
 
-/// Evaluates every point of `range`, memoised, single-threaded.
-/// `statics` is a clone of the engine's one-time precompute; the
-/// run-traffic memo is private to the worker and filled on demand.
+/// Evaluates every point of `range`, memoised, single-threaded (plus
+/// the opt-in intra-candidate row split when `options.dp_threads` asks
+/// for one). `statics` is a clone of the engine's one-time precompute;
+/// the run-traffic memo, the DP scratch, the metrics buffer and the
+/// candidate map are private to the worker and reused across every
+/// point — after warm-up a non-improving evaluation performs no heap
+/// allocation at all (the winning [`Partition`] is only materialised
+/// when a candidate actually improves on the range's best).
 #[allow(clippy::too_many_arguments)] // internal seam of search_best
 fn sweep_range(
     bsbs: &BsbArray,
@@ -389,10 +458,13 @@ fn sweep_range(
     dims: &[(FuId, u32)],
     range: Range<u128>,
     statics: Vec<BsbStatics>,
-    cache_on: bool,
+    options: &SearchOptions,
 ) -> Result<WorkerOut, PaceError> {
-    let mut cache = MetricsCache::from_statics(bsbs, lib, config, statics, cache_on);
+    let mut cache = MetricsCache::from_statics(bsbs, lib, config, statics, options.cache);
     let mut comm = CommCosts::new(bsbs.len());
+    let mut scratch = DpScratch::with_dp_threads(options.dp_threads);
+    let mut metrics: Vec<BsbMetrics> = Vec::with_capacity(bsbs.len());
+    let mut candidate = RMap::new();
     let mut out = WorkerOut::default();
     if range.is_empty() {
         return Ok(out);
@@ -404,13 +476,12 @@ fn sweep_range(
         if gates > total_gates {
             out.skipped += 1;
         } else {
-            let candidate = odo.rmap();
-            let metrics = cache.metrics(&candidate)?;
-            let p = partition_from_metrics(
+            odo.write_rmap(&mut candidate);
+            cache.metrics_into(&candidate, &mut metrics)?;
+            let time = scratch.evaluate(
                 bsbs,
                 &metrics,
                 &mut comm,
-                Area::new(gates),
                 Area::new(total_gates - gates),
                 config,
             );
@@ -418,12 +489,13 @@ fn sweep_range(
             let better = match &out.best {
                 None => true,
                 Some((_, bp, barea)) => {
-                    p.total_time < bp.total_time
-                        || (p.total_time == bp.total_time && gates < *barea)
+                    time < bp.total_time.count()
+                        || (time == bp.total_time.count() && gates < *barea)
                 }
             };
             if better {
-                out.best = Some((candidate, p, gates));
+                let p = scratch.backtrack(&metrics, Area::new(gates));
+                out.best = Some((candidate.clone(), p, gates));
             }
         }
         index += 1;
@@ -435,6 +507,7 @@ fn sweep_range(
     }
     out.hits = cache.hits();
     out.misses = cache.misses();
+    out.key_allocs = cache.key_allocs();
     Ok(out)
 }
 
@@ -571,7 +644,7 @@ pub fn search_best(
             &dims,
             0..bound,
             statics,
-            options.cache,
+            options,
         )]
     } else {
         std::thread::scope(|scope| {
@@ -590,7 +663,7 @@ pub fn search_best(
                             dims,
                             range,
                             statics,
-                            options.cache,
+                            options,
                         )
                     })
                 })
@@ -618,6 +691,7 @@ pub fn search_best(
         skipped += out.skipped;
         stats.cache_hits += out.hits;
         stats.cache_misses += out.misses;
+        stats.key_allocs += out.key_allocs;
         if let Some((alloc, part, gates)) = out.best {
             let better = match &best {
                 None => true,
@@ -721,13 +795,19 @@ mod tests {
         let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, None).unwrap();
         for threads in [1, 2, 3, 7] {
             for cache in [true, false] {
-                let opts = SearchOptions {
-                    threads,
-                    limit: None,
-                    cache,
-                };
-                let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
-                assert_eq!(got, seed, "threads={threads} cache={cache}");
+                for dp_threads in [1, 2] {
+                    let opts = SearchOptions {
+                        threads,
+                        limit: None,
+                        cache,
+                        dp_threads,
+                    };
+                    let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
+                    assert_eq!(
+                        got, seed,
+                        "threads={threads} cache={cache} dp_threads={dp_threads}"
+                    );
+                }
             }
         }
     }
@@ -747,6 +827,7 @@ mod tests {
                     threads,
                     limit: Some(limit),
                     cache: true,
+                    dp_threads: 1,
                 };
                 let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
                 assert_eq!(got, seed, "limit={limit} threads={threads}");
@@ -779,6 +860,31 @@ mod tests {
             res.stats.hit_rate()
         );
         assert!(res.stats.threads == 1);
+        // Keys are allocated per insert only: probes answered from the
+        // cache never clone the scratch key.
+        assert_eq!(res.stats.key_allocs, res.stats.cache_misses);
+        assert!(res.stats.key_allocs < res.stats.cache_hits + res.stats.cache_misses);
+    }
+
+    #[test]
+    fn disabled_cache_never_allocates_keys() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let res = search_best(
+            &bsbs,
+            &lib,
+            Area::new(100_000),
+            &restr,
+            &PaceConfig::standard(),
+            &SearchOptions {
+                cache: false,
+                ..SearchOptions::sequential()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.stats.cache_hits, 0);
+        assert_eq!(res.stats.key_allocs, 0, "nothing inserted, nothing cloned");
     }
 
     #[test]
@@ -895,6 +1001,7 @@ mod tests {
                 threads: 4,
                 limit,
                 cache: true,
+                dp_threads: 1,
             };
             let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
             assert_eq!(got, seed, "limit={limit:?}");

@@ -153,6 +153,10 @@ pub struct Table1Request {
     /// Evaluation cap (`0` = unlimited, as in the CLI); `None` =
     /// server default.
     pub limit: Option<usize>,
+    /// Worker threads inside one PACE DP evaluation (`1` = sequential,
+    /// `0` = one per core); `None` = server default. Identical results
+    /// at any setting.
+    pub dp_threads: Option<usize>,
     /// Disable the per-BSB schedule memo for this request.
     pub no_cache: bool,
     /// Response body shape.
@@ -243,6 +247,13 @@ impl Request {
                                     value: value.to_owned(),
                                 })?);
                         }
+                        "dp-threads" => {
+                            req.dp_threads =
+                                Some(value.parse().map_err(|_| ProtocolError::BadValue {
+                                    field: "dp-threads",
+                                    value: value.to_owned(),
+                                })?);
+                        }
                         // Bare flags: reject `=value` forms instead of
                         // silently enabling what `timing=false` tried
                         // to turn off.
@@ -308,6 +319,9 @@ impl Request {
                 }
                 if let Some(l) = req.limit {
                     out.push_str(&format!(" limit={l}"));
+                }
+                if let Some(t) = req.dp_threads {
+                    out.push_str(&format!(" dp-threads={t}"));
                 }
                 if req.no_cache {
                     out.push_str(" no-cache");
@@ -459,6 +473,7 @@ mod tests {
                 ],
                 threads: Some(2),
                 limit: Some(0),
+                dp_threads: Some(4),
                 no_cache: true,
                 format: Format::Text,
                 timing: true,
@@ -506,6 +521,13 @@ mod tests {
             Err(ProtocolError::BadValue {
                 field: "threads",
                 value: "many".into()
+            })
+        );
+        assert_eq!(
+            Request::parse("table1 app=hal dp-threads=lots"),
+            Err(ProtocolError::BadValue {
+                field: "dp-threads",
+                value: "lots".into()
             })
         );
         assert_eq!(

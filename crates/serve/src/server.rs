@@ -64,6 +64,7 @@ impl Default for ServeConfig {
                 // the same default cap the CLI and the table1 bin use.
                 limit: Some(200_000),
                 cache: true,
+                dp_threads: 1,
             },
         }
     }
@@ -352,6 +353,7 @@ fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
         },
         threads: req.threads.unwrap_or(defaults.threads),
         cache: !req.no_cache && defaults.cache,
+        dp_threads: req.dp_threads.unwrap_or(defaults.dp_threads),
     };
     match Pipeline::table1_batch(&pipelines, &options) {
         Err(e) => Response::Error(e.to_string()),

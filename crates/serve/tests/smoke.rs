@@ -32,6 +32,7 @@ fn concurrent_batches_match_the_sequential_csv_byte_for_byte() {
         search_limit: Some(400),
         threads: 1,
         cache: true,
+        dp_threads: 1,
     };
     let (addr, handle) = spawn_server(ServeConfig {
         workers: 4,
@@ -40,6 +41,7 @@ fn concurrent_batches_match_the_sequential_csv_byte_for_byte() {
             threads: 1,
             limit: Some(400),
             cache: true,
+            dp_threads: 1,
         },
         ..ServeConfig::default()
     });
@@ -91,6 +93,7 @@ fn per_request_options_and_budgets_are_honoured() {
             threads: 1,
             limit: Some(50),
             cache: true,
+            dp_threads: 1,
         },
         ..ServeConfig::default()
     });
@@ -141,6 +144,7 @@ fn peers_still_sending_cannot_stall_shutdown() {
             threads: 1,
             limit: Some(10),
             cache: true,
+            dp_threads: 1,
         },
         ..ServeConfig::default()
     });
@@ -192,6 +196,7 @@ fn full_pool_answers_busy_instead_of_queueing() {
             threads: 1,
             limit: Some(10),
             cache: true,
+            dp_threads: 1,
         },
         ..ServeConfig::default()
     });

@@ -429,6 +429,7 @@ mod tests {
                 threads: 1,
                 limit: Some(2),
                 cache: true,
+                dp_threads: 1,
             })
             .allocate()
             .unwrap();
@@ -441,6 +442,7 @@ mod tests {
                 threads: 2,
                 limit: None,
                 cache: true,
+                dp_threads: 2,
             })
             .unwrap();
         assert!(!full.truncated);
@@ -474,6 +476,7 @@ mod tests {
             search_limit: Some(500),
             threads: 1,
             cache: true,
+            dp_threads: 1,
         };
         let via_pipeline = Pipeline::for_app(&app).table1_row(&options).unwrap();
         let direct = lycos_explore::table1_row(
@@ -499,6 +502,7 @@ mod tests {
             search_limit: Some(200),
             threads: 1,
             cache: true,
+            dp_threads: 1,
         };
         let rows = Pipeline::table1_batch(&pipelines, &options).unwrap();
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();

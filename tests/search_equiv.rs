@@ -1,17 +1,122 @@
-//! ISSUE 2 acceptance: the memoised + multi-threaded search engine
-//! returns a [`SearchResult`] identical to the seed sequential walk on
-//! all four bundled benchmarks — best allocation, best partition, and
-//! the `evaluated`/`skipped`/`truncated` accounting.
+//! ISSUE 2/4 acceptance: every engine configuration returns a
+//! [`SearchResult`] identical to the *seed* sequential walk on all
+//! four bundled benchmarks — best allocation, best partition, and the
+//! `evaluated`/`skipped`/`truncated` accounting.
+//!
+//! The seed is reproduced here verbatim (`reference_best`): a plain
+//! odometer walk evaluating every candidate through fresh metrics and
+//! the retained PR 3 DP core (`reference_partition_from_metrics` —
+//! nested `Vec` tables, `continue`-based run scan). Everything the
+//! optimised stack does — scratch reuse, monotone pruning, run-table
+//! truncation, metric memoisation, candidate-level fan-out and the
+//! intra-candidate `dp_threads` row split — must be invisible against
+//! it, in every combination.
 //!
 //! `eigen`'s space is the one the paper calls "impossible" to exhaust
 //! (footnote 1); its equivalence runs under an evaluation limit so the
 //! suite stays quick, which also exercises the engine's skip-aware
 //! truncation pre-walk.
 
-use lycos::core::Restrictions;
+use lycos::core::{RMap, Restrictions};
 use lycos::hwlib::{Area, HwLibrary};
-use lycos::pace::{exhaustive_best, search_best, PaceConfig, SearchOptions, SearchResult};
+use lycos::pace::{
+    compute_metrics, exhaustive_best, reference_partition_from_metrics, search_best, CommCosts,
+    PaceConfig, Partition, SearchOptions, SearchResult, SearchStats,
+};
 
+/// The seed partition path: fresh metrics, a fresh comm table and the
+/// retained pre-optimisation DP core, per call.
+fn reference_partition(
+    bsbs: &lycos::ir::BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    pace: &PaceConfig,
+) -> Partition {
+    let datapath = allocation.area(lib);
+    let ctl = total_area.checked_sub(datapath).expect("candidate fits");
+    let metrics = compute_metrics(bsbs, lib, allocation, pace).expect("schedulable");
+    let mut comm = CommCosts::new(bsbs.len());
+    reference_partition_from_metrics(bsbs, &metrics, &mut comm, datapath, ctl, pace)
+}
+
+/// The seed exhaustive walk, reproduced from the pre-optimisation
+/// engine: sequential odometer, skip-on-area, truncate-on-limit,
+/// strict `(time, area)` improvement.
+fn reference_best(
+    bsbs: &lycos::ir::BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    limit: Option<usize>,
+) -> SearchResult {
+    let dims: Vec<_> = restrictions.iter().collect();
+    let space: u128 = dims.iter().map(|&(_, cap)| cap as u128 + 1).product();
+
+    let mut best_allocation = RMap::new();
+    let mut best_partition = reference_partition(bsbs, lib, &best_allocation, total_area, pace);
+    let mut best_area = best_allocation.area(lib);
+    let mut evaluated = 1usize;
+    let mut skipped = 0usize;
+    let mut truncated = false;
+
+    let mut counts = vec![0u32; dims.len()];
+    'outer: loop {
+        let mut pos = 0;
+        loop {
+            if pos == dims.len() {
+                break 'outer;
+            }
+            counts[pos] += 1;
+            if counts[pos] <= dims[pos].1 {
+                break;
+            }
+            counts[pos] = 0;
+            pos += 1;
+        }
+        let candidate: RMap = dims
+            .iter()
+            .zip(&counts)
+            .map(|(&(fu, _), &c)| (fu, c))
+            .collect();
+        let candidate_area = candidate.area(lib);
+        if candidate_area > total_area {
+            skipped += 1;
+            continue;
+        }
+        if let Some(max) = limit {
+            if evaluated >= max {
+                truncated = true;
+                break;
+            }
+        }
+        let p = reference_partition(bsbs, lib, &candidate, total_area, pace);
+        evaluated += 1;
+        let better = p.total_time < best_partition.total_time
+            || (p.total_time == best_partition.total_time && candidate_area < best_area);
+        if better {
+            best_allocation = candidate;
+            best_partition = p;
+            best_area = candidate_area;
+        }
+    }
+
+    SearchResult {
+        best_allocation,
+        best_partition,
+        evaluated,
+        skipped,
+        space_size: space,
+        truncated,
+        stats: SearchStats::default(),
+    }
+}
+
+/// Every engine configuration the optimised stack offers, against the
+/// seed: the (new-core) exhaustive walk, the memoised sequential
+/// engine, the candidate-parallel engine, and the intra-candidate
+/// `dp_threads` split — with the metric cache both on and off.
 fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
     let app = lycos::apps::all()
         .into_iter()
@@ -23,7 +128,10 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
     let area = Area::new(app.area_budget);
     let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
 
-    let seed = exhaustive_best(&bsbs, &lib, area, &restr, &pace, limit).unwrap();
+    let seed = reference_best(&bsbs, &lib, area, &restr, &pace, limit);
+    let walk = exhaustive_best(&bsbs, &lib, area, &restr, &pace, limit).unwrap();
+    assert_eq!(walk, seed, "{name}: new-core exhaustive != seed walk");
+
     let memoised = search_best(
         &bsbs,
         &lib,
@@ -36,37 +144,62 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
         },
     )
     .unwrap();
-    let parallel = search_best(
-        &bsbs,
-        &lib,
-        area,
-        &restr,
-        &pace,
-        &SearchOptions {
-            threads: 4,
-            limit,
-            cache: true,
-        },
-    )
-    .unwrap();
 
-    assert_eq!(memoised, seed, "{name}: memoised != sequential seed");
-    assert_eq!(parallel, seed, "{name}: parallel != sequential seed");
+    let variants = [
+        ("parallel", 4usize, true, 1usize),
+        ("dp-split", 1, true, 2),
+        ("parallel+dp-split,cache-off", 2, false, 2),
+    ];
+    let mut engines = vec![("memoised", memoised.clone())];
+    for (label, threads, cache, dp_threads) in variants {
+        let got = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &pace,
+            &SearchOptions {
+                threads,
+                limit,
+                cache,
+                dp_threads,
+            },
+        )
+        .unwrap();
+        engines.push((label, got));
+    }
+
     // Identity is field-exact, not just PartialEq-close.
-    for engine in [&memoised, &parallel] {
-        assert_eq!(engine.best_allocation, seed.best_allocation, "{name}");
+    for (label, engine) in &engines {
+        assert_eq!(engine, &seed, "{name}/{label} != sequential seed");
+        assert_eq!(
+            engine.best_allocation, seed.best_allocation,
+            "{name}/{label}"
+        );
         assert_eq!(
             engine.best_partition.in_hw, seed.best_partition.in_hw,
-            "{name}"
+            "{name}/{label}"
         );
         assert_eq!(
             engine.best_partition.total_time, seed.best_partition.total_time,
-            "{name}"
+            "{name}/{label}"
         );
-        assert_eq!(engine.evaluated, seed.evaluated, "{name}");
-        assert_eq!(engine.skipped, seed.skipped, "{name}");
-        assert_eq!(engine.space_size, seed.space_size, "{name}");
-        assert_eq!(engine.truncated, seed.truncated, "{name}");
+        assert_eq!(
+            engine.best_partition.comm_time, seed.best_partition.comm_time,
+            "{name}/{label}"
+        );
+        assert_eq!(
+            engine.best_partition.controller_area, seed.best_partition.controller_area,
+            "{name}/{label}"
+        );
+        assert_eq!(
+            engine.best_partition.runs, seed.best_partition.runs,
+            "{name}/{label}"
+        );
+        assert_eq!(engine.evaluated, seed.evaluated, "{name}/{label}");
+        assert_eq!(engine.skipped, seed.skipped, "{name}/{label}");
+        assert_eq!(engine.space_size, seed.space_size, "{name}/{label}");
+        assert_eq!(engine.truncated, seed.truncated, "{name}/{label}");
     }
     (seed, memoised)
 }
@@ -76,6 +209,8 @@ fn straight_search_is_engine_invariant() {
     let (seed, memo) = check_app("straight", None);
     assert!(!seed.truncated);
     assert!(memo.stats.hit_rate() > 0.5, "odometer locality");
+    // Keys are only allocated on insert, never per probe.
+    assert_eq!(memo.stats.key_allocs, memo.stats.cache_misses);
 }
 
 #[test]
@@ -98,17 +233,21 @@ fn eigen_search_is_engine_invariant_under_limit() {
 }
 
 /// The ≥2× per-candidate claim of ISSUE 2, on the space that motivated
-/// the engine. The release-mode margin is ~5× (see the `search_cost`
-/// bench); this tripwire asserts 2×. Seed and memoised runs are
-/// *interleaved* and their totals compared, so background load slows
-/// both sides and preserves the ratio. Ignored in the default suite —
-/// a wall-clock assertion does not belong in the functional gate where
-/// sibling tests compete for cores; CI's perf-smoke job runs it
-/// explicitly, in release, with nothing else scheduled:
+/// the engine — now measured against the *retained PR 3 seed walk*
+/// (`reference_best`), because `exhaustive_best` itself adopted the
+/// scratch-reuse core in ISSUE 4 and is no longer the slow baseline
+/// it once was (the DP-core half of that win has its own 1.5× gate in
+/// `bench_pace`). Seed and memoised runs are *interleaved* and their
+/// totals compared, so background load slows both sides and preserves
+/// the ratio. Ignored in the default suite — a wall-clock assertion
+/// does not belong in the functional gate where sibling tests compete
+/// for cores; CI's perf-smoke job runs it explicitly, in release, with
+/// nothing else scheduled:
 /// `cargo test --release --test search_equiv -- --ignored`.
 #[test]
 #[ignore = "perf tripwire: run explicitly in release (CI perf-smoke job)"]
 fn eigen_memoised_engine_is_at_least_twice_as_fast() {
+    use std::time::Instant;
     let app = lycos::apps::eigen();
     let bsbs = app.bsbs();
     let lib = HwLibrary::standard();
@@ -120,8 +259,9 @@ fn eigen_memoised_engine_is_at_least_twice_as_fast() {
     let mut seed_secs = 0.0f64;
     let mut memo_secs = 0.0f64;
     for _ in 0..2 {
-        let seed = exhaustive_best(&bsbs, &lib, area, &restr, &pace, limit).unwrap();
-        seed_secs += seed.stats.elapsed.as_secs_f64();
+        let started = Instant::now();
+        let seed = reference_best(&bsbs, &lib, area, &restr, &pace, limit);
+        seed_secs += started.elapsed().as_secs_f64();
         let memo = search_best(
             &bsbs,
             &lib,
