@@ -1,0 +1,216 @@
+//! Machine-readable allocation-search perf snapshot — the
+//! `BENCH_search.json` artifact CI archives on every run, and the
+//! ISSUE 5 acceptance gate.
+//!
+//! For each bundled benchmark it runs the *full-sweep* `search_best`
+//! end to end twice: once as the PR 4 engine (memoised, incremental,
+//! no bounding) and once with branch-and-bound on, reporting wall
+//! time, candidates visited vs space size, the bound-prune ratio and
+//! the incremental-metrics dirty ratio — and verifying on the spot
+//! that both engines return the field-exact same winner.
+//!
+//! ```text
+//! cargo run --release -p lycos_bench --bin bench_search \
+//!     [-- --check-speedup 2.0] > BENCH_search.json
+//! ```
+//!
+//! `--check-speedup X` exits non-zero when the `eigen` full-sweep
+//! speedup (baseline seconds / bounded seconds) falls below `X` — the
+//! ISSUE 5 acceptance gate CI runs at 2.0. `LYCOS_BENCH_QUICK` drops
+//! to one timing repetition per engine (CI's perf-smoke mode); the
+//! sweeps themselves always run the full space, since the full eigen
+//! sweep *is* the gated workload.
+
+use lycos::core::Restrictions;
+use lycos::hwlib::{Area, HwLibrary};
+use lycos::pace::{search_best, PaceConfig, SearchOptions, SearchResult};
+use std::time::Instant;
+
+/// Runs `f` `reps` times, returning the fastest wall time and the last
+/// result (identical across reps — the engines are deterministic in
+/// everything the report keeps).
+fn best_of<F: FnMut() -> SearchResult>(reps: usize, mut f: F) -> (f64, SearchResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let res = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        last = Some(res);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+/// JSON number that degrades to `null` for non-finite values.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+struct AppReport {
+    name: &'static str,
+    space: u128,
+    baseline_seconds: f64,
+    baseline_evaluated: usize,
+    baseline_skipped: usize,
+    bounded_seconds: f64,
+    bounded_evaluated: usize,
+    bounded_skipped: usize,
+    bounded_pruned: u128,
+    prune_ratio: f64,
+    dirty_ratio: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut check_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-speedup" => {
+                let v = args.next().and_then(|s| s.parse::<f64>().ok());
+                match v {
+                    Some(v) => check_speedup = Some(v),
+                    None => {
+                        eprintln!("bench_search: --check-speedup needs a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "bench_search: unknown argument `{other}` (expected --check-speedup <x>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reps = if std::env::var_os("LYCOS_BENCH_QUICK").is_some() {
+        1
+    } else {
+        2
+    };
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+    let mut reports = Vec::new();
+
+    for app in lycos::apps::all() {
+        let bsbs = app.bsbs();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        // Full sweeps: no evaluation limit — the whole point of the
+        // bound is surviving the space the paper calls impossible.
+        let baseline_opts = SearchOptions {
+            limit: None,
+            ..SearchOptions::default()
+        };
+        let bounded_opts = SearchOptions {
+            limit: None,
+            bound: true,
+            ..SearchOptions::default()
+        };
+        let (baseline_seconds, baseline) = best_of(reps, || {
+            search_best(&bsbs, &lib, area, &restr, &pace, &baseline_opts).unwrap()
+        });
+        let (bounded_seconds, bounded) = best_of(reps, || {
+            search_best(&bsbs, &lib, area, &restr, &pace, &bounded_opts).unwrap()
+        });
+
+        // The bound is only a speedup if it is invisible in the result.
+        if bounded.best_allocation != baseline.best_allocation
+            || bounded.best_partition != baseline.best_partition
+        {
+            eprintln!(
+                "bench_search: {}: bounded winner diverged from the baseline engine",
+                app.name
+            );
+            std::process::exit(1);
+        }
+        let accounted = bounded.points_accounted();
+        if accounted != bounded.space_size {
+            eprintln!(
+                "bench_search: {}: accounting hole ({} of {} points)",
+                app.name, accounted, bounded.space_size
+            );
+            std::process::exit(1);
+        }
+
+        let report = AppReport {
+            name: app.name,
+            space: baseline.space_size,
+            baseline_seconds,
+            baseline_evaluated: baseline.evaluated,
+            baseline_skipped: baseline.skipped,
+            bounded_seconds,
+            bounded_evaluated: bounded.evaluated,
+            bounded_skipped: bounded.skipped,
+            bounded_pruned: bounded.stats.bounded,
+            prune_ratio: bounded.stats.bounded as f64 / baseline.space_size.max(1) as f64,
+            dirty_ratio: bounded.stats.dirty_ratio(),
+            speedup: baseline_seconds / bounded_seconds.max(f64::EPSILON),
+        };
+        eprintln!(
+            "[bench_search] {}: space {} | baseline {:.3}s ({} evals) vs bounded {:.3}s \
+             ({} evals, {} pruned = {:.1}%) → {:.2}x",
+            report.name,
+            report.space,
+            report.baseline_seconds,
+            report.baseline_evaluated,
+            report.bounded_seconds,
+            report.bounded_evaluated,
+            report.bounded_pruned,
+            report.prune_ratio * 100.0,
+            report.speedup,
+        );
+        reports.push(report);
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"lycos-bench-search/1\",\n  \"apps\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"space_size\": {},\n      \
+             \"baseline\": {{\n        \"seconds\": {},\n        \"evaluated\": {},\n        \
+             \"skipped\": {}\n      }},\n      \
+             \"bounded\": {{\n        \"seconds\": {},\n        \"evaluated\": {},\n        \
+             \"skipped\": {},\n        \"bounded\": {},\n        \"prune_ratio\": {},\n        \
+             \"dirty_ratio\": {}\n      }},\n      \"speedup\": {}\n    }}{}\n",
+            r.name,
+            r.space,
+            json_num(r.baseline_seconds),
+            r.baseline_evaluated,
+            r.baseline_skipped,
+            json_num(r.bounded_seconds),
+            r.bounded_evaluated,
+            r.bounded_skipped,
+            r.bounded_pruned,
+            json_num(r.prune_ratio),
+            json_num(r.dirty_ratio),
+            json_num(r.speedup),
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    print!("{json}");
+
+    if let Some(min) = check_speedup {
+        let eigen = reports
+            .iter()
+            .find(|r| r.name == "eigen")
+            .expect("eigen is bundled");
+        if eigen.speedup < min {
+            eprintln!(
+                "bench_search: eigen full-sweep speedup {:.2}x is below the {min:.2}x gate",
+                eigen.speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_search: eigen full-sweep speedup {:.2}x meets the {min:.2}x gate",
+            eigen.speedup
+        );
+    }
+}

@@ -24,9 +24,7 @@ fn main() {
     let pace = PaceConfig::standard();
     let options = Table1Options {
         search_limit: Some(60_000),
-        threads: 0,
-        cache: true,
-        dp_threads: 1,
+        ..Table1Options::default()
     };
 
     for mut app in lycos::apps::all() {

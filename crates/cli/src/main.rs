@@ -70,6 +70,10 @@ search knobs (best, table1; request defaults for serve):
                     sequential, the default; 0 = one per core);
                     identical results, meant for large single
                     evaluations rather than saturated sweeps
+  --bound           branch-and-bound sweep: prune subtrees an
+                    admissible lower bound proves hopeless; the
+                    winner is field-exact, only the evaluated /
+                    bounded effort split changes
 
 serve knobs:
   --addr <host:port>   listen address (default 127.0.0.1:7878)
@@ -81,7 +85,13 @@ serve knobs:
 ";
 
 /// The flags every search-driven command understands.
-const SEARCH_FLAGS: [&str; 4] = ["--threads", "--limit", "--no-cache", "--dp-threads"];
+const SEARCH_FLAGS: [&str; 5] = [
+    "--threads",
+    "--limit",
+    "--no-cache",
+    "--dp-threads",
+    "--bound",
+];
 
 /// Smallest number of single-character edits turning `a` into `b` —
 /// classic two-row Levenshtein, plenty for flag names.
@@ -178,6 +188,12 @@ fn parse_search_flags(
                     return Err("--no-cache takes no value".to_owned());
                 }
                 options.cache = false;
+            }
+            "--bound" => {
+                if inline_value.is_some() {
+                    return Err("--bound takes no value".to_owned());
+                }
+                options.bound = true;
             }
             _ if extra.contains(&flag) => {
                 let v = value(flag)?;
@@ -315,21 +331,28 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
     let res = lycos::pace::search_best(&compiled.bsbs, &lib, area, &restr, &pace, &options)
         .map_err(|e| e.to_string())?;
     println!(
-        "space      : {} allocations ({} evaluated, {} skipped{})",
+        "space      : {} allocations ({} evaluated, {} skipped{}{})",
         res.space_size,
         res.evaluated,
         res.skipped,
+        if res.stats.bounded > 0 {
+            format!(", {} bound-pruned", res.stats.bounded)
+        } else {
+            String::new()
+        },
         if res.truncated { ", truncated" } else { "" }
     );
     println!("best       : {}", res.best_allocation.display_with(&lib));
     println!("speed-up   : {:.0}%", res.best_partition.speedup_pct());
     println!(
-        "engine     : {} thread(s), {:.0} evals/s, cache hit rate {:.1}% ({} hits / {} misses), {:.3}s",
+        "engine     : {} thread(s), {:.0} evals/s, cache hit rate {:.1}% ({} hits / {} misses), \
+         dirty ratio {:.3}, {:.3}s",
         res.stats.threads,
         res.eval_rate(),
         res.stats.hit_rate() * 100.0,
         res.stats.cache_hits,
         res.stats.cache_misses,
+        res.stats.dirty_ratio(),
         res.stats.elapsed.as_secs_f64(),
     );
     Ok(())
@@ -386,6 +409,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         threads: search.threads,
         cache: search.cache,
         dp_threads: search.dp_threads,
+        bound: search.bound,
     };
     let pipelines: Vec<Pipeline> = lycos::apps::all().iter().map(Pipeline::for_app).collect();
     let rows = Pipeline::table1_batch(&pipelines, &options).map_err(|e| e.to_string())?;
@@ -465,7 +489,20 @@ mod tests {
         assert_eq!(opts.threads, 0);
         assert!(opts.cache);
         assert_eq!(opts.dp_threads, 1, "intra-candidate split is opt-in");
+        assert!(!opts.bound, "branch-and-bound is opt-in");
         assert!(extras.is_empty());
+    }
+
+    #[test]
+    fn bound_flag_is_a_bare_switch() {
+        let (rest, opts, _) =
+            parse_search_flags(&args(&["--bound", "eigen", "12000"]), None, &[]).unwrap();
+        assert_eq!(rest, args(&["eigen", "12000"]));
+        assert!(opts.bound);
+        let err = parse_search_flags(&args(&["--bound=yes"]), None, &[]).unwrap_err();
+        assert_eq!(err, "--bound takes no value");
+        let err = parse_search_flags(&args(&["--buond"]), None, &[]).unwrap_err();
+        assert!(err.contains("did you mean `--bound`?"), "{err}");
     }
 
     #[test]

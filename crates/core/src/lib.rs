@@ -72,5 +72,5 @@ pub use furo::FuroTable;
 pub use multi_asic::{allocate_multi_asic, AsicPlan, MultiAsicOutcome};
 pub use priority::{max_urgency, prioritize, urgency};
 pub use restrict::Restrictions;
-pub use rmap::RMap;
+pub use rmap::{kind_position, kind_positions, RMap};
 pub use selection::{select_modules, SelectionStrategy};

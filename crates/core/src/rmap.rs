@@ -202,6 +202,29 @@ impl RMap {
     }
 }
 
+/// Index of `fu` within an id-sorted kind list, `None` when absent.
+///
+/// The allocation-search engine keys everything on the id-sorted
+/// dimension list of the allocation space (the order of
+/// [`Restrictions::iter`](crate::Restrictions::iter) and
+/// [`RMap::iter`]); per-block kind sets must be translated into
+/// positions within that list — the memoisation index of the search
+/// engine's incremental-metrics path and the level index of its
+/// bound tables. Binary search, so `kinds` must be sorted by id (as
+/// every kind list this crate produces is).
+pub fn kind_position(kinds: &[FuId], fu: FuId) -> Option<usize> {
+    kinds.binary_search(&fu).ok()
+}
+
+/// [`kind_position`] over a whole kind set: the position of each of
+/// `kinds` within the id-sorted dimension list `dims`, in order.
+/// `None` if any kind is absent from `dims` — for the search engine
+/// that means the kind can never be allocated, so the block owning it
+/// can never move to hardware.
+pub fn kind_positions(dims: &[FuId], kinds: &[FuId]) -> Option<Vec<usize>> {
+    kinds.iter().map(|&fu| kind_position(dims, fu)).collect()
+}
+
 impl FromIterator<(FuId, u32)> for RMap {
     fn from_iter<I: IntoIterator<Item = (FuId, u32)>>(iter: I) -> Self {
         let mut m = RMap::new();
@@ -383,6 +406,20 @@ mod tests {
         let named: RMap = [(adder, 2)].into_iter().collect();
         assert_eq!(named.display_with(&lib), "{2×adder}");
         assert_eq!(RMap::new().display_with(&lib), "{}");
+    }
+
+    #[test]
+    fn kind_positions_follow_the_sorted_dimension_order() {
+        let dims = [A, M, S];
+        assert_eq!(kind_position(&dims, A), Some(0));
+        assert_eq!(kind_position(&dims, S), Some(2));
+        assert_eq!(kind_position(&dims, FuId(9)), None);
+        assert_eq!(kind_positions(&dims, &[A, S]), Some(vec![0, 2]));
+        assert_eq!(kind_positions(&dims, &[]), Some(Vec::new()));
+        // One absent kind poisons the whole set — the block can never
+        // become hardware-feasible.
+        assert_eq!(kind_positions(&dims, &[A, FuId(9)]), None);
+        assert_eq!(kind_positions(&[], &[A]), None);
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub fn evaluate(
 /// Sweeps the allocation space through the memoised search engine —
 /// the seam the Table 1 experiment and the CLI `best` command share.
 /// With `threads: 1` and no cache this is exactly the paper's
-/// sequential baseline; the defaults fan out over all cores.
+/// sequential baseline; the defaults fan out over all cores, and
+/// `options.bound` turns on the branch-and-bound walk (field-exact
+/// winner, `stats.bounded`/`stats.dirty_ratio()` effort telemetry in
+/// the returned [`SearchResult`]).
 ///
 /// # Errors
 ///

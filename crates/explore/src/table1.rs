@@ -48,6 +48,22 @@ pub struct Table1Row {
     pub best_allocation: RMap,
     /// Allocations evaluated by the exhaustive search.
     pub evaluated: usize,
+    /// Allocations skipped because the data path alone exceeded the
+    /// area budget.
+    pub skipped: usize,
+    /// Allocations pruned by the branch-and-bound engine's admissible
+    /// bounds (`0` unless [`Table1Options::bound`] is on). Counted
+    /// separately from `skipped`: together with the truncated tail,
+    /// `evaluated + skipped + bounded` accounts for every point of
+    /// the window the search visited.
+    pub bounded: u128,
+    /// Fraction of per-block metric refreshes the search actually had
+    /// to re-derive ([`lycos_pace::SearchStats::dirty_ratio`]) —
+    /// lower means the incremental frontier metrics carried more.
+    /// Machine telemetry (each worker's first refresh is from
+    /// scratch, so the figure depends on the resolved worker count):
+    /// the CSV blanks it unless `timing` is on, like `alloc_seconds`.
+    pub dirty_ratio: f64,
     /// Size of the full allocation space.
     pub space_size: u128,
     /// Whether the exhaustive search hit its step limit.
@@ -96,6 +112,12 @@ pub struct Table1Options {
     /// sequential, `0` = one per core). Identical results at any
     /// setting; see `SearchOptions::dp_threads` for when it pays off.
     pub dp_threads: usize,
+    /// Branch-and-bound sweep (`SearchOptions::bound`): the winner
+    /// columns stay field-exact, while the `evaluated`/`bounded`
+    /// effort columns shrink — and, under multiple worker threads,
+    /// depend on incumbent-sharing timing. Leave off where rows are
+    /// diffed byte-for-byte across runs.
+    pub bound: bool,
 }
 
 impl Default for Table1Options {
@@ -105,6 +127,7 @@ impl Default for Table1Options {
             threads: 0,
             cache: true,
             dp_threads: 1,
+            bound: false,
         }
     }
 }
@@ -117,6 +140,7 @@ impl Table1Options {
             limit: self.search_limit,
             cache: self.cache,
             dp_threads: self.dp_threads,
+            bound: self.bound,
         }
     }
 }
@@ -227,6 +251,9 @@ pub fn table1_row_for(
         heuristic_allocation: flow.outcome.allocation,
         best_allocation: search.best_allocation,
         evaluated: search.evaluated,
+        skipped: search.skipped,
+        bounded: search.stats.bounded,
+        dirty_ratio: search.stats.dirty_ratio(),
         space_size: search.space_size,
         truncated: search.truncated,
     })
@@ -236,16 +263,23 @@ pub fn table1_row_for(
 /// newline). Shared by the `table1` bin and the allocation service so
 /// the two outputs cannot drift.
 pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
-     size_fraction,hw_fraction,alloc_seconds,evaluated,space_size,truncated";
+     size_fraction,hw_fraction,alloc_seconds,evaluated,skipped,bounded,dirty_ratio,\
+     space_size,truncated";
 
 /// One canonical CSV row (no trailing newline). With `timing` off the
-/// `alloc_seconds` column is left empty, making the row a pure
-/// function of the search outcome — byte-identical across runs,
-/// machines and transports, which is what the service smoke tests
-/// diff against.
+/// `alloc_seconds` *and* `dirty_ratio` columns are left empty, making
+/// the row a pure function of the search outcome — byte-identical
+/// across runs, machines and transports, which is what the service
+/// smoke tests diff against. (`dirty_ratio` counts each worker's
+/// first from-scratch refresh, so it depends on how many workers the
+/// machine resolves — machine telemetry, exactly like the allocator
+/// wall clock.) Bound-pruned candidates get their own `bounded`
+/// column — they are never folded into `skipped`, so
+/// `evaluated + skipped + bounded` plus the truncated tail always
+/// covers `space_size` (the engine's accounting invariant).
 pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
     format!(
-        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{}",
+        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{}",
         r.name,
         r.lines,
         r.heuristic_su,
@@ -259,6 +293,13 @@ pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
             String::new()
         },
         r.evaluated,
+        r.skipped,
+        r.bounded,
+        if timing {
+            format!("{:.4}", r.dirty_ratio)
+        } else {
+            String::new()
+        },
         r.space_size,
         r.truncated,
     )
@@ -323,6 +364,9 @@ mod tests {
             heuristic_allocation: RMap::new(),
             best_allocation: RMap::new(),
             evaluated: 10,
+            skipped: 0,
+            bounded: 0,
+            dirty_ratio: 1.0,
             space_size: 10,
             truncated: false,
         }
@@ -348,14 +392,34 @@ mod tests {
         let stable = table1_csv_row(&r, false);
         assert_eq!(
             stable,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,10,false"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false"
         );
-        // The timing column is the only difference between the modes.
+        // The machine-telemetry columns (alloc wall clock, dirty
+        // ratio) are the only difference between the modes.
         let timed = table1_csv_row(&r, true);
         assert_eq!(
             timed,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,10,false"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false"
         );
+    }
+
+    #[test]
+    fn csv_keeps_bounded_separate_from_skipped() {
+        // A bounded run: the effort buckets appear in their own
+        // columns, never folded together.
+        let mut r = row("eigen", 100.0, 150.0, None);
+        r.evaluated = 4;
+        r.skipped = 2;
+        r.bounded = 3;
+        r.dirty_ratio = 0.125;
+        r.space_size = 10;
+        let line = table1_csv_row(&r, true);
+        assert_eq!(
+            line,
+            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false"
+        );
+        // The window the engine walked is fully accounted.
+        assert_eq!(r.evaluated as u128 + r.skipped as u128 + r.bounded, 9);
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! Admissible lower bounds for the branch-and-bound allocation search.
+//!
+//! The exhaustive walk ranks a candidate by the PACE DP's total time.
+//! That time is a sum over blocks: a software block contributes its
+//! software time, a hardware block its hardware time plus a
+//! non-negative share of run communication, all under the controller
+//! budget. Dropping the budget and flooring communication at zero
+//! relaxes every constraint, so
+//!
+//! ```text
+//! total_time(allocation) ≥ Σ_b min(sw_b, hw_b(allocation))
+//! ```
+//!
+//! for every allocation — and `hw_b` depends only on the allocation's
+//! projection onto the block's own unit kinds. [`SearchBounds`]
+//! precomputes, **once per search**, each block's hardware time under
+//! *every* projection it can ever see (blocks use few kinds, so the
+//! per-block projection spaces are tiny even when the full space is
+//! astronomic), plus a per-unit-kind *marginal* table: the minimum
+//! hardware time over all projections holding one kind at one count.
+//!
+//! A branch-and-bound walk fixes the odometer's most-significant
+//! digits first. For a subtree fixing the kinds at dimension positions
+//! `pos..` the tables yield an admissible bound in O(blocks) lookups:
+//!
+//! * a block whose kinds are all fixed contributes its **exact**
+//!   relaxed cost `min(sw, hw(projection))` — `sw` when the fixed
+//!   counts cannot cover its required resources;
+//! * a block whose most-significant kind is fixed at count `c`
+//!   contributes `min(sw, marginal(c))` — the marginal is a minimum
+//!   over a superset of the subtree's completions, hence admissible;
+//! * a block with no fixed kind contributes its **relaxed** floor
+//!   `min(sw, min over all projections of hw)`.
+//!
+//! Contributions only tighten as more kinds are fixed, so the walk
+//! maintains the per-level bounds incrementally ([`LevelState`]): a
+//! carry into digit `p` invalidates levels `≤ p`, and each level is
+//! re-derived from the one above by adjusting only the blocks whose
+//! class changes at that level.
+
+use crate::metrics::{bsb_statics, BsbStatics};
+use crate::{PaceConfig, PaceError};
+use lycos_core::kind_positions;
+use lycos_hwlib::{Cycles, FuId, HwLibrary};
+use lycos_ir::BsbArray;
+use lycos_sched::{list_schedule, FuCounts};
+
+/// Sentinel for a projection that cannot execute its block.
+const INFEASIBLE: u64 = u64::MAX;
+
+/// Largest per-block projection table the precompute will enumerate.
+/// Real blocks use a handful of kinds with single-digit caps; a block
+/// whose projection space exceeds this is bounded by its feasibility
+/// alone (hardware floored at zero), which stays admissible.
+const MAX_TABLE: usize = 1 << 16;
+
+/// Lower-bound tables of one block.
+#[derive(Clone, Debug)]
+struct BlockBound {
+    /// Total software time — the contribution whenever hardware is
+    /// infeasible, and the ceiling of every contribution.
+    sw: u64,
+    /// Dimension positions of the block's kinds, ascending (parallel
+    /// to `radix`/`needed`; the radix order of `table`, first kind
+    /// least significant). Empty when the block can never move.
+    positions: Vec<usize>,
+    /// `cap + 1` per kind.
+    radix: Vec<u32>,
+    /// Required instances per kind (hardware-feasibility floor).
+    needed: Vec<u32>,
+    /// Hardware time per feasible projection (`INFEASIBLE` elsewhere);
+    /// empty for blocks whose projection space exceeds [`MAX_TABLE`].
+    table: Vec<u64>,
+    /// Per count of the most-significant kind: minimum hardware time
+    /// over all projections holding that count. Empty iff `table` is.
+    marg: Vec<u64>,
+    /// `min(sw, min over table)` — the nothing-fixed floor (`0` for
+    /// table-less movable blocks).
+    relaxed: u64,
+}
+
+impl BlockBound {
+    /// A block that can never move to hardware: its contribution is
+    /// its software time at every level.
+    fn immovable(sw: u64) -> Self {
+        BlockBound {
+            sw,
+            positions: Vec::new(),
+            radix: Vec::new(),
+            needed: Vec::new(),
+            table: Vec::new(),
+            marg: Vec::new(),
+            relaxed: sw,
+        }
+    }
+
+    fn min_pos(&self) -> usize {
+        *self.positions.first().expect("movable block has kinds")
+    }
+
+    fn max_pos(&self) -> usize {
+        *self.positions.last().expect("movable block has kinds")
+    }
+
+    /// Exact relaxed cost with every kind fixed at `counts` (indexed
+    /// by dimension position).
+    fn exact(&self, counts: &[u32]) -> u64 {
+        let covered = self
+            .positions
+            .iter()
+            .zip(&self.needed)
+            .all(|(&p, &need)| counts[p] >= need);
+        if !covered {
+            return self.sw; // cannot cover: software for sure
+        }
+        if self.table.is_empty() {
+            // Table too large to enumerate: hardware floor 0. Checked
+            // before the index walk — the radix product of exactly
+            // these blocks can overflow `usize`.
+            return 0;
+        }
+        let mut idx = 0usize;
+        let mut mul = 1usize;
+        for (&p, &radix) in self.positions.iter().zip(&self.radix) {
+            idx += counts[p] as usize * mul;
+            mul *= radix as usize;
+        }
+        let hw = self.table[idx];
+        debug_assert_ne!(hw, INFEASIBLE, "needed-check admits only feasible entries");
+        self.sw.min(hw)
+    }
+
+    /// Marginal cost with (at least) the most-significant kind fixed
+    /// at `count`.
+    fn marginal(&self, count: u32) -> u64 {
+        if count < *self.needed.last().expect("movable block has kinds") {
+            return self.sw;
+        }
+        if self.marg.is_empty() {
+            return 0;
+        }
+        let m = self.marg[count as usize];
+        if m == INFEASIBLE {
+            self.sw
+        } else {
+            self.sw.min(m)
+        }
+    }
+}
+
+/// Once-per-search admissible bound tables over an allocation space —
+/// see the module docs for the construction and the admissibility
+/// argument.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::Restrictions;
+/// use lycos_hwlib::{Area, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+/// use lycos_pace::{exhaustive_best, search_space, PaceConfig, SearchBounds};
+///
+/// let mut b = DfgBuilder::new();
+/// let m = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m);
+/// let cdfg = Cdfg::new(
+///     "hot",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(400),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let restr = Restrictions::from_asap(&bsbs, &lib)?;
+/// let config = PaceConfig::standard();
+/// let dims = search_space(&restr);
+///
+/// let bounds = SearchBounds::new(&bsbs, &lib, &dims, &config)?;
+/// let best = exhaustive_best(&bsbs, &lib, Area::new(6000), &restr, &config, None)?;
+/// // Admissible: no allocation can beat the relaxed floor.
+/// assert!(bounds.relaxed_bound() <= best.best_partition.total_time.count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SearchBounds {
+    blocks: Vec<BlockBound>,
+    /// Blocks becoming fully fixed at level `p` (`min_pos == p`).
+    exact_at: Vec<Vec<usize>>,
+    /// Blocks whose most-significant kind is `p` while lower kinds
+    /// stay free (`max_pos == p && min_pos < p`).
+    marginal_at: Vec<Vec<usize>>,
+    /// Σ relaxed contributions — the bound with nothing fixed.
+    relaxed_total: u64,
+    dims_len: usize,
+}
+
+impl SearchBounds {
+    /// Builds the bound tables for `bsbs` over the allocation space
+    /// spanned by `dims` (from [`crate::search_space`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Hw`] / [`PaceError::Sched`] exactly where
+    /// [`crate::compute_metrics`] would fail on the same application.
+    pub fn new(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        dims: &[(FuId, u32)],
+        config: &PaceConfig,
+    ) -> Result<Self, PaceError> {
+        let statics = bsb_statics(bsbs, lib, config)?;
+        Self::from_statics(bsbs, lib, dims, &statics)
+    }
+
+    /// [`SearchBounds::new`] over statics already computed elsewhere —
+    /// the search engine derives them once for the whole sweep.
+    pub(crate) fn from_statics(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        dims: &[(FuId, u32)],
+        statics: &[BsbStatics],
+    ) -> Result<Self, PaceError> {
+        let dim_fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
+        let mut blocks = Vec::with_capacity(bsbs.len());
+        let mut exact_at = vec![Vec::new(); dims.len()];
+        let mut marginal_at = vec![Vec::new(); dims.len()];
+        for (b, (bsb, stat)) in bsbs.iter().zip(statics).enumerate() {
+            let positions = if stat.movable {
+                kind_positions(&dim_fus, &stat.kinds)
+            } else {
+                None
+            };
+            let sw = stat.sw_time.count();
+            let Some(positions) = positions.filter(|p| !p.is_empty()) else {
+                // Not movable, a kind outside the space, or no kinds at
+                // all: software at every level, folded into the floor.
+                blocks.push(BlockBound::immovable(sw));
+                continue;
+            };
+            let radix: Vec<u32> = positions.iter().map(|&p| dims[p].1 + 1).collect();
+            let needed: Vec<u32> = stat.kinds.iter().map(|&fu| stat.needed.count(fu)).collect();
+            let size = radix
+                .iter()
+                .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
+                .filter(|&s| s <= MAX_TABLE);
+            let (table, marg, relaxed) = match size {
+                None => (Vec::new(), Vec::new(), 0),
+                Some(size) => {
+                    let top_radix = *radix.last().expect("non-empty") as usize;
+                    let mut table = vec![INFEASIBLE; size];
+                    let mut marg = vec![INFEASIBLE; top_radix];
+                    let mut relaxed = sw;
+                    let mut counts = vec![0u32; positions.len()];
+                    for entry in table.iter_mut() {
+                        let feasible = counts.iter().zip(&needed).all(|(&c, &need)| c >= need);
+                        if feasible {
+                            let fu_counts: FuCounts = stat
+                                .kinds
+                                .iter()
+                                .zip(&counts)
+                                .map(|(&fu, &c)| (fu, c))
+                                .collect();
+                            let sched = list_schedule(&bsb.dfg, lib, &fu_counts)?;
+                            let hw = (Cycles::new(sched.length()) * bsb.profile).count();
+                            *entry = hw;
+                            let top = *counts.last().expect("non-empty") as usize;
+                            marg[top] = marg[top].min(hw);
+                            relaxed = relaxed.min(hw);
+                        }
+                        // Advance the block-local odometer.
+                        for (c, &r) in counts.iter_mut().zip(&radix) {
+                            *c += 1;
+                            if *c < r {
+                                break;
+                            }
+                            *c = 0;
+                        }
+                    }
+                    (table, marg, relaxed)
+                }
+            };
+            let bound = BlockBound {
+                sw,
+                positions,
+                radix,
+                needed,
+                table,
+                marg,
+                relaxed,
+            };
+            exact_at[bound.min_pos()].push(b);
+            if bound.min_pos() < bound.max_pos() {
+                marginal_at[bound.max_pos()].push(b);
+            }
+            blocks.push(bound);
+        }
+        let relaxed_total = blocks.iter().map(|b| b.relaxed).sum();
+        Ok(SearchBounds {
+            blocks,
+            exact_at,
+            marginal_at,
+            relaxed_total,
+            dims_len: dims.len(),
+        })
+    }
+
+    /// The bound with no kind fixed: no allocation in the space can
+    /// finish faster than this.
+    pub fn relaxed_bound(&self) -> u64 {
+        self.relaxed_total
+    }
+
+    /// Admissible lower bound on the total time of every allocation
+    /// whose counts at dimension positions `fixed_from..` equal
+    /// `counts` (positions below `fixed_from` are free). `counts` must
+    /// span the full dimension list; entries below `fixed_from` are
+    /// ignored. `fixed_from == dims.len()` fixes nothing and returns
+    /// [`SearchBounds::relaxed_bound`]; `fixed_from == 0` bounds the
+    /// single allocation `counts` itself.
+    ///
+    /// This is the direct O(blocks) reference evaluation; the search
+    /// walk derives the same values incrementally through the
+    /// crate-internal `LevelState` chain (pinned equal by unit tests).
+    pub fn prefix_bound(&self, counts: &[u32], fixed_from: usize) -> u64 {
+        debug_assert_eq!(counts.len(), self.dims_len, "counts span the space");
+        (0..self.blocks.len())
+            .map(|b| self.contribution(b, fixed_from, counts))
+            .sum()
+    }
+
+    /// One block's contribution at a level (see the module docs).
+    fn contribution(&self, b: usize, fixed_from: usize, counts: &[u32]) -> u64 {
+        let blk = &self.blocks[b];
+        if blk.positions.is_empty() {
+            return blk.relaxed; // immovable: constant software time
+        }
+        if blk.min_pos() >= fixed_from {
+            blk.exact(counts)
+        } else if blk.max_pos() >= fixed_from {
+            blk.marginal(counts[blk.max_pos()])
+        } else {
+            blk.relaxed
+        }
+    }
+}
+
+/// Incrementally-maintained per-level bounds of one branch-and-bound
+/// walk: `lb[pos]` is [`SearchBounds::prefix_bound`] at `pos` for the
+/// walk's current digits, re-derived lazily from the level above after
+/// each carry.
+#[derive(Clone, Debug)]
+pub(crate) struct LevelState {
+    lb: Vec<u64>,
+    /// Levels `>= valid_from` hold current values.
+    valid_from: usize,
+}
+
+impl LevelState {
+    pub(crate) fn new(bounds: &SearchBounds) -> Self {
+        let n = bounds.dims_len;
+        let mut lb = vec![0; n + 1];
+        lb[n] = bounds.relaxed_total;
+        LevelState { lb, valid_from: n }
+    }
+
+    /// The walk changed digits at positions `..=pos`: every level at
+    /// or below `pos` is stale (the top level never is — it fixes
+    /// nothing).
+    pub(crate) fn invalidate_upto(&mut self, pos: usize) {
+        self.valid_from = self.valid_from.max(pos + 1).min(self.lb.len() - 1);
+    }
+
+    /// The bound at `pos` for the current `counts`, re-deriving stale
+    /// levels top-down. Each level adjusts only the blocks whose
+    /// contribution class changes there, so a full walk costs O(class
+    /// changes), not O(levels × blocks).
+    pub(crate) fn bound_at(&mut self, bounds: &SearchBounds, pos: usize, counts: &[u32]) -> u64 {
+        while self.valid_from > pos {
+            let q = self.valid_from - 1;
+            let mut v = self.lb[q + 1];
+            for &b in &bounds.exact_at[q] {
+                let blk = &bounds.blocks[b];
+                let prev = if blk.max_pos() > q {
+                    blk.marginal(counts[blk.max_pos()])
+                } else {
+                    blk.relaxed
+                };
+                let now = blk.exact(counts);
+                debug_assert!(now >= prev, "contributions only tighten downward");
+                v += now - prev;
+            }
+            for &b in &bounds.marginal_at[q] {
+                let blk = &bounds.blocks[b];
+                let now = blk.marginal(counts[q]);
+                debug_assert!(now >= blk.relaxed, "marginal is at least the floor");
+                v += now - blk.relaxed;
+            }
+            self.lb[q] = v;
+            self.valid_from = q;
+        }
+        self.lb[pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compute_metrics, partition_from_metrics, search_space, CommCosts, DpScratch};
+    use lycos_core::{RMap, Restrictions};
+    use lycos_hwlib::Area;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn lib() -> HwLibrary {
+        HwLibrary::standard()
+    }
+
+    fn bsb(i: u32, kind: OpKind, n: usize, profile: u64, reads: &[&str], writes: &[&str]) -> Bsb {
+        let mut dfg = Dfg::new();
+        for _ in 0..n {
+            dfg.add_op(kind);
+        }
+        Bsb {
+            id: BsbId(i),
+            name: format!("b{i}"),
+            dfg,
+            reads: reads.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            writes: writes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+            profile,
+            origin: BsbOrigin::Body,
+        }
+    }
+
+    fn app() -> BsbArray {
+        BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, OpKind::Add, 3, 500, &["a"], &["x"]),
+                bsb(1, OpKind::Mul, 2, 700, &["x"], &["y"]),
+                bsb(2, OpKind::Add, 2, 90, &["y"], &["z"]),
+                bsb(3, OpKind::Div, 1, 40, &["z"], &["w"]),
+            ],
+        )
+    }
+
+    /// Exact DP time of one allocation (fresh everything).
+    fn dp_time(bsbs: &BsbArray, lib: &HwLibrary, alloc: &RMap, total: Area) -> u64 {
+        let cfg = PaceConfig::standard();
+        let metrics = compute_metrics(bsbs, lib, alloc, &cfg).unwrap();
+        let datapath = alloc.area(lib);
+        let ctl = total.checked_sub(datapath).unwrap();
+        let mut comm = CommCosts::new(bsbs.len());
+        let mut scratch = DpScratch::new();
+        partition_from_metrics(bsbs, &metrics, &mut comm, &mut scratch, datapath, ctl, &cfg)
+            .total_time
+            .count()
+    }
+
+    /// Walks every allocation of the space, returning `(counts, time)`
+    /// pairs (skipping area-infeasible points).
+    fn all_times(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        dims: &[(FuId, u32)],
+        total: Area,
+    ) -> Vec<(Vec<u32>, u64)> {
+        let mut counts = vec![0u32; dims.len()];
+        let mut out = Vec::new();
+        loop {
+            let alloc: RMap = dims
+                .iter()
+                .zip(&counts)
+                .map(|(&(fu, _), &c)| (fu, c))
+                .collect();
+            if alloc.area(lib) <= total {
+                out.push((counts.clone(), dp_time(bsbs, lib, &alloc, total)));
+            }
+            let mut pos = 0;
+            loop {
+                if pos == dims.len() {
+                    return out;
+                }
+                counts[pos] += 1;
+                if counts[pos] <= dims[pos].1 {
+                    break;
+                }
+                counts[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn every_prefix_bound_is_admissible() {
+        // For every point and every level: the bound with positions
+        // `pos..` fixed must not exceed the time of ANY allocation
+        // sharing those fixed counts.
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let total = Area::new(9_000);
+        let bounds = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        let times = all_times(&bsbs, &lib, &dims, total);
+        assert!(!times.is_empty());
+        for (counts, time) in &times {
+            for pos in 0..=dims.len() {
+                let lb = bounds.prefix_bound(counts, pos);
+                assert!(
+                    lb <= *time,
+                    "level {pos} bound {lb} beats the DP time {time} at {counts:?}"
+                );
+            }
+        }
+        // And the relaxed floor bounds the optimum itself.
+        let best = times.iter().map(|&(_, t)| t).min().unwrap();
+        assert!(bounds.relaxed_bound() <= best);
+    }
+
+    #[test]
+    fn fully_fixed_bound_is_tight_without_comm_or_budget_pressure() {
+        // One isolated hot block, no reads/writes, huge budget: the DP
+        // time IS min(sw, hw), so the level-0 bound must be exact.
+        let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, OpKind::Add, 4, 1000, &[], &[])]);
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let total = Area::new(100_000);
+        let bounds = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        for (counts, time) in all_times(&bsbs, &lib, &dims, total) {
+            assert_eq!(bounds.prefix_bound(&counts, 0), time, "at {counts:?}");
+        }
+    }
+
+    #[test]
+    fn level_state_matches_the_reference_recompute() {
+        // Walk the space in odometer order with the incremental chain
+        // and compare every level against the direct prefix_bound.
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let bounds = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        let mut state = LevelState::new(&bounds);
+        let mut counts = vec![0u32; dims.len()];
+        loop {
+            for pos in 0..=dims.len() {
+                assert_eq!(
+                    state.bound_at(&bounds, pos, &counts),
+                    bounds.prefix_bound(&counts, pos),
+                    "level {pos} at {counts:?}"
+                );
+            }
+            let mut pos = 0;
+            loop {
+                if pos == dims.len() {
+                    return;
+                }
+                counts[pos] += 1;
+                state.invalidate_upto(pos);
+                if counts[pos] <= dims[pos].1 {
+                    break;
+                }
+                counts[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_prefixes_bound_at_software_time() {
+        // Fixing the divider's dimension at 0 forces block 3 into
+        // software: the bound at that level includes its full sw time.
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let bounds = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        let div = lib.fu_for(OpKind::Div).unwrap();
+        let div_pos = dims.iter().position(|&(fu, _)| fu == div).unwrap();
+        // All caps at maximum except the divider at zero, fixed from
+        // the divider's own level.
+        let mut counts: Vec<u32> = dims.iter().map(|&(_, cap)| cap).collect();
+        counts[div_pos] = 0;
+        let with_div = {
+            let mut c = counts.clone();
+            c[div_pos] = 1;
+            bounds.prefix_bound(&c, div_pos)
+        };
+        let without = bounds.prefix_bound(&counts, div_pos);
+        assert!(
+            without > with_div,
+            "a starved divider must raise the bound ({without} vs {with_div})"
+        );
+        // The gap is at least the divider block's hardware gain.
+        let metrics = compute_metrics(
+            &bsbs,
+            &lib,
+            &dims
+                .iter()
+                .zip(&counts)
+                .map(|(&(fu, _), &c)| (fu, if fu == div { dims[div_pos].1.max(1) } else { c }))
+                .collect(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(metrics[3].hw_feasible());
+    }
+
+    #[test]
+    fn immovable_and_alien_kind_blocks_contribute_software_everywhere() {
+        // An empty block and one whose kind is outside the dimensions
+        // (cap 0) are software constants at every level.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, OpKind::Add, 2, 100, &[], &[]),
+                Bsb {
+                    id: BsbId(1),
+                    name: "empty".into(),
+                    dfg: Dfg::new(),
+                    reads: BTreeSet::new(),
+                    writes: BTreeSet::new(),
+                    profile: 9,
+                    origin: BsbOrigin::Body,
+                },
+                bsb(2, OpKind::Div, 1, 30, &[], &[]),
+            ],
+        );
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let adder = lib.fu_for(OpKind::Add).unwrap();
+        // Dimension list without the divider: block 2 can never move.
+        let dims = vec![(adder, 2u32)];
+        let bounds = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        let metrics = compute_metrics(&bsbs, &lib, &RMap::new(), &cfg).unwrap();
+        let sw_div = metrics[2].sw_time.count();
+        assert!(sw_div > 0);
+        // With the adder maxed, only block 0 can go to hardware; the
+        // bound keeps blocks 1 and 2 at their software times.
+        let counts = vec![2u32];
+        let lb = bounds.prefix_bound(&counts, 0);
+        assert!(lb >= sw_div, "alien-kind block stays software");
+        // The empty block contributes zero (its sw time is zero); the
+        // divider block contributes its full sw time.
+        assert_eq!(bounds.blocks[1].relaxed, 0, "empty block floor");
+        assert_eq!(bounds.blocks[2].relaxed, sw_div, "alien-kind block floor");
+        assert_eq!(
+            bounds.relaxed_bound(),
+            bounds.blocks[0].relaxed + sw_div,
+            "floors sum across the blocks"
+        );
+    }
+}

@@ -45,7 +45,11 @@ pub struct SearchResult {
 
 impl SearchResult {
     /// Allocations evaluated per wall-clock second — the headline
-    /// search-engine telemetry figure.
+    /// search-engine telemetry figure. Counts *evaluated* candidates
+    /// only: bound-pruned points ([`SearchStats::bounded`]) are
+    /// engine savings, not work, and must never inflate the rate —
+    /// they are accounted separately from `skipped`, so
+    /// [`SearchResult::points_accounted`] still covers the space.
     ///
     /// When the clock reads exactly zero (tiny spaces on fast
     /// machines, or coarse timers), the rate is the mathematical
@@ -65,6 +69,22 @@ impl SearchResult {
         } else {
             self.evaluated as f64 / secs
         }
+    }
+
+    /// Sum of the accounting buckets: every point of the space lands
+    /// in exactly one of *evaluated* (partitioned through PACE),
+    /// *skipped* (data path alone over the area), *bounded* (pruned by
+    /// an admissible bound, [`SearchStats::bounded`]) or *truncated*
+    /// (past the evaluation-limit window,
+    /// [`SearchStats::truncated_points`]). Always equals
+    /// [`SearchResult::space_size`] — asserted by the engines in debug
+    /// builds and pinned by unit tests — so no emitter can quietly
+    /// fold bound-pruned candidates into another column.
+    pub fn points_accounted(&self) -> u128 {
+        self.evaluated as u128
+            + self.skipped as u128
+            + self.stats.bounded
+            + self.stats.truncated_points
     }
 }
 
@@ -229,7 +249,7 @@ pub fn exhaustive_best(
         }
     }
 
-    Ok(SearchResult {
+    let result = SearchResult {
         best_allocation,
         best_partition,
         evaluated,
@@ -238,12 +258,19 @@ pub fn exhaustive_best(
         truncated,
         stats: SearchStats {
             threads: 1,
-            cache_hits: 0,
-            cache_misses: 0, // no cache in the reference walk
-            key_allocs: 0,
+            // No cache, no bounding in the reference walk; whatever
+            // the limit left unvisited is the truncated bucket.
+            truncated_points: space - evaluated as u128 - skipped as u128,
             elapsed: started.elapsed(),
+            ..SearchStats::default()
         },
-    })
+    };
+    debug_assert_eq!(
+        result.points_accounted(),
+        space,
+        "every point lands in exactly one accounting bucket"
+    );
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -372,6 +399,34 @@ mod tests {
         .unwrap();
         assert!(res.truncated);
         assert!(res.evaluated <= 3);
+        // The unvisited tail is accounted as truncated points, never
+        // folded into `skipped`.
+        assert_eq!(res.stats.bounded, 0, "reference walk never bounds");
+        assert_eq!(
+            res.stats.truncated_points,
+            res.space_size - res.evaluated as u128 - res.skipped as u128
+        );
+        assert_eq!(res.points_accounted(), res.space_size);
+    }
+
+    #[test]
+    fn accounting_covers_the_space_without_a_limit_too() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        for gates in [2_500u64, 100_000] {
+            let res = exhaustive_best(
+                &bsbs,
+                &lib,
+                Area::new(gates),
+                &restr,
+                &PaceConfig::standard(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(res.stats.truncated_points, 0, "nothing truncated");
+            assert_eq!(res.points_accounted(), res.space_size, "area {gates}");
+        }
     }
 
     #[test]

@@ -21,8 +21,12 @@
 //!   allocation, marking the best one;
 //! * [`search_best`] — the same search, memoised and parallel: per-BSB
 //!   schedules cached on the allocation's projection onto each block's
-//!   unit kinds, the odometer range fanned out over scoped threads,
-//!   results bit-identical to the sequential walk.
+//!   unit kinds, stepped incrementally along the odometer, the range
+//!   fanned out over scoped threads, results bit-identical to the
+//!   sequential walk — and, with `SearchOptions::bound`, driven by
+//!   branch-and-bound over the admissible lower bounds of
+//!   [`SearchBounds`], returning the field-exact optimum while
+//!   visiting a fraction of the space.
 //!
 //! # Examples
 //!
@@ -59,6 +63,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bounds;
 mod comm;
 mod config;
 mod dp;
@@ -68,6 +73,7 @@ mod greedy;
 mod metrics;
 mod search;
 
+pub use bounds::SearchBounds;
 pub use comm::{run_traffic, CommCosts, RunTraffic};
 pub use config::PaceConfig;
 #[doc(hidden)]

@@ -1,9 +1,9 @@
-//! Memoised, parallel allocation-space search.
+//! Memoised, parallel, bound-driven allocation-space search.
 //!
 //! The paper's baseline partitions the application for *every*
 //! allocation in the space (§5) — exactly the cost its §4.4 complexity
 //! argument holds against the PACE allocator. [`search_best`] makes
-//! that baseline usable on larger spaces with two observations:
+//! that baseline usable on larger spaces with four observations:
 //!
 //! * **Memoisation** — a BSB's list schedule depends only on the unit
 //!   counts of the kinds its operations use, so per-BSB metrics are
@@ -13,31 +13,48 @@
 //!   Run communication costs never depend on the allocation at all and
 //!   are memoised across every candidate a worker evaluates
 //!   ([`CommCosts`]), instead of being recomputed per partition call.
-//! * **Allocation-free evaluation** — each worker owns a reusable
-//!   [`DpScratch`], a metrics buffer and a candidate map; memo probes
-//!   go through a scratch projection key. After warm-up, a candidate
-//!   that does not improve on the incumbent allocates nothing on the
-//!   heap; the full [`Partition`] is only materialised on improvement.
+//! * **Incremental frontier metrics** — one odometer step changes one
+//!   (occasionally a few) unit-kind counts, so the sweep keeps a
+//!   per-kind → affected-block index and re-derives only the *dirty*
+//!   metrics entries ([`MetricsCache::step_into`]); clean blocks are
+//!   reused without even probing the memo. The dirty/clean split is
+//!   reported as [`SearchStats::dirty_ratio`].
+//! * **Branch-and-bound** — with [`SearchOptions::bound`] on, the walk
+//!   skips whole odometer subtrees whose admissible lower bound
+//!   ([`crate::SearchBounds`]) proves they cannot beat the incumbent
+//!   under the strict `(time, area)` improvement rule — including a
+//!   leaf-level check that spares the DP for individually hopeless
+//!   candidates. Workers share their best `(time, area)` through an
+//!   [`AtomicU64`]-packed incumbent so one worker's early optimum
+//!   tightens every other worker's bound; cross-worker pruning is
+//!   deliberately stricter than own-range pruning so the deterministic
+//!   final reduce still returns the *field-exact* winner of the
+//!   exhaustive walk (same allocation, partition, time and area).
+//!   Pruned points are accounted separately ([`SearchStats::bounded`]).
 //! * **Parallelism** — the odometer sequence is split into contiguous
 //!   index ranges fanned out over [`std::thread::scope`] workers, each
-//!   with a private cache. Worker results are reduced deterministically
-//!   in range order under the same strict `(time, area)` improvement
-//!   rule the sequential walk uses, so the outcome is bit-identical to
-//!   [`exhaustive_best`] — including `evaluated`, `skipped` and
-//!   truncation behaviour, which are pinned ahead of the sweep by a
-//!   cheap area-only pre-walk.
+//!   with a private cache; ranges are balanced by the truncation
+//!   pre-walk's per-chunk evaluable counts where available, so
+//!   skip-heavy prefixes don't starve workers. Results reduce
+//!   deterministically in range order under the same strict
+//!   `(time, area)` improvement rule the sequential walk uses, so the
+//!   outcome is bit-identical to [`exhaustive_best`] — including
+//!   `evaluated`, `skipped` and truncation behaviour when bounding is
+//!   off, and the field-exact winner when it is on.
 
+use crate::bounds::LevelState;
 use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
 use crate::{
     search_space, space_size, BsbMetrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition,
-    SearchResult,
+    SearchBounds, SearchResult,
 };
 use lycos_core::{RMap, Restrictions};
-use lycos_hwlib::{Area, FuId, HwLibrary};
+use lycos_hwlib::{Area, Cycles, FuId, HwLibrary};
 use lycos_ir::BsbArray;
 use lycos_sched::FuCounts;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Knobs of the allocation-search engine.
@@ -48,7 +65,10 @@ pub struct SearchOptions {
     pub threads: usize,
     /// Cap on the number of *evaluated* allocations, as in
     /// [`exhaustive_best`](crate::exhaustive_best); `None` exhausts
-    /// the space.
+    /// the space. With `bound` on the limit caps the same candidate
+    /// window, so the winner still matches the limited exhaustive
+    /// walk; bound-pruned points inside the window do not count
+    /// against the limit.
     pub limit: Option<usize>,
     /// Whether to memoise per-BSB metrics across candidates. Disabling
     /// exists for benchmarking the cache itself; results are identical
@@ -58,11 +78,21 @@ pub struct SearchOptions {
     /// area axis is split across scoped workers while rows stay
     /// sequential ([`DpScratch::with_dp_threads`]). `1` (the default)
     /// = sequential; `0` = one per available core. Results are
-    /// bit-identical at any setting. Opt-in: when `threads` already
-    /// fans candidates out across cores, leave this at `1` — it pays
-    /// off for large single-candidate evaluations (many controller
-    /// levels), not for saturated sweeps.
+    /// bit-identical at any setting. In the fully automatic shape
+    /// (`threads: 0` with this left at `1`),
+    /// [`SearchOptions::resolve`] auto-engages the row split when a
+    /// sweep has fewer candidates than the machine has cores; any
+    /// explicitly chosen shape is honoured verbatim.
     pub dp_threads: usize,
+    /// Branch-and-bound: skip odometer subtrees whose admissible lower
+    /// bound ([`crate::SearchBounds`]) proves they cannot improve the
+    /// incumbent. The returned winner is *field-exact* against the
+    /// exhaustive walk — same allocation, partition, time and area,
+    /// same `(time, area)` tie-break — but `evaluated`/`skipped`
+    /// become engine-effort telemetry: pruned points are counted in
+    /// [`SearchStats::bounded`] instead, and under multiple worker
+    /// threads the exact split depends on incumbent-sharing timing.
+    pub bound: bool,
 }
 
 impl Default for SearchOptions {
@@ -72,17 +102,50 @@ impl Default for SearchOptions {
             limit: None,
             cache: true,
             dp_threads: 1,
+            bound: false,
         }
     }
 }
 
 impl SearchOptions {
-    /// Sequential, memoised, unlimited — the reference configuration.
+    /// Sequential, memoised, unlimited, unbounded — the reference
+    /// configuration.
     pub fn sequential() -> Self {
         SearchOptions {
             threads: 1,
             ..SearchOptions::default()
         }
+    }
+
+    /// Resolved engine shape for a sweep over `candidates` points:
+    /// `(sweep workers, dp workers)`.
+    ///
+    /// Sweep workers follow the usual clamps (`0` = one per core,
+    /// never more workers than points, hard cap). In the fully
+    /// automatic shape — `threads: 0` ("use the machine") with
+    /// `dp_threads` at its sequential default of `1` — a sweep with
+    /// fewer candidates than the machine has cores auto-engages the
+    /// intra-candidate row split with the cores the fan-out cannot
+    /// use. Any explicitly chosen shape (a concrete `threads`, or a
+    /// `dp_threads` other than `1`, including `0`) is honoured
+    /// verbatim, so [`SearchOptions::sequential`] really is
+    /// sequential. Results are bit-identical at any resolution; only
+    /// the wall clock changes.
+    pub fn resolve(&self, candidates: u128) -> (usize, usize) {
+        self.resolve_with(candidates, available_parallelism())
+    }
+
+    /// [`SearchOptions::resolve`] with an explicit core count, so the
+    /// heuristic is testable off the build machine.
+    fn resolve_with(&self, candidates: u128, available: usize) -> (usize, usize) {
+        let threads = effective_threads_with(self.threads, candidates, available);
+        let auto_shape = self.threads == 0 && self.dp_threads == 1;
+        let dp_threads = if auto_shape && candidates < available as u128 {
+            (available / threads.max(1)).max(1)
+        } else {
+            self.dp_threads
+        };
+        (threads, dp_threads)
     }
 }
 
@@ -103,6 +166,24 @@ pub struct SearchStats {
     /// `cache_hits + cache_misses − key_allocs` probes cost no
     /// allocation at all.
     pub key_allocs: u64,
+    /// Points never evaluated because an admissible lower bound proved
+    /// their whole subtree could not improve the incumbent — always
+    /// `0` unless [`SearchOptions::bound`] is on. Counted separately
+    /// from `skipped`, so
+    /// `evaluated + skipped + bounded + truncated_points` always
+    /// equals the space size.
+    pub bounded: u128,
+    /// Points past the truncation window — never visited because the
+    /// evaluation limit cut the space short (`0` on full sweeps).
+    pub truncated_points: u128,
+    /// Per-block metric entries actually re-derived when refreshing a
+    /// candidate's metrics (dirty kinds after an odometer step, plus
+    /// every block of a from-scratch refresh).
+    pub dirty_probes: u64,
+    /// Per-block metric entries reused untouched across an odometer
+    /// step — the incremental-metrics saving: these cost neither a
+    /// projection nor a memo probe.
+    pub clean_reuses: u64,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -117,6 +198,21 @@ impl SearchStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of per-block metric refreshes that actually had to be
+    /// re-derived, in `(0, 1]` — the incremental-metrics figure: an
+    /// odometer step dirties few kinds, so most blocks ride along
+    /// untouched and the ratio sits well below 1. Exactly `1.0` when
+    /// nothing was ever reused (single-candidate runs, or a run that
+    /// never stepped).
+    pub fn dirty_ratio(&self) -> f64 {
+        let total = self.dirty_probes + self.clean_reuses;
+        if total == 0 {
+            1.0
+        } else {
+            self.dirty_probes as f64 / total as f64
+        }
+    }
 }
 
 /// Memo cache of per-BSB metrics, keyed on the allocation's projection
@@ -125,7 +221,10 @@ impl SearchStats {
 /// Guarantees that [`MetricsCache::metrics`] returns exactly what
 /// [`crate::compute_metrics`] returns for the same allocation — the
 /// cache is a pure evaluation-order optimisation (asserted by property
-/// tests in the exploration crate).
+/// tests in the exploration crate). [`MetricsCache::step_into`] adds
+/// the incremental path a sweep lives on: only blocks touching a
+/// *dirty* kind are refreshed, through a per-kind → affected-block
+/// index built once per cache.
 ///
 /// # Examples
 ///
@@ -163,9 +262,16 @@ pub struct MetricsCache<'a> {
     // Scratch projection key: probes go by slice; a key vector is
     // cloned out of here only when an entry is actually inserted.
     key_buf: Vec<u32>,
+    // Per-kind → affected-block index plus generation stamps, so an
+    // incremental step touches exactly the dirty blocks.
+    by_kind: HashMap<FuId, Vec<usize>>,
+    touched: Vec<u64>,
+    generation: u64,
     hits: u64,
     misses: u64,
     key_allocs: u64,
+    dirty_probes: u64,
+    clean_reuses: u64,
 }
 
 impl<'a> MetricsCache<'a> {
@@ -218,6 +324,13 @@ impl<'a> MetricsCache<'a> {
         enabled: bool,
     ) -> Self {
         let entries = vec![HashMap::new(); bsbs.len()];
+        let mut by_kind: HashMap<FuId, Vec<usize>> = HashMap::new();
+        for (i, stat) in statics.iter().enumerate() {
+            for &fu in &stat.kinds {
+                by_kind.entry(fu).or_default().push(i);
+            }
+        }
+        let touched = vec![0; bsbs.len()];
         MetricsCache {
             bsbs,
             lib,
@@ -226,9 +339,14 @@ impl<'a> MetricsCache<'a> {
             entries,
             enabled,
             key_buf: Vec::new(),
+            by_kind,
+            touched,
+            generation: 0,
             hits: 0,
             misses: 0,
             key_allocs: 0,
+            dirty_probes: 0,
+            clean_reuses: 0,
         }
     }
 
@@ -245,11 +363,10 @@ impl<'a> MetricsCache<'a> {
     }
 
     /// [`MetricsCache::metrics`] into a caller-owned buffer (cleared
-    /// first) — the sweep's steady-state path, which reuses one buffer
-    /// across every candidate a worker evaluates. Projection keys are
-    /// built in a scratch buffer and probed by slice; a key is only
-    /// allocated when an entry is inserted (counted by
-    /// [`MetricsCache::key_allocs`]).
+    /// first) — the sweep's from-scratch path, refreshing every block.
+    /// Projection keys are built in a scratch buffer and probed by
+    /// slice; a key is only allocated when an entry is inserted
+    /// (counted by [`MetricsCache::key_allocs`]).
     ///
     /// # Errors
     ///
@@ -260,17 +377,78 @@ impl<'a> MetricsCache<'a> {
         out: &mut Vec<BsbMetrics>,
     ) -> Result<(), PaceError> {
         out.clear();
+        out.resize(self.bsbs.len(), infeasible_block_metrics(Cycles::ZERO));
+        self.refresh(allocation, None, out)
+    }
+
+    /// Incrementally refreshes `out` — a previous candidate's complete
+    /// metrics — for `allocation`, re-deriving only the blocks whose
+    /// kind sets intersect `dirty_kinds` (the unit kinds whose counts
+    /// changed since the metrics in `out` were computed). Untouched
+    /// blocks are reused as-is: their projections cannot have changed,
+    /// so their entries are still exactly what
+    /// [`crate::compute_metrics`] would return. The dirty/clean split
+    /// is counted by [`MetricsCache::dirty_probes`] and
+    /// [`MetricsCache::clean_reuses`].
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Sched`] if a block's DFG cannot be scheduled at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not hold one entry per block — the buffer
+    /// must come from an earlier [`MetricsCache::metrics_into`] /
+    /// `step_into` over the same application.
+    pub fn step_into(
+        &mut self,
+        allocation: &RMap,
+        dirty_kinds: &[FuId],
+        out: &mut [BsbMetrics],
+    ) -> Result<(), PaceError> {
+        assert_eq!(
+            out.len(),
+            self.bsbs.len(),
+            "step_into refreshes a previous candidate's metrics"
+        );
+        self.refresh(allocation, Some(dirty_kinds), out)
+    }
+
+    /// The shared refresh loop: `dirty == None` re-derives every block
+    /// (from-scratch), `Some(kinds)` only the blocks a dirty kind
+    /// touches.
+    fn refresh(
+        &mut self,
+        allocation: &RMap,
+        dirty: Option<&[FuId]>,
+        out: &mut [BsbMetrics],
+    ) -> Result<(), PaceError> {
+        if let Some(kinds) = dirty {
+            self.generation += 1;
+            for fu in kinds {
+                if let Some(blocks) = self.by_kind.get(fu) {
+                    for &b in blocks {
+                        self.touched[b] = self.generation;
+                    }
+                }
+            }
+        }
         for (i, (bsb, stat)) in self.bsbs.iter().zip(&self.statics).enumerate() {
+            if dirty.is_some() && self.touched[i] != self.generation {
+                self.clean_reuses += 1;
+                continue;
+            }
+            self.dirty_probes += 1;
             let feasible = stat.movable && allocation.covers(&stat.needed);
             if !feasible {
-                out.push(infeasible_block_metrics(stat.sw_time));
+                out[i] = infeasible_block_metrics(stat.sw_time);
                 continue;
             }
             allocation.project_into(&stat.kinds, &mut self.key_buf);
             if self.enabled {
                 if let Some(&hit) = self.entries[i].get(self.key_buf.as_slice()) {
                     self.hits += 1;
-                    out.push(hit);
+                    out[i] = hit;
                     continue;
                 }
             }
@@ -289,7 +467,7 @@ impl<'a> MetricsCache<'a> {
                 self.key_allocs += 1;
                 self.entries[i].insert(self.key_buf.clone(), m);
             }
-            out.push(m);
+            out[i] = m;
         }
         Ok(())
     }
@@ -309,6 +487,16 @@ impl<'a> MetricsCache<'a> {
     pub fn key_allocs(&self) -> u64 {
         self.key_allocs
     }
+
+    /// Block entries actually re-derived across all refreshes.
+    pub fn dirty_probes(&self) -> u64 {
+        self.dirty_probes
+    }
+
+    /// Block entries reused untouched by [`MetricsCache::step_into`].
+    pub fn clean_reuses(&self) -> u64 {
+        self.clean_reuses
+    }
 }
 
 /// Mixed-radix odometer over the allocation space, with incremental
@@ -321,6 +509,10 @@ struct Odometer {
     unit_area: Vec<u64>,
     counts: Vec<u32>,
     area: u64,
+    /// `weight[pos]` = number of points in a subtree fixing digits
+    /// `pos..` (saturating for astronomically large spaces, which only
+    /// makes the walk decline to skip such a subtree).
+    weight: Vec<u128>,
 }
 
 impl Odometer {
@@ -329,6 +521,12 @@ impl Odometer {
         let caps: Vec<u32> = dims.iter().map(|&(_, cap)| cap).collect();
         let fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
         let unit_area: Vec<u64> = fus.iter().map(|&fu| lib.area_of(fu).gates()).collect();
+        let mut weight = Vec::with_capacity(dims.len() + 1);
+        weight.push(1u128);
+        for &cap in &caps {
+            let last = *weight.last().expect("starts non-empty");
+            weight.push(last.saturating_mul(cap as u128 + 1));
+        }
         let mut rest = index;
         let mut counts = vec![0u32; dims.len()];
         for (c, &cap) in counts.iter_mut().zip(&caps) {
@@ -348,21 +546,53 @@ impl Odometer {
             unit_area,
             counts,
             area,
+            weight,
         }
     }
 
     /// Advances to the next point; `false` once the space is exhausted.
     fn step(&mut self) -> bool {
-        for pos in 0..self.counts.len() {
+        self.advance(0).is_some()
+    }
+
+    /// Advances past the subtree rooted at digit `from` (digits below
+    /// `from` must be zero — they stay zero), carrying upward. Returns
+    /// the highest digit position that changed, or `None` once the
+    /// space is exhausted. `advance(0)` is a plain step.
+    fn advance(&mut self, from: usize) -> Option<usize> {
+        debug_assert!(
+            self.counts[..from].iter().all(|&c| c == 0),
+            "subtree skips start at a subtree root"
+        );
+        for pos in from..self.counts.len() {
             self.counts[pos] += 1;
             self.area += self.unit_area[pos];
             if self.counts[pos] <= self.caps[pos] {
-                return true;
+                return Some(pos);
             }
             self.area -= self.unit_area[pos] * (self.caps[pos] as u64 + 1);
             self.counts[pos] = 0;
         }
-        false
+        None
+    }
+
+    /// Number of least-significant zero digits — the current point is
+    /// the root of subtrees at every level up to this.
+    fn trailing_zeros(&self) -> usize {
+        self.counts
+            .iter()
+            .position(|&c| c != 0)
+            .unwrap_or(self.counts.len())
+    }
+
+    /// Points in a subtree fixing digits `pos..`.
+    fn subtree_width(&self, pos: usize) -> u128 {
+        self.weight[pos]
+    }
+
+    /// The unit kind of dimension `pos`.
+    fn kind_at(&self, pos: usize) -> FuId {
+        self.fus[pos]
     }
 
     /// The current point as a resource map (test-only: the sweep
@@ -389,6 +619,22 @@ impl Odometer {
     }
 }
 
+/// Granularity target of the truncation pre-walk's evaluable-count
+/// histogram: enough chunks that range boundaries can balance work,
+/// few enough that the histogram stays trivially small.
+const PRE_WALK_CHUNKS: u128 = 4096;
+
+/// What the cheap area-only pre-walk of a *limited* search learns:
+/// where the truncation window ends, plus a coarse per-chunk histogram
+/// of evaluable points inside it (for work-balanced range splits).
+/// Full sweeps run no pre-walk and carry an empty histogram.
+struct PreWalk {
+    bound: u128,
+    truncated: bool,
+    chunk: u128,
+    evaluable: Vec<u64>,
+}
+
 /// Pins where a limited search stops, before any partitioning runs.
 ///
 /// The sequential walk evaluates the all-software point, then skips
@@ -396,7 +642,69 @@ impl Odometer {
 /// evaluable candidate past the limit. Walking the odometer with area
 /// tracking alone (no scheduling) finds that exact index, so parallel
 /// workers can cover `[0, bound)` and reproduce `evaluated`, `skipped`
-/// and `truncated` bit-for-bit.
+/// and `truncated` bit-for-bit. The same walk tallies evaluable points
+/// per index chunk, which later balances the worker ranges.
+fn pre_walk(
+    dims: &[(FuId, u32)],
+    lib: &HwLibrary,
+    total_gates: u64,
+    space: u128,
+    limit: Option<usize>,
+) -> PreWalk {
+    let Some(limit) = limit else {
+        return PreWalk {
+            bound: space,
+            truncated: false,
+            chunk: 0,
+            evaluable: Vec::new(),
+        };
+    };
+    let chunk = (space / PRE_WALK_CHUNKS).max(1);
+    let mut evaluable: Vec<u64> = Vec::new();
+    let tally = |evaluable: &mut Vec<u64>, index: u128| {
+        let slot = (index / chunk) as usize;
+        if evaluable.len() <= slot {
+            evaluable.resize(slot + 1, 0);
+        }
+        evaluable[slot] += 1;
+    };
+    // The all-software point (index 0) is always evaluated, even under
+    // `limit = 0`; truncation strikes the (limit+1)-th evaluable point.
+    let target = limit.max(1) as u128 + 1;
+    let mut odo = Odometer::at(dims, lib, 0);
+    let mut count = 1u128;
+    tally(&mut evaluable, 0);
+    let mut index = 0u128;
+    loop {
+        if !odo.step() {
+            return PreWalk {
+                bound: space,
+                truncated: false,
+                chunk,
+                evaluable,
+            };
+        }
+        index += 1;
+        if odo.area_gates() <= total_gates {
+            count += 1;
+            if count == target {
+                // `index` is the first evaluable point *outside* the
+                // window — not tallied, not covered.
+                return PreWalk {
+                    bound: index,
+                    truncated: true,
+                    chunk,
+                    evaluable,
+                };
+            }
+            tally(&mut evaluable, index);
+        }
+    }
+}
+
+/// Where a limited search stops — see [`pre_walk`], which this wraps
+/// (kept as the historical seam the truncation unit tests pin).
+#[cfg(test)]
 fn truncation_bound(
     dims: &[(FuId, u32)],
     lib: &HwLibrary,
@@ -404,27 +712,95 @@ fn truncation_bound(
     space: u128,
     limit: Option<usize>,
 ) -> (u128, bool) {
-    let Some(limit) = limit else {
-        return (space, false);
-    };
-    // The all-software point (index 0) is always evaluated, even under
-    // `limit = 0`; truncation strikes the (limit+1)-th evaluable point.
-    let target = limit.max(1) as u128 + 1;
-    let mut odo = Odometer::at(dims, lib, 0);
-    let mut evaluable = 1u128;
-    let mut index = 0u128;
-    loop {
-        if !odo.step() {
-            return (space, false);
-        }
-        index += 1;
-        if odo.area_gates() <= total_gates {
-            evaluable += 1;
-            if evaluable == target {
-                return (index, true);
-            }
+    let pre = pre_walk(dims, lib, total_gates, space, limit);
+    (pre.bound, pre.truncated)
+}
+
+/// Accumulated dirty unit-kind dimensions between two evaluated
+/// candidates — everything the odometer changed since the worker's
+/// metrics buffer was last refreshed.
+struct DirtyKinds {
+    flags: Vec<bool>,
+    /// Everything is dirty (no previous candidate to step from).
+    all: bool,
+}
+
+impl DirtyKinds {
+    fn new(dims: usize) -> Self {
+        DirtyKinds {
+            flags: vec![false; dims],
+            all: true,
         }
     }
+
+    /// An odometer advance changed digits `..=pos`.
+    fn mark_upto(&mut self, pos: usize) {
+        for f in &mut self.flags[..=pos] {
+            *f = true;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.flags.fill(false);
+        self.all = false;
+    }
+}
+
+/// "No shared incumbent yet" — also the packing of any `(time, area)`
+/// pair too large to share (see [`pack_incumbent`]).
+const NO_INCUMBENT: u64 = u64::MAX;
+
+/// Packs a worker's best `(time, area)` into one `u64` — time in the
+/// high 32 bits (major), area in the low 32 (minor) — so the `u64`
+/// order *is* the strict `(time, area)` improvement order and workers
+/// tighten each other with a single [`AtomicU64::fetch_min`]. Pairs
+/// that do not fit 32 bits pack to [`NO_INCUMBENT`] (no information):
+/// a saturated component would advertise an achievement no candidate
+/// made and could prune the true winner.
+fn pack_incumbent(time: u64, area: u64) -> u64 {
+    if time >= u64::from(u32::MAX) || area >= u64::from(u32::MAX) {
+        return NO_INCUMBENT;
+    }
+    (time << 32) | area
+}
+
+/// Inverse of [`pack_incumbent`]; `None` when nothing usable is shared.
+fn unpack_incumbent(packed: u64) -> Option<(u64, u64)> {
+    if packed == NO_INCUMBENT {
+        None
+    } else {
+        Some((packed >> 32, packed & u64::from(u32::MAX)))
+    }
+}
+
+/// Decides whether a subtree with admissible time bound `lb` and
+/// minimal data-path area `min_area` can be skipped.
+///
+/// Against the worker's **own** incumbent (always an earlier index of
+/// its own range) ties prune at equal-or-worse area too: a later
+/// candidate equalling the incumbent never replaces it under the
+/// strict improvement rule. Against the **shared** incumbent (any
+/// worker, any index) pruning is stricter — equal `(time, area)` must
+/// survive, because the earliest point achieving the global optimum
+/// may sit in *this* worker's range and must reach the deterministic
+/// reduce for the result to stay field-exact vs the sequential walk.
+fn subtree_pruned(
+    lb: u64,
+    min_area: u64,
+    own: Option<(u64, u64)>,
+    shared: Option<(u64, u64)>,
+) -> bool {
+    if let Some((time, area)) = own {
+        if lb > time || (lb >= time && min_area >= area) {
+            return true;
+        }
+    }
+    if let Some((time, area)) = shared {
+        if lb > time || (lb >= time && min_area > area) {
+            return true;
+        }
+    }
+    false
 }
 
 /// What one worker brings back from its odometer range.
@@ -436,19 +812,26 @@ struct WorkerOut {
     best: Option<(RMap, Partition, u64)>,
     evaluated: usize,
     skipped: usize,
+    bounded: u128,
     hits: u64,
     misses: u64,
     key_allocs: u64,
+    dirty_probes: u64,
+    clean_reuses: u64,
 }
 
 /// Evaluates every point of `range`, memoised, single-threaded (plus
-/// the opt-in intra-candidate row split when `options.dp_threads` asks
-/// for one). `statics` is a clone of the engine's one-time precompute;
-/// the run-traffic memo, the DP scratch, the metrics buffer and the
+/// the opt-in intra-candidate row split when `dp_threads` asks for
+/// one). `statics` is a clone of the engine's one-time precompute; the
+/// run-traffic memo, the DP scratch, the metrics buffer and the
 /// candidate map are private to the worker and reused across every
 /// point — after warm-up a non-improving evaluation performs no heap
 /// allocation at all (the winning [`Partition`] is only materialised
-/// when a candidate actually improves on the range's best).
+/// when a candidate actually improves on the range's best). With
+/// `bounds` present the walk is branch-and-bound: whole subtrees (and
+/// single hopeless leaves) whose admissible bound cannot improve the
+/// incumbent are skipped and tallied in `bounded`, with the shared
+/// incumbent read and published through `shared`.
 #[allow(clippy::too_many_arguments)] // internal seam of search_best
 fn sweep_range(
     bsbs: &BsbArray,
@@ -458,26 +841,89 @@ fn sweep_range(
     dims: &[(FuId, u32)],
     range: Range<u128>,
     statics: Vec<BsbStatics>,
-    options: &SearchOptions,
+    cache_enabled: bool,
+    dp_threads: usize,
+    bounds: Option<&SearchBounds>,
+    shared: &AtomicU64,
 ) -> Result<WorkerOut, PaceError> {
-    let mut cache = MetricsCache::from_statics(bsbs, lib, config, statics, options.cache);
+    let mut cache = MetricsCache::from_statics(bsbs, lib, config, statics, cache_enabled);
     let mut comm = CommCosts::new(bsbs.len());
-    let mut scratch = DpScratch::with_dp_threads(options.dp_threads);
+    let mut scratch = DpScratch::with_dp_threads(dp_threads);
     let mut metrics: Vec<BsbMetrics> = Vec::with_capacity(bsbs.len());
     let mut candidate = RMap::new();
+    let mut dirty = DirtyKinds::new(dims.len());
+    let mut dirty_fus: Vec<FuId> = Vec::with_capacity(dims.len());
+    let mut levels = bounds.map(LevelState::new);
     let mut out = WorkerOut::default();
     if range.is_empty() {
         return Ok(out);
     }
     let mut odo = Odometer::at(dims, lib, range.start);
     let mut index = range.start;
-    loop {
+    'walk: while index < range.end {
+        // Branch-and-bound: skip subtrees rooted here, largest first,
+        // until none prunes. A subtree prunes when its whole area is
+        // infeasible, or when the admissible bound at its level cannot
+        // improve the incumbents; `pos == 0` is the leaf check sparing
+        // the DP for an individually hopeless candidate.
+        if let (Some(bounds), Some(levels)) = (bounds, levels.as_mut()) {
+            loop {
+                let gates = odo.area_gates();
+                let own = out
+                    .best
+                    .as_ref()
+                    .map(|(_, p, area)| (p.total_time.count(), *area));
+                let inherited = unpack_incumbent(shared.load(Ordering::Relaxed));
+                let mut skip = None;
+                for pos in (0..=odo.trailing_zeros()).rev() {
+                    let width = odo.subtree_width(pos);
+                    if width > range.end - index {
+                        continue; // subtree leaks out of this range
+                    }
+                    let prune = if gates > total_gates {
+                        // Every point of the subtree is area-infeasible
+                        // (free digits only add area). Single points
+                        // stay on the `skipped` path below.
+                        pos > 0
+                    } else {
+                        let lb = levels.bound_at(bounds, pos, &odo.counts);
+                        subtree_pruned(lb, gates, own, inherited)
+                    };
+                    if prune {
+                        skip = Some((pos, width));
+                        break;
+                    }
+                }
+                let Some((pos, width)) = skip else { break };
+                out.bounded += width;
+                index += width;
+                if index >= range.end {
+                    break 'walk;
+                }
+                let changed = odo.advance(pos).expect("range ends within the space");
+                dirty.mark_upto(changed);
+                levels.invalidate_upto(changed);
+            }
+        }
+        // Evaluate or skip the surviving point, exactly as the
+        // exhaustive walk would.
         let gates = odo.area_gates();
         if gates > total_gates {
             out.skipped += 1;
         } else {
             odo.write_rmap(&mut candidate);
-            cache.metrics_into(&candidate, &mut metrics)?;
+            if dirty.all {
+                cache.metrics_into(&candidate, &mut metrics)?;
+            } else {
+                dirty_fus.clear();
+                for (pos, &flag) in dirty.flags.iter().enumerate() {
+                    if flag {
+                        dirty_fus.push(odo.kind_at(pos));
+                    }
+                }
+                cache.step_into(&candidate, &dirty_fus, &mut metrics)?;
+            }
+            dirty.clear();
             let time = scratch.evaluate(
                 bsbs,
                 &metrics,
@@ -495,6 +941,9 @@ fn sweep_range(
             };
             if better {
                 let p = scratch.backtrack(&metrics, Area::new(gates));
+                if bounds.is_some() {
+                    shared.fetch_min(pack_incumbent(time, gates), Ordering::Relaxed);
+                }
                 out.best = Some((candidate.clone(), p, gates));
             }
         }
@@ -502,12 +951,17 @@ fn sweep_range(
         if index >= range.end {
             break;
         }
-        let advanced = odo.step();
-        debug_assert!(advanced, "range ends within the space");
+        let changed = odo.advance(0).expect("range ends within the space");
+        dirty.mark_upto(changed);
+        if let Some(levels) = levels.as_mut() {
+            levels.invalidate_upto(changed);
+        }
     }
     out.hits = cache.hits();
     out.misses = cache.misses();
     out.key_allocs = cache.key_allocs();
+    out.dirty_probes = cache.dirty_probes();
+    out.clean_reuses = cache.clean_reuses();
     Ok(out)
 }
 
@@ -537,30 +991,103 @@ fn split_ranges(bound: u128, threads: usize) -> Vec<Range<u128>> {
     ranges
 }
 
+/// [`split_ranges`], but balancing the *evaluable* points the
+/// truncation pre-walk counted per chunk instead of raw index width,
+/// so a worker handed a skip-heavy prefix is not starved of real work.
+/// Boundaries land on chunk edges; the split still covers `[0, bound)`
+/// contiguously with at most `threads` non-empty ranges, so the
+/// deterministic reduce (and therefore the result) is unaffected —
+/// only the load balance changes. Falls back to the width split when
+/// no histogram is available (full sweeps run no pre-walk).
+fn split_ranges_weighted(
+    bound: u128,
+    threads: usize,
+    evaluable: &[u64],
+    chunk: u128,
+) -> Vec<Range<u128>> {
+    if bound == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1);
+    if threads == 1 || chunk == 0 || evaluable.is_empty() {
+        return split_ranges(bound, threads);
+    }
+    // Chunks are sized off the full space, but the truncation window
+    // can be far smaller — a window spanning too few chunks cannot be
+    // cut for every worker (boundaries land on chunk edges), which
+    // would silently collapse the fan-out. Fall back to the width
+    // split unless each worker can get a couple of chunks.
+    if bound / chunk < threads as u128 * 2 {
+        return split_ranges(bound, threads);
+    }
+    let total: u64 = evaluable.iter().sum();
+    if total == 0 {
+        return split_ranges(bound, threads);
+    }
+    let mut ranges: Vec<Range<u128>> = Vec::with_capacity(threads);
+    let mut start = 0u128;
+    let mut acc = 0u128;
+    for (i, &count) in evaluable.iter().enumerate() {
+        acc += u128::from(count);
+        let end = (i as u128 + 1).saturating_mul(chunk).min(bound);
+        // Cut at this chunk edge once the accumulated work reaches the
+        // next worker's fair share.
+        if ranges.len() + 1 < threads
+            && acc * threads as u128 >= u128::from(total) * (ranges.len() as u128 + 1)
+            && end > start
+            && end < bound
+        {
+            ranges.push(start..end);
+            start = end;
+        }
+    }
+    ranges.push(start..bound);
+    ranges
+}
+
 /// Hard cap on sweep workers: beyond this, thread spawn/join overhead
 /// dwarfs any split benefit on every machine this could run on.
 const MAX_THREADS: usize = 1024;
+
+/// The machine's available parallelism, at least 1.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// [`effective_threads`] with an explicit core count (testable).
+fn effective_threads_with(requested: usize, bound: u128, available: usize) -> usize {
+    let t = if requested == 0 { available } else { requested };
+    t.clamp(1, bound.clamp(1, MAX_THREADS as u128) as usize)
+}
 
 /// Resolves the worker count: `0` = available parallelism, never more
 /// workers than points, and never more than [`MAX_THREADS`]. A
 /// degenerate `bound == 0` still resolves to one worker, so the caller
 /// always gets a well-formed (possibly empty) range split.
+/// ([`SearchOptions::resolve`] is the production entry; this direct
+/// form is what its unit tests pin.)
+#[cfg(test)]
 fn effective_threads(requested: usize, bound: u128) -> usize {
-    let hw = || {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    };
-    let t = if requested == 0 { hw() } else { requested };
-    t.clamp(1, bound.clamp(1, MAX_THREADS as u128) as usize)
+    effective_threads_with(requested, bound, available_parallelism())
 }
 
-/// Memoised, optionally parallel exhaustive search — result-identical
-/// to [`exhaustive_best`](crate::exhaustive_best) (same best
-/// allocation and partition, same
+/// Memoised, optionally parallel, optionally bound-driven search —
+/// result-identical to [`exhaustive_best`](crate::exhaustive_best)
+/// (same best allocation and partition, same
 /// `evaluated`/`skipped`/`truncated` accounting), but with per-BSB
-/// schedules cached across candidates and the odometer range fanned
-/// out over scoped worker threads.
+/// schedules cached and stepped incrementally across candidates and
+/// the odometer range fanned out over scoped worker threads. With
+/// [`SearchOptions::bound`] on, admissible lower bounds additionally
+/// skip whole subtrees; the winner stays field-exact while
+/// `evaluated`/`skipped`/[`SearchStats::bounded`] become engine-effort
+/// telemetry.
+///
+/// Whatever the engine configuration, every point of the space lands
+/// in exactly one accounting bucket:
+/// `evaluated + skipped + stats.bounded + stats.truncated_points`
+/// equals `space_size`.
 ///
 /// # Errors
 ///
@@ -600,6 +1127,13 @@ fn effective_threads(requested: usize, bound: u128) -> usize {
 /// let slow = exhaustive_best(&bsbs, &lib, area, &restr, &config, None)?;
 /// assert_eq!(fast, slow, "telemetry aside, the results are identical");
 /// assert!(fast.stats.cache_misses > 0);
+///
+/// // Branch-and-bound: the winner is field-exact, the effort smaller.
+/// let bounded = search_best(&bsbs, &lib, area, &restr, &config,
+///                           &SearchOptions { bound: true, ..Default::default() })?;
+/// assert_eq!(bounded.best_allocation, slow.best_allocation);
+/// assert_eq!(bounded.best_partition, slow.best_partition);
+/// assert_eq!(bounded.points_accounted(), bounded.space_size);
 /// // Never flakes: with at least one evaluation the rate is +∞ when
 /// // the wall clock reads zero (see `SearchResult::eval_rate`).
 /// assert!(fast.eval_rate() > 0.0);
@@ -617,14 +1151,15 @@ pub fn search_best(
     let dims = search_space(restrictions);
     let space = space_size(&dims);
     let total_gates = total_area.gates();
-    let (bound, truncated) = truncation_bound(&dims, lib, total_gates, space, options.limit);
+    let pre = pre_walk(&dims, lib, total_gates, space, options.limit);
+    let (bound, truncated) = (pre.bound, pre.truncated);
     // The all-software point (index 0) is always inside the bound —
-    // `truncation_bound` returns ≥ 1 even under `limit = 0`, and an
-    // empty dimension list still spans one point — so the reduce below
+    // `pre_walk` returns ≥ 1 even under `limit = 0`, and an empty
+    // dimension list still spans one point — so the reduce below
     // always sees at least one evaluated candidate.
     debug_assert!(bound >= 1, "search bound excludes the all-SW point");
-    let threads = effective_threads(options.threads, bound);
-    let ranges = split_ranges(bound, threads);
+    let (threads, dp_threads) = options.resolve(bound);
+    let ranges = split_ranges_weighted(bound, threads, &pre.evaluable, pre.chunk);
 
     // One-time precompute shared across the sweep: the per-block
     // statics (software times, required resources, kind sets). Workers
@@ -634,6 +1169,15 @@ pub fn search_best(
     // limited sweep ever spends on traffic, and a worker only pays for
     // the runs its own candidates make feasible.
     let statics = bsb_statics(bsbs, lib, config)?;
+    // The bound tables are another one-time precompute (per-block
+    // projection enumerations — the same magnitude of scheduling work
+    // as one sweep's cache misses); workers share them read-only.
+    let bounds = if options.bound {
+        Some(SearchBounds::from_statics(bsbs, lib, &dims, &statics)?)
+    } else {
+        None
+    };
+    let shared = AtomicU64::new(NO_INCUMBENT);
 
     let outs: Vec<Result<WorkerOut, PaceError>> = if ranges.len() <= 1 {
         vec![sweep_range(
@@ -644,7 +1188,10 @@ pub fn search_best(
             &dims,
             0..bound,
             statics,
-            options,
+            options.cache,
+            dp_threads,
+            bounds.as_ref(),
+            &shared,
         )]
     } else {
         std::thread::scope(|scope| {
@@ -654,6 +1201,8 @@ pub fn search_best(
                     let range = range.clone();
                     let dims = &dims;
                     let statics = statics.clone();
+                    let bounds = bounds.as_ref();
+                    let shared = &shared;
                     scope.spawn(move || {
                         sweep_range(
                             bsbs,
@@ -663,7 +1212,10 @@ pub fn search_best(
                             dims,
                             range,
                             statics,
-                            options,
+                            options.cache,
+                            dp_threads,
+                            bounds,
+                            shared,
                         )
                     })
                 })
@@ -680,6 +1232,7 @@ pub fn search_best(
     let mut skipped = 0usize;
     let mut stats = SearchStats {
         threads: ranges.len().max(1),
+        truncated_points: space - bound,
         ..SearchStats::default()
     };
     // Merge in range order under the strict (time, area) improvement
@@ -689,9 +1242,12 @@ pub fn search_best(
         let out = out?;
         evaluated += out.evaluated;
         skipped += out.skipped;
+        stats.bounded += out.bounded;
         stats.cache_hits += out.hits;
         stats.cache_misses += out.misses;
         stats.key_allocs += out.key_allocs;
+        stats.dirty_probes += out.dirty_probes;
+        stats.clean_reuses += out.clean_reuses;
         if let Some((alloc, part, gates)) = out.best {
             let better = match &best {
                 None => true,
@@ -706,8 +1262,13 @@ pub fn search_best(
         }
     }
     let (best_allocation, best_partition, _) =
-        best.expect("the all-software point is always evaluated");
+        best.expect("at least one candidate is always evaluated");
     stats.elapsed = started.elapsed();
+    debug_assert_eq!(
+        evaluated as u128 + skipped as u128 + stats.bounded + stats.truncated_points,
+        space,
+        "every point lands in exactly one accounting bucket"
+    );
 
     Ok(SearchResult {
         best_allocation,
@@ -786,6 +1347,33 @@ mod tests {
     }
 
     #[test]
+    fn odometer_subtree_advance_matches_index_arithmetic() {
+        let bsbs = app();
+        let lib = lib();
+        let dims = search_space(&restr(&bsbs, &lib));
+        let space = space_size(&dims);
+        // From every subtree root, advancing past the subtree lands on
+        // the decode of `index + width`, with the right changed digit.
+        for index in 0..space {
+            let odo = Odometer::at(&dims, &lib, index);
+            let z = odo.trailing_zeros();
+            assert_eq!(odo.subtree_width(0), 1, "a leaf is its own subtree");
+            for pos in 0..=z {
+                let width = odo.subtree_width(pos);
+                if index + width >= space {
+                    continue;
+                }
+                let mut skipping = Odometer::at(&dims, &lib, index);
+                let changed = skipping.advance(pos).expect("inside the space");
+                let direct = Odometer::at(&dims, &lib, index + width);
+                assert_eq!(skipping.counts, direct.counts, "index {index} pos {pos}");
+                assert_eq!(skipping.area, direct.area, "index {index} pos {pos}");
+                assert!(changed >= pos, "carry reaches at least the skipped digit");
+            }
+        }
+    }
+
+    #[test]
     fn sequential_memoised_and_parallel_agree() {
         let bsbs = app();
         let lib = lib();
@@ -801,6 +1389,7 @@ mod tests {
                         limit: None,
                         cache,
                         dp_threads,
+                        bound: false,
                     };
                     let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
                     assert_eq!(
@@ -810,6 +1399,135 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bounded_engine_is_field_exact_and_cheaper() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        for gates in [2_500u64, 8_000, 100_000] {
+            let area = Area::new(gates);
+            let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, None).unwrap();
+            for threads in [1usize, 3] {
+                for cache in [true, false] {
+                    let got = search_best(
+                        &bsbs,
+                        &lib,
+                        area,
+                        &restr,
+                        &cfg,
+                        &SearchOptions {
+                            threads,
+                            cache,
+                            bound: true,
+                            ..SearchOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    // Field-exact winner: allocation, partition, the
+                    // (time, area) pair — everything but the effort.
+                    assert_eq!(got.best_allocation, seed.best_allocation, "area {gates}");
+                    assert_eq!(got.best_partition, seed.best_partition, "area {gates}");
+                    assert_eq!(got.space_size, seed.space_size);
+                    assert_eq!(got.truncated, seed.truncated);
+                    assert!(got.evaluated <= seed.evaluated, "bounding never adds work");
+                    assert_eq!(got.points_accounted(), got.space_size, "area {gates}");
+                }
+            }
+            // Sequentially the saving is deterministic; on this app the
+            // bound genuinely bites.
+            let seq = search_best(
+                &bsbs,
+                &lib,
+                area,
+                &restr,
+                &cfg,
+                &SearchOptions {
+                    bound: true,
+                    ..SearchOptions::sequential()
+                },
+            )
+            .unwrap();
+            assert!(seq.stats.bounded > 0, "area {gates}: nothing pruned");
+        }
+    }
+
+    #[test]
+    fn bounded_engine_respects_limits_field_exactly() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        let area = Area::new(2_500);
+        for limit in [0usize, 1, 3, 10] {
+            let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, Some(limit)).unwrap();
+            let got = search_best(
+                &bsbs,
+                &lib,
+                area,
+                &restr,
+                &cfg,
+                &SearchOptions {
+                    limit: Some(limit),
+                    bound: true,
+                    ..SearchOptions::sequential()
+                },
+            )
+            .unwrap();
+            assert_eq!(got.best_allocation, seed.best_allocation, "limit {limit}");
+            assert_eq!(got.best_partition, seed.best_partition, "limit {limit}");
+            assert_eq!(got.truncated, seed.truncated, "limit {limit}");
+            assert_eq!(got.points_accounted(), got.space_size, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn incumbent_packing_orders_time_major_area_minor() {
+        // Round trips.
+        assert_eq!(unpack_incumbent(pack_incumbent(0, 0)), Some((0, 0)));
+        assert_eq!(unpack_incumbent(pack_incumbent(7, 42)), Some((7, 42)));
+        let edge = u64::from(u32::MAX) - 1;
+        assert_eq!(
+            unpack_incumbent(pack_incumbent(edge, edge)),
+            Some((edge, edge))
+        );
+        // Time is the major key: one extra cycle outweighs any area.
+        assert!(pack_incumbent(1, edge) < pack_incumbent(2, 0));
+        // Area breaks ties, minor.
+        assert!(pack_incumbent(5, 3) < pack_incumbent(5, 4));
+        // u64::MAX edges: pairs that cannot pack become NO_INCUMBENT —
+        // "no information", never a pruning licence.
+        assert_eq!(pack_incumbent(u64::from(u32::MAX), 0), NO_INCUMBENT);
+        assert_eq!(pack_incumbent(u64::MAX, 0), NO_INCUMBENT);
+        assert_eq!(pack_incumbent(0, u64::MAX), NO_INCUMBENT);
+        assert_eq!(pack_incumbent(u64::MAX, u64::MAX), NO_INCUMBENT);
+        assert_eq!(unpack_incumbent(NO_INCUMBENT), None);
+        // And every packable pair stays below the sentinel, so a real
+        // incumbent always wins the fetch_min.
+        assert!(pack_incumbent(edge, edge) < NO_INCUMBENT);
+    }
+
+    #[test]
+    fn subtree_pruning_rules_respect_tie_breaks() {
+        // Own incumbent: ties at equal area prune (a later equal point
+        // never replaces an earlier one)…
+        assert!(subtree_pruned(10, 5, Some((10, 5)), None));
+        assert!(subtree_pruned(11, 9, Some((10, 5)), None));
+        // …but an equal-time subtree that could undercut the area must
+        // survive.
+        assert!(!subtree_pruned(10, 4, Some((10, 5)), None));
+        assert!(!subtree_pruned(9, 9, Some((10, 5)), None));
+        // Shared incumbent: strictly worse prunes, an exact (time,
+        // area) tie does NOT — the earliest such point must reach the
+        // reduce.
+        assert!(subtree_pruned(11, 9, None, Some((10, 5))));
+        assert!(subtree_pruned(10, 6, None, Some((10, 5))));
+        assert!(!subtree_pruned(10, 5, None, Some((10, 5))));
+        assert!(!subtree_pruned(10, 4, None, Some((10, 5))));
+        // No incumbents, no pruning.
+        assert!(!subtree_pruned(u64::MAX / 4, u64::MAX / 4, None, None));
     }
 
     #[test]
@@ -828,12 +1546,14 @@ mod tests {
                     limit: Some(limit),
                     cache: true,
                     dp_threads: 1,
+                    bound: false,
                 };
                 let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
                 assert_eq!(got, seed, "limit={limit} threads={threads}");
                 assert_eq!(got.evaluated, seed.evaluated, "limit={limit}");
                 assert_eq!(got.skipped, seed.skipped, "limit={limit}");
                 assert_eq!(got.truncated, seed.truncated, "limit={limit}");
+                assert_eq!(got.points_accounted(), got.space_size, "limit={limit}");
             }
         }
     }
@@ -864,6 +1584,61 @@ mod tests {
         // cache never clone the scratch key.
         assert_eq!(res.stats.key_allocs, res.stats.cache_misses);
         assert!(res.stats.key_allocs < res.stats.cache_hits + res.stats.cache_misses);
+        // Incremental stepping: most block entries ride along clean.
+        assert!(res.stats.clean_reuses > 0, "steps must reuse clean blocks");
+        assert!(
+            res.stats.dirty_ratio() < 1.0,
+            "dirty ratio {} should reflect reuse",
+            res.stats.dirty_ratio()
+        );
+        assert_eq!(
+            res.stats.dirty_probes + res.stats.clean_reuses,
+            (res.evaluated * bsbs.len()) as u64,
+            "every evaluated candidate refreshes every block, one way or the other"
+        );
+    }
+
+    #[test]
+    fn step_into_matches_full_recompute() {
+        // Walk a few odometer steps by hand: stepping with exactly the
+        // changed kinds must equal a from-scratch refresh.
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let dims = search_space(&restr(&bsbs, &lib));
+        let mut stepped_cache = MetricsCache::new(&bsbs, &lib, &cfg).unwrap();
+        let mut fresh_cache = MetricsCache::disabled(&bsbs, &lib, &cfg).unwrap();
+        let mut odo = Odometer::at(&dims, &lib, 0);
+        let mut candidate = RMap::new();
+        let mut stepped: Vec<BsbMetrics> = Vec::new();
+        let mut fresh: Vec<BsbMetrics> = Vec::new();
+        odo.write_rmap(&mut candidate);
+        stepped_cache
+            .metrics_into(&candidate, &mut stepped)
+            .unwrap();
+        while let Some(changed) = odo.advance(0) {
+            odo.write_rmap(&mut candidate);
+            let dirty: Vec<FuId> = (0..=changed).map(|p| odo.kind_at(p)).collect();
+            stepped_cache
+                .step_into(&candidate, &dirty, &mut stepped)
+                .unwrap();
+            fresh_cache.metrics_into(&candidate, &mut fresh).unwrap();
+            assert_eq!(stepped, fresh, "at {:?}", odo.counts);
+        }
+        assert!(stepped_cache.clean_reuses() > 0, "reuse must have happened");
+        assert!(stepped_cache.dirty_probes() > 0);
+    }
+
+    #[test]
+    fn dirty_ratio_degenerate_cases() {
+        let stats = SearchStats::default();
+        assert_eq!(stats.dirty_ratio(), 1.0, "no refreshes: nothing reused");
+        let stats = SearchStats {
+            dirty_probes: 1,
+            clean_reuses: 3,
+            ..SearchStats::default()
+        };
+        assert_eq!(stats.dirty_ratio(), 0.25);
     }
 
     #[test]
@@ -891,18 +1666,24 @@ mod tests {
     fn empty_restrictions_search_is_all_software() {
         let bsbs = app();
         let lib = lib();
-        let res = search_best(
-            &bsbs,
-            &lib,
-            Area::new(10_000),
-            &Restrictions::new(),
-            &PaceConfig::standard(),
-            &SearchOptions::default(),
-        )
-        .unwrap();
-        assert!(res.best_allocation.is_empty());
-        assert_eq!(res.space_size, 1);
-        assert_eq!(res.evaluated, 1);
+        for bound in [false, true] {
+            let res = search_best(
+                &bsbs,
+                &lib,
+                Area::new(10_000),
+                &Restrictions::new(),
+                &PaceConfig::standard(),
+                &SearchOptions {
+                    bound,
+                    ..SearchOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(res.best_allocation.is_empty());
+            assert_eq!(res.space_size, 1);
+            assert_eq!(res.evaluated, 1);
+            assert_eq!(res.points_accounted(), 1);
+        }
     }
 
     #[test]
@@ -956,6 +1737,72 @@ mod tests {
     }
 
     #[test]
+    fn weighted_split_balances_evaluable_points() {
+        // Chunked histogram: all the work sits in the back half, so
+        // the width split would starve the later workers. The weighted
+        // split must put the boundary past the dead zone.
+        let chunk = 10u128;
+        let weights = [0u64, 0, 0, 0, 10, 10, 10, 10];
+        let ranges = split_ranges_weighted(80, 2, &weights, chunk);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0].end, ranges[1].start, "contiguous");
+        assert_eq!(ranges.last().unwrap().end, 80, "covers the window");
+        assert!(
+            ranges[0].end >= 50,
+            "first worker must absorb the dead prefix plus its share: {ranges:?}"
+        );
+        // Degenerate histograms fall back to the width split.
+        assert_eq!(
+            split_ranges_weighted(80, 2, &[], chunk),
+            split_ranges(80, 2)
+        );
+        // A window far smaller than the chunk granularity (huge space,
+        // tight limit) must not collapse the fan-out to one worker:
+        // too few chunks per thread falls back to the width split.
+        assert_eq!(
+            split_ranges_weighted(2_000, 8, &[2_000], 1 << 60),
+            split_ranges(2_000, 8)
+        );
+        assert_eq!(
+            split_ranges_weighted(100, 8, &[60, 40], 50),
+            split_ranges(100, 8)
+        );
+        assert_eq!(
+            split_ranges_weighted(80, 2, &[0, 0], chunk),
+            split_ranges(80, 2)
+        );
+        assert_eq!(
+            split_ranges_weighted(80, 1, &weights, chunk),
+            split_ranges(80, 1)
+        );
+        assert!(split_ranges_weighted(0, 4, &weights, chunk).is_empty());
+    }
+
+    #[test]
+    fn weighted_split_always_partitions_the_window() {
+        // Whatever the histogram, the split must stay a partition of
+        // [0, bound) with at most `threads` non-empty ranges.
+        let cases: &[(u128, usize, &[u64], u128)] = &[
+            (100, 4, &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1], 10),
+            (95, 3, &[50, 0, 0, 0, 0, 0, 0, 0, 0, 1], 10),
+            (7, 4, &[3, 9], 5),
+            (1, 8, &[1], 1),
+            (64, 64, &[1, 2, 3, 4, 5, 6, 7], 10),
+        ];
+        for &(bound, threads, weights, chunk) in cases {
+            let ranges = split_ranges_weighted(bound, threads, weights, chunk);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= threads.max(1));
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, bound);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
     fn effective_threads_clamps_to_points_and_cap() {
         // Explicit requests clamp to the number of points…
         assert_eq!(effective_threads(8, 3), 3);
@@ -968,6 +1815,47 @@ mod tests {
         // …and `0` resolves to the machine's parallelism, at least 1.
         let auto = effective_threads(0, u128::MAX);
         assert!((1..=MAX_THREADS).contains(&auto));
+    }
+
+    #[test]
+    fn resolve_auto_engages_dp_threads_on_small_sweeps() {
+        let defaults = SearchOptions::default();
+        // Fewer candidates than cores: the sweep can only use 3 of 8
+        // workers, so each gets the leftover cores for its DP rows.
+        assert_eq!(defaults.resolve_with(3, 8), (3, 2));
+        // A single candidate gets the whole machine inside the DP.
+        assert_eq!(defaults.resolve_with(1, 8), (1, 8));
+        // Enough candidates: the row split stays off.
+        assert_eq!(defaults.resolve_with(1_000, 8), (8, 1));
+        assert_eq!(defaults.resolve_with(8, 8), (8, 1));
+        // A single-core machine never engages it.
+        assert_eq!(defaults.resolve_with(3, 1), (1, 1));
+        // Explicit dp_threads settings are honoured verbatim — even 0
+        // (auto inside DpScratch) and even on small sweeps.
+        let explicit = SearchOptions {
+            dp_threads: 4,
+            ..SearchOptions::default()
+        };
+        assert_eq!(explicit.resolve_with(2, 8), (2, 4));
+        let zero = SearchOptions {
+            dp_threads: 0,
+            ..SearchOptions::default()
+        };
+        assert_eq!(zero.resolve_with(2, 8), (2, 0));
+        // An explicit sweep-thread request leaves the auto shape: the
+        // chosen configuration is honoured verbatim — sequential()
+        // really is sequential, however small the sweep.
+        let seq = SearchOptions {
+            threads: 1,
+            ..SearchOptions::default()
+        };
+        assert_eq!(seq.resolve_with(2, 8), (1, 1));
+        assert_eq!(SearchOptions::sequential().resolve_with(2, 8), (1, 1));
+        let four = SearchOptions {
+            threads: 4,
+            ..SearchOptions::default()
+        };
+        assert_eq!(four.resolve_with(2, 8), (2, 1));
     }
 
     #[test]
@@ -989,6 +1877,35 @@ mod tests {
     }
 
     #[test]
+    fn pre_walk_histogram_counts_exactly_the_window_evaluables() {
+        let bsbs = app();
+        let lib = lib();
+        let dims = search_space(&restr(&bsbs, &lib));
+        let space = space_size(&dims);
+        let total_gates = 2_500u64;
+        for limit in [Some(1), Some(3), Some(10), Some(usize::MAX)] {
+            let pre = pre_walk(&dims, &lib, total_gates, space, limit);
+            // Reference: count evaluable points inside [0, bound) by a
+            // plain walk.
+            let mut odo = Odometer::at(&dims, &lib, 0);
+            let mut evaluable = 0u64;
+            for index in 0..pre.bound {
+                if index > 0 {
+                    assert!(odo.step());
+                }
+                if odo.area_gates() <= total_gates {
+                    evaluable += 1;
+                }
+            }
+            let total: u64 = pre.evaluable.iter().sum();
+            assert_eq!(total, evaluable, "limit={limit:?}");
+            if pre.truncated {
+                assert_eq!(u128::from(total), limit.unwrap().max(1) as u128);
+            }
+        }
+    }
+
+    #[test]
     fn limit_zero_and_huge_limits_search_like_the_seed() {
         let bsbs = app();
         let lib = lib();
@@ -1002,6 +1919,7 @@ mod tests {
                 limit,
                 cache: true,
                 dp_threads: 1,
+                bound: false,
             };
             let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
             assert_eq!(got, seed, "limit={limit:?}");
@@ -1028,6 +1946,7 @@ mod tests {
         };
         let mut b = a.clone();
         b.stats.cache_hits = 99;
+        b.stats.bounded = 7;
         b.stats.elapsed = Duration::from_secs(5);
         assert_eq!(a, b, "telemetry must not break result identity");
     }

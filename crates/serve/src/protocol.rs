@@ -159,6 +159,10 @@ pub struct Table1Request {
     pub dp_threads: Option<usize>,
     /// Disable the per-BSB schedule memo for this request.
     pub no_cache: bool,
+    /// Branch-and-bound sweep (`SearchOptions::bound`): field-exact
+    /// winner columns, smaller (timing-dependent under multiple
+    /// threads) `evaluated`/`bounded` effort columns.
+    pub bound: bool,
     /// Response body shape.
     pub format: Format,
     /// Include the measured allocator wall clock in CSV rows
@@ -257,21 +261,21 @@ impl Request {
                         // Bare flags: reject `=value` forms instead of
                         // silently enabling what `timing=false` tried
                         // to turn off.
-                        "no-cache" | "timing" => {
+                        "no-cache" | "timing" | "bound" => {
                             if token.contains('=') {
                                 return Err(ProtocolError::BadValue {
-                                    field: if key == "timing" {
-                                        "timing"
-                                    } else {
-                                        "no-cache"
+                                    field: match key {
+                                        "timing" => "timing",
+                                        "bound" => "bound",
+                                        _ => "no-cache",
                                     },
                                     value: value.to_owned(),
                                 });
                             }
-                            if key == "timing" {
-                                req.timing = true;
-                            } else {
-                                req.no_cache = true;
+                            match key {
+                                "timing" => req.timing = true,
+                                "bound" => req.bound = true,
+                                _ => req.no_cache = true,
                             }
                         }
                         "format" => {
@@ -325,6 +329,9 @@ impl Request {
                 }
                 if req.no_cache {
                     out.push_str(" no-cache");
+                }
+                if req.bound {
+                    out.push_str(" bound");
                 }
                 if req.format == Format::Text {
                     out.push_str(" format=text");
@@ -475,6 +482,7 @@ mod tests {
                 limit: Some(0),
                 dp_threads: Some(4),
                 no_cache: true,
+                bound: true,
                 format: Format::Text,
                 timing: true,
             }),
@@ -553,6 +561,23 @@ mod tests {
                 value: "0".into()
             })
         );
+        assert_eq!(
+            Request::parse("table1 app=hal bound=false"),
+            Err(ProtocolError::BadValue {
+                field: "bound",
+                value: "false".into()
+            })
+        );
+    }
+
+    #[test]
+    fn bound_flag_round_trips_bare() {
+        let req = Request::parse("table1 app=hal bound").unwrap();
+        let Request::Table1(t) = &req else {
+            panic!("not a table1 request")
+        };
+        assert!(t.bound);
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
     }
 
     #[test]

@@ -59,12 +59,12 @@ impl Default for ServeConfig {
             workers: 4,
             queue: 8,
             defaults: SearchOptions {
-                threads: 0,
                 // eigen's space cannot be exhausted (paper footnote 1);
                 // the same default cap the CLI and the table1 bin use.
+                // Bounding stays off by default so batch responses are
+                // byte-diffable against the sequential CSV path.
                 limit: Some(200_000),
-                cache: true,
-                dp_threads: 1,
+                ..SearchOptions::default()
             },
         }
     }
@@ -354,6 +354,7 @@ fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
         threads: req.threads.unwrap_or(defaults.threads),
         cache: !req.no_cache && defaults.cache,
         dp_threads: req.dp_threads.unwrap_or(defaults.dp_threads),
+        bound: req.bound || defaults.bound,
     };
     match Pipeline::table1_batch(&pipelines, &options) {
         Err(e) => Response::Error(e.to_string()),

@@ -31,8 +31,7 @@ fn concurrent_batches_match_the_sequential_csv_byte_for_byte() {
     let options = Table1Options {
         search_limit: Some(400),
         threads: 1,
-        cache: true,
-        dp_threads: 1,
+        ..Table1Options::default()
     };
     let (addr, handle) = spawn_server(ServeConfig {
         workers: 4,
@@ -40,8 +39,7 @@ fn concurrent_batches_match_the_sequential_csv_byte_for_byte() {
         defaults: SearchOptions {
             threads: 1,
             limit: Some(400),
-            cache: true,
-            dp_threads: 1,
+            ..SearchOptions::default()
         },
         ..ServeConfig::default()
     });
@@ -92,8 +90,7 @@ fn per_request_options_and_budgets_are_honoured() {
         defaults: SearchOptions {
             threads: 1,
             limit: Some(50),
-            cache: true,
-            dp_threads: 1,
+            ..SearchOptions::default()
         },
         ..ServeConfig::default()
     });
@@ -143,8 +140,7 @@ fn peers_still_sending_cannot_stall_shutdown() {
         defaults: SearchOptions {
             threads: 1,
             limit: Some(10),
-            cache: true,
-            dp_threads: 1,
+            ..SearchOptions::default()
         },
         ..ServeConfig::default()
     });
@@ -195,8 +191,7 @@ fn full_pool_answers_busy_instead_of_queueing() {
         defaults: SearchOptions {
             threads: 1,
             limit: Some(10),
-            cache: true,
-            dp_threads: 1,
+            ..SearchOptions::default()
         },
         ..ServeConfig::default()
     });

@@ -428,8 +428,7 @@ mod tests {
             .with_search_options(SearchOptions {
                 threads: 1,
                 limit: Some(2),
-                cache: true,
-                dp_threads: 1,
+                ..SearchOptions::default()
             })
             .allocate()
             .unwrap();
@@ -441,8 +440,8 @@ mod tests {
             .search_with(&SearchOptions {
                 threads: 2,
                 limit: None,
-                cache: true,
                 dp_threads: 2,
+                ..SearchOptions::default()
             })
             .unwrap();
         assert!(!full.truncated);
@@ -475,8 +474,7 @@ mod tests {
         let options = Table1Options {
             search_limit: Some(500),
             threads: 1,
-            cache: true,
-            dp_threads: 1,
+            ..Table1Options::default()
         };
         let via_pipeline = Pipeline::for_app(&app).table1_row(&options).unwrap();
         let direct = lycos_explore::table1_row(
@@ -501,8 +499,7 @@ mod tests {
         let options = Table1Options {
             search_limit: Some(200),
             threads: 1,
-            cache: true,
-            dp_threads: 1,
+            ..Table1Options::default()
         };
         let rows = Pipeline::table1_batch(&pipelines, &options).unwrap();
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();

@@ -1,7 +1,11 @@
-//! ISSUE 2/4 acceptance: every engine configuration returns a
+//! ISSUE 2/4/5 acceptance: every engine configuration returns a
 //! [`SearchResult`] identical to the *seed* sequential walk on all
 //! four bundled benchmarks — best allocation, best partition, and the
-//! `evaluated`/`skipped`/`truncated` accounting.
+//! `evaluated`/`skipped`/`truncated` accounting. The ISSUE 5
+//! branch-and-bound engine is additionally pinned *field-exact* on the
+//! winner (allocation, partition, time, area — the full tie-break)
+//! with its `bounded` effort bucket closing the accounting identity,
+//! including the cache-off × bounded cross-product.
 //!
 //! The seed is reproduced here verbatim (`reference_best`): a plain
 //! odometer walk evaluating every candidate through fresh metrics and
@@ -163,10 +167,58 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
                 limit,
                 cache,
                 dp_threads,
+                bound: false,
             },
         )
         .unwrap();
         engines.push((label, got));
+    }
+
+    // The branch-and-bound engine: field-exact winner (allocation,
+    // partition, time, area — the full tie-break), while `evaluated`/
+    // `skipped`/`bounded` become engine-effort telemetry that must
+    // still account for every point of the space. Covers the
+    // cache-off × bounded cross-product and both thread shapes.
+    for (label, threads, cache) in [
+        ("bounded", 1usize, true),
+        ("bounded,parallel", 4, true),
+        ("bounded,cache-off", 1, false),
+        ("bounded,parallel,cache-off", 2, false),
+    ] {
+        let got = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &pace,
+            &SearchOptions {
+                threads,
+                limit,
+                cache,
+                dp_threads: 1,
+                bound: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            got.best_allocation, seed.best_allocation,
+            "{name}/{label}: winner allocation"
+        );
+        assert_eq!(
+            got.best_partition, seed.best_partition,
+            "{name}/{label}: winner partition (time, area, placement)"
+        );
+        assert_eq!(got.space_size, seed.space_size, "{name}/{label}");
+        assert_eq!(got.truncated, seed.truncated, "{name}/{label}");
+        assert!(
+            got.evaluated <= seed.evaluated,
+            "{name}/{label}: bounding never evaluates more"
+        );
+        assert_eq!(
+            got.points_accounted(),
+            got.space_size,
+            "{name}/{label}: evaluated + skipped + bounded + truncated == space"
+        );
     }
 
     // Identity is field-exact, not just PartialEq-close.
@@ -223,6 +275,66 @@ fn hal_search_is_engine_invariant() {
 fn man_search_is_engine_invariant() {
     let (seed, _) = check_app("man", None);
     assert!(seed.skipped > 0, "man's tight budget skips allocations");
+}
+
+/// The bound must genuinely bite on the bundled spaces: a sequential
+/// bounded run (deterministic — no incumbent-sharing races) prunes a
+/// large share of each space while returning the field-exact winner
+/// (already asserted app-by-app above).
+#[test]
+fn bounded_engine_prunes_most_of_the_bundled_spaces() {
+    for (name, limit) in [
+        ("straight", None),
+        ("hal", None),
+        ("man", None),
+        ("eigen", Some(2_000usize)),
+    ] {
+        let app = lycos::apps::all()
+            .into_iter()
+            .find(|a| a.name == name)
+            .expect("bundled app");
+        let bsbs = app.bsbs();
+        let lib = HwLibrary::standard();
+        let pace = PaceConfig::standard();
+        let area = Area::new(app.area_budget);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let bounded = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &pace,
+            &SearchOptions {
+                limit,
+                bound: true,
+                ..SearchOptions::sequential()
+            },
+        )
+        .unwrap();
+        let unbounded = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &pace,
+            &SearchOptions {
+                limit,
+                ..SearchOptions::sequential()
+            },
+        )
+        .unwrap();
+        assert_eq!(bounded.best_allocation, unbounded.best_allocation, "{name}");
+        assert_eq!(bounded.best_partition, unbounded.best_partition, "{name}");
+        assert!(bounded.stats.bounded > 0, "{name}: nothing pruned");
+        assert!(
+            bounded.evaluated * 2 <= unbounded.evaluated,
+            "{name}: bound should spare at least half the evaluations \
+             ({} vs {})",
+            bounded.evaluated,
+            unbounded.evaluated
+        );
+        assert_eq!(bounded.points_accounted(), bounded.space_size, "{name}");
+    }
 }
 
 #[test]
