@@ -59,6 +59,8 @@ fn spec(blocks: usize, ops: usize) -> SyntheticSpec {
             OpKind::Shl,
             OpKind::And,
         ],
+        read_fan: (0, 2),
+        barrier_every: 0,
     }
 }
 

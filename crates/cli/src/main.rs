@@ -74,6 +74,15 @@ search knobs (best, table1; request defaults for serve):
                     admissible lower bound proves hopeless; the
                     winner is field-exact, only the evaluated /
                     bounded effort split changes
+  --bound-comm / --no-bound-comm
+                    fold the admissible communication floor into
+                    the bound (default on; inert without --bound)
+  --simd / --no-simd
+                    lane-chunked DP inner scan (default on;
+                    bit-identical results either way)
+  --steal / --no-steal
+                    work-stealing sweep scheduling (default on;
+                    off falls back to the static range split)
 
 serve knobs:
   --addr <host:port>   listen address (default 127.0.0.1:7878)
@@ -85,12 +94,18 @@ serve knobs:
 ";
 
 /// The flags every search-driven command understands.
-const SEARCH_FLAGS: [&str; 5] = [
+const SEARCH_FLAGS: [&str; 11] = [
     "--threads",
     "--limit",
     "--no-cache",
     "--dp-threads",
     "--bound",
+    "--bound-comm",
+    "--no-bound-comm",
+    "--simd",
+    "--no-simd",
+    "--steal",
+    "--no-steal",
 ];
 
 /// Smallest number of single-character edits turning `a` into `b` —
@@ -194,6 +209,20 @@ fn parse_search_flags(
                     return Err("--bound takes no value".to_owned());
                 }
                 options.bound = true;
+            }
+            // The engine-lever switches come in on/off pairs because
+            // their defaults are on; all are bare flags like --bound.
+            "--bound-comm" | "--no-bound-comm" | "--simd" | "--no-simd" | "--steal"
+            | "--no-steal" => {
+                if inline_value.is_some() {
+                    return Err(format!("{flag} takes no value"));
+                }
+                let on = !flag.starts_with("--no-");
+                match flag.trim_start_matches("--no-").trim_start_matches("--") {
+                    "bound-comm" => options.bound_comm = on,
+                    "simd" => options.simd = on,
+                    _ => options.steal = on,
+                }
             }
             _ if extra.contains(&flag) => {
                 let v = value(flag)?;
@@ -410,6 +439,9 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         cache: search.cache,
         dp_threads: search.dp_threads,
         bound: search.bound,
+        bound_comm: search.bound_comm,
+        simd: search.simd,
+        steal: search.steal,
     };
     let pipelines: Vec<Pipeline> = lycos::apps::all().iter().map(Pipeline::for_app).collect();
     let rows = Pipeline::table1_batch(&pipelines, &options).map_err(|e| e.to_string())?;
@@ -490,7 +522,55 @@ mod tests {
         assert!(opts.cache);
         assert_eq!(opts.dp_threads, 1, "intra-candidate split is opt-in");
         assert!(!opts.bound, "branch-and-bound is opt-in");
+        assert!(opts.bound_comm, "comm-floor bound is default-on");
+        assert!(opts.simd, "lane-chunked DP is default-on");
+        assert!(opts.steal, "work-stealing is default-on");
         assert!(extras.is_empty());
+    }
+
+    #[test]
+    fn engine_lever_switches_toggle_both_ways() {
+        let (rest, opts, _) = parse_search_flags(
+            &args(&["--no-bound-comm", "--no-simd", "--no-steal", "hal"]),
+            None,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(rest, args(&["hal"]));
+        assert!(!opts.bound_comm && !opts.simd && !opts.steal);
+        // Positive forms restore the defaults (last one wins).
+        let (_, opts, _) = parse_search_flags(
+            &args(&[
+                "--no-steal",
+                "--steal",
+                "--no-simd",
+                "--simd",
+                "--bound-comm",
+            ]),
+            None,
+            &[],
+        )
+        .unwrap();
+        assert!(opts.bound_comm && opts.simd && opts.steal);
+        // All six are bare switches: `=value` is rejected.
+        for flag in [
+            "--bound-comm",
+            "--no-bound-comm",
+            "--simd",
+            "--no-simd",
+            "--steal",
+            "--no-steal",
+        ] {
+            let err = parse_search_flags(&args(&[&format!("{flag}=on")]), None, &[]).unwrap_err();
+            assert_eq!(err, format!("{flag} takes no value"));
+        }
+        // And typos get did-you-mean hints.
+        let err = parse_search_flags(&args(&["--stael"]), None, &[]).unwrap_err();
+        assert!(err.contains("did you mean `--steal`?"), "{err}");
+        let err = parse_search_flags(&args(&["--bound-com"]), None, &[]).unwrap_err();
+        assert!(err.contains("did you mean `--bound-comm`?"), "{err}");
+        let err = parse_search_flags(&args(&["--no-simdd"]), None, &[]).unwrap_err();
+        assert!(err.contains("did you mean `--no-simd`?"), "{err}");
     }
 
     #[test]

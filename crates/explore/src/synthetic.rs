@@ -26,6 +26,17 @@ pub struct SyntheticSpec {
     pub max_profile: u64,
     /// Operation kinds to draw from (uniformly).
     pub kinds: Vec<OpKind>,
+    /// Variables each non-initial block reads from its predecessors'
+    /// namespace, drawn uniformly from this range. High fan makes
+    /// values cross block boundaries often — communication-heavy
+    /// workloads for the bus model and the search's comm floors.
+    pub read_fan: (usize, usize),
+    /// When non-zero, every `barrier_every`-th block (indices
+    /// `barrier_every - 1`, `2·barrier_every - 1`, …) is emitted with
+    /// an **empty DFG**: no operation can move it to hardware, so it
+    /// is a run barrier under every allocation. Its read/write sets
+    /// are kept, forcing traffic across the barrier. `0` disables.
+    pub barrier_every: usize,
 }
 
 impl SyntheticSpec {
@@ -46,6 +57,43 @@ impl SyntheticSpec {
                 OpKind::Shl,
                 OpKind::And,
             ],
+            read_fan: (0, 2),
+            barrier_every: 0,
+        }
+    }
+
+    /// A communication-dominated hardness profile: small blocks with a
+    /// wide read fan, so most of a candidate's cost is bus traffic,
+    /// and a software barrier every fourth block segmenting the runs.
+    /// Search-bound stressor: the relaxed (comm-free) bound is loose
+    /// here, while the segmented communication floor stays sharp.
+    pub fn comm_dominated() -> Self {
+        SyntheticSpec {
+            blocks: 12,
+            ops_per_block: (2, 6),
+            edge_density: 0.2,
+            max_profile: 2_000,
+            kinds: vec![OpKind::Add, OpKind::Mul, OpKind::Sub],
+            read_fan: (2, 5),
+            barrier_every: 4,
+        }
+    }
+
+    /// A plateau-heavy hardness profile: fully parallel blocks (no
+    /// intra-block edges) built from cheap same-latency kinds, so many
+    /// distinct allocations share the same schedule length and the
+    /// time landscape is flat. Pruning stressor: large regions tie the
+    /// incumbent exactly, so `<`-vs-`≤` mistakes in the bound logic
+    /// show up as wrong winners or broken accounting.
+    pub fn plateau_heavy() -> Self {
+        SyntheticSpec {
+            blocks: 14,
+            ops_per_block: (1, 3),
+            edge_density: 0.0,
+            max_profile: 50_000,
+            kinds: vec![OpKind::Add, OpKind::Sub],
+            read_fan: (0, 2),
+            barrier_every: 0,
         }
     }
 
@@ -67,28 +115,33 @@ impl SyntheticSpec {
             (0.0..=1.0).contains(&self.edge_density),
             "edge density must be a probability"
         );
+        assert!(self.read_fan.0 <= self.read_fan.1, "invalid read fan range");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut blocks = Vec::with_capacity(self.blocks);
         for i in 0..self.blocks {
-            let n = rng.gen_range(self.ops_per_block.0..=self.ops_per_block.1);
+            let barrier =
+                self.barrier_every > 0 && i % self.barrier_every == self.barrier_every - 1;
             let mut dfg = Dfg::new();
-            let ids: Vec<_> = (0..n)
-                .map(|_| {
-                    let kind = self.kinds[rng.gen_range(0..self.kinds.len())];
-                    dfg.add_op(kind)
-                })
-                .collect();
-            for a in 0..n {
-                for b in (a + 1)..n {
-                    if rng.gen_bool(self.edge_density) {
-                        dfg.add_edge(ids[a], ids[b]).expect("forward edge");
+            if !barrier {
+                let n = rng.gen_range(self.ops_per_block.0..=self.ops_per_block.1);
+                let ids: Vec<_> = (0..n)
+                    .map(|_| {
+                        let kind = self.kinds[rng.gen_range(0..self.kinds.len())];
+                        dfg.add_op(kind)
+                    })
+                    .collect();
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        if rng.gen_bool(self.edge_density) {
+                            dfg.add_edge(ids[a], ids[b]).expect("forward edge");
+                        }
                     }
                 }
             }
             // Log-uniform profile: exponentiate a uniform draw.
             let log_max = (self.max_profile as f64).ln();
             let profile = (rng.gen_range(0.0..=log_max)).exp() as u64;
-            let (reads, writes) = io_sets(&mut rng, i, self.blocks);
+            let (reads, writes) = io_sets(&mut rng, i, self.blocks, self.read_fan);
             blocks.push(Bsb {
                 id: BsbId(i as u32),
                 name: format!("s{i}"),
@@ -103,12 +156,17 @@ impl SyntheticSpec {
     }
 }
 
-/// Chained variable sets: each block reads a couple of variables from
-/// its predecessors' namespace and writes its own.
-fn io_sets(rng: &mut StdRng, index: usize, total: usize) -> (BTreeSet<String>, BTreeSet<String>) {
+/// Chained variable sets: each block reads `fan` variables from its
+/// predecessors' namespace and writes its own.
+fn io_sets(
+    rng: &mut StdRng,
+    index: usize,
+    total: usize,
+    fan: (usize, usize),
+) -> (BTreeSet<String>, BTreeSet<String>) {
     let mut reads = BTreeSet::new();
     if index > 0 {
-        for _ in 0..rng.gen_range(0..3) {
+        for _ in 0..rng.gen_range(fan.0..=fan.1) {
             reads.insert(format!("v{}", rng.gen_range(0..index)));
         }
     } else {
@@ -144,6 +202,8 @@ mod tests {
             edge_density: 0.3,
             max_profile: 500,
             kinds: vec![OpKind::Add, OpKind::Mul],
+            read_fan: (0, 2),
+            barrier_every: 0,
         };
         let app = spec.generate(7);
         assert_eq!(app.len(), 9);
@@ -164,6 +224,51 @@ mod tests {
             let app = SyntheticSpec::medium().generate(seed);
             let restr =
                 Restrictions::from_asap(&app, &lib).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(restr.total_cap() > 0);
+        }
+    }
+
+    #[test]
+    fn comm_dominated_places_barriers_and_wide_fans() {
+        let spec = SyntheticSpec::comm_dominated();
+        let app = spec.generate(11);
+        assert_eq!(app.len(), 12);
+        for (i, b) in app.iter().enumerate() {
+            if i % 4 == 3 {
+                assert_eq!(b.op_count(), 0, "block {i} is a barrier");
+            } else {
+                assert!((2..=6).contains(&b.op_count()), "block {i}");
+            }
+            // Barriers keep their I/O: traffic crosses them.
+            assert!(!b.reads.is_empty(), "block {i} reads something");
+            assert!(!b.writes.is_empty(), "block {i} writes its variable");
+            assert!(b.reads.len() <= 5, "fan caps distinct reads");
+        }
+        // Still a valid application for the whole pipeline.
+        let lib = HwLibrary::standard();
+        for seed in 0..4 {
+            let restr = Restrictions::from_asap(&spec.generate(seed), &lib)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(restr.total_cap() > 0, "barriers leave movable blocks");
+        }
+    }
+
+    #[test]
+    fn plateau_heavy_blocks_are_flat_and_parallel() {
+        let spec = SyntheticSpec::plateau_heavy();
+        let app = spec.generate(5);
+        assert_eq!(app.len(), 14);
+        for b in &app {
+            assert_eq!(b.dfg.edge_count(), 0, "no intra-block serialization");
+            assert!((1..=3).contains(&b.op_count()));
+            for op in b.dfg.ops() {
+                assert!(matches!(op.kind, OpKind::Add | OpKind::Sub));
+            }
+        }
+        let lib = HwLibrary::standard();
+        for seed in 0..4 {
+            let restr = Restrictions::from_asap(&spec.generate(seed), &lib)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(restr.total_cap() > 0);
         }
     }

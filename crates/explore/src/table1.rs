@@ -118,6 +118,19 @@ pub struct Table1Options {
     /// depend on incumbent-sharing timing. Leave off where rows are
     /// diffed byte-for-byte across runs.
     pub bound: bool,
+    /// Fold the admissible communication floor into the bound
+    /// (`SearchOptions::bound_comm`). On by default; inert unless
+    /// `bound` is on. Winner columns are identical either way — only
+    /// the `bounded` effort column grows.
+    pub bound_comm: bool,
+    /// Lane-chunked DP inner scan (`SearchOptions::simd`). On by
+    /// default; bit-identical results, pure leaf-cost knob.
+    pub simd: bool,
+    /// Work-stealing sweep scheduling (`SearchOptions::steal`). On by
+    /// default; identical results and accounting, only load balance
+    /// (and the `steals` telemetry) changes — no CSV column reads it,
+    /// so `--stable` rows stay byte-identical.
+    pub steal: bool,
 }
 
 impl Default for Table1Options {
@@ -128,6 +141,9 @@ impl Default for Table1Options {
             cache: true,
             dp_threads: 1,
             bound: false,
+            bound_comm: true,
+            simd: true,
+            steal: true,
         }
     }
 }
@@ -141,6 +157,9 @@ impl Table1Options {
             cache: self.cache,
             dp_threads: self.dp_threads,
             bound: self.bound,
+            bound_comm: self.bound_comm,
+            simd: self.simd,
+            steal: self.steal,
         }
     }
 }

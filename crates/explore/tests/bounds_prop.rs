@@ -31,6 +31,24 @@ fn spec(blocks: usize, max_ops: usize) -> SyntheticSpec {
         edge_density: 0.25,
         max_profile: 3_000,
         kinds: vec![OpKind::Add, OpKind::Mul],
+        read_fan: (0, 2),
+        barrier_every: 0,
+    }
+}
+
+/// The admissibility stressors, shrunk until exhausting their spaces
+/// is cheap: `comm_dominated` keeps the wide read fan and the barrier
+/// cadence, `plateau_heavy` the zero density and the flat kind pair.
+fn hardness_profile(which: usize, blocks: usize) -> SyntheticSpec {
+    let base = if which == 0 {
+        SyntheticSpec::comm_dominated()
+    } else {
+        SyntheticSpec::plateau_heavy()
+    };
+    SyntheticSpec {
+        blocks,
+        ops_per_block: (base.ops_per_block.0.min(2), base.ops_per_block.1.min(3)),
+        ..base
     }
 }
 
@@ -108,6 +126,70 @@ proptest! {
         );
     }
 
+    /// The communication-floored bounds stay admissible on the
+    /// hardness profiles (wide read fans, software barriers, flat
+    /// plateaus) — at every level, for every consistent allocation —
+    /// and never fall below the relaxed bounds they tighten.
+    #[test]
+    fn comm_floor_bounds_are_admissible_on_hardness_profiles(
+        seed in 0u64..512,
+        which in 0usize..2,
+        blocks in 2usize..5,
+        extra_area in 0u64..6_000,
+    ) {
+        let app = hardness_profile(which, blocks).generate(seed);
+        let lib = HwLibrary::standard();
+        let config = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&app, &lib).unwrap();
+        let dims = search_space(&restr);
+        let total = Area::new(1_000 + extra_area);
+        let relaxed = SearchBounds::new(&app, &lib, &dims, &config).unwrap();
+        let comm = SearchBounds::with_comm_floor(&app, &lib, &dims, &config).unwrap();
+
+        let mut best_time = u64::MAX;
+        let mut counts = vec![0u32; dims.len()];
+        'space: loop {
+            let alloc: RMap = dims
+                .iter()
+                .zip(&counts)
+                .map(|(&(fu, _), &c)| (fu, c))
+                .collect();
+            if alloc.area(&lib) <= total {
+                let time = dp_time(&app, &lib, &alloc, total, &config);
+                best_time = best_time.min(time);
+                for pos in 0..=dims.len() {
+                    let lb = comm.prefix_bound(&counts, pos);
+                    prop_assert!(
+                        lb <= time,
+                        "profile {} level {} comm bound {} beats the DP time {} at {:?}",
+                        which, pos, lb, time, counts
+                    );
+                    prop_assert!(
+                        lb >= relaxed.prefix_bound(&counts, pos),
+                        "the comm floor never loosens the bound"
+                    );
+                }
+            }
+            let mut pos = 0;
+            loop {
+                if pos == dims.len() {
+                    break 'space;
+                }
+                counts[pos] += 1;
+                if counts[pos] <= dims[pos].1 {
+                    break;
+                }
+                counts[pos] = 0;
+                pos += 1;
+            }
+        }
+        prop_assert!(
+            comm.relaxed_bound() <= best_time,
+            "comm-floored relaxed bound {} beats the optimum {}",
+            comm.relaxed_bound(), best_time
+        );
+    }
+
     /// Branch-and-bound equals the exhaustive walk field-exactly,
     /// across thread counts and the cache-off cross-product.
     #[test]
@@ -141,8 +223,8 @@ proptest! {
                         threads,
                         limit,
                         cache,
-                        dp_threads: 1,
                         bound: true,
+                        ..SearchOptions::default()
                     },
                 )
                 .unwrap();

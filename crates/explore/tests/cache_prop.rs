@@ -27,6 +27,8 @@ fn spec(blocks: usize, max_ops: usize) -> SyntheticSpec {
             OpKind::Const,
             OpKind::Lt,
         ],
+        read_fan: (0, 2),
+        barrier_every: 0,
     }
 }
 

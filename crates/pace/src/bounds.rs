@@ -37,11 +37,29 @@
 //! carry into digit `p` invalidates levels `≤ p`, and each level is
 //! re-derived from the one above by adjusting only the blocks whose
 //! class changes at that level.
+//!
+//! # Communication floors
+//!
+//! Flooring communication at zero is admissible but loose on
+//! applications whose runs pay real bus traffic.
+//! [`SearchBounds::with_comm_floor`] tightens every hardware
+//! contribution to `hw_b + floor_b`, where `floor_b` is the
+//! [`crate::comm`] *segmented floor*: the minimum per-block share of
+//! any run that could contain `b`, restricted to `b`'s maximal
+//! segment of blocks that are hardware-feasible *somewhere* in the
+//! space — runs the DP can actually form never span a block that is
+//! infeasible under every allocation, and for any real run the
+//! per-block shares sum to at most the run's cost (see
+//! `crate::comm::comm_floors`). The floor is a per-block constant, so
+//! it folds into the precomputed tables once and the level chain
+//! stays untouched; software contributions never carry it (a block
+//! kept in software pays no run communication).
 
+use crate::comm::comm_floors;
 use crate::metrics::{bsb_statics, BsbStatics};
 use crate::{PaceConfig, PaceError};
 use lycos_core::kind_positions;
-use lycos_hwlib::{Cycles, FuId, HwLibrary};
+use lycos_hwlib::{CommModel, Cycles, FuId, HwLibrary};
 use lycos_ir::BsbArray;
 use lycos_sched::{list_schedule, FuCounts};
 
@@ -68,14 +86,16 @@ struct BlockBound {
     radix: Vec<u32>,
     /// Required instances per kind (hardware-feasibility floor).
     needed: Vec<u32>,
-    /// Hardware time per feasible projection (`INFEASIBLE` elsewhere);
-    /// empty for blocks whose projection space exceeds [`MAX_TABLE`].
+    /// Hardware time — plus the block's communication floor when one
+    /// was requested — per feasible projection (`INFEASIBLE`
+    /// elsewhere); empty for blocks whose projection space exceeds
+    /// [`MAX_TABLE`].
     table: Vec<u64>,
-    /// Per count of the most-significant kind: minimum hardware time
+    /// Per count of the most-significant kind: minimum table entry
     /// over all projections holding that count. Empty iff `table` is.
     marg: Vec<u64>,
-    /// `min(sw, min over table)` — the nothing-fixed floor (`0` for
-    /// table-less movable blocks).
+    /// `min(sw, min over table)` — the nothing-fixed floor
+    /// (`min(sw, comm floor)` for table-less movable blocks).
     relaxed: u64,
 }
 
@@ -114,10 +134,11 @@ impl BlockBound {
             return self.sw; // cannot cover: software for sure
         }
         if self.table.is_empty() {
-            // Table too large to enumerate: hardware floor 0. Checked
+            // Table too large to enumerate: only the communication
+            // floor (hardware time floored at 0) survives. Checked
             // before the index walk — the radix product of exactly
             // these blocks can overflow `usize`.
-            return 0;
+            return self.relaxed;
         }
         let mut idx = 0usize;
         let mut mul = 1usize;
@@ -137,7 +158,7 @@ impl BlockBound {
             return self.sw;
         }
         if self.marg.is_empty() {
-            return 0;
+            return self.relaxed;
         }
         let m = self.marg[count as usize];
         if m == INFEASIBLE {
@@ -212,18 +233,63 @@ impl SearchBounds {
         config: &PaceConfig,
     ) -> Result<Self, PaceError> {
         let statics = bsb_statics(bsbs, lib, config)?;
-        Self::from_statics(bsbs, lib, dims, &statics)
+        Self::from_statics(bsbs, lib, dims, &statics, None)
+    }
+
+    /// [`SearchBounds::new`] with the admissible communication floor
+    /// folded in: every hardware contribution additionally carries the
+    /// minimum run-communication share the block cannot avoid (see the
+    /// module docs). Strictly at least as tight as [`SearchBounds::new`]
+    /// and still admissible — software contributions are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchBounds::new`].
+    pub fn with_comm_floor(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        dims: &[(FuId, u32)],
+        config: &PaceConfig,
+    ) -> Result<Self, PaceError> {
+        let statics = bsb_statics(bsbs, lib, config)?;
+        Self::from_statics(bsbs, lib, dims, &statics, Some(&config.comm))
     }
 
     /// [`SearchBounds::new`] over statics already computed elsewhere —
-    /// the search engine derives them once for the whole sweep.
+    /// the search engine derives them once for the whole sweep. A
+    /// `comm` model folds the communication floor into the tables.
     pub(crate) fn from_statics(
         bsbs: &BsbArray,
         lib: &HwLibrary,
         dims: &[(FuId, u32)],
         statics: &[BsbStatics],
+        comm: Option<&CommModel>,
     ) -> Result<Self, PaceError> {
         let dim_fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
+        // First pass: static barriers — blocks hardware-infeasible
+        // under EVERY allocation of this space (immovable, a kind
+        // outside the dimensions, or needing more units than the
+        // cap). Runs the DP can form never span one, which is what
+        // makes the segmented communication floor admissible.
+        let barrier: Vec<bool> = statics
+            .iter()
+            .map(|stat| {
+                if !stat.movable {
+                    return true;
+                }
+                match kind_positions(&dim_fus, &stat.kinds).filter(|p| !p.is_empty()) {
+                    None => true,
+                    Some(positions) => positions
+                        .iter()
+                        .zip(&stat.kinds)
+                        .any(|(&p, &fu)| stat.needed.count(fu) > dims[p].1),
+                }
+            })
+            .collect();
+        let floors = match comm {
+            Some(model) => comm_floors(bsbs, model, &barrier),
+            None => vec![0u64; bsbs.len()],
+        };
         let mut blocks = Vec::with_capacity(bsbs.len());
         let mut exact_at = vec![Vec::new(); dims.len()];
         let mut marginal_at = vec![Vec::new(); dims.len()];
@@ -240,6 +306,11 @@ impl SearchBounds {
                 blocks.push(BlockBound::immovable(sw));
                 continue;
             };
+            // The unavoidable communication share every hardware
+            // placement of this block pays; capping the sum below
+            // INFEASIBLE keeps the sentinel unambiguous (capping only
+            // loosens, so admissibility survives).
+            let floor = floors[b];
             let radix: Vec<u32> = positions.iter().map(|&p| dims[p].1 + 1).collect();
             let needed: Vec<u32> = stat.kinds.iter().map(|&fu| stat.needed.count(fu)).collect();
             let size = radix
@@ -247,7 +318,7 @@ impl SearchBounds {
                 .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
                 .filter(|&s| s <= MAX_TABLE);
             let (table, marg, relaxed) = match size {
-                None => (Vec::new(), Vec::new(), 0),
+                None => (Vec::new(), Vec::new(), sw.min(floor)),
                 Some(size) => {
                     let top_radix = *radix.last().expect("non-empty") as usize;
                     let mut table = vec![INFEASIBLE; size];
@@ -264,7 +335,10 @@ impl SearchBounds {
                                 .map(|(&fu, &c)| (fu, c))
                                 .collect();
                             let sched = list_schedule(&bsb.dfg, lib, &fu_counts)?;
-                            let hw = (Cycles::new(sched.length()) * bsb.profile).count();
+                            let hw = (Cycles::new(sched.length()) * bsb.profile)
+                                .count()
+                                .saturating_add(floor)
+                                .min(INFEASIBLE - 1);
                             *entry = hw;
                             let top = *counts.last().expect("non-empty") as usize;
                             marg[top] = marg[top].min(hw);
@@ -371,6 +445,13 @@ impl LevelState {
     /// nothing).
     pub(crate) fn invalidate_upto(&mut self, pos: usize) {
         self.valid_from = self.valid_from.max(pos + 1).min(self.lb.len() - 1);
+    }
+
+    /// Every digit may have changed — a work-stealing worker jumping
+    /// to a fresh odometer chunk. Only the (digit-independent) top
+    /// level survives.
+    pub(crate) fn invalidate_all(&mut self) {
+        self.valid_from = self.lb.len() - 1;
     }
 
     /// The bound at `pos` for the current `counts`, re-deriving stale
@@ -660,5 +741,143 @@ mod tests {
             bounds.blocks[0].relaxed + sw_div,
             "floors sum across the blocks"
         );
+    }
+
+    #[test]
+    fn comm_floor_bounds_stay_admissible() {
+        // The tightened constructor must still never beat the DP time
+        // of any consistent allocation, at any level — communication
+        // included (dp_time charges the full run comm).
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let total = Area::new(9_000);
+        let relaxed = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        let comm = SearchBounds::with_comm_floor(&bsbs, &lib, &dims, &cfg).unwrap();
+        let times = all_times(&bsbs, &lib, &dims, total);
+        assert!(!times.is_empty());
+        for (counts, time) in &times {
+            for pos in 0..=dims.len() {
+                let lb = comm.prefix_bound(counts, pos);
+                assert!(
+                    lb <= *time,
+                    "level {pos} comm bound {lb} beats the DP time {time} at {counts:?}"
+                );
+                assert!(
+                    lb >= relaxed.prefix_bound(counts, pos),
+                    "the comm floor never loosens the bound"
+                );
+            }
+        }
+        let best = times.iter().map(|&(_, t)| t).min().unwrap();
+        assert!(comm.relaxed_bound() <= best);
+    }
+
+    #[test]
+    fn comm_floor_tightens_across_barriers() {
+        // An immovable block splits the app into two segments whose
+        // single-block runs pay real traffic — the whole-application
+        // run (nearly free) can no longer wash the floors out.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, OpKind::Add, 6, 400, &[], &["x"]),
+                Bsb {
+                    id: BsbId(1),
+                    name: "barrier".into(),
+                    dfg: Dfg::new(),
+                    reads: BTreeSet::new(),
+                    writes: BTreeSet::new(),
+                    profile: 1,
+                    origin: BsbOrigin::Body,
+                },
+                bsb(2, OpKind::Add, 6, 400, &["x"], &[]),
+            ],
+        );
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let relaxed = SearchBounds::new(&bsbs, &lib, &dims, &cfg).unwrap();
+        let comm = SearchBounds::with_comm_floor(&bsbs, &lib, &dims, &cfg).unwrap();
+        assert!(
+            comm.relaxed_bound() > relaxed.relaxed_bound(),
+            "cross-barrier traffic must tighten the floor ({} vs {})",
+            comm.relaxed_bound(),
+            relaxed.relaxed_bound()
+        );
+        // And tightened is still admissible on this app.
+        let total = Area::new(9_000);
+        for (counts, time) in all_times(&bsbs, &lib, &dims, total) {
+            for pos in 0..=dims.len() {
+                assert!(comm.prefix_bound(&counts, pos) <= time, "at {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_state_matches_the_reference_under_comm_floors() {
+        // The incremental chain re-derives the comm-floored bounds
+        // exactly (floors are per-block constants, so every class
+        // transition still only tightens).
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let bounds = SearchBounds::with_comm_floor(&bsbs, &lib, &dims, &cfg).unwrap();
+        let mut state = LevelState::new(&bounds);
+        let mut counts = vec![0u32; dims.len()];
+        loop {
+            for pos in 0..=dims.len() {
+                assert_eq!(
+                    state.bound_at(&bounds, pos, &counts),
+                    bounds.prefix_bound(&counts, pos),
+                    "level {pos} at {counts:?}"
+                );
+            }
+            let mut pos = 0;
+            loop {
+                if pos == dims.len() {
+                    return;
+                }
+                counts[pos] += 1;
+                state.invalidate_upto(pos);
+                if counts[pos] <= dims[pos].1 {
+                    break;
+                }
+                counts[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_all_resets_the_chain_exactly() {
+        // A work-stealing worker jumps to an arbitrary chunk: after
+        // invalidate_all, every level must re-derive against the new
+        // digits with no residue from the old ones.
+        let bsbs = app();
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let dims = search_space(&restr);
+        let bounds = SearchBounds::with_comm_floor(&bsbs, &lib, &dims, &cfg).unwrap();
+        let mut state = LevelState::new(&bounds);
+        let zeros = vec![0u32; dims.len()];
+        for pos in 0..=dims.len() {
+            state.bound_at(&bounds, pos, &zeros); // warm the chain
+        }
+        let jump: Vec<u32> = dims.iter().map(|&(_, cap)| cap).collect();
+        state.invalidate_all();
+        for pos in 0..=dims.len() {
+            assert_eq!(
+                state.bound_at(&bounds, pos, &jump),
+                bounds.prefix_bound(&jump, pos),
+                "level {pos} after the jump"
+            );
+        }
     }
 }

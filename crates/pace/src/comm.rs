@@ -157,6 +157,58 @@ impl CommCosts {
     }
 }
 
+/// Admissible per-block communication floors for the search bound.
+///
+/// `floors[b]` lower-bounds the communication share block `b` adds to
+/// *any* hardware run the DP can place it in: the minimum over all
+/// runs `[j, k]` containing `b` — restricted to `b`'s maximal
+/// barrier-free segment — of `⌊cost(j, k) / (k − j + 1)⌋`.
+/// `barrier[b]` marks blocks that are hardware-infeasible under every
+/// allocation of the space; real runs contain only feasible blocks, so
+/// no run ever spans a barrier and the segment restriction is sound.
+/// For a run `R` the DP charges `cost(R)` once, and
+///
+/// ```text
+/// Σ_{b ∈ R} floors[b] ≤ |R| · ⌊cost(R) / |R|⌋ ≤ cost(R)
+/// ```
+///
+/// so adding `floors[b]` to every hardware block's bound contribution
+/// never exceeds the communication the DP actually pays. Barrier
+/// blocks get a zero floor — they are charged software time, never run
+/// communication. Costs come from a [`CommCosts`] memo, the same table
+/// the DP reads, so the floor and the evaluation can never disagree on
+/// a run's price.
+pub(crate) fn comm_floors(bsbs: &BsbArray, comm: &CommModel, barrier: &[bool]) -> Vec<u64> {
+    assert_eq!(bsbs.len(), barrier.len(), "one flag per block");
+    let n = bsbs.len();
+    let mut floors = vec![0u64; n];
+    let mut costs = CommCosts::new(n);
+    let mut s = 0usize;
+    while s < n {
+        if barrier[s] {
+            s += 1;
+            continue;
+        }
+        let mut e = s;
+        while e + 1 < n && !barrier[e + 1] {
+            e += 1;
+        }
+        for f in &mut floors[s..=e] {
+            *f = u64::MAX;
+        }
+        for j in s..=e {
+            for k in j..=e {
+                let share = costs.cost(bsbs, comm, j, k) / (k - j + 1) as u64;
+                for f in &mut floors[j..=k] {
+                    *f = (*f).min(share);
+                }
+            }
+        }
+        s = e + 1;
+    }
+    floors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +335,58 @@ mod tests {
     fn invalid_run_panics() {
         let bsbs = BsbArray::from_bsbs("t", vec![bsb(0, 1, &[], &[])]);
         run_traffic(&bsbs, 0, 5);
+    }
+
+    #[test]
+    fn comm_floors_never_exceed_any_run_share() {
+        // The documented inequality, checked exhaustively: for every
+        // run within a barrier-free segment, the floors of its blocks
+        // sum to at most the run's cost.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, 40, &["in"], &["x"]),
+                bsb(1, 40, &["x"], &["y"]),
+                bsb(2, 8, &["y"], &["z"]),
+                bsb(3, 8, &["z"], &["out"]),
+            ],
+        );
+        let comm = CommModel::standard();
+        let floors = comm_floors(&bsbs, &comm, &[false; 4]);
+        let mut costs = CommCosts::new(4);
+        for j in 0..4 {
+            for k in j..4 {
+                let total: u64 = floors[j..=k].iter().sum();
+                assert!(
+                    total <= costs.cost(&bsbs, &comm, j, k),
+                    "floors {floors:?} overcharge run [{j}, {k}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barriers_segment_the_floor_runs() {
+        // b1 can never reach hardware, so no run spans it: b0 and b2
+        // keep their single-block run costs as floors instead of being
+        // washed out by the cheap whole-application run.
+        let bsbs = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, 100, &[], &["x"]),
+                bsb(1, 1, &[], &[]),
+                bsb(2, 100, &["x"], &[]),
+            ],
+        );
+        let comm = CommModel::standard(); // sync 10, word 4
+        let floors = comm_floors(&bsbs, &comm, &[false, true, false]);
+        // Run [0,0]: x leaves 100 times (min(writer, reader) = 100).
+        assert_eq!(floors[0], 100 * 10 + 100 * 4);
+        assert_eq!(floors[1], 0, "barrier blocks never pay run comm");
+        // Run [2,2]: x enters 100 times.
+        assert_eq!(floors[2], 100 * 10 + 100 * 4);
+        // Without the barrier the whole-app run [0,2] (x internal, no
+        // traffic) collapses every floor to zero.
+        assert_eq!(comm_floors(&bsbs, &comm, &[false; 3]), vec![0, 0, 0]);
     }
 }

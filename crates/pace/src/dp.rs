@@ -149,6 +149,9 @@ const DP_PAR_MIN_CELLS: usize = 4096;
 pub struct DpScratch {
     /// Intra-candidate workers: `1` = sequential, `0` = one per core.
     dp_threads: usize,
+    /// Run the [`LANES`]-wide chunked inner scan (bit-identical to the
+    /// scalar kernel, which always handles the row tail).
+    simd: bool,
     /// Per-block hardware feasibility under the current metrics.
     feasible: Vec<bool>,
     /// `run_off[j]` = first flat index of the runs starting at `j`.
@@ -198,6 +201,7 @@ impl DpScratch {
     pub fn with_dp_threads(dp_threads: usize) -> Self {
         DpScratch {
             dp_threads,
+            simd: true,
             feasible: Vec::new(),
             run_off: Vec::new(),
             run_len: Vec::new(),
@@ -221,6 +225,19 @@ impl DpScratch {
     /// the warmed buffers.
     pub fn set_dp_threads(&mut self, dp_threads: usize) {
         self.dp_threads = dp_threads;
+    }
+
+    /// Whether evaluations use the lane-chunked inner scan.
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// Selects between the lane-chunked ([`true`], the default) and the
+    /// pure scalar inner scan. Results are bit-identical either way —
+    /// the scalar kernel is the reference the chunked one must match —
+    /// so this is a perf knob and an A/B seam, never a semantic one.
+    pub fn set_simd(&mut self, simd: bool) {
+        self.simd = simd;
     }
 
     /// Workers the next row split would actually use for `width` cells.
@@ -304,19 +321,25 @@ impl DpScratch {
         self.dp[..width].fill(0);
 
         let workers = self.effective_dp_workers(width);
+        let simd = self.simd;
         let run_off: &[usize] = &self.run_off;
         let run_len: &[usize] = &self.run_len;
         let run_time: &[u64] = &self.run_time;
         let run_quanta: &[usize] = &self.run_quanta;
         let dp = &mut self.dp;
         let choice = &mut self.choice;
+        let kernel = if simd {
+            dp_row_cells_lanes
+        } else {
+            dp_row_cells
+        };
         for i in 1..=l {
             let sw_prev = metrics[i - 1].sw_time.count();
             let (done, rest) = dp.split_at_mut(i * width);
             let dp_row = &mut rest[..width];
             let choice_row = &mut choice[i * width..(i + 1) * width];
             if workers <= 1 {
-                dp_row_cells(
+                kernel(
                     i, width, 0, done, dp_row, choice_row, sw_prev, run_off, run_len, run_time,
                     run_quanta,
                 );
@@ -332,7 +355,7 @@ impl DpScratch {
                     {
                         let done = &*done;
                         scope.spawn(move || {
-                            dp_row_cells(
+                            kernel(
                                 i,
                                 width,
                                 w * chunk,
@@ -443,6 +466,104 @@ fn dp_row_cells(
         }
         *cell = best;
         *pick_cell = pick;
+    }
+}
+
+/// Fixed lane width of [`dp_row_cells_lanes`]. Four `u64` accumulators
+/// fill one 256-bit vector register; the manual unroll keeps the hot
+/// loop autovectorisable on stable Rust without `std::simd`.
+const LANES: usize = 4;
+
+/// [`dp_row_cells`], processing the area axis in [`LANES`]-wide groups
+/// over the flat SoA run tables, scalar tail included.
+///
+/// Bit-identical to the scalar kernel by construction: the `j` scan is
+/// shared across the group, and because `run_quanta` is nondecreasing
+/// along a slab, a lane whose budget `a` a run overflows stays
+/// overflowed for every later (longer) run — exactly where the scalar
+/// loop `break`s. Each lane therefore sees the same candidate
+/// sequence, in the same order, under the same strict-`<` tie-break.
+/// The group itself breaks only once the *largest* budget in it
+/// overflows; lanes below it fall into the partial-range arm until
+/// then. When `quanta <= a0k` every lane's `done` read is contiguous
+/// (`a - quanta` shifts with the lane), which is the load the unroll
+/// exists to coalesce.
+#[allow(clippy::too_many_arguments)] // internal kernel of DpScratch::evaluate
+fn dp_row_cells_lanes(
+    i: usize,
+    width: usize,
+    a0: usize,
+    done: &[u64],
+    dp_row: &mut [u64],
+    choice_row: &mut [u32],
+    sw_prev: u64,
+    run_off: &[usize],
+    run_len: &[usize],
+    run_time: &[u64],
+    run_quanta: &[usize],
+) {
+    let n = dp_row.len();
+    let mut k = 0usize;
+    while k + LANES <= n {
+        let a0k = a0 + k;
+        let base = (i - 1) * width + a0k;
+        let mut best = [0u64; LANES];
+        for (l, b) in best.iter_mut().enumerate() {
+            *b = done[base + l].saturating_add(sw_prev);
+        }
+        let mut pick = [0u32; LANES];
+        for j in (1..=i).rev() {
+            let idx = i - j;
+            if run_len[j - 1] <= idx {
+                break;
+            }
+            let e = run_off[j - 1] + idx;
+            let quanta = run_quanta[e];
+            if quanta > a0k + (LANES - 1) {
+                break; // monotone: over even the group's largest budget
+            }
+            let rt = run_time[e];
+            let row = (j - 1) * width;
+            if quanta <= a0k {
+                // All lanes active: one contiguous done load.
+                let src = &done[row + (a0k - quanta)..][..LANES];
+                for l in 0..LANES {
+                    let t = src[l].saturating_add(rt);
+                    if t < best[l] {
+                        best[l] = t;
+                        pick[l] = j as u32;
+                    }
+                }
+            } else {
+                // Low lanes over budget (and, by monotonicity, out for
+                // the rest of the scan — as if the scalar loop broke).
+                for l in (quanta - a0k)..LANES {
+                    let t = done[row + (a0k + l - quanta)].saturating_add(rt);
+                    if t < best[l] {
+                        best[l] = t;
+                        pick[l] = j as u32;
+                    }
+                }
+            }
+        }
+        dp_row[k..k + LANES].copy_from_slice(&best);
+        choice_row[k..k + LANES].copy_from_slice(&pick);
+        k += LANES;
+    }
+    if k < n {
+        dp_row_cells(
+            i,
+            width,
+            a0 + k,
+            done,
+            &mut dp_row[k..],
+            &mut choice_row[k..],
+            sw_prev,
+            run_off,
+            run_len,
+            run_time,
+            run_quanta,
+        );
     }
 }
 
@@ -1203,5 +1324,83 @@ mod tests {
         assert_eq!(s.effective_dp_workers(2_501), 1);
         assert_eq!(s.effective_dp_workers(63), 1);
         assert_eq!(DpScratch::new().dp_threads(), 1);
+    }
+
+    #[test]
+    fn lane_chunked_scan_is_bit_identical_to_scalar() {
+        // Not just the same partition: the full dp/choice grids must
+        // match cell for cell, across row widths that exercise whole
+        // lane groups, the partial-lane arm (tight budgets where
+        // `quanta > a0k` mid-group) and the scalar tail (widths not a
+        // multiple of LANES).
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        for (bsbs, alloc) in zoo() {
+            let dp_gates = alloc.area(&lib).gates();
+            for extra in [0u64, 16, 33, 100, 307, 1_000, 10_000] {
+                let total = Area::new(dp_gates + extra);
+                let metrics = compute_metrics(&bsbs, &lib, &alloc, &cfg).unwrap();
+                let ctl = total.checked_sub(alloc.area(&lib)).unwrap();
+
+                let mut lanes = DpScratch::new();
+                assert!(lanes.simd(), "lane chunking is the default");
+                let mut scalar = DpScratch::new();
+                scalar.set_simd(false);
+
+                let mut comm_a = CommCosts::new(bsbs.len());
+                let ta = lanes.evaluate(&bsbs, &metrics, &mut comm_a, ctl, &cfg);
+                let mut comm_b = CommCosts::new(bsbs.len());
+                let tb = scalar.evaluate(&bsbs, &metrics, &mut comm_b, ctl, &cfg);
+                assert_eq!(ta, tb, "{} +{extra}", bsbs.app_name());
+                let need = (lanes.l + 1) * (lanes.levels + 1);
+                assert_eq!(
+                    lanes.dp[..need],
+                    scalar.dp[..need],
+                    "{} +{extra}: dp grid diverged",
+                    bsbs.app_name()
+                );
+                assert_eq!(
+                    lanes.choice[..need],
+                    scalar.choice[..need],
+                    "{} +{extra}: choice grid diverged",
+                    bsbs.app_name()
+                );
+                assert_eq!(
+                    lanes.backtrack(&metrics, alloc.area(&lib)),
+                    scalar.backtrack(&metrics, alloc.area(&lib)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_chunked_scan_survives_the_row_split() {
+        // simd × dp_threads: the parallel row chunks start at arbitrary
+        // a0 offsets, so lane groups straddle chunk-local alignments.
+        let lib = lib();
+        let cfg = PaceConfig::standard();
+        for (bsbs, alloc) in zoo() {
+            let total = Area::new(alloc.area(&lib).gates() + 140_000);
+            let mut scalar = DpScratch::new();
+            scalar.set_simd(false);
+            let seed =
+                partition_with_scratch(&bsbs, &lib, &alloc, total, &cfg, &mut scalar).unwrap();
+            for dp_threads in [1usize, 2, 5] {
+                let mut scratch = DpScratch::with_dp_threads(dp_threads);
+                let par =
+                    partition_with_scratch(&bsbs, &lib, &alloc, total, &cfg, &mut scratch).unwrap();
+                assert_eq!(par, seed, "{} dp_threads={dp_threads}", bsbs.app_name());
+            }
+        }
+    }
+
+    #[test]
+    fn simd_toggle_round_trips() {
+        let mut s = DpScratch::with_dp_threads(3);
+        assert!(s.simd(), "every constructor defaults the lanes on");
+        s.set_simd(false);
+        assert!(!s.simd());
+        s.set_simd(true);
+        assert!(s.simd());
     }
 }

@@ -24,23 +24,33 @@
 //!   ([`crate::SearchBounds`]) proves they cannot beat the incumbent
 //!   under the strict `(time, area)` improvement rule — including a
 //!   leaf-level check that spares the DP for individually hopeless
-//!   candidates. Workers share their best `(time, area)` through an
-//!   [`AtomicU64`]-packed incumbent so one worker's early optimum
-//!   tightens every other worker's bound; cross-worker pruning is
-//!   deliberately stricter than own-range pruning so the deterministic
-//!   final reduce still returns the *field-exact* winner of the
-//!   exhaustive walk (same allocation, partition, time and area).
-//!   Pruned points are accounted separately ([`SearchStats::bounded`]).
-//! * **Parallelism** — the odometer sequence is split into contiguous
-//!   index ranges fanned out over [`std::thread::scope`] workers, each
-//!   with a private cache; ranges are balanced by the truncation
-//!   pre-walk's per-chunk evaluable counts where available, so
-//!   skip-heavy prefixes don't starve workers. Results reduce
-//!   deterministically in range order under the same strict
-//!   `(time, area)` improvement rule the sequential walk uses, so the
-//!   outcome is bit-identical to [`exhaustive_best`] — including
-//!   `evaluated`, `skipped` and truncation behaviour when bounding is
-//!   off, and the field-exact winner when it is on.
+//!   candidates. With [`SearchOptions::bound_comm`] (the default) the
+//!   bound additionally folds in each block's admissible communication
+//!   floor instead of relaxing all traffic to zero, pruning harder on
+//!   communication-dominated applications. Workers share their best
+//!   `(time, area)` through an [`AtomicU64`]-packed incumbent so one
+//!   worker's early optimum tightens every other worker's bound;
+//!   cross-worker pruning is deliberately stricter than own-range
+//!   pruning so the deterministic final reduce still returns the
+//!   *field-exact* winner of the exhaustive walk (same allocation,
+//!   partition, time and area). Pruned points are accounted separately
+//!   ([`SearchStats::bounded`]).
+//! * **Parallelism** — with [`SearchOptions::steal`] (the default) the
+//!   odometer sequence is cut into subtree-aligned chunks behind an
+//!   atomic cursor and workers *steal* the next chunk as they finish,
+//!   so a worker handed a heavily pruned region doesn't idle while its
+//!   neighbours grind; with stealing off, the sequence is split into
+//!   static contiguous ranges balanced by the truncation pre-walk's
+//!   per-chunk evaluable counts. Each worker keeps a private cache and
+//!   scratch; results reduce deterministically under the strict
+//!   `(time, area, index)` improvement order — exactly the order the
+//!   sequential walk discovers winners in — so the outcome is
+//!   bit-identical to [`exhaustive_best`] at any worker count and
+//!   either scheduling policy: including `evaluated`, `skipped` and
+//!   truncation behaviour when bounding is off, and the field-exact
+//!   winner when it is on. The per-candidate DP leaf itself runs the
+//!   lane-chunked inner scan ([`SearchOptions::simd`], bit-identical
+//!   to the scalar kernel).
 
 use crate::bounds::LevelState;
 use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
@@ -93,6 +103,30 @@ pub struct SearchOptions {
     /// [`SearchStats::bounded`] instead, and under multiple worker
     /// threads the exact split depends on incumbent-sharing timing.
     pub bound: bool,
+    /// Fold the admissible communication floor into the lower bound
+    /// ([`crate::SearchBounds::with_comm_floor`]): blocks forced to
+    /// hardware carry their minimum unavoidable run-traffic share
+    /// instead of relaxing communication to zero. Strictly at least as
+    /// tight as the relaxed bound and still admissible, so the winner
+    /// stays field-exact; only the prune ratio changes. On by default;
+    /// inert unless [`SearchOptions::bound`] is on. Turning it off
+    /// recovers the PR 5 relaxed bound for A/B benchmarking.
+    pub bound_comm: bool,
+    /// Run the lane-chunked (SIMD-width) DP inner scan
+    /// ([`DpScratch::set_simd`]) for every candidate evaluation. The
+    /// chunked kernel is bit-identical to the scalar reference, which
+    /// always handles the row tail; this knob exists purely to
+    /// benchmark the leaf cost. On by default.
+    pub simd: bool,
+    /// Schedule sweep workers by chunked work-stealing: the odometer
+    /// sequence is cut into subtree-aligned chunks behind an atomic
+    /// cursor and each worker takes the next chunk as it finishes, so
+    /// bound-pruned regions don't leave workers idle. Off (or a single
+    /// worker) falls back to the static pre-walk-balanced range split.
+    /// Results are identical either way — winner, accounting and
+    /// truncation — only the load balance and
+    /// [`SearchStats::steals`] telemetry change. On by default.
+    pub steal: bool,
 }
 
 impl Default for SearchOptions {
@@ -103,6 +137,9 @@ impl Default for SearchOptions {
             cache: true,
             dp_threads: 1,
             bound: false,
+            bound_comm: true,
+            simd: true,
+            steal: true,
         }
     }
 }
@@ -184,6 +221,10 @@ pub struct SearchStats {
     /// step — the incremental-metrics saving: these cost neither a
     /// projection nor a memo probe.
     pub clean_reuses: u64,
+    /// Chunks taken by work-stealing workers beyond their first — the
+    /// rebalancing the dynamic scheduler performed that a static split
+    /// could not. `0` under the static split or a single worker.
+    pub steals: u64,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -515,18 +556,28 @@ struct Odometer {
     weight: Vec<u128>,
 }
 
+/// `weights[pos]` = points in a subtree fixing digits `pos..` — the
+/// cumulative radix products of the mixed-radix space (saturating for
+/// astronomically large spaces). `weights[dims.len()]` is the space
+/// size itself. Shared by the odometer and the work-stealing chunk
+/// sizing, so chunk boundaries are guaranteed to be subtree roots.
+fn subtree_weights(dims: &[(FuId, u32)]) -> Vec<u128> {
+    let mut weight = Vec::with_capacity(dims.len() + 1);
+    weight.push(1u128);
+    for &(_, cap) in dims {
+        let last = *weight.last().expect("starts non-empty");
+        weight.push(last.saturating_mul(cap as u128 + 1));
+    }
+    weight
+}
+
 impl Odometer {
     /// The odometer positioned at `index` (`0 ≤ index < space size`).
     fn at(dims: &[(FuId, u32)], lib: &HwLibrary, index: u128) -> Odometer {
         let caps: Vec<u32> = dims.iter().map(|&(_, cap)| cap).collect();
         let fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
         let unit_area: Vec<u64> = fus.iter().map(|&fu| lib.area_of(fu).gates()).collect();
-        let mut weight = Vec::with_capacity(dims.len() + 1);
-        weight.push(1u128);
-        for &cap in &caps {
-            let last = *weight.last().expect("starts non-empty");
-            weight.push(last.saturating_mul(cap as u128 + 1));
-        }
+        let weight = subtree_weights(dims);
         let mut rest = index;
         let mut counts = vec![0u32; dims.len()];
         for (c, &cap) in counts.iter_mut().zip(&caps) {
@@ -644,12 +695,18 @@ struct PreWalk {
 /// workers can cover `[0, bound)` and reproduce `evaluated`, `skipped`
 /// and `truncated` bit-for-bit. The same walk tallies evaluable points
 /// per index chunk, which later balances the worker ranges.
+///
+/// `want_histogram` is off when the sweep will schedule by
+/// work-stealing: the dynamic scheduler balances load at run time, so
+/// the histogram would be dead weight and the pre-walk only pins the
+/// truncation point.
 fn pre_walk(
     dims: &[(FuId, u32)],
     lib: &HwLibrary,
     total_gates: u64,
     space: u128,
     limit: Option<usize>,
+    want_histogram: bool,
 ) -> PreWalk {
     let Some(limit) = limit else {
         return PreWalk {
@@ -662,6 +719,9 @@ fn pre_walk(
     let chunk = (space / PRE_WALK_CHUNKS).max(1);
     let mut evaluable: Vec<u64> = Vec::new();
     let tally = |evaluable: &mut Vec<u64>, index: u128| {
+        if !want_histogram {
+            return;
+        }
         let slot = (index / chunk) as usize;
         if evaluable.len() <= slot {
             evaluable.resize(slot + 1, 0);
@@ -712,7 +772,7 @@ fn truncation_bound(
     space: u128,
     limit: Option<usize>,
 ) -> (u128, bool) {
-    let pre = pre_walk(dims, lib, total_gates, space, limit);
+    let pre = pre_walk(dims, lib, total_gates, space, limit, true);
     (pre.bound, pre.truncated)
 }
 
@@ -743,6 +803,15 @@ impl DirtyKinds {
     fn clear(&mut self) {
         self.flags.fill(false);
         self.all = false;
+    }
+
+    /// Forgets the stepping history: the next evaluated point
+    /// refreshes every block from scratch. A work-stealing worker
+    /// re-seeds like this at every stolen chunk — the chunk start is
+    /// not one odometer step from wherever the previous chunk ended.
+    fn reset(&mut self) {
+        self.flags.fill(false);
+        self.all = true;
     }
 }
 
@@ -803,16 +872,21 @@ fn subtree_pruned(
     false
 }
 
-/// What one worker brings back from its odometer range.
+/// What one worker brings back from the odometer indices it covered.
 #[derive(Default)]
 struct WorkerOut {
-    /// Best candidate of the range: allocation, partition, data-path
-    /// gates (the earliest point achieving the range's minimal
-    /// `(time, area)`).
-    best: Option<(RMap, Partition, u64)>,
+    /// Best candidate the worker evaluated: allocation, partition,
+    /// data-path gates, odometer index (the earliest point achieving
+    /// the worker's minimal `(time, area)`). The index makes the final
+    /// reduce order-free: whatever scheduling policy handed points to
+    /// workers, the lexicographic `(time, area, index)` minimum is the
+    /// exact candidate the sequential walk would keep.
+    best: Option<(RMap, Partition, u64, u128)>,
     evaluated: usize,
     skipped: usize,
     bounded: u128,
+    /// Chunks this worker took beyond its first (work-stealing only).
+    steals: u64,
     hits: u64,
     misses: u64,
     key_allocs: u64,
@@ -820,18 +894,218 @@ struct WorkerOut {
     clean_reuses: u64,
 }
 
-/// Evaluates every point of `range`, memoised, single-threaded (plus
-/// the opt-in intra-candidate row split when `dp_threads` asks for
-/// one). `statics` is a clone of the engine's one-time precompute; the
-/// run-traffic memo, the DP scratch, the metrics buffer and the
-/// candidate map are private to the worker and reused across every
-/// point — after warm-up a non-improving evaluation performs no heap
-/// allocation at all (the winning [`Partition`] is only materialised
-/// when a candidate actually improves on the range's best). With
-/// `bounds` present the walk is branch-and-bound: whole subtrees (and
-/// single hopeless leaves) whose admissible bound cannot improve the
-/// incumbent are skipped and tallied in `bounded`, with the shared
-/// incumbent read and published through `shared`.
+/// One sweep worker's whole private state: the memo cache, the
+/// run-traffic memo, the DP scratch, the metrics buffer, the candidate
+/// map and the bound chain — everything reused across every point the
+/// worker visits, whether those points arrive as one static range or
+/// as a sequence of stolen chunks. After warm-up a non-improving
+/// evaluation performs no heap allocation at all (the winning
+/// [`Partition`] is only materialised when a candidate actually
+/// improves on the worker's best).
+struct SweepWorker<'a> {
+    bsbs: &'a BsbArray,
+    lib: &'a HwLibrary,
+    config: &'a PaceConfig,
+    total_gates: u64,
+    dims: &'a [(FuId, u32)],
+    cache: MetricsCache<'a>,
+    comm: CommCosts,
+    scratch: DpScratch,
+    metrics: Vec<BsbMetrics>,
+    candidate: RMap,
+    dirty: DirtyKinds,
+    dirty_fus: Vec<FuId>,
+    bounds: Option<&'a SearchBounds>,
+    levels: Option<LevelState>,
+    shared: &'a AtomicU64,
+    out: WorkerOut,
+}
+
+impl<'a> SweepWorker<'a> {
+    #[allow(clippy::too_many_arguments)] // internal seam of search_best
+    fn new(
+        bsbs: &'a BsbArray,
+        lib: &'a HwLibrary,
+        config: &'a PaceConfig,
+        total_gates: u64,
+        dims: &'a [(FuId, u32)],
+        statics: Vec<BsbStatics>,
+        cache_enabled: bool,
+        dp_threads: usize,
+        simd: bool,
+        bounds: Option<&'a SearchBounds>,
+        shared: &'a AtomicU64,
+    ) -> Self {
+        let mut scratch = DpScratch::with_dp_threads(dp_threads);
+        scratch.set_simd(simd);
+        SweepWorker {
+            bsbs,
+            lib,
+            config,
+            total_gates,
+            dims,
+            cache: MetricsCache::from_statics(bsbs, lib, config, statics, cache_enabled),
+            comm: CommCosts::new(bsbs.len()),
+            scratch,
+            metrics: Vec::with_capacity(bsbs.len()),
+            candidate: RMap::new(),
+            dirty: DirtyKinds::new(dims.len()),
+            dirty_fus: Vec::with_capacity(dims.len()),
+            bounds,
+            levels: bounds.map(LevelState::new),
+            shared,
+            out: WorkerOut::default(),
+        }
+    }
+
+    /// Forgets the incremental stepping state before jumping to a
+    /// non-adjacent index: the metrics buffer refreshes from scratch
+    /// and the bound chain re-derives every level. The memo caches,
+    /// the incumbent and the accounting survive — they are position
+    /// independent.
+    fn reseed(&mut self) {
+        self.dirty.reset();
+        if let Some(levels) = self.levels.as_mut() {
+            levels.invalidate_all();
+        }
+    }
+
+    /// Evaluates every point of `range`, exactly as the sequential
+    /// walk would, accumulating into the worker's [`WorkerOut`]. With
+    /// bounds present the walk is branch-and-bound: whole subtrees
+    /// (and single hopeless leaves) whose admissible bound cannot
+    /// improve the incumbent are skipped and tallied in `bounded`,
+    /// with the shared incumbent read and published through `shared`.
+    /// Ranges must arrive in increasing index order (both schedulers
+    /// guarantee it), so the worker's own-best tie pruning stays
+    /// sound: its incumbent always sits at an earlier index than any
+    /// point still ahead.
+    fn walk(&mut self, range: Range<u128>) -> Result<(), PaceError> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let mut odo = Odometer::at(self.dims, self.lib, range.start);
+        let mut index = range.start;
+        'walk: while index < range.end {
+            // Branch-and-bound: skip subtrees rooted here, largest
+            // first, until none prunes. A subtree prunes when its
+            // whole area is infeasible, or when the admissible bound
+            // at its level cannot improve the incumbents; `pos == 0`
+            // is the leaf check sparing the DP for an individually
+            // hopeless candidate.
+            if let (Some(bounds), Some(levels)) = (self.bounds, self.levels.as_mut()) {
+                loop {
+                    let gates = odo.area_gates();
+                    let own = self
+                        .out
+                        .best
+                        .as_ref()
+                        .map(|(_, p, area, _)| (p.total_time.count(), *area));
+                    let inherited = unpack_incumbent(self.shared.load(Ordering::Relaxed));
+                    let mut skip = None;
+                    for pos in (0..=odo.trailing_zeros()).rev() {
+                        let width = odo.subtree_width(pos);
+                        if width > range.end - index {
+                            continue; // subtree leaks out of this range
+                        }
+                        let prune = if gates > self.total_gates {
+                            // Every point of the subtree is
+                            // area-infeasible (free digits only add
+                            // area). Single points stay on the
+                            // `skipped` path below.
+                            pos > 0
+                        } else {
+                            let lb = levels.bound_at(bounds, pos, &odo.counts);
+                            subtree_pruned(lb, gates, own, inherited)
+                        };
+                        if prune {
+                            skip = Some((pos, width));
+                            break;
+                        }
+                    }
+                    let Some((pos, width)) = skip else { break };
+                    self.out.bounded += width;
+                    index += width;
+                    if index >= range.end {
+                        break 'walk;
+                    }
+                    let changed = odo.advance(pos).expect("range ends within the space");
+                    self.dirty.mark_upto(changed);
+                    levels.invalidate_upto(changed);
+                }
+            }
+            // Evaluate or skip the surviving point, exactly as the
+            // exhaustive walk would.
+            let gates = odo.area_gates();
+            if gates > self.total_gates {
+                self.out.skipped += 1;
+            } else {
+                odo.write_rmap(&mut self.candidate);
+                if self.dirty.all {
+                    self.cache
+                        .metrics_into(&self.candidate, &mut self.metrics)?;
+                } else {
+                    self.dirty_fus.clear();
+                    for (pos, &flag) in self.dirty.flags.iter().enumerate() {
+                        if flag {
+                            self.dirty_fus.push(odo.kind_at(pos));
+                        }
+                    }
+                    self.cache
+                        .step_into(&self.candidate, &self.dirty_fus, &mut self.metrics)?;
+                }
+                self.dirty.clear();
+                let time = self.scratch.evaluate(
+                    self.bsbs,
+                    &self.metrics,
+                    &mut self.comm,
+                    Area::new(self.total_gates - gates),
+                    self.config,
+                );
+                self.out.evaluated += 1;
+                let better = match &self.out.best {
+                    None => true,
+                    Some((_, bp, barea, _)) => {
+                        time < bp.total_time.count()
+                            || (time == bp.total_time.count() && gates < *barea)
+                    }
+                };
+                if better {
+                    let p = self.scratch.backtrack(&self.metrics, Area::new(gates));
+                    if self.bounds.is_some() {
+                        self.shared
+                            .fetch_min(pack_incumbent(time, gates), Ordering::Relaxed);
+                    }
+                    self.out.best = Some((self.candidate.clone(), p, gates, index));
+                }
+            }
+            index += 1;
+            if index >= range.end {
+                break;
+            }
+            let changed = odo.advance(0).expect("range ends within the space");
+            self.dirty.mark_upto(changed);
+            if let Some(levels) = self.levels.as_mut() {
+                levels.invalidate_upto(changed);
+            }
+        }
+        Ok(())
+    }
+
+    /// The worker's accumulated output, with the cache counters folded
+    /// in.
+    fn finish(mut self) -> WorkerOut {
+        self.out.hits = self.cache.hits();
+        self.out.misses = self.cache.misses();
+        self.out.key_allocs = self.cache.key_allocs();
+        self.out.dirty_probes = self.cache.dirty_probes();
+        self.out.clean_reuses = self.cache.clean_reuses();
+        self.out
+    }
+}
+
+/// Static-split worker: one contiguous range, walked once. `statics`
+/// is a clone of the engine's one-time precompute.
 #[allow(clippy::too_many_arguments)] // internal seam of search_best
 fn sweep_range(
     bsbs: &BsbArray,
@@ -843,126 +1117,108 @@ fn sweep_range(
     statics: Vec<BsbStatics>,
     cache_enabled: bool,
     dp_threads: usize,
+    simd: bool,
     bounds: Option<&SearchBounds>,
     shared: &AtomicU64,
 ) -> Result<WorkerOut, PaceError> {
-    let mut cache = MetricsCache::from_statics(bsbs, lib, config, statics, cache_enabled);
-    let mut comm = CommCosts::new(bsbs.len());
-    let mut scratch = DpScratch::with_dp_threads(dp_threads);
-    let mut metrics: Vec<BsbMetrics> = Vec::with_capacity(bsbs.len());
-    let mut candidate = RMap::new();
-    let mut dirty = DirtyKinds::new(dims.len());
-    let mut dirty_fus: Vec<FuId> = Vec::with_capacity(dims.len());
-    let mut levels = bounds.map(LevelState::new);
-    let mut out = WorkerOut::default();
-    if range.is_empty() {
-        return Ok(out);
+    let mut worker = SweepWorker::new(
+        bsbs,
+        lib,
+        config,
+        total_gates,
+        dims,
+        statics,
+        cache_enabled,
+        dp_threads,
+        simd,
+        bounds,
+        shared,
+    );
+    worker.walk(range)?;
+    Ok(worker.finish())
+}
+
+/// How many chunks each work-stealing worker should see on average:
+/// enough that a worker finishing a pruned-hollow chunk finds more
+/// work, few enough that the per-chunk reseed (a from-scratch metrics
+/// refresh and bound re-derivation) stays noise.
+const STEAL_CHUNKS_PER_WORKER: u128 = 8;
+
+/// Chunk width for the work-stealing scheduler: the *largest* subtree
+/// weight of the space that still yields at least
+/// [`STEAL_CHUNKS_PER_WORKER`] chunks per worker over `[0, bound)`.
+/// Subtree-weight alignment matters: every chunk start is then a
+/// subtree root with all digits below the chunk level at zero, so
+/// wholesale subtree pruning inside a chunk works exactly as in the
+/// static split. Degenerate windows smaller than the target fall back
+/// to single-point chunks (weight 1 — the finest alignment there is).
+fn steal_chunk_width(weights: &[u128], bound: u128, threads: usize) -> u128 {
+    let target = (threads as u128)
+        .saturating_mul(STEAL_CHUNKS_PER_WORKER)
+        .max(1);
+    let mut width = 1u128;
+    for &w in weights {
+        // Weights are nondecreasing cumulative products; keep the
+        // largest one that still meets the chunk-count target.
+        if w > 0 && bound.div_ceil(w) >= target {
+            width = width.max(w);
+        }
     }
-    let mut odo = Odometer::at(dims, lib, range.start);
-    let mut index = range.start;
-    'walk: while index < range.end {
-        // Branch-and-bound: skip subtrees rooted here, largest first,
-        // until none prunes. A subtree prunes when its whole area is
-        // infeasible, or when the admissible bound at its level cannot
-        // improve the incumbents; `pos == 0` is the leaf check sparing
-        // the DP for an individually hopeless candidate.
-        if let (Some(bounds), Some(levels)) = (bounds, levels.as_mut()) {
-            loop {
-                let gates = odo.area_gates();
-                let own = out
-                    .best
-                    .as_ref()
-                    .map(|(_, p, area)| (p.total_time.count(), *area));
-                let inherited = unpack_incumbent(shared.load(Ordering::Relaxed));
-                let mut skip = None;
-                for pos in (0..=odo.trailing_zeros()).rev() {
-                    let width = odo.subtree_width(pos);
-                    if width > range.end - index {
-                        continue; // subtree leaks out of this range
-                    }
-                    let prune = if gates > total_gates {
-                        // Every point of the subtree is area-infeasible
-                        // (free digits only add area). Single points
-                        // stay on the `skipped` path below.
-                        pos > 0
-                    } else {
-                        let lb = levels.bound_at(bounds, pos, &odo.counts);
-                        subtree_pruned(lb, gates, own, inherited)
-                    };
-                    if prune {
-                        skip = Some((pos, width));
-                        break;
-                    }
-                }
-                let Some((pos, width)) = skip else { break };
-                out.bounded += width;
-                index += width;
-                if index >= range.end {
-                    break 'walk;
-                }
-                let changed = odo.advance(pos).expect("range ends within the space");
-                dirty.mark_upto(changed);
-                levels.invalidate_upto(changed);
-            }
-        }
-        // Evaluate or skip the surviving point, exactly as the
-        // exhaustive walk would.
-        let gates = odo.area_gates();
-        if gates > total_gates {
-            out.skipped += 1;
-        } else {
-            odo.write_rmap(&mut candidate);
-            if dirty.all {
-                cache.metrics_into(&candidate, &mut metrics)?;
-            } else {
-                dirty_fus.clear();
-                for (pos, &flag) in dirty.flags.iter().enumerate() {
-                    if flag {
-                        dirty_fus.push(odo.kind_at(pos));
-                    }
-                }
-                cache.step_into(&candidate, &dirty_fus, &mut metrics)?;
-            }
-            dirty.clear();
-            let time = scratch.evaluate(
-                bsbs,
-                &metrics,
-                &mut comm,
-                Area::new(total_gates - gates),
-                config,
-            );
-            out.evaluated += 1;
-            let better = match &out.best {
-                None => true,
-                Some((_, bp, barea)) => {
-                    time < bp.total_time.count()
-                        || (time == bp.total_time.count() && gates < *barea)
-                }
-            };
-            if better {
-                let p = scratch.backtrack(&metrics, Area::new(gates));
-                if bounds.is_some() {
-                    shared.fetch_min(pack_incumbent(time, gates), Ordering::Relaxed);
-                }
-                out.best = Some((candidate.clone(), p, gates));
-            }
-        }
-        index += 1;
-        if index >= range.end {
+    width
+}
+
+/// Work-stealing worker: takes subtree-aligned chunks of `width`
+/// indices off the shared `cursor` until the window `[0, bound)` is
+/// exhausted, reseeding its incremental state at every non-first
+/// chunk. Chunk indices are taken in increasing order (the cursor only
+/// grows), so the worker's own-best tie pruning stays sound, and every
+/// index of the window lands in exactly one worker's chunks — the
+/// accounting identity is preserved chunk by chunk.
+#[allow(clippy::too_many_arguments)] // internal seam of search_best
+fn sweep_chunks(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    config: &PaceConfig,
+    total_gates: u64,
+    dims: &[(FuId, u32)],
+    bound: u128,
+    width: u128,
+    cursor: &AtomicU64,
+    statics: Vec<BsbStatics>,
+    cache_enabled: bool,
+    dp_threads: usize,
+    simd: bool,
+    bounds: Option<&SearchBounds>,
+    shared: &AtomicU64,
+) -> Result<WorkerOut, PaceError> {
+    let mut worker = SweepWorker::new(
+        bsbs,
+        lib,
+        config,
+        total_gates,
+        dims,
+        statics,
+        cache_enabled,
+        dp_threads,
+        simd,
+        bounds,
+        shared,
+    );
+    let mut taken = 0u64;
+    loop {
+        let chunk = u128::from(cursor.fetch_add(1, Ordering::Relaxed));
+        let start = chunk.saturating_mul(width);
+        if start >= bound {
             break;
         }
-        let changed = odo.advance(0).expect("range ends within the space");
-        dirty.mark_upto(changed);
-        if let Some(levels) = levels.as_mut() {
-            levels.invalidate_upto(changed);
+        if taken > 0 {
+            worker.reseed();
         }
+        taken += 1;
+        worker.walk(start..(start + width).min(bound))?;
     }
-    out.hits = cache.hits();
-    out.misses = cache.misses();
-    out.key_allocs = cache.key_allocs();
-    out.dirty_probes = cache.dirty_probes();
-    out.clean_reuses = cache.clean_reuses();
-    Ok(out)
+    worker.out.steals = taken.saturating_sub(1);
+    Ok(worker.finish())
 }
 
 /// `bound` points split into at most `threads` contiguous ranges of
@@ -1151,7 +1407,17 @@ pub fn search_best(
     let dims = search_space(restrictions);
     let space = space_size(&dims);
     let total_gates = total_area.gates();
-    let pre = pre_walk(&dims, lib, total_gates, space, options.limit);
+    // Work-stealing balances load at run time, so its pre-walk only
+    // pins the truncation point and skips the histogram the static
+    // split would balance ranges with.
+    let pre = pre_walk(
+        &dims,
+        lib,
+        total_gates,
+        space,
+        options.limit,
+        !options.steal,
+    );
     let (bound, truncated) = (pre.bound, pre.truncated);
     // The all-software point (index 0) is always inside the bound —
     // `pre_walk` returns ≥ 1 even under `limit = 0`, and an empty
@@ -1159,7 +1425,7 @@ pub fn search_best(
     // always sees at least one evaluated candidate.
     debug_assert!(bound >= 1, "search bound excludes the all-SW point");
     let (threads, dp_threads) = options.resolve(bound);
-    let ranges = split_ranges_weighted(bound, threads, &pre.evaluable, pre.chunk);
+    let steal = options.steal && threads > 1;
 
     // One-time precompute shared across the sweep: the per-block
     // statics (software times, required resources, kind sets). Workers
@@ -1171,49 +1437,42 @@ pub fn search_best(
     let statics = bsb_statics(bsbs, lib, config)?;
     // The bound tables are another one-time precompute (per-block
     // projection enumerations — the same magnitude of scheduling work
-    // as one sweep's cache misses); workers share them read-only.
+    // as one sweep's cache misses); workers share them read-only. With
+    // `bound_comm` on they fold in the admissible communication floor.
     let bounds = if options.bound {
-        Some(SearchBounds::from_statics(bsbs, lib, &dims, &statics)?)
+        let comm = options.bound_comm.then_some(&config.comm);
+        Some(SearchBounds::from_statics(
+            bsbs, lib, &dims, &statics, comm,
+        )?)
     } else {
         None
     };
     let shared = AtomicU64::new(NO_INCUMBENT);
 
-    let outs: Vec<Result<WorkerOut, PaceError>> = if ranges.len() <= 1 {
-        vec![sweep_range(
-            bsbs,
-            lib,
-            config,
-            total_gates,
-            &dims,
-            0..bound,
-            statics,
-            options.cache,
-            dp_threads,
-            bounds.as_ref(),
-            &shared,
-        )]
-    } else {
+    let outs: Vec<Result<WorkerOut, PaceError>> = if steal {
+        let width = steal_chunk_width(&subtree_weights(&dims), bound, threads);
+        let cursor = AtomicU64::new(0);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|range| {
-                    let range = range.clone();
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
                     let dims = &dims;
                     let statics = statics.clone();
                     let bounds = bounds.as_ref();
-                    let shared = &shared;
+                    let (shared, cursor) = (&shared, &cursor);
                     scope.spawn(move || {
-                        sweep_range(
+                        sweep_chunks(
                             bsbs,
                             lib,
                             config,
                             total_gates,
                             dims,
-                            range,
+                            bound,
+                            width,
+                            cursor,
                             statics,
                             options.cache,
                             dp_threads,
+                            options.simd,
                             bounds,
                             shared,
                         )
@@ -1225,43 +1484,95 @@ pub fn search_best(
                 .map(|h| h.join().expect("search worker panicked"))
                 .collect()
         })
+    } else {
+        let ranges = split_ranges_weighted(bound, threads, &pre.evaluable, pre.chunk);
+        if ranges.len() <= 1 {
+            vec![sweep_range(
+                bsbs,
+                lib,
+                config,
+                total_gates,
+                &dims,
+                0..bound,
+                statics,
+                options.cache,
+                dp_threads,
+                options.simd,
+                bounds.as_ref(),
+                &shared,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|range| {
+                        let range = range.clone();
+                        let dims = &dims;
+                        let statics = statics.clone();
+                        let bounds = bounds.as_ref();
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            sweep_range(
+                                bsbs,
+                                lib,
+                                config,
+                                total_gates,
+                                dims,
+                                range,
+                                statics,
+                                options.cache,
+                                dp_threads,
+                                options.simd,
+                                bounds,
+                                shared,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+        }
     };
 
-    let mut best: Option<(RMap, Partition, u64)> = None;
+    let mut best: Option<(RMap, Partition, u64, u128)> = None;
     let mut evaluated = 0usize;
     let mut skipped = 0usize;
     let mut stats = SearchStats {
-        threads: ranges.len().max(1),
+        threads: if steal { threads } else { outs.len().max(1) },
         truncated_points: space - bound,
         ..SearchStats::default()
     };
-    // Merge in range order under the strict (time, area) improvement
-    // rule: ties keep the earlier range, exactly as the sequential
-    // walk keeps the earlier point.
+    // Merge under the strict lexicographic (time, area, index) order —
+    // the exact order the sequential walk discovers winners in — so
+    // the reduce is deterministic whatever scheduler handed points to
+    // workers: ties keep the earliest odometer index.
     for out in outs {
         let out = out?;
         evaluated += out.evaluated;
         skipped += out.skipped;
         stats.bounded += out.bounded;
+        stats.steals += out.steals;
         stats.cache_hits += out.hits;
         stats.cache_misses += out.misses;
         stats.key_allocs += out.key_allocs;
         stats.dirty_probes += out.dirty_probes;
         stats.clean_reuses += out.clean_reuses;
-        if let Some((alloc, part, gates)) = out.best {
+        if let Some((alloc, part, gates, index)) = out.best {
             let better = match &best {
                 None => true,
-                Some((_, bp, bgates)) => {
-                    part.total_time < bp.total_time
-                        || (part.total_time == bp.total_time && gates < *bgates)
+                Some((_, bp, bgates, bindex)) => {
+                    (part.total_time, gates, index) < (bp.total_time, *bgates, *bindex)
                 }
             };
             if better {
-                best = Some((alloc, part, gates));
+                best = Some((alloc, part, gates, index));
             }
         }
     }
-    let (best_allocation, best_partition, _) =
+    let (best_allocation, best_partition, _, _) =
         best.expect("at least one candidate is always evaluated");
     stats.elapsed = started.elapsed();
     debug_assert_eq!(
@@ -1384,18 +1695,22 @@ mod tests {
         for threads in [1, 2, 3, 7] {
             for cache in [true, false] {
                 for dp_threads in [1, 2] {
-                    let opts = SearchOptions {
-                        threads,
-                        limit: None,
-                        cache,
-                        dp_threads,
-                        bound: false,
-                    };
-                    let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
-                    assert_eq!(
-                        got, seed,
-                        "threads={threads} cache={cache} dp_threads={dp_threads}"
-                    );
+                    for steal in [true, false] {
+                        let opts = SearchOptions {
+                            threads,
+                            limit: None,
+                            cache,
+                            dp_threads,
+                            bound: false,
+                            steal,
+                            ..SearchOptions::default()
+                        };
+                        let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
+                        assert_eq!(
+                            got, seed,
+                            "threads={threads} cache={cache} dp_threads={dp_threads} steal={steal}"
+                        );
+                    }
                 }
             }
         }
@@ -1412,28 +1727,32 @@ mod tests {
             let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, None).unwrap();
             for threads in [1usize, 3] {
                 for cache in [true, false] {
-                    let got = search_best(
-                        &bsbs,
-                        &lib,
-                        area,
-                        &restr,
-                        &cfg,
-                        &SearchOptions {
-                            threads,
-                            cache,
-                            bound: true,
-                            ..SearchOptions::default()
-                        },
-                    )
-                    .unwrap();
-                    // Field-exact winner: allocation, partition, the
-                    // (time, area) pair — everything but the effort.
-                    assert_eq!(got.best_allocation, seed.best_allocation, "area {gates}");
-                    assert_eq!(got.best_partition, seed.best_partition, "area {gates}");
-                    assert_eq!(got.space_size, seed.space_size);
-                    assert_eq!(got.truncated, seed.truncated);
-                    assert!(got.evaluated <= seed.evaluated, "bounding never adds work");
-                    assert_eq!(got.points_accounted(), got.space_size, "area {gates}");
+                    for bound_comm in [true, false] {
+                        let got = search_best(
+                            &bsbs,
+                            &lib,
+                            area,
+                            &restr,
+                            &cfg,
+                            &SearchOptions {
+                                threads,
+                                cache,
+                                bound: true,
+                                bound_comm,
+                                ..SearchOptions::default()
+                            },
+                        )
+                        .unwrap();
+                        // Field-exact winner: allocation, partition,
+                        // the (time, area) pair — everything but the
+                        // effort.
+                        assert_eq!(got.best_allocation, seed.best_allocation, "area {gates}");
+                        assert_eq!(got.best_partition, seed.best_partition, "area {gates}");
+                        assert_eq!(got.space_size, seed.space_size);
+                        assert_eq!(got.truncated, seed.truncated);
+                        assert!(got.evaluated <= seed.evaluated, "bounding never adds work");
+                        assert_eq!(got.points_accounted(), got.space_size, "area {gates}");
+                    }
                 }
             }
             // Sequentially the saving is deterministic; on this app the
@@ -1547,6 +1866,7 @@ mod tests {
                     cache: true,
                     dp_threads: 1,
                     bound: false,
+                    ..SearchOptions::default()
                 };
                 let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
                 assert_eq!(got, seed, "limit={limit} threads={threads}");
@@ -1884,7 +2204,7 @@ mod tests {
         let space = space_size(&dims);
         let total_gates = 2_500u64;
         for limit in [Some(1), Some(3), Some(10), Some(usize::MAX)] {
-            let pre = pre_walk(&dims, &lib, total_gates, space, limit);
+            let pre = pre_walk(&dims, &lib, total_gates, space, limit, true);
             // Reference: count evaluable points inside [0, bound) by a
             // plain walk.
             let mut odo = Odometer::at(&dims, &lib, 0);
@@ -1920,9 +2240,157 @@ mod tests {
                 cache: true,
                 dp_threads: 1,
                 bound: false,
+                ..SearchOptions::default()
             };
             let got = search_best(&bsbs, &lib, area, &restr, &cfg, &opts).unwrap();
             assert_eq!(got, seed, "limit={limit:?}");
+        }
+    }
+
+    #[test]
+    fn steal_chunk_width_picks_the_largest_aligned_weight() {
+        // Weights of a 4×4×4 space. Two workers want 16 chunks: width
+        // 4 yields exactly 16 over a 64-point window, width 16 only 4.
+        assert_eq!(steal_chunk_width(&[1, 4, 16, 64], 64, 2), 4);
+        // One worker wants 8: width 4 still clears it (16 chunks),
+        // width 16 would leave only 4.
+        assert_eq!(steal_chunk_width(&[1, 4, 16, 64], 64, 1), 4);
+        // A window smaller than the chunk target falls back to
+        // single-point chunks rather than starving workers.
+        assert_eq!(steal_chunk_width(&[1, 4, 16, 64], 5, 8), 1);
+        // Degenerate spaces: one point, one chunk.
+        assert_eq!(steal_chunk_width(&[1], 1, 4), 1);
+        // A giant first radix: no coarser alignment meets the target,
+        // so chunks stay single points.
+        assert_eq!(steal_chunk_width(&[1, 1000], 1000, 4), 1);
+        // Chunk starts are always subtree roots: whatever width is
+        // chosen, it is one of the weights.
+        let weights = [1u128, 3, 12, 60, 600];
+        for bound in [1u128, 7, 59, 60, 599, 600] {
+            for threads in [1usize, 2, 5, 8] {
+                let w = steal_chunk_width(&weights, bound, threads);
+                assert!(weights.contains(&w), "bound={bound} threads={threads}");
+                // And the chunk count fits comfortably in the u64
+                // cursor.
+                assert!(bound.div_ceil(w) < u128::from(u64::MAX));
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_is_field_exact_for_any_worker_count() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        // A tight budget mixes evaluations with skips; the limit run
+        // exercises truncation under the chunked scheduler too.
+        for (gates, limit) in [(8_000u64, None), (2_500, None), (2_500, Some(5))] {
+            let area = Area::new(gates);
+            let seed = exhaustive_best(&bsbs, &lib, area, &restr, &cfg, limit).unwrap();
+            for threads in 1..=8usize {
+                for bound in [false, true] {
+                    let got = search_best(
+                        &bsbs,
+                        &lib,
+                        area,
+                        &restr,
+                        &cfg,
+                        &SearchOptions {
+                            threads,
+                            limit,
+                            bound,
+                            steal: true,
+                            ..SearchOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    let tag =
+                        format!("gates={gates} limit={limit:?} threads={threads} bound={bound}");
+                    if bound {
+                        // Bounding makes evaluated/skipped telemetry;
+                        // the winner and the accounting identity stay
+                        // exact.
+                        assert_eq!(got.best_allocation, seed.best_allocation, "{tag}");
+                        assert_eq!(got.best_partition, seed.best_partition, "{tag}");
+                        assert_eq!(got.space_size, seed.space_size, "{tag}");
+                        assert_eq!(got.truncated, seed.truncated, "{tag}");
+                    } else {
+                        // Without bounding every field is
+                        // position-determined: full `SearchResult`
+                        // equality at any worker count.
+                        assert_eq!(got, seed, "{tag}");
+                        assert_eq!(got.evaluated, seed.evaluated, "{tag}");
+                        assert_eq!(got.skipped, seed.skipped, "{tag}");
+                    }
+                    assert_eq!(got.points_accounted(), got.space_size, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steal_scheduler_reports_steals_and_static_does_not() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let cfg = PaceConfig::standard();
+        let area = Area::new(100_000);
+        let stolen = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &cfg,
+            &SearchOptions {
+                threads: 4,
+                steal: true,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        // The window is far wider than the worker count, so the chunk
+        // width collapses to fine alignment and at least one worker
+        // must take several chunks (pigeonhole — even if one worker
+        // drains the whole cursor).
+        assert!(
+            stolen.stats.steals > 0,
+            "chunked scheduling must rebalance: {:?}",
+            stolen.stats
+        );
+        assert_eq!(stolen.stats.threads, 4);
+        let fixed = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &cfg,
+            &SearchOptions {
+                threads: 4,
+                steal: false,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fixed.stats.steals, 0, "the static split never steals");
+        assert_eq!(fixed, stolen, "scheduling policy never changes the result");
+    }
+
+    #[test]
+    fn pre_walk_without_histogram_pins_the_same_truncation() {
+        let bsbs = app();
+        let lib = lib();
+        let dims = search_space(&restr(&bsbs, &lib));
+        let space = space_size(&dims);
+        for limit in [Some(0), Some(3), Some(usize::MAX), None] {
+            let with = pre_walk(&dims, &lib, 2_500, space, limit, true);
+            let without = pre_walk(&dims, &lib, 2_500, space, limit, false);
+            assert_eq!(with.bound, without.bound, "limit={limit:?}");
+            assert_eq!(with.truncated, without.truncated, "limit={limit:?}");
+            assert!(
+                without.evaluable.is_empty(),
+                "the histogram is dead weight under work-stealing"
+            );
         }
     }
 

@@ -163,6 +163,16 @@ pub struct Table1Request {
     /// winner columns, smaller (timing-dependent under multiple
     /// threads) `evaluated`/`bounded` effort columns.
     pub bound: bool,
+    /// Disable the communication-floor bound tightening
+    /// (`SearchOptions::bound_comm`) for this request. Negative, like
+    /// `no-cache`: the server default is on.
+    pub no_bound_comm: bool,
+    /// Disable the lane-chunked DP inner scan (`SearchOptions::simd`)
+    /// for this request. Results are identical either way.
+    pub no_simd: bool,
+    /// Disable work-stealing sweep scheduling (`SearchOptions::steal`)
+    /// for this request, falling back to the static range split.
+    pub no_steal: bool,
     /// Response body shape.
     pub format: Format,
     /// Include the measured allocator wall clock in CSV rows
@@ -261,12 +271,16 @@ impl Request {
                         // Bare flags: reject `=value` forms instead of
                         // silently enabling what `timing=false` tried
                         // to turn off.
-                        "no-cache" | "timing" | "bound" => {
+                        "no-cache" | "timing" | "bound" | "no-bound-comm" | "no-simd"
+                        | "no-steal" => {
                             if token.contains('=') {
                                 return Err(ProtocolError::BadValue {
                                     field: match key {
                                         "timing" => "timing",
                                         "bound" => "bound",
+                                        "no-bound-comm" => "no-bound-comm",
+                                        "no-simd" => "no-simd",
+                                        "no-steal" => "no-steal",
                                         _ => "no-cache",
                                     },
                                     value: value.to_owned(),
@@ -275,6 +289,9 @@ impl Request {
                             match key {
                                 "timing" => req.timing = true,
                                 "bound" => req.bound = true,
+                                "no-bound-comm" => req.no_bound_comm = true,
+                                "no-simd" => req.no_simd = true,
+                                "no-steal" => req.no_steal = true,
                                 _ => req.no_cache = true,
                             }
                         }
@@ -332,6 +349,15 @@ impl Request {
                 }
                 if req.bound {
                     out.push_str(" bound");
+                }
+                if req.no_bound_comm {
+                    out.push_str(" no-bound-comm");
+                }
+                if req.no_simd {
+                    out.push_str(" no-simd");
+                }
+                if req.no_steal {
+                    out.push_str(" no-steal");
                 }
                 if req.format == Format::Text {
                     out.push_str(" format=text");
@@ -483,6 +509,9 @@ mod tests {
                 dp_threads: Some(4),
                 no_cache: true,
                 bound: true,
+                no_bound_comm: true,
+                no_simd: true,
+                no_steal: true,
                 format: Format::Text,
                 timing: true,
             }),
@@ -568,6 +597,22 @@ mod tests {
                 value: "false".into()
             })
         );
+        // The engine-lever flags are bare too: a `no-simd=1` must be
+        // rejected, not parsed as enabling the opposite.
+        for flag in ["no-bound-comm", "no-simd", "no-steal"] {
+            assert_eq!(
+                Request::parse(&format!("table1 app=hal {flag}=1")),
+                Err(ProtocolError::BadValue {
+                    field: match flag {
+                        "no-bound-comm" => "no-bound-comm",
+                        "no-simd" => "no-simd",
+                        _ => "no-steal",
+                    },
+                    value: "1".into()
+                }),
+                "{flag}"
+            );
+        }
     }
 
     #[test]
@@ -577,6 +622,17 @@ mod tests {
             panic!("not a table1 request")
         };
         assert!(t.bound);
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+    }
+
+    #[test]
+    fn engine_lever_flags_round_trip_bare() {
+        let req = Request::parse("table1 app=hal no-bound-comm no-simd no-steal").unwrap();
+        let Request::Table1(t) = &req else {
+            panic!("not a table1 request")
+        };
+        assert!(t.no_bound_comm && t.no_simd && t.no_steal);
+        assert!(!t.no_cache && !t.bound, "unrelated flags stay default");
         assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
     }
 

@@ -355,6 +355,9 @@ fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
         cache: !req.no_cache && defaults.cache,
         dp_threads: req.dp_threads.unwrap_or(defaults.dp_threads),
         bound: req.bound || defaults.bound,
+        bound_comm: !req.no_bound_comm && defaults.bound_comm,
+        simd: !req.no_simd && defaults.simd,
+        steal: !req.no_steal && defaults.steal,
     };
     match Pipeline::table1_batch(&pipelines, &options) {
         Err(e) => Response::Error(e.to_string()),

@@ -126,10 +126,21 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
         .into_iter()
         .find(|a| a.name == name)
         .expect("bundled app");
-    let bsbs = app.bsbs();
+    check_engines(name, &app.bsbs(), Area::new(app.area_budget), limit)
+}
+
+/// The engine cross-product against the seed walk, for any
+/// application — bundled benchmarks and the synthetic hardness corpus
+/// alike.
+fn check_engines(
+    name: &str,
+    bsbs: &lycos::ir::BsbArray,
+    area: Area,
+    limit: Option<usize>,
+) -> (SearchResult, SearchResult) {
+    let bsbs = bsbs.clone();
     let lib = HwLibrary::standard();
     let pace = PaceConfig::standard();
-    let area = Area::new(app.area_budget);
     let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
 
     let seed = reference_best(&bsbs, &lib, area, &restr, &pace, limit);
@@ -149,13 +160,20 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
     )
     .unwrap();
 
+    // Unbounded engines must be *identical* to the seed, so the
+    // ISSUE 6 levers ride along here: `simd` (bit-identical DP rows),
+    // `steal` (chunked scheduling, same accounting) and their off
+    // switches must all be invisible.
     let variants = [
-        ("parallel", 4usize, true, 1usize),
-        ("dp-split", 1, true, 2),
-        ("parallel+dp-split,cache-off", 2, false, 2),
+        ("parallel", 4usize, true, 1usize, true, true),
+        ("dp-split", 1, true, 2, true, true),
+        ("parallel+dp-split,cache-off", 2, false, 2, true, true),
+        ("parallel,steal-off", 4, true, 1, true, false),
+        ("parallel,scalar-dp", 3, true, 1, false, true),
+        ("steal-off,scalar-dp,cache-off", 2, false, 1, false, false),
     ];
     let mut engines = vec![("memoised", memoised.clone())];
-    for (label, threads, cache, dp_threads) in variants {
+    for (label, threads, cache, dp_threads, simd, steal) in variants {
         let got = search_best(
             &bsbs,
             &lib,
@@ -168,6 +186,9 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
                 cache,
                 dp_threads,
                 bound: false,
+                simd,
+                steal,
+                ..SearchOptions::default()
             },
         )
         .unwrap();
@@ -177,13 +198,16 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
     // The branch-and-bound engine: field-exact winner (allocation,
     // partition, time, area — the full tie-break), while `evaluated`/
     // `skipped`/`bounded` become engine-effort telemetry that must
-    // still account for every point of the space. Covers the
-    // cache-off × bounded cross-product and both thread shapes.
-    for (label, threads, cache) in [
-        ("bounded", 1usize, true),
-        ("bounded,parallel", 4, true),
-        ("bounded,cache-off", 1, false),
-        ("bounded,parallel,cache-off", 2, false),
+    // still account for every point of the space. Samples the
+    // bound × bound_comm × simd × steal × threads × cache
+    // cross-product.
+    for (label, threads, cache, bound_comm, simd, steal) in [
+        ("bounded", 1usize, true, true, true, true),
+        ("bounded,parallel", 4, true, true, true, true),
+        ("bounded,cache-off", 1, false, false, true, false),
+        ("bounded,parallel,cache-off", 2, false, true, false, true),
+        ("bounded,relaxed,parallel", 4, true, false, true, true),
+        ("bounded,parallel,steal-off", 4, true, true, true, false),
     ] {
         let got = search_best(
             &bsbs,
@@ -197,6 +221,9 @@ fn check_app(name: &str, limit: Option<usize>) -> (SearchResult, SearchResult) {
                 cache,
                 dp_threads: 1,
                 bound: true,
+                bound_comm,
+                simd,
+                steal,
             },
         )
         .unwrap();
@@ -334,6 +361,35 @@ fn bounded_engine_prunes_most_of_the_bundled_spaces() {
             unbounded.evaluated
         );
         assert_eq!(bounded.points_accounted(), bounded.space_size, "{name}");
+    }
+}
+
+/// ISSUE 6 corpus: fixed-seed synthetic applications from the two
+/// hardness profiles run the whole engine cross-product against the
+/// seed walk. `comm_dominated` stresses the segmented communication
+/// floor (wide read fans, software barriers every fourth block);
+/// `plateau_heavy` stresses tie-breaking on a flat time landscape
+/// where many allocations share the optimum time.
+#[test]
+fn hardness_corpus_is_engine_invariant() {
+    use lycos::explore::SyntheticSpec;
+    for (label, spec, seeds) in [
+        (
+            "comm_dominated",
+            SyntheticSpec::comm_dominated(),
+            [7u64, 19],
+        ),
+        ("plateau_heavy", SyntheticSpec::plateau_heavy(), [3, 23]),
+    ] {
+        for seed in seeds {
+            let bsbs = spec.generate(seed);
+            let (seed_result, _) =
+                check_engines(&format!("{label}#{seed}"), &bsbs, Area::new(8_000), None);
+            assert!(
+                !seed_result.truncated,
+                "{label}#{seed}: corpus spaces are exhausted in full"
+            );
+        }
     }
 }
 
