@@ -17,6 +17,12 @@
 //! floor does not *strictly* out-prune the relaxed bound there — the
 //! ISSUE 6 tightening claim, checked on every run.
 //!
+//! The ISSUE 7 rung runs one [`search_pareto`] sweep per app and then
+//! replays a bounded `search_best` at every frontier budget, failing
+//! unless each replay reproduces its frontier point field-exactly.
+//! Under `--check-speedup` the eigen sweep must also beat the total
+//! replay time — the one-sweep-vs-N-budgets claim.
+//!
 //! ```text
 //! cargo run --release -p lycos_bench --bin bench_search \
 //!     [-- --check-speedup 1.3] > BENCH_search.json
@@ -32,13 +38,13 @@
 use lycos::core::Restrictions;
 use lycos::explore::SyntheticSpec;
 use lycos::hwlib::{Area, HwLibrary};
-use lycos::pace::{search_best, PaceConfig, SearchOptions, SearchResult};
+use lycos::pace::{search_best, search_pareto, PaceConfig, SearchOptions};
 use std::time::Instant;
 
 /// Runs `f` `reps` times, returning the fastest wall time and the last
 /// result (identical across reps — the engines are deterministic in
 /// everything the report keeps).
-fn best_of<F: FnMut() -> SearchResult>(reps: usize, mut f: F) -> (f64, SearchResult) {
+fn best_of<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps.max(1) {
@@ -69,6 +75,18 @@ struct LeverReport {
     steals: u64,
 }
 
+/// The ISSUE 7 rung: one frontier sweep vs replaying a bounded
+/// single-budget search at every frontier budget.
+struct ParetoReport {
+    seconds: f64,
+    points: usize,
+    evaluated: usize,
+    replay_seconds: f64,
+    /// `replay_seconds / seconds` — above 1.0 means the single sweep
+    /// beats the N-budget replay.
+    speedup_vs_replay: f64,
+}
+
 struct AppReport {
     name: &'static str,
     space: u128,
@@ -81,6 +99,7 @@ struct AppReport {
     speedup_vs_baseline: f64,
     /// Full stack vs the PR 5 bounded shape — the gated number.
     speedup_vs_bound: f64,
+    pareto: ParetoReport,
 }
 
 /// The PR 5 bounded shape and the three ISSUE 6 levers stacked in
@@ -94,14 +113,12 @@ const LADDER: [(&str, bool, bool, bool); 4] = [
 ];
 
 fn ladder_options(rung: (&'static str, bool, bool, bool)) -> SearchOptions {
-    SearchOptions {
-        limit: None,
-        bound: true,
-        bound_comm: rung.1,
-        simd: rung.2,
-        steal: rung.3,
-        ..SearchOptions::default()
-    }
+    SearchOptions::new()
+        .limit(None)
+        .bound(true)
+        .bound_comm(rung.1)
+        .simd(rung.2)
+        .steal(rung.3)
 }
 
 /// Fixed-seed communication-dominated corpus: the floor must strictly
@@ -155,10 +172,7 @@ fn main() {
         let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
         // Full sweeps: no evaluation limit — the whole point of the
         // bound is surviving the space the paper calls impossible.
-        let baseline_opts = SearchOptions {
-            limit: None,
-            ..SearchOptions::default()
-        };
+        let baseline_opts = SearchOptions::new().limit(None);
         let (baseline_seconds, baseline) = best_of(reps, || {
             search_best(&bsbs, &lib, area, &restr, &pace, &baseline_opts).unwrap()
         });
@@ -199,6 +213,55 @@ fn main() {
             });
         }
 
+        // One Pareto sweep under the full lever stack, then a bounded
+        // single-budget replay at every frontier area. Each replay
+        // must land on its frontier point field-exactly — the
+        // sweep-equals-N-runs claim, checked on every app.
+        let pareto_opts = ladder_options(LADDER[LADDER.len() - 1]);
+        let (pareto_seconds, front) = best_of(reps, || {
+            search_pareto(&bsbs, &lib, area, &restr, &pace, &pareto_opts).unwrap()
+        });
+        if front.points_accounted() != front.space_size {
+            eprintln!(
+                "bench_search: {}/pareto: accounting hole ({} of {} points)",
+                app.name,
+                front.points_accounted(),
+                front.space_size
+            );
+            std::process::exit(1);
+        }
+        let mut replay_seconds = 0.0;
+        for point in &front.points {
+            let started = Instant::now();
+            let replay = search_best(
+                &bsbs,
+                &lib,
+                Area::new(point.area.gates()),
+                &restr,
+                &pace,
+                &pareto_opts,
+            )
+            .unwrap();
+            replay_seconds += started.elapsed().as_secs_f64();
+            if replay.best_allocation != point.allocation
+                || replay.best_partition != point.partition
+            {
+                eprintln!(
+                    "bench_search: {}/pareto: replay at {} gates diverged from the frontier",
+                    app.name,
+                    point.area.gates()
+                );
+                std::process::exit(1);
+            }
+        }
+        let pareto = ParetoReport {
+            seconds: pareto_seconds,
+            points: front.points.len(),
+            evaluated: front.evaluated,
+            replay_seconds,
+            speedup_vs_replay: replay_seconds / pareto_seconds.max(f64::EPSILON),
+        };
+
         let bound_seconds = levers.first().expect("ladder is non-empty").seconds;
         let full_seconds = levers.last().expect("ladder is non-empty").seconds;
         let report = AppReport {
@@ -211,6 +274,7 @@ fn main() {
             dirty_ratio,
             speedup_vs_baseline: baseline_seconds / full_seconds.max(f64::EPSILON),
             speedup_vs_bound: bound_seconds / full_seconds.max(f64::EPSILON),
+            pareto,
         };
         eprint!(
             "[bench_search] {}: space {} | baseline {:.3}s ({} evals)",
@@ -229,6 +293,15 @@ fn main() {
             " → {:.2}x vs baseline, {:.2}x vs bound",
             report.speedup_vs_baseline, report.speedup_vs_bound
         );
+        eprintln!(
+            "[bench_search] {}: pareto {:.3}s for {} points vs {:.3}s replaying each budget \
+             → {:.2}x",
+            report.name,
+            report.pareto.seconds,
+            report.pareto.points,
+            report.pareto.replay_seconds,
+            report.pareto.speedup_vs_replay
+        );
         reports.push(report);
     }
 
@@ -241,16 +314,14 @@ fn main() {
         let area = Area::new(COMM_CORPUS_AREA);
         let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
         let run = |bound_comm: bool| {
-            let opts = SearchOptions {
-                limit: None,
-                bound: true,
-                bound_comm,
-                // Sequential + static: prune counts are deterministic,
-                // so the relaxed-vs-floored comparison is exact.
-                threads: 1,
-                steal: false,
-                ..SearchOptions::default()
-            };
+            // Sequential + static: prune counts are deterministic,
+            // so the relaxed-vs-floored comparison is exact.
+            let opts = SearchOptions::new()
+                .limit(None)
+                .bound(true)
+                .bound_comm(bound_comm)
+                .threads(1)
+                .steal(false);
             search_best(&bsbs, &lib, area, &restr, &pace, &opts).unwrap()
         };
         let relaxed = run(false);
@@ -283,7 +354,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let mut json = String::from("{\n  \"schema\": \"lycos-bench-search/2\",\n  \"apps\": [\n");
+    let mut json = String::from("{\n  \"schema\": \"lycos-bench-search/3\",\n  \"apps\": [\n");
     for (i, r) in reports.iter().enumerate() {
         json.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"space_size\": {},\n      \
@@ -311,10 +382,17 @@ fn main() {
         }
         json.push_str(&format!(
             "      ],\n      \"dirty_ratio\": {},\n      \"speedup_vs_baseline\": {},\n      \
-             \"speedup_vs_bound\": {}\n    }}{}\n",
+             \"speedup_vs_bound\": {},\n      \"pareto\": {{\n        \"seconds\": {},\n        \
+             \"points\": {},\n        \"evaluated\": {},\n        \"replay_seconds\": {},\n        \
+             \"speedup_vs_replay\": {}\n      }}\n    }}{}\n",
             json_num(r.dirty_ratio),
             json_num(r.speedup_vs_baseline),
             json_num(r.speedup_vs_bound),
+            json_num(r.pareto.seconds),
+            r.pareto.points,
+            r.pareto.evaluated,
+            json_num(r.pareto.replay_seconds),
+            json_num(r.pareto.speedup_vs_replay),
             if i + 1 < reports.len() { "," } else { "" },
         ));
     }
@@ -352,6 +430,19 @@ fn main() {
         eprintln!(
             "bench_search: eigen full-sweep lever-stack speedup {:.2}x meets the {min:.2}x gate",
             eigen.speedup_vs_bound
+        );
+        // The ISSUE 7 claim rides the same flag: one frontier sweep
+        // must beat replaying a bounded search per frontier budget.
+        if eigen.pareto.speedup_vs_replay < 1.0 {
+            eprintln!(
+                "bench_search: eigen pareto sweep {:.2}x is slower than the per-budget replay",
+                eigen.pareto.speedup_vs_replay
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_search: eigen pareto sweep beats the {}-budget replay {:.2}x",
+            eigen.pareto.points, eigen.pareto.speedup_vs_replay
         );
     }
 }

@@ -5,6 +5,7 @@
 //! lycos allocate <file.lyc> <area>       run Algorithm 1
 //! lycos partition <file.lyc> <area>      allocate, then PACE
 //! lycos best     <file.lyc> <area>       exhaustive best allocation
+//! lycos pareto   <file.lyc> <area>       whole time×area frontier, one sweep
 //! lycos table1                            reproduce Table 1
 //! lycos serve                             run the allocation service
 //! lycos apps                              list bundled benchmarks
@@ -15,9 +16,9 @@
 //! parsed knobs to `lycos_serve`.
 
 use lycos::core::{AllocConfig, Restrictions};
-use lycos::explore::{format_table1, Table1Options};
+use lycos::explore::{format_pareto, format_pareto_csv, format_table1, Table1Options};
 use lycos::hwlib::{Area, HwLibrary};
-use lycos::pace::SearchOptions;
+use lycos::pace::{search_knob, KnobKind, KnobSetting, SearchKnob, SearchOptions, SEARCH_KNOBS};
 use lycos::Pipeline;
 use lycos_serve::{ServeConfig, Server};
 use std::process::ExitCode;
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("allocate") => cmd_allocate(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("best") => cmd_best(&args[1..]),
+        Some("pareto") => cmd_pareto(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("table1") => cmd_table1(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -56,12 +58,15 @@ usage:
   lycos allocate  <file.lyc> <area>   run the allocation algorithm
   lycos partition <file.lyc> <area>   allocate, then partition with PACE
   lycos best      <file.lyc> <area>   search the space for the best allocation
+  lycos pareto    <file.lyc> <area>   one sweep: the whole time×area Pareto
+                                      frontier up to <area> (--csv for the
+                                      machine-readable form)
   lycos explain   <file.lyc> <area>   step-by-step allocation trace
   lycos table1                        reproduce Table 1 on the bundled apps
   lycos serve                         run the batch allocation service
   lycos apps                          list the bundled benchmark apps
 
-search knobs (best, table1; request defaults for serve):
+search knobs (best, pareto, table1; request defaults for serve):
   --threads <n>     sweep workers (0 = one per core; default 0)
   --limit <n>       cap on evaluated allocations (0 = unlimited;
                     best, table1 and serve default to 200000)
@@ -93,20 +98,43 @@ serve knobs:
 <file.lyc> may also be a bundled app name: straight, hal, man, eigen.
 ";
 
-/// The flags every search-driven command understands.
-const SEARCH_FLAGS: [&str; 11] = [
-    "--threads",
-    "--limit",
-    "--no-cache",
-    "--dp-threads",
-    "--bound",
-    "--bound-comm",
-    "--no-bound-comm",
-    "--simd",
-    "--no-simd",
-    "--steal",
-    "--no-steal",
-];
+/// The command-line spelling(s) of one engine knob, fixed by its
+/// [`KnobKind`]: value knobs and default-off switches get their bare
+/// positive form, default-on switches their `--no-` form, and paired
+/// switches both.
+fn knob_flags(knob: &SearchKnob) -> Vec<String> {
+    let on = format!("--{}", knob.name);
+    let off = format!("--no-{}", knob.name);
+    match knob.kind {
+        KnobKind::Count | KnobKind::OptionalCount | KnobKind::EnabledBy => vec![on],
+        KnobKind::DisabledBy => vec![off],
+        KnobKind::Paired => vec![on, off],
+    }
+}
+
+/// Every search flag the CLI accepts, derived from the engine's own
+/// knob table ([`SEARCH_KNOBS`]) so the parser and its did-you-mean
+/// candidates cannot drift from the engine surface.
+fn search_flags() -> Vec<String> {
+    SEARCH_KNOBS.iter().flat_map(knob_flags).collect()
+}
+
+/// The switch knob a bare flag stem drives, and the state it sets:
+/// `bound` → (bound, true), `no-cache` → (cache, false). `None` for
+/// value knobs, unknown names, and spellings the knob's kind does not
+/// admit (`--cache`, `--no-bound`).
+fn switch_for(stem: &str) -> Option<(&'static SearchKnob, bool)> {
+    match stem.strip_prefix("no-") {
+        Some(base) => {
+            let knob = search_knob(base)?;
+            matches!(knob.kind, KnobKind::DisabledBy | KnobKind::Paired).then_some((knob, false))
+        }
+        None => {
+            let knob = search_knob(stem)?;
+            matches!(knob.kind, KnobKind::EnabledBy | KnobKind::Paired).then_some((knob, true))
+        }
+    }
+}
 
 /// Smallest number of single-character edits turning `a` into `b` —
 /// classic two-row Levenshtein, plenty for flag names.
@@ -156,10 +184,7 @@ fn parse_search_flags(
     default_limit: Option<usize>,
     extra: &[&'static str],
 ) -> Result<ParsedFlags, String> {
-    let mut options = SearchOptions {
-        limit: default_limit,
-        ..SearchOptions::default()
-    };
+    let mut options = SearchOptions::new().limit(default_limit);
     let mut rest = Vec::new();
     let mut extras = Vec::new();
     let mut it = args.iter();
@@ -186,56 +211,33 @@ fn parse_search_flags(
             text.parse::<usize>()
                 .map_err(|_| format!("invalid {flag} value `{text}`"))
         };
-        match flag {
-            "--threads" => options.threads = number("--threads", value("--threads")?)?,
-            "--dp-threads" => {
-                options.dp_threads = number("--dp-threads", value("--dp-threads")?)?;
+        // Resolve the flag against the engine's knob table: value
+        // knobs first (`--limit 0` = unlimited, per the knob's kind),
+        // then the bare switches in the spelling their kind admits.
+        let stem = flag.strip_prefix("--").expect("guarded by starts_with");
+        if let Some(knob) = search_knob(stem).filter(|k| k.takes_value()) {
+            let n = number(flag, value(flag)?)?;
+            knob.apply(&mut options, knob.setting_from_count(n));
+        } else if let Some((knob, on)) = switch_for(stem) {
+            if inline_value.is_some() {
+                return Err(format!("{flag} takes no value"));
             }
-            "--limit" => {
-                // 0 = unlimited, by analogy with `--threads 0`.
-                options.limit = match number("--limit", value("--limit")?)? {
-                    0 => None,
-                    n => Some(n),
-                };
-            }
-            "--no-cache" => {
-                if inline_value.is_some() {
-                    return Err("--no-cache takes no value".to_owned());
-                }
-                options.cache = false;
-            }
-            "--bound" => {
-                if inline_value.is_some() {
-                    return Err("--bound takes no value".to_owned());
-                }
-                options.bound = true;
-            }
-            // The engine-lever switches come in on/off pairs because
-            // their defaults are on; all are bare flags like --bound.
-            "--bound-comm" | "--no-bound-comm" | "--simd" | "--no-simd" | "--steal"
-            | "--no-steal" => {
-                if inline_value.is_some() {
-                    return Err(format!("{flag} takes no value"));
-                }
-                let on = !flag.starts_with("--no-");
-                match flag.trim_start_matches("--no-").trim_start_matches("--") {
-                    "bound-comm" => options.bound_comm = on,
-                    "simd" => options.simd = on,
-                    _ => options.steal = on,
-                }
-            }
-            _ if extra.contains(&flag) => {
-                let v = value(flag)?;
-                extras.push((flag.to_owned(), v));
-            }
-            _ => {
-                let known: Vec<&str> = SEARCH_FLAGS.iter().chain(extra).copied().collect();
-                let hint = match closest_flag(flag, &known) {
-                    Some(suggestion) => format!(" (did you mean `{suggestion}`?)"),
-                    None => String::new(),
-                };
-                return Err(format!("unknown flag `{flag}`{hint}"));
-            }
+            knob.apply(&mut options, KnobSetting::Switch(on));
+        } else if extra.contains(&flag) {
+            let v = value(flag)?;
+            extras.push((flag.to_owned(), v));
+        } else {
+            let flags = search_flags();
+            let known: Vec<&str> = flags
+                .iter()
+                .map(String::as_str)
+                .chain(extra.iter().copied())
+                .collect();
+            let hint = match closest_flag(flag, &known) {
+                Some(suggestion) => format!(" (did you mean `{suggestion}`?)"),
+                None => String::new(),
+            };
+            return Err(format!("unknown flag `{flag}`{hint}"));
         }
     }
     Ok((rest, options, extras))
@@ -387,6 +389,42 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_pareto(args: &[String]) -> Result<(), String> {
+    // `--csv` is pareto-specific and bare; strip it before the shared
+    // search-flag parse, whose extras only cover value-taking flags.
+    let mut csv = false;
+    let mut filtered = Vec::new();
+    for arg in args {
+        if arg == "--csv" {
+            csv = true;
+        } else if arg.starts_with("--csv=") {
+            return Err("--csv takes no value".to_owned());
+        } else {
+            filtered.push(arg.clone());
+        }
+    }
+    let (rest, options, _) = parse_search_flags(&filtered, Some(200_000), &[])?;
+    let path = rest.first().ok_or("missing <file.lyc> argument")?;
+    let area = parse_area(&rest, 1)?;
+    if let Some(extra) = rest.get(2) {
+        return Err(format!("unexpected argument `{extra}`\n{USAGE}"));
+    }
+    // Like `best`: only the compiled BSBs and the restriction caps —
+    // one sweep covers every budget up to <area>.
+    let compiled = pipeline_for(path)?.compile().map_err(|e| e.to_string())?;
+    let lib = HwLibrary::standard();
+    let pace = lycos::pace::PaceConfig::standard();
+    let restr = Restrictions::from_asap(&compiled.bsbs, &lib).map_err(|e| e.to_string())?;
+    let front = lycos::explore::flow::pareto(&compiled.bsbs, &lib, area, &restr, &pace, &options)
+        .map_err(|e| e.to_string())?;
+    if csv {
+        print!("{}", format_pareto_csv(path, &front));
+    } else {
+        print!("{}", format_pareto(path, &front));
+    }
+    Ok(())
+}
+
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     use lycos::core::TraceEvent;
     let path = args.first().ok_or("missing <file.lyc> argument")?;
@@ -433,16 +471,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
     if let Some(extra) = rest.first() {
         return Err(format!("table1 takes no positional argument `{extra}`"));
     }
-    let options = Table1Options {
-        search_limit: search.limit,
-        threads: search.threads,
-        cache: search.cache,
-        dp_threads: search.dp_threads,
-        bound: search.bound,
-        bound_comm: search.bound_comm,
-        simd: search.simd,
-        steal: search.steal,
-    };
+    let options = Table1Options::from_search_options(&search);
     let pipelines: Vec<Pipeline> = lycos::apps::all().iter().map(Pipeline::for_app).collect();
     let rows = Pipeline::table1_batch(&pipelines, &options).map_err(|e| e.to_string())?;
     print!("{}", format_table1(&rows));
@@ -704,7 +733,41 @@ mod tests {
         assert_eq!(edit_distance("--threds", "--threads"), 1);
         assert_eq!(edit_distance("", "abc"), 3);
         assert_eq!(edit_distance("same", "same"), 0);
-        assert_eq!(closest_flag("--thread", &SEARCH_FLAGS), Some("--threads"));
-        assert_eq!(closest_flag("--zzzzzzzzz", &SEARCH_FLAGS), None);
+        let flags = search_flags();
+        let known: Vec<&str> = flags.iter().map(String::as_str).collect();
+        assert_eq!(closest_flag("--thread", &known), Some("--threads"));
+        assert_eq!(closest_flag("--zzzzzzzzz", &known), None);
+    }
+
+    #[test]
+    fn flag_list_is_derived_from_the_knob_table() {
+        // Pin of the full historical flag surface: every spelling the
+        // CLI ever accepted, now generated from SEARCH_KNOBS. A knob
+        // added to the engine table shows up here (and in the
+        // did-you-mean candidates) without any CLI edit.
+        assert_eq!(
+            search_flags(),
+            [
+                "--threads",
+                "--limit",
+                "--dp-threads",
+                "--no-cache",
+                "--bound",
+                "--bound-comm",
+                "--no-bound-comm",
+                "--simd",
+                "--no-simd",
+                "--steal",
+                "--no-steal",
+            ]
+        );
+        // The spellings a kind does not admit stay rejected.
+        assert!(switch_for("cache").is_none(), "--cache never existed");
+        assert!(switch_for("no-bound").is_none(), "--no-bound never existed");
+        assert!(
+            switch_for("threads").is_none(),
+            "value knobs are not switches"
+        );
+        assert!(switch_for("no-nonsense").is_none());
     }
 }

@@ -9,7 +9,9 @@
 use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
-use lycos_pace::{partition, PaceConfig, PaceError, Partition, SearchOptions, SearchResult};
+use lycos_pace::{
+    partition, PaceConfig, PaceError, ParetoResult, Partition, SearchOptions, SearchResult,
+};
 use std::time::{Duration, Instant};
 
 /// The result of one allocate→partition run.
@@ -96,6 +98,26 @@ pub fn search(
     options: &SearchOptions,
 ) -> Result<SearchResult, PaceError> {
     lycos_pace::search_best(bsbs, lib, total_area, restrictions, pace, options)
+}
+
+/// Sweeps the allocation space once under the Pareto objective — the
+/// seam the `lycos pareto` CLI command and the allocation service's
+/// `pareto` verb share. The returned frontier covers every budget up
+/// to `total_area` in a single walk; see
+/// [`lycos_pace::search_pareto`] for the exactness guarantee.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+pub fn pareto(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    options: &SearchOptions,
+) -> Result<ParetoResult, PaceError> {
+    lycos_pace::search_pareto(bsbs, lib, total_area, restrictions, pace, options)
 }
 
 #[cfg(test)]

@@ -13,7 +13,10 @@
 //! * [`optimism_report`] / [`reduce_only_walk`] — the §5.1 ablation on
 //!   the optimistic controller estimate;
 //! * [`random_search`] — sampling fallback for allocation spaces too
-//!   large to exhaust (the paper's `eigen` footnote).
+//!   large to exhaust (the paper's `eigen` footnote);
+//! * [`format_pareto`] / [`format_pareto_csv`] — the time×area
+//!   frontier of one [`flow::pareto`] sweep, rendered for humans and
+//!   machines.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 pub mod flow;
 mod iteration;
 mod optimism;
+mod pareto;
 mod random;
 mod sensitivity;
 mod synthetic;
@@ -47,6 +51,7 @@ mod tradeoff;
 pub use flow::{allocate_and_partition, FlowOutcome};
 pub use iteration::apply_iteration;
 pub use optimism::{format_optimism, optimism_report, reduce_only_walk, OptimismPoint};
+pub use pareto::{format_pareto, format_pareto_csv, pareto_csv_row, PARETO_CSV_HEADER};
 pub use random::{random_search, RandomSearchResult};
 pub use sensitivity::{budget_sensitivity, format_sensitivity, SensitivityPoint};
 pub use synthetic::SyntheticSpec;

@@ -162,6 +162,25 @@ impl Table1Options {
             steal: self.steal,
         }
     }
+
+    /// The inverse of [`Table1Options::search_options`]: the Table 1
+    /// run a resolved engine configuration implies. The two structs
+    /// carry the same eight knobs field for field, so the round trip
+    /// is lossless — the seam the allocation service uses to merge
+    /// wire-level knob overrides once, against `SearchOptions`, and
+    /// feed the result to both verbs.
+    pub fn from_search_options(options: &SearchOptions) -> Self {
+        Table1Options {
+            search_limit: options.limit,
+            threads: options.threads,
+            cache: options.cache,
+            dp_threads: options.dp_threads,
+            bound: options.bound,
+            bound_comm: options.bound_comm,
+            simd: options.simd,
+            steal: options.steal,
+        }
+    }
 }
 
 /// The application-shaped inputs of one Table 1 row, decoupled from
@@ -458,6 +477,25 @@ mod tests {
         for r in &rows {
             assert_eq!(table1_csv_row(r, false).split(',').count(), cols);
             assert_eq!(table1_csv_row(r, true).split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn search_options_round_trip_losslessly() {
+        let all_flipped = SearchOptions::new()
+            .threads(3)
+            .limit(Some(42))
+            .cache(false)
+            .dp_threads(2)
+            .bound(true)
+            .bound_comm(false)
+            .simd(false)
+            .steal(false);
+        for opts in [SearchOptions::default(), all_flipped] {
+            assert_eq!(
+                Table1Options::from_search_options(&opts).search_options(),
+                opts
+            );
         }
     }
 

@@ -376,14 +376,47 @@ impl DpScratch {
         self.dp[l * width + levels]
     }
 
+    /// Controller levels of the last [`DpScratch::evaluate`] call —
+    /// the controller budget in quanta, i.e. the top index of
+    /// [`DpScratch::final_row`].
+    pub(crate) fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The final DP row of the last [`DpScratch::evaluate`] call:
+    /// `row[a]` is the minimal hybrid time over all blocks within `a`
+    /// controller quanta, non-increasing in `a`, with `row[levels]`
+    /// the value `evaluate` returned. This is the whole time×area
+    /// trade-off of one candidate at quantum granularity — the seam
+    /// the Pareto-front search harvests.
+    pub(crate) fn final_row(&self) -> &[u64] {
+        let width = self.levels + 1;
+        &self.dp[self.l * width..][..width]
+    }
+
     /// Materialises the [`Partition`] chosen by the last
     /// [`DpScratch::evaluate`] call. Reads the run tables for the
     /// per-run communication and controller figures — the
     /// [`CommCosts`] memo is never re-queried.
     pub(crate) fn backtrack(&self, metrics: &[BsbMetrics], datapath_area: Area) -> Partition {
+        self.backtrack_at(metrics, datapath_area, self.levels)
+    }
+
+    /// [`DpScratch::backtrack`] at an arbitrary controller level
+    /// `level ≤ levels`: the partition the same evaluation would have
+    /// produced under a controller budget of exactly `level` quanta.
+    /// Sound because a cell `dp[i][a]` only ever reads cells and runs
+    /// with quanta `≤ a` — the grid under `level` is bit-identical to
+    /// the grid a smaller-budget evaluation would fill.
+    pub(crate) fn backtrack_at(
+        &self,
+        metrics: &[BsbMetrics],
+        datapath_area: Area,
+        level: usize,
+    ) -> Partition {
+        debug_assert!(level <= self.levels, "level outside the evaluated grid");
         let l = self.l;
-        let levels = self.levels;
-        let width = levels + 1;
+        let width = self.levels + 1;
         let all_sw_time: Cycles = metrics.iter().map(|m| m.sw_time).sum();
 
         let mut in_hw = vec![false; l];
@@ -391,7 +424,7 @@ impl DpScratch {
         let mut comm_time = 0u64;
         let mut controller_area = 0u64;
         let mut i = l;
-        let mut a = levels;
+        let mut a = level;
         while i > 0 {
             let pick = self.choice[i * width + a];
             if pick == 0 {
@@ -413,7 +446,7 @@ impl DpScratch {
 
         Partition {
             in_hw,
-            total_time: Cycles::new(self.dp[l * width + levels]),
+            total_time: Cycles::new(self.dp[l * width + level]),
             all_sw_time,
             comm_time: Cycles::new(comm_time),
             controller_area: Area::new(controller_area),

@@ -26,7 +26,12 @@
 //!   sequential walk — and, with `SearchOptions::bound`, driven by
 //!   branch-and-bound over the admissible lower bounds of
 //!   [`SearchBounds`], returning the field-exact optimum while
-//!   visiting a fraction of the space.
+//!   visiting a fraction of the space;
+//! * [`search_pareto`] — the same engine under the [`ParetoFront`]
+//!   objective: one sweep emits the entire Pareto frontier of the
+//!   time×area trade-off instead of one point per budget. The
+//!   incumbent/record/reduce seam both searches share is the pluggable
+//!   [`Objective`] trait.
 //!
 //! # Examples
 //!
@@ -70,6 +75,7 @@ mod dp;
 mod error;
 mod exhaustive;
 mod greedy;
+mod knobs;
 mod metrics;
 mod search;
 
@@ -82,5 +88,13 @@ pub use dp::{partition, partition_from_metrics, partition_with_scratch, DpScratc
 pub use error::PaceError;
 pub use exhaustive::{exhaustive_best, search_space, space_size, SearchResult};
 pub use greedy::{greedy_partition, greedy_partition_from_metrics};
+pub use knobs::{
+    search_knob, search_knob_by_wire, KnobKind, KnobOverrides, KnobSetting, SearchKnob,
+    SEARCH_KNOBS,
+};
 pub use metrics::{compute_metrics, BsbMetrics};
-pub use search::{search_best, MetricsCache, SearchOptions, SearchStats};
+pub use search::{
+    search_best, search_pareto, BestLocal, BestShared, BestUnderBudget, CandidateEval,
+    MetricsCache, Objective, ParetoFront, ParetoLocal, ParetoPoint, ParetoResult, ParetoShared,
+    SearchOptions, SearchStats,
+};

@@ -51,6 +51,16 @@
 //!   winner when it is on. The per-candidate DP leaf itself runs the
 //!   lane-chunked inner scan ([`SearchOptions::simd`], bit-identical
 //!   to the scalar kernel).
+//!
+//! The incumbent/record/reduce seam of the engine is pluggable through
+//! the [`Objective`] trait: [`BestUnderBudget`] *is* the classic
+//! single-incumbent engine described above (bit-identical, including
+//! the [`AtomicU64`]-packed cross-worker incumbent and the
+//! lexicographic `(time, area, index)` reduce), while [`ParetoFront`]
+//! keeps a dominance frontier instead — branch-and-bound prunes
+//! against the frontier's area-conditional best time, still
+//! admissibly — so one sweep ([`search_pareto`]) emits the whole
+//! time×area trade-off curve instead of one point per budget.
 
 use crate::bounds::LevelState;
 use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
@@ -65,6 +75,7 @@ use lycos_sched::FuCounts;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Knobs of the allocation-search engine.
@@ -102,6 +113,15 @@ pub struct SearchOptions {
     /// become engine-effort telemetry: pruned points are counted in
     /// [`SearchStats::bounded`] instead, and under multiple worker
     /// threads the exact split depends on incumbent-sharing timing.
+    ///
+    /// Cross-worker sharing degrades gracefully on astronomically
+    /// scaled applications: an improving `(time, area)` pair with a
+    /// component ≥ 2³² − 1 cannot be packed into the shared incumbent
+    /// word and is published as *no information* instead of a
+    /// saturated lie (counted by
+    /// [`SearchStats::unpacked_incumbents`]). Each worker still prunes
+    /// against its own incumbent and the result is unchanged — only
+    /// the cross-worker prune assist is lost for such pairs.
     pub bound: bool,
     /// Fold the admissible communication floor into the lower bound
     /// ([`crate::SearchBounds::with_comm_floor`]): blocks forced to
@@ -154,6 +174,70 @@ impl SearchOptions {
         }
     }
 
+    /// The default configuration, as the seed of a builder chain
+    /// mirroring the `lycos::Pipeline` idiom:
+    /// `SearchOptions::new().threads(4).bound(true)`. The pub fields
+    /// remain usable directly; the chain is sugar over them.
+    pub fn new() -> Self {
+        SearchOptions::default()
+    }
+
+    /// Replaces [`SearchOptions::threads`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces [`SearchOptions::limit`].
+    #[must_use]
+    pub fn limit(mut self, limit: Option<usize>) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Replaces [`SearchOptions::cache`].
+    #[must_use]
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces [`SearchOptions::dp_threads`].
+    #[must_use]
+    pub fn dp_threads(mut self, dp_threads: usize) -> Self {
+        self.dp_threads = dp_threads;
+        self
+    }
+
+    /// Replaces [`SearchOptions::bound`].
+    #[must_use]
+    pub fn bound(mut self, bound: bool) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Replaces [`SearchOptions::bound_comm`].
+    #[must_use]
+    pub fn bound_comm(mut self, bound_comm: bool) -> Self {
+        self.bound_comm = bound_comm;
+        self
+    }
+
+    /// Replaces [`SearchOptions::simd`].
+    #[must_use]
+    pub fn simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Replaces [`SearchOptions::steal`].
+    #[must_use]
+    pub fn steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
     /// Resolved engine shape for a sweep over `candidates` points:
     /// `(sweep workers, dp workers)`.
     ///
@@ -203,6 +287,13 @@ pub struct SearchStats {
     /// `cache_hits + cache_misses − key_allocs` probes cost no
     /// allocation at all.
     pub key_allocs: u64,
+    /// Improving candidates whose `(time, area)` pair could not be
+    /// packed into the shared incumbent word (a component ≥ 2³² − 1)
+    /// and was published as *no information* instead — see
+    /// [`SearchOptions::bound`]. Always `0` unless bounding is on;
+    /// non-zero means cross-worker pruning ran without those assists
+    /// (the result is unaffected either way).
+    pub unpacked_incumbents: u64,
     /// Points never evaluated because an admissible lower bound proved
     /// their whole subtree could not improve the incumbent — always
     /// `0` unless [`SearchOptions::bound`] is on. Counted separately
@@ -872,16 +963,615 @@ fn subtree_pruned(
     false
 }
 
-/// What one worker brings back from the odometer indices it covered.
+/// One evaluated allocation, as the engine hands it to an
+/// [`Objective`]: the candidate's identity (allocation, data-path
+/// gates, odometer index) plus read access to the full area×time
+/// trade-off row the PACE DP just computed, including on-demand
+/// backtracks at any controller-area level.
+pub struct CandidateEval<'w> {
+    scratch: &'w DpScratch,
+    metrics: &'w [BsbMetrics],
+    allocation: &'w RMap,
+    time: u64,
+    gates: u64,
+    index: u128,
+    quantum: u64,
+}
+
+impl CandidateEval<'_> {
+    /// Hybrid time under the full controller budget — the minimum of
+    /// the whole trade-off row.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Data-path area of the allocation, in gate equivalents.
+    pub fn gates(&self) -> u64 {
+        self.gates
+    }
+
+    /// Odometer index of the candidate — the deterministic tie-break
+    /// key reduces order by.
+    pub fn index(&self) -> u128 {
+        self.index
+    }
+
+    /// The allocation itself. Clone it to keep it: the reference is
+    /// into the worker's reused candidate map, overwritten at the
+    /// next point.
+    pub fn allocation(&self) -> &RMap {
+        self.allocation
+    }
+
+    /// Controller-area levels of the evaluated DP grid: the trade-off
+    /// row spans `0..=levels()` quanta.
+    pub fn levels(&self) -> usize {
+        self.scratch.levels()
+    }
+
+    /// The DP area quantum in gates: level `a` is a controller budget
+    /// of `a * quantum()` gates.
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Hybrid time when the controller may spend at most `level`
+    /// quanta — non-increasing in `level`, with
+    /// `time_at_level(levels()) == time()`.
+    pub fn time_at_level(&self, level: usize) -> u64 {
+        self.scratch.final_row()[level]
+    }
+
+    /// Materialises the partition behind [`CandidateEval::time`].
+    pub fn backtrack(&self) -> Partition {
+        self.scratch.backtrack(self.metrics, Area::new(self.gates))
+    }
+
+    /// Materialises the partition behind
+    /// [`CandidateEval::time_at_level`] — bit-identical to the
+    /// backtrack a separate evaluation under a controller budget of
+    /// `level` quanta would produce.
+    pub fn backtrack_at_level(&self, level: usize) -> Partition {
+        self.scratch
+            .backtrack_at(self.metrics, Area::new(self.gates), level)
+    }
+}
+
+/// The search engine's pluggable incumbent/record/reduce seam.
+///
+/// The generic sweep — odometer walk, memoised incremental metrics,
+/// admissible branch-and-bound, static or work-stealing fan-out — is
+/// objective-agnostic. What "improving" means, what workers share to
+/// tighten each other's pruning, and how per-worker results reduce
+/// into one deterministic answer all live behind this trait:
+/// [`BestUnderBudget`] is the classic single-incumbent engine
+/// ([`search_best`] exactly), [`ParetoFront`] keeps a dominance
+/// frontier and emits the whole time×area curve in one sweep
+/// ([`search_pareto`]).
+///
+/// # Pruning contract
+///
+/// [`Objective::prune`] may only return `true` for a subtree when no
+/// point of it could change the reduced output. `lb` is an
+/// *admissible* (never over-estimating) lower bound on the time of
+/// every point in the subtree, and `min_area` a lower bound on every
+/// point's data-path gates. Cross-worker state read from `Shared` is
+/// racy by design: an implementation must keep its pruning sound and
+/// its reduce deterministic under any interleaving.
+pub trait Objective: Sync {
+    /// Cross-worker state (the shared incumbent / frontier).
+    type Shared: Sync;
+    /// Per-worker state, moved into the reduce.
+    type Local: Send;
+    /// What [`Objective::reduce`] distils the locals into.
+    type Output;
+
+    /// Fresh shared state for one engine run.
+    fn shared(&self) -> Self::Shared;
+
+    /// Fresh per-worker state.
+    fn local(&self) -> Self::Local;
+
+    /// The worker is about to jump to a non-adjacent index (a stolen
+    /// chunk): refresh whatever view of `shared` the local caches.
+    fn reseed(&self, _local: &mut Self::Local, _shared: &Self::Shared) {}
+
+    /// Called once per bound-check round, before a batch of
+    /// [`Objective::prune`] probes: refresh the local's cached view of
+    /// `shared` here, so the hot per-subtree probes touch no shared
+    /// memory.
+    fn observe(&self, _local: &mut Self::Local, _shared: &Self::Shared) {}
+
+    /// Whether a subtree with admissible time bound `lb` and minimal
+    /// data-path gates `min_area` can be skipped wholesale.
+    fn prune(&self, local: &Self::Local, lb: u64, min_area: u64) -> bool;
+
+    /// An allocation was evaluated. `publish` is `true` when
+    /// branch-and-bound is on — the one case where advertising
+    /// progress cross-worker buys pruning.
+    fn record(
+        &self,
+        local: &mut Self::Local,
+        shared: &Self::Shared,
+        publish: bool,
+        eval: &CandidateEval<'_>,
+    );
+
+    /// Folds a worker's objective-specific telemetry into the run's
+    /// [`SearchStats`].
+    fn fold_stats(&self, _local: &Self::Local, _stats: &mut SearchStats) {}
+
+    /// Deterministically reduces every worker's local state into the
+    /// final output. Locals arrive in worker order, but a correct
+    /// implementation must not depend on which worker saw which
+    /// points — the scheduler hands them out in timing-dependent
+    /// ways.
+    fn reduce(&self, locals: Vec<Self::Local>) -> Self::Output;
+}
+
+/// The classic objective: the single best `(time, area)` candidate
+/// under one area budget. This is [`search_best`]'s engine,
+/// bit-identical to the historical hard-wired incumbent — including
+/// the [`AtomicU64`]-packed cross-worker incumbent and the
+/// lexicographic `(time, area, index)` reduce.
+pub struct BestUnderBudget;
+
+/// Cross-worker state of [`BestUnderBudget`]: the packed incumbent.
+pub struct BestShared(AtomicU64);
+
+/// Per-worker state of [`BestUnderBudget`].
 #[derive(Default)]
-struct WorkerOut {
-    /// Best candidate the worker evaluated: allocation, partition,
-    /// data-path gates, odometer index (the earliest point achieving
-    /// the worker's minimal `(time, area)`). The index makes the final
-    /// reduce order-free: whatever scheduling policy handed points to
-    /// workers, the lexicographic `(time, area, index)` minimum is the
-    /// exact candidate the sequential walk would keep.
+pub struct BestLocal {
+    /// Best candidate evaluated: allocation, partition, data-path
+    /// gates, odometer index (the earliest point achieving the
+    /// worker's minimal `(time, area)`).
     best: Option<(RMap, Partition, u64, u128)>,
+    /// Own/shared incumbent views, cached once per bound round.
+    own: Option<(u64, u64)>,
+    inherited: Option<(u64, u64)>,
+    /// Improving candidates whose pair could not pack — see
+    /// [`SearchStats::unpacked_incumbents`].
+    unpacked: u64,
+}
+
+impl Objective for BestUnderBudget {
+    type Shared = BestShared;
+    type Local = BestLocal;
+    type Output = Option<(RMap, Partition, u64, u128)>;
+
+    fn shared(&self) -> BestShared {
+        BestShared(AtomicU64::new(NO_INCUMBENT))
+    }
+
+    fn local(&self) -> BestLocal {
+        BestLocal::default()
+    }
+
+    fn observe(&self, local: &mut BestLocal, shared: &BestShared) {
+        local.own = local
+            .best
+            .as_ref()
+            .map(|(_, p, area, _)| (p.total_time.count(), *area));
+        local.inherited = unpack_incumbent(shared.0.load(Ordering::Relaxed));
+    }
+
+    fn prune(&self, local: &BestLocal, lb: u64, min_area: u64) -> bool {
+        subtree_pruned(lb, min_area, local.own, local.inherited)
+    }
+
+    fn record(
+        &self,
+        local: &mut BestLocal,
+        shared: &BestShared,
+        publish: bool,
+        eval: &CandidateEval<'_>,
+    ) {
+        let (time, gates) = (eval.time(), eval.gates());
+        let better = match &local.best {
+            None => true,
+            Some((_, bp, barea, _)) => {
+                time < bp.total_time.count() || (time == bp.total_time.count() && gates < *barea)
+            }
+        };
+        if better {
+            let p = eval.backtrack();
+            if publish {
+                let packed = pack_incumbent(time, gates);
+                if packed == NO_INCUMBENT {
+                    local.unpacked += 1;
+                }
+                shared.0.fetch_min(packed, Ordering::Relaxed);
+            }
+            local.best = Some((eval.allocation().clone(), p, gates, eval.index()));
+        }
+    }
+
+    fn fold_stats(&self, local: &BestLocal, stats: &mut SearchStats) {
+        stats.unpacked_incumbents += local.unpacked;
+    }
+
+    fn reduce(&self, locals: Vec<BestLocal>) -> Self::Output {
+        // Strict lexicographic (time, area, index) — the exact order
+        // the sequential walk discovers winners in — so the reduce is
+        // deterministic whatever scheduler handed points to workers:
+        // ties keep the earliest odometer index.
+        let mut best: Option<(RMap, Partition, u64, u128)> = None;
+        for local in locals {
+            if let Some((alloc, part, gates, index)) = local.best {
+                let better = match &best {
+                    None => true,
+                    Some((_, bp, bgates, bindex)) => {
+                        (part.total_time, gates, index) < (bp.total_time, *bgates, *bindex)
+                    }
+                };
+                if better {
+                    best = Some((alloc, part, gates, index));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// How many bound-check rounds a Pareto worker goes between refreshes
+/// of its shared-frontier snapshot: rare enough that the mutex stays
+/// cold, frequent enough that another worker's tightening still lands
+/// while there are subtrees left to prune with it.
+const SNAPSHOT_EVERY: u32 = 1024;
+
+/// One recorded Pareto candidate point — a strict step of some
+/// candidate's area×time trade-off row, with everything the reduce
+/// needs to rebuild the winner deterministically.
+struct ParetoEntry {
+    time: u64,
+    /// Minimal total area budget achieving `time` with this
+    /// allocation: data-path gates plus the controller level times
+    /// the area quantum.
+    area: u64,
+    /// Data-path gates alone — the second tie-break key (the
+    /// per-budget exhaustive walk prefers smaller data paths at equal
+    /// time).
+    gates: u64,
+    index: u128,
+    allocation: RMap,
+    partition: Partition,
+}
+
+/// Largest-area entry of an `(area, time)` staircase with area ≤
+/// `min_area` — the area-conditional best time. Staircases are
+/// area-ascending with strictly descending times, so every
+/// smaller-area entry is strictly slower and one probe answers "what
+/// time is already achieved within this area".
+fn staircase_floor(points: &[(u64, u64)], min_area: u64) -> Option<(u64, u64)> {
+    let n = points.partition_point(|&(area, _)| area <= min_area);
+    (n > 0).then(|| points[n - 1])
+}
+
+/// Inserts `(area, time)` into a staircase, dropping weakly dominated
+/// entries (keep-first on exact duplicates).
+fn staircase_insert(points: &mut Vec<(u64, u64)>, area: u64, time: u64) {
+    let s = points.partition_point(|&(a, _)| a < area);
+    if s < points.len() && points[s].0 == area && points[s].1 <= time {
+        return;
+    }
+    if s > 0 && points[s - 1].1 <= time {
+        return;
+    }
+    let mut end = s;
+    while end < points.len() && points[end].1 >= time {
+        end += 1;
+    }
+    points.splice(s..end, [(area, time)]);
+}
+
+/// Inserts a candidate point into a worker's own frontier staircase,
+/// materialising the expensive payload (allocation clone + backtrack)
+/// only when the point actually goes in. Weakly dominated points are
+/// rejected; an exact `(time, area)` tie keeps the lexicographically
+/// smaller `(gates, index)` — precisely the per-budget exhaustive
+/// walk's tie-break, which is what keeps the reduced frontier
+/// field-exact against N single-budget runs.
+fn frontier_insert(
+    points: &mut Vec<ParetoEntry>,
+    time: u64,
+    area: u64,
+    gates: u64,
+    index: u128,
+    make: impl FnOnce() -> (RMap, Partition),
+) -> bool {
+    let s = points.partition_point(|e| e.area < area);
+    if s < points.len() && points[s].area == area {
+        let e = &points[s];
+        if e.time < time {
+            return false;
+        }
+        if e.time == time {
+            if (e.gates, e.index) <= (gates, index) {
+                return false;
+            }
+            let (allocation, partition) = make();
+            points[s] = ParetoEntry {
+                time,
+                area,
+                gates,
+                index,
+                allocation,
+                partition,
+            };
+            return true;
+        }
+        // Same area, strictly slower: falls to the removal below.
+    }
+    if s > 0 && points[s - 1].time <= time {
+        return false;
+    }
+    let mut end = s;
+    while end < points.len() && points[end].time >= time {
+        end += 1;
+    }
+    let (allocation, partition) = make();
+    points.splice(
+        s..end,
+        [ParetoEntry {
+            time,
+            area,
+            gates,
+            index,
+            allocation,
+            partition,
+        }],
+    );
+    true
+}
+
+/// The multi-objective engine: one sweep emits the entire Pareto
+/// frontier of the time×area trade-off, replacing N single-budget
+/// sweeps — see [`search_pareto`].
+///
+/// Every evaluated candidate contributes the strict steps of its DP
+/// trade-off row (the minimal controller areas at which its time
+/// improves); workers keep mutually non-dominated points in a private
+/// staircase and, under branch-and-bound, share a merged `(area,
+/// time)` staircase to prune against. Own-frontier pruning is
+/// tie-inclusive (an equal point at no more area recorded earlier
+/// always wins the tie-break); shared-frontier pruning demands strict
+/// domination, so exact cross-worker ties survive to the
+/// deterministic reduce and the output is identical at any thread
+/// count and scheduling policy.
+pub struct ParetoFront;
+
+/// Cross-worker state of [`ParetoFront`]: the merged `(area, time)`
+/// staircase, behind a mutex — workers touch it only on publish and
+/// every `SNAPSHOT_EVERY` (1024) bound rounds.
+pub struct ParetoShared {
+    frontier: Mutex<Vec<(u64, u64)>>,
+}
+
+impl ParetoShared {
+    fn snapshot_into(&self, into: &mut Vec<(u64, u64)>) {
+        into.clone_from(&self.frontier.lock().expect("frontier lock poisoned"));
+    }
+}
+
+/// Per-worker state of [`ParetoFront`].
+pub struct ParetoLocal {
+    /// The worker's own staircase: area-ascending, strictly
+    /// time-descending, mutually non-dominated.
+    points: Vec<ParetoEntry>,
+    /// Last snapshot of the shared staircase.
+    snapshot: Vec<(u64, u64)>,
+    rounds: u32,
+}
+
+impl Objective for ParetoFront {
+    type Shared = ParetoShared;
+    type Local = ParetoLocal;
+    type Output = Vec<ParetoPoint>;
+
+    fn shared(&self) -> ParetoShared {
+        ParetoShared {
+            frontier: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn local(&self) -> ParetoLocal {
+        ParetoLocal {
+            points: Vec::new(),
+            snapshot: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    fn reseed(&self, local: &mut ParetoLocal, shared: &ParetoShared) {
+        shared.snapshot_into(&mut local.snapshot);
+        local.rounds = 0;
+    }
+
+    fn observe(&self, local: &mut ParetoLocal, shared: &ParetoShared) {
+        local.rounds += 1;
+        if local.rounds >= SNAPSHOT_EVERY {
+            local.rounds = 0;
+            shared.snapshot_into(&mut local.snapshot);
+        }
+    }
+
+    fn prune(&self, local: &ParetoLocal, lb: u64, min_area: u64) -> bool {
+        // Every point of the subtree costs ≥ min_area gates and ≥ lb
+        // cycles. An own entry within that area at no more time
+        // weakly dominates them all, and being recorded earlier it
+        // also wins any exact tie-break — prune on ties too.
+        let n = local.points.partition_point(|e| e.area <= min_area);
+        if n > 0 && local.points[n - 1].time <= lb {
+            return true;
+        }
+        // A shared entry must *strictly* dominate: an exact
+        // cross-worker tie may be the lexicographic winner and must
+        // reach the reduce.
+        if let Some((area, time)) = staircase_floor(&local.snapshot, min_area) {
+            if time <= lb && (time < lb || area < min_area) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn record(
+        &self,
+        local: &mut ParetoLocal,
+        shared: &ParetoShared,
+        publish: bool,
+        eval: &CandidateEval<'_>,
+    ) {
+        let gates = eval.gates();
+        // Whole-candidate quick reject: if an earlier own entry
+        // already achieves the candidate's best time within its
+        // data-path gates, every step point is weakly dominated (and
+        // loses the tie-break), so the row scan is pointless.
+        let n = local.points.partition_point(|e| e.area <= gates);
+        if n > 0 && local.points[n - 1].time <= eval.time() {
+            return;
+        }
+        let quantum = eval.quantum();
+        let mut fresh: Vec<(u64, u64)> = Vec::new();
+        let mut prev = u64::MAX;
+        for level in 0..=eval.levels() {
+            let time = eval.time_at_level(level);
+            if time >= prev {
+                continue; // same time already available at less area
+            }
+            prev = time;
+            let area = gates + level as u64 * quantum;
+            // Strictly shared-dominated points can never reach the
+            // final frontier (some worker keeps a dominator,
+            // transitively): skip the backtrack.
+            if let Some((sa, st)) = staircase_floor(&local.snapshot, area) {
+                if st <= time && (st < time || sa < area) {
+                    continue;
+                }
+            }
+            let accepted =
+                frontier_insert(&mut local.points, time, area, gates, eval.index(), || {
+                    (eval.allocation().clone(), eval.backtrack_at_level(level))
+                });
+            if accepted {
+                fresh.push((area, time));
+            }
+        }
+        if publish && !fresh.is_empty() {
+            let mut frontier = shared.frontier.lock().expect("frontier lock poisoned");
+            for &(area, time) in &fresh {
+                staircase_insert(&mut frontier, area, time);
+            }
+            local.snapshot.clone_from(&frontier);
+        }
+    }
+
+    fn reduce(&self, locals: Vec<ParetoLocal>) -> Vec<ParetoPoint> {
+        // Deterministic skyline: order every surviving entry by
+        // (time, area, gates, index) and keep each strict area
+        // improvement as times grow. Per frontier point that keeps
+        // the lexicographically smallest (gates, index) — exactly the
+        // candidate a single-budget exhaustive run at that point's
+        // area returns.
+        let mut all: Vec<ParetoEntry> = locals.into_iter().flat_map(|l| l.points).collect();
+        all.sort_by(|x, y| {
+            (x.time, x.area, x.gates, x.index).cmp(&(y.time, y.area, y.gates, y.index))
+        });
+        let mut front: Vec<ParetoEntry> = Vec::new();
+        let mut best_area = u64::MAX;
+        for e in all {
+            if e.area < best_area {
+                best_area = e.area;
+                front.push(e);
+            }
+        }
+        front.reverse();
+        front
+            .into_iter()
+            .map(|e| ParetoPoint {
+                allocation: e.allocation,
+                partition: e.partition,
+                area: Area::new(e.area),
+                index: e.index,
+            })
+            .collect()
+    }
+}
+
+/// One point of the frontier [`search_pareto`] emits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// The winning allocation at this point.
+    pub allocation: RMap,
+    /// Its partition — identical to what a single-budget run
+    /// ([`search_best`] or the exhaustive walk) at
+    /// [`ParetoPoint::area`] returns.
+    pub partition: Partition,
+    /// Minimal total area budget achieving this latency: data-path
+    /// gates plus controller quanta
+    /// (quantised by [`PaceConfig::quantum`]).
+    pub area: Area,
+    /// Odometer index of the winning allocation.
+    pub index: u128,
+}
+
+impl ParetoPoint {
+    /// Hybrid latency of this point.
+    pub fn time(&self) -> Cycles {
+        self.partition.total_time
+    }
+}
+
+/// Outcome of [`search_pareto`]: the dominance frontier plus the same
+/// accounting a [`SearchResult`] carries.
+#[derive(Clone, Debug)]
+pub struct ParetoResult {
+    /// The frontier, area-ascending and therefore strictly
+    /// time-descending: the first point is the cheapest (the
+    /// all-software fallback, unless hardware is free), the last the
+    /// fastest achievable within the sweep's total area.
+    pub points: Vec<ParetoPoint>,
+    /// Allocations actually evaluated (engine effort under `bound`).
+    pub evaluated: usize,
+    /// Area-infeasible allocations skipped.
+    pub skipped: usize,
+    /// Size of the full allocation space.
+    pub space_size: u128,
+    /// Whether an evaluation limit cut the sweep short.
+    pub truncated: bool,
+    /// Engine telemetry — not part of the result's identity.
+    pub stats: SearchStats,
+}
+
+impl ParetoResult {
+    /// Sum over every accounting bucket:
+    /// `evaluated + skipped + bounded + truncated_points`, always
+    /// equal to [`ParetoResult::space_size`].
+    pub fn points_accounted(&self) -> u128 {
+        self.evaluated as u128
+            + self.skipped as u128
+            + self.stats.bounded
+            + self.stats.truncated_points
+    }
+}
+
+impl PartialEq for ParetoResult {
+    /// Telemetry aside — two results are equal if they found the same
+    /// frontier over the same space.
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+            && self.space_size == other.space_size
+            && self.truncated == other.truncated
+    }
+}
+
+/// What one worker brings back from the odometer indices it covered:
+/// its objective-local state (incumbent, frontier, …) plus the engine
+/// counters. The objective's per-point odometer indices make the
+/// final reduce order-free: whatever scheduling policy handed points
+/// to workers, the objective's deterministic order decides.
+struct WorkerOut<L> {
+    local: L,
     evaluated: usize,
     skipped: usize,
     bounded: u128,
@@ -894,6 +1584,23 @@ struct WorkerOut {
     clean_reuses: u64,
 }
 
+impl<L> WorkerOut<L> {
+    fn new(local: L) -> Self {
+        WorkerOut {
+            local,
+            evaluated: 0,
+            skipped: 0,
+            bounded: 0,
+            steals: 0,
+            hits: 0,
+            misses: 0,
+            key_allocs: 0,
+            dirty_probes: 0,
+            clean_reuses: 0,
+        }
+    }
+}
+
 /// One sweep worker's whole private state: the memo cache, the
 /// run-traffic memo, the DP scratch, the metrics buffer, the candidate
 /// map and the bound chain — everything reused across every point the
@@ -902,7 +1609,7 @@ struct WorkerOut {
 /// evaluation performs no heap allocation at all (the winning
 /// [`Partition`] is only materialised when a candidate actually
 /// improves on the worker's best).
-struct SweepWorker<'a> {
+struct SweepWorker<'a, O: Objective> {
     bsbs: &'a BsbArray,
     lib: &'a HwLibrary,
     config: &'a PaceConfig,
@@ -917,12 +1624,16 @@ struct SweepWorker<'a> {
     dirty_fus: Vec<FuId>,
     bounds: Option<&'a SearchBounds>,
     levels: Option<LevelState>,
-    shared: &'a AtomicU64,
-    out: WorkerOut,
+    objective: &'a O,
+    shared: &'a O::Shared,
+    /// Whether improving candidates should be advertised cross-worker
+    /// — exactly when branch-and-bound is on.
+    publish: bool,
+    out: WorkerOut<O::Local>,
 }
 
-impl<'a> SweepWorker<'a> {
-    #[allow(clippy::too_many_arguments)] // internal seam of search_best
+impl<'a, O: Objective> SweepWorker<'a, O> {
+    #[allow(clippy::too_many_arguments)] // internal seam of run_search
     fn new(
         bsbs: &'a BsbArray,
         lib: &'a HwLibrary,
@@ -934,7 +1645,8 @@ impl<'a> SweepWorker<'a> {
         dp_threads: usize,
         simd: bool,
         bounds: Option<&'a SearchBounds>,
-        shared: &'a AtomicU64,
+        objective: &'a O,
+        shared: &'a O::Shared,
     ) -> Self {
         let mut scratch = DpScratch::with_dp_threads(dp_threads);
         scratch.set_simd(simd);
@@ -953,33 +1665,37 @@ impl<'a> SweepWorker<'a> {
             dirty_fus: Vec::with_capacity(dims.len()),
             bounds,
             levels: bounds.map(LevelState::new),
+            objective,
             shared,
-            out: WorkerOut::default(),
+            publish: bounds.is_some(),
+            out: WorkerOut::new(objective.local()),
         }
     }
 
     /// Forgets the incremental stepping state before jumping to a
     /// non-adjacent index: the metrics buffer refreshes from scratch
     /// and the bound chain re-derives every level. The memo caches,
-    /// the incumbent and the accounting survive — they are position
-    /// independent.
+    /// the objective's progress and the accounting survive — they are
+    /// position independent (the objective merely refreshes its
+    /// cross-worker view).
     fn reseed(&mut self) {
         self.dirty.reset();
         if let Some(levels) = self.levels.as_mut() {
             levels.invalidate_all();
         }
+        self.objective.reseed(&mut self.out.local, self.shared);
     }
 
     /// Evaluates every point of `range`, exactly as the sequential
     /// walk would, accumulating into the worker's [`WorkerOut`]. With
     /// bounds present the walk is branch-and-bound: whole subtrees
-    /// (and single hopeless leaves) whose admissible bound cannot
-    /// improve the incumbent are skipped and tallied in `bounded`,
-    /// with the shared incumbent read and published through `shared`.
-    /// Ranges must arrive in increasing index order (both schedulers
-    /// guarantee it), so the worker's own-best tie pruning stays
-    /// sound: its incumbent always sits at an earlier index than any
-    /// point still ahead.
+    /// (and single hopeless leaves) the objective prunes against its
+    /// incumbent/frontier are skipped and tallied in `bounded`, with
+    /// cross-worker progress read and published through the
+    /// objective's shared state. Ranges must arrive in increasing
+    /// index order (both schedulers guarantee it), so the objective's
+    /// own-progress tie pruning stays sound: everything it recorded
+    /// sits at an earlier index than any point still ahead.
     fn walk(&mut self, range: Range<u128>) -> Result<(), PaceError> {
         if range.is_empty() {
             return Ok(());
@@ -996,12 +1712,7 @@ impl<'a> SweepWorker<'a> {
             if let (Some(bounds), Some(levels)) = (self.bounds, self.levels.as_mut()) {
                 loop {
                     let gates = odo.area_gates();
-                    let own = self
-                        .out
-                        .best
-                        .as_ref()
-                        .map(|(_, p, area, _)| (p.total_time.count(), *area));
-                    let inherited = unpack_incumbent(self.shared.load(Ordering::Relaxed));
+                    self.objective.observe(&mut self.out.local, self.shared);
                     let mut skip = None;
                     for pos in (0..=odo.trailing_zeros()).rev() {
                         let width = odo.subtree_width(pos);
@@ -1016,7 +1727,7 @@ impl<'a> SweepWorker<'a> {
                             pos > 0
                         } else {
                             let lb = levels.bound_at(bounds, pos, &odo.counts);
-                            subtree_pruned(lb, gates, own, inherited)
+                            self.objective.prune(&self.out.local, lb, gates)
                         };
                         if prune {
                             skip = Some((pos, width));
@@ -1063,21 +1774,17 @@ impl<'a> SweepWorker<'a> {
                     self.config,
                 );
                 self.out.evaluated += 1;
-                let better = match &self.out.best {
-                    None => true,
-                    Some((_, bp, barea, _)) => {
-                        time < bp.total_time.count()
-                            || (time == bp.total_time.count() && gates < *barea)
-                    }
+                let eval = CandidateEval {
+                    scratch: &self.scratch,
+                    metrics: &self.metrics,
+                    allocation: &self.candidate,
+                    time,
+                    gates,
+                    index,
+                    quantum: self.config.quantum,
                 };
-                if better {
-                    let p = self.scratch.backtrack(&self.metrics, Area::new(gates));
-                    if self.bounds.is_some() {
-                        self.shared
-                            .fetch_min(pack_incumbent(time, gates), Ordering::Relaxed);
-                    }
-                    self.out.best = Some((self.candidate.clone(), p, gates, index));
-                }
+                self.objective
+                    .record(&mut self.out.local, self.shared, self.publish, &eval);
             }
             index += 1;
             if index >= range.end {
@@ -1094,7 +1801,7 @@ impl<'a> SweepWorker<'a> {
 
     /// The worker's accumulated output, with the cache counters folded
     /// in.
-    fn finish(mut self) -> WorkerOut {
+    fn finish(mut self) -> WorkerOut<O::Local> {
         self.out.hits = self.cache.hits();
         self.out.misses = self.cache.misses();
         self.out.key_allocs = self.cache.key_allocs();
@@ -1106,8 +1813,8 @@ impl<'a> SweepWorker<'a> {
 
 /// Static-split worker: one contiguous range, walked once. `statics`
 /// is a clone of the engine's one-time precompute.
-#[allow(clippy::too_many_arguments)] // internal seam of search_best
-fn sweep_range(
+#[allow(clippy::too_many_arguments)] // internal seam of run_search
+fn sweep_range<O: Objective>(
     bsbs: &BsbArray,
     lib: &HwLibrary,
     config: &PaceConfig,
@@ -1119,8 +1826,9 @@ fn sweep_range(
     dp_threads: usize,
     simd: bool,
     bounds: Option<&SearchBounds>,
-    shared: &AtomicU64,
-) -> Result<WorkerOut, PaceError> {
+    objective: &O,
+    shared: &O::Shared,
+) -> Result<WorkerOut<O::Local>, PaceError> {
     let mut worker = SweepWorker::new(
         bsbs,
         lib,
@@ -1132,6 +1840,7 @@ fn sweep_range(
         dp_threads,
         simd,
         bounds,
+        objective,
         shared,
     );
     worker.walk(range)?;
@@ -1174,8 +1883,8 @@ fn steal_chunk_width(weights: &[u128], bound: u128, threads: usize) -> u128 {
 /// grows), so the worker's own-best tie pruning stays sound, and every
 /// index of the window lands in exactly one worker's chunks — the
 /// accounting identity is preserved chunk by chunk.
-#[allow(clippy::too_many_arguments)] // internal seam of search_best
-fn sweep_chunks(
+#[allow(clippy::too_many_arguments)] // internal seam of run_search
+fn sweep_chunks<O: Objective>(
     bsbs: &BsbArray,
     lib: &HwLibrary,
     config: &PaceConfig,
@@ -1189,8 +1898,9 @@ fn sweep_chunks(
     dp_threads: usize,
     simd: bool,
     bounds: Option<&SearchBounds>,
-    shared: &AtomicU64,
-) -> Result<WorkerOut, PaceError> {
+    objective: &O,
+    shared: &O::Shared,
+) -> Result<WorkerOut<O::Local>, PaceError> {
     let mut worker = SweepWorker::new(
         bsbs,
         lib,
@@ -1202,6 +1912,7 @@ fn sweep_chunks(
         dp_threads,
         simd,
         bounds,
+        objective,
         shared,
     );
     let mut taken = 0u64;
@@ -1379,14 +2090,14 @@ fn effective_threads(requested: usize, bound: u128) -> usize {
 /// let area = Area::new(6000);
 ///
 /// let fast = search_best(&bsbs, &lib, area, &restr, &config,
-///                        &SearchOptions { threads: 2, ..Default::default() })?;
+///                        &SearchOptions::new().threads(2))?;
 /// let slow = exhaustive_best(&bsbs, &lib, area, &restr, &config, None)?;
 /// assert_eq!(fast, slow, "telemetry aside, the results are identical");
 /// assert!(fast.stats.cache_misses > 0);
 ///
 /// // Branch-and-bound: the winner is field-exact, the effort smaller.
 /// let bounded = search_best(&bsbs, &lib, area, &restr, &config,
-///                           &SearchOptions { bound: true, ..Default::default() })?;
+///                           &SearchOptions::new().bound(true))?;
 /// assert_eq!(bounded.best_allocation, slow.best_allocation);
 /// assert_eq!(bounded.best_partition, slow.best_partition);
 /// assert_eq!(bounded.points_accounted(), bounded.space_size);
@@ -1403,6 +2114,150 @@ pub fn search_best(
     config: &PaceConfig,
     options: &SearchOptions,
 ) -> Result<SearchResult, PaceError> {
+    let run = run_search(
+        bsbs,
+        lib,
+        total_area,
+        restrictions,
+        config,
+        options,
+        &BestUnderBudget,
+    )?;
+    let (best_allocation, best_partition, _, _) = run
+        .output
+        .expect("at least one candidate is always evaluated");
+    Ok(SearchResult {
+        best_allocation,
+        best_partition,
+        evaluated: run.evaluated,
+        skipped: run.skipped,
+        space_size: run.space_size,
+        truncated: run.truncated,
+        stats: run.stats,
+    })
+}
+
+/// One multi-objective sweep emitting the entire Pareto frontier of
+/// the time×area trade-off within `total_area` — the answer N
+/// single-budget [`search_best`] calls (one per frontier area) would
+/// assemble, from one walk of the allocation space.
+///
+/// Each frontier point's allocation *and partition* are field-exact
+/// against a single-budget exhaustive run at that point's area, with
+/// the same `(time, area)` then smallest-data-path, earliest-index
+/// tie-breaks; the frontier is identical at any thread count, with
+/// branch-and-bound on or off, and under either scheduling policy.
+/// Every engine knob of [`SearchOptions`] applies: with
+/// [`SearchOptions::bound`] on, subtrees are pruned against the
+/// frontier's area-conditional best time (still admissible — a
+/// subtree is only skipped when a recorded point at no more area is
+/// already at least as fast as the subtree's admissible time bound),
+/// and with [`SearchOptions::limit`] the candidate window truncates
+/// exactly as in [`search_best`] (the frontier is then the frontier
+/// *of the window*).
+///
+/// The accounting identity holds as for [`search_best`]:
+/// `evaluated + skipped + stats.bounded + stats.truncated_points`
+/// equals `space_size`.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation, as the
+/// sequential walk does.
+///
+/// # Examples
+///
+/// ```
+/// use lycos_core::Restrictions;
+/// use lycos_hwlib::{Area, HwLibrary};
+/// use lycos_ir::{extract_bsbs, Cdfg, CdfgNode, DfgBuilder, OpKind, TripCount};
+/// use lycos_pace::{search_best, search_pareto, PaceConfig, SearchOptions};
+///
+/// let mut b = DfgBuilder::new();
+/// let m = b.binary(OpKind::Mul, "a".into(), "b".into());
+/// b.assign("x", m);
+/// let cdfg = Cdfg::new(
+///     "hot",
+///     CdfgNode::Loop {
+///         label: "l".into(),
+///         test: None,
+///         body: Box::new(CdfgNode::block("body", b.finish())),
+///         trip: TripCount::Fixed(400),
+///     },
+/// );
+/// let bsbs = extract_bsbs(&cdfg, None)?;
+/// let lib = HwLibrary::standard();
+/// let restr = Restrictions::from_asap(&bsbs, &lib)?;
+/// let config = PaceConfig::standard();
+/// let area = Area::new(6000);
+///
+/// let front = search_pareto(&bsbs, &lib, area, &restr, &config,
+///                           &SearchOptions::new().bound(true))?;
+/// // Area-ascending, strictly time-descending — a real frontier.
+/// assert!(!front.points.is_empty());
+/// for w in front.points.windows(2) {
+///     assert!(w[0].area < w[1].area && w[0].time() > w[1].time());
+/// }
+/// // Its fastest point is exactly the single-budget winner at the
+/// // full budget.
+/// let best = search_best(&bsbs, &lib, area, &restr, &config,
+///                        &SearchOptions::default())?;
+/// let fastest = front.points.last().unwrap();
+/// assert_eq!(fastest.partition, best.best_partition);
+/// assert_eq!(fastest.allocation, best.best_allocation);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn search_pareto(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    config: &PaceConfig,
+    options: &SearchOptions,
+) -> Result<ParetoResult, PaceError> {
+    let run = run_search(
+        bsbs,
+        lib,
+        total_area,
+        restrictions,
+        config,
+        options,
+        &ParetoFront,
+    )?;
+    Ok(ParetoResult {
+        points: run.output,
+        evaluated: run.evaluated,
+        skipped: run.skipped,
+        space_size: run.space_size,
+        truncated: run.truncated,
+        stats: run.stats,
+    })
+}
+
+/// What the generic engine hands its public wrappers: the objective's
+/// reduced output plus the engine accounting.
+struct EngineRun<T> {
+    output: T,
+    evaluated: usize,
+    skipped: usize,
+    space_size: u128,
+    truncated: bool,
+    stats: SearchStats,
+}
+
+/// The objective-generic engine behind [`search_best`] and
+/// [`search_pareto`]: truncation pre-walk, one-time precomputes,
+/// static or work-stealing fan-out, per-worker accounting and the
+/// objective's deterministic reduce.
+fn run_search<O: Objective>(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    config: &PaceConfig,
+    options: &SearchOptions,
+    objective: &O,
+) -> Result<EngineRun<O::Output>, PaceError> {
     let started = Instant::now();
     let dims = search_space(restrictions);
     let space = space_size(&dims);
@@ -1447,9 +2302,9 @@ pub fn search_best(
     } else {
         None
     };
-    let shared = AtomicU64::new(NO_INCUMBENT);
+    let shared = objective.shared();
 
-    let outs: Vec<Result<WorkerOut, PaceError>> = if steal {
+    let outs: Vec<Result<WorkerOut<O::Local>, PaceError>> = if steal {
         let width = steal_chunk_width(&subtree_weights(&dims), bound, threads);
         let cursor = AtomicU64::new(0);
         std::thread::scope(|scope| {
@@ -1474,6 +2329,7 @@ pub fn search_best(
                             dp_threads,
                             options.simd,
                             bounds,
+                            objective,
                             shared,
                         )
                     })
@@ -1499,6 +2355,7 @@ pub fn search_best(
                 dp_threads,
                 options.simd,
                 bounds.as_ref(),
+                objective,
                 &shared,
             )]
         } else {
@@ -1524,6 +2381,7 @@ pub fn search_best(
                                 dp_threads,
                                 options.simd,
                                 bounds,
+                                objective,
                                 shared,
                             )
                         })
@@ -1537,7 +2395,6 @@ pub fn search_best(
         }
     };
 
-    let mut best: Option<(RMap, Partition, u64, u128)> = None;
     let mut evaluated = 0usize;
     let mut skipped = 0usize;
     let mut stats = SearchStats {
@@ -1545,10 +2402,7 @@ pub fn search_best(
         truncated_points: space - bound,
         ..SearchStats::default()
     };
-    // Merge under the strict lexicographic (time, area, index) order —
-    // the exact order the sequential walk discovers winners in — so
-    // the reduce is deterministic whatever scheduler handed points to
-    // workers: ties keep the earliest odometer index.
+    let mut locals = Vec::with_capacity(outs.len());
     for out in outs {
         let out = out?;
         evaluated += out.evaluated;
@@ -1560,20 +2414,13 @@ pub fn search_best(
         stats.key_allocs += out.key_allocs;
         stats.dirty_probes += out.dirty_probes;
         stats.clean_reuses += out.clean_reuses;
-        if let Some((alloc, part, gates, index)) = out.best {
-            let better = match &best {
-                None => true,
-                Some((_, bp, bgates, bindex)) => {
-                    (part.total_time, gates, index) < (bp.total_time, *bgates, *bindex)
-                }
-            };
-            if better {
-                best = Some((alloc, part, gates, index));
-            }
-        }
+        objective.fold_stats(&out.local, &mut stats);
+        locals.push(out.local);
     }
-    let (best_allocation, best_partition, _, _) =
-        best.expect("at least one candidate is always evaluated");
+    // The objective's reduce is deterministic whatever scheduler
+    // handed points to workers — ties resolve by odometer index, the
+    // exact order the sequential walk discovers winners in.
+    let output = objective.reduce(locals);
     stats.elapsed = started.elapsed();
     debug_assert_eq!(
         evaluated as u128 + skipped as u128 + stats.bounded + stats.truncated_points,
@@ -1581,9 +2428,8 @@ pub fn search_best(
         "every point lands in exactly one accounting bucket"
     );
 
-    Ok(SearchResult {
-        best_allocation,
-        best_partition,
+    Ok(EngineRun {
+        output,
         evaluated,
         skipped,
         space_size: space,
@@ -2417,5 +3263,291 @@ mod tests {
         b.stats.bounded = 7;
         b.stats.elapsed = Duration::from_secs(5);
         assert_eq!(a, b, "telemetry must not break result identity");
+    }
+
+    #[test]
+    fn builder_chain_mirrors_the_pub_fields() {
+        let built = SearchOptions::new()
+            .threads(4)
+            .limit(Some(9))
+            .cache(false)
+            .dp_threads(2)
+            .bound(true)
+            .bound_comm(false)
+            .simd(false)
+            .steal(false);
+        let literal = SearchOptions {
+            threads: 4,
+            limit: Some(9),
+            cache: false,
+            dp_threads: 2,
+            bound: true,
+            bound_comm: false,
+            simd: false,
+            steal: false,
+        };
+        assert_eq!(built, literal);
+        assert_eq!(SearchOptions::new(), SearchOptions::default());
+    }
+
+    #[test]
+    fn staircase_pins_dominance_and_duplicate_areas() {
+        let mut s: Vec<(u64, u64)> = Vec::new();
+        staircase_insert(&mut s, 100, 50);
+        staircase_insert(&mut s, 200, 40);
+        staircase_insert(&mut s, 150, 45);
+        assert_eq!(s, [(100, 50), (150, 45), (200, 40)]);
+        // Dominated (more area, no less time): rejected.
+        staircase_insert(&mut s, 160, 45);
+        assert_eq!(s, [(100, 50), (150, 45), (200, 40)]);
+        // Duplicate area, worse time: rejected; equal: keep-first.
+        staircase_insert(&mut s, 150, 46);
+        staircase_insert(&mut s, 150, 45);
+        assert_eq!(s, [(100, 50), (150, 45), (200, 40)]);
+        // Duplicate area, better time: replaces and sweeps dominated
+        // successors away.
+        staircase_insert(&mut s, 150, 39);
+        assert_eq!(s, [(100, 50), (150, 39)]);
+        // A new global best at less area clears everything behind it.
+        staircase_insert(&mut s, 90, 30);
+        assert_eq!(s, [(90, 30)]);
+        // Floor queries: largest area ≤ the probe.
+        staircase_insert(&mut s, 400, 20);
+        assert_eq!(staircase_floor(&s, 89), None);
+        assert_eq!(staircase_floor(&s, 90), Some((90, 30)));
+        assert_eq!(staircase_floor(&s, 399), Some((90, 30)));
+        assert_eq!(staircase_floor(&s, 400), Some((400, 20)));
+    }
+
+    #[test]
+    fn frontier_insert_ties_keep_the_lexicographic_winner() {
+        let part = crate::partition(
+            &app(),
+            &lib(),
+            &RMap::new(),
+            Area::new(1_000),
+            &PaceConfig::standard(),
+        )
+        .unwrap();
+        let mut points: Vec<ParetoEntry> = Vec::new();
+        let insert = |points: &mut Vec<ParetoEntry>, time, area, gates, index| {
+            frontier_insert(points, time, area, gates, index, || {
+                (RMap::new(), part.clone())
+            })
+        };
+        assert!(insert(&mut points, 50, 100, 80, 7));
+        // Exact (time, area) tie, larger (gates, index): rejected.
+        assert!(!insert(&mut points, 50, 100, 80, 9));
+        assert!(!insert(&mut points, 50, 100, 90, 1));
+        // Exact tie, smaller gates: replaces.
+        assert!(insert(&mut points, 50, 100, 70, 9));
+        assert_eq!(points.len(), 1);
+        assert_eq!((points[0].gates, points[0].index), (70, 9));
+        // Weak domination by the floor: rejected.
+        assert!(!insert(&mut points, 50, 120, 0, 0));
+        assert!(!insert(&mut points, 55, 100, 0, 0));
+        // Strict improvements extend the staircase both ways.
+        assert!(insert(&mut points, 40, 150, 60, 3));
+        assert!(insert(&mut points, 60, 90, 10, 2));
+        let shape: Vec<(u64, u64)> = points.iter().map(|e| (e.area, e.time)).collect();
+        assert_eq!(shape, [(90, 60), (100, 50), (150, 40)]);
+    }
+
+    /// The tentpole acceptance on the in-crate fixture: the one-sweep
+    /// frontier equals repeated single-budget exhaustive runs at each
+    /// frontier area — partitions and allocations field-exact — and
+    /// between frontier areas the exhaustive winner is the previous
+    /// point (areas are minimal).
+    #[test]
+    fn pareto_frontier_matches_per_budget_exhaustive_runs() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let config = PaceConfig::standard();
+        let total = Area::new(9_000);
+        let front = search_pareto(
+            &bsbs,
+            &lib,
+            total,
+            &restr,
+            &config,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        assert!(!front.points.is_empty());
+        assert_eq!(front.points_accounted(), front.space_size);
+        for pair in front.points.windows(2) {
+            assert!(pair[0].area < pair[1].area, "areas strictly ascend");
+            assert!(pair[0].time() > pair[1].time(), "times strictly descend");
+        }
+        for (i, point) in front.points.iter().enumerate() {
+            let single = exhaustive_best(&bsbs, &lib, point.area, &restr, &config, None).unwrap();
+            assert_eq!(single.best_partition, point.partition, "point {i}");
+            assert_eq!(single.best_allocation, point.allocation, "point {i}");
+            // Minimality: one gate less, and the previous point wins.
+            if point.area.gates() > 0 {
+                let below = Area::new(point.area.gates() - 1);
+                let prev = exhaustive_best(&bsbs, &lib, below, &restr, &config, None).unwrap();
+                if i == 0 {
+                    assert!(
+                        prev.best_partition.total_time > point.time(),
+                        "first point's area is minimal"
+                    );
+                } else {
+                    assert_eq!(
+                        prev.best_partition.total_time,
+                        front.points[i - 1].time(),
+                        "between areas the previous frontier time rules"
+                    );
+                }
+            }
+        }
+        // The fastest frontier point is the full-budget winner.
+        let best = search_best(
+            &bsbs,
+            &lib,
+            total,
+            &restr,
+            &config,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        let fastest = front.points.last().unwrap();
+        assert_eq!(fastest.partition, best.best_partition);
+        assert_eq!(fastest.allocation, best.best_allocation);
+    }
+
+    /// The frontier is identical across every engine shape: bounded or
+    /// not, any thread count, either scheduler.
+    #[test]
+    fn pareto_frontier_is_engine_shape_invariant() {
+        let bsbs = app();
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let config = PaceConfig::standard();
+        let total = Area::new(9_000);
+        let reference = search_pareto(
+            &bsbs,
+            &lib,
+            total,
+            &restr,
+            &config,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 5] {
+            for bound in [false, true] {
+                for steal in [false, true] {
+                    let options = SearchOptions::new()
+                        .threads(threads)
+                        .bound(bound)
+                        .steal(steal);
+                    let run = search_pareto(&bsbs, &lib, total, &restr, &config, &options).unwrap();
+                    assert_eq!(
+                        run.points, reference.points,
+                        "threads={threads} bound={bound} steal={steal}"
+                    );
+                    assert_eq!(run.points_accounted(), run.space_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_single_point_and_infeasible_frontiers() {
+        let bsbs = app();
+        let lib = lib();
+        let config = PaceConfig::standard();
+        // Zero area: only the all-software point fits, and the
+        // frontier is exactly that single point at area 0.
+        let restrictions = restr(&bsbs, &lib);
+        let front = search_pareto(
+            &bsbs,
+            &lib,
+            Area::new(0),
+            &restrictions,
+            &config,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(front.points.len(), 1);
+        let only = &front.points[0];
+        assert_eq!(only.area, Area::new(0));
+        assert!(only.allocation.is_empty());
+        assert_eq!(only.time(), only.partition.all_sw_time);
+        // No movable hardware at all (empty restrictions): every
+        // budget collapses to the same all-software time, so the
+        // frontier stays a single minimal-area point even with a huge
+        // budget.
+        let empty = Restrictions::new();
+        let front = search_pareto(
+            &bsbs,
+            &lib,
+            Area::new(50_000),
+            &empty,
+            &config,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(front.points.len(), 1, "nothing trades area for time");
+        assert!(front.points[0].allocation.is_empty());
+    }
+
+    /// Huge software times cannot pack into the shared incumbent word:
+    /// the engine publishes "no information", counts the degradation,
+    /// and the winner is still field-exact.
+    #[test]
+    fn unpackable_incumbents_are_counted_not_lied_about() {
+        let mk = |i: u32, n: usize, profile: u64| {
+            let mut dfg = Dfg::new();
+            for _ in 0..n {
+                dfg.add_op(OpKind::Mul);
+            }
+            Bsb {
+                id: BsbId(i),
+                name: format!("b{i}"),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile,
+                origin: BsbOrigin::Body,
+            }
+        };
+        // Profiles huge enough that every candidate's time tops 2³².
+        let bsbs = BsbArray::from_bsbs(
+            "huge",
+            vec![mk(0, 3, 2_000_000_000), mk(1, 2, 2_000_000_000)],
+        );
+        let lib = lib();
+        let restr = restr(&bsbs, &lib);
+        let config = PaceConfig::standard();
+        let area = Area::new(6_000);
+        let bounded = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &config,
+            &SearchOptions::new().threads(1).bound(true),
+        )
+        .unwrap();
+        assert!(
+            bounded.stats.unpacked_incumbents > 0,
+            "every improving candidate overflows the packed word"
+        );
+        let exhaustive = exhaustive_best(&bsbs, &lib, area, &restr, &config, None).unwrap();
+        assert_eq!(bounded.best_partition, exhaustive.best_partition);
+        assert_eq!(bounded.best_allocation, exhaustive.best_allocation);
+        // Unbounded searches never publish, so the counter stays 0.
+        let plain = search_best(
+            &bsbs,
+            &lib,
+            area,
+            &restr,
+            &config,
+            &SearchOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(plain.stats.unpacked_incumbents, 0);
     }
 }

@@ -21,6 +21,7 @@
 //! server cannot drift.
 
 use crate::ServeError;
+use lycos::pace::{search_knob_by_wire, KnobKind, KnobOverrides, KnobSetting};
 use std::fmt;
 use std::io::{BufRead, Write};
 
@@ -76,9 +77,9 @@ pub fn decode(token: &str) -> Result<String, ProtocolError> {
 pub enum ProtocolError {
     /// The line held no verb at all.
     Empty,
-    /// The verb is not one of `ping`, `shutdown`, `table1`.
+    /// The verb is not one of `ping`, `shutdown`, `table1`, `pareto`.
     UnknownVerb(String),
-    /// A `table1` field key is not recognised.
+    /// A request field key is not recognised.
     UnknownField(String),
     /// A field value failed to parse.
     BadValue {
@@ -98,9 +99,12 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::Empty => write!(f, "empty request"),
             ProtocolError::UnknownVerb(v) => {
-                write!(f, "unknown verb `{v}` (expected ping, shutdown or table1)")
+                write!(
+                    f,
+                    "unknown verb `{v}` (expected ping, shutdown, table1 or pareto)"
+                )
             }
-            ProtocolError::UnknownField(k) => write!(f, "unknown table1 field `{k}`"),
+            ProtocolError::UnknownField(k) => write!(f, "unknown request field `{k}`"),
             ProtocolError::BadValue { field, value } => {
                 write!(f, "invalid {field} value `{value}`")
             }
@@ -143,41 +147,43 @@ pub struct Job {
 }
 
 /// A batch of Table 1 jobs plus per-request search knobs.
+///
+/// The knob fields this struct used to spell out one by one
+/// (`threads`, `limit`, `no_cache`, …) now travel as a single
+/// [`KnobOverrides`] derived from the engine's own knob table — both
+/// [`Request::parse`] and [`Request::to_line`] walk
+/// [`lycos::pace::SEARCH_KNOBS`], so a knob added to the engine is a
+/// wire field with no protocol edit.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Table1Request {
     /// The applications to evaluate, in response order.
     pub jobs: Vec<Job>,
-    /// Sweep worker threads (`0` = one per core); `None` = server
-    /// default.
-    pub threads: Option<usize>,
-    /// Evaluation cap (`0` = unlimited, as in the CLI); `None` =
-    /// server default.
-    pub limit: Option<usize>,
-    /// Worker threads inside one PACE DP evaluation (`1` = sequential,
-    /// `0` = one per core); `None` = server default. Identical results
-    /// at any setting.
-    pub dp_threads: Option<usize>,
-    /// Disable the per-BSB schedule memo for this request.
-    pub no_cache: bool,
-    /// Branch-and-bound sweep (`SearchOptions::bound`): field-exact
-    /// winner columns, smaller (timing-dependent under multiple
-    /// threads) `evaluated`/`bounded` effort columns.
-    pub bound: bool,
-    /// Disable the communication-floor bound tightening
-    /// (`SearchOptions::bound_comm`) for this request. Negative, like
-    /// `no-cache`: the server default is on.
-    pub no_bound_comm: bool,
-    /// Disable the lane-chunked DP inner scan (`SearchOptions::simd`)
-    /// for this request. Results are identical either way.
-    pub no_simd: bool,
-    /// Disable work-stealing sweep scheduling (`SearchOptions::steal`)
-    /// for this request, falling back to the static range split.
-    pub no_steal: bool,
+    /// Per-request knob overrides, applied over the server's
+    /// configured defaults ([`KnobOverrides::apply_to`]). Only the
+    /// knobs the client actually said; `limit=0` travels as
+    /// `Limit(None)` (unlimited), exactly the CLI's reading.
+    pub knobs: KnobOverrides,
     /// Response body shape.
     pub format: Format,
     /// Include the measured allocator wall clock in CSV rows
     /// (off by default, keeping responses byte-deterministic).
     pub timing: bool,
+}
+
+/// A Pareto-frontier sweep: the same jobs and knobs as
+/// [`Table1Request`], but each job answers with its whole time×area
+/// frontier from one [`lycos::pace::search_pareto`] sweep instead of
+/// one best-under-budget row. There is no `timing` field — every
+/// Pareto column is a pure function of the search outcome, so
+/// responses are always byte-deterministic.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ParetoRequest {
+    /// The applications to sweep, in response order.
+    pub jobs: Vec<Job>,
+    /// Per-request knob overrides, as in [`Table1Request::knobs`].
+    pub knobs: KnobOverrides,
+    /// Response body shape.
+    pub format: Format,
 }
 
 /// One parsed request line.
@@ -189,6 +195,8 @@ pub enum Request {
     Shutdown,
     /// A Table 1 batch.
     Table1(Table1Request),
+    /// A Pareto-frontier batch.
+    Pareto(ParetoRequest),
 }
 
 /// Splits a job token into its payload and optional `@budget` suffix.
@@ -205,6 +213,146 @@ fn split_budget(field: &'static str, token: &str) -> Result<(String, Option<u64>
     }
 }
 
+/// The fields the search-driven verbs share: jobs, knob overrides,
+/// output format, and — where the verb admits it — `timing`.
+#[derive(Default)]
+struct SearchFields {
+    jobs: Vec<Job>,
+    knobs: KnobOverrides,
+    format: Format,
+    timing: bool,
+}
+
+/// Parses the `key=value` / bare-flag tokens after a search-driven
+/// verb. Knob tokens are resolved against the engine's own table
+/// ([`lycos::pace::SEARCH_KNOBS`]) by their wire spelling; bare flags
+/// reject `=value` forms instead of silently enabling what
+/// `timing=false` tried to turn off. `allow_timing` is off for verbs
+/// whose responses carry no wall-clock column (`pareto`).
+fn parse_search_fields<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    allow_timing: bool,
+) -> Result<SearchFields, ProtocolError> {
+    let mut out = SearchFields::default();
+    for token in tokens {
+        let (key, value) = match token.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (token, ""),
+        };
+        match key {
+            "app" => {
+                let (name, budget) = split_budget("app", value)?;
+                out.jobs.push(Job {
+                    source: JobSource::App(name),
+                    budget,
+                });
+            }
+            "apps" => {
+                for name in value.split(',').filter(|n| !n.is_empty()) {
+                    out.jobs.push(Job {
+                        source: JobSource::App(name.to_owned()),
+                        budget: None,
+                    });
+                }
+            }
+            "src" => {
+                let (enc, budget) = split_budget("src", value)?;
+                out.jobs.push(Job {
+                    source: JobSource::Inline(decode(&enc)?),
+                    budget,
+                });
+            }
+            "timing" if allow_timing => {
+                if token.contains('=') {
+                    return Err(ProtocolError::BadValue {
+                        field: "timing",
+                        value: value.to_owned(),
+                    });
+                }
+                out.timing = true;
+            }
+            "format" => {
+                out.format = match value {
+                    "csv" => Format::Csv,
+                    "text" => Format::Text,
+                    _ => {
+                        return Err(ProtocolError::BadValue {
+                            field: "format",
+                            value: value.to_owned(),
+                        })
+                    }
+                };
+            }
+            _ => match search_knob_by_wire(key) {
+                Some(knob) if knob.takes_value() => {
+                    let n: usize = value.parse().map_err(|_| ProtocolError::BadValue {
+                        field: knob.wire,
+                        value: value.to_owned(),
+                    })?;
+                    out.knobs.set(knob.name, knob.setting_from_count(n));
+                }
+                Some(knob) => {
+                    if token.contains('=') {
+                        return Err(ProtocolError::BadValue {
+                            field: knob.wire,
+                            value: value.to_owned(),
+                        });
+                    }
+                    // The wire carries only the non-default direction:
+                    // `bound` turns on, the `no-` spellings turn off.
+                    let on = matches!(knob.kind, KnobKind::EnabledBy);
+                    out.knobs.set(knob.name, KnobSetting::Switch(on));
+                }
+                None => return Err(ProtocolError::UnknownField(key.to_owned())),
+            },
+        }
+    }
+    Ok(out)
+}
+
+/// Emits the shared fields in the canonical order: jobs first, then
+/// knob overrides in [`lycos::pace::SEARCH_KNOBS`] table order, then
+/// `format`. The inverse of [`parse_search_fields`] for everything
+/// the wire can say.
+fn push_search_fields(out: &mut String, jobs: &[Job], knobs: &KnobOverrides, format: Format) {
+    for job in jobs {
+        let budget = job.budget.map(|b| format!("@{b}")).unwrap_or_default();
+        match &job.source {
+            JobSource::App(name) => {
+                out.push_str(&format!(" app={name}{budget}"));
+            }
+            JobSource::Inline(src) => {
+                out.push_str(&format!(" src={}{budget}", encode(src)));
+            }
+        }
+    }
+    for (knob, setting) in knobs.iter() {
+        match setting {
+            KnobSetting::Count(n) => out.push_str(&format!(" {}={n}", knob.wire)),
+            KnobSetting::Limit(v) => {
+                // Unlimited travels as the CLI's `0` spelling.
+                out.push_str(&format!(" {}={}", knob.wire, v.unwrap_or(0)));
+            }
+            KnobSetting::Switch(on) => {
+                // A switch override the wire cannot spell (simd back on
+                // when the server default is off) is dropped: absent
+                // means "server default", the closest the protocol has
+                // ever been able to say.
+                let spoken = match knob.kind {
+                    KnobKind::EnabledBy => on,
+                    _ => !on,
+                };
+                if spoken {
+                    out.push_str(&format!(" {}", knob.wire));
+                }
+            }
+        }
+    }
+    if format == Format::Text {
+        out.push_str(" format=text");
+    }
+}
+
 impl Request {
     /// Parses one wire line (already stripped of its newline).
     ///
@@ -218,99 +366,21 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "table1" => {
-                let mut req = Table1Request::default();
-                for token in tokens {
-                    let (key, value) = match token.split_once('=') {
-                        Some((k, v)) => (k, v),
-                        None => (token, ""),
-                    };
-                    match key {
-                        "app" => {
-                            let (name, budget) = split_budget("app", value)?;
-                            req.jobs.push(Job {
-                                source: JobSource::App(name),
-                                budget,
-                            });
-                        }
-                        "apps" => {
-                            for name in value.split(',').filter(|n| !n.is_empty()) {
-                                req.jobs.push(Job {
-                                    source: JobSource::App(name.to_owned()),
-                                    budget: None,
-                                });
-                            }
-                        }
-                        "src" => {
-                            let (enc, budget) = split_budget("src", value)?;
-                            req.jobs.push(Job {
-                                source: JobSource::Inline(decode(&enc)?),
-                                budget,
-                            });
-                        }
-                        "threads" => {
-                            req.threads =
-                                Some(value.parse().map_err(|_| ProtocolError::BadValue {
-                                    field: "threads",
-                                    value: value.to_owned(),
-                                })?);
-                        }
-                        "limit" => {
-                            req.limit =
-                                Some(value.parse().map_err(|_| ProtocolError::BadValue {
-                                    field: "limit",
-                                    value: value.to_owned(),
-                                })?);
-                        }
-                        "dp-threads" => {
-                            req.dp_threads =
-                                Some(value.parse().map_err(|_| ProtocolError::BadValue {
-                                    field: "dp-threads",
-                                    value: value.to_owned(),
-                                })?);
-                        }
-                        // Bare flags: reject `=value` forms instead of
-                        // silently enabling what `timing=false` tried
-                        // to turn off.
-                        "no-cache" | "timing" | "bound" | "no-bound-comm" | "no-simd"
-                        | "no-steal" => {
-                            if token.contains('=') {
-                                return Err(ProtocolError::BadValue {
-                                    field: match key {
-                                        "timing" => "timing",
-                                        "bound" => "bound",
-                                        "no-bound-comm" => "no-bound-comm",
-                                        "no-simd" => "no-simd",
-                                        "no-steal" => "no-steal",
-                                        _ => "no-cache",
-                                    },
-                                    value: value.to_owned(),
-                                });
-                            }
-                            match key {
-                                "timing" => req.timing = true,
-                                "bound" => req.bound = true,
-                                "no-bound-comm" => req.no_bound_comm = true,
-                                "no-simd" => req.no_simd = true,
-                                "no-steal" => req.no_steal = true,
-                                _ => req.no_cache = true,
-                            }
-                        }
-                        "format" => {
-                            req.format = match value {
-                                "csv" => Format::Csv,
-                                "text" => Format::Text,
-                                _ => {
-                                    return Err(ProtocolError::BadValue {
-                                        field: "format",
-                                        value: value.to_owned(),
-                                    })
-                                }
-                            };
-                        }
-                        _ => return Err(ProtocolError::UnknownField(key.to_owned())),
-                    }
-                }
-                Ok(Request::Table1(req))
+                let fields = parse_search_fields(tokens, true)?;
+                Ok(Request::Table1(Table1Request {
+                    jobs: fields.jobs,
+                    knobs: fields.knobs,
+                    format: fields.format,
+                    timing: fields.timing,
+                }))
+            }
+            "pareto" => {
+                let fields = parse_search_fields(tokens, false)?;
+                Ok(Request::Pareto(ParetoRequest {
+                    jobs: fields.jobs,
+                    knobs: fields.knobs,
+                    format: fields.format,
+                }))
             }
             other => Err(ProtocolError::UnknownVerb(other.to_owned())),
         }
@@ -324,47 +394,15 @@ impl Request {
             Request::Shutdown => "shutdown".to_owned(),
             Request::Table1(req) => {
                 let mut out = String::from("table1");
-                for job in &req.jobs {
-                    let budget = job.budget.map(|b| format!("@{b}")).unwrap_or_default();
-                    match &job.source {
-                        JobSource::App(name) => {
-                            out.push_str(&format!(" app={name}{budget}"));
-                        }
-                        JobSource::Inline(src) => {
-                            out.push_str(&format!(" src={}{budget}", encode(src)));
-                        }
-                    }
-                }
-                if let Some(t) = req.threads {
-                    out.push_str(&format!(" threads={t}"));
-                }
-                if let Some(l) = req.limit {
-                    out.push_str(&format!(" limit={l}"));
-                }
-                if let Some(t) = req.dp_threads {
-                    out.push_str(&format!(" dp-threads={t}"));
-                }
-                if req.no_cache {
-                    out.push_str(" no-cache");
-                }
-                if req.bound {
-                    out.push_str(" bound");
-                }
-                if req.no_bound_comm {
-                    out.push_str(" no-bound-comm");
-                }
-                if req.no_simd {
-                    out.push_str(" no-simd");
-                }
-                if req.no_steal {
-                    out.push_str(" no-steal");
-                }
-                if req.format == Format::Text {
-                    out.push_str(" format=text");
-                }
+                push_search_fields(&mut out, &req.jobs, &req.knobs, req.format);
                 if req.timing {
                     out.push_str(" timing");
                 }
+                out
+            }
+            Request::Pareto(req) => {
+                let mut out = String::from("pareto");
+                push_search_fields(&mut out, &req.jobs, &req.knobs, req.format);
                 out
             }
         }
@@ -484,6 +522,20 @@ mod tests {
         }
     }
 
+    /// Every knob the wire can say, as overrides.
+    fn all_knobs() -> KnobOverrides {
+        let mut knobs = KnobOverrides::new();
+        knobs.set("threads", KnobSetting::Count(2));
+        knobs.set("limit", KnobSetting::Limit(None)); // `limit=0` on the wire
+        knobs.set("dp-threads", KnobSetting::Count(4));
+        knobs.set("cache", KnobSetting::Switch(false));
+        knobs.set("bound", KnobSetting::Switch(true));
+        knobs.set("bound-comm", KnobSetting::Switch(false));
+        knobs.set("simd", KnobSetting::Switch(false));
+        knobs.set("steal", KnobSetting::Switch(false));
+        knobs
+    }
+
     fn sample_requests() -> Vec<Request> {
         vec![
             Request::Ping,
@@ -504,16 +556,18 @@ mod tests {
                         budget: Some(6_000),
                     },
                 ],
-                threads: Some(2),
-                limit: Some(0),
-                dp_threads: Some(4),
-                no_cache: true,
-                bound: true,
-                no_bound_comm: true,
-                no_simd: true,
-                no_steal: true,
+                knobs: all_knobs(),
                 format: Format::Text,
                 timing: true,
+            }),
+            Request::Pareto(ParetoRequest::default()),
+            Request::Pareto(ParetoRequest {
+                jobs: vec![Job {
+                    source: JobSource::App("eigen".into()),
+                    budget: Some(12_000),
+                }],
+                knobs: all_knobs(),
+                format: Format::Text,
             }),
         ]
     }
@@ -538,8 +592,52 @@ mod tests {
             .jobs
             .iter()
             .all(|j| matches!(j.source, JobSource::App(_)) && j.budget.is_none()));
-        assert_eq!(t.threads, Some(1));
-        assert_eq!(t.limit, None);
+        assert_eq!(t.knobs.get("threads"), Some(KnobSetting::Count(1)));
+        assert_eq!(
+            t.knobs.get("limit"),
+            None,
+            "unsaid knobs stay server-default"
+        );
+    }
+
+    #[test]
+    fn to_line_keeps_the_historical_token_order() {
+        // The byte-pinned canonical line: jobs, then knobs in engine
+        // table order, then format, then timing — exactly what the
+        // hand-rolled emitter produced before the knob-table refactor.
+        let line = "table1 app=hal threads=2 limit=0 dp-threads=4 no-cache bound \
+                    no-bound-comm no-simd no-steal format=text timing";
+        let req = Request::parse(line).unwrap();
+        assert_eq!(req.to_line(), line);
+        // Scrambled client input still renders the canonical order.
+        let scrambled = Request::parse(
+            "table1 no-steal bound app=hal limit=0 timing threads=2 no-cache \
+             dp-threads=4 no-simd no-bound-comm format=text",
+        )
+        .unwrap();
+        assert_eq!(scrambled.to_line(), line);
+        // And the pareto verb shares the emitter (minus `timing`).
+        let pareto = "pareto app=eigen@12000 threads=2 limit=0 dp-threads=4 no-cache bound \
+                      no-bound-comm no-simd no-steal format=text";
+        assert_eq!(Request::parse(pareto).unwrap().to_line(), pareto);
+    }
+
+    #[test]
+    fn pareto_requests_round_trip_and_reject_timing() {
+        let req = Request::parse("pareto app=hal@7500 bound threads=1").unwrap();
+        let Request::Pareto(p) = &req else {
+            panic!("not a pareto request")
+        };
+        assert_eq!(p.jobs.len(), 1);
+        assert_eq!(p.knobs.get("bound"), Some(KnobSetting::Switch(true)));
+        assert_eq!(p.knobs.get("threads"), Some(KnobSetting::Count(1)));
+        assert_eq!(p.format, Format::Csv);
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        // No wall-clock column in a pareto response, so no `timing`.
+        assert_eq!(
+            Request::parse("pareto app=hal timing"),
+            Err(ProtocolError::UnknownField("timing".into()))
+        );
     }
 
     #[test]
@@ -621,7 +719,7 @@ mod tests {
         let Request::Table1(t) = &req else {
             panic!("not a table1 request")
         };
-        assert!(t.bound);
+        assert_eq!(t.knobs.get("bound"), Some(KnobSetting::Switch(true)));
         assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
     }
 
@@ -631,8 +729,20 @@ mod tests {
         let Request::Table1(t) = &req else {
             panic!("not a table1 request")
         };
-        assert!(t.no_bound_comm && t.no_simd && t.no_steal);
-        assert!(!t.no_cache && !t.bound, "unrelated flags stay default");
+        for name in ["bound-comm", "simd", "steal"] {
+            assert_eq!(
+                t.knobs.get(name),
+                Some(KnobSetting::Switch(false)),
+                "{name}"
+            );
+        }
+        for name in ["cache", "bound"] {
+            assert_eq!(
+                t.knobs.get(name),
+                None,
+                "unrelated knob {name} stays unsaid"
+            );
+        }
         assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
     }
 

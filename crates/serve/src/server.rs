@@ -16,9 +16,14 @@
 //!   channel closes, workers drain what was already queued and join —
 //!   **graceful shutdown** with no request dropped mid-flight.
 
-use crate::protocol::{Format, JobSource, Request, Response, Table1Request, DEFAULT_ADDR};
+use crate::protocol::{
+    Format, Job, JobSource, ParetoRequest, Request, Response, Table1Request, DEFAULT_ADDR,
+};
 use crate::ServeError;
-use lycos::explore::{format_table1, format_table1_csv, Table1Options};
+use lycos::explore::{
+    format_pareto, format_table1, format_table1_csv, pareto_csv_row, Table1Options,
+    PARETO_CSV_HEADER,
+};
 use lycos::hwlib::Area;
 use lycos::pace::SearchOptions;
 use lycos::Pipeline;
@@ -58,14 +63,11 @@ impl Default for ServeConfig {
             addr: DEFAULT_ADDR.to_owned(),
             workers: 4,
             queue: 8,
-            defaults: SearchOptions {
-                // eigen's space cannot be exhausted (paper footnote 1);
-                // the same default cap the CLI and the table1 bin use.
-                // Bounding stays off by default so batch responses are
-                // byte-diffable against the sequential CSV path.
-                limit: Some(200_000),
-                ..SearchOptions::default()
-            },
+            // eigen's space cannot be exhausted (paper footnote 1);
+            // the same default cap the CLI and the table1 bin use.
+            // Bounding stays off by default so batch responses are
+            // byte-diffable against the sequential CSV path.
+            defaults: SearchOptions::new().limit(Some(200_000)),
         }
     }
 }
@@ -306,6 +308,7 @@ fn respond(line: &str, config: &ServeConfig, shutdown: &AtomicBool) -> Response 
             Response::Bye
         }
         Ok(Request::Table1(req)) => run_table1(&req, config),
+        Ok(Request::Pareto(req)) => run_pareto(&req, config),
     }
 }
 
@@ -317,24 +320,23 @@ fn bundled_apps() -> &'static [lycos::apps::BenchmarkApp] {
     APPS.get_or_init(lycos::apps::all)
 }
 
-/// Runs one Table 1 batch through the shared
-/// [`Pipeline::table1_batch`] seam — the same code path as the
-/// `table1` bin, so the service's rows are byte-identical to it.
-fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
-    if req.jobs.is_empty() {
-        return Response::Error(
-            "table1 request names no jobs (add app=<name> or src=<encoded-lyc>)".to_owned(),
-        );
+/// Builds one pipeline per job, or the error response naming the
+/// first bad job — shared by the `table1` and `pareto` verbs.
+fn pipelines_for(verb: &str, jobs: &[Job]) -> Result<Vec<Pipeline>, Response> {
+    if jobs.is_empty() {
+        return Err(Response::Error(format!(
+            "{verb} request names no jobs (add app=<name> or src=<encoded-lyc>)"
+        )));
     }
-    let mut pipelines = Vec::with_capacity(req.jobs.len());
-    for job in &req.jobs {
+    let mut pipelines = Vec::with_capacity(jobs.len());
+    for job in jobs {
         let mut pipeline = match &job.source {
             JobSource::App(name) => match bundled_apps().iter().find(|a| a.name == *name) {
                 Some(app) => Pipeline::for_app(app),
                 None => {
-                    return Response::Error(format!(
+                    return Err(Response::Error(format!(
                         "unknown app `{name}` (bundled: straight, hal, man, eigen)"
-                    ))
+                    )))
                 }
             },
             JobSource::Inline(source) => Pipeline::new(source.clone()),
@@ -344,21 +346,20 @@ fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
         }
         pipelines.push(pipeline);
     }
-    let defaults = &config.defaults;
-    let options = Table1Options {
-        search_limit: match req.limit {
-            Some(0) => None, // 0 = unlimited, as in the CLI
-            Some(n) => Some(n),
-            None => defaults.limit,
-        },
-        threads: req.threads.unwrap_or(defaults.threads),
-        cache: !req.no_cache && defaults.cache,
-        dp_threads: req.dp_threads.unwrap_or(defaults.dp_threads),
-        bound: req.bound || defaults.bound,
-        bound_comm: !req.no_bound_comm && defaults.bound_comm,
-        simd: !req.no_simd && defaults.simd,
-        steal: !req.no_steal && defaults.steal,
+    Ok(pipelines)
+}
+
+/// Runs one Table 1 batch through the shared
+/// [`Pipeline::table1_batch`] seam — the same code path as the
+/// `table1` bin, so the service's rows are byte-identical to it. The
+/// request's knob overrides fold over the configured defaults in one
+/// table-driven pass ([`lycos::pace::KnobOverrides::apply_to`]).
+fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
+    let pipelines = match pipelines_for("table1", &req.jobs) {
+        Ok(pipelines) => pipelines,
+        Err(response) => return response,
     };
+    let options = Table1Options::from_search_options(&req.knobs.apply_to(&config.defaults));
     match Pipeline::table1_batch(&pipelines, &options) {
         Err(e) => Response::Error(e.to_string()),
         Ok(rows) => {
@@ -369,4 +370,41 @@ fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
             Response::Ok(body.lines().map(str::to_owned).collect())
         }
     }
+}
+
+/// Runs one Pareto batch: each job's whole time×area frontier from a
+/// single [`lycos::pace::search_pareto`] sweep, through the same
+/// [`lycos::Pipeline`] stages (and the same knob merge) as `table1`.
+fn run_pareto(req: &ParetoRequest, config: &ServeConfig) -> Response {
+    let pipelines = match pipelines_for("pareto", &req.jobs) {
+        Ok(pipelines) => pipelines,
+        Err(response) => return response,
+    };
+    let options = req.knobs.apply_to(&config.defaults);
+    let mut body = String::new();
+    if req.format == Format::Csv {
+        body.push_str(PARETO_CSV_HEADER);
+        body.push('\n');
+    }
+    for pipeline in pipelines {
+        let allocated = match pipeline.with_search_options(options.clone()).allocate() {
+            Ok(allocated) => allocated,
+            Err(e) => return Response::Error(e.to_string()),
+        };
+        let front = match allocated.pareto() {
+            Ok(front) => front,
+            Err(e) => return Response::Error(e.to_string()),
+        };
+        let name = allocated.cdfg.name();
+        match req.format {
+            Format::Csv => {
+                for point in &front.points {
+                    body.push_str(&pareto_csv_row(name, point));
+                    body.push('\n');
+                }
+            }
+            Format::Text => body.push_str(&format_pareto(name, &front)),
+        }
+    }
+    Response::Ok(body.lines().map(str::to_owned).collect())
 }

@@ -133,6 +133,61 @@ fn per_request_options_and_budgets_are_honoured() {
 }
 
 #[test]
+fn pareto_verb_matches_the_facade_frontier_byte_for_byte() {
+    let defaults = SearchOptions {
+        threads: 1,
+        limit: Some(400),
+        ..SearchOptions::default()
+    };
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 2,
+        queue: 2,
+        defaults: defaults.clone(),
+        ..ServeConfig::default()
+    });
+
+    // The reference: the same facade stages the server drives, with
+    // the same knob merge (`bound` over the server defaults).
+    let options = SearchOptions {
+        bound: true,
+        ..defaults
+    };
+    let app = lycos::apps::straight();
+    let front = Pipeline::for_app(&app)
+        .with_search_options(options)
+        .allocate()
+        .expect("allocate")
+        .pareto()
+        .expect("pareto sweep");
+    let mut expected = vec![lycos::explore::PARETO_CSV_HEADER.to_owned()];
+    for point in &front.points {
+        expected.push(lycos::explore::pareto_csv_row("straight", point));
+    }
+
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    match client.send_line("pareto app=straight bound").expect("send") {
+        Response::Ok(lines) => assert_eq!(lines, expected),
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The text emitter answers on the same connection.
+    match client
+        .send_line("pareto app=straight bound format=text")
+        .expect("send")
+    {
+        Response::Ok(lines) => {
+            assert!(lines[0].starts_with("straight:"), "{lines:?}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn peers_still_sending_cannot_stall_shutdown() {
     let (addr, handle) = spawn_server(ServeConfig {
         workers: 2,

@@ -14,7 +14,10 @@ use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
 use lycos_explore::{table1_row_for, Table1Options, Table1Row, Table1Subject};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::{extract_bsbs, BsbArray, Cdfg, ProfileOverrides};
-use lycos_pace::{partition, search_best, PaceConfig, Partition, SearchOptions, SearchResult};
+use lycos_pace::{
+    partition, search_best, search_pareto, PaceConfig, ParetoResult, Partition, SearchOptions,
+    SearchResult,
+};
 
 /// Builder for the full LYCOS flow.
 ///
@@ -308,7 +311,7 @@ impl Allocated {
     /// use lycos::Pipeline;
     ///
     /// let allocated = Pipeline::for_app(&lycos::apps::hal())
-    ///     .with_search_options(SearchOptions { threads: 2, ..Default::default() })
+    ///     .with_search_options(SearchOptions::new().threads(2))
     ///     .allocate()?;
     /// let best = allocated.search()?;
     /// let auto = allocated.partition()?;
@@ -327,6 +330,49 @@ impl Allocated {
     /// [`LycosError::Pace`] from partition evaluation.
     pub fn search_with(&self, options: &SearchOptions) -> Result<SearchResult, LycosError> {
         Ok(search_best(
+            &self.bsbs,
+            &self.library,
+            self.budget,
+            &self.restrictions,
+            &self.pace,
+            options,
+        )?)
+    }
+
+    /// Sweeps the allocation space once under the Pareto-front
+    /// objective, returning the entire time×area trade-off curve up to
+    /// the pipeline's budget — what N per-budget [`Allocated::search`]
+    /// calls would assemble — under the options set via
+    /// [`Pipeline::with_search_options`].
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from partition evaluation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lycos::Pipeline;
+    ///
+    /// let allocated = Pipeline::for_app(&lycos::apps::hal()).allocate()?;
+    /// let front = allocated.pareto()?;
+    /// let best = allocated.search()?;
+    /// // The frontier's fastest point is the full-budget winner.
+    /// assert_eq!(front.points.last().unwrap().partition, best.best_partition);
+    /// # Ok::<(), lycos::LycosError>(())
+    /// ```
+    pub fn pareto(&self) -> Result<ParetoResult, LycosError> {
+        self.pareto_with(&self.search)
+    }
+
+    /// [`Allocated::pareto`] under explicit search options, ignoring
+    /// the ones stored in the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from partition evaluation.
+    pub fn pareto_with(&self, options: &SearchOptions) -> Result<ParetoResult, LycosError> {
+        Ok(search_pareto(
             &self.bsbs,
             &self.library,
             self.budget,
@@ -425,11 +471,7 @@ mod tests {
     fn search_stage_honours_the_stored_options() {
         let allocated = Pipeline::new(HOT_LOOP)
             .with_budget(Area::new(6_000))
-            .with_search_options(SearchOptions {
-                threads: 1,
-                limit: Some(2),
-                ..SearchOptions::default()
-            })
+            .with_search_options(SearchOptions::new().threads(1).limit(Some(2)))
             .allocate()
             .unwrap();
         let res = allocated.search().unwrap();
@@ -437,18 +479,32 @@ mod tests {
         assert!(res.evaluated <= 2);
         // Explicit options override the stored ones.
         let full = allocated
-            .search_with(&SearchOptions {
-                threads: 2,
-                limit: None,
-                dp_threads: 2,
-                ..SearchOptions::default()
-            })
+            .search_with(&SearchOptions::new().threads(2).limit(None).dp_threads(2))
             .unwrap();
         assert!(!full.truncated);
         assert_eq!(
             full.evaluated as u128 + full.skipped as u128,
             full.space_size
         );
+    }
+
+    #[test]
+    fn pareto_stage_brackets_the_single_budget_search() {
+        let allocated = Pipeline::new(HOT_LOOP)
+            .with_budget(Area::new(6_000))
+            .allocate()
+            .unwrap();
+        let front = allocated.pareto().unwrap();
+        let best = allocated.search().unwrap();
+        assert!(!front.points.is_empty());
+        let fastest = front.points.last().unwrap();
+        assert_eq!(fastest.partition, best.best_partition);
+        assert_eq!(fastest.allocation, best.best_allocation);
+        // Explicit options override the stored ones here too.
+        let seq = allocated
+            .pareto_with(&SearchOptions::sequential().bound(true))
+            .unwrap();
+        assert_eq!(seq.points, front.points);
     }
 
     #[test]
