@@ -1,0 +1,200 @@
+//! Machine-readable serve-path warm-vs-cold snapshot — the
+//! `BENCH_serve.json` artifact CI archives on every run, and the
+//! ISSUE 8 acceptance gate.
+//!
+//! It spawns the allocation service in-process on an ephemeral port
+//! and times the same bounded eigen `table1` request end to end over
+//! the wire: the *cold* request builds the content-addressed
+//! `SearchArtifacts` and searches with no incumbent; every *warm*
+//! repeat hits the cross-request store and reseeds the incumbent from
+//! the recorded winner, so the bound prunes from step 0. The run
+//! fails on the spot if a warm response's winner columns diverge from
+//! the cold response — the reseeding-is-invisible claim, checked over
+//! the real protocol — and reports the store's hit ratio from the
+//! `stats` verb.
+//!
+//! ```text
+//! cargo run --release -p lycos_bench --bin bench_serve \
+//!     [-- --check-speedup 2] > BENCH_serve.json
+//! ```
+//!
+//! `--check-speedup X` exits non-zero when the warm request is not at
+//! least `X` times faster than the cold one — the ISSUE 8 acceptance
+//! gate CI runs at 2. `LYCOS_BENCH_QUICK` drops to one cold trial and
+//! fewer warm repeats (CI's perf-smoke mode); the request itself is
+//! always the full bounded eigen sweep, since that *is* the gated
+//! workload.
+
+use lycos::pace::SearchOptions;
+use lycos_serve::{Client, Request, Response, ServeConfig, Server, STATS_CSV_HEADER};
+use std::time::{Duration, Instant};
+
+const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+const REQUEST_LINE: &str = "table1 app=eigen bound format=csv";
+
+/// CSV columns that identify the winner (name, budget, times, speedup
+/// fractions, space size, truncated) as opposed to effort telemetry
+/// (seconds, evaluated/skipped/bounded, eval rate, store counters),
+/// which legitimately shrinks when the warm incumbent prunes harder.
+const WINNER_COLUMNS: [usize; 9] = [0, 1, 2, 3, 4, 5, 6, 12, 13];
+
+fn spawn_server(defaults: SearchOptions) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue: 4,
+        defaults,
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// Sends the eigen request once and returns (wall seconds, body lines).
+fn timed_request(client: &mut Client) -> (f64, Vec<String>) {
+    let request = Request::parse(REQUEST_LINE).expect("parse request");
+    let started = Instant::now();
+    let response = client.send(&request).expect("send request");
+    let seconds = started.elapsed().as_secs_f64();
+    match response {
+        Response::Ok(lines) => (seconds, lines),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn winner_fields(lines: &[String]) -> Vec<String> {
+    // Header + one eigen row; compare the row's winner columns only.
+    let row = lines.get(1).expect("csv row");
+    let cells: Vec<&str> = row.split(',').collect();
+    WINNER_COLUMNS
+        .iter()
+        .map(|&i| cells.get(i).copied().unwrap_or("").to_owned())
+        .collect()
+}
+
+/// Queries the `stats` verb: (hits, misses, evictions).
+fn store_stats(client: &mut Client) -> (u64, u64, u64) {
+    let response = client.send(&Request::Stats).expect("send stats");
+    let Response::Ok(lines) = response else {
+        panic!("unexpected stats response");
+    };
+    assert_eq!(lines[0], STATS_CSV_HEADER, "stats header drifted");
+    let cells: Vec<u64> = lines[1].split(',').map(|c| c.parse().unwrap()).collect();
+    (cells[0], cells[1], cells[2])
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect_with_retry(addr, CONNECT_DEADLINE).expect("connect");
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send shutdown"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let mut check_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-speedup" => {
+                let v = args.next().and_then(|s| s.parse::<f64>().ok());
+                match v {
+                    Some(v) => check_speedup = Some(v),
+                    None => {
+                        eprintln!("bench_serve: --check-speedup needs a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("bench_serve: unknown argument `{other}` (expected --check-speedup <x>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let quick = std::env::var_os("LYCOS_BENCH_QUICK").is_some();
+    let (cold_trials, warm_reps) = if quick { (1, 3) } else { (2, 5) };
+    // Full bounded sweep — the store pays off where the search hurts.
+    let defaults = SearchOptions {
+        limit: None,
+        ..SearchOptions::default()
+    };
+
+    // Cold: first request against a fresh server (and so a fresh
+    // store) each trial; keep the fastest to shed scheduler noise.
+    let mut cold_seconds = f64::INFINITY;
+    let mut cold_lines = Vec::new();
+    for _ in 0..cold_trials {
+        let (addr, handle) = spawn_server(defaults.clone());
+        let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+        let (seconds, lines) = timed_request(&mut client);
+        cold_seconds = cold_seconds.min(seconds);
+        cold_lines = lines;
+        drop(client);
+        shutdown(&addr, handle);
+    }
+    let cold_winner = winner_fields(&cold_lines);
+    eprintln!("[bench_serve] eigen cold: {cold_seconds:.3}s over {cold_trials} fresh server(s)");
+
+    // Warm: one server, prime the store once, then time repeats.
+    let (addr, handle) = spawn_server(defaults);
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    let (_prime_seconds, _) = timed_request(&mut client);
+    let mut warm_seconds = f64::INFINITY;
+    for _ in 0..warm_reps {
+        let (seconds, lines) = timed_request(&mut client);
+        warm_seconds = warm_seconds.min(seconds);
+        let warm_winner = winner_fields(&lines);
+        if warm_winner != cold_winner {
+            eprintln!(
+                "bench_serve: warm winner columns diverged from cold \
+                 ({warm_winner:?} vs {cold_winner:?})"
+            );
+            std::process::exit(1);
+        }
+    }
+    let (hits, misses, evictions) = store_stats(&mut client);
+    drop(client);
+    shutdown(&addr, handle);
+
+    let speedup = cold_seconds / warm_seconds.max(f64::EPSILON);
+    let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+    eprintln!(
+        "[bench_serve] eigen warm: {warm_seconds:.3}s best of {warm_reps} repeat(s) \
+         → {speedup:.2}x vs cold; store {hits} hit(s) / {misses} miss(es)"
+    );
+
+    print!(
+        "{{\n  \"schema\": \"lycos-bench-serve/1\",\n  \"app\": \"eigen\",\n  \
+         \"request\": \"{REQUEST_LINE}\",\n  \"cold_seconds\": {},\n  \
+         \"warm_seconds\": {},\n  \"speedup\": {},\n  \"store\": {{\n    \
+         \"hits\": {hits},\n    \"misses\": {misses},\n    \"evictions\": {evictions},\n    \
+         \"hit_ratio\": {}\n  }}\n}}\n",
+        json_num(cold_seconds),
+        json_num(warm_seconds),
+        json_num(speedup),
+        json_num(hit_ratio),
+    );
+
+    if let Some(min) = check_speedup {
+        if speedup < min {
+            eprintln!(
+                "bench_serve: eigen warm request speedup {speedup:.2}x is below the \
+                 {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench_serve: eigen warm request speedup {speedup:.2}x meets the {min:.2}x gate");
+    }
+}

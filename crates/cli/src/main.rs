@@ -88,6 +88,14 @@ search knobs (best, pareto, table1; request defaults for serve):
   --steal / --no-steal
                     work-stealing sweep scheduling (default on;
                     off falls back to the static range split)
+  --store-cap <n>   applications the cross-request artifact store
+                    keeps resident (default 8; LRU eviction past
+                    the cap; the store backs `serve` and `best`)
+  --no-warm         disable cross-request warm starts: incumbent
+                    reseeding from recorded winners and the
+                    evaluation memo (default on; results are
+                    field-identical either way — warm repeats are
+                    just faster)
 
 serve knobs:
   --addr <host:port>   listen address (default 127.0.0.1:7878)
@@ -359,8 +367,20 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
     let lib = HwLibrary::standard();
     let pace = lycos::pace::PaceConfig::standard();
     let restr = Restrictions::from_asap(&compiled.bsbs, &lib).map_err(|e| e.to_string())?;
-    let res = lycos::pace::search_best(&compiled.bsbs, &lib, area, &restr, &pace, &options)
-        .map_err(|e| e.to_string())?;
+    // Route through the artifact seam with a one-shot store so the
+    // engine line below reports live store telemetry (a single
+    // invocation always builds cold: 1 miss, 0 hits, no reseed).
+    let store = lycos::pace::ArtifactStore::new(options.store_cap);
+    let res = lycos::explore::flow::search_with_store(
+        &compiled.bsbs,
+        &lib,
+        area,
+        &restr,
+        &pace,
+        &options,
+        Some(&store),
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "space      : {} allocations ({} evaluated, {} skipped{}{})",
         res.space_size,
@@ -385,6 +405,12 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
         res.stats.cache_misses,
         res.stats.dirty_ratio(),
         res.stats.elapsed.as_secs_f64(),
+    );
+    println!(
+        "artifacts  : {} store hit(s) / {} miss(es), warm reseed {}",
+        res.stats.artifact_hits,
+        res.stats.artifact_misses,
+        if res.stats.warm_reseeded { "on" } else { "off" },
     );
     Ok(())
 }
@@ -759,11 +785,14 @@ mod tests {
                 "--no-simd",
                 "--steal",
                 "--no-steal",
+                "--store-cap",
+                "--no-warm",
             ]
         );
         // The spellings a kind does not admit stay rejected.
         assert!(switch_for("cache").is_none(), "--cache never existed");
         assert!(switch_for("no-bound").is_none(), "--no-bound never existed");
+        assert!(switch_for("warm").is_none(), "--warm never existed");
         assert!(
             switch_for("threads").is_none(),
             "value knobs are not switches"

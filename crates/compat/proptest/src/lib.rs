@@ -486,7 +486,7 @@ impl Strategy for &str {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 /// Asserts a property holds; panics (failing the case) otherwise.
@@ -508,6 +508,17 @@ macro_rules! prop_assert_eq {
     };
     ($left:expr, $right:expr, $($fmt:tt)*) => {
         assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts two values differ; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
     };
 }
 

@@ -10,7 +10,8 @@ use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
 use lycos_pace::{
-    partition, PaceConfig, PaceError, ParetoResult, Partition, SearchOptions, SearchResult,
+    partition, ArtifactKey, ArtifactStore, PaceConfig, PaceError, ParetoResult, Partition,
+    SearchArtifacts, SearchOptions, SearchResult, WarmSeed,
 };
 use std::time::{Duration, Instant};
 
@@ -97,7 +98,80 @@ pub fn search(
     pace: &PaceConfig,
     options: &SearchOptions,
 ) -> Result<SearchResult, PaceError> {
-    lycos_pace::search_best(bsbs, lib, total_area, restrictions, pace, options)
+    search_with_store(bsbs, lib, total_area, restrictions, pace, options, None)
+}
+
+/// Fetches (or builds and caches) the artifacts for one request from
+/// `store`, eagerly warming the traffic memo on a miss so every later
+/// hit starts from a fully known table. Returns the shared artifacts
+/// and whether the lookup hit.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from the artifact build.
+fn store_artifacts(
+    store: &ArtifactStore,
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+) -> Result<(std::sync::Arc<SearchArtifacts>, bool), PaceError> {
+    let key = ArtifactKey::of(bsbs, lib, restrictions, pace);
+    store.get_or_build(key, || {
+        let mut artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, pace)?;
+        artifacts.warm_comm(bsbs, pace);
+        Ok(artifacts)
+    })
+}
+
+/// [`search`] through a cross-request [`ArtifactStore`]: artifacts are
+/// fetched (or built once and cached) under the request's content
+/// fingerprint, previously recorded winners at a budget within the
+/// current one are offered as warm seeds (engaged only under
+/// `options.bound` + `options.warm`), the winner is recorded back for
+/// future requests, and `stats.artifact_hits`/`artifact_misses` report
+/// the store outcome. With `store: None` this is exactly [`search`] —
+/// and the result is field-identical either way, pinned by the
+/// warm/cold equivalence proptests.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+pub fn search_with_store(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    options: &SearchOptions,
+    store: Option<&ArtifactStore>,
+) -> Result<SearchResult, PaceError> {
+    let Some(store) = store else {
+        return lycos_pace::search_best(bsbs, lib, total_area, restrictions, pace, options);
+    };
+    let (artifacts, hit) = store_artifacts(store, bsbs, lib, restrictions, pace)?;
+    let seeds = if options.warm && options.bound {
+        store.warm_seeds(artifacts.key(), total_area)
+    } else {
+        Vec::new()
+    };
+    let mut result =
+        lycos_pace::search_best_with(bsbs, lib, total_area, pace, options, &artifacts, &seeds)?;
+    if hit {
+        result.stats.artifact_hits = 1;
+    } else {
+        result.stats.artifact_misses = 1;
+    }
+    store.record_winner(
+        artifacts.key(),
+        total_area,
+        WarmSeed {
+            time: result.best_partition.total_time.count(),
+            gates: result.best_gates,
+            index: result.best_index,
+        },
+    );
+    Ok(result)
 }
 
 /// Sweeps the allocation space once under the Pareto objective — the
@@ -117,7 +191,38 @@ pub fn pareto(
     pace: &PaceConfig,
     options: &SearchOptions,
 ) -> Result<ParetoResult, PaceError> {
-    lycos_pace::search_pareto(bsbs, lib, total_area, restrictions, pace, options)
+    pareto_with_store(bsbs, lib, total_area, restrictions, pace, options, None)
+}
+
+/// [`pareto`] through a cross-request [`ArtifactStore`] — artifacts
+/// shared under the content fingerprint exactly as in
+/// [`search_with_store`]; a frontier has no single incumbent, so there
+/// is no seeding, only the precompute reuse.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+pub fn pareto_with_store(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    options: &SearchOptions,
+    store: Option<&ArtifactStore>,
+) -> Result<ParetoResult, PaceError> {
+    let Some(store) = store else {
+        return lycos_pace::search_pareto(bsbs, lib, total_area, restrictions, pace, options);
+    };
+    let (artifacts, hit) = store_artifacts(store, bsbs, lib, restrictions, pace)?;
+    let mut result =
+        lycos_pace::search_pareto_with(bsbs, lib, total_area, pace, options, &artifacts)?;
+    if hit {
+        result.stats.artifact_hits = 1;
+    } else {
+        result.stats.artifact_misses = 1;
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

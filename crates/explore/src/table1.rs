@@ -14,12 +14,12 @@
 //! (`Size`) and the static hardware/software split (`HW/SW`).
 
 use crate::apply_iteration;
-use crate::flow::{allocate_and_partition, evaluate, search};
+use crate::flow::{allocate_and_partition, evaluate, search_with_store};
 use lycos_apps::{BenchmarkApp, IterationHint};
 use lycos_core::{AllocConfig, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
-use lycos_pace::{PaceConfig, PaceError, SearchOptions};
+use lycos_pace::{ArtifactStore, PaceConfig, PaceError, SearchOptions};
 use std::time::Duration;
 
 /// One row of the reproduced Table 1.
@@ -68,6 +68,19 @@ pub struct Table1Row {
     pub space_size: u128,
     /// Whether the exhaustive search hit its step limit.
     pub truncated: bool,
+    /// Artifact-store hits for this row's search (`0` unless the row
+    /// ran through a cross-request [`ArtifactStore`]). Depends on
+    /// request history, so the CSV blanks it unless `timing` is on,
+    /// like `alloc_seconds`.
+    pub artifact_hits: u64,
+    /// Artifact-store misses for this row's search — same caveat as
+    /// [`Table1Row::artifact_hits`].
+    pub artifact_misses: u64,
+    /// Whether a recorded previous winner was installed as the
+    /// branch-and-bound incumbent before the sweep started. Pure
+    /// telemetry: the winner columns are field-identical either way.
+    /// History-dependent, so CSV-blanked unless `timing` is on.
+    pub warm_reseeded: bool,
 }
 
 impl Table1Row {
@@ -131,6 +144,16 @@ pub struct Table1Options {
     /// (and the `steals` telemetry) changes — no CSV column reads it,
     /// so `--stable` rows stay byte-identical.
     pub steal: bool,
+    /// Capacity of the cross-request artifact store
+    /// (`SearchOptions::store_cap`). Only read by store-owning layers
+    /// (the allocation service, the CLI); a bare row run never
+    /// evicts anything.
+    pub store_cap: usize,
+    /// Cross-request warm starts (`SearchOptions::warm`): incumbent
+    /// reseeding from recorded winners plus the evaluation memo. On
+    /// by default; winner columns are field-identical either way —
+    /// only the effort spent reaching them changes.
+    pub warm: bool,
 }
 
 impl Default for Table1Options {
@@ -144,6 +167,8 @@ impl Default for Table1Options {
             bound_comm: true,
             simd: true,
             steal: true,
+            store_cap: 8,
+            warm: true,
         }
     }
 }
@@ -160,12 +185,14 @@ impl Table1Options {
             bound_comm: self.bound_comm,
             simd: self.simd,
             steal: self.steal,
+            store_cap: self.store_cap,
+            warm: self.warm,
         }
     }
 
     /// The inverse of [`Table1Options::search_options`]: the Table 1
     /// run a resolved engine configuration implies. The two structs
-    /// carry the same eight knobs field for field, so the round trip
+    /// carry the same ten knobs field for field, so the round trip
     /// is lossless — the seam the allocation service uses to merge
     /// wire-level knob overrides once, against `SearchOptions`, and
     /// feed the result to both verbs.
@@ -179,6 +206,8 @@ impl Table1Options {
             bound_comm: options.bound_comm,
             simd: options.simd,
             steal: options.steal,
+            store_cap: options.store_cap,
+            warm: options.warm,
         }
     }
 }
@@ -243,6 +272,27 @@ pub fn table1_row_for(
     pace: &PaceConfig,
     options: &Table1Options,
 ) -> Result<Table1Row, PaceError> {
+    table1_row_with_store(subject, lib, pace, options, None)
+}
+
+/// [`table1_row_for`] through an optional cross-request
+/// [`ArtifactStore`]: the search stage fetches (or builds once) its
+/// precomputed artifacts under the request's content fingerprint and,
+/// under `bound` + `warm`, reseeds the incumbent from a previously
+/// recorded winner. The row is field-identical with or without a
+/// store; only the `artifact_hits`/`artifact_misses`/`warm_reseeded`
+/// telemetry columns see the difference.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from allocation or partitioning.
+pub fn table1_row_with_store(
+    subject: &Table1Subject<'_>,
+    lib: &HwLibrary,
+    pace: &PaceConfig,
+    options: &Table1Options,
+    store: Option<&ArtifactStore>,
+) -> Result<Table1Row, PaceError> {
     let bsbs = subject.bsbs;
     let area = subject.budget;
     let restrictions = Restrictions::from_asap(bsbs, lib)?;
@@ -258,14 +308,16 @@ pub fn table1_row_for(
     )?;
     let heuristic = &flow.partition;
 
-    // 3. PACE on every allocation, through the memoised search engine.
-    let search = search(
+    // 3. PACE on every allocation, through the memoised search engine
+    //    (artifacts shared across requests when a store is attached).
+    let search = search_with_store(
         bsbs,
         lib,
         area,
         &restrictions,
         pace,
         &options.search_options(),
+        store,
     )?;
 
     // 4. The manual design iteration, when the paper used one.
@@ -294,6 +346,9 @@ pub fn table1_row_for(
         dirty_ratio: search.stats.dirty_ratio(),
         space_size: search.space_size,
         truncated: search.truncated,
+        artifact_hits: search.stats.artifact_hits,
+        artifact_misses: search.stats.artifact_misses,
+        warm_reseeded: search.stats.warm_reseeded,
     })
 }
 
@@ -302,22 +357,24 @@ pub fn table1_row_for(
 /// the two outputs cannot drift.
 pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
      size_fraction,hw_fraction,alloc_seconds,evaluated,skipped,bounded,dirty_ratio,\
-     space_size,truncated";
+     space_size,truncated,artifact_hits,artifact_misses,warm_reseeded";
 
 /// One canonical CSV row (no trailing newline). With `timing` off the
-/// `alloc_seconds` *and* `dirty_ratio` columns are left empty, making
-/// the row a pure function of the search outcome — byte-identical
-/// across runs, machines and transports, which is what the service
-/// smoke tests diff against. (`dirty_ratio` counts each worker's
-/// first from-scratch refresh, so it depends on how many workers the
-/// machine resolves — machine telemetry, exactly like the allocator
-/// wall clock.) Bound-pruned candidates get their own `bounded`
-/// column — they are never folded into `skipped`, so
+/// `alloc_seconds`, `dirty_ratio`, `artifact_hits`, `artifact_misses`
+/// and `warm_reseeded` columns are left empty, making the row a pure
+/// function of the search outcome — byte-identical across runs,
+/// machines and transports, which is what the service smoke tests diff
+/// against. (`dirty_ratio` counts each worker's first from-scratch
+/// refresh, so it depends on how many workers the machine resolves;
+/// the artifact columns depend on what earlier requests left in the
+/// store — run-history telemetry, exactly like the allocator wall
+/// clock.) Bound-pruned candidates get their own `bounded` column —
+/// they are never folded into `skipped`, so
 /// `evaluated + skipped + bounded` plus the truncated tail always
 /// covers `space_size` (the engine's accounting invariant).
 pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
     format!(
-        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{}",
+        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{}",
         r.name,
         r.lines,
         r.heuristic_su,
@@ -340,6 +397,21 @@ pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
         },
         r.space_size,
         r.truncated,
+        if timing {
+            r.artifact_hits.to_string()
+        } else {
+            String::new()
+        },
+        if timing {
+            r.artifact_misses.to_string()
+        } else {
+            String::new()
+        },
+        if timing {
+            r.warm_reseeded.to_string()
+        } else {
+            String::new()
+        },
     )
 }
 
@@ -407,6 +479,9 @@ mod tests {
             dirty_ratio: 1.0,
             space_size: 10,
             truncated: false,
+            artifact_hits: 0,
+            artifact_misses: 0,
+            warm_reseeded: false,
         }
     }
 
@@ -426,18 +501,21 @@ mod tests {
 
     #[test]
     fn csv_rows_are_deterministic_without_timing() {
-        let r = row("hal", 2000.0, 2000.0, None);
+        let mut r = row("hal", 2000.0, 2000.0, None);
+        r.artifact_hits = 1;
+        r.warm_reseeded = true;
         let stable = table1_csv_row(&r, false);
         assert_eq!(
             stable,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false,,,"
         );
-        // The machine-telemetry columns (alloc wall clock, dirty
-        // ratio) are the only difference between the modes.
+        // The run-history columns (alloc wall clock, dirty ratio,
+        // artifact hits/misses, warm reseed) are the only difference
+        // between the modes.
         let timed = table1_csv_row(&r, true);
         assert_eq!(
             timed,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false,1,0,true"
         );
     }
 
@@ -454,7 +532,7 @@ mod tests {
         let line = table1_csv_row(&r, true);
         assert_eq!(
             line,
-            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false"
+            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false,0,0,false"
         );
         // The window the engine walked is fully accounted.
         assert_eq!(r.evaluated as u128 + r.skipped as u128 + r.bounded, 9);
@@ -490,7 +568,9 @@ mod tests {
             .bound(true)
             .bound_comm(false)
             .simd(false)
-            .steal(false);
+            .steal(false)
+            .store_cap(3)
+            .warm(false);
         for opts in [SearchOptions::default(), all_flipped] {
             assert_eq!(
                 Table1Options::from_search_options(&opts).search_options(),

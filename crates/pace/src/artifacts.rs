@@ -1,0 +1,763 @@
+//! Content-addressed search artifacts and the cross-request store.
+//!
+//! Every engine in this crate needs the same per-application
+//! precompute before it can evaluate a single candidate: the
+//! allocation-independent per-block facts ([`bsb_statics`]), the
+//! run-traffic memo ([`CommCosts`]), the search dimensions, and — under
+//! branch-and-bound — the admissible bound tables ([`SearchBounds`]).
+//! Historically each engine rebuilt all of that per call. This module
+//! hoists the whole precompute behind one seam:
+//!
+//! * [`SearchArtifacts`] — everything derived from one
+//!   (application, unit library, configuration) triple, built once by
+//!   [`SearchArtifacts::prepare`] and consumed by
+//!   [`crate::search_best_with`] / [`crate::search_pareto_with`] /
+//!   [`crate::exhaustive_best_with`] / the partition helpers. Bound
+//!   tables stay lazy (built on first bounded use), and the comm memo
+//!   starts empty on the one-shot path — cold calls through the compat
+//!   wrappers cost exactly what they always did.
+//! * [`ArtifactKey`] — a stable content fingerprint over the BSB
+//!   array (blocks *and* their DFGs), the unit library, the allocation
+//!   caps and the PACE configuration. Same content ⇒ same key; any
+//!   semantic change ⇒ a different key (pinned by mutation tests).
+//!   The area budget is deliberately *not* part of the key: a budget
+//!   change reuses the artifacts and only re-runs the sweep.
+//! * [`ArtifactStore`] — a thread-safe bounded-LRU map from key to
+//!   shared artifacts, for servers that see the same application
+//!   repeatedly. It also remembers each application's previous
+//!   winners ([`WarmSeed`]) so a warm repeat can reseed the engine's
+//!   shared incumbent and prune most of the space on arrival — while
+//!   staying field-exact, because the shared-incumbent prune is
+//!   strict-only (see [`crate::search_best_with`]).
+
+use crate::bounds::SearchBounds;
+use crate::comm::CommCosts;
+use crate::config::PaceConfig;
+use crate::error::PaceError;
+use crate::exhaustive::{search_space, space_size};
+use crate::metrics::{bsb_statics, metrics_from_statics, BsbStatics};
+use crate::BsbMetrics;
+use lycos_core::{RMap, Restrictions};
+use lycos_hwlib::{Area, FuId, HwLibrary};
+use lycos_ir::BsbArray;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Streaming FNV-1a 64-bit hasher fed through [`fmt::Write`], so any
+/// `Debug`-rendered structure can be fingerprinted without an
+/// intermediate string. Every container in the fingerprinted types is
+/// BTree-ordered, so the rendering — and therefore the hash — is
+/// deterministic.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+}
+
+impl fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Content fingerprint of one (application, library, restrictions,
+/// configuration) quadruple — the identity under which
+/// [`SearchArtifacts`] are shared and cached.
+///
+/// Covers the BSB array (block structure, DFG operations and edges,
+/// profiles, read/write sets), the unit library (units, areas, cycle
+/// counts, defaults), the allocation caps and every PACE knob (CPU
+/// model, communication model, ECA model, area quantum). Two inputs
+/// with the same key produce byte-identical artifacts; changing any
+/// covered component changes the key. The area *budget* is not
+/// covered — artifacts are budget-independent by construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ArtifactKey(u64);
+
+impl ArtifactKey {
+    /// Fingerprints the full search inputs.
+    pub fn of(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        restrictions: &Restrictions,
+        config: &PaceConfig,
+    ) -> Self {
+        let mut h = Fnv::new();
+        // `Debug` over BTree-ordered types is deterministic; the
+        // separators keep adjacent components from sliding into each
+        // other.
+        let _ = write!(
+            h,
+            "{bsbs:?}\u{1f}{lib:?}\u{1f}{restrictions:?}\u{1f}{config:?}"
+        );
+        ArtifactKey(h.0)
+    }
+
+    /// Fingerprint for the restriction-free partition helpers: same
+    /// scheme, with a fixed marker in the restrictions slot.
+    fn of_partition(bsbs: &BsbArray, lib: &HwLibrary, config: &PaceConfig) -> Self {
+        let mut h = Fnv::new();
+        let _ = write!(h, "{bsbs:?}\u{1f}{lib:?}\u{1f}<partition>\u{1f}{config:?}");
+        ArtifactKey(h.0)
+    }
+
+    /// The raw 64-bit fingerprint.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Every allocation-independent precompute the engines share, built
+/// once per [`ArtifactKey`]: the per-block statics, the run-traffic
+/// memo, the search dimensions and (lazily, on first bounded use) the
+/// admissible bound tables.
+///
+/// Build one with [`SearchArtifacts::prepare`] and pass it to the
+/// `*_with` engine entry points; or let the classic wrappers
+/// ([`crate::search_best`] and friends) build a one-shot instance
+/// internally — the results are identical either way.
+pub struct SearchArtifacts {
+    key: ArtifactKey,
+    pub(crate) statics: Vec<BsbStatics>,
+    /// The shared run-traffic memo. Empty on a one-shot `prepare` (the
+    /// cold path keeps its lazy per-worker fill); eagerly filled by
+    /// [`SearchArtifacts::warm_comm`] on the store path, where it
+    /// amortises across requests. Workers clone it, so a warmed table
+    /// makes every traffic probe a pure lookup.
+    pub(crate) comm: CommCosts,
+    dims: Vec<(FuId, u32)>,
+    space: u128,
+    // One slot per bound flavour (relaxed / comm-floored), built on
+    // first use so unbounded sweeps never pay for tables they cannot
+    // read.
+    bounds_plain: OnceLock<SearchBounds>,
+    bounds_comm: OnceLock<SearchBounds>,
+    // Cross-request evaluation memos, one per total budget (MRU-last,
+    // capped): candidate odometer index → hybrid time, recorded by
+    // finished sweeps and served back to later warm runs over the
+    // same artifacts. The DP is deterministic per (artifacts, budget,
+    // candidate), so a served time is bit-identical to a recompute.
+    eval_memos: Mutex<Vec<EvalMemo>>,
+    // Whether these artifacts live in an [`ArtifactStore`] and can
+    // outlive the current request. One-shot artifacts stay `false`, so
+    // sweeps over them skip the evaluation-memo bookkeeping whose
+    // results nobody could ever read back.
+    store_resident: bool,
+}
+
+/// One per-budget evaluation memo: the gate budget it was recorded
+/// under, and the shared index → hybrid-time table.
+type EvalMemo = (u64, Arc<HashMap<u128, u64>>);
+
+/// Budgets an artifact set keeps evaluation memos for.
+const MAX_EVAL_MEMOS: usize = 8;
+
+/// Entries one evaluation memo may hold — a few MB worst case; a
+/// partial memo stays sound (missing indices just recompute).
+const MAX_EVAL_ENTRIES: usize = 1 << 18;
+
+impl SearchArtifacts {
+    /// Builds the artifacts for a full allocation-space search: block
+    /// statics, an (empty) traffic memo, and the search dimensions
+    /// derived from `restrictions`.
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Hw`] if an operation kind has no default unit.
+    pub fn prepare(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        restrictions: &Restrictions,
+        config: &PaceConfig,
+    ) -> Result<Self, PaceError> {
+        let dims = search_space(restrictions);
+        let space = space_size(&dims);
+        Ok(SearchArtifacts {
+            key: ArtifactKey::of(bsbs, lib, restrictions, config),
+            statics: bsb_statics(bsbs, lib, config)?,
+            comm: CommCosts::new(bsbs.len()),
+            dims,
+            space,
+            bounds_plain: OnceLock::new(),
+            bounds_comm: OnceLock::new(),
+            eval_memos: Mutex::new(Vec::new()),
+            store_resident: false,
+        })
+    }
+
+    /// Builds the artifacts for a single-allocation partition
+    /// evaluation (no search dimensions) — the seam the
+    /// [`crate::partition`] / [`crate::greedy_partition`] helper paths
+    /// route through instead of hand-building their own memos.
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Hw`] if an operation kind has no default unit.
+    pub fn for_partition(
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        config: &PaceConfig,
+    ) -> Result<Self, PaceError> {
+        Ok(SearchArtifacts {
+            key: ArtifactKey::of_partition(bsbs, lib, config),
+            statics: bsb_statics(bsbs, lib, config)?,
+            comm: CommCosts::new(bsbs.len()),
+            dims: Vec::new(),
+            space: 1,
+            bounds_plain: OnceLock::new(),
+            bounds_comm: OnceLock::new(),
+            eval_memos: Mutex::new(Vec::new()),
+            store_resident: false,
+        })
+    }
+
+    /// The content fingerprint these artifacts were built under.
+    pub fn key(&self) -> ArtifactKey {
+        self.key
+    }
+
+    /// Whether these artifacts are shared through an
+    /// [`ArtifactStore`] (set by [`ArtifactStore::get_or_build`]).
+    /// The engines consult this before doing evaluation-memo
+    /// bookkeeping: on one-shot artifacts nothing could ever read a
+    /// recorded memo back, so the sweep skips the recording entirely.
+    pub fn store_resident(&self) -> bool {
+        self.store_resident
+    }
+
+    /// The search dimensions (unit kind, cap), odometer order.
+    pub fn dims(&self) -> &[(FuId, u32)] {
+        &self.dims
+    }
+
+    /// Number of points in the allocation space the dimensions span.
+    pub fn space_size(&self) -> u128 {
+        self.space
+    }
+
+    /// Number of blocks the artifacts were derived over.
+    pub fn block_count(&self) -> usize {
+        self.statics.len()
+    }
+
+    /// Eagerly fills the run-traffic memo — every `[j..=k]` run of the
+    /// application. One-shot searches skip this (a lazy per-worker
+    /// fill is cheaper for a single sweep); the store path calls it
+    /// once so every later request starts from a fully known table.
+    pub fn warm_comm(&mut self, bsbs: &BsbArray, config: &PaceConfig) {
+        let n = self.statics.len();
+        for j in 0..n {
+            for k in j..n {
+                self.comm.cost(bsbs, &config.comm, j, k);
+            }
+        }
+    }
+
+    /// A private clone of the traffic memo for one worker — warmed if
+    /// the artifacts were, empty (lazy) otherwise.
+    pub(crate) fn comm_clone(&self) -> CommCosts {
+        self.comm.clone()
+    }
+
+    /// Per-block metrics under `allocation`, computed from the cached
+    /// statics — what [`crate::compute_metrics`] computes, minus the
+    /// per-call statics derivation.
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Sched`] if a block's DFG cannot be scheduled.
+    pub fn metrics(
+        &self,
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        allocation: &RMap,
+        config: &PaceConfig,
+    ) -> Result<Vec<BsbMetrics>, PaceError> {
+        metrics_from_statics(bsbs, lib, &self.statics, allocation, config)
+    }
+
+    /// The admissible bound tables, built on first use and shared
+    /// afterwards — one flavour per `bound_comm` setting, seeded from
+    /// this artifact set's traffic memo.
+    ///
+    /// # Errors
+    ///
+    /// [`PaceError::Hw`] from the per-block projection enumeration.
+    pub(crate) fn bounds_for(
+        &self,
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        config: &PaceConfig,
+        with_comm: bool,
+    ) -> Result<&SearchBounds, PaceError> {
+        let slot = if with_comm {
+            &self.bounds_comm
+        } else {
+            &self.bounds_plain
+        };
+        if let Some(bounds) = slot.get() {
+            return Ok(bounds);
+        }
+        let model = with_comm.then_some(&config.comm);
+        let mut memo = self.comm.clone();
+        let built =
+            SearchBounds::from_statics(bsbs, lib, &self.dims, &self.statics, model, &mut memo)?;
+        // A concurrent builder may have won the race; either value is
+        // identical, `get_or_init` keeps exactly one.
+        Ok(slot.get_or_init(|| built))
+    }
+
+    /// The evaluation memo recorded under `budget_gates`, if any —
+    /// served to warm runs so non-improving candidates skip the DP
+    /// (and the metrics refresh) outright.
+    pub(crate) fn eval_memo(&self, budget_gates: u64) -> Option<Arc<HashMap<u128, u64>>> {
+        let mut memos = self.eval_memos.lock().expect("eval memo lock");
+        let pos = memos.iter().position(|(b, _)| *b == budget_gates)?;
+        let entry = memos.remove(pos);
+        let memo = entry.1.clone();
+        memos.push(entry); // MRU-last
+        Some(memo)
+    }
+
+    /// Folds a finished run's `(index, time)` evaluations into the
+    /// memo for `budget_gates`, evicting the coldest budget past the
+    /// cap. Concurrent recorders merge; equal keys must carry equal
+    /// times (the DP is deterministic), asserted in debug builds.
+    pub(crate) fn record_evals(&self, budget_gates: u64, pairs: Vec<(u128, u64)>) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut memos = self.eval_memos.lock().expect("eval memo lock");
+        let pos = memos.iter().position(|(b, _)| *b == budget_gates);
+        let mut entry = match pos {
+            Some(pos) => memos.remove(pos),
+            None => (budget_gates, Arc::new(HashMap::new())),
+        };
+        {
+            let map = Arc::make_mut(&mut entry.1);
+            for (index, time) in pairs {
+                if map.len() >= MAX_EVAL_ENTRIES {
+                    break;
+                }
+                let slot = map.entry(index).or_insert(time);
+                debug_assert_eq!(*slot, time, "eval memo disagrees at index {index}");
+            }
+        }
+        memos.push(entry);
+        while memos.len() > MAX_EVAL_MEMOS {
+            memos.remove(0);
+        }
+    }
+}
+
+impl fmt::Debug for SearchArtifacts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SearchArtifacts")
+            .field("key", &self.key)
+            .field("blocks", &self.statics.len())
+            .field("dims", &self.dims.len())
+            .field("space", &self.space)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A previous winner of [`crate::search_best_with`] over the same
+/// artifacts, usable to reseed a later run's shared incumbent.
+///
+/// Soundness contract (enforced by [`ArtifactStore::warm_seeds`] and
+/// the engine together): a seed may only be offered to a run whose
+/// budget is **at least** the budget it was recorded under (so the
+/// seed point is still area-feasible), and the engine only engages it
+/// when `index` falls inside the run's truncation window (so the seed
+/// point is a real point of the window). Under those two conditions
+/// the strict-only shared prune keeps the warm result field-identical
+/// to the cold one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WarmSeed {
+    /// Hybrid time of the recorded winner, in cycles.
+    pub time: u64,
+    /// Data-path gates of the recorded winner.
+    pub gates: u64,
+    /// Odometer index of the recorded winner.
+    pub index: u128,
+}
+
+/// Aggregate counters of one [`ArtifactStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that had to build artifacts.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub cap: usize,
+}
+
+/// One resident application: its artifacts plus the winners recorded
+/// against it (seed material for warm restarts). Winners die with the
+/// entry on eviction.
+struct StoreEntry {
+    key: ArtifactKey,
+    artifacts: Arc<SearchArtifacts>,
+    /// `(budget gates, winner)` per budget searched so far.
+    winners: Vec<(u64, WarmSeed)>,
+}
+
+/// Most winners one entry remembers — enough for a realistic budget
+/// sweep, bounded so a store entry cannot grow without limit.
+const MAX_WINNERS: usize = 32;
+
+/// Thread-safe bounded-LRU store of [`SearchArtifacts`], shared across
+/// requests (one per server, or one per CLI invocation). Lookup order
+/// is most-recently-used; inserting past the cap evicts the coldest
+/// entry. All counters are monotonic over the store's lifetime.
+pub struct ArtifactStore {
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// LRU order: coldest first, most recently used last.
+    entries: Mutex<Vec<StoreEntry>>,
+}
+
+impl ArtifactStore {
+    /// A store holding at most `cap` applications (`cap` is clamped to
+    /// at least 1 — a store that can hold nothing is never useful).
+    pub fn new(cap: usize) -> Self {
+        ArtifactStore {
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Looks `key` up, refreshing its LRU position. Counts a hit or a
+    /// miss.
+    pub fn get(&self, key: ArtifactKey) -> Option<Arc<SearchArtifacts>> {
+        let mut entries = self.entries.lock().expect("artifact store poisoned");
+        if let Some(i) = entries.iter().position(|e| e.key == key) {
+            let entry = entries.remove(i);
+            let artifacts = entry.artifacts.clone();
+            entries.push(entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(artifacts)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts freshly built artifacts under `key`, evicting the
+    /// coldest entries past the cap. If a concurrent builder already
+    /// installed this key, the resident artifacts win (and are
+    /// returned) — winners recorded against them survive.
+    pub fn insert(
+        &self,
+        key: ArtifactKey,
+        artifacts: Arc<SearchArtifacts>,
+    ) -> Arc<SearchArtifacts> {
+        let mut entries = self.entries.lock().expect("artifact store poisoned");
+        if let Some(i) = entries.iter().position(|e| e.key == key) {
+            let entry = entries.remove(i);
+            let artifacts = entry.artifacts.clone();
+            entries.push(entry);
+            return artifacts;
+        }
+        entries.push(StoreEntry {
+            key,
+            artifacts: artifacts.clone(),
+            winners: Vec::new(),
+        });
+        while entries.len() > self.cap {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        artifacts
+    }
+
+    /// [`ArtifactStore::get`] falling back to `build` +
+    /// [`ArtifactStore::insert`]. Returns the shared artifacts and
+    /// whether the lookup was a hit. Building runs outside the store
+    /// lock, so a slow build never blocks other keys.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns.
+    pub fn get_or_build<F>(
+        &self,
+        key: ArtifactKey,
+        build: F,
+    ) -> Result<(Arc<SearchArtifacts>, bool), PaceError>
+    where
+        F: FnOnce() -> Result<SearchArtifacts, PaceError>,
+    {
+        if let Some(artifacts) = self.get(key) {
+            return Ok((artifacts, true));
+        }
+        let mut built = build()?;
+        built.store_resident = true;
+        let built = Arc::new(built);
+        Ok((self.insert(key, built), false))
+    }
+
+    /// The winners recorded against `key` that are sound seeds for a
+    /// run at `budget`: exactly those recorded at a budget no larger
+    /// than the current one (their points are still area-feasible).
+    pub fn warm_seeds(&self, key: ArtifactKey, budget: Area) -> Vec<WarmSeed> {
+        let entries = self.entries.lock().expect("artifact store poisoned");
+        entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| {
+                e.winners
+                    .iter()
+                    .filter(|&&(b, _)| b <= budget.gates())
+                    .map(|&(_, seed)| seed)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Records the winner of a finished run, replacing any earlier
+    /// winner at the same budget. A no-op if `key` was evicted in the
+    /// meantime.
+    pub fn record_winner(&self, key: ArtifactKey, budget: Area, seed: WarmSeed) {
+        let mut entries = self.entries.lock().expect("artifact store poisoned");
+        let Some(entry) = entries.iter_mut().find(|e| e.key == key) else {
+            return;
+        };
+        if let Some(slot) = entry.winners.iter_mut().find(|(b, _)| *b == budget.gates()) {
+            slot.1 = seed;
+            return;
+        }
+        if entry.winners.len() >= MAX_WINNERS {
+            entry.winners.remove(0);
+        }
+        entry.winners.push((budget.gates(), seed));
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> StoreStats {
+        let entries = self.entries.lock().expect("artifact store poisoned");
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: entries.len(),
+            cap: self.cap,
+        }
+    }
+}
+
+impl fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
+    use std::collections::BTreeSet;
+
+    fn app(ops: usize) -> BsbArray {
+        let mut dfg = Dfg::new();
+        for _ in 0..ops {
+            dfg.add_op(OpKind::Mul);
+        }
+        BsbArray::from_bsbs(
+            "t",
+            vec![Bsb {
+                id: BsbId(0),
+                name: "b0".into(),
+                dfg,
+                reads: BTreeSet::new(),
+                writes: BTreeSet::new(),
+                profile: 400,
+                origin: BsbOrigin::Body,
+            }],
+        )
+    }
+
+    fn inputs(ops: usize) -> (BsbArray, HwLibrary, PaceConfig) {
+        (app(ops), HwLibrary::standard(), PaceConfig::standard())
+    }
+
+    #[test]
+    fn key_is_stable_for_identical_content() {
+        let (bsbs, lib, config) = inputs(3);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let a = ArtifactKey::of(&bsbs, &lib, &restr, &config);
+        let b = ArtifactKey::of(&bsbs.clone(), &lib.clone(), &restr.clone(), &config.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_separates_application_library_and_config() {
+        let (bsbs, lib, config) = inputs(3);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let base = ArtifactKey::of(&bsbs, &lib, &restr, &config);
+        // A different application.
+        let other = app(4);
+        let other_restr = Restrictions::from_asap(&other, &lib).unwrap();
+        assert_ne!(base, ArtifactKey::of(&other, &lib, &other_restr, &config));
+        // A different configuration knob.
+        let quantum = config.clone().with_quantum(8);
+        assert_ne!(base, ArtifactKey::of(&bsbs, &lib, &restr, &quantum));
+        // The partition-path fingerprint never collides with the
+        // search-path one.
+        assert_ne!(base, ArtifactKey::of_partition(&bsbs, &lib, &config));
+    }
+
+    #[test]
+    fn prepare_derives_dims_space_and_statics() {
+        let (bsbs, lib, config) = inputs(3);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let artifacts = SearchArtifacts::prepare(&bsbs, &lib, &restr, &config).unwrap();
+        assert_eq!(artifacts.dims(), search_space(&restr).as_slice());
+        assert_eq!(artifacts.space_size(), space_size(artifacts.dims()));
+        assert_eq!(artifacts.block_count(), bsbs.len());
+        // The one-shot path leaves the traffic memo lazy.
+        assert_eq!(artifacts.comm_clone(), CommCosts::new(bsbs.len()));
+    }
+
+    #[test]
+    fn warm_comm_fills_the_whole_table() {
+        let (bsbs, lib, config) = inputs(2);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let mut artifacts = SearchArtifacts::prepare(&bsbs, &lib, &restr, &config).unwrap();
+        artifacts.warm_comm(&bsbs, &config);
+        let mut warmed = artifacts.comm_clone();
+        let mut fresh = CommCosts::new(bsbs.len());
+        // A warmed clone answers without deriving anything new: its
+        // memo already equals a fully filled fresh table.
+        for j in 0..bsbs.len() {
+            for k in j..bsbs.len() {
+                fresh.cost(&bsbs, &config.comm, j, k);
+            }
+        }
+        for j in 0..bsbs.len() {
+            for k in j..bsbs.len() {
+                assert_eq!(
+                    warmed.cost(&bsbs, &config.comm, j, k),
+                    fresh.cost(&bsbs, &config.comm, j, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_memos_merge_per_budget_and_evict_the_coldest() {
+        let (bsbs, lib, config) = inputs(2);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let artifacts = SearchArtifacts::prepare(&bsbs, &lib, &restr, &config).unwrap();
+        assert!(artifacts.eval_memo(100).is_none());
+
+        // Recordings under one budget merge (keep-first on equal
+        // keys); other budgets stay isolated.
+        artifacts.record_evals(100, vec![(0, 7), (1, 9)]);
+        artifacts.record_evals(100, vec![(1, 9), (2, 4)]);
+        artifacts.record_evals(200, vec![(0, 3)]);
+        let memo = artifacts.eval_memo(100).unwrap();
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.get(&2), Some(&4));
+        assert_eq!(artifacts.eval_memo(200).unwrap().len(), 1);
+        assert!(artifacts.eval_memo(300).is_none());
+
+        // Re-serving budget 100 makes it most-recent, so filling the
+        // remaining slots evicts budget 200 — the coldest — first.
+        let _ = artifacts.eval_memo(100);
+        for b in 0..(super::MAX_EVAL_MEMOS as u64 - 1) {
+            artifacts.record_evals(1_000 + b, vec![(0, 1)]);
+        }
+        assert!(artifacts.eval_memo(200).is_none(), "coldest budget evicted");
+        assert!(
+            artifacts.eval_memo(100).is_some(),
+            "recently served budget kept"
+        );
+    }
+
+    #[test]
+    fn store_is_lru_with_counted_evictions() {
+        let (bsbs, lib, config) = inputs(2);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let store = ArtifactStore::new(1);
+        let key_a = ArtifactKey::of(&bsbs, &lib, &restr, &config);
+        let other = app(5);
+        let other_restr = Restrictions::from_asap(&other, &lib).unwrap();
+        let key_b = ArtifactKey::of(&other, &lib, &other_restr, &config);
+
+        let (_, hit) = store
+            .get_or_build(key_a, || {
+                SearchArtifacts::prepare(&bsbs, &lib, &restr, &config)
+            })
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = store
+            .get_or_build(key_a, || {
+                SearchArtifacts::prepare(&bsbs, &lib, &restr, &config)
+            })
+            .unwrap();
+        assert!(hit);
+        // A second application evicts the first at cap 1.
+        let (_, hit) = store
+            .get_or_build(key_b, || {
+                SearchArtifacts::prepare(&other, &lib, &other_restr, &config)
+            })
+            .unwrap();
+        assert!(!hit);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 2, 1));
+        assert_eq!((stats.entries, stats.cap), (1, 1));
+        // The evicted key misses again — and its winners are gone.
+        assert!(store.get(key_a).is_none());
+        assert!(store.warm_seeds(key_a, Area::new(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn winners_filter_by_budget_and_replace_per_budget() {
+        let (bsbs, lib, config) = inputs(2);
+        let restr = Restrictions::from_asap(&bsbs, &lib).unwrap();
+        let store = ArtifactStore::new(2);
+        let key = ArtifactKey::of(&bsbs, &lib, &restr, &config);
+        store
+            .get_or_build(key, || {
+                SearchArtifacts::prepare(&bsbs, &lib, &restr, &config)
+            })
+            .unwrap();
+        let seed = |t| WarmSeed {
+            time: t,
+            gates: 100,
+            index: 7,
+        };
+        store.record_winner(key, Area::new(1_000), seed(50));
+        store.record_winner(key, Area::new(4_000), seed(40));
+        // Only the small-budget winner is sound for a 2 000-gate run.
+        assert_eq!(store.warm_seeds(key, Area::new(2_000)), vec![seed(50)]);
+        // A larger budget admits both.
+        assert_eq!(store.warm_seeds(key, Area::new(4_000)).len(), 2);
+        // Same budget replaces, never duplicates.
+        store.record_winner(key, Area::new(1_000), seed(45));
+        assert_eq!(store.warm_seeds(key, Area::new(1_000)), vec![seed(45)]);
+    }
+}

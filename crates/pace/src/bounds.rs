@@ -55,7 +55,7 @@
 //! stays untouched; software contributions never carry it (a block
 //! kept in software pays no run communication).
 
-use crate::comm::comm_floors;
+use crate::comm::{comm_floors, CommCosts};
 use crate::metrics::{bsb_statics, BsbStatics};
 use crate::{PaceConfig, PaceError};
 use lycos_core::kind_positions;
@@ -233,7 +233,8 @@ impl SearchBounds {
         config: &PaceConfig,
     ) -> Result<Self, PaceError> {
         let statics = bsb_statics(bsbs, lib, config)?;
-        Self::from_statics(bsbs, lib, dims, &statics, None)
+        let mut memo = CommCosts::new(bsbs.len());
+        Self::from_statics(bsbs, lib, dims, &statics, None, &mut memo)
     }
 
     /// [`SearchBounds::new`] with the admissible communication floor
@@ -252,18 +253,23 @@ impl SearchBounds {
         config: &PaceConfig,
     ) -> Result<Self, PaceError> {
         let statics = bsb_statics(bsbs, lib, config)?;
-        Self::from_statics(bsbs, lib, dims, &statics, Some(&config.comm))
+        let mut memo = CommCosts::new(bsbs.len());
+        Self::from_statics(bsbs, lib, dims, &statics, Some(&config.comm), &mut memo)
     }
 
     /// [`SearchBounds::new`] over statics already computed elsewhere —
-    /// the search engine derives them once for the whole sweep. A
-    /// `comm` model folds the communication floor into the tables.
+    /// the artifact seam derives them once for the whole sweep. A
+    /// `comm` model folds the communication floor into the tables;
+    /// `memo` is the caller's run-traffic table (the artifacts' —
+    /// possibly pre-warmed — memo, so the floors and the DP price runs
+    /// off the same entries).
     pub(crate) fn from_statics(
         bsbs: &BsbArray,
         lib: &HwLibrary,
         dims: &[(FuId, u32)],
         statics: &[BsbStatics],
         comm: Option<&CommModel>,
+        memo: &mut CommCosts,
     ) -> Result<Self, PaceError> {
         let dim_fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
         // First pass: static barriers — blocks hardware-infeasible
@@ -287,7 +293,7 @@ impl SearchBounds {
             })
             .collect();
         let floors = match comm {
-            Some(model) => comm_floors(bsbs, model, &barrier),
+            Some(model) => comm_floors(bsbs, model, &barrier, memo),
             None => vec![0u64; bsbs.len()],
         };
         let mut blocks = Vec::with_capacity(bsbs.len());

@@ -122,7 +122,7 @@ pub fn run_traffic(bsbs: &BsbArray, j: usize, k: usize) -> RunTraffic {
 /// the cost into them — the backtrack reads the run table, never this
 /// memo, and runs the controller budget can never admit are not
 /// queried at all (see `crate::DpScratch`).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CommCosts {
     n: usize,
     cost: Vec<u64>,
@@ -175,14 +175,19 @@ impl CommCosts {
 /// so adding `floors[b]` to every hardware block's bound contribution
 /// never exceeds the communication the DP actually pays. Barrier
 /// blocks get a zero floor — they are charged software time, never run
-/// communication. Costs come from a [`CommCosts`] memo, the same table
-/// the DP reads, so the floor and the evaluation can never disagree on
-/// a run's price.
-pub(crate) fn comm_floors(bsbs: &BsbArray, comm: &CommModel, barrier: &[bool]) -> Vec<u64> {
+/// communication. Costs come from the caller's [`CommCosts`] memo —
+/// the artifact seam hands in the same table the DP reads, so the
+/// floor and the evaluation can never disagree on a run's price (and
+/// a warmed table answers without deriving anything).
+pub(crate) fn comm_floors(
+    bsbs: &BsbArray,
+    comm: &CommModel,
+    barrier: &[bool],
+    costs: &mut CommCosts,
+) -> Vec<u64> {
     assert_eq!(bsbs.len(), barrier.len(), "one flag per block");
     let n = bsbs.len();
     let mut floors = vec![0u64; n];
-    let mut costs = CommCosts::new(n);
     let mut s = 0usize;
     while s < n {
         if barrier[s] {
@@ -352,7 +357,7 @@ mod tests {
             ],
         );
         let comm = CommModel::standard();
-        let floors = comm_floors(&bsbs, &comm, &[false; 4]);
+        let floors = comm_floors(&bsbs, &comm, &[false; 4], &mut CommCosts::new(4));
         let mut costs = CommCosts::new(4);
         for j in 0..4 {
             for k in j..4 {
@@ -379,7 +384,7 @@ mod tests {
             ],
         );
         let comm = CommModel::standard(); // sync 10, word 4
-        let floors = comm_floors(&bsbs, &comm, &[false, true, false]);
+        let floors = comm_floors(&bsbs, &comm, &[false, true, false], &mut CommCosts::new(3));
         // Run [0,0]: x leaves 100 times (min(writer, reader) = 100).
         assert_eq!(floors[0], 100 * 10 + 100 * 4);
         assert_eq!(floors[1], 0, "barrier blocks never pay run comm");
@@ -387,6 +392,9 @@ mod tests {
         assert_eq!(floors[2], 100 * 10 + 100 * 4);
         // Without the barrier the whole-app run [0,2] (x internal, no
         // traffic) collapses every floor to zero.
-        assert_eq!(comm_floors(&bsbs, &comm, &[false; 3]), vec![0, 0, 0]);
+        assert_eq!(
+            comm_floors(&bsbs, &comm, &[false; 3], &mut CommCosts::new(3)),
+            vec![0, 0, 0]
+        );
     }
 }

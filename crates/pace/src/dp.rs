@@ -47,8 +47,9 @@
 //! equivalence tests pin the new core against it, and the perf
 //! harness uses it as the measured baseline.
 
+use crate::artifacts::SearchArtifacts;
 use crate::metrics::BsbMetrics;
-use crate::{compute_metrics, CommCosts, PaceConfig, PaceError};
+use crate::{CommCosts, PaceConfig, PaceError};
 use lycos_core::RMap;
 use lycos_hwlib::{Area, Cycles, HwLibrary};
 use lycos_ir::BsbArray;
@@ -673,6 +674,32 @@ pub fn partition_with_scratch(
     config: &PaceConfig,
     scratch: &mut DpScratch,
 ) -> Result<Partition, PaceError> {
+    let artifacts = SearchArtifacts::for_partition(bsbs, lib, config)?;
+    partition_with_artifacts(
+        bsbs, lib, allocation, total_area, config, scratch, &artifacts,
+    )
+}
+
+/// [`partition_with_scratch`] over artifacts prepared (or fetched from
+/// an [`ArtifactStore`](crate::ArtifactStore)) elsewhere: metrics
+/// derive from the artifacts' statics and the run-traffic memo starts
+/// from the artifacts' table. Results are identical to the compat
+/// path; repeated calls over one application stop re-deriving the
+/// per-block facts.
+///
+/// # Errors
+///
+/// Same conditions as [`partition`].
+#[allow(clippy::too_many_arguments)] // the documented artifact seam
+pub fn partition_with_artifacts(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    config: &PaceConfig,
+    scratch: &mut DpScratch,
+    artifacts: &SearchArtifacts,
+) -> Result<Partition, PaceError> {
     let datapath_area = allocation.area(lib);
     let ctl_budget = total_area
         .checked_sub(datapath_area)
@@ -681,8 +708,8 @@ pub fn partition_with_scratch(
             total: total_area,
         })?;
 
-    let metrics = compute_metrics(bsbs, lib, allocation, config)?;
-    let mut comm = CommCosts::new(bsbs.len());
+    let metrics = artifacts.metrics(bsbs, lib, allocation, config)?;
+    let mut comm = artifacts.comm_clone();
     Ok(partition_from_metrics(
         bsbs,
         &metrics,
@@ -836,6 +863,7 @@ pub fn reference_partition_from_metrics(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compute_metrics;
     use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
     use std::collections::BTreeSet;
 

@@ -12,9 +12,9 @@
 //! search usable on spaces like `eigen`'s, which the paper itself calls
 //! "impossible" to exhaust (footnote 1).
 
+use crate::artifacts::SearchArtifacts;
 use crate::{
-    compute_metrics, partition_from_metrics, CommCosts, DpScratch, PaceConfig, PaceError,
-    Partition, SearchStats,
+    partition_from_metrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition, SearchStats,
 };
 use lycos_core::{RMap, Restrictions};
 use lycos_hwlib::{Area, FuId, HwLibrary};
@@ -28,6 +28,14 @@ pub struct SearchResult {
     pub best_allocation: RMap,
     /// Its partition.
     pub best_partition: Partition,
+    /// Data-path gates of the best allocation — the second key of the
+    /// `(time, area, index)` winner order, carried so a store can
+    /// record the winner as a warm seed without re-pricing it.
+    pub best_gates: u64,
+    /// Odometer index of the winner — the earliest point of the space
+    /// achieving the minimal `(time, area)`, identical across every
+    /// engine configuration (it is the deterministic tie-break key).
+    pub best_index: u128,
     /// Number of allocations actually evaluated through PACE.
     pub evaluated: usize,
     /// Number skipped because the data path alone exceeded the area.
@@ -95,6 +103,8 @@ impl PartialEq for SearchResult {
     fn eq(&self, other: &Self) -> bool {
         self.best_allocation == other.best_allocation
             && self.best_partition == other.best_partition
+            && self.best_gates == other.best_gates
+            && self.best_index == other.best_index
             && self.evaluated == other.evaluated
             && self.skipped == other.skipped
             && self.space_size == other.space_size
@@ -165,17 +175,39 @@ pub fn exhaustive_best(
     config: &PaceConfig,
     limit: Option<usize>,
 ) -> Result<SearchResult, PaceError> {
+    let artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, config)?;
+    exhaustive_best_with(bsbs, lib, total_area, config, limit, &artifacts)
+}
+
+/// [`exhaustive_best`] over artifacts prepared (or fetched from an
+/// [`ArtifactStore`](crate::ArtifactStore)) elsewhere: per-block
+/// metrics derive from the artifacts' statics and the run-traffic memo
+/// starts from the artifacts' table instead of empty. Results are
+/// identical to the compat path; only the precompute is shared.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] as [`exhaustive_best`] does.
+pub fn exhaustive_best_with(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    config: &PaceConfig,
+    limit: Option<usize>,
+    artifacts: &SearchArtifacts,
+) -> Result<SearchResult, PaceError> {
     let started = Instant::now();
-    let dims = search_space(restrictions);
-    let space = space_size(&dims);
+    let dims = artifacts.dims();
+    let space = artifacts.space_size();
 
     // Reused across every candidate: metrics are recomputed per point
-    // (this is the uncached reference walk), but the DP workspace and
-    // the allocation-independent run-traffic memo carry over — results
+    // (this is the uncached reference walk — only the statics behind
+    // them come from the artifacts), but the DP workspace and the
+    // allocation-independent run-traffic memo carry over — results
     // are identical either way, the walk just stops paying their
     // allocation cost per call.
     let mut scratch = DpScratch::new();
-    let mut comm = CommCosts::new(bsbs.len());
+    let mut comm = artifacts.comm_clone();
     let eval = |allocation: &RMap,
                 datapath_area: Area,
                 scratch: &mut DpScratch,
@@ -184,7 +216,7 @@ pub fn exhaustive_best(
         let ctl_budget = total_area
             .checked_sub(datapath_area)
             .expect("candidate fits the area");
-        let metrics = compute_metrics(bsbs, lib, allocation, config)?;
+        let metrics = artifacts.metrics(bsbs, lib, allocation, config)?;
         Ok(partition_from_metrics(
             bsbs,
             &metrics,
@@ -201,12 +233,14 @@ pub fn exhaustive_best(
     // incumbent's area on every candidate, so never recompute it there.
     let mut best_area = best_allocation.area(lib);
     let mut best_partition = eval(&best_allocation, best_area, &mut scratch, &mut comm)?;
+    let mut best_index = 0u128;
     let mut evaluated = 1usize; // the all-software point
     let mut skipped = 0usize;
     let mut truncated = false;
 
     // Odometer over the caps; the all-zero point is the baseline above.
     let mut counts = vec![0u32; dims.len()];
+    let mut index = 0u128;
     'outer: loop {
         // Advance the odometer.
         let mut pos = 0;
@@ -221,6 +255,7 @@ pub fn exhaustive_best(
             counts[pos] = 0;
             pos += 1;
         }
+        index += 1;
 
         let candidate: RMap = dims
             .iter()
@@ -246,12 +281,15 @@ pub fn exhaustive_best(
             best_allocation = candidate;
             best_partition = p;
             best_area = candidate_area;
+            best_index = index;
         }
     }
 
     let result = SearchResult {
         best_allocation,
         best_partition,
+        best_gates: best_area.gates(),
+        best_index,
         evaluated,
         skipped,
         space_size: space,

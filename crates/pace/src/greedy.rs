@@ -9,8 +9,9 @@
 //! blocks are only worthwhile *together* because their communication
 //! cancels.
 
+use crate::artifacts::SearchArtifacts;
 use crate::metrics::BsbMetrics;
-use crate::{compute_metrics, CommCosts, PaceConfig, PaceError, Partition};
+use crate::{CommCosts, PaceConfig, PaceError, Partition};
 use lycos_core::RMap;
 use lycos_hwlib::{Area, Cycles, HwLibrary};
 use lycos_ir::BsbArray;
@@ -38,6 +39,26 @@ pub fn greedy_partition(
     total_area: Area,
     config: &PaceConfig,
 ) -> Result<Partition, PaceError> {
+    let artifacts = SearchArtifacts::for_partition(bsbs, lib, config)?;
+    greedy_partition_with(bsbs, lib, allocation, total_area, config, &artifacts)
+}
+
+/// [`greedy_partition`] over artifacts prepared (or fetched from an
+/// [`ArtifactStore`](crate::ArtifactStore)) elsewhere: metrics derive
+/// from the artifacts' statics and the run-traffic memo starts from
+/// the artifacts' table. Results are identical to the compat path.
+///
+/// # Errors
+///
+/// Same conditions as [`greedy_partition`].
+pub fn greedy_partition_with(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    allocation: &RMap,
+    total_area: Area,
+    config: &PaceConfig,
+    artifacts: &SearchArtifacts,
+) -> Result<Partition, PaceError> {
     let datapath_area = allocation.area(lib);
     let ctl_budget = total_area
         .checked_sub(datapath_area)
@@ -45,8 +66,8 @@ pub fn greedy_partition(
             datapath: datapath_area,
             total: total_area,
         })?;
-    let metrics = compute_metrics(bsbs, lib, allocation, config)?;
-    let mut comm = CommCosts::new(bsbs.len());
+    let metrics = artifacts.metrics(bsbs, lib, allocation, config)?;
+    let mut comm = artifacts.comm_clone();
     Ok(greedy_partition_from_metrics(
         bsbs,
         &metrics,

@@ -152,6 +152,18 @@ fn set_steal(o: &mut SearchOptions, s: KnobSetting) {
     }
 }
 
+fn set_store_cap(o: &mut SearchOptions, s: KnobSetting) {
+    if let KnobSetting::Count(n) = s {
+        o.store_cap = n;
+    }
+}
+
+fn set_warm(o: &mut SearchOptions, s: KnobSetting) {
+    if let KnobSetting::Switch(on) = s {
+        o.warm = on;
+    }
+}
+
 /// Every engine knob, in the canonical surface order: the order CLI
 /// usage lists them and the serve protocol's `to_line` emits them.
 pub const SEARCH_KNOBS: &[SearchKnob] = &[
@@ -210,6 +222,20 @@ pub const SEARCH_KNOBS: &[SearchKnob] = &[
         kind: KnobKind::Paired,
         set: set_steal,
         get: |o| KnobSetting::Switch(o.steal),
+    },
+    SearchKnob {
+        name: "store-cap",
+        wire: "store-cap",
+        kind: KnobKind::Count,
+        set: set_store_cap,
+        get: |o| KnobSetting::Count(o.store_cap),
+    },
+    SearchKnob {
+        name: "warm",
+        wire: "no-warm",
+        kind: KnobKind::DisabledBy,
+        set: set_warm,
+        get: |o| KnobSetting::Switch(o.warm),
     },
 ];
 
@@ -359,6 +385,14 @@ mod tests {
         );
         assert_eq!(
             search_knob("steal").unwrap().read(&d),
+            KnobSetting::Switch(true)
+        );
+        assert_eq!(
+            search_knob("store-cap").unwrap().read(&d),
+            KnobSetting::Count(8)
+        );
+        assert_eq!(
+            search_knob("warm").unwrap().read(&d),
             KnobSetting::Switch(true)
         );
         assert!(search_knob("no-such-knob").is_none());

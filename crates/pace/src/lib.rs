@@ -31,7 +31,19 @@
 //!   objective: one sweep emits the entire Pareto frontier of the
 //!   time×area trade-off instead of one point per budget. The
 //!   incumbent/record/reduce seam both searches share is the pluggable
-//!   [`Objective`] trait.
+//!   [`Objective`] trait;
+//! * [`SearchArtifacts`] / [`ArtifactStore`] — the staged-artifact
+//!   seam: everything a search precomputes per application (BSB
+//!   statics, the run-traffic memo, the lazy bound tables) built once
+//!   behind a content fingerprint ([`ArtifactKey`]) and shared across
+//!   requests through a bounded LRU store. Every engine has a `_with`
+//!   entry taking `&SearchArtifacts` ([`search_best_with`],
+//!   [`search_pareto_with`], [`exhaustive_best_with`],
+//!   [`greedy_partition_with`], [`partition_with_artifacts`]); the
+//!   classic signatures remain as one-shot compat wrappers. On a warm
+//!   hit the store also offers previously recorded winners
+//!   ([`WarmSeed`]) to reseed the branch-and-bound incumbent — results
+//!   stay field-identical, the prune just starts tight.
 //!
 //! # Examples
 //!
@@ -68,6 +80,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod artifacts;
 mod bounds;
 mod comm;
 mod config;
@@ -79,22 +92,28 @@ mod knobs;
 mod metrics;
 mod search;
 
+pub use artifacts::{ArtifactKey, ArtifactStore, SearchArtifacts, StoreStats, WarmSeed};
 pub use bounds::SearchBounds;
 pub use comm::{run_traffic, CommCosts, RunTraffic};
 pub use config::PaceConfig;
 #[doc(hidden)]
 pub use dp::reference_partition_from_metrics;
-pub use dp::{partition, partition_from_metrics, partition_with_scratch, DpScratch, Partition};
+pub use dp::{
+    partition, partition_from_metrics, partition_with_artifacts, partition_with_scratch, DpScratch,
+    Partition,
+};
 pub use error::PaceError;
-pub use exhaustive::{exhaustive_best, search_space, space_size, SearchResult};
-pub use greedy::{greedy_partition, greedy_partition_from_metrics};
+pub use exhaustive::{
+    exhaustive_best, exhaustive_best_with, search_space, space_size, SearchResult,
+};
+pub use greedy::{greedy_partition, greedy_partition_from_metrics, greedy_partition_with};
 pub use knobs::{
     search_knob, search_knob_by_wire, KnobKind, KnobOverrides, KnobSetting, SearchKnob,
     SEARCH_KNOBS,
 };
 pub use metrics::{compute_metrics, BsbMetrics};
 pub use search::{
-    search_best, search_pareto, BestLocal, BestShared, BestUnderBudget, CandidateEval,
-    MetricsCache, Objective, ParetoFront, ParetoLocal, ParetoPoint, ParetoResult, ParetoShared,
-    SearchOptions, SearchStats,
+    search_best, search_best_with, search_pareto, search_pareto_with, BestLocal, BestShared,
+    BestUnderBudget, CandidateEval, MetricsCache, Objective, ParetoFront, ParetoLocal, ParetoPoint,
+    ParetoResult, ParetoShared, SearchOptions, SearchStats,
 };

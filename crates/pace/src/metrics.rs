@@ -135,9 +135,26 @@ pub fn compute_metrics(
     config: &PaceConfig,
 ) -> Result<Vec<BsbMetrics>, PaceError> {
     let statics = bsb_statics(bsbs, lib, config)?;
+    metrics_from_statics(bsbs, lib, &statics, allocation, config)
+}
+
+/// [`compute_metrics`] over statics already derived elsewhere — the
+/// artifact seam's path, so repeated evaluations over one application
+/// never re-derive the per-block facts.
+///
+/// # Errors
+///
+/// [`PaceError::Sched`] as for [`compute_metrics`].
+pub(crate) fn metrics_from_statics(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    statics: &[BsbStatics],
+    allocation: &RMap,
+    config: &PaceConfig,
+) -> Result<Vec<BsbMetrics>, PaceError> {
     let counts: FuCounts = allocation.iter().collect();
     let mut out = Vec::with_capacity(bsbs.len());
-    for (bsb, stat) in bsbs.iter().zip(&statics) {
+    for (bsb, stat) in bsbs.iter().zip(statics) {
         let feasible = stat.movable && allocation.covers(&stat.needed);
         out.push(if feasible {
             feasible_block_metrics(bsb, lib, &counts, stat.sw_time, config)?

@@ -62,11 +62,11 @@
 //! admissibly — so one sweep ([`search_pareto`]) emits the whole
 //! time×area trade-off curve instead of one point per budget.
 
+use crate::artifacts::{SearchArtifacts, WarmSeed};
 use crate::bounds::LevelState;
 use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
 use crate::{
-    search_space, space_size, BsbMetrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition,
-    SearchBounds, SearchResult,
+    BsbMetrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition, SearchBounds, SearchResult,
 };
 use lycos_core::{RMap, Restrictions};
 use lycos_hwlib::{Area, Cycles, FuId, HwLibrary};
@@ -75,7 +75,7 @@ use lycos_sched::FuCounts;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Knobs of the allocation-search engine.
@@ -147,6 +147,25 @@ pub struct SearchOptions {
     /// truncation — only the load balance and
     /// [`SearchStats::steals`] telemetry change. On by default.
     pub steal: bool,
+    /// Capacity of the cross-request [`crate::ArtifactStore`] in
+    /// applications, for the layers that own one (the
+    /// `lycos::Pipeline` facade, the serve loop). The
+    /// engine itself never reads this — artifacts are handed in — but
+    /// carrying it here lets one knob table configure the whole stack.
+    /// Clamped to at least `1` by the store constructor.
+    pub store_cap: usize,
+    /// Warm-start: cross-request reuse of what earlier runs over the
+    /// same artifacts learned. Two mechanisms ride this knob — on an
+    /// artifact-store hit the [`BestUnderBudget`] shared incumbent is
+    /// reseeded from a previously recorded winner whose budget fits
+    /// under the current one (requires [`SearchOptions::bound`] and
+    /// store-supplied seeds), and the per-budget evaluation memo
+    /// serves recorded candidate times so provably non-improving
+    /// points skip the DP outright. Both are sound — results stay
+    /// field-identical to a cold run — so this knob exists purely for
+    /// A/B benchmarking the warm path. On by default; off leaves no
+    /// trace (nothing served, nothing recorded).
+    pub warm: bool,
 }
 
 impl Default for SearchOptions {
@@ -160,6 +179,8 @@ impl Default for SearchOptions {
             bound_comm: true,
             simd: true,
             steal: true,
+            store_cap: 8,
+            warm: true,
         }
     }
 }
@@ -235,6 +256,20 @@ impl SearchOptions {
     #[must_use]
     pub fn steal(mut self, steal: bool) -> Self {
         self.steal = steal;
+        self
+    }
+
+    /// Replaces [`SearchOptions::store_cap`].
+    #[must_use]
+    pub fn store_cap(mut self, store_cap: usize) -> Self {
+        self.store_cap = store_cap;
+        self
+    }
+
+    /// Replaces [`SearchOptions::warm`].
+    #[must_use]
+    pub fn warm(mut self, warm: bool) -> Self {
+        self.warm = warm;
         self
     }
 
@@ -316,6 +351,22 @@ pub struct SearchStats {
     /// rebalancing the dynamic scheduler performed that a static split
     /// could not. `0` under the static split or a single worker.
     pub steals: u64,
+    /// Requests this search answered from a cross-request
+    /// [`ArtifactStore`](crate::ArtifactStore) hit (artifacts reused).
+    /// Set by the store-owning caller, not the engine; `0` on the
+    /// store-less compat paths.
+    pub artifact_hits: u64,
+    /// Requests that had to build their artifacts from scratch before
+    /// searching. Set by the store-owning caller; `0` on the
+    /// store-less compat paths.
+    pub artifact_misses: u64,
+    /// Whether a stored previous winner was actually installed as the
+    /// initial shared incumbent (warm-start reseeding) — requires
+    /// [`SearchOptions::bound`] + [`SearchOptions::warm`], a store
+    /// hit, and a recorded winner whose budget fits under the current
+    /// one. The result is field-identical either way; this flag is the
+    /// telemetry that the prune had a head start.
+    pub warm_reseeded: bool,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -1072,6 +1123,30 @@ pub trait Objective: Sync {
     /// Fresh per-worker state.
     fn local(&self) -> Self::Local;
 
+    /// Installs a stored previous winner into the fresh shared state
+    /// as the initial incumbent (warm-start reseeding), returning
+    /// whether the seed was actually taken. The engine only offers
+    /// seeds whose odometer index lies inside the current truncation
+    /// window and only when bounding is on; an objective for which a
+    /// foreign incumbent is unsound (or meaningless, like a frontier)
+    /// keeps this default and reports `false`.
+    fn seed_shared(&self, _shared: &Self::Shared, _seed: WarmSeed) -> bool {
+        false
+    }
+
+    /// Whether a candidate whose evaluation is already known — `time`
+    /// and `gates` served from a cross-request memo — may skip the DP
+    /// *and* its [`Objective::record`] call entirely. Return `true`
+    /// only when recording a candidate with this `(time, gates)`, at
+    /// an index later than everything this local has recorded so far,
+    /// would provably be a no-op (the tie-keeps-earliest rule makes
+    /// equals non-improving). The default keeps every objective on the
+    /// always-evaluate path; [`BestUnderBudget`] opts in with the
+    /// exact comparison its `record` uses.
+    fn cached_eval_skips(&self, _local: &Self::Local, _time: u64, _gates: u64) -> bool {
+        false
+    }
+
     /// The worker is about to jump to a non-adjacent index (a stolen
     /// chunk): refresh whatever view of `shared` the local caches.
     fn reseed(&self, _local: &mut Self::Local, _shared: &Self::Shared) {}
@@ -1147,12 +1222,41 @@ impl Objective for BestUnderBudget {
         BestLocal::default()
     }
 
+    // Sound because the seed is a point of this very space that every
+    // worker's walk could (re)discover: the shared prune is strict-only
+    // (`subtree_pruned`), so the subtree holding the seed itself — and
+    // any point achieving a `(time, area)` no worse than it — still
+    // reaches evaluation, and `record` never compares against shared
+    // state, so the per-worker winner and the deterministic reduce are
+    // untouched. A seed too large to pack is simply not installed.
+    fn seed_shared(&self, shared: &BestShared, seed: WarmSeed) -> bool {
+        let packed = pack_incumbent(seed.time, seed.gates);
+        if packed == NO_INCUMBENT {
+            return false;
+        }
+        shared.0.fetch_min(packed, Ordering::Relaxed);
+        true
+    }
+
     fn observe(&self, local: &mut BestLocal, shared: &BestShared) {
         local.own = local
             .best
             .as_ref()
             .map(|(_, p, area, _)| (p.total_time.count(), *area));
         local.inherited = unpack_incumbent(shared.0.load(Ordering::Relaxed));
+    }
+
+    // The exact negation of `record`'s improvement test: a served
+    // candidate that would not improve this worker's best leaves
+    // `record` a no-op (later index loses ties), so skipping the DP,
+    // the metrics refresh and the call itself changes nothing.
+    fn cached_eval_skips(&self, local: &BestLocal, time: u64, gates: u64) -> bool {
+        match &local.best {
+            None => false,
+            Some((_, bp, barea, _)) => {
+                !(time < bp.total_time.count() || (time == bp.total_time.count() && gates < *barea))
+            }
+        }
     }
 
     fn prune(&self, local: &BestLocal, lb: u64, min_area: u64) -> bool {
@@ -1582,6 +1686,10 @@ struct WorkerOut<L> {
     key_allocs: u64,
     dirty_probes: u64,
     clean_reuses: u64,
+    /// `(index, time)` of every DP this worker actually ran — the
+    /// material [`SearchArtifacts::record_evals`] folds into the
+    /// cross-request evaluation memo.
+    recorded: Vec<(u128, u64)>,
 }
 
 impl<L> WorkerOut<L> {
@@ -1597,6 +1705,7 @@ impl<L> WorkerOut<L> {
             key_allocs: 0,
             dirty_probes: 0,
             clean_reuses: 0,
+            recorded: Vec::new(),
         }
     }
 }
@@ -1624,6 +1733,13 @@ struct SweepWorker<'a, O: Objective> {
     dirty_fus: Vec<FuId>,
     bounds: Option<&'a SearchBounds>,
     levels: Option<LevelState>,
+    /// Cross-request evaluation memo for this exact budget, if a
+    /// previous run over the same artifacts recorded one.
+    eval_memo: Option<Arc<HashMap<u128, u64>>>,
+    /// Whether evaluated times are collected for
+    /// [`SearchArtifacts::record_evals`] — only when the artifacts
+    /// are store-resident, so one-shot sweeps skip the bookkeeping.
+    memoize: bool,
     objective: &'a O,
     shared: &'a O::Shared,
     /// Whether improving candidates should be advertised cross-worker
@@ -1641,10 +1757,13 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
         total_gates: u64,
         dims: &'a [(FuId, u32)],
         statics: Vec<BsbStatics>,
+        comm: CommCosts,
         cache_enabled: bool,
         dp_threads: usize,
         simd: bool,
         bounds: Option<&'a SearchBounds>,
+        eval_memo: Option<Arc<HashMap<u128, u64>>>,
+        memoize: bool,
         objective: &'a O,
         shared: &'a O::Shared,
     ) -> Self {
@@ -1657,7 +1776,7 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
             total_gates,
             dims,
             cache: MetricsCache::from_statics(bsbs, lib, config, statics, cache_enabled),
-            comm: CommCosts::new(bsbs.len()),
+            comm,
             scratch,
             metrics: Vec::with_capacity(bsbs.len()),
             candidate: RMap::new(),
@@ -1665,6 +1784,8 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
             dirty_fus: Vec::with_capacity(dims.len()),
             bounds,
             levels: bounds.map(LevelState::new),
+            eval_memo,
+            memoize,
             objective,
             shared,
             publish: bounds.is_some(),
@@ -1750,6 +1871,21 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
             let gates = odo.area_gates();
             if gates > self.total_gates {
                 self.out.skipped += 1;
+            } else if self
+                .eval_memo
+                .as_ref()
+                .and_then(|memo| memo.get(&index).copied())
+                .is_some_and(|time| {
+                    self.objective
+                        .cached_eval_skips(&self.out.local, time, gates)
+                })
+            {
+                // Cross-request memo hit on a candidate the objective
+                // certifies non-improving: no metrics refresh, no DP,
+                // no record — only the accounting. The dirty set keeps
+                // accumulating so the next real evaluation refreshes
+                // every block touched since.
+                self.out.evaluated += 1;
             } else {
                 odo.write_rmap(&mut self.candidate);
                 if self.dirty.all {
@@ -1774,6 +1910,9 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
                     self.config,
                 );
                 self.out.evaluated += 1;
+                if self.memoize {
+                    self.out.recorded.push((index, time));
+                }
                 let eval = CandidateEval {
                     scratch: &self.scratch,
                     metrics: &self.metrics,
@@ -1812,7 +1951,8 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
 }
 
 /// Static-split worker: one contiguous range, walked once. `statics`
-/// is a clone of the engine's one-time precompute.
+/// and `comm` are clones of the artifacts' one-time precompute (the
+/// traffic memo possibly pre-warmed by the store path).
 #[allow(clippy::too_many_arguments)] // internal seam of run_search
 fn sweep_range<O: Objective>(
     bsbs: &BsbArray,
@@ -1822,10 +1962,13 @@ fn sweep_range<O: Objective>(
     dims: &[(FuId, u32)],
     range: Range<u128>,
     statics: Vec<BsbStatics>,
+    comm: CommCosts,
     cache_enabled: bool,
     dp_threads: usize,
     simd: bool,
     bounds: Option<&SearchBounds>,
+    eval_memo: Option<Arc<HashMap<u128, u64>>>,
+    memoize: bool,
     objective: &O,
     shared: &O::Shared,
 ) -> Result<WorkerOut<O::Local>, PaceError> {
@@ -1836,10 +1979,13 @@ fn sweep_range<O: Objective>(
         total_gates,
         dims,
         statics,
+        comm,
         cache_enabled,
         dp_threads,
         simd,
         bounds,
+        eval_memo,
+        memoize,
         objective,
         shared,
     );
@@ -1894,10 +2040,13 @@ fn sweep_chunks<O: Objective>(
     width: u128,
     cursor: &AtomicU64,
     statics: Vec<BsbStatics>,
+    comm: CommCosts,
     cache_enabled: bool,
     dp_threads: usize,
     simd: bool,
     bounds: Option<&SearchBounds>,
+    eval_memo: Option<Arc<HashMap<u128, u64>>>,
+    memoize: bool,
     objective: &O,
     shared: &O::Shared,
 ) -> Result<WorkerOut<O::Local>, PaceError> {
@@ -1908,10 +2057,13 @@ fn sweep_chunks<O: Objective>(
         total_gates,
         dims,
         statics,
+        comm,
         cache_enabled,
         dp_threads,
         simd,
         bounds,
+        eval_memo,
+        memoize,
         objective,
         shared,
     );
@@ -2114,21 +2266,52 @@ pub fn search_best(
     config: &PaceConfig,
     options: &SearchOptions,
 ) -> Result<SearchResult, PaceError> {
+    let artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, config)?;
+    search_best_with(bsbs, lib, total_area, config, options, &artifacts, &[])
+}
+
+/// [`search_best`] over artifacts prepared (or fetched from an
+/// [`ArtifactStore`](crate::ArtifactStore)) elsewhere — the seam every
+/// store-owning layer calls. `seeds` are previously recorded winners
+/// offered for warm-start reseeding: each seed whose odometer index
+/// lies inside the truncation window is installed as an initial shared
+/// incumbent (when [`SearchOptions::bound`] is on), which can only
+/// tighten pruning — the result is field-identical to a cold run with
+/// `&[]`, pinned by the warm/cold equivalence proptests. Callers must
+/// only offer seeds that are points of *this* search's space with a
+/// data-path area within the current budget (the store's
+/// budget-filtered `warm_seeds` guarantees it).
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] as [`search_best`] does.
+pub fn search_best_with(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    config: &PaceConfig,
+    options: &SearchOptions,
+    artifacts: &SearchArtifacts,
+    seeds: &[WarmSeed],
+) -> Result<SearchResult, PaceError> {
     let run = run_search(
         bsbs,
         lib,
         total_area,
-        restrictions,
         config,
         options,
         &BestUnderBudget,
+        artifacts,
+        seeds,
     )?;
-    let (best_allocation, best_partition, _, _) = run
+    let (best_allocation, best_partition, best_gates, best_index) = run
         .output
         .expect("at least one candidate is always evaluated");
     Ok(SearchResult {
         best_allocation,
         best_partition,
+        best_gates,
+        best_index,
         evaluated: run.evaluated,
         skipped: run.skipped,
         space_size: run.space_size,
@@ -2215,14 +2398,36 @@ pub fn search_pareto(
     config: &PaceConfig,
     options: &SearchOptions,
 ) -> Result<ParetoResult, PaceError> {
+    let artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, config)?;
+    search_pareto_with(bsbs, lib, total_area, config, options, &artifacts)
+}
+
+/// [`search_pareto`] over artifacts prepared (or fetched from an
+/// [`ArtifactStore`](crate::ArtifactStore)) elsewhere. A frontier has
+/// no single incumbent to reseed, so there is no seed parameter — the
+/// warm win here is reusing the statics, traffic memo and bound
+/// tables.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] as [`search_pareto`] does.
+pub fn search_pareto_with(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    config: &PaceConfig,
+    options: &SearchOptions,
+    artifacts: &SearchArtifacts,
+) -> Result<ParetoResult, PaceError> {
     let run = run_search(
         bsbs,
         lib,
         total_area,
-        restrictions,
         config,
         options,
         &ParetoFront,
+        artifacts,
+        &[],
     )?;
     Ok(ParetoResult {
         points: run.output,
@@ -2246,33 +2451,29 @@ struct EngineRun<T> {
 }
 
 /// The objective-generic engine behind [`search_best`] and
-/// [`search_pareto`]: truncation pre-walk, one-time precomputes,
-/// static or work-stealing fan-out, per-worker accounting and the
-/// objective's deterministic reduce.
+/// [`search_pareto`]: truncation pre-walk, artifact-backed
+/// precomputes, warm-seed installation, static or work-stealing
+/// fan-out, per-worker accounting and the objective's deterministic
+/// reduce.
+#[allow(clippy::too_many_arguments)] // internal seam of the _with wrappers
 fn run_search<O: Objective>(
     bsbs: &BsbArray,
     lib: &HwLibrary,
     total_area: Area,
-    restrictions: &Restrictions,
     config: &PaceConfig,
     options: &SearchOptions,
     objective: &O,
+    artifacts: &SearchArtifacts,
+    seeds: &[WarmSeed],
 ) -> Result<EngineRun<O::Output>, PaceError> {
     let started = Instant::now();
-    let dims = search_space(restrictions);
-    let space = space_size(&dims);
+    let dims = artifacts.dims();
+    let space = artifacts.space_size();
     let total_gates = total_area.gates();
     // Work-stealing balances load at run time, so its pre-walk only
     // pins the truncation point and skips the histogram the static
     // split would balance ranges with.
-    let pre = pre_walk(
-        &dims,
-        lib,
-        total_gates,
-        space,
-        options.limit,
-        !options.steal,
-    );
+    let pre = pre_walk(dims, lib, total_gates, space, options.limit, !options.steal);
     let (bound, truncated) = (pre.bound, pre.truncated);
     // The all-software point (index 0) is always inside the bound —
     // `pre_walk` returns ≥ 1 even under `limit = 0`, and an empty
@@ -2282,37 +2483,62 @@ fn run_search<O: Objective>(
     let (threads, dp_threads) = options.resolve(bound);
     let steal = options.steal && threads > 1;
 
-    // One-time precompute shared across the sweep: the per-block
-    // statics (software times, required resources, kind sets). Workers
-    // get clones — small, flat vectors — instead of re-deriving them.
-    // The run-traffic memo stays lazy *per worker* on purpose: eagerly
-    // filling the full O(L²) table costs more than a short or heavily
-    // limited sweep ever spends on traffic, and a worker only pays for
-    // the runs its own candidates make feasible.
-    let statics = bsb_statics(bsbs, lib, config)?;
-    // The bound tables are another one-time precompute (per-block
-    // projection enumerations — the same magnitude of scheduling work
-    // as one sweep's cache misses); workers share them read-only. With
+    // The artifacts carry the sweep's one-time precomputes: per-block
+    // statics (software times, required resources, kind sets) and the
+    // run-traffic memo — workers get clones, small flat vectors,
+    // instead of re-deriving them. On the compat path the memo is
+    // empty and stays lazy per worker (eagerly filling the O(L²)
+    // table costs more than a short sweep spends on traffic); the
+    // store path hands it in pre-warmed. The bound tables are built
+    // lazily inside the artifacts and shared read-only; with
     // `bound_comm` on they fold in the admissible communication floor.
     let bounds = if options.bound {
-        let comm = options.bound_comm.then_some(&config.comm);
-        Some(SearchBounds::from_statics(
-            bsbs, lib, &dims, &statics, comm,
-        )?)
+        Some(artifacts.bounds_for(bsbs, lib, config, options.bound_comm)?)
     } else {
         None
     };
     let shared = objective.shared();
+    // Warm-start: install stored previous winners as the initial
+    // shared incumbent. Only sound seeds are offered (points of this
+    // space within the current budget — the caller's contract), and
+    // only ones inside the truncation window are taken: a seed past
+    // the window describes a point this walk would never visit, so its
+    // `(time, area)` is not an outcome the window's exhaustive
+    // reference could produce. Shared state is only ever read for
+    // pruning, so without `bound` seeding would be inert — skip it and
+    // keep the telemetry honest.
+    let mut warm_reseeded = false;
+    if options.bound {
+        for seed in seeds {
+            if seed.index < bound {
+                warm_reseeded |= objective.seed_shared(&shared, *seed);
+            }
+        }
+    }
+
+    // Cross-request evaluation memo for this exact budget: served
+    // candidates the objective certifies non-improving skip the DP
+    // outright; everything actually evaluated is recorded back. Both
+    // directions ride the `warm` knob (so `--no-warm` runs are fully
+    // cold and leave no trace) and require store-resident artifacts —
+    // a one-shot sweep's recordings could never be read back, so it
+    // skips the bookkeeping entirely.
+    let memoize = options.warm && artifacts.store_resident();
+    let eval_memo = if memoize {
+        artifacts.eval_memo(total_gates)
+    } else {
+        None
+    };
 
     let outs: Vec<Result<WorkerOut<O::Local>, PaceError>> = if steal {
-        let width = steal_chunk_width(&subtree_weights(&dims), bound, threads);
+        let width = steal_chunk_width(&subtree_weights(dims), bound, threads);
         let cursor = AtomicU64::new(0);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    let dims = &dims;
-                    let statics = statics.clone();
-                    let bounds = bounds.as_ref();
+                    let statics = artifacts.statics.clone();
+                    let comm = artifacts.comm_clone();
+                    let eval_memo = eval_memo.clone();
                     let (shared, cursor) = (&shared, &cursor);
                     scope.spawn(move || {
                         sweep_chunks(
@@ -2325,10 +2551,13 @@ fn run_search<O: Objective>(
                             width,
                             cursor,
                             statics,
+                            comm,
                             options.cache,
                             dp_threads,
                             options.simd,
                             bounds,
+                            eval_memo,
+                            memoize,
                             objective,
                             shared,
                         )
@@ -2348,13 +2577,16 @@ fn run_search<O: Objective>(
                 lib,
                 config,
                 total_gates,
-                &dims,
+                dims,
                 0..bound,
-                statics,
+                artifacts.statics.clone(),
+                artifacts.comm_clone(),
                 options.cache,
                 dp_threads,
                 options.simd,
-                bounds.as_ref(),
+                bounds,
+                eval_memo.clone(),
+                memoize,
                 objective,
                 &shared,
             )]
@@ -2364,9 +2596,9 @@ fn run_search<O: Objective>(
                     .iter()
                     .map(|range| {
                         let range = range.clone();
-                        let dims = &dims;
-                        let statics = statics.clone();
-                        let bounds = bounds.as_ref();
+                        let statics = artifacts.statics.clone();
+                        let comm = artifacts.comm_clone();
+                        let eval_memo = eval_memo.clone();
                         let shared = &shared;
                         scope.spawn(move || {
                             sweep_range(
@@ -2377,10 +2609,13 @@ fn run_search<O: Objective>(
                                 dims,
                                 range,
                                 statics,
+                                comm,
                                 options.cache,
                                 dp_threads,
                                 options.simd,
                                 bounds,
+                                eval_memo,
+                                memoize,
                                 objective,
                                 shared,
                             )
@@ -2400,11 +2635,13 @@ fn run_search<O: Objective>(
     let mut stats = SearchStats {
         threads: if steal { threads } else { outs.len().max(1) },
         truncated_points: space - bound,
+        warm_reseeded,
         ..SearchStats::default()
     };
     let mut locals = Vec::with_capacity(outs.len());
+    let mut recorded = Vec::new();
     for out in outs {
-        let out = out?;
+        let mut out = out?;
         evaluated += out.evaluated;
         skipped += out.skipped;
         stats.bounded += out.bounded;
@@ -2415,7 +2652,11 @@ fn run_search<O: Objective>(
         stats.dirty_probes += out.dirty_probes;
         stats.clean_reuses += out.clean_reuses;
         objective.fold_stats(&out.local, &mut stats);
+        recorded.append(&mut out.recorded);
         locals.push(out.local);
+    }
+    if memoize {
+        artifacts.record_evals(total_gates, recorded);
     }
     // The objective's reduce is deterministic whatever scheduler
     // handed points to workers — ties resolve by odometer index, the
@@ -2441,7 +2682,7 @@ fn run_search<O: Objective>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exhaustive_best;
+    use crate::{exhaustive_best, search_space, space_size};
     use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg, OpKind};
     use std::collections::BTreeSet;
 
@@ -3252,6 +3493,8 @@ mod tests {
                 &PaceConfig::standard(),
             )
             .unwrap(),
+            best_gates: 0,
+            best_index: 0,
             evaluated: 1,
             skipped: 0,
             space_size: 1,
@@ -3262,6 +3505,8 @@ mod tests {
         b.stats.cache_hits = 99;
         b.stats.bounded = 7;
         b.stats.elapsed = Duration::from_secs(5);
+        b.stats.artifact_hits = 3;
+        b.stats.warm_reseeded = true;
         assert_eq!(a, b, "telemetry must not break result identity");
     }
 
@@ -3275,7 +3520,9 @@ mod tests {
             .bound(true)
             .bound_comm(false)
             .simd(false)
-            .steal(false);
+            .steal(false)
+            .store_cap(3)
+            .warm(false);
         let literal = SearchOptions {
             threads: 4,
             limit: Some(9),
@@ -3285,6 +3532,8 @@ mod tests {
             bound_comm: false,
             simd: false,
             steal: false,
+            store_cap: 3,
+            warm: false,
         };
         assert_eq!(built, literal);
         assert_eq!(SearchOptions::new(), SearchOptions::default());

@@ -42,7 +42,7 @@ pub use client::Client;
 pub use protocol::{
     Format, Job, JobSource, ProtocolError, Request, Response, Table1Request, DEFAULT_ADDR,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, STATS_CSV_HEADER};
 
 use std::fmt;
 

@@ -77,7 +77,8 @@ pub fn decode(token: &str) -> Result<String, ProtocolError> {
 pub enum ProtocolError {
     /// The line held no verb at all.
     Empty,
-    /// The verb is not one of `ping`, `shutdown`, `table1`, `pareto`.
+    /// The verb is not one of `ping`, `shutdown`, `table1`, `pareto`,
+    /// `stats`.
     UnknownVerb(String),
     /// A request field key is not recognised.
     UnknownField(String),
@@ -101,7 +102,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownVerb(v) => {
                 write!(
                     f,
-                    "unknown verb `{v}` (expected ping, shutdown, table1 or pareto)"
+                    "unknown verb `{v}` (expected ping, shutdown, table1, pareto or stats)"
                 )
             }
             ProtocolError::UnknownField(k) => write!(f, "unknown request field `{k}`"),
@@ -197,6 +198,9 @@ pub enum Request {
     Table1(Table1Request),
     /// A Pareto-frontier batch.
     Pareto(ParetoRequest),
+    /// Artifact-store counters (hits, misses, evictions, residency) —
+    /// the observability verb for the server's cross-request cache.
+    Stats,
 }
 
 /// Splits a job token into its payload and optional `@budget` suffix.
@@ -365,6 +369,7 @@ impl Request {
         match verb {
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "stats" => Ok(Request::Stats),
             "table1" => {
                 let fields = parse_search_fields(tokens, true)?;
                 Ok(Request::Table1(Table1Request {
@@ -392,6 +397,7 @@ impl Request {
         match self {
             Request::Ping => "ping".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
+            Request::Stats => "stats".to_owned(),
             Request::Table1(req) => {
                 let mut out = String::from("table1");
                 push_search_fields(&mut out, &req.jobs, &req.knobs, req.format);
@@ -533,6 +539,8 @@ mod tests {
         knobs.set("bound-comm", KnobSetting::Switch(false));
         knobs.set("simd", KnobSetting::Switch(false));
         knobs.set("steal", KnobSetting::Switch(false));
+        knobs.set("store-cap", KnobSetting::Count(1));
+        knobs.set("warm", KnobSetting::Switch(false));
         knobs
     }
 
@@ -540,6 +548,7 @@ mod tests {
         vec![
             Request::Ping,
             Request::Shutdown,
+            Request::Stats,
             Request::Table1(Table1Request::default()),
             Request::Table1(Table1Request {
                 jobs: vec![
@@ -725,11 +734,11 @@ mod tests {
 
     #[test]
     fn engine_lever_flags_round_trip_bare() {
-        let req = Request::parse("table1 app=hal no-bound-comm no-simd no-steal").unwrap();
+        let req = Request::parse("table1 app=hal no-bound-comm no-simd no-steal no-warm").unwrap();
         let Request::Table1(t) = &req else {
             panic!("not a table1 request")
         };
-        for name in ["bound-comm", "simd", "steal"] {
+        for name in ["bound-comm", "simd", "steal", "warm"] {
             assert_eq!(
                 t.knobs.get(name),
                 Some(KnobSetting::Switch(false)),

@@ -8,7 +8,12 @@
 //!   pool through a bounded [`mpsc::sync_channel`];
 //! * `workers` **scoped threads** each pull one connection at a time
 //!   and answer its requests in order — every request builds fresh
-//!   [`lycos::Pipeline`] values, so requests share no mutable state;
+//!   [`lycos::Pipeline`] values; the only state requests share is the
+//!   server's [`ArtifactStore`] (one per server, thread-safe), which
+//!   caches per-application search precompute across requests and
+//!   connections and warm-starts repeat `bound` searches. Results are
+//!   field-identical warm or cold; the `stats` verb reports the
+//!   store's hit/miss/eviction counters;
 //! * when the channel is full the acceptor answers
 //!   [`Response::Busy`] immediately and closes — **backpressure**
 //!   instead of unbounded queueing;
@@ -25,13 +30,13 @@ use lycos::explore::{
     PARETO_CSV_HEADER,
 };
 use lycos::hwlib::Area;
-use lycos::pace::SearchOptions;
+use lycos::pace::{ArtifactStore, SearchOptions};
 use lycos::Pipeline;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How often blocked reads and the acceptor poll re-check the
@@ -116,12 +121,15 @@ impl Server {
         let Server { listener, config } = self;
         let workers = config.workers.max(1);
         let shutdown = AtomicBool::new(false);
+        // One artifact store per server, shared by every worker and
+        // connection: the cross-request cache the seam exists for.
+        let store = Arc::new(ArtifactStore::new(config.defaults.store_cap));
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue);
         let rx = Mutex::new(rx);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| worker_loop(&rx, &config, &shutdown));
+                scope.spawn(|| worker_loop(&rx, &config, &store, &shutdown));
             }
             loop {
                 if shutdown.load(Ordering::Acquire) {
@@ -163,7 +171,12 @@ impl Server {
 
 /// Pulls connections until the channel closes. Queued connections are
 /// still served after shutdown flips — graceful, not abortive.
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, config: &ServeConfig, shutdown: &AtomicBool) {
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    config: &ServeConfig,
+    store: &Arc<ArtifactStore>,
+    shutdown: &AtomicBool,
+) {
     loop {
         // Holding the lock while blocked in recv() is deliberate: the
         // channel hands one connection to exactly one worker, and the
@@ -174,7 +187,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, config: &ServeConfig, shutdown: 
             Err(_) => return,
         };
         // A broken connection is the client's problem, not the pool's.
-        let _ = handle_connection(stream, config, shutdown);
+        let _ = handle_connection(stream, config, store, shutdown);
     }
 }
 
@@ -204,6 +217,7 @@ const MAX_LINE: usize = 4 << 20;
 fn handle_connection(
     stream: TcpStream,
     config: &ServeConfig,
+    store: &Arc<ArtifactStore>,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
     // See reject_busy: make the accepted socket's mode explicit
@@ -237,7 +251,7 @@ fn handle_connection(
         if line.is_empty() {
             continue; // stray blank lines are forgiven, not answered
         }
-        let response = respond(line, config, shutdown);
+        let response = respond(line, config, store, shutdown);
         response.write_to(&mut writer)?;
         writer.flush()?;
         if matches!(response, Response::Bye) {
@@ -299,7 +313,12 @@ fn next_line(
 
 /// Maps one request line to its response. Never panics: every failure
 /// becomes [`Response::Error`].
-fn respond(line: &str, config: &ServeConfig, shutdown: &AtomicBool) -> Response {
+fn respond(
+    line: &str,
+    config: &ServeConfig,
+    store: &Arc<ArtifactStore>,
+    shutdown: &AtomicBool,
+) -> Response {
     match Request::parse(line) {
         Err(e) => Response::Error(e.to_string()),
         Ok(Request::Ping) => Response::Pong,
@@ -307,9 +326,27 @@ fn respond(line: &str, config: &ServeConfig, shutdown: &AtomicBool) -> Response 
             shutdown.store(true, Ordering::Release);
             Response::Bye
         }
-        Ok(Request::Table1(req)) => run_table1(&req, config),
-        Ok(Request::Pareto(req)) => run_pareto(&req, config),
+        Ok(Request::Stats) => run_stats(store),
+        Ok(Request::Table1(req)) => run_table1(&req, config, store),
+        Ok(Request::Pareto(req)) => run_pareto(&req, config, store),
     }
+}
+
+/// Header of the `stats` verb's two-line CSV body.
+pub const STATS_CSV_HEADER: &str = "hits,misses,evictions,entries,cap";
+
+/// Answers the `stats` verb: the artifact store's counters as a
+/// two-line CSV (header + values), so clients can watch hit ratios
+/// and residency without scraping logs.
+fn run_stats(store: &ArtifactStore) -> Response {
+    let s = store.stats();
+    Response::Ok(vec![
+        STATS_CSV_HEADER.to_owned(),
+        format!(
+            "{},{},{},{},{}",
+            s.hits, s.misses, s.evictions, s.entries, s.cap
+        ),
+    ])
 }
 
 /// The bundled benchmarks, compiled once per process: `apps::all()`
@@ -320,9 +357,14 @@ fn bundled_apps() -> &'static [lycos::apps::BenchmarkApp] {
     APPS.get_or_init(lycos::apps::all)
 }
 
-/// Builds one pipeline per job, or the error response naming the
-/// first bad job — shared by the `table1` and `pareto` verbs.
-fn pipelines_for(verb: &str, jobs: &[Job]) -> Result<Vec<Pipeline>, Response> {
+/// Builds one pipeline per job — each wired to the server's shared
+/// artifact store — or the error response naming the first bad job.
+/// Shared by the `table1` and `pareto` verbs.
+fn pipelines_for(
+    verb: &str,
+    jobs: &[Job],
+    store: &Arc<ArtifactStore>,
+) -> Result<Vec<Pipeline>, Response> {
     if jobs.is_empty() {
         return Err(Response::Error(format!(
             "{verb} request names no jobs (add app=<name> or src=<encoded-lyc>)"
@@ -344,7 +386,7 @@ fn pipelines_for(verb: &str, jobs: &[Job]) -> Result<Vec<Pipeline>, Response> {
         if let Some(gates) = job.budget {
             pipeline = pipeline.with_budget(Area::new(gates));
         }
-        pipelines.push(pipeline);
+        pipelines.push(pipeline.with_artifact_store(store.clone()));
     }
     Ok(pipelines)
 }
@@ -354,8 +396,8 @@ fn pipelines_for(verb: &str, jobs: &[Job]) -> Result<Vec<Pipeline>, Response> {
 /// `table1` bin, so the service's rows are byte-identical to it. The
 /// request's knob overrides fold over the configured defaults in one
 /// table-driven pass ([`lycos::pace::KnobOverrides::apply_to`]).
-fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
-    let pipelines = match pipelines_for("table1", &req.jobs) {
+fn run_table1(req: &Table1Request, config: &ServeConfig, store: &Arc<ArtifactStore>) -> Response {
+    let pipelines = match pipelines_for("table1", &req.jobs, store) {
         Ok(pipelines) => pipelines,
         Err(response) => return response,
     };
@@ -375,8 +417,8 @@ fn run_table1(req: &Table1Request, config: &ServeConfig) -> Response {
 /// Runs one Pareto batch: each job's whole time×area frontier from a
 /// single [`lycos::pace::search_pareto`] sweep, through the same
 /// [`lycos::Pipeline`] stages (and the same knob merge) as `table1`.
-fn run_pareto(req: &ParetoRequest, config: &ServeConfig) -> Response {
-    let pipelines = match pipelines_for("pareto", &req.jobs) {
+fn run_pareto(req: &ParetoRequest, config: &ServeConfig, store: &Arc<ArtifactStore>) -> Response {
+    let pipelines = match pipelines_for("pareto", &req.jobs, store) {
         Ok(pipelines) => pipelines,
         Err(response) => return response,
     };

@@ -187,6 +187,135 @@ fn pareto_verb_matches_the_facade_frontier_byte_for_byte() {
     handle.join().expect("server thread");
 }
 
+/// Parses the `stats` verb's two-line CSV into
+/// `(hits, misses, evictions, entries)`.
+fn store_stats(client: &mut Client) -> (u64, u64, u64, u64) {
+    match client.send(&Request::Stats).expect("send stats") {
+        Response::Ok(lines) => {
+            assert_eq!(lines[0], lycos_serve::STATS_CSV_HEADER);
+            let v: Vec<u64> = lines[1].split(',').map(|n| n.parse().unwrap()).collect();
+            (v[0], v[1], v[2], v[3])
+        }
+        other => panic!("unexpected stats response {other:?}"),
+    }
+}
+
+#[test]
+fn repeat_requests_hit_the_artifact_store_and_stay_byte_identical() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 2,
+        queue: 2,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    assert_eq!(store_stats(&mut client), (0, 0, 0, 0), "store starts cold");
+
+    // The same request twice — the `bound` + `no-warm` pair proves the
+    // warm knob reaches the engine (no reseed: the effort columns stay
+    // deterministic), so the two responses must be byte-identical.
+    let line = "table1 app=hal bound no-warm format=csv";
+    let first = match client.send_line(line).expect("send") {
+        Response::Ok(lines) => lines,
+        other => panic!("unexpected response {other:?}"),
+    };
+    let second = match client.send_line(line).expect("send") {
+        Response::Ok(lines) => lines,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_eq!(first, second, "hit response drifted from the miss response");
+    assert_eq!(store_stats(&mut client), (1, 1, 0, 1));
+
+    // An inline source misses, repeats hit, and a one-token mutation
+    // of the program is a different fingerprint — a fresh miss.
+    let original =
+        lycos_serve::protocol::encode("app hot;\nloop l times 500 {\n  y = y + u * dx;\n}");
+    let mutated =
+        lycos_serve::protocol::encode("app hot;\nloop l times 501 {\n  y = y + u * dx;\n}");
+    for (src, expected_stats) in [
+        (&original, (1, 2, 0, 2)),
+        (&original, (2, 2, 0, 2)),
+        (&mutated, (2, 3, 0, 3)),
+    ] {
+        match client
+            .send_line(&format!("table1 src={src}@6000"))
+            .expect("send")
+        {
+            Response::Ok(_) => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(store_stats(&mut client), expected_stats);
+    }
+
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn eviction_at_cap_one_keeps_alternating_apps_correct() {
+    // A store that can hold exactly one application: two alternating
+    // apps evict each other on every request, and every response must
+    // still match the storeless sequential reference byte-for-byte.
+    let options = Table1Options {
+        search_limit: Some(400),
+        threads: 1,
+        ..Table1Options::default()
+    };
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 1,
+        queue: 2,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            store_cap: 1,
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+    let apps = [lycos::apps::straight(), lycos::apps::hal()];
+    let expected: Vec<String> = apps
+        .iter()
+        .map(|app| {
+            let rows =
+                Pipeline::table1_batch(std::slice::from_ref(&Pipeline::for_app(app)), &options)
+                    .expect("sequential reference");
+            format_table1_csv(&rows, false)
+        })
+        .collect();
+
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    for round in 0..2 {
+        for (app, want) in ["straight", "hal"].iter().zip(&expected) {
+            match client
+                .send_line(&format!("table1 app={app}"))
+                .expect("send")
+            {
+                Response::Ok(lines) => {
+                    let got = lines.join("\n") + "\n";
+                    assert_eq!(&got, want, "round {round}, app {app}");
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    // Every request after the first evicted its predecessor: four
+    // misses, three evictions, never more than one resident entry.
+    assert_eq!(store_stats(&mut client), (0, 4, 3, 1));
+
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
 #[test]
 fn peers_still_sending_cannot_stall_shutdown() {
     let (addr, handle) = spawn_server(ServeConfig {

@@ -11,13 +11,15 @@
 use crate::LycosError;
 use lycos_apps::{BenchmarkApp, IterationHint};
 use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
-use lycos_explore::{table1_row_for, Table1Options, Table1Row, Table1Subject};
+use lycos_explore::flow::{pareto_with_store, search_with_store};
+use lycos_explore::{table1_row_with_store, Table1Options, Table1Row, Table1Subject};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::{extract_bsbs, BsbArray, Cdfg, ProfileOverrides};
 use lycos_pace::{
-    partition, search_best, search_pareto, PaceConfig, ParetoResult, Partition, SearchOptions,
-    SearchResult,
+    partition, ArtifactStore, PaceConfig, ParetoResult, Partition, SearchOptions, SearchResult,
+    StoreStats,
 };
+use std::sync::Arc;
 
 /// Builder for the full LYCOS flow.
 ///
@@ -55,6 +57,8 @@ pub struct Pipeline {
     // §5 design iteration carried by bundled apps; drives the
     // `iterated_su` column of a Table 1 row.
     iteration: Option<IterationHint>,
+    // Cross-request artifact store; `None` keeps every search cold.
+    artifact_store: Option<Arc<ArtifactStore>>,
 }
 
 impl Pipeline {
@@ -71,6 +75,7 @@ impl Pipeline {
             search: SearchOptions::default(),
             overrides: None,
             iteration: None,
+            artifact_store: None,
         }
     }
 
@@ -121,6 +126,20 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a cross-request [`ArtifactStore`]: the search stages
+    /// ([`Allocated::search`], [`Allocated::pareto`], the Table 1
+    /// flow) fetch their precomputed artifacts from the store under
+    /// the pipeline's content fingerprint instead of rebuilding them,
+    /// and `bound` searches warm-start from previously recorded
+    /// winners. Results are field-identical with or without a store.
+    /// Share one store (behind [`Arc`]) across the pipelines of a
+    /// server or batch to amortise per-application precompute.
+    #[must_use]
+    pub fn with_artifact_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.artifact_store = Some(store);
+        self
+    }
+
     /// Applies profile overrides (trip counts, probabilities) when
     /// flattening the CDFG to BSBs.
     #[must_use]
@@ -159,11 +178,12 @@ impl Pipeline {
             budget: self.budget,
             iteration: self.iteration,
         };
-        Ok(table1_row_for(
+        Ok(table1_row_with_store(
             &subject,
             &self.library,
             &self.pace,
             options,
+            self.artifact_store.as_deref(),
         )?)
     }
 
@@ -231,6 +251,7 @@ impl Pipeline {
             pace: self.pace,
             budget: self.budget,
             search: self.search,
+            artifact_store: self.artifact_store,
             cdfg,
             bsbs,
             restrictions,
@@ -255,6 +276,7 @@ pub struct Allocated {
     pace: PaceConfig,
     budget: Area,
     search: SearchOptions,
+    artifact_store: Option<Arc<ArtifactStore>>,
     /// The compiled CDFG (kept for inspection and reporting).
     pub cdfg: Cdfg,
     /// The flattened BSB array the allocation was computed over.
@@ -284,6 +306,13 @@ impl Allocated {
     /// The total hardware area budget.
     pub fn budget(&self) -> Area {
         self.budget
+    }
+
+    /// Counters of the attached cross-request artifact store, or
+    /// `None` when the pipeline runs cold (no store attached via
+    /// [`Pipeline::with_artifact_store`]).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.artifact_store.as_deref().map(ArtifactStore::stats)
     }
 
     /// Partitions with PACE under the automatic allocation.
@@ -329,13 +358,14 @@ impl Allocated {
     ///
     /// [`LycosError::Pace`] from partition evaluation.
     pub fn search_with(&self, options: &SearchOptions) -> Result<SearchResult, LycosError> {
-        Ok(search_best(
+        Ok(search_with_store(
             &self.bsbs,
             &self.library,
             self.budget,
             &self.restrictions,
             &self.pace,
             options,
+            self.artifact_store.as_deref(),
         )?)
     }
 
@@ -372,13 +402,14 @@ impl Allocated {
     ///
     /// [`LycosError::Pace`] from partition evaluation.
     pub fn pareto_with(&self, options: &SearchOptions) -> Result<ParetoResult, LycosError> {
-        Ok(search_pareto(
+        Ok(pareto_with_store(
             &self.bsbs,
             &self.library,
             self.budget,
             &self.restrictions,
             &self.pace,
             options,
+            self.artifact_store.as_deref(),
         )?)
     }
 
@@ -561,6 +592,34 @@ mod tests {
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["straight", "hal"]);
         assert_eq!(rows[0].lines, apps[0].lines);
+    }
+
+    #[test]
+    fn artifact_store_is_invisible_and_counted() {
+        let store = Arc::new(ArtifactStore::new(4));
+        let cold = Pipeline::new(HOT_LOOP)
+            .with_budget(Area::new(6_000))
+            .allocate()
+            .unwrap();
+        assert!(cold.store_stats().is_none(), "no store attached");
+        let warm = Pipeline::new(HOT_LOOP)
+            .with_budget(Area::new(6_000))
+            .with_artifact_store(store)
+            .allocate()
+            .unwrap();
+        let opts = SearchOptions::new().bound(true);
+        let baseline = cold.search_with(&opts).unwrap();
+        let first = warm.search_with(&opts).unwrap();
+        let second = warm.search_with(&opts).unwrap();
+        for res in [&first, &second] {
+            assert_eq!(res.best_allocation, baseline.best_allocation);
+            assert_eq!(res.best_partition, baseline.best_partition);
+        }
+        assert_eq!(first.stats.artifact_misses, 1);
+        assert_eq!(second.stats.artifact_hits, 1);
+        assert!(second.stats.warm_reseeded, "recorded winner must seed");
+        let stats = warm.store_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
 
     #[test]

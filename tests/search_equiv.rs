@@ -61,11 +61,13 @@ fn reference_best(
     let mut best_allocation = RMap::new();
     let mut best_partition = reference_partition(bsbs, lib, &best_allocation, total_area, pace);
     let mut best_area = best_allocation.area(lib);
+    let mut best_index = 0u128;
     let mut evaluated = 1usize;
     let mut skipped = 0usize;
     let mut truncated = false;
 
     let mut counts = vec![0u32; dims.len()];
+    let mut index = 0u128;
     'outer: loop {
         let mut pos = 0;
         loop {
@@ -79,6 +81,7 @@ fn reference_best(
             counts[pos] = 0;
             pos += 1;
         }
+        index += 1;
         let candidate: RMap = dims
             .iter()
             .zip(&counts)
@@ -103,12 +106,15 @@ fn reference_best(
             best_allocation = candidate;
             best_partition = p;
             best_area = candidate_area;
+            best_index = index;
         }
     }
 
     SearchResult {
         best_allocation,
         best_partition,
+        best_gates: best_area.gates(),
+        best_index,
         evaluated,
         skipped,
         space_size: space,
@@ -224,6 +230,7 @@ fn check_engines(
                 bound_comm,
                 simd,
                 steal,
+                ..SearchOptions::default()
             },
         )
         .unwrap();
