@@ -1,31 +1,50 @@
-//! Machine-readable serve-path warm-vs-cold snapshot — the
-//! `BENCH_serve.json` artifact CI archives on every run, and the
-//! ISSUE 8 acceptance gate.
+//! Machine-readable serve-path snapshot — the `BENCH_serve.json`
+//! artifact CI archives on every run, and the ISSUE 8 / ISSUE 9
+//! acceptance gates.
 //!
 //! It spawns the allocation service in-process on an ephemeral port
 //! and times the same bounded eigen `table1` request end to end over
-//! the wire: the *cold* request builds the content-addressed
-//! `SearchArtifacts` and searches with no incumbent; every *warm*
-//! repeat hits the cross-request store and reseeds the incumbent from
-//! the recorded winner, so the bound prunes from step 0. The run
-//! fails on the spot if a warm response's winner columns diverge from
-//! the cold response — the reseeding-is-invisible claim, checked over
-//! the real protocol — and reports the store's hit ratio from the
-//! `stats` verb.
+//! the wire, in three regimes:
+//!
+//! * **cold** — first request against a fresh server builds the
+//!   content-addressed `SearchArtifacts` and searches with no
+//!   incumbent;
+//! * **warm** — every repeat hits the cross-request store and reseeds
+//!   the incumbent from the recorded winner, so the bound prunes from
+//!   step 0;
+//! * **edited** — one computation in eigen's output-packing block is
+//!   reworked and the mutated source re-sent to a server that holds
+//!   the original: the store diffs the block fingerprints, clones
+//!   every clean block's artifacts, re-derives only the dirty one and
+//!   re-evaluates the donor's recorded winners as seeds. The *scratch*
+//!   baseline sends the same mutated source to an empty server. Both
+//!   sides use the interactive request shape — a truncated bounded
+//!   sweep — because the edit loop is exactly where prepare cost
+//!   dominates the round trip.
+//!
+//! The run fails on the spot if a warm response's winner columns
+//! diverge from the cold response, or an edited response's from the
+//! scratch response — the reuse-is-invisible claims, checked over the
+//! real protocol — and reports the store's hit ratio and incremental
+//! reuse counters from the `stats` verb.
 //!
 //! ```text
 //! cargo run --release -p lycos_bench --bin bench_serve \
-//!     [-- --check-speedup 2] > BENCH_serve.json
+//!     [-- --check-speedup 2 --check-edited 1.5] > BENCH_serve.json
 //! ```
 //!
 //! `--check-speedup X` exits non-zero when the warm request is not at
-//! least `X` times faster than the cold one — the ISSUE 8 acceptance
-//! gate CI runs at 2. `LYCOS_BENCH_QUICK` drops to one cold trial and
-//! fewer warm repeats (CI's perf-smoke mode); the request itself is
-//! always the full bounded eigen sweep, since that *is* the gated
-//! workload.
+//! least `X` times faster than the cold one (CI gates at 2);
+//! `--check-edited X` does the same for the edited request against
+//! the from-scratch build of the same mutated program (CI gates at
+//! 1.5). `LYCOS_BENCH_QUICK` drops to one trial and fewer warm
+//! repeats (CI's perf-smoke mode); the requests themselves are never
+//! reduced — the cold/warm phases always run the full bounded eigen
+//! sweep and the edited phases its truncated interactive variant,
+//! since those *are* the gated workloads.
 
 use lycos::pace::SearchOptions;
+use lycos_serve::protocol::encode;
 use lycos_serve::{Client, Request, Response, ServeConfig, Server, STATS_CSV_HEADER};
 use std::time::{Duration, Instant};
 
@@ -34,8 +53,9 @@ const REQUEST_LINE: &str = "table1 app=eigen bound format=csv";
 
 /// CSV columns that identify the winner (name, budget, times, speedup
 /// fractions, space size, truncated) as opposed to effort telemetry
-/// (seconds, evaluated/skipped/bounded, eval rate, store counters),
-/// which legitimately shrinks when the warm incumbent prunes harder.
+/// (seconds, evaluated/skipped/bounded, eval rate, store and reuse
+/// counters), which legitimately shrinks when an incumbent prunes
+/// harder.
 const WINNER_COLUMNS: [usize; 9] = [0, 1, 2, 3, 4, 5, 6, 12, 13];
 
 fn spawn_server(defaults: SearchOptions) -> (String, std::thread::JoinHandle<()>) {
@@ -51,9 +71,9 @@ fn spawn_server(defaults: SearchOptions) -> (String, std::thread::JoinHandle<()>
     (addr, handle)
 }
 
-/// Sends the eigen request once and returns (wall seconds, body lines).
-fn timed_request(client: &mut Client) -> (f64, Vec<String>) {
-    let request = Request::parse(REQUEST_LINE).expect("parse request");
+/// Sends one request line and returns (wall seconds, body lines).
+fn timed_request(client: &mut Client, line: &str) -> (f64, Vec<String>) {
+    let request = Request::parse(line).expect("parse request");
     let started = Instant::now();
     let response = client.send(&request).expect("send request");
     let seconds = started.elapsed().as_secs_f64();
@@ -73,15 +93,15 @@ fn winner_fields(lines: &[String]) -> Vec<String> {
         .collect()
 }
 
-/// Queries the `stats` verb: (hits, misses, evictions).
-fn store_stats(client: &mut Client) -> (u64, u64, u64) {
+/// The `stats` verb row, parsed: hits, misses, evictions, entries,
+/// cap, incremental, reused, rederived.
+fn store_stats(client: &mut Client) -> Vec<u64> {
     let response = client.send(&Request::Stats).expect("send stats");
     let Response::Ok(lines) = response else {
         panic!("unexpected stats response");
     };
     assert_eq!(lines[0], STATS_CSV_HEADER, "stats header drifted");
-    let cells: Vec<u64> = lines[1].split(',').map(|c| c.parse().unwrap()).collect();
-    (cells[0], cells[1], cells[2])
+    lines[1].split(',').map(|c| c.parse().unwrap()).collect()
 }
 
 fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
@@ -101,59 +121,98 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// Exits non-zero when `actual` misses the `min` gate.
+fn gate(label: &str, actual: f64, min: Option<f64>) {
+    let Some(min) = min else { return };
+    if actual < min {
+        eprintln!("bench_serve: {label} speedup {actual:.2}x is below the {min:.2}x gate");
+        std::process::exit(1);
+    }
+    eprintln!("bench_serve: {label} speedup {actual:.2}x meets the {min:.2}x gate");
+}
+
 fn main() {
     let mut check_speedup: Option<f64> = None;
+    let mut check_edited: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--check-speedup" => {
+        let flag = arg.as_str();
+        match flag {
+            "--check-speedup" | "--check-edited" => {
                 let v = args.next().and_then(|s| s.parse::<f64>().ok());
-                match v {
-                    Some(v) => check_speedup = Some(v),
-                    None => {
-                        eprintln!("bench_serve: --check-speedup needs a number");
+                match (flag, v) {
+                    ("--check-speedup", Some(v)) => check_speedup = Some(v),
+                    ("--check-edited", Some(v)) => check_edited = Some(v),
+                    _ => {
+                        eprintln!("bench_serve: {flag} needs a number");
                         std::process::exit(2);
                     }
                 }
             }
             other => {
-                eprintln!("bench_serve: unknown argument `{other}` (expected --check-speedup <x>)");
+                eprintln!(
+                    "bench_serve: unknown argument `{other}` \
+                     (expected --check-speedup <x> / --check-edited <x>)"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let quick = std::env::var_os("LYCOS_BENCH_QUICK").is_some();
-    let (cold_trials, warm_reps) = if quick { (1, 3) } else { (2, 5) };
+    let (trials, warm_reps) = if quick { (1, 3) } else { (2, 5) };
     // Full bounded sweep — the store pays off where the search hurts.
     let defaults = SearchOptions {
         limit: None,
         ..SearchOptions::default()
     };
 
+    // The edit: rework one computation in eigen's output-packing block
+    // (the classic editor tweak — same variables in and out, different
+    // data path). Every other block keeps its content fingerprint, so
+    // the store diffs the request down to a single dirty block.
+    let eigen = lycos::apps::eigen();
+    let edited_source = eigen
+        .source
+        .replace("lamq = lam >> 2;", "lamq = lam + lam;");
+    assert_ne!(edited_source, eigen.source, "the mutation target drifted");
+    let budget = eigen.area_budget;
+    // The edit-loop request is the interactive shape: a truncated
+    // bounded sweep (the designer iterates inside a window, not over
+    // the exhaustive space), which is exactly where prepare cost —
+    // the thing the diff path removes — dominates the round trip.
+    let original_line = format!(
+        "table1 src={}@{budget} bound limit=1024 format=csv",
+        encode(eigen.source)
+    );
+    let edited_line = format!(
+        "table1 src={}@{budget} bound limit=1024 format=csv",
+        encode(&edited_source)
+    );
+
     // Cold: first request against a fresh server (and so a fresh
     // store) each trial; keep the fastest to shed scheduler noise.
     let mut cold_seconds = f64::INFINITY;
     let mut cold_lines = Vec::new();
-    for _ in 0..cold_trials {
+    for _ in 0..trials {
         let (addr, handle) = spawn_server(defaults.clone());
         let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
-        let (seconds, lines) = timed_request(&mut client);
+        let (seconds, lines) = timed_request(&mut client, REQUEST_LINE);
         cold_seconds = cold_seconds.min(seconds);
         cold_lines = lines;
         drop(client);
         shutdown(&addr, handle);
     }
     let cold_winner = winner_fields(&cold_lines);
-    eprintln!("[bench_serve] eigen cold: {cold_seconds:.3}s over {cold_trials} fresh server(s)");
+    eprintln!("[bench_serve] eigen cold: {cold_seconds:.3}s over {trials} fresh server(s)");
 
     // Warm: one server, prime the store once, then time repeats.
-    let (addr, handle) = spawn_server(defaults);
+    let (addr, handle) = spawn_server(defaults.clone());
     let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
-    let (_prime_seconds, _) = timed_request(&mut client);
+    let (_prime_seconds, _) = timed_request(&mut client, REQUEST_LINE);
     let mut warm_seconds = f64::INFINITY;
     for _ in 0..warm_reps {
-        let (seconds, lines) = timed_request(&mut client);
+        let (seconds, lines) = timed_request(&mut client, REQUEST_LINE);
         warm_seconds = warm_seconds.min(seconds);
         let warm_winner = winner_fields(&lines);
         if warm_winner != cold_winner {
@@ -164,37 +223,89 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let (hits, misses, evictions) = store_stats(&mut client);
+    let warm_stats = store_stats(&mut client);
+    let (hits, misses, evictions) = (warm_stats[0], warm_stats[1], warm_stats[2]);
     drop(client);
     shutdown(&addr, handle);
 
+    // Scratch: the mutated program against an empty server — the
+    // from-scratch baseline the edited phase must beat.
+    let mut scratch_seconds = f64::INFINITY;
+    let mut scratch_lines = Vec::new();
+    for _ in 0..trials {
+        let (addr, handle) = spawn_server(defaults.clone());
+        let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+        let (seconds, lines) = timed_request(&mut client, &edited_line);
+        scratch_seconds = scratch_seconds.min(seconds);
+        scratch_lines = lines;
+        drop(client);
+        shutdown(&addr, handle);
+    }
+    let scratch_winner = winner_fields(&scratch_lines);
+    eprintln!("[bench_serve] eigen edited from scratch: {scratch_seconds:.3}s");
+
+    // Edited: prime a fresh server with the original, then time the
+    // mutated request riding the incremental diff path. Each trial
+    // needs its own server — a repeat would be a plain store hit.
+    let mut edited_seconds = f64::INFINITY;
+    let mut reuse = Vec::new();
+    for _ in 0..trials {
+        let (addr, handle) = spawn_server(defaults.clone());
+        let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+        let (_prime_seconds, _) = timed_request(&mut client, &original_line);
+        let (seconds, lines) = timed_request(&mut client, &edited_line);
+        edited_seconds = edited_seconds.min(seconds);
+        let edited_winner = winner_fields(&lines);
+        if edited_winner != scratch_winner {
+            eprintln!(
+                "bench_serve: edited winner columns diverged from scratch \
+                 ({edited_winner:?} vs {scratch_winner:?})"
+            );
+            std::process::exit(1);
+        }
+        reuse = store_stats(&mut client);
+        drop(client);
+        shutdown(&addr, handle);
+    }
+    let (incremental, reused, rederived) = (reuse[5], reuse[6], reuse[7]);
+    if incremental != 1 || reused == 0 {
+        eprintln!(
+            "bench_serve: the edited request did not ride the diff path \
+             (incremental {incremental}, reused {reused}, rederived {rederived})"
+        );
+        std::process::exit(1);
+    }
+
     let speedup = cold_seconds / warm_seconds.max(f64::EPSILON);
+    let edited_speedup = scratch_seconds / edited_seconds.max(f64::EPSILON);
     let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
     eprintln!(
         "[bench_serve] eigen warm: {warm_seconds:.3}s best of {warm_reps} repeat(s) \
          → {speedup:.2}x vs cold; store {hits} hit(s) / {misses} miss(es)"
     );
+    eprintln!(
+        "[bench_serve] eigen edited: {edited_seconds:.3}s → {edited_speedup:.2}x vs scratch; \
+         {reused} block(s) reused / {rederived} re-derived"
+    );
 
     print!(
-        "{{\n  \"schema\": \"lycos-bench-serve/1\",\n  \"app\": \"eigen\",\n  \
+        "{{\n  \"schema\": \"lycos-bench-serve/2\",\n  \"app\": \"eigen\",\n  \
          \"request\": \"{REQUEST_LINE}\",\n  \"cold_seconds\": {},\n  \
-         \"warm_seconds\": {},\n  \"speedup\": {},\n  \"store\": {{\n    \
+         \"warm_seconds\": {},\n  \"speedup\": {},\n  \"edited\": {{\n    \
+         \"scratch_seconds\": {},\n    \"edited_seconds\": {},\n    \
+         \"speedup\": {},\n    \"blocks_reused\": {reused},\n    \
+         \"blocks_rederived\": {rederived}\n  }},\n  \"store\": {{\n    \
          \"hits\": {hits},\n    \"misses\": {misses},\n    \"evictions\": {evictions},\n    \
          \"hit_ratio\": {}\n  }}\n}}\n",
         json_num(cold_seconds),
         json_num(warm_seconds),
         json_num(speedup),
+        json_num(scratch_seconds),
+        json_num(edited_seconds),
+        json_num(edited_speedup),
         json_num(hit_ratio),
     );
 
-    if let Some(min) = check_speedup {
-        if speedup < min {
-            eprintln!(
-                "bench_serve: eigen warm request speedup {speedup:.2}x is below the \
-                 {min:.2}x gate"
-            );
-            std::process::exit(1);
-        }
-        eprintln!("bench_serve: eigen warm request speedup {speedup:.2}x meets the {min:.2}x gate");
-    }
+    gate("eigen warm request", speedup, check_speedup);
+    gate("eigen edited request", edited_speedup, check_edited);
 }

@@ -96,6 +96,12 @@ search knobs (best, pareto, table1; request defaults for serve):
                     evaluation memo (default on; results are
                     field-identical either way — warm repeats are
                     just faster)
+  --no-incremental  disable incremental artifact builds on store
+                    misses: diffing the request's per-block
+                    fingerprint against resident entries and
+                    re-deriving only the edited blocks (default on;
+                    results are field-identical either way — edits
+                    are just faster)
 
 serve knobs:
   --addr <host:port>   listen address (default 127.0.0.1:7878)
@@ -411,6 +417,10 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
         res.stats.artifact_hits,
         res.stats.artifact_misses,
         if res.stats.warm_reseeded { "on" } else { "off" },
+    );
+    println!(
+        "incremental: {} diff build(s), {} block(s) reused / {} re-derived",
+        res.stats.incremental_hits, res.stats.blocks_reused, res.stats.blocks_rederived,
     );
     Ok(())
 }
@@ -787,12 +797,17 @@ mod tests {
                 "--no-steal",
                 "--store-cap",
                 "--no-warm",
+                "--no-incremental",
             ]
         );
         // The spellings a kind does not admit stay rejected.
         assert!(switch_for("cache").is_none(), "--cache never existed");
         assert!(switch_for("no-bound").is_none(), "--no-bound never existed");
         assert!(switch_for("warm").is_none(), "--warm never existed");
+        assert!(
+            switch_for("incremental").is_none(),
+            "--incremental never existed"
+        );
         assert!(
             switch_for("threads").is_none(),
             "value knobs are not switches"

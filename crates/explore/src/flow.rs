@@ -11,7 +11,7 @@ use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
 use lycos_pace::{
     partition, ArtifactKey, ArtifactStore, PaceConfig, PaceError, ParetoResult, Partition,
-    SearchArtifacts, SearchOptions, SearchResult, WarmSeed,
+    SearchArtifacts, SearchOptions, SearchResult, StoreOutcome, WarmSeed,
 };
 use std::time::{Duration, Instant};
 
@@ -103,8 +103,12 @@ pub fn search(
 
 /// Fetches (or builds and caches) the artifacts for one request from
 /// `store`, eagerly warming the traffic memo on a miss so every later
-/// hit starts from a fully known table. Returns the shared artifacts
-/// and whether the lookup hit.
+/// hit starts from a fully known table. With `incremental`, a miss
+/// first diffs the request's per-block fingerprint against the
+/// resident entries and clones every clean block's artifacts from the
+/// nearest donor, re-deriving only the dirty ones — the edit-loop
+/// path, field-identical to a from-scratch build. Returns the shared
+/// artifacts and the [`StoreOutcome`] telemetry.
 ///
 /// # Errors
 ///
@@ -115,13 +119,36 @@ fn store_artifacts(
     lib: &HwLibrary,
     restrictions: &Restrictions,
     pace: &PaceConfig,
-) -> Result<(std::sync::Arc<SearchArtifacts>, bool), PaceError> {
+    incremental: bool,
+) -> Result<(std::sync::Arc<SearchArtifacts>, StoreOutcome), PaceError> {
+    if incremental {
+        return store.get_or_build_incremental(bsbs, lib, restrictions, pace);
+    }
     let key = ArtifactKey::of(bsbs, lib, restrictions, pace);
-    store.get_or_build(key, || {
+    let (artifacts, hit) = store.get_or_build(key, || {
         let mut artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, pace)?;
         artifacts.warm_comm(bsbs, pace);
         Ok(artifacts)
-    })
+    })?;
+    Ok((
+        artifacts,
+        StoreOutcome {
+            hit,
+            ..StoreOutcome::default()
+        },
+    ))
+}
+
+/// Copies one request's store outcome into its search telemetry.
+fn note_outcome(stats: &mut lycos_pace::SearchStats, outcome: StoreOutcome) {
+    if outcome.hit {
+        stats.artifact_hits = 1;
+    } else {
+        stats.artifact_misses = 1;
+    }
+    stats.incremental_hits = u64::from(outcome.incremental);
+    stats.blocks_reused = outcome.blocks_reused;
+    stats.blocks_rederived = outcome.blocks_rederived;
 }
 
 /// [`search`] through a cross-request [`ArtifactStore`]: artifacts are
@@ -149,7 +176,8 @@ pub fn search_with_store(
     let Some(store) = store else {
         return lycos_pace::search_best(bsbs, lib, total_area, restrictions, pace, options);
     };
-    let (artifacts, hit) = store_artifacts(store, bsbs, lib, restrictions, pace)?;
+    let (artifacts, outcome) =
+        store_artifacts(store, bsbs, lib, restrictions, pace, options.incremental)?;
     let seeds = if options.warm && options.bound {
         store.warm_seeds(artifacts.key(), total_area)
     } else {
@@ -157,11 +185,7 @@ pub fn search_with_store(
     };
     let mut result =
         lycos_pace::search_best_with(bsbs, lib, total_area, pace, options, &artifacts, &seeds)?;
-    if hit {
-        result.stats.artifact_hits = 1;
-    } else {
-        result.stats.artifact_misses = 1;
-    }
+    note_outcome(&mut result.stats, outcome);
     store.record_winner(
         artifacts.key(),
         total_area,
@@ -214,14 +238,11 @@ pub fn pareto_with_store(
     let Some(store) = store else {
         return lycos_pace::search_pareto(bsbs, lib, total_area, restrictions, pace, options);
     };
-    let (artifacts, hit) = store_artifacts(store, bsbs, lib, restrictions, pace)?;
+    let (artifacts, outcome) =
+        store_artifacts(store, bsbs, lib, restrictions, pace, options.incremental)?;
     let mut result =
         lycos_pace::search_pareto_with(bsbs, lib, total_area, pace, options, &artifacts)?;
-    if hit {
-        result.stats.artifact_hits = 1;
-    } else {
-        result.stats.artifact_misses = 1;
-    }
+    note_outcome(&mut result.stats, outcome);
     Ok(result)
 }
 

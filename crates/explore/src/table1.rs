@@ -81,6 +81,17 @@ pub struct Table1Row {
     /// telemetry: the winner columns are field-identical either way.
     /// History-dependent, so CSV-blanked unless `timing` is on.
     pub warm_reseeded: bool,
+    /// Blocks whose artifacts were cloned from a fingerprint-matched
+    /// store donor instead of re-derived (the incremental diff path).
+    /// History-dependent, so CSV-blanked unless `timing` is on.
+    pub blocks_reused: u64,
+    /// Blocks re-derived from scratch during an incremental build —
+    /// same caveat as [`Table1Row::blocks_reused`].
+    pub blocks_rederived: u64,
+    /// Whether this row's artifacts were built incrementally from a
+    /// donor entry (1) rather than from scratch or served whole from
+    /// the store (0) — same caveat as [`Table1Row::blocks_reused`].
+    pub incremental_hits: u64,
 }
 
 impl Table1Row {
@@ -154,6 +165,12 @@ pub struct Table1Options {
     /// by default; winner columns are field-identical either way —
     /// only the effort spent reaching them changes.
     pub warm: bool,
+    /// Incremental artifact builds on store misses
+    /// (`SearchOptions::incremental`): diff the request's per-block
+    /// fingerprint against resident entries and re-derive only the
+    /// dirty blocks. On by default; rows are field-identical either
+    /// way — only the reuse telemetry columns see the difference.
+    pub incremental: bool,
 }
 
 impl Default for Table1Options {
@@ -169,6 +186,7 @@ impl Default for Table1Options {
             steal: true,
             store_cap: 8,
             warm: true,
+            incremental: true,
         }
     }
 }
@@ -187,12 +205,13 @@ impl Table1Options {
             steal: self.steal,
             store_cap: self.store_cap,
             warm: self.warm,
+            incremental: self.incremental,
         }
     }
 
     /// The inverse of [`Table1Options::search_options`]: the Table 1
     /// run a resolved engine configuration implies. The two structs
-    /// carry the same ten knobs field for field, so the round trip
+    /// carry the same eleven knobs field for field, so the round trip
     /// is lossless — the seam the allocation service uses to merge
     /// wire-level knob overrides once, against `SearchOptions`, and
     /// feed the result to both verbs.
@@ -208,6 +227,7 @@ impl Table1Options {
             steal: options.steal,
             store_cap: options.store_cap,
             warm: options.warm,
+            incremental: options.incremental,
         }
     }
 }
@@ -349,6 +369,9 @@ pub fn table1_row_with_store(
         artifact_hits: search.stats.artifact_hits,
         artifact_misses: search.stats.artifact_misses,
         warm_reseeded: search.stats.warm_reseeded,
+        blocks_reused: search.stats.blocks_reused,
+        blocks_rederived: search.stats.blocks_rederived,
+        incremental_hits: search.stats.incremental_hits,
     })
 }
 
@@ -357,11 +380,13 @@ pub fn table1_row_with_store(
 /// the two outputs cannot drift.
 pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
      size_fraction,hw_fraction,alloc_seconds,evaluated,skipped,bounded,dirty_ratio,\
-     space_size,truncated,artifact_hits,artifact_misses,warm_reseeded";
+     space_size,truncated,artifact_hits,artifact_misses,warm_reseeded,\
+     blocks_reused,blocks_rederived,incremental_hits";
 
 /// One canonical CSV row (no trailing newline). With `timing` off the
-/// `alloc_seconds`, `dirty_ratio`, `artifact_hits`, `artifact_misses`
-/// and `warm_reseeded` columns are left empty, making the row a pure
+/// `alloc_seconds`, `dirty_ratio`, `artifact_hits`, `artifact_misses`,
+/// `warm_reseeded`, `blocks_reused`, `blocks_rederived` and
+/// `incremental_hits` columns are left empty, making the row a pure
 /// function of the search outcome — byte-identical across runs,
 /// machines and transports, which is what the service smoke tests diff
 /// against. (`dirty_ratio` counts each worker's first from-scratch
@@ -374,7 +399,7 @@ pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,ite
 /// covers `space_size` (the engine's accounting invariant).
 pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
     format!(
-        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.name,
         r.lines,
         r.heuristic_su,
@@ -409,6 +434,21 @@ pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
         },
         if timing {
             r.warm_reseeded.to_string()
+        } else {
+            String::new()
+        },
+        if timing {
+            r.blocks_reused.to_string()
+        } else {
+            String::new()
+        },
+        if timing {
+            r.blocks_rederived.to_string()
+        } else {
+            String::new()
+        },
+        if timing {
+            r.incremental_hits.to_string()
         } else {
             String::new()
         },
@@ -482,6 +522,9 @@ mod tests {
             artifact_hits: 0,
             artifact_misses: 0,
             warm_reseeded: false,
+            blocks_reused: 0,
+            blocks_rederived: 0,
+            incremental_hits: 0,
         }
     }
 
@@ -504,18 +547,21 @@ mod tests {
         let mut r = row("hal", 2000.0, 2000.0, None);
         r.artifact_hits = 1;
         r.warm_reseeded = true;
+        r.blocks_reused = 3;
+        r.blocks_rederived = 1;
+        r.incremental_hits = 1;
         let stable = table1_csv_row(&r, false);
         assert_eq!(
             stable,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false,,,"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false,,,,,,"
         );
         // The run-history columns (alloc wall clock, dirty ratio,
-        // artifact hits/misses, warm reseed) are the only difference
-        // between the modes.
+        // artifact hits/misses, warm reseed, incremental reuse) are
+        // the only difference between the modes.
         let timed = table1_csv_row(&r, true);
         assert_eq!(
             timed,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false,1,0,true"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false,1,0,true,3,1,1"
         );
     }
 
@@ -532,7 +578,7 @@ mod tests {
         let line = table1_csv_row(&r, true);
         assert_eq!(
             line,
-            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false,0,0,false"
+            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false,0,0,false,0,0,0"
         );
         // The window the engine walked is fully accounted.
         assert_eq!(r.evaluated as u128 + r.skipped as u128 + r.bounded, 9);
@@ -570,7 +616,8 @@ mod tests {
             .simd(false)
             .steal(false)
             .store_cap(3)
-            .warm(false);
+            .warm(false)
+            .incremental(false);
         for opts in [SearchOptions::default(), all_flipped] {
             assert_eq!(
                 Table1Options::from_search_options(&opts).search_options(),

@@ -60,7 +60,7 @@ use crate::metrics::{bsb_statics, BsbStatics};
 use crate::{PaceConfig, PaceError};
 use lycos_core::kind_positions;
 use lycos_hwlib::{CommModel, Cycles, FuId, HwLibrary};
-use lycos_ir::BsbArray;
+use lycos_ir::{Bsb, BsbArray};
 use lycos_sched::{list_schedule, FuCounts};
 
 /// Sentinel for a projection that cannot execute its block.
@@ -215,6 +215,12 @@ pub struct SearchBounds {
     marginal_at: Vec<Vec<usize>>,
     /// Σ relaxed contributions — the bound with nothing fixed.
     relaxed_total: u64,
+    /// The per-block communication floor each table was built with
+    /// (all zeros without a comm model). Kept so the incremental diff
+    /// path can tell whether a content-clean block's table is still
+    /// valid: an edit elsewhere can move a barrier and change a clean
+    /// block's segmented floor, which bakes into its table entries.
+    floors: Vec<u64>,
     dims_len: usize,
 }
 
@@ -272,119 +278,80 @@ impl SearchBounds {
         memo: &mut CommCosts,
     ) -> Result<Self, PaceError> {
         let dim_fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
-        // First pass: static barriers — blocks hardware-infeasible
-        // under EVERY allocation of this space (immovable, a kind
-        // outside the dimensions, or needing more units than the
-        // cap). Runs the DP can form never span one, which is what
-        // makes the segmented communication floor admissible.
-        let barrier: Vec<bool> = statics
-            .iter()
-            .map(|stat| {
-                if !stat.movable {
-                    return true;
-                }
-                match kind_positions(&dim_fus, &stat.kinds).filter(|p| !p.is_empty()) {
-                    None => true,
-                    Some(positions) => positions
-                        .iter()
-                        .zip(&stat.kinds)
-                        .any(|(&p, &fu)| stat.needed.count(fu) > dims[p].1),
-                }
-            })
-            .collect();
-        let floors = match comm {
-            Some(model) => comm_floors(bsbs, model, &barrier, memo),
-            None => vec![0u64; bsbs.len()],
-        };
+        let floors = floors_for(bsbs, dims, &dim_fus, statics, comm, memo);
         let mut blocks = Vec::with_capacity(bsbs.len());
-        let mut exact_at = vec![Vec::new(); dims.len()];
-        let mut marginal_at = vec![Vec::new(); dims.len()];
         for (b, (bsb, stat)) in bsbs.iter().zip(statics).enumerate() {
-            let positions = if stat.movable {
-                kind_positions(&dim_fus, &stat.kinds)
-            } else {
-                None
-            };
-            let sw = stat.sw_time.count();
-            let Some(positions) = positions.filter(|p| !p.is_empty()) else {
-                // Not movable, a kind outside the space, or no kinds at
-                // all: software at every level, folded into the floor.
-                blocks.push(BlockBound::immovable(sw));
+            blocks.push(block_bound(bsb, stat, lib, dims, &dim_fus, floors[b])?);
+        }
+        Ok(Self::assemble(blocks, floors, dims.len()))
+    }
+
+    /// [`SearchBounds::from_statics`] via the incremental diff path:
+    /// clone the donor's table for every block whose content matched
+    /// (`matched[b] == Some(donor_index)`) *and* whose communication
+    /// floor is unchanged, re-derive the rest. Barrier flags and
+    /// segmented floors are always recomputed from the new statics —
+    /// an edit that moves a barrier silently changes the floors of
+    /// content-clean neighbours, and the floor comparison is what
+    /// propagates that transitive invalidation into the tables.
+    ///
+    /// Produces tables field-identical to [`SearchBounds::from_statics`]
+    /// on the same inputs: a cloned table is only reused when every
+    /// input it was built from (block content via the match, dims via
+    /// the caller's equality check, floor via the comparison here) is
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchBounds::from_statics`], for the re-derived blocks.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn patched(
+        donor: &SearchBounds,
+        matched: &[Option<usize>],
+        bsbs: &BsbArray,
+        lib: &HwLibrary,
+        dims: &[(FuId, u32)],
+        statics: &[BsbStatics],
+        comm: Option<&CommModel>,
+        memo: &mut CommCosts,
+    ) -> Result<Self, PaceError> {
+        debug_assert_eq!(donor.dims_len, dims.len(), "caller checks dims equality");
+        let dim_fus: Vec<FuId> = dims.iter().map(|&(fu, _)| fu).collect();
+        let floors = floors_for(bsbs, dims, &dim_fus, statics, comm, memo);
+        let mut blocks = Vec::with_capacity(bsbs.len());
+        for (b, (bsb, stat)) in bsbs.iter().zip(statics).enumerate() {
+            let clean = matched[b].filter(|&j| donor.floors[j] == floors[b]);
+            match clean {
+                Some(j) => blocks.push(donor.blocks[j].clone()),
+                None => blocks.push(block_bound(bsb, stat, lib, dims, &dim_fus, floors[b])?),
+            }
+        }
+        Ok(Self::assemble(blocks, floors, dims.len()))
+    }
+
+    /// Builds the level index (`exact_at`/`marginal_at`) and the
+    /// relaxed floor over finished per-block tables.
+    fn assemble(blocks: Vec<BlockBound>, floors: Vec<u64>, dims_len: usize) -> Self {
+        let mut exact_at = vec![Vec::new(); dims_len];
+        let mut marginal_at = vec![Vec::new(); dims_len];
+        for (b, bound) in blocks.iter().enumerate() {
+            if bound.positions.is_empty() {
                 continue;
-            };
-            // The unavoidable communication share every hardware
-            // placement of this block pays; capping the sum below
-            // INFEASIBLE keeps the sentinel unambiguous (capping only
-            // loosens, so admissibility survives).
-            let floor = floors[b];
-            let radix: Vec<u32> = positions.iter().map(|&p| dims[p].1 + 1).collect();
-            let needed: Vec<u32> = stat.kinds.iter().map(|&fu| stat.needed.count(fu)).collect();
-            let size = radix
-                .iter()
-                .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
-                .filter(|&s| s <= MAX_TABLE);
-            let (table, marg, relaxed) = match size {
-                None => (Vec::new(), Vec::new(), sw.min(floor)),
-                Some(size) => {
-                    let top_radix = *radix.last().expect("non-empty") as usize;
-                    let mut table = vec![INFEASIBLE; size];
-                    let mut marg = vec![INFEASIBLE; top_radix];
-                    let mut relaxed = sw;
-                    let mut counts = vec![0u32; positions.len()];
-                    for entry in table.iter_mut() {
-                        let feasible = counts.iter().zip(&needed).all(|(&c, &need)| c >= need);
-                        if feasible {
-                            let fu_counts: FuCounts = stat
-                                .kinds
-                                .iter()
-                                .zip(&counts)
-                                .map(|(&fu, &c)| (fu, c))
-                                .collect();
-                            let sched = list_schedule(&bsb.dfg, lib, &fu_counts)?;
-                            let hw = (Cycles::new(sched.length()) * bsb.profile)
-                                .count()
-                                .saturating_add(floor)
-                                .min(INFEASIBLE - 1);
-                            *entry = hw;
-                            let top = *counts.last().expect("non-empty") as usize;
-                            marg[top] = marg[top].min(hw);
-                            relaxed = relaxed.min(hw);
-                        }
-                        // Advance the block-local odometer.
-                        for (c, &r) in counts.iter_mut().zip(&radix) {
-                            *c += 1;
-                            if *c < r {
-                                break;
-                            }
-                            *c = 0;
-                        }
-                    }
-                    (table, marg, relaxed)
-                }
-            };
-            let bound = BlockBound {
-                sw,
-                positions,
-                radix,
-                needed,
-                table,
-                marg,
-                relaxed,
-            };
+            }
             exact_at[bound.min_pos()].push(b);
             if bound.min_pos() < bound.max_pos() {
                 marginal_at[bound.max_pos()].push(b);
             }
-            blocks.push(bound);
         }
         let relaxed_total = blocks.iter().map(|b| b.relaxed).sum();
-        Ok(SearchBounds {
+        SearchBounds {
             blocks,
             exact_at,
             marginal_at,
             relaxed_total,
-            dims_len: dims.len(),
-        })
+            floors,
+            dims_len,
+        }
     }
 
     /// The bound with no kind fixed: no allocation in the space can
@@ -425,6 +392,127 @@ impl SearchBounds {
             blk.relaxed
         }
     }
+}
+
+/// Static barrier flags and segmented communication floors of one
+/// application over one allocation space — the floor inputs both the
+/// fresh and the incremental table builds recompute identically.
+fn floors_for(
+    bsbs: &BsbArray,
+    dims: &[(FuId, u32)],
+    dim_fus: &[FuId],
+    statics: &[BsbStatics],
+    comm: Option<&CommModel>,
+    memo: &mut CommCosts,
+) -> Vec<u64> {
+    // Static barriers — blocks hardware-infeasible under EVERY
+    // allocation of this space (immovable, a kind outside the
+    // dimensions, or needing more units than the cap). Runs the DP
+    // can form never span one, which is what makes the segmented
+    // communication floor admissible.
+    let barrier: Vec<bool> = statics
+        .iter()
+        .map(|stat| {
+            if !stat.movable {
+                return true;
+            }
+            match kind_positions(dim_fus, &stat.kinds).filter(|p| !p.is_empty()) {
+                None => true,
+                Some(positions) => positions
+                    .iter()
+                    .zip(&stat.kinds)
+                    .any(|(&p, &fu)| stat.needed.count(fu) > dims[p].1),
+            }
+        })
+        .collect();
+    match comm {
+        Some(model) => comm_floors(bsbs, model, &barrier, memo),
+        None => vec![0u64; bsbs.len()],
+    }
+}
+
+/// Builds one block's bound tables — a pure function of the block's
+/// content (DFG and profile via `bsb`, derived resources via `stat`),
+/// the library, the space dimensions, and the block's communication
+/// floor. The incremental path leans on exactly this purity: equal
+/// inputs ⇒ an identical table, so a clone substitutes for a rebuild.
+fn block_bound(
+    bsb: &Bsb,
+    stat: &BsbStatics,
+    lib: &HwLibrary,
+    dims: &[(FuId, u32)],
+    dim_fus: &[FuId],
+    floor: u64,
+) -> Result<BlockBound, PaceError> {
+    let positions = if stat.movable {
+        kind_positions(dim_fus, &stat.kinds)
+    } else {
+        None
+    };
+    let sw = stat.sw_time.count();
+    let Some(positions) = positions.filter(|p| !p.is_empty()) else {
+        // Not movable, a kind outside the space, or no kinds at
+        // all: software at every level, folded into the floor.
+        return Ok(BlockBound::immovable(sw));
+    };
+    // The unavoidable communication share every hardware placement of
+    // this block pays; capping the sum below INFEASIBLE keeps the
+    // sentinel unambiguous (capping only loosens, so admissibility
+    // survives).
+    let radix: Vec<u32> = positions.iter().map(|&p| dims[p].1 + 1).collect();
+    let needed: Vec<u32> = stat.kinds.iter().map(|&fu| stat.needed.count(fu)).collect();
+    let size = radix
+        .iter()
+        .try_fold(1usize, |acc, &r| acc.checked_mul(r as usize))
+        .filter(|&s| s <= MAX_TABLE);
+    let (table, marg, relaxed) = match size {
+        None => (Vec::new(), Vec::new(), sw.min(floor)),
+        Some(size) => {
+            let top_radix = *radix.last().expect("non-empty") as usize;
+            let mut table = vec![INFEASIBLE; size];
+            let mut marg = vec![INFEASIBLE; top_radix];
+            let mut relaxed = sw;
+            let mut counts = vec![0u32; positions.len()];
+            for entry in table.iter_mut() {
+                let feasible = counts.iter().zip(&needed).all(|(&c, &need)| c >= need);
+                if feasible {
+                    let fu_counts: FuCounts = stat
+                        .kinds
+                        .iter()
+                        .zip(&counts)
+                        .map(|(&fu, &c)| (fu, c))
+                        .collect();
+                    let sched = list_schedule(&bsb.dfg, lib, &fu_counts)?;
+                    let hw = (Cycles::new(sched.length()) * bsb.profile)
+                        .count()
+                        .saturating_add(floor)
+                        .min(INFEASIBLE - 1);
+                    *entry = hw;
+                    let top = *counts.last().expect("non-empty") as usize;
+                    marg[top] = marg[top].min(hw);
+                    relaxed = relaxed.min(hw);
+                }
+                // Advance the block-local odometer.
+                for (c, &r) in counts.iter_mut().zip(&radix) {
+                    *c += 1;
+                    if *c < r {
+                        break;
+                    }
+                    *c = 0;
+                }
+            }
+            (table, marg, relaxed)
+        }
+    };
+    Ok(BlockBound {
+        sw,
+        positions,
+        radix,
+        needed,
+        table,
+        marg,
+        relaxed,
+    })
 }
 
 /// Incrementally-maintained per-level bounds of one branch-and-bound

@@ -155,6 +155,128 @@ impl CommCosts {
         }
         self.cost[idx]
     }
+
+    /// Copies into a fresh table every run price that provably
+    /// survives a profile-only edit of the blocks listed in `dirty`
+    /// (positions into `bsbs`, which must have the var sets the donor
+    /// table was priced under — the caller checks that with per-block
+    /// read/write-set marks).
+    ///
+    /// With every read/write set unchanged, a dirty block `d` can move
+    /// the price of run `[j, k]` only through its *rate* — profiles
+    /// enter [`run_traffic`] nowhere else — and a rate involving `d`
+    /// is charged in exactly four situations:
+    ///
+    /// * the run contains `d` and `d` *imports*: `d` reads `v` whose
+    ///   latest producer sits before the run — a producer inside the
+    ///   run makes the edge internal (free), and a variable nobody
+    ///   wrote yet is a program input, charged at the constant rate 1;
+    /// * the run contains `d` and `d` *exports*: `d` is the run's last
+    ///   writer of `v` (no rewrite between `d` and the run's end) and
+    ///   a later reader consumes `v` before its next rewrite;
+    /// * `d` produces a value the run imports: `d` writes `v`, the run
+    ///   starts after `d` but before `v`'s next rewrite, and some run
+    ///   block up to (and including) that rewrite reads `v` — readers
+    ///   past the rewrite are fed by it, not by `d`;
+    /// * `d` is the *first* consumer of a value the run exports: the
+    ///   run writes `v`, `d > k` reads it, and nothing touches `v`
+    ///   between the run's end and `d` — an intervening reader sets
+    ///   the outbound rate instead, an intervening writer kills the
+    ///   value.
+    ///
+    /// Killer blocks (rewrites after the run) gate outbound traffic by
+    /// *identity*, not rate, so a profile edit never acts through
+    /// them; every cell the rules above leave untouched carries over.
+    pub(crate) fn carry_clean(&self, bsbs: &BsbArray, dirty: &[usize]) -> CommCosts {
+        let n = bsbs.len();
+        assert_eq!(n, self.n, "table built for another app");
+        let blocks = bsbs.as_slice();
+        let mut stale = vec![false; n * n];
+        for &d in dirty {
+            // `d` importing from before the run: only runs that start
+            // after `v`'s producer and still contain `d` pay a rate
+            // with `d`'s profile in it.
+            for v in &blocks[d].reads {
+                let Some(p) = blocks[..d].iter().rposition(|b| b.writes.contains(v)) else {
+                    continue; // program input: rate 1, profile-free
+                };
+                for j in p + 1..=d {
+                    for cell in stale[j * n + d..j * n + n].iter_mut() {
+                        *cell = true;
+                    }
+                }
+            }
+            for v in &blocks[d].writes {
+                let nw = blocks[d + 1..]
+                    .iter()
+                    .position(|b| b.writes.contains(v))
+                    .map_or(n, |p| d + 1 + p);
+                // `d` exporting: runs ending in [d, nw) with a reader
+                // left in (k, nw] have `d` as their last writer of `v`
+                // and that reader as its consumer. (A co-located
+                // reader at `nw` consumes before rewriting — the
+                // outbound scan checks reads first.)
+                let mut reader_after = nw < n && blocks[nw].reads.contains(v);
+                for k in (d..nw.min(n)).rev() {
+                    if k + 1 < nw && blocks[k + 1].reads.contains(v) {
+                        reader_after = true;
+                    }
+                    if reader_after {
+                        for row in 0..=d {
+                            stale[row * n + k] = true;
+                        }
+                    }
+                }
+                // `d` as producer for later-starting runs: the readers
+                // it feeds lie in (d, nw] — a run starting in that
+                // window pays d's rate once it reaches the first one.
+                let mut first_reader = usize::MAX;
+                for j in (d + 1..=nw.min(n - 1)).rev() {
+                    if blocks[j].reads.contains(v) {
+                        first_reader = j;
+                    }
+                    if first_reader != usize::MAX {
+                        for cell in stale[j * n + first_reader..j * n + n].iter_mut() {
+                            *cell = true;
+                        }
+                    }
+                }
+            }
+            // `d` as first later reader: a run ending at k < d exports
+            // to `d` only if it writes `v` (last writer ≥ j) and no
+            // block in (k, d) reads or writes `v`.
+            for v in &blocks[d].reads {
+                let last_touch = blocks[..d]
+                    .iter()
+                    .rposition(|b| b.reads.contains(v) || b.writes.contains(v));
+                let mut last_writer = None;
+                for k in 0..d {
+                    if blocks[k].writes.contains(v) {
+                        last_writer = Some(k);
+                    }
+                    if last_touch.is_some_and(|t| k < t) {
+                        continue; // something still touches v after k
+                    }
+                    if let Some(w) = last_writer {
+                        for j in 0..=w {
+                            stale[j * n + k] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = CommCosts::new(n);
+        for j in 0..n {
+            for k in j..n {
+                let idx = j * n + k;
+                if !stale[idx] && self.known[idx] {
+                    out.cost[idx] = self.cost[idx];
+                    out.known[idx] = true;
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Admissible per-block communication floors for the search bound.
@@ -219,6 +341,13 @@ mod tests {
     use super::*;
     use lycos_ir::{Bsb, BsbId, BsbOrigin, Dfg};
     use std::collections::BTreeSet;
+
+    /// The array with block `d`'s profile bumped — a pure rate edit.
+    fn with_bump(original: &BsbArray, d: usize) -> BsbArray {
+        let mut blocks = original.as_slice().to_vec();
+        blocks[d].profile += 13;
+        BsbArray::from_bsbs("t", blocks)
+    }
 
     fn bsb(i: u32, profile: u64, reads: &[&str], writes: &[&str]) -> Bsb {
         Bsb {
@@ -319,6 +448,114 @@ mod tests {
         );
         let t = run_traffic(&bsbs, 1, 2);
         assert_eq!(t.in_words, 5, "min(5, 50) beats min(5, 10), charged once");
+    }
+
+    #[test]
+    fn carried_runs_match_a_full_reprice_exhaustively() {
+        // A producer/consumer chain with a shared constant, a block
+        // that consumes the value it rewrites (5 reads *and* rewrites
+        // `out`, so it imports the old value while being its next
+        // writer) and a tail reader behind that rewrite, edited by
+        // profile only at every position in turn: each carried cell
+        // must equal the from-scratch price of the edited array, and
+        // cells the edit can actually move must NOT be carried.
+        let original = BsbArray::from_bsbs(
+            "t",
+            vec![
+                bsb(0, 4, &["in"], &["c", "x"]),
+                bsb(1, 40, &["c", "x"], &["y"]),
+                bsb(2, 40, &["y"], &["x"]),
+                bsb(3, 7, &["q"], &["q"]),
+                bsb(4, 9, &["x", "q"], &["out"]),
+                bsb(5, 30, &["out", "x"], &["out"]),
+                bsb(6, 50, &["out"], &[]),
+            ],
+        );
+        let model = CommModel::standard();
+        let n = original.len();
+        let mut donor = CommCosts::new(n);
+        for j in 0..n {
+            for k in j..n {
+                donor.cost(&original, &model, j, k);
+            }
+        }
+        for d in 0..n {
+            let mut blocks = original.as_slice().to_vec();
+            blocks[d].profile += 13;
+            let edited = BsbArray::from_bsbs("t", blocks);
+            let carried = donor.carry_clean(&edited, &[d]);
+            let mut fresh = CommCosts::new(n);
+            for j in 0..n {
+                for k in j..n {
+                    let price = fresh.cost(&edited, &model, j, k);
+                    let idx = j * n + k;
+                    if carried.known[idx] {
+                        assert_eq!(
+                            carried.cost[idx], price,
+                            "stale carry for run [{j},{k}] under edit at {d}"
+                        );
+                    }
+                }
+            }
+            // Any cell the edit actually moved must have been dropped
+            // (the equality assert above covers carried cells; this
+            // states the contrapositive directly).
+            for j in 0..n {
+                for k in j..n {
+                    let idx = j * n + k;
+                    if donor.cost[idx] != fresh.cost[idx] {
+                        assert!(!carried.known[idx], "run [{j},{k}] moved under edit at {d}");
+                    }
+                }
+            }
+        }
+        // The isolated self-loop block (3) couples to nothing before
+        // it, so editing block 0 leaves its singleton run carried.
+        let mut blocks = original.as_slice().to_vec();
+        blocks[0].profile += 1;
+        let edited = BsbArray::from_bsbs("t", blocks);
+        let carried = donor.carry_clean(&edited, &[0]);
+        assert!(carried.known[3 * n + 3], "uncoupled run must carry over");
+        // Precision, not just soundness: run [4,4] reads `x`, but its
+        // producer is block 2's rewrite — block 0's stale `x` never
+        // reaches it, so a variable-intersection rule would give this
+        // cell up for nothing.
+        assert!(
+            carried.known[4 * n + 4],
+            "re-written producer shields the run"
+        );
+        // Block 6 reads `out`, yet editing 4 leaves its run priced:
+        // block 5's rewrite is its producer.
+        let carried = donor.carry_clean(&with_bump(&original, 4), &[4]);
+        assert!(
+            !carried.known[5 * n + 5],
+            "rewriter that consumes the value pays 4's rate"
+        );
+        assert!(
+            carried.known[6 * n + 6],
+            "reader behind the rewrite is shielded"
+        );
+        // Editing the tail reader (6) leaves run [3,4] priced even
+        // though the run writes `out`: block 5 consumes the value
+        // first, so 6's rate never enters the run's outbound price.
+        let carried = donor.carry_clean(&with_bump(&original, 6), &[6]);
+        assert!(
+            carried.known[3 * n + 4],
+            "earlier consumer shields the exporter"
+        );
+        // Even a run CONTAINING the dirty block can carry: inside
+        // [2,4], block 3 imports only the program input `q` (rate 1,
+        // profile-free) and its `q` export dies unread past the run's
+        // end — so 3's profile never enters the price.
+        let carried = donor.carry_clean(&with_bump(&original, 3), &[3]);
+        assert!(
+            carried.known[2 * n + 4],
+            "profile-decoupled run spans the edit yet carries"
+        );
+        assert!(
+            !carried.known[2 * n + 3],
+            "run [2,3] exports q to block 4 at 3's rate"
+        );
     }
 
     #[test]

@@ -164,6 +164,12 @@ fn set_warm(o: &mut SearchOptions, s: KnobSetting) {
     }
 }
 
+fn set_incremental(o: &mut SearchOptions, s: KnobSetting) {
+    if let KnobSetting::Switch(on) = s {
+        o.incremental = on;
+    }
+}
+
 /// Every engine knob, in the canonical surface order: the order CLI
 /// usage lists them and the serve protocol's `to_line` emits them.
 pub const SEARCH_KNOBS: &[SearchKnob] = &[
@@ -236,6 +242,13 @@ pub const SEARCH_KNOBS: &[SearchKnob] = &[
         kind: KnobKind::DisabledBy,
         set: set_warm,
         get: |o| KnobSetting::Switch(o.warm),
+    },
+    SearchKnob {
+        name: "incremental",
+        wire: "no-incremental",
+        kind: KnobKind::DisabledBy,
+        set: set_incremental,
+        get: |o| KnobSetting::Switch(o.incremental),
     },
 ];
 
@@ -393,6 +406,10 @@ mod tests {
         );
         assert_eq!(
             search_knob("warm").unwrap().read(&d),
+            KnobSetting::Switch(true)
+        );
+        assert_eq!(
+            search_knob("incremental").unwrap().read(&d),
             KnobSetting::Switch(true)
         );
         assert!(search_knob("no-such-knob").is_none());

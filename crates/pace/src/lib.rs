@@ -92,7 +92,9 @@ mod knobs;
 mod metrics;
 mod search;
 
-pub use artifacts::{ArtifactKey, ArtifactStore, SearchArtifacts, StoreStats, WarmSeed};
+pub use artifacts::{
+    ArtifactKey, ArtifactStore, BlockKey, SearchArtifacts, StoreOutcome, StoreStats, WarmSeed,
+};
 pub use bounds::SearchBounds;
 pub use comm::{run_traffic, CommCosts, RunTraffic};
 pub use config::PaceConfig;

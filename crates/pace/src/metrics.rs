@@ -63,28 +63,42 @@ pub(crate) struct BsbStatics {
     pub movable: bool,
 }
 
-/// Precomputes [`BsbStatics`] for every block.
+/// Precomputes [`BsbStatics`] for one block — a pure function of the
+/// block's content, the library, and the CPU model, which is what lets
+/// the incremental artifact path re-derive exactly the edited blocks
+/// and clone the rest.
 ///
 /// # Errors
 ///
 /// [`PaceError::Hw`] if an operation kind has no default unit.
+pub(crate) fn block_statics(
+    bsb: &Bsb,
+    lib: &HwLibrary,
+    config: &PaceConfig,
+) -> Result<BsbStatics, PaceError> {
+    let needed = required_resources(bsb, lib)?;
+    let kinds: Vec<FuId> = needed.iter().map(|(fu, _)| fu).collect();
+    Ok(BsbStatics {
+        sw_time: config.cpu.bsb_time(bsb),
+        needed,
+        kinds,
+        movable: !bsb.dfg.is_empty(),
+    })
+}
+
+/// Precomputes [`BsbStatics`] for every block.
+///
+/// # Errors
+///
+/// As [`block_statics`].
 pub(crate) fn bsb_statics(
     bsbs: &BsbArray,
     lib: &HwLibrary,
     config: &PaceConfig,
 ) -> Result<Vec<BsbStatics>, PaceError> {
-    let mut out = Vec::with_capacity(bsbs.len());
-    for bsb in bsbs {
-        let needed = required_resources(bsb, lib)?;
-        let kinds: Vec<FuId> = needed.iter().map(|(fu, _)| fu).collect();
-        out.push(BsbStatics {
-            sw_time: config.cpu.bsb_time(bsb),
-            needed,
-            kinds,
-            movable: !bsb.dfg.is_empty(),
-        });
-    }
-    Ok(out)
+    bsbs.iter()
+        .map(|bsb| block_statics(bsb, lib, config))
+        .collect()
 }
 
 /// Metrics of one hardware-feasible block under `counts`. `counts` must

@@ -166,6 +166,16 @@ pub struct SearchOptions {
     /// A/B benchmarking the warm path. On by default; off leaves no
     /// trace (nothing served, nothing recorded).
     pub warm: bool,
+    /// Whether a store miss may build its artifacts *incrementally*
+    /// from the nearest resident entry by per-block fingerprint
+    /// overlap — cloning statics, bound tables, and the traffic memo
+    /// for content-clean blocks and re-deriving only the dirty ones
+    /// (see `lycos_pace::BlockKey`). Sound — results stay
+    /// field-identical to a from-scratch build, pinned by
+    /// `incremental_prop.rs` — so this knob exists for A/B
+    /// benchmarking the edit loop. On by default; off always builds
+    /// from scratch on a miss.
+    pub incremental: bool,
 }
 
 impl Default for SearchOptions {
@@ -181,6 +191,7 @@ impl Default for SearchOptions {
             steal: true,
             store_cap: 8,
             warm: true,
+            incremental: true,
         }
     }
 }
@@ -270,6 +281,13 @@ impl SearchOptions {
     #[must_use]
     pub fn warm(mut self, warm: bool) -> Self {
         self.warm = warm;
+        self
+    }
+
+    /// Replaces [`SearchOptions::incremental`].
+    #[must_use]
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 
@@ -367,6 +385,20 @@ pub struct SearchStats {
     /// one. The result is field-identical either way; this flag is the
     /// telemetry that the prune had a head start.
     pub warm_reseeded: bool,
+    /// Blocks whose allocation-independent artifacts (statics, bound
+    /// tables) were cloned from a resident store entry on the
+    /// incremental diff path instead of being re-derived. Zero on
+    /// store hits, from-scratch misses, and store-less runs.
+    pub blocks_reused: u64,
+    /// Blocks re-derived from scratch during an incremental build —
+    /// the edited (dirty) blocks of the diff.
+    pub blocks_rederived: u64,
+    /// Whether this request's artifacts were built incrementally from
+    /// a fingerprint-overlapping donor entry (1) rather than from
+    /// scratch or served whole from the store (0). Counted as a `u64`
+    /// so the Table-1 CSV and serve telemetry can sum it across
+    /// requests.
+    pub incremental_hits: u64,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -3507,6 +3539,9 @@ mod tests {
         b.stats.elapsed = Duration::from_secs(5);
         b.stats.artifact_hits = 3;
         b.stats.warm_reseeded = true;
+        b.stats.blocks_reused = 4;
+        b.stats.blocks_rederived = 1;
+        b.stats.incremental_hits = 1;
         assert_eq!(a, b, "telemetry must not break result identity");
     }
 
@@ -3522,7 +3557,8 @@ mod tests {
             .simd(false)
             .steal(false)
             .store_cap(3)
-            .warm(false);
+            .warm(false)
+            .incremental(false);
         let literal = SearchOptions {
             threads: 4,
             limit: Some(9),
@@ -3534,6 +3570,7 @@ mod tests {
             steal: false,
             store_cap: 3,
             warm: false,
+            incremental: false,
         };
         assert_eq!(built, literal);
         assert_eq!(SearchOptions::new(), SearchOptions::default());

@@ -22,6 +22,10 @@ impl Client {
     /// [`ServeError::Io`] if the server is not reachable.
     pub fn connect(addr: &str) -> Result<Client, ServeError> {
         let stream = TcpStream::connect(addr)?;
+        // Inline-source request lines span several segments; without
+        // this, Nagle holds the tail segments for the peer's delayed
+        // ACK (~40ms) — dwarfing the request itself on the edit loop.
+        stream.set_nodelay(true)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,

@@ -541,6 +541,7 @@ mod tests {
         knobs.set("steal", KnobSetting::Switch(false));
         knobs.set("store-cap", KnobSetting::Count(1));
         knobs.set("warm", KnobSetting::Switch(false));
+        knobs.set("incremental", KnobSetting::Switch(false));
         knobs
     }
 
@@ -734,11 +735,13 @@ mod tests {
 
     #[test]
     fn engine_lever_flags_round_trip_bare() {
-        let req = Request::parse("table1 app=hal no-bound-comm no-simd no-steal no-warm").unwrap();
+        let req =
+            Request::parse("table1 app=hal no-bound-comm no-simd no-steal no-warm no-incremental")
+                .unwrap();
         let Request::Table1(t) = &req else {
             panic!("not a table1 request")
         };
-        for name in ["bound-comm", "simd", "steal", "warm"] {
+        for name in ["bound-comm", "simd", "steal", "warm", "incremental"] {
             assert_eq!(
                 t.knobs.get(name),
                 Some(KnobSetting::Switch(false)),

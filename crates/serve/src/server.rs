@@ -136,13 +136,19 @@ impl Server {
                     break;
                 }
                 match listener.accept() {
-                    Ok((stream, _)) => match tx.try_send(stream) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(stream)) => {
-                            reject_busy(stream, workers, config.queue);
+                    Ok((stream, _)) => {
+                        // Responses are written line-wise; let them go
+                        // out as produced instead of parking behind
+                        // Nagle for the client's delayed ACK.
+                        let _ = stream.set_nodelay(true);
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => {
+                                reject_busy(stream, workers, config.queue);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
-                        Err(TrySendError::Disconnected(_)) => break,
-                    },
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL);
                     }
@@ -333,18 +339,19 @@ fn respond(
 }
 
 /// Header of the `stats` verb's two-line CSV body.
-pub const STATS_CSV_HEADER: &str = "hits,misses,evictions,entries,cap";
+pub const STATS_CSV_HEADER: &str = "hits,misses,evictions,entries,cap,incremental,reused,rederived";
 
 /// Answers the `stats` verb: the artifact store's counters as a
-/// two-line CSV (header + values), so clients can watch hit ratios
-/// and residency without scraping logs.
+/// two-line CSV (header + values), so clients can watch hit ratios,
+/// residency and edit-loop reuse rates (incremental builds, blocks
+/// reused vs re-derived) without scraping logs.
 fn run_stats(store: &ArtifactStore) -> Response {
     let s = store.stats();
     Response::Ok(vec![
         STATS_CSV_HEADER.to_owned(),
         format!(
-            "{},{},{},{},{}",
-            s.hits, s.misses, s.evictions, s.entries, s.cap
+            "{},{},{},{},{},{},{},{}",
+            s.hits, s.misses, s.evictions, s.entries, s.cap, s.incremental, s.reused, s.rederived
         ),
     ])
 }

@@ -187,17 +187,28 @@ fn pareto_verb_matches_the_facade_frontier_byte_for_byte() {
     handle.join().expect("server thread");
 }
 
-/// Parses the `stats` verb's two-line CSV into
-/// `(hits, misses, evictions, entries)`.
-fn store_stats(client: &mut Client) -> (u64, u64, u64, u64) {
+/// The `stats` verb's two-line CSV, parsed.
+fn stats_row(client: &mut Client) -> Vec<u64> {
     match client.send(&Request::Stats).expect("send stats") {
         Response::Ok(lines) => {
             assert_eq!(lines[0], lycos_serve::STATS_CSV_HEADER);
-            let v: Vec<u64> = lines[1].split(',').map(|n| n.parse().unwrap()).collect();
-            (v[0], v[1], v[2], v[3])
+            lines[1].split(',').map(|n| n.parse().unwrap()).collect()
         }
         other => panic!("unexpected stats response {other:?}"),
     }
+}
+
+/// `(hits, misses, evictions, entries)` from the `stats` verb.
+fn store_stats(client: &mut Client) -> (u64, u64, u64, u64) {
+    let v = stats_row(client);
+    (v[0], v[1], v[2], v[3])
+}
+
+/// `(incremental, reused, rederived)` — the edit-loop reuse counters
+/// the `stats` verb reports after `cap`.
+fn reuse_stats(client: &mut Client) -> (u64, u64, u64) {
+    let v = stats_row(client);
+    (v[5], v[6], v[7])
 }
 
 #[test]
@@ -229,13 +240,21 @@ fn repeat_requests_hit_the_artifact_store_and_stay_byte_identical() {
     };
     assert_eq!(first, second, "hit response drifted from the miss response");
     assert_eq!(store_stats(&mut client), (1, 1, 0, 1));
+    assert_eq!(reuse_stats(&mut client), (0, 0, 0), "no edits yet");
 
     // An inline source misses, repeats hit, and a one-token mutation
-    // of the program is a different fingerprint — a fresh miss.
-    let original =
-        lycos_serve::protocol::encode("app hot;\nloop l times 500 {\n  y = y + u * dx;\n}");
-    let mutated =
-        lycos_serve::protocol::encode("app hot;\nloop l times 501 {\n  y = y + u * dx;\n}");
+    // of the program is a different fingerprint — a fresh miss. The
+    // second loop's trip-count edit leaves the first loop's block
+    // content-clean, so the miss builds incrementally from the
+    // resident original: one block cloned, one re-derived.
+    let original = lycos_serve::protocol::encode(
+        "app hot;\nloop a times 300 {\n  y = y + u * dx;\n}\n\
+         loop b times 500 {\n  u = u - 3 * y * dx;\n}",
+    );
+    let mutated = lycos_serve::protocol::encode(
+        "app hot;\nloop a times 300 {\n  y = y + u * dx;\n}\n\
+         loop b times 501 {\n  u = u - 3 * y * dx;\n}",
+    );
     for (src, expected_stats) in [
         (&original, (1, 2, 0, 2)),
         (&original, (2, 2, 0, 2)),
@@ -250,6 +269,11 @@ fn repeat_requests_hit_the_artifact_store_and_stay_byte_identical() {
         }
         assert_eq!(store_stats(&mut client), expected_stats);
     }
+    assert_eq!(
+        reuse_stats(&mut client),
+        (1, 1, 1),
+        "the edited program reused its clean block from the donor"
+    );
 
     assert_eq!(
         client.send(&Request::Shutdown).expect("send"),
