@@ -22,6 +22,21 @@
 //!   sweep — because the edit loop is exactly where prepare cost
 //!   dominates the round trip.
 //!
+//! Two robustness phases ride along (the ISSUE 10 acceptance gates):
+//!
+//! * **deadline** — a bounded eigen *full* sweep issued in-process
+//!   with a 25 ms deadline must return within 2× the deadline with a
+//!   feasible winner and exhaustive accounting; the same request over
+//!   the wire (a 50 ms tiny deadline, primed store, warm reseeding
+//!   off so the bound cannot finish the sweep early) must answer
+//!   within 2× with the `deadline` completion marker and a non-empty
+//!   incumbent;
+//! * **soak** — a cancelled, a panicking and a deadline-truncated
+//!   request run concurrently, after which the `stats` verb must
+//!   count the caught panic and a clean batch must stay byte-identical
+//!   to the in-process sequential CSV — the pool never shrank and the
+//!   chaos left no residue.
+//!
 //! The run fails on the spot if a warm response's winner columns
 //! diverge from the cold response, or an edited response's from the
 //! scratch response — the reuse-is-invisible claims, checked over the
@@ -43,6 +58,7 @@
 //! sweep and the edited phases its truncated interactive variant,
 //! since those *are* the gated workloads.
 
+use lycos::explore::TABLE1_CSV_HEADER;
 use lycos::pace::SearchOptions;
 use lycos_serve::protocol::encode;
 use lycos_serve::{Client, Request, Response, ServeConfig, Server, STATS_CSV_HEADER};
@@ -50,6 +66,15 @@ use std::time::{Duration, Instant};
 
 const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
 const REQUEST_LINE: &str = "table1 app=eigen bound format=csv";
+
+/// The anytime gate's wall-clock budget for the bare search stage.
+const DEADLINE_MS: u64 = 25;
+
+/// The tiny deadline of the over-the-wire anytime gate. Wider than
+/// [`DEADLINE_MS`]: a request also pays the fixed pipeline cost
+/// (frontend compile, allocation, partition replays, the wire), which
+/// the in-process gate deliberately excludes.
+const WIRE_DEADLINE_MS: u64 = 50;
 
 /// CSV columns that identify the winner (name, budget, times, speedup
 /// fractions, space size, truncated) as opposed to effort telemetry
@@ -64,6 +89,7 @@ fn spawn_server(defaults: SearchOptions) -> (String, std::thread::JoinHandle<()>
         workers: 1,
         queue: 4,
         defaults,
+        ..ServeConfig::default()
     })
     .expect("bind an ephemeral port");
     let addr = server.local_addr().expect("bound address").to_string();
@@ -83,6 +109,18 @@ fn timed_request(client: &mut Client, line: &str) -> (f64, Vec<String>) {
     }
 }
 
+/// The named cell of the first data row of a CSV response.
+fn csv_cell<'a>(lines: &'a [String], column: &str) -> &'a str {
+    let at = TABLE1_CSV_HEADER
+        .split(',')
+        .position(|c| c == column)
+        .expect("header names the column");
+    lines
+        .get(1)
+        .and_then(|row| row.split(',').nth(at))
+        .unwrap_or("")
+}
+
 fn winner_fields(lines: &[String]) -> Vec<String> {
     // Header + one eigen row; compare the row's winner columns only.
     let row = lines.get(1).expect("csv row");
@@ -94,7 +132,7 @@ fn winner_fields(lines: &[String]) -> Vec<String> {
 }
 
 /// The `stats` verb row, parsed: hits, misses, evictions, entries,
-/// cap, incremental, reused, rederived.
+/// cap, incremental, reused, rederived, panics.
 fn store_stats(client: &mut Client) -> Vec<u64> {
     let response = client.send(&Request::Stats).expect("send stats");
     let Response::Ok(lines) = response else {
@@ -276,6 +314,234 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Deadline, in process: the ISSUE 10 acceptance gate on the bare
+    // search stage. A bounded eigen *full* sweep issued with a 25 ms
+    // deadline must return within 2× the deadline, marked
+    // `DeadlineTruncated`, with a feasible best-so-far winner and
+    // accounting that sums to the space size.
+    let search_wall = {
+        use lycos::pace::{
+            search_best_with_stop, Completion, PaceConfig, SearchArtifacts, StopSignal,
+        };
+        let bsbs = eigen.bsbs();
+        let lib = lycos::hwlib::HwLibrary::standard();
+        let pace = PaceConfig::standard();
+        let area = lycos::hwlib::Area::new(eigen.area_budget);
+        let restr = lycos::core::Restrictions::from_asap(&bsbs, &lib).expect("restrictions");
+        let artifacts =
+            SearchArtifacts::prepare(&bsbs, &lib, &restr, &pace).expect("prepare artifacts");
+        let options = SearchOptions {
+            threads: 1,
+            limit: None,
+            bound: true,
+            deadline_ms: Some(DEADLINE_MS),
+            ..SearchOptions::default()
+        };
+        let started = Instant::now();
+        let res = search_best_with_stop(
+            &bsbs,
+            &lib,
+            area,
+            &pace,
+            &options,
+            &artifacts,
+            &[],
+            &StopSignal::never(),
+        )
+        .expect("deadline search");
+        let wall = started.elapsed().as_secs_f64();
+        let budget = 2.0 * DEADLINE_MS as f64 / 1_000.0;
+        if res.stats.completion != Completion::DeadlineTruncated
+            || res.best_gates > area.gates()
+            || res.points_accounted() != res.space_size
+            || wall > budget
+        {
+            eprintln!(
+                "bench_serve: in-process {DEADLINE_MS}ms deadline gate failed \
+                 (wall {wall:.3}s vs {budget:.3}s, completion {:?}, \
+                 accounted {} of {})",
+                res.stats.completion,
+                res.points_accounted(),
+                res.space_size
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[bench_serve] eigen {DEADLINE_MS}ms search deadline: {wall:.3}s wall, \
+             {} of {} points accounted",
+            res.points_accounted(),
+            res.space_size
+        );
+        wall
+    };
+
+    // Deadline, over the wire. Against a primed store the round trip
+    // is search-dominated — but with warm reseeding *off*, or the
+    // recorded winner would let the bound finish the whole sweep
+    // inside the deadline. The tiny deadline must answer within 2×,
+    // marked `deadline`, with a non-empty best-so-far incumbent.
+    let deadline_line = format!(
+        "table1 app=eigen bound no-warm limit=0 threads=1 deadline-ms={WIRE_DEADLINE_MS} timing \
+         format=csv"
+    );
+    let (addr, handle) = spawn_server(defaults.clone());
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    let (_prime_seconds, _) = timed_request(&mut client, REQUEST_LINE);
+    let mut deadline_wall = f64::INFINITY;
+    let mut deadline_lines = Vec::new();
+    for _ in 0..3 {
+        let (seconds, lines) = timed_request(&mut client, &deadline_line);
+        if seconds < deadline_wall {
+            deadline_wall = seconds;
+            deadline_lines = lines;
+        }
+    }
+    drop(client);
+    shutdown(&addr, handle);
+    let completion = csv_cell(&deadline_lines, "completion");
+    let incumbent = csv_cell(&deadline_lines, "best_su_pct");
+    if completion != "deadline" || incumbent.is_empty() {
+        eprintln!(
+            "bench_serve: deadline request did not truncate with an incumbent \
+             (completion `{completion}`, best_su_pct `{incumbent}`)"
+        );
+        std::process::exit(1);
+    }
+    let deadline_budget = 2.0 * WIRE_DEADLINE_MS as f64 / 1_000.0;
+    if deadline_wall > deadline_budget {
+        eprintln!(
+            "bench_serve: deadline request took {deadline_wall:.3}s, \
+             over the 2x budget of {deadline_budget:.3}s\n{deadline_lines:?}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench_serve] eigen {WIRE_DEADLINE_MS}ms request deadline: {deadline_wall:.3}s wall, \
+         completion `{completion}`, incumbent {incumbent}%"
+    );
+
+    // Soak: a cancelled, a panicking and a deadline-truncated request
+    // run concurrently; afterwards the `stats` verb must count the
+    // caught panic and a clean batch must match the in-process
+    // sequential CSV byte for byte — twice.
+    let soak_panics;
+    {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue: 8,
+            defaults: defaults.clone(),
+            fault_injection: true,
+            ..ServeConfig::default()
+        })
+        .expect("bind an ephemeral port");
+        let addr = server.local_addr().expect("bound address").to_string();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+        let hog = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+                timed_request(
+                    &mut client,
+                    "table1 app=eigen bound limit=0 threads=1 timing format=csv job=91",
+                )
+                .1
+            })
+        };
+        let faulty = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+                let request = Request::parse("table1 app=__panic").expect("parse request");
+                client.send(&request).expect("send request")
+            })
+        };
+        let truncated = {
+            let addr = addr.clone();
+            let deadline_line = deadline_line.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+                timed_request(&mut client, &deadline_line).1
+            })
+        };
+        let mut control = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+        loop {
+            match control.send_line("cancel 91").expect("send cancel") {
+                Response::Ok(_) => break,
+                Response::Error(_) => std::thread::sleep(Duration::from_millis(10)),
+                other => panic!("unexpected cancel response {other:?}"),
+            }
+        }
+        let cancelled = hog.join().expect("cancelled request");
+        if csv_cell(&cancelled, "completion") != "cancelled" {
+            eprintln!("bench_serve: soak hog did not report `cancelled`: {cancelled:?}");
+            std::process::exit(1);
+        }
+        match faulty.join().expect("panicking request") {
+            Response::Error(msg) if msg.contains("panic") => {}
+            other => {
+                eprintln!("bench_serve: soak panic answered {other:?}");
+                std::process::exit(1);
+            }
+        }
+        let truncated = truncated.join().expect("deadlined request");
+        if csv_cell(&truncated, "completion") != "deadline" {
+            eprintln!("bench_serve: soak deadline did not report `deadline`: {truncated:?}");
+            std::process::exit(1);
+        }
+        soak_panics = store_stats(&mut control)[8];
+        if soak_panics == 0 {
+            eprintln!("bench_serve: soak stats did not count the caught panic");
+            std::process::exit(1);
+        }
+
+        // The clean batch, against the same resolved knobs the server
+        // applies: request overrides on top of the server defaults.
+        let resolved = SearchOptions {
+            limit: Some(400),
+            threads: 1,
+            ..defaults.clone()
+        };
+        let options = lycos::explore::Table1Options::from_search_options(&resolved);
+        let rows: Vec<_> = [lycos::apps::straight(), lycos::apps::hal()]
+            .iter()
+            .map(|app| {
+                lycos::explore::table1_row(
+                    app,
+                    &lycos::hwlib::HwLibrary::standard(),
+                    &lycos::pace::PaceConfig::standard(),
+                    &options,
+                )
+                .expect("reference row")
+            })
+            .collect();
+        let reference = lycos::explore::format_table1_csv(&rows, false);
+        for round in 1..=2 {
+            let (_seconds, lines) = timed_request(
+                &mut control,
+                "table1 apps=straight,hal limit=400 threads=1 format=csv",
+            );
+            let body = lines.join("\n") + "\n";
+            if body != reference {
+                eprintln!(
+                    "bench_serve: soak batch {round} diverged from the \
+                     sequential CSV:\n{body}---\n{reference}"
+                );
+                std::process::exit(1);
+            }
+        }
+        drop(control);
+        shutdown(&addr, handle);
+    }
+    eprintln!(
+        "[bench_serve] soak: cancelled + panicked ({soak_panics}) + deadlined concurrently; \
+         clean batches stayed byte-identical"
+    );
+
     let speedup = cold_seconds / warm_seconds.max(f64::EPSILON);
     let edited_speedup = scratch_seconds / edited_seconds.max(f64::EPSILON);
     let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
@@ -289,12 +555,16 @@ fn main() {
     );
 
     print!(
-        "{{\n  \"schema\": \"lycos-bench-serve/2\",\n  \"app\": \"eigen\",\n  \
+        "{{\n  \"schema\": \"lycos-bench-serve/3\",\n  \"app\": \"eigen\",\n  \
          \"request\": \"{REQUEST_LINE}\",\n  \"cold_seconds\": {},\n  \
          \"warm_seconds\": {},\n  \"speedup\": {},\n  \"edited\": {{\n    \
          \"scratch_seconds\": {},\n    \"edited_seconds\": {},\n    \
          \"speedup\": {},\n    \"blocks_reused\": {reused},\n    \
-         \"blocks_rederived\": {rederived}\n  }},\n  \"store\": {{\n    \
+         \"blocks_rederived\": {rederived}\n  }},\n  \"deadline\": {{\n    \
+         \"search_deadline_ms\": {DEADLINE_MS},\n    \"search_wall_seconds\": {},\n    \
+         \"wire_deadline_ms\": {WIRE_DEADLINE_MS},\n    \"wire_wall_seconds\": {},\n    \
+         \"completion\": \"{completion}\"\n  }},\n  \"soak\": {{\n    \
+         \"panics\": {soak_panics}\n  }},\n  \"store\": {{\n    \
          \"hits\": {hits},\n    \"misses\": {misses},\n    \"evictions\": {evictions},\n    \
          \"hit_ratio\": {}\n  }}\n}}\n",
         json_num(cold_seconds),
@@ -303,6 +573,8 @@ fn main() {
         json_num(scratch_seconds),
         json_num(edited_seconds),
         json_num(edited_speedup),
+        json_num(search_wall),
+        json_num(deadline_wall),
         json_num(hit_ratio),
     );
 

@@ -102,6 +102,11 @@ search knobs (best, pareto, table1; request defaults for serve):
                     re-deriving only the edited blocks (default on;
                     results are field-identical either way — edits
                     are just faster)
+  --deadline-ms <n> anytime search: stop each sweep after <n> ms
+                    and answer with the best-so-far winner (or the
+                    partial Pareto frontier); the CSV `completion`
+                    column says `deadline` when the cap fired
+                    (0 = no deadline, the default)
 
 serve knobs:
   --addr <host:port>   listen address (default 127.0.0.1:7878)
@@ -399,6 +404,17 @@ fn cmd_best(args: &[String]) -> Result<(), String> {
         },
         if res.truncated { ", truncated" } else { "" }
     );
+    // An anytime stop leaves part of the window unvisited; say so
+    // rather than letting the space line quietly stop adding up.
+    if !res.stats.completion.is_complete() {
+        println!(
+            "stopped    : {} after {} of {} points ({} unvisited)",
+            res.stats.completion,
+            res.space_size - res.stats.unvisited,
+            res.space_size,
+            res.stats.unvisited,
+        );
+    }
     println!("best       : {}", res.best_allocation.display_with(&lib));
     println!("speed-up   : {:.0}%", res.best_partition.speedup_pct());
     println!(
@@ -798,6 +814,7 @@ mod tests {
                 "--store-cap",
                 "--no-warm",
                 "--no-incremental",
+                "--deadline-ms",
             ]
         );
         // The spellings a kind does not admit stay rejected.

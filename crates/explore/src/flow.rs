@@ -11,7 +11,7 @@ use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
 use lycos_pace::{
     partition, ArtifactKey, ArtifactStore, PaceConfig, PaceError, ParetoResult, Partition,
-    SearchArtifacts, SearchOptions, SearchResult, StoreOutcome, WarmSeed,
+    SearchArtifacts, SearchOptions, SearchResult, StopSignal, StoreOutcome, WarmSeed,
 };
 use std::time::{Duration, Instant};
 
@@ -173,8 +173,53 @@ pub fn search_with_store(
     options: &SearchOptions,
     store: Option<&ArtifactStore>,
 ) -> Result<SearchResult, PaceError> {
+    search_with_store_stop(
+        bsbs,
+        lib,
+        total_area,
+        restrictions,
+        pace,
+        options,
+        store,
+        &StopSignal::never(),
+    )
+}
+
+/// [`search_with_store`] under an external [`StopSignal`] — the
+/// anytime seam the allocation service drives with its per-connection
+/// cancel flags (the deadline half of the signal also folds in from
+/// [`SearchOptions::deadline_ms`]). On a trip the result carries the
+/// best-so-far incumbent and a non-`Complete`
+/// [`lycos_pace::Completion`]; a truncated winner is still a feasible,
+/// DP-exact point of the space, so recording it back as a warm seed
+/// stays sound (seeds only ever tighten pruning).
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+#[allow(clippy::too_many_arguments)] // the _with_store seam plus the stop signal
+pub fn search_with_store_stop(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    options: &SearchOptions,
+    store: Option<&ArtifactStore>,
+    stop: &StopSignal,
+) -> Result<SearchResult, PaceError> {
     let Some(store) = store else {
-        return lycos_pace::search_best(bsbs, lib, total_area, restrictions, pace, options);
+        let artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, pace)?;
+        return lycos_pace::search_best_with_stop(
+            bsbs,
+            lib,
+            total_area,
+            pace,
+            options,
+            &artifacts,
+            &[],
+            stop,
+        );
     };
     let (artifacts, outcome) =
         store_artifacts(store, bsbs, lib, restrictions, pace, options.incremental)?;
@@ -183,8 +228,9 @@ pub fn search_with_store(
     } else {
         Vec::new()
     };
-    let mut result =
-        lycos_pace::search_best_with(bsbs, lib, total_area, pace, options, &artifacts, &seeds)?;
+    let mut result = lycos_pace::search_best_with_stop(
+        bsbs, lib, total_area, pace, options, &artifacts, &seeds, stop,
+    )?;
     note_outcome(&mut result.stats, outcome);
     store.record_winner(
         artifacts.key(),
@@ -235,13 +281,48 @@ pub fn pareto_with_store(
     options: &SearchOptions,
     store: Option<&ArtifactStore>,
 ) -> Result<ParetoResult, PaceError> {
+    pareto_with_store_stop(
+        bsbs,
+        lib,
+        total_area,
+        restrictions,
+        pace,
+        options,
+        store,
+        &StopSignal::never(),
+    )
+}
+
+/// [`pareto_with_store`] under an external [`StopSignal`]: on a trip
+/// the result is the partial frontier of everything visited before the
+/// stop (every point on it feasible and DP-exact), marked by its
+/// non-`Complete` [`lycos_pace::Completion`].
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from partition evaluation.
+#[allow(clippy::too_many_arguments)] // the _with_store seam plus the stop signal
+pub fn pareto_with_store_stop(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    restrictions: &Restrictions,
+    pace: &PaceConfig,
+    options: &SearchOptions,
+    store: Option<&ArtifactStore>,
+    stop: &StopSignal,
+) -> Result<ParetoResult, PaceError> {
     let Some(store) = store else {
-        return lycos_pace::search_pareto(bsbs, lib, total_area, restrictions, pace, options);
+        let artifacts = SearchArtifacts::prepare(bsbs, lib, restrictions, pace)?;
+        return lycos_pace::search_pareto_with_stop(
+            bsbs, lib, total_area, pace, options, &artifacts, stop,
+        );
     };
     let (artifacts, outcome) =
         store_artifacts(store, bsbs, lib, restrictions, pace, options.incremental)?;
-    let mut result =
-        lycos_pace::search_pareto_with(bsbs, lib, total_area, pace, options, &artifacts)?;
+    let mut result = lycos_pace::search_pareto_with_stop(
+        bsbs, lib, total_area, pace, options, &artifacts, stop,
+    )?;
     note_outcome(&mut result.stats, outcome);
     Ok(result)
 }

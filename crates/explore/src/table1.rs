@@ -14,12 +14,12 @@
 //! (`Size`) and the static hardware/software split (`HW/SW`).
 
 use crate::apply_iteration;
-use crate::flow::{allocate_and_partition, evaluate, search_with_store};
+use crate::flow::{allocate_and_partition, evaluate, search_with_store_stop};
 use lycos_apps::{BenchmarkApp, IterationHint};
 use lycos_core::{AllocConfig, RMap, Restrictions};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::BsbArray;
-use lycos_pace::{ArtifactStore, PaceConfig, PaceError, SearchOptions};
+use lycos_pace::{ArtifactStore, Completion, PaceConfig, PaceError, SearchOptions, StopSignal};
 use std::time::Duration;
 
 /// One row of the reproduced Table 1.
@@ -92,6 +92,16 @@ pub struct Table1Row {
     /// donor entry (1) rather than from scratch or served whole from
     /// the store (0) — same caveat as [`Table1Row::blocks_reused`].
     pub incremental_hits: u64,
+    /// How the search ended ([`lycos_pace::Completion`]): `Complete`
+    /// rows are exact; `DeadlineTruncated`/`Cancelled` rows carry the
+    /// best-so-far winner over the points visited before the stop.
+    /// *Where* a wall-clock deadline lands is nondeterministic, so the
+    /// CSV blanks a non-`Complete` marker unless `timing` is on.
+    pub completion: Completion,
+    /// Points of the candidate window no worker reached before the
+    /// stop ([`lycos_pace::SearchStats::unvisited`]); `0` on complete
+    /// runs. Same nondeterminism caveat as [`Table1Row::completion`].
+    pub unvisited: u128,
 }
 
 impl Table1Row {
@@ -171,6 +181,11 @@ pub struct Table1Options {
     /// dirty blocks. On by default; rows are field-identical either
     /// way — only the reuse telemetry columns see the difference.
     pub incremental: bool,
+    /// Wall-clock budget for the search stage in milliseconds
+    /// (`SearchOptions::deadline_ms`; `None` = run to completion). On
+    /// expiry the winner columns hold the best-so-far incumbent and
+    /// [`Table1Row::completion`] marks the row `deadline`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for Table1Options {
@@ -187,6 +202,7 @@ impl Default for Table1Options {
             store_cap: 8,
             warm: true,
             incremental: true,
+            deadline_ms: None,
         }
     }
 }
@@ -206,12 +222,13 @@ impl Table1Options {
             store_cap: self.store_cap,
             warm: self.warm,
             incremental: self.incremental,
+            deadline_ms: self.deadline_ms,
         }
     }
 
     /// The inverse of [`Table1Options::search_options`]: the Table 1
     /// run a resolved engine configuration implies. The two structs
-    /// carry the same eleven knobs field for field, so the round trip
+    /// carry the same twelve knobs field for field, so the round trip
     /// is lossless — the seam the allocation service uses to merge
     /// wire-level knob overrides once, against `SearchOptions`, and
     /// feed the result to both verbs.
@@ -228,6 +245,7 @@ impl Table1Options {
             store_cap: options.store_cap,
             warm: options.warm,
             incremental: options.incremental,
+            deadline_ms: options.deadline_ms,
         }
     }
 }
@@ -313,6 +331,27 @@ pub fn table1_row_with_store(
     options: &Table1Options,
     store: Option<&ArtifactStore>,
 ) -> Result<Table1Row, PaceError> {
+    table1_row_with_store_stop(subject, lib, pace, options, store, &StopSignal::never())
+}
+
+/// [`table1_row_with_store`] under an external [`StopSignal`]: the
+/// signal governs the search stage (step 3) — on a trip the winner
+/// columns hold the best-so-far incumbent and
+/// [`Table1Row::completion`] records the reason. The allocation stage
+/// and the design iteration are single PACE evaluations and always run
+/// to completion.
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] from allocation or partitioning.
+pub fn table1_row_with_store_stop(
+    subject: &Table1Subject<'_>,
+    lib: &HwLibrary,
+    pace: &PaceConfig,
+    options: &Table1Options,
+    store: Option<&ArtifactStore>,
+    stop: &StopSignal,
+) -> Result<Table1Row, PaceError> {
     let bsbs = subject.bsbs;
     let area = subject.budget;
     let restrictions = Restrictions::from_asap(bsbs, lib)?;
@@ -330,7 +369,7 @@ pub fn table1_row_with_store(
 
     // 3. PACE on every allocation, through the memoised search engine
     //    (artifacts shared across requests when a store is attached).
-    let search = search_with_store(
+    let search = search_with_store_stop(
         bsbs,
         lib,
         area,
@@ -338,6 +377,7 @@ pub fn table1_row_with_store(
         pace,
         &options.search_options(),
         store,
+        stop,
     )?;
 
     // 4. The manual design iteration, when the paper used one.
@@ -372,6 +412,8 @@ pub fn table1_row_with_store(
         blocks_reused: search.stats.blocks_reused,
         blocks_rederived: search.stats.blocks_rederived,
         incremental_hits: search.stats.incremental_hits,
+        completion: search.stats.completion,
+        unvisited: search.stats.unvisited,
     })
 }
 
@@ -381,7 +423,7 @@ pub fn table1_row_with_store(
 pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,iterated_su_pct,\
      size_fraction,hw_fraction,alloc_seconds,evaluated,skipped,bounded,dirty_ratio,\
      space_size,truncated,artifact_hits,artifact_misses,warm_reseeded,\
-     blocks_reused,blocks_rederived,incremental_hits";
+     blocks_reused,blocks_rederived,incremental_hits,completion,unvisited";
 
 /// One canonical CSV row (no trailing newline). With `timing` off the
 /// `alloc_seconds`, `dirty_ratio`, `artifact_hits`, `artifact_misses`,
@@ -397,9 +439,15 @@ pub const TABLE1_CSV_HEADER: &str = "name,lines,heuristic_su_pct,best_su_pct,ite
 /// they are never folded into `skipped`, so
 /// `evaluated + skipped + bounded` plus the truncated tail always
 /// covers `space_size` (the engine's accounting invariant).
+///
+/// The `completion`/`unvisited` pair follows the same rule with one
+/// refinement: a `Complete` run is deterministic by construction
+/// (`complete,0` whatever the machine), so it is emitted even in
+/// stable mode; a deadline- or cancel-truncated run depends on where
+/// the wall clock landed, so without `timing` both cells are blanked.
 pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
     format!(
-        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{:.2},{:.2},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.name,
         r.lines,
         r.heuristic_su,
@@ -449,6 +497,16 @@ pub fn table1_csv_row(r: &Table1Row, timing: bool) -> String {
         },
         if timing {
             r.incremental_hits.to_string()
+        } else {
+            String::new()
+        },
+        if timing || r.completion.is_complete() {
+            r.completion.as_str().to_string()
+        } else {
+            String::new()
+        },
+        if timing || r.completion.is_complete() {
+            r.unvisited.to_string()
         } else {
             String::new()
         },
@@ -525,6 +583,8 @@ mod tests {
             blocks_reused: 0,
             blocks_rederived: 0,
             incremental_hits: 0,
+            completion: Completion::Complete,
+            unvisited: 0,
         }
     }
 
@@ -553,7 +613,7 @@ mod tests {
         let stable = table1_csv_row(&r, false);
         assert_eq!(
             stable,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false,,,,,,"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,,10,0,0,,10,false,,,,,,,complete,0"
         );
         // The run-history columns (alloc wall clock, dirty ratio,
         // artifact hits/misses, warm reseed, incremental reuse) are
@@ -561,8 +621,28 @@ mod tests {
         let timed = table1_csv_row(&r, true);
         assert_eq!(
             timed,
-            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false,1,0,true,3,1,1"
+            "hal,100,2000.00,2000.00,,0.8000,0.5000,0.003000,10,0,0,1.0000,10,false,1,0,true,3,1,1,complete,0"
         );
+    }
+
+    #[test]
+    fn csv_blanks_truncated_completion_unless_timing() {
+        // Where a wall-clock deadline lands is machine-dependent, so
+        // stable rows blank the pair; complete rows keep it (pinned
+        // above) because `complete,0` is deterministic by construction.
+        let mut r = row("hal", 2000.0, 2000.0, None);
+        r.completion = Completion::DeadlineTruncated;
+        r.unvisited = 4;
+        r.evaluated = 6;
+        let stable = table1_csv_row(&r, false);
+        assert!(
+            stable.ends_with(",,,"),
+            "stable mode blanks the pair: {stable}"
+        );
+        let timed = table1_csv_row(&r, true);
+        assert!(timed.ends_with(",deadline,4"), "timing keeps it: {timed}");
+        r.completion = Completion::Cancelled;
+        assert!(table1_csv_row(&r, true).ends_with(",cancelled,4"));
     }
 
     #[test]
@@ -578,7 +658,7 @@ mod tests {
         let line = table1_csv_row(&r, true);
         assert_eq!(
             line,
-            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false,0,0,false,0,0,0"
+            "eigen,100,100.00,150.00,,0.8000,0.5000,0.003000,4,2,3,0.1250,10,false,0,0,false,0,0,0,complete,0"
         );
         // The window the engine walked is fully accounted.
         assert_eq!(r.evaluated as u128 + r.skipped as u128 + r.bounded, 9);
@@ -617,7 +697,8 @@ mod tests {
             .steal(false)
             .store_cap(3)
             .warm(false)
-            .incremental(false);
+            .incremental(false)
+            .deadline_ms(Some(500));
         for opts in [SearchOptions::default(), all_flipped] {
             assert_eq!(
                 Table1Options::from_search_options(&opts).search_options(),

@@ -82,7 +82,7 @@ use lycos_ir::{Bsb, BsbArray, BsbOrigin, Dfg, OpKind};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Streaming FNV-1a 64-bit hasher over an explicit byte serialization.
 ///
@@ -587,7 +587,11 @@ impl SearchArtifacts {
         // Evaluation memos depend on every block and the dimensions at
         // once; only a zero-dirty edit (pure rename) may carry them.
         let eval_memos = if rederived == 0 && n == donor.statics.len() && dims == donor.dims {
-            donor.eval_memos.lock().expect("eval memo lock").clone()
+            donor
+                .eval_memos
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
         } else {
             Vec::new()
         };
@@ -777,7 +781,10 @@ impl SearchArtifacts {
     /// served to warm runs so non-improving candidates skip the DP
     /// (and the metrics refresh) outright.
     pub(crate) fn eval_memo(&self, budget_gates: u64) -> Option<Arc<HashMap<u128, u64>>> {
-        let mut memos = self.eval_memos.lock().expect("eval memo lock");
+        let mut memos = self
+            .eval_memos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let pos = memos.iter().position(|(b, _)| *b == budget_gates)?;
         let entry = memos.remove(pos);
         let memo = entry.1.clone();
@@ -793,7 +800,10 @@ impl SearchArtifacts {
         if pairs.is_empty() {
             return;
         }
-        let mut memos = self.eval_memos.lock().expect("eval memo lock");
+        let mut memos = self
+            .eval_memos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let pos = memos.iter().position(|(b, _)| *b == budget_gates);
         let mut entry = match pos {
             Some(pos) => memos.remove(pos),
@@ -998,7 +1008,7 @@ impl ArtifactStore {
     /// Looks `key` up, refreshing its LRU position. Counts a hit or a
     /// miss.
     pub fn get(&self, key: ArtifactKey) -> Option<Arc<SearchArtifacts>> {
-        let mut inner = self.inner.lock().expect("artifact store poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let stamp = inner.stamp();
         if let Some(entry) = inner.map.get_mut(&key) {
             entry.used = stamp;
@@ -1019,7 +1029,7 @@ impl ArtifactStore {
         key: ArtifactKey,
         artifacts: Arc<SearchArtifacts>,
     ) -> Arc<SearchArtifacts> {
-        let mut inner = self.inner.lock().expect("artifact store poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let stamp = inner.stamp();
         if let Some(entry) = inner.map.get_mut(&key) {
             entry.used = stamp;
@@ -1071,7 +1081,7 @@ impl ArtifactStore {
     /// the incremental donor — along with a snapshot of its recorded
     /// winners. Ties break towards the most recently used entry.
     fn find_donor(&self, fingerprint: &[BlockKey], context: u64) -> Option<Donor> {
-        let inner = self.inner.lock().expect("artifact store poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut mult: HashMap<BlockKey, usize> = HashMap::new();
         for &bk in fingerprint {
             *mult.entry(bk).or_insert(0) += 1;
@@ -1183,7 +1193,7 @@ impl ArtifactStore {
     /// run at `budget`: exactly those recorded at a budget no larger
     /// than the current one (their points are still area-feasible).
     pub fn warm_seeds(&self, key: ArtifactKey, budget: Area) -> Vec<WarmSeed> {
-        let inner = self.inner.lock().expect("artifact store poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner
             .map
             .get(&key)
@@ -1201,7 +1211,7 @@ impl ArtifactStore {
     /// winner at the same budget. A no-op if `key` was evicted in the
     /// meantime.
     pub fn record_winner(&self, key: ArtifactKey, budget: Area, seed: WarmSeed) {
-        let mut inner = self.inner.lock().expect("artifact store poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(entry) = inner.map.get_mut(&key) else {
             return;
         };
@@ -1217,7 +1227,7 @@ impl ArtifactStore {
 
     /// A snapshot of the store's counters.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock().expect("artifact store poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

@@ -49,6 +49,7 @@
 
 use crate::artifacts::SearchArtifacts;
 use crate::metrics::BsbMetrics;
+use crate::stop::StopSignal;
 use crate::{CommCosts, PaceConfig, PaceError};
 use lycos_core::RMap;
 use lycos_hwlib::{Area, Cycles, HwLibrary};
@@ -266,6 +267,34 @@ impl DpScratch {
         ctl_budget: Area,
         config: &PaceConfig,
     ) -> u64 {
+        self.evaluate_stoppable(
+            bsbs,
+            metrics,
+            comm,
+            ctl_budget,
+            config,
+            &StopSignal::never(),
+        )
+        .expect("a never-signal cannot stop the DP")
+    }
+
+    /// [`DpScratch::evaluate`] with a cooperative stop check between DP
+    /// rows: returns `None` if `stop` trips mid-evaluation (the grids
+    /// are then partially filled and must not be backtracked), `Some`
+    /// with the exact hybrid time otherwise. A row is the natural
+    /// abandon granularity — each costs `O(width × runs)` and rows are
+    /// the unit the scoped row-split parallelism already joins on, so
+    /// the check adds one branch per row and bounds deadline overrun to
+    /// a single row.
+    pub(crate) fn evaluate_stoppable(
+        &mut self,
+        bsbs: &BsbArray,
+        metrics: &[BsbMetrics],
+        comm: &mut CommCosts,
+        ctl_budget: Area,
+        config: &PaceConfig,
+        stop: &StopSignal,
+    ) -> Option<u64> {
         let l = bsbs.len();
         debug_assert_eq!(metrics.len(), l, "one metrics entry per block");
         let q = config.quantum;
@@ -334,7 +363,11 @@ impl DpScratch {
         } else {
             dp_row_cells
         };
+        let stoppable = !stop.is_never();
         for i in 1..=l {
+            if stoppable && stop.check().is_some() {
+                return None;
+            }
             let sw_prev = metrics[i - 1].sw_time.count();
             let (done, rest) = dp.split_at_mut(i * width);
             let dp_row = &mut rest[..width];
@@ -374,7 +407,7 @@ impl DpScratch {
                 });
             }
         }
-        self.dp[l * width + levels]
+        Some(self.dp[l * width + levels])
     }
 
     /// Controller levels of the last [`DpScratch::evaluate`] call —

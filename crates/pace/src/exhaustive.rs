@@ -13,6 +13,7 @@
 //! "impossible" to exhaust (footnote 1).
 
 use crate::artifacts::SearchArtifacts;
+use crate::stop::Completion;
 use crate::{
     partition_from_metrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition, SearchStats,
 };
@@ -82,9 +83,11 @@ impl SearchResult {
     /// Sum of the accounting buckets: every point of the space lands
     /// in exactly one of *evaluated* (partitioned through PACE),
     /// *skipped* (data path alone over the area), *bounded* (pruned by
-    /// an admissible bound, [`SearchStats::bounded`]) or *truncated*
+    /// an admissible bound, [`SearchStats::bounded`]), *truncated*
     /// (past the evaluation-limit window,
-    /// [`SearchStats::truncated_points`]). Always equals
+    /// [`SearchStats::truncated_points`]) or *unvisited* (beyond the
+    /// point where a deadline or cancellation stopped the sweep,
+    /// [`SearchStats::unvisited`]). Always equals
     /// [`SearchResult::space_size`] — asserted by the engines in debug
     /// builds and pinned by unit tests — so no emitter can quietly
     /// fold bound-pruned candidates into another column.
@@ -93,6 +96,15 @@ impl SearchResult {
             + self.skipped as u128
             + self.stats.bounded
             + self.stats.truncated_points
+            + self.stats.unvisited
+    }
+
+    /// How the run ended ([`SearchStats::completion`]): `Complete`
+    /// results are exact; `DeadlineTruncated`/`Cancelled` ones carry
+    /// the best feasible incumbent over the points visited before the
+    /// stop.
+    pub fn completion(&self) -> Completion {
+        self.stats.completion
     }
 }
 

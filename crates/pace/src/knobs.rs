@@ -170,6 +170,14 @@ fn set_incremental(o: &mut SearchOptions, s: KnobSetting) {
     }
 }
 
+fn set_deadline_ms(o: &mut SearchOptions, s: KnobSetting) {
+    match s {
+        KnobSetting::Limit(v) => o.deadline_ms = v.map(|n| n as u64),
+        KnobSetting::Count(n) => o.deadline_ms = (n != 0).then_some(n as u64),
+        KnobSetting::Switch(_) => {}
+    }
+}
+
 /// Every engine knob, in the canonical surface order: the order CLI
 /// usage lists them and the serve protocol's `to_line` emits them.
 pub const SEARCH_KNOBS: &[SearchKnob] = &[
@@ -249,6 +257,13 @@ pub const SEARCH_KNOBS: &[SearchKnob] = &[
         kind: KnobKind::DisabledBy,
         set: set_incremental,
         get: |o| KnobSetting::Switch(o.incremental),
+    },
+    SearchKnob {
+        name: "deadline-ms",
+        wire: "deadline-ms",
+        kind: KnobKind::OptionalCount,
+        set: set_deadline_ms,
+        get: |o| KnobSetting::Limit(o.deadline_ms.map(|n| n as usize)),
     },
 ];
 
@@ -411,6 +426,10 @@ mod tests {
         assert_eq!(
             search_knob("incremental").unwrap().read(&d),
             KnobSetting::Switch(true)
+        );
+        assert_eq!(
+            search_knob("deadline-ms").unwrap().read(&d),
+            KnobSetting::Limit(None)
         );
         assert!(search_knob("no-such-knob").is_none());
     }

@@ -91,6 +91,7 @@ mod greedy;
 mod knobs;
 mod metrics;
 mod search;
+mod stop;
 
 pub use artifacts::{
     ArtifactKey, ArtifactStore, BlockKey, SearchArtifacts, StoreOutcome, StoreStats, WarmSeed,
@@ -115,7 +116,9 @@ pub use knobs::{
 };
 pub use metrics::{compute_metrics, BsbMetrics};
 pub use search::{
-    search_best, search_best_with, search_pareto, search_pareto_with, BestLocal, BestShared,
-    BestUnderBudget, CandidateEval, MetricsCache, Objective, ParetoFront, ParetoLocal, ParetoPoint,
-    ParetoResult, ParetoShared, SearchOptions, SearchStats,
+    search_best, search_best_with, search_best_with_stop, search_pareto, search_pareto_with,
+    search_pareto_with_stop, BestLocal, BestShared, BestUnderBudget, CandidateEval, MetricsCache,
+    Objective, ParetoFront, ParetoLocal, ParetoPoint, ParetoResult, ParetoShared, SearchOptions,
+    SearchStats,
 };
+pub use stop::{Completion, StopReason, StopSignal, STOP_CHECK_INTERVAL};

@@ -65,6 +65,7 @@
 use crate::artifacts::{SearchArtifacts, WarmSeed};
 use crate::bounds::LevelState;
 use crate::metrics::{bsb_statics, feasible_block_metrics, infeasible_block_metrics, BsbStatics};
+use crate::stop::{Completion, StopReason, StopSignal, STOP_CHECK_INTERVAL};
 use crate::{
     BsbMetrics, CommCosts, DpScratch, PaceConfig, PaceError, Partition, SearchBounds, SearchResult,
 };
@@ -75,7 +76,7 @@ use lycos_sched::FuCounts;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Knobs of the allocation-search engine.
@@ -176,6 +177,18 @@ pub struct SearchOptions {
     /// benchmarking the edit loop. On by default; off always builds
     /// from scratch on a miss.
     pub incremental: bool,
+    /// Anytime deadline in milliseconds, measured from the moment the
+    /// engine starts its sweep; `None` (the default) searches to
+    /// completion. On expiry every worker stops cleanly at its next
+    /// stop check, the deterministic reduce runs over whatever was
+    /// visited, and the result carries
+    /// [`Completion::DeadlineTruncated`] plus the unvisited remainder
+    /// in [`SearchStats::unvisited`] — a best-so-far incumbent for
+    /// [`search_best`], a partial frontier for [`search_pareto`].
+    /// Folded together with any externally supplied
+    /// [`StopSignal`] (earliest deadline wins) by the `_with_stop`
+    /// entry points.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for SearchOptions {
@@ -192,6 +205,7 @@ impl Default for SearchOptions {
             store_cap: 8,
             warm: true,
             incremental: true,
+            deadline_ms: None,
         }
     }
 }
@@ -288,6 +302,13 @@ impl SearchOptions {
     #[must_use]
     pub fn incremental(mut self, incremental: bool) -> Self {
         self.incremental = incremental;
+        self
+    }
+
+    /// Replaces [`SearchOptions::deadline_ms`].
+    #[must_use]
+    pub fn deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.deadline_ms = deadline_ms;
         self
     }
 
@@ -399,6 +420,17 @@ pub struct SearchStats {
     /// so the Table-1 CSV and serve telemetry can sum it across
     /// requests.
     pub incremental_hits: u64,
+    /// How the run ended: [`Completion::Complete`] (exact — every
+    /// point of the candidate window visited), or truncated early by a
+    /// deadline or an external cancel flag (best-so-far). Telemetry
+    /// like every other stats field: a `Complete` run compares equal
+    /// to the sequential reference whatever its engine shape.
+    pub completion: Completion,
+    /// Points inside the candidate window that no worker reached
+    /// before the stop signal tripped — the fifth accounting bucket:
+    /// `evaluated + skipped + bounded + truncated_points + unvisited`
+    /// always equals the space size. Zero on every `Complete` run.
+    pub unvisited: u128,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -1485,7 +1517,11 @@ pub struct ParetoShared {
 
 impl ParetoShared {
     fn snapshot_into(&self, into: &mut Vec<(u64, u64)>) {
-        into.clone_from(&self.frontier.lock().expect("frontier lock poisoned"));
+        // Poison-tolerant: the staircase is valid after every insert
+        // (each `staircase_insert` call leaves it consistent), so a
+        // panicking sibling worker must not poison the survivors —
+        // the serve layer keeps answering around isolated panics.
+        into.clone_from(&self.frontier.lock().unwrap_or_else(PoisonError::into_inner));
     }
 }
 
@@ -1594,7 +1630,10 @@ impl Objective for ParetoFront {
             }
         }
         if publish && !fresh.is_empty() {
-            let mut frontier = shared.frontier.lock().expect("frontier lock poisoned");
+            let mut frontier = shared
+                .frontier
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for &(area, time) in &fresh {
                 staircase_insert(&mut frontier, area, time);
             }
@@ -1681,13 +1720,22 @@ pub struct ParetoResult {
 
 impl ParetoResult {
     /// Sum over every accounting bucket:
-    /// `evaluated + skipped + bounded + truncated_points`, always
-    /// equal to [`ParetoResult::space_size`].
+    /// `evaluated + skipped + bounded + truncated_points + unvisited`,
+    /// always equal to [`ParetoResult::space_size`].
     pub fn points_accounted(&self) -> u128 {
         self.evaluated as u128
             + self.skipped as u128
             + self.stats.bounded
             + self.stats.truncated_points
+            + self.stats.unvisited
+    }
+
+    /// How the sweep ended ([`SearchStats::completion`]): a `Complete`
+    /// frontier is the exact dominance frontier of the space; a
+    /// truncated one is the partial frontier over the points visited
+    /// before the deadline or cancellation.
+    pub fn completion(&self) -> Completion {
+        self.stats.completion
     }
 }
 
@@ -1722,6 +1770,9 @@ struct WorkerOut<L> {
     /// material [`SearchArtifacts::record_evals`] folds into the
     /// cross-request evaluation memo.
     recorded: Vec<(u128, u64)>,
+    /// Why this worker stopped before exhausting its points, if it
+    /// did; `None` means it covered everything it was handed.
+    stopped: Option<StopReason>,
 }
 
 impl<L> WorkerOut<L> {
@@ -1738,6 +1789,7 @@ impl<L> WorkerOut<L> {
             dirty_probes: 0,
             clean_reuses: 0,
             recorded: Vec::new(),
+            stopped: None,
         }
     }
 }
@@ -1777,6 +1829,12 @@ struct SweepWorker<'a, O: Objective> {
     /// Whether improving candidates should be advertised cross-worker
     /// — exactly when branch-and-bound is on.
     publish: bool,
+    /// The run's stop signal: polled before every DP, between DP rows,
+    /// and every [`STOP_CHECK_INTERVAL`] subtree-skip rounds.
+    stop: &'a StopSignal,
+    /// Countdown to the next polled stop check in the cheap pruning
+    /// loop.
+    stop_countdown: u32,
     out: WorkerOut<O::Local>,
 }
 
@@ -1798,6 +1856,7 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
         memoize: bool,
         objective: &'a O,
         shared: &'a O::Shared,
+        stop: &'a StopSignal,
     ) -> Self {
         let mut scratch = DpScratch::with_dp_threads(dp_threads);
         scratch.set_simd(simd);
@@ -1821,8 +1880,24 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
             objective,
             shared,
             publish: bounds.is_some(),
+            stop,
+            stop_countdown: STOP_CHECK_INTERVAL,
             out: WorkerOut::new(objective.local()),
         }
+    }
+
+    /// Polls the stop signal directly, recording the reason on a trip.
+    /// Used before every expensive step (a candidate's DP evaluation);
+    /// free on never-signals.
+    fn stop_tripped(&mut self) -> bool {
+        if self.out.stopped.is_some() {
+            return true;
+        }
+        if let Some(reason) = self.stop.check() {
+            self.out.stopped = Some(reason);
+            return true;
+        }
+        false
     }
 
     /// Forgets the incremental stepping state before jumping to a
@@ -1849,6 +1924,12 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
     /// index order (both schedulers guarantee it), so the objective's
     /// own-progress tie pruning stays sound: everything it recorded
     /// sits at an earlier index than any point still ahead.
+    ///
+    /// Anytime: the walk polls the run's [`StopSignal`] before every
+    /// candidate DP (and, throttled, in the subtree-skip loop); when
+    /// it trips the worker returns immediately with
+    /// [`WorkerOut::stopped`] set, leaving its unprocessed tail to the
+    /// engine's `unvisited` accounting.
     fn walk(&mut self, range: Range<u128>) -> Result<(), PaceError> {
         if range.is_empty() {
             return Ok(());
@@ -1856,6 +1937,9 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
         let mut odo = Odometer::at(self.dims, self.lib, range.start);
         let mut index = range.start;
         'walk: while index < range.end {
+            if self.stop_tripped() {
+                return Ok(());
+            }
             // Branch-and-bound: skip subtrees rooted here, largest
             // first, until none prunes. A subtree prunes when its
             // whole area is infeasible, or when the admissible bound
@@ -1896,6 +1980,18 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
                     let changed = odo.advance(pos).expect("range ends within the space");
                     self.dirty.mark_upto(changed);
                     levels.invalidate_upto(changed);
+                    // Throttled stop poll: skip rounds are ~100 ns, so
+                    // only every STOP_CHECK_INTERVAL-th round reads
+                    // the clock (inlined — `levels` holds a field
+                    // borrow that rules out the helper method).
+                    self.stop_countdown -= 1;
+                    if self.stop_countdown == 0 {
+                        self.stop_countdown = STOP_CHECK_INTERVAL;
+                        if let Some(reason) = self.stop.check() {
+                            self.out.stopped = Some(reason);
+                            return Ok(());
+                        }
+                    }
                 }
             }
             // Evaluate or skip the surviving point, exactly as the
@@ -1934,13 +2030,20 @@ impl<'a, O: Objective> SweepWorker<'a, O> {
                         .step_into(&self.candidate, &self.dirty_fus, &mut self.metrics)?;
                 }
                 self.dirty.clear();
-                let time = self.scratch.evaluate(
+                let Some(time) = self.scratch.evaluate_stoppable(
                     self.bsbs,
                     &self.metrics,
                     &mut self.comm,
                     Area::new(self.total_gates - gates),
                     self.config,
-                );
+                    self.stop,
+                ) else {
+                    // The signal tripped between DP rows: the point
+                    // stays unvisited (neither evaluated nor
+                    // recorded) and the worker stops here.
+                    self.out.stopped = Some(self.stop.check().unwrap_or(StopReason::Deadline));
+                    return Ok(());
+                };
                 self.out.evaluated += 1;
                 if self.memoize {
                     self.out.recorded.push((index, time));
@@ -2003,6 +2106,7 @@ fn sweep_range<O: Objective>(
     memoize: bool,
     objective: &O,
     shared: &O::Shared,
+    stop: &StopSignal,
 ) -> Result<WorkerOut<O::Local>, PaceError> {
     let mut worker = SweepWorker::new(
         bsbs,
@@ -2020,6 +2124,7 @@ fn sweep_range<O: Objective>(
         memoize,
         objective,
         shared,
+        stop,
     );
     worker.walk(range)?;
     Ok(worker.finish())
@@ -2081,6 +2186,7 @@ fn sweep_chunks<O: Objective>(
     memoize: bool,
     objective: &O,
     shared: &O::Shared,
+    stop: &StopSignal,
 ) -> Result<WorkerOut<O::Local>, PaceError> {
     let mut worker = SweepWorker::new(
         bsbs,
@@ -2098,6 +2204,7 @@ fn sweep_chunks<O: Objective>(
         memoize,
         objective,
         shared,
+        stop,
     );
     let mut taken = 0u64;
     loop {
@@ -2111,6 +2218,12 @@ fn sweep_chunks<O: Objective>(
         }
         taken += 1;
         worker.walk(start..(start + width).min(bound))?;
+        if worker.out.stopped.is_some() {
+            // A tripped signal ends the chunk loop too: chunks the
+            // cursor already moved past this one stay with their
+            // owners, everything else lands in `unvisited`.
+            break;
+        }
     }
     worker.out.steals = taken.saturating_sub(1);
     Ok(worker.finish())
@@ -2326,7 +2439,48 @@ pub fn search_best_with(
     artifacts: &SearchArtifacts,
     seeds: &[WarmSeed],
 ) -> Result<SearchResult, PaceError> {
-    let run = run_search(
+    search_best_with_stop(
+        bsbs,
+        lib,
+        total_area,
+        config,
+        options,
+        artifacts,
+        seeds,
+        &StopSignal::never(),
+    )
+}
+
+/// [`search_best_with`] under an external [`StopSignal`] — the
+/// anytime entry point the serve layer drives. The signal is folded
+/// with [`SearchOptions::deadline_ms`] (earliest deadline wins); when
+/// it trips, every worker stops cleanly at its next check, the
+/// deterministic reduce runs over whatever was visited, and the
+/// result's [`SearchStats::completion`] reports how the run ended.
+///
+/// The anytime contract: whatever the signal does, the returned
+/// winner is a *feasible, DP-exact* point of the space — the best one
+/// visited before the stop. If the signal tripped before any worker
+/// evaluated anything, the always-feasible all-software point is
+/// evaluated directly and returned, so the incumbent is never empty.
+/// A signal that never trips leaves the result bit-identical to
+/// [`search_best_with`].
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] as [`search_best`] does.
+#[allow(clippy::too_many_arguments)] // the _with seam plus the stop signal
+pub fn search_best_with_stop(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    config: &PaceConfig,
+    options: &SearchOptions,
+    artifacts: &SearchArtifacts,
+    seeds: &[WarmSeed],
+    stop: &StopSignal,
+) -> Result<SearchResult, PaceError> {
+    let mut run = run_search(
         bsbs,
         lib,
         total_area,
@@ -2335,10 +2489,27 @@ pub fn search_best_with(
         &BestUnderBudget,
         artifacts,
         seeds,
+        stop,
     )?;
-    let (best_allocation, best_partition, best_gates, best_index) = run
-        .output
-        .expect("at least one candidate is always evaluated");
+    let (best_allocation, best_partition, best_gates, best_index) = match run.output {
+        Some(winner) => winner,
+        None => {
+            // Only a tripped stop signal can leave the reduce empty
+            // (a complete run always evaluates the all-software
+            // point). The anytime contract still promises a feasible,
+            // DP-exact incumbent: evaluate the all-software point
+            // directly and move it out of the unvisited bucket.
+            debug_assert!(
+                !run.stats.completion.is_complete(),
+                "a complete run always evaluates at least one candidate"
+            );
+            let partition = crate::partition(bsbs, lib, &RMap::new(), total_area, config)?;
+            run.evaluated += 1;
+            debug_assert!(run.stats.unvisited >= 1);
+            run.stats.unvisited = run.stats.unvisited.saturating_sub(1);
+            (RMap::new(), partition, 0, 0)
+        }
+    };
     Ok(SearchResult {
         best_allocation,
         best_partition,
@@ -2451,7 +2622,39 @@ pub fn search_pareto_with(
     options: &SearchOptions,
     artifacts: &SearchArtifacts,
 ) -> Result<ParetoResult, PaceError> {
-    let run = run_search(
+    search_pareto_with_stop(
+        bsbs,
+        lib,
+        total_area,
+        config,
+        options,
+        artifacts,
+        &StopSignal::never(),
+    )
+}
+
+/// [`search_pareto_with`] under an external [`StopSignal`] (folded
+/// with [`SearchOptions::deadline_ms`], earliest deadline wins). On a
+/// trip the result is the *partial* frontier of everything visited —
+/// every point on it is feasible and DP-exact, but points a longer
+/// run would have found may be missing. If the signal tripped before
+/// anything was evaluated, the always-feasible all-software point is
+/// evaluated directly so the frontier is never empty. A signal that
+/// never trips is bit-identical to [`search_pareto_with`].
+///
+/// # Errors
+///
+/// Propagates [`PaceError`] as [`search_pareto`] does.
+pub fn search_pareto_with_stop(
+    bsbs: &BsbArray,
+    lib: &HwLibrary,
+    total_area: Area,
+    config: &PaceConfig,
+    options: &SearchOptions,
+    artifacts: &SearchArtifacts,
+    stop: &StopSignal,
+) -> Result<ParetoResult, PaceError> {
+    let mut run = run_search(
         bsbs,
         lib,
         total_area,
@@ -2460,7 +2663,28 @@ pub fn search_pareto_with(
         &ParetoFront,
         artifacts,
         &[],
+        stop,
     )?;
+    if run.output.is_empty() {
+        // Stopped before any candidate was evaluated: anchor the
+        // partial frontier with the always-feasible all-software
+        // point (area 0 — the same first point every complete
+        // frontier carries) and move it out of the unvisited bucket.
+        debug_assert!(
+            !run.stats.completion.is_complete(),
+            "a complete frontier always carries the all-software point"
+        );
+        let partition = crate::partition(bsbs, lib, &RMap::new(), total_area, config)?;
+        run.output.push(ParetoPoint {
+            allocation: RMap::new(),
+            partition,
+            area: Area::new(0),
+            index: 0,
+        });
+        run.evaluated += 1;
+        debug_assert!(run.stats.unvisited >= 1);
+        run.stats.unvisited = run.stats.unvisited.saturating_sub(1);
+    }
     Ok(ParetoResult {
         points: run.output,
         evaluated: run.evaluated,
@@ -2486,7 +2710,11 @@ struct EngineRun<T> {
 /// [`search_pareto`]: truncation pre-walk, artifact-backed
 /// precomputes, warm-seed installation, static or work-stealing
 /// fan-out, per-worker accounting and the objective's deterministic
-/// reduce.
+/// reduce. The caller's [`StopSignal`] — tightened by
+/// [`SearchOptions::deadline_ms`], earliest deadline first — is
+/// threaded to every worker; points no worker reached before a trip
+/// are tallied centrally as [`SearchStats::unvisited`], closing the
+/// five-bucket accounting identity.
 #[allow(clippy::too_many_arguments)] // internal seam of the _with wrappers
 fn run_search<O: Objective>(
     bsbs: &BsbArray,
@@ -2497,8 +2725,11 @@ fn run_search<O: Objective>(
     objective: &O,
     artifacts: &SearchArtifacts,
     seeds: &[WarmSeed],
+    stop: &StopSignal,
 ) -> Result<EngineRun<O::Output>, PaceError> {
     let started = Instant::now();
+    let stop = stop.with_deadline_ms(options.deadline_ms);
+    let stop = &stop;
     let dims = artifacts.dims();
     let space = artifacts.space_size();
     let total_gates = total_area.gates();
@@ -2592,6 +2823,7 @@ fn run_search<O: Objective>(
                             memoize,
                             objective,
                             shared,
+                            stop,
                         )
                     })
                 })
@@ -2621,6 +2853,7 @@ fn run_search<O: Objective>(
                 memoize,
                 objective,
                 &shared,
+                stop,
             )]
         } else {
             std::thread::scope(|scope| {
@@ -2650,6 +2883,7 @@ fn run_search<O: Objective>(
                                 memoize,
                                 objective,
                                 shared,
+                                stop,
                             )
                         })
                     })
@@ -2672,6 +2906,7 @@ fn run_search<O: Objective>(
     };
     let mut locals = Vec::with_capacity(outs.len());
     let mut recorded = Vec::new();
+    let mut stop_reason: Option<StopReason> = None;
     for out in outs {
         let mut out = out?;
         evaluated += out.evaluated;
@@ -2686,6 +2921,16 @@ fn run_search<O: Objective>(
         objective.fold_stats(&out.local, &mut stats);
         recorded.append(&mut out.recorded);
         locals.push(out.local);
+        // Cancellation outranks a deadline: an explicitly cancelled
+        // run reports `Cancelled` even if its deadline also expired
+        // on some other worker.
+        match out.stopped {
+            Some(StopReason::Cancelled) => stop_reason = Some(StopReason::Cancelled),
+            Some(StopReason::Deadline) => {
+                stop_reason = Some(stop_reason.unwrap_or(StopReason::Deadline));
+            }
+            None => {}
+        }
     }
     if memoize {
         artifacts.record_evals(total_gates, recorded);
@@ -2694,9 +2939,29 @@ fn run_search<O: Objective>(
     // handed points to workers — ties resolve by odometer index, the
     // exact order the sequential walk discovers winners in.
     let output = objective.reduce(locals);
+    stats.completion = match stop_reason {
+        None => Completion::Complete,
+        Some(StopReason::Deadline) => Completion::DeadlineTruncated,
+        Some(StopReason::Cancelled) => Completion::Cancelled,
+    };
+    // Whatever no worker reached before the stop is the fifth bucket,
+    // tallied centrally: the per-worker counters only ever cover what
+    // was actually visited, so the remainder of the candidate window
+    // is exactly the unvisited tail. Zero on complete runs.
+    let visited = evaluated as u128 + skipped as u128 + stats.bounded;
+    debug_assert!(visited <= bound, "workers never visit past the window");
+    stats.unvisited = bound - visited;
     stats.elapsed = started.elapsed();
+    debug_assert!(
+        stats.unvisited == 0 || !stats.completion.is_complete(),
+        "a complete run leaves nothing unvisited"
+    );
     debug_assert_eq!(
-        evaluated as u128 + skipped as u128 + stats.bounded + stats.truncated_points,
+        evaluated as u128
+            + skipped as u128
+            + stats.bounded
+            + stats.truncated_points
+            + stats.unvisited,
         space,
         "every point lands in exactly one accounting bucket"
     );
@@ -3542,6 +3807,8 @@ mod tests {
         b.stats.blocks_reused = 4;
         b.stats.blocks_rederived = 1;
         b.stats.incremental_hits = 1;
+        b.stats.completion = Completion::DeadlineTruncated;
+        b.stats.unvisited = 11;
         assert_eq!(a, b, "telemetry must not break result identity");
     }
 
@@ -3558,7 +3825,8 @@ mod tests {
             .steal(false)
             .store_cap(3)
             .warm(false)
-            .incremental(false);
+            .incremental(false)
+            .deadline_ms(Some(250));
         let literal = SearchOptions {
             threads: 4,
             limit: Some(9),
@@ -3571,6 +3839,7 @@ mod tests {
             store_cap: 3,
             warm: false,
             incremental: false,
+            deadline_ms: Some(250),
         };
         assert_eq!(built, literal);
         assert_eq!(SearchOptions::new(), SearchOptions::default());

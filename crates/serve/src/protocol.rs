@@ -78,7 +78,7 @@ pub enum ProtocolError {
     /// The line held no verb at all.
     Empty,
     /// The verb is not one of `ping`, `shutdown`, `table1`, `pareto`,
-    /// `stats`.
+    /// `stats`, `cancel`.
     UnknownVerb(String),
     /// A request field key is not recognised.
     UnknownField(String),
@@ -102,7 +102,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownVerb(v) => {
                 write!(
                     f,
-                    "unknown verb `{v}` (expected ping, shutdown, table1, pareto or stats)"
+                    "unknown verb `{v}` (expected ping, shutdown, table1, pareto, stats or cancel)"
                 )
             }
             ProtocolError::UnknownField(k) => write!(f, "unknown request field `{k}`"),
@@ -169,6 +169,10 @@ pub struct Table1Request {
     /// Include the measured allocator wall clock in CSV rows
     /// (off by default, keeping responses byte-deterministic).
     pub timing: bool,
+    /// Client-chosen job id (`job=<n>`), the handle a later
+    /// [`Request::Cancel`] names. `None` — the default — makes the
+    /// request uncancellable by verb (disconnect still cancels it).
+    pub job: Option<u64>,
 }
 
 /// A Pareto-frontier sweep: the same jobs and knobs as
@@ -185,6 +189,8 @@ pub struct ParetoRequest {
     pub knobs: KnobOverrides,
     /// Response body shape.
     pub format: Format,
+    /// Client-chosen job id, as in [`Table1Request::job`].
+    pub job: Option<u64>,
 }
 
 /// One parsed request line.
@@ -201,6 +207,11 @@ pub enum Request {
     /// Artifact-store counters (hits, misses, evictions, residency) —
     /// the observability verb for the server's cross-request cache.
     Stats,
+    /// Cancel the running job with this client-chosen id (the `job=`
+    /// field of an earlier `table1`/`pareto` sent on another
+    /// connection). The cancelled request still answers — with
+    /// whatever the search had visited when the flag landed.
+    Cancel(u64),
 }
 
 /// Splits a job token into its payload and optional `@budget` suffix.
@@ -225,6 +236,7 @@ struct SearchFields {
     knobs: KnobOverrides,
     format: Format,
     timing: bool,
+    job: Option<u64>,
 }
 
 /// Parses the `key=value` / bare-flag tokens after a search-driven
@@ -265,6 +277,13 @@ fn parse_search_fields<'a>(
                     source: JobSource::Inline(decode(&enc)?),
                     budget,
                 });
+            }
+            "job" => {
+                let id = value.parse::<u64>().map_err(|_| ProtocolError::BadValue {
+                    field: "job",
+                    value: value.to_owned(),
+                })?;
+                out.job = Some(id);
             }
             "timing" if allow_timing => {
                 if token.contains('=') {
@@ -370,6 +389,14 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "stats" => Ok(Request::Stats),
+            "cancel" => {
+                let token = tokens.next().unwrap_or("");
+                let id = token.parse::<u64>().map_err(|_| ProtocolError::BadValue {
+                    field: "cancel",
+                    value: token.to_owned(),
+                })?;
+                Ok(Request::Cancel(id))
+            }
             "table1" => {
                 let fields = parse_search_fields(tokens, true)?;
                 Ok(Request::Table1(Table1Request {
@@ -377,6 +404,7 @@ impl Request {
                     knobs: fields.knobs,
                     format: fields.format,
                     timing: fields.timing,
+                    job: fields.job,
                 }))
             }
             "pareto" => {
@@ -385,6 +413,7 @@ impl Request {
                     jobs: fields.jobs,
                     knobs: fields.knobs,
                     format: fields.format,
+                    job: fields.job,
                 }))
             }
             other => Err(ProtocolError::UnknownVerb(other.to_owned())),
@@ -398,17 +427,26 @@ impl Request {
             Request::Ping => "ping".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
             Request::Stats => "stats".to_owned(),
+            Request::Cancel(id) => format!("cancel {id}"),
             Request::Table1(req) => {
                 let mut out = String::from("table1");
                 push_search_fields(&mut out, &req.jobs, &req.knobs, req.format);
                 if req.timing {
                     out.push_str(" timing");
                 }
+                // `job=` goes last so every pre-cancellation line stays
+                // byte-identical to what older clients emitted.
+                if let Some(id) = req.job {
+                    out.push_str(&format!(" job={id}"));
+                }
                 out
             }
             Request::Pareto(req) => {
                 let mut out = String::from("pareto");
                 push_search_fields(&mut out, &req.jobs, &req.knobs, req.format);
+                if let Some(id) = req.job {
+                    out.push_str(&format!(" job={id}"));
+                }
                 out
             }
         }
@@ -569,6 +607,7 @@ mod tests {
                 knobs: all_knobs(),
                 format: Format::Text,
                 timing: true,
+                job: Some(7),
             }),
             Request::Pareto(ParetoRequest::default()),
             Request::Pareto(ParetoRequest {
@@ -578,7 +617,9 @@ mod tests {
                 }],
                 knobs: all_knobs(),
                 format: Format::Text,
+                job: Some(41),
             }),
+            Request::Cancel(7),
         ]
     }
 
@@ -721,6 +762,36 @@ mod tests {
                 "{flag}"
             );
         }
+    }
+
+    #[test]
+    fn cancel_and_job_fields_round_trip() {
+        assert_eq!(Request::parse("cancel 12").unwrap(), Request::Cancel(12));
+        assert_eq!(Request::Cancel(12).to_line(), "cancel 12");
+        for bad in ["cancel", "cancel x", "cancel -1"] {
+            assert!(
+                matches!(
+                    Request::parse(bad),
+                    Err(ProtocolError::BadValue {
+                        field: "cancel",
+                        ..
+                    })
+                ),
+                "{bad:?}"
+            );
+        }
+        // `job=` tags a search request and is emitted last, after the
+        // historical token order.
+        let req = Request::parse("table1 app=hal bound timing job=9").unwrap();
+        let Request::Table1(t) = &req else {
+            panic!("not a table1 request")
+        };
+        assert_eq!(t.job, Some(9));
+        assert_eq!(req.to_line(), "table1 app=hal bound timing job=9");
+        assert!(matches!(
+            Request::parse("table1 app=hal job=soon"),
+            Err(ProtocolError::BadValue { field: "job", .. })
+        ));
     }
 
     #[test]

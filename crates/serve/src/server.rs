@@ -30,14 +30,17 @@ use lycos::explore::{
     PARETO_CSV_HEADER,
 };
 use lycos::hwlib::Area;
-use lycos::pace::{ArtifactStore, SearchOptions};
+use lycos::pace::{ArtifactStore, SearchOptions, StopSignal};
 use lycos::Pipeline;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How often blocked reads and the acceptor poll re-check the
 /// shutdown flag.
@@ -60,6 +63,24 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Search knobs applied when a request leaves them unset.
     pub defaults: SearchOptions,
+    /// How long a *partial* request line may stall before the server
+    /// answers `err slow-request` and closes. An idle peer between
+    /// requests is normal keep-alive and never times out; a peer that
+    /// goes silent mid-line would otherwise pin a worker forever.
+    pub read_timeout: Duration,
+    /// Allocation-space size (pre-walk, [`lycos::pace::space_size`])
+    /// above which a job is *big* for admission control. At most
+    /// [`big_jobs`](ServeConfig::big_jobs) big jobs run concurrently,
+    /// so capacity always stays free for pings, stats and small jobs
+    /// (the fast lane).
+    pub big_job_threshold: u128,
+    /// Concurrent big-job slots on the admission gate. `0` (the
+    /// default) means *auto*: `workers - 1`, floored at one, so one
+    /// worker always stays free for the fast lane.
+    pub big_jobs: usize,
+    /// Test hook: when set, a job naming the app `__panic` panics
+    /// inside the worker, exercising the panic-isolation path.
+    pub fault_injection: bool,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +94,12 @@ impl Default for ServeConfig {
             // Bounding stays off by default so batch responses are
             // byte-diffable against the sequential CSV path.
             defaults: SearchOptions::new().limit(Some(200_000)),
+            read_timeout: Duration::from_secs(10),
+            // Well above every bundled benchmark except the eigen-scale
+            // spaces the paper's footnote calls un-exhaustible.
+            big_job_threshold: 1_000_000,
+            big_jobs: 0,
+            fault_injection: false,
         }
     }
 }
@@ -126,10 +153,26 @@ impl Server {
         let store = Arc::new(ArtifactStore::new(config.defaults.store_cap));
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue);
         let rx = Mutex::new(rx);
+        let panics = AtomicU64::new(0);
+        let registry = JobRegistry::default();
+        let big_jobs = match config.big_jobs {
+            0 => workers.saturating_sub(1).max(1),
+            n => n,
+        };
+        let gate = AdmissionGate::new(big_jobs);
 
         std::thread::scope(|scope| {
+            let ctx = ServerCtx {
+                config: &config,
+                store: &store,
+                shutdown: &shutdown,
+                panics: &panics,
+                registry: &registry,
+                gate: &gate,
+            };
+            let rx = &rx;
             for _ in 0..workers {
-                scope.spawn(|| worker_loop(&rx, &config, &store, &shutdown));
+                scope.spawn(move || worker_loop(rx, ctx));
             }
             loop {
                 if shutdown.load(Ordering::Acquire) {
@@ -175,25 +218,151 @@ impl Server {
     }
 }
 
+/// The per-server state every worker shares: configuration, the
+/// artifact store, the shutdown flag, the panic counter, the running-
+/// job registry the `cancel` verb consults, and the big-job admission
+/// gate.
+#[derive(Clone, Copy)]
+struct ServerCtx<'a> {
+    config: &'a ServeConfig,
+    store: &'a Arc<ArtifactStore>,
+    shutdown: &'a AtomicBool,
+    panics: &'a AtomicU64,
+    registry: &'a JobRegistry,
+    gate: &'a AdmissionGate,
+}
+
+/// The running jobs a `cancel <id>` can reach, keyed by the client-
+/// chosen `job=` id. Entries are RAII-removed when the job answers,
+/// so a stale id cancels nothing.
+#[derive(Default)]
+struct JobRegistry {
+    jobs: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+}
+
+impl JobRegistry {
+    /// Claims `id` for the duration of the returned guard; `Err` if a
+    /// job with the same id is already running.
+    fn register(&self, id: u64, flag: Arc<AtomicBool>) -> Result<JobGuard<'_>, ()> {
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        match jobs.entry(id) {
+            Entry::Occupied(_) => Err(()),
+            Entry::Vacant(slot) => {
+                slot.insert(flag);
+                Ok(JobGuard { registry: self, id })
+            }
+        }
+    }
+
+    /// Flips the cancel flag of the running job `id`, if any.
+    fn cancel(&self, id: u64) -> bool {
+        let jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        match jobs.get(&id) {
+            Some(flag) => {
+                flag.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Removes its job from the registry on drop — panic or not.
+struct JobGuard<'a> {
+    registry: &'a JobRegistry,
+    id: u64,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        self.registry
+            .jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.id);
+    }
+}
+
+/// Caps how many *big* jobs (allocation space above
+/// [`ServeConfig::big_job_threshold`]) run concurrently, so small
+/// jobs, pings and `stats` always find a worker promptly.
+struct AdmissionGate {
+    running: Mutex<usize>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl AdmissionGate {
+    fn new(cap: usize) -> AdmissionGate {
+        AdmissionGate {
+            running: Mutex::new(0),
+            freed: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Waits for a big-job slot; `None` once the server is draining
+    /// (the caller answers `busy` instead of queueing into shutdown).
+    fn acquire(&self, shutdown: &AtomicBool) -> Option<AdmissionPermit<'_>> {
+        let mut running = self.running.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *running < self.cap {
+                *running += 1;
+                return Some(AdmissionPermit { gate: self });
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            running = self
+                .freed
+                .wait_timeout(running, POLL)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// Releases its big-job slot on drop — panic or not.
+struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut running = self
+            .gate
+            .running
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *running = running.saturating_sub(1);
+        self.gate.freed.notify_one();
+    }
+}
+
 /// Pulls connections until the channel closes. Queued connections are
-/// still served after shutdown flips — graceful, not abortive.
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    config: &ServeConfig,
-    store: &Arc<ArtifactStore>,
-    shutdown: &AtomicBool,
-) {
+/// still served after shutdown flips — graceful, not abortive. A
+/// panicking connection handler is counted and contained here — the
+/// worker survives and pulls the next connection, so the pool never
+/// shrinks.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: ServerCtx<'_>) {
     loop {
         // Holding the lock while blocked in recv() is deliberate: the
         // channel hands one connection to exactly one worker, and the
         // others queue on the mutex, which drops the moment a stream
-        // arrives.
-        let stream = match rx.lock().expect("receiver lock poisoned").recv() {
+        // arrives. A poisoned lock (a worker panicked mid-recv) is
+        // still a valid receiver — take it and keep serving.
+        let stream = match rx.lock().unwrap_or_else(PoisonError::into_inner).recv() {
             Ok(stream) => stream,
             Err(_) => return,
         };
-        // A broken connection is the client's problem, not the pool's.
-        let _ = handle_connection(stream, config, store, shutdown);
+        // A broken connection is the client's problem, not the pool's;
+        // same for a panic that escapes the per-request guard.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = handle_connection(stream, ctx);
+        }));
+        if outcome.is_err() {
+            ctx.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -219,26 +388,31 @@ const MAX_LINE: usize = 4 << 20;
 /// Serves one connection: request lines in, responses out, in order,
 /// until the peer closes, `shutdown`/`bye` ends the session, or the
 /// server starts draining. Malformed framing (overlong line, not
-/// UTF-8) answers one `err` and closes instead of silently dropping.
-fn handle_connection(
-    stream: TcpStream,
-    config: &ServeConfig,
-    store: &Arc<ArtifactStore>,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
+/// UTF-8) and a partial line that stalls past
+/// [`ServeConfig::read_timeout`] answer one `err` and close instead
+/// of silently dropping (or pinning a worker forever).
+fn handle_connection(stream: TcpStream, ctx: ServerCtx<'_>) -> std::io::Result<()> {
     // See reject_busy: make the accepted socket's mode explicit
     // before relying on timeout semantics.
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(POLL))?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(stream.try_clone()?);
     let mut pending = Vec::new();
     loop {
-        let line = match next_line(&mut reader, &mut pending, shutdown) {
+        let line = match next_line(
+            &mut reader,
+            &mut pending,
+            ctx.shutdown,
+            ctx.config.read_timeout,
+        ) {
             Ok(Some(line)) => line,
             Ok(None) => return Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Err(e)
+                if e.kind() == std::io::ErrorKind::InvalidData
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
                 let _ = Response::Error(e.to_string()).write_to(&mut writer);
                 let _ = writer.flush();
                 return Ok(());
@@ -248,7 +422,7 @@ fn handle_connection(
         // Once the server is draining, stop serving new requests even
         // on connections that keep streaming — otherwise one chatty
         // peer could stall shutdown forever.
-        if shutdown.load(Ordering::Acquire) {
+        if ctx.shutdown.load(Ordering::Acquire) {
             let _ = Response::Busy("server shutting down".to_owned()).write_to(&mut writer);
             let _ = writer.flush();
             return Ok(());
@@ -257,7 +431,7 @@ fn handle_connection(
         if line.is_empty() {
             continue; // stray blank lines are forgiven, not answered
         }
-        let response = respond(line, config, store, shutdown);
+        let response = respond(line, &stream, ctx);
         response.write_to(&mut writer)?;
         writer.flush()?;
         if matches!(response, Response::Bye) {
@@ -271,12 +445,18 @@ fn handle_connection(
 /// `None` on EOF, or — once shutdown has flipped — on an idle peer,
 /// so draining workers cannot be pinned forever. A line growing past
 /// [`MAX_LINE`] without a newline is `InvalidData`, bounding what one
-/// peer can make the server hold.
+/// peer can make the server hold. A *partial* line making no progress
+/// for `read_timeout` is `TimedOut` (`err slow-request` upstream):
+/// an idle peer *between* requests is normal keep-alive and may stay
+/// connected indefinitely, but a peer that goes silent mid-line holds
+/// a worker, so it gets a deadline.
 fn next_line(
     stream: &mut TcpStream,
     pending: &mut Vec<u8>,
     shutdown: &AtomicBool,
+    read_timeout: Duration,
 ) -> std::io::Result<Option<String>> {
+    let mut stalled_since: Option<Instant> = None;
     let take = |bytes: Vec<u8>| {
         String::from_utf8(bytes).map(Some).map_err(|_| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "request is not UTF-8")
@@ -302,13 +482,28 @@ fn next_line(
                 // A final line without its newline still counts.
                 return take(std::mem::take(pending));
             }
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                stalled_since = None; // progress restarts the clock
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if shutdown.load(Ordering::Acquire) {
                     return Ok(None);
+                }
+                if !pending.is_empty() {
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= read_timeout {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "slow-request: partial request line stalled for {}ms",
+                                read_timeout.as_millis()
+                            ),
+                        ));
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -318,40 +513,136 @@ fn next_line(
 }
 
 /// Maps one request line to its response. Never panics: every failure
-/// becomes [`Response::Error`].
-fn respond(
-    line: &str,
-    config: &ServeConfig,
-    store: &Arc<ArtifactStore>,
-    shutdown: &AtomicBool,
-) -> Response {
+/// becomes [`Response::Error`] — a panic inside a search job is
+/// caught by [`serve_job`], counted, and answered as `err` too.
+fn respond(line: &str, stream: &TcpStream, ctx: ServerCtx<'_>) -> Response {
     match Request::parse(line) {
         Err(e) => Response::Error(e.to_string()),
         Ok(Request::Ping) => Response::Pong,
         Ok(Request::Shutdown) => {
-            shutdown.store(true, Ordering::Release);
+            ctx.shutdown.store(true, Ordering::Release);
             Response::Bye
         }
-        Ok(Request::Stats) => run_stats(store),
-        Ok(Request::Table1(req)) => run_table1(&req, config, store),
-        Ok(Request::Pareto(req)) => run_pareto(&req, config, store),
+        Ok(Request::Stats) => run_stats(ctx),
+        Ok(Request::Cancel(id)) => {
+            if ctx.registry.cancel(id) {
+                Response::Ok(vec![format!("cancelled {id}")])
+            } else {
+                Response::Error(format!("no running job {id}"))
+            }
+        }
+        Ok(Request::Table1(req)) => {
+            serve_job(stream, req.job, ctx, |cancel| run_table1(&req, ctx, cancel))
+        }
+        Ok(Request::Pareto(req)) => {
+            serve_job(stream, req.job, ctx, |cancel| run_pareto(&req, ctx, cancel))
+        }
+    }
+}
+
+/// Runs one search-driven request with the full robustness envelope:
+/// the job id is claimed in the registry (so `cancel <id>` from
+/// another connection can reach it), a watcher thread flips the same
+/// cancel flag if the client disconnects mid-search, and the job body
+/// runs under `catch_unwind` so a panic answers `err` (and bumps the
+/// `panics` counter) instead of killing the worker.
+fn serve_job<F>(stream: &TcpStream, job: Option<u64>, ctx: ServerCtx<'_>, body: F) -> Response
+where
+    F: FnOnce(&Arc<AtomicBool>) -> Response,
+{
+    let cancel = Arc::new(AtomicBool::new(false));
+    let _claim = match job {
+        Some(id) => match ctx.registry.register(id, cancel.clone()) {
+            Ok(guard) => Some(guard),
+            Err(()) => return Response::Error(format!("job id {id} is already running")),
+        },
+        None => None,
+    };
+    let done = Arc::new(AtomicBool::new(false));
+    // Deliberately detached: the watcher blocks in `peek` for up to
+    // one socket-timeout tick at a time, so joining it here would tax
+    // every answer with that latency. Once `done` flips it exits on
+    // its own within a tick, and a stale watcher is harmless — `peek`
+    // never consumes bytes, and the cancel flag it could still flip
+    // belongs to this already-finished job alone.
+    if let Ok(peer) = stream.try_clone() {
+        let cancel = cancel.clone();
+        let done = done.clone();
+        std::thread::spawn(move || watch_disconnect(&peer, &cancel, &done));
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| body(&cancel)));
+    done.store(true, Ordering::Release);
+    match outcome {
+        Ok(response) => response,
+        Err(payload) => {
+            ctx.panics.fetch_add(1, Ordering::Relaxed);
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_owned());
+            Response::Error(format!("internal panic while serving request: {what}"))
+        }
+    }
+}
+
+/// Watches a connection whose worker is busy searching: end-of-stream
+/// (or a hard socket error) flips the job's cancel flag, so a client
+/// that gives up and disconnects releases its worker at the next
+/// stop-signal poll instead of burning the rest of the sweep.
+///
+/// The stream is only ever `peek`ed — a pipelined follow-up request
+/// sitting in the socket buffer must stay there for the request loop
+/// to read once the current job answers.
+fn watch_disconnect(peer: &TcpStream, cancel: &AtomicBool, done: &AtomicBool) {
+    let mut probe = [0u8; 1];
+    loop {
+        if done.load(Ordering::Acquire) {
+            return;
+        }
+        match peer.peek(&mut probe) {
+            Ok(0) => {
+                cancel.store(true, Ordering::Release);
+                return;
+            }
+            // Bytes waiting (a pipelined request): the peer is alive;
+            // sleep instead of spinning on the instantly-ready peek.
+            Ok(_) => std::thread::sleep(POLL),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                cancel.store(true, Ordering::Release);
+                return;
+            }
+        }
     }
 }
 
 /// Header of the `stats` verb's two-line CSV body.
-pub const STATS_CSV_HEADER: &str = "hits,misses,evictions,entries,cap,incremental,reused,rederived";
+pub const STATS_CSV_HEADER: &str =
+    "hits,misses,evictions,entries,cap,incremental,reused,rederived,panics";
 
-/// Answers the `stats` verb: the artifact store's counters as a
-/// two-line CSV (header + values), so clients can watch hit ratios,
-/// residency and edit-loop reuse rates (incremental builds, blocks
-/// reused vs re-derived) without scraping logs.
-fn run_stats(store: &ArtifactStore) -> Response {
-    let s = store.stats();
+/// Answers the `stats` verb: the artifact store's counters plus the
+/// server's caught-panic count as a two-line CSV (header + values),
+/// so clients can watch hit ratios, residency, edit-loop reuse rates
+/// (incremental builds, blocks reused vs re-derived) and fault
+/// containment without scraping logs.
+fn run_stats(ctx: ServerCtx<'_>) -> Response {
+    let s = ctx.store.stats();
     Response::Ok(vec![
         STATS_CSV_HEADER.to_owned(),
         format!(
-            "{},{},{},{},{},{},{},{}",
-            s.hits, s.misses, s.evictions, s.entries, s.cap, s.incremental, s.reused, s.rederived
+            "{},{},{},{},{},{},{},{},{}",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.entries,
+            s.cap,
+            s.incremental,
+            s.reused,
+            s.rederived,
+            ctx.panics.load(Ordering::Relaxed)
         ),
     ])
 }
@@ -371,6 +662,7 @@ fn pipelines_for(
     verb: &str,
     jobs: &[Job],
     store: &Arc<ArtifactStore>,
+    fault_injection: bool,
 ) -> Result<Vec<Pipeline>, Response> {
     if jobs.is_empty() {
         return Err(Response::Error(format!(
@@ -380,6 +672,9 @@ fn pipelines_for(
     let mut pipelines = Vec::with_capacity(jobs.len());
     for job in jobs {
         let mut pipeline = match &job.source {
+            JobSource::App(name) if fault_injection && name == "__panic" => {
+                panic!("injected fault: job `__panic`")
+            }
             JobSource::App(name) => match bundled_apps().iter().find(|a| a.name == *name) {
                 Some(app) => Pipeline::for_app(app),
                 None => {
@@ -398,18 +693,63 @@ fn pipelines_for(
     Ok(pipelines)
 }
 
+/// Pre-walk admission probe: the largest allocation space any of the
+/// request's jobs would sweep. Jobs above
+/// [`ServeConfig::big_job_threshold`] take a big-job slot from the
+/// [`AdmissionGate`] before searching; everything else rides the fast
+/// lane untouched.
+fn widest_space(pipelines: &[Pipeline], options: &SearchOptions) -> Result<u128, Response> {
+    let mut widest = 0u128;
+    for pipeline in pipelines {
+        let allocated = pipeline
+            .clone()
+            .with_search_options(options.clone())
+            .allocate()
+            .map_err(|e| Response::Error(e.to_string()))?;
+        widest = widest.max(allocated.space_size());
+    }
+    Ok(widest)
+}
+
+/// Takes a big-job slot when the request's widest space crosses the
+/// admission threshold; `Err(busy)` only if the server starts
+/// draining while the job is queued for a slot.
+fn admit<'a>(
+    ctx: ServerCtx<'a>,
+    pipelines: &[Pipeline],
+    options: &SearchOptions,
+) -> Result<Option<AdmissionPermit<'a>>, Response> {
+    let widest = widest_space(pipelines, options)?;
+    if widest <= ctx.config.big_job_threshold {
+        return Ok(None);
+    }
+    match ctx.gate.acquire(ctx.shutdown) {
+        Some(permit) => Ok(Some(permit)),
+        None => Err(Response::Busy("server shutting down".to_owned())),
+    }
+}
+
 /// Runs one Table 1 batch through the shared
-/// [`Pipeline::table1_batch`] seam — the same code path as the
+/// [`Pipeline::table1_batch_stop`] seam — the same code path as the
 /// `table1` bin, so the service's rows are byte-identical to it. The
 /// request's knob overrides fold over the configured defaults in one
-/// table-driven pass ([`lycos::pace::KnobOverrides::apply_to`]).
-fn run_table1(req: &Table1Request, config: &ServeConfig, store: &Arc<ArtifactStore>) -> Response {
-    let pipelines = match pipelines_for("table1", &req.jobs, store) {
+/// table-driven pass ([`lycos::pace::KnobOverrides::apply_to`]); the
+/// connection's cancel flag rides the [`StopSignal`] into every sweep
+/// (the `deadline-ms` knob merges inside the engine).
+fn run_table1(req: &Table1Request, ctx: ServerCtx<'_>, cancel: &Arc<AtomicBool>) -> Response {
+    let pipelines = match pipelines_for("table1", &req.jobs, ctx.store, ctx.config.fault_injection)
+    {
         Ok(pipelines) => pipelines,
         Err(response) => return response,
     };
-    let options = Table1Options::from_search_options(&req.knobs.apply_to(&config.defaults));
-    match Pipeline::table1_batch(&pipelines, &options) {
+    let search_options = req.knobs.apply_to(&ctx.config.defaults);
+    let _permit = match admit(ctx, &pipelines, &search_options) {
+        Ok(permit) => permit,
+        Err(response) => return response,
+    };
+    let options = Table1Options::from_search_options(&search_options);
+    let stop = StopSignal::never().with_cancel(cancel.clone());
+    match Pipeline::table1_batch_stop(&pipelines, &options, &stop) {
         Err(e) => Response::Error(e.to_string()),
         Ok(rows) => {
             let body = match req.format {
@@ -424,12 +764,20 @@ fn run_table1(req: &Table1Request, config: &ServeConfig, store: &Arc<ArtifactSto
 /// Runs one Pareto batch: each job's whole time×area frontier from a
 /// single [`lycos::pace::search_pareto`] sweep, through the same
 /// [`lycos::Pipeline`] stages (and the same knob merge) as `table1`.
-fn run_pareto(req: &ParetoRequest, config: &ServeConfig, store: &Arc<ArtifactStore>) -> Response {
-    let pipelines = match pipelines_for("pareto", &req.jobs, store) {
+/// Cancellation or an expired deadline still answers — with the
+/// partial frontier over whatever the sweep had visited.
+fn run_pareto(req: &ParetoRequest, ctx: ServerCtx<'_>, cancel: &Arc<AtomicBool>) -> Response {
+    let pipelines = match pipelines_for("pareto", &req.jobs, ctx.store, ctx.config.fault_injection)
+    {
         Ok(pipelines) => pipelines,
         Err(response) => return response,
     };
-    let options = req.knobs.apply_to(&config.defaults);
+    let options = req.knobs.apply_to(&ctx.config.defaults);
+    let _permit = match admit(ctx, &pipelines, &options) {
+        Ok(permit) => permit,
+        Err(response) => return response,
+    };
+    let stop = StopSignal::never().with_cancel(cancel.clone());
     let mut body = String::new();
     if req.format == Format::Csv {
         body.push_str(PARETO_CSV_HEADER);
@@ -440,7 +788,7 @@ fn run_pareto(req: &ParetoRequest, config: &ServeConfig, store: &Arc<ArtifactSto
             Ok(allocated) => allocated,
             Err(e) => return Response::Error(e.to_string()),
         };
-        let front = match allocated.pareto() {
+        let front = match allocated.pareto_with_stop(&options, &stop) {
             Ok(front) => front,
             Err(e) => return Response::Error(e.to_string()),
         };

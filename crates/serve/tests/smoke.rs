@@ -340,6 +340,396 @@ fn eviction_at_cap_one_keeps_alternating_apps_correct() {
     handle.join().expect("server thread");
 }
 
+/// The `completion` column of one timed Table 1 CSV row.
+fn completion_of(row: &str) -> String {
+    let idx = lycos::explore::TABLE1_CSV_HEADER
+        .split(',')
+        .position(|c| c == "completion")
+        .expect("header names the completion column");
+    row.split(',')
+        .nth(idx)
+        .expect("row has the column")
+        .to_owned()
+}
+
+#[test]
+fn cancel_verb_stops_a_running_job_which_still_answers() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 2,
+        queue: 2,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+
+    // An effectively-unbounded eigen sweep (the paper's footnote-1
+    // space), tagged job=5 so another connection can reach it.
+    let runner = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+            client
+                .send_line("table1 app=eigen limit=0 threads=1 timing job=5")
+                .expect("send")
+        })
+    };
+
+    // Cancel from a second connection: retry until the job has
+    // registered (before that the verb answers `err no running job`).
+    let mut killer = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job 5 never became cancellable"
+        );
+        match killer.send_line("cancel 5").expect("send cancel") {
+            Response::Ok(lines) => {
+                assert_eq!(lines, vec!["cancelled 5".to_owned()]);
+                break;
+            }
+            Response::Error(msg) => {
+                assert!(msg.contains("no running job 5"), "{msg}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected cancel response {other:?}"),
+        }
+    }
+
+    // The cancelled sweep still answers — with its best-so-far row
+    // and the `cancelled` marker in the timed CSV.
+    match runner.join().expect("runner thread") {
+        Response::Ok(lines) => {
+            assert_eq!(lines[0], lycos::explore::TABLE1_CSV_HEADER);
+            assert_eq!(completion_of(&lines[1]), "cancelled", "{lines:?}");
+        }
+        other => panic!("unexpected table1 response {other:?}"),
+    }
+
+    // The registry entry is gone with the job.
+    match killer.send_line("cancel 5").expect("send cancel") {
+        Response::Error(msg) => assert!(msg.contains("no running job 5"), "{msg}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    assert_eq!(
+        killer.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn disconnecting_mid_search_releases_the_worker() {
+    // One worker: if the orphaned sweep were not cancelled on
+    // disconnect, the follow-up ping could never be served and this
+    // test would time out.
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 1,
+        queue: 2,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+
+    {
+        let mut doomed = std::net::TcpStream::connect(&addr).expect("connect raw");
+        std::io::Write::write_all(&mut doomed, b"table1 app=eigen limit=0 threads=1\n")
+            .expect("send the doomed request");
+        // Dropping the stream closes the socket: the disconnect
+        // watcher sees EOF and flips the job's cancel flag.
+    }
+
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    assert_eq!(client.send(&Request::Ping).expect("send"), Response::Pong);
+
+    assert_eq!(
+        client.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn stalled_partial_line_answers_slow_request_but_idle_peers_keep_alive() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 2,
+        queue: 2,
+        read_timeout: Duration::from_millis(200),
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(10),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+
+    // An idle peer (no bytes at all) is normal keep-alive: well past
+    // the read timeout it can still ask and be answered.
+    let mut idle = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(idle.send(&Request::Ping).expect("send"), Response::Pong);
+
+    // A peer that goes silent mid-line gets `err slow-request` and
+    // the connection closed instead of pinning the worker forever.
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("connect raw");
+    std::io::Write::write_all(&mut stalled, b"table1 app=hal").expect("send a partial line");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("bound the test read");
+    let mut reply = String::new();
+    std::io::Read::read_to_string(&mut std::io::BufReader::new(&stalled), &mut reply)
+        .expect("read until the server closes");
+    assert!(reply.starts_with("err "), "{reply:?}");
+    assert!(reply.contains("slow-request"), "{reply:?}");
+
+    assert_eq!(idle.send(&Request::Shutdown).expect("send"), Response::Bye);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn panicking_jobs_answer_err_and_the_pool_survives() {
+    // One worker: if a panic killed it, nothing would ever answer
+    // again. Fault injection arms the deliberate `__panic` app.
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 1,
+        queue: 2,
+        fault_injection: true,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+
+    let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    for round in 1..=2u64 {
+        match client.send_line("table1 app=__panic").expect("send") {
+            Response::Error(msg) => {
+                assert!(msg.contains("panic"), "round {round}: {msg}")
+            }
+            other => panic!("round {round}: unexpected response {other:?}"),
+        }
+        // The same connection keeps answering: the worker caught the
+        // panic instead of dying with it.
+        assert_eq!(client.send(&Request::Ping).expect("send"), Response::Pong);
+        assert_eq!(
+            stats_row(&mut client).last().copied(),
+            Some(round),
+            "the stats verb counts caught panics"
+        );
+    }
+
+    // A fresh connection is served too — the pool never shrank. The
+    // first client must hang up first: one worker means one
+    // connection at a time, and idle keep-alive peers hold theirs.
+    drop(client);
+    let mut fresh = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    match fresh.send_line("table1 app=hal").expect("send") {
+        Response::Ok(lines) => assert_eq!(lines[0], lycos::explore::TABLE1_CSV_HEADER),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    assert_eq!(fresh.send(&Request::Shutdown).expect("send"), Response::Bye);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn big_jobs_queue_on_the_admission_gate_while_small_jobs_flow() {
+    // Threshold 0 marks every job big; one explicit big-job slot.
+    // Job 1 (an unbounded eigen sweep) takes it; job 2 must park in
+    // the gate — proven by cancelling job 2 *while parked*: its sweep
+    // then stops at the very first check, so its timed CSV says
+    // `cancelled` even though the tiny hal space would complete in
+    // microseconds once running. Three workers keep a connection free
+    // for the control client alongside the two job connections.
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 3,
+        queue: 4,
+        big_job_threshold: 0,
+        big_jobs: 1,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+
+    let hog = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+            client
+                .send_line("table1 app=eigen limit=0 threads=1 timing job=1")
+                .expect("send")
+        })
+    };
+    // Give job 1 a generous head start to register and take the only
+    // big-job slot before job 2 is even sent. (There is no
+    // non-destructive registry probe: `cancel 1` would release it.)
+    let mut control = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    std::thread::sleep(Duration::from_secs(2));
+
+    let parked = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+            client
+                .send_line("table1 app=hal timing job=2")
+                .expect("send")
+        })
+    };
+    // Give job 2 time to reach the gate, then cancel it while parked.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job 2 never became cancellable"
+        );
+        match control.send_line("cancel 2").expect("send cancel") {
+            Response::Ok(_) => break,
+            Response::Error(msg) => {
+                assert!(msg.contains("no running job"), "{msg}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Release the slot; job 2 then runs — and stops immediately.
+    match control.send_line("cancel 1").expect("send cancel") {
+        Response::Ok(_) => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    match hog.join().expect("hog thread") {
+        Response::Ok(lines) => assert_eq!(completion_of(&lines[1]), "cancelled", "{lines:?}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+    match parked.join().expect("parked thread") {
+        Response::Ok(lines) => assert_eq!(
+            completion_of(&lines[1]),
+            "cancelled",
+            "job 2 was cancelled while parked in the gate: {lines:?}"
+        ),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    assert_eq!(
+        control.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn soak_cancelled_panicked_and_deadlined_jobs_then_a_clean_deterministic_batch() {
+    let options = Table1Options {
+        search_limit: Some(400),
+        threads: 1,
+        ..Table1Options::default()
+    };
+    let (addr, handle) = spawn_server(ServeConfig {
+        workers: 4,
+        queue: 8,
+        fault_injection: true,
+        defaults: SearchOptions {
+            threads: 1,
+            limit: Some(400),
+            ..SearchOptions::default()
+        },
+        ..ServeConfig::default()
+    });
+
+    // Concurrent mayhem: panicking jobs, tiny-deadline sweeps, and a
+    // cancelled unbounded sweep, all in flight together.
+    let mut mayhem = Vec::new();
+    for _ in 0..2 {
+        let addr = addr.clone();
+        mayhem.push(std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+            match client.send_line("table1 app=__panic").expect("send") {
+                Response::Error(msg) => assert!(msg.contains("panic"), "{msg}"),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let addr = addr.clone();
+        mayhem.push(std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+            match client
+                .send_line("table1 app=eigen limit=0 threads=1 deadline-ms=25 timing")
+                .expect("send")
+            {
+                Response::Ok(lines) => {
+                    assert_eq!(completion_of(&lines[1]), "deadline", "{lines:?}")
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }));
+    }
+    let cancelled = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+            client
+                .send_line("table1 app=eigen limit=0 threads=1 timing job=77")
+                .expect("send")
+        })
+    };
+    let mut control = Client::connect_with_retry(&addr, CONNECT_DEADLINE).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "job 77 never started");
+        match control.send_line("cancel 77").expect("send cancel") {
+            Response::Ok(_) => break,
+            Response::Error(_) => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    for thread in mayhem {
+        thread.join().expect("mayhem thread");
+    }
+    match cancelled.join().expect("cancelled thread") {
+        Response::Ok(lines) => assert_eq!(completion_of(&lines[1]), "cancelled", "{lines:?}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // After the soak: the panics were counted, and a clean batch is
+    // byte-identical to the sequential `table1 --csv --stable` seam —
+    // no lingering cancel flag, no shrunken pool, no drifted store.
+    assert_eq!(stats_row(&mut control).last().copied(), Some(2));
+    let apps = [lycos::apps::straight(), lycos::apps::hal()];
+    let pipelines: Vec<Pipeline> = apps.iter().map(Pipeline::for_app).collect();
+    let rows = Pipeline::table1_batch(&pipelines, &options).expect("sequential batch");
+    let expected = format_table1_csv(&rows, false);
+    for round in 0..2 {
+        match control
+            .send_line("table1 apps=straight,hal format=csv")
+            .expect("send")
+        {
+            Response::Ok(lines) => {
+                let got = lines.join("\n") + "\n";
+                assert_eq!(got, expected, "round {round} drifted after the soak");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    assert_eq!(
+        control.send(&Request::Shutdown).expect("send"),
+        Response::Bye
+    );
+    handle.join().expect("server thread");
+}
+
 #[test]
 fn peers_still_sending_cannot_stall_shutdown() {
     let (addr, handle) = spawn_server(ServeConfig {

@@ -11,13 +11,13 @@
 use crate::LycosError;
 use lycos_apps::{BenchmarkApp, IterationHint};
 use lycos_core::{allocate, AllocConfig, AllocOutcome, RMap, Restrictions};
-use lycos_explore::flow::{pareto_with_store, search_with_store};
-use lycos_explore::{table1_row_with_store, Table1Options, Table1Row, Table1Subject};
+use lycos_explore::flow::{pareto_with_store_stop, search_with_store_stop};
+use lycos_explore::{table1_row_with_store_stop, Table1Options, Table1Row, Table1Subject};
 use lycos_hwlib::{Area, HwLibrary};
 use lycos_ir::{extract_bsbs, BsbArray, Cdfg, ProfileOverrides};
 use lycos_pace::{
     partition, ArtifactStore, PaceConfig, ParetoResult, Partition, SearchOptions, SearchResult,
-    StoreStats,
+    StopSignal, StoreStats,
 };
 use std::sync::Arc;
 
@@ -170,6 +170,23 @@ impl Pipeline {
     ///
     /// Any stage error as [`LycosError`].
     pub fn table1_row(&self, options: &Table1Options) -> Result<Table1Row, LycosError> {
+        self.table1_row_stop(options, &StopSignal::never())
+    }
+
+    /// [`Pipeline::table1_row`] under an external [`StopSignal`] — the
+    /// anytime seam the allocation service drives with its
+    /// per-connection cancel flags. The signal governs the exhaustive
+    /// search stage; on a trip the row carries the best-so-far winner
+    /// and a non-`Complete` [`lycos_pace::Completion`].
+    ///
+    /// # Errors
+    ///
+    /// Any stage error as [`LycosError`].
+    pub fn table1_row_stop(
+        &self,
+        options: &Table1Options,
+        stop: &StopSignal,
+    ) -> Result<Table1Row, LycosError> {
         let compiled = self.compile()?;
         let subject = Table1Subject {
             name: compiled.cdfg.name(),
@@ -178,12 +195,13 @@ impl Pipeline {
             budget: self.budget,
             iteration: self.iteration,
         };
-        Ok(table1_row_with_store(
+        Ok(table1_row_with_store_stop(
             &subject,
             &self.library,
             &self.pace,
             options,
             self.artifact_store.as_deref(),
+            stop,
         )?)
     }
 
@@ -199,7 +217,28 @@ impl Pipeline {
         pipelines: &[Pipeline],
         options: &Table1Options,
     ) -> Result<Vec<Table1Row>, LycosError> {
-        pipelines.iter().map(|p| p.table1_row(options)).collect()
+        Self::table1_batch_stop(pipelines, options, &StopSignal::never())
+    }
+
+    /// [`Pipeline::table1_batch`] under an external [`StopSignal`],
+    /// shared by every row: each row's search stage polls the same
+    /// signal, so one cancellation stops the whole batch at the next
+    /// row boundary (rows already finished keep their exact results;
+    /// the row in flight returns best-so-far).
+    ///
+    /// # Errors
+    ///
+    /// The first failing row's [`LycosError`]; earlier rows' work is
+    /// discarded.
+    pub fn table1_batch_stop(
+        pipelines: &[Pipeline],
+        options: &Table1Options,
+        stop: &StopSignal,
+    ) -> Result<Vec<Table1Row>, LycosError> {
+        pipelines
+            .iter()
+            .map(|p| p.table1_row_stop(options, stop))
+            .collect()
     }
 
     /// Runs the frontend only: parse + lower + flatten (or reuse the
@@ -358,7 +397,24 @@ impl Allocated {
     ///
     /// [`LycosError::Pace`] from partition evaluation.
     pub fn search_with(&self, options: &SearchOptions) -> Result<SearchResult, LycosError> {
-        Ok(search_with_store(
+        self.search_with_stop(options, &StopSignal::never())
+    }
+
+    /// [`Allocated::search_with`] under an external [`StopSignal`]:
+    /// the anytime entry point. On a trip the result carries the best
+    /// feasible incumbent found so far and a non-`Complete`
+    /// [`lycos_pace::Completion`]; a never-tripping signal is
+    /// field-identical to [`Allocated::search_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from partition evaluation.
+    pub fn search_with_stop(
+        &self,
+        options: &SearchOptions,
+        stop: &StopSignal,
+    ) -> Result<SearchResult, LycosError> {
+        Ok(search_with_store_stop(
             &self.bsbs,
             &self.library,
             self.budget,
@@ -366,7 +422,17 @@ impl Allocated {
             &self.pace,
             options,
             self.artifact_store.as_deref(),
+            stop,
         )?)
+    }
+
+    /// Size of this application's full allocation space (`Π (cap+1)`
+    /// over the ASAP restriction caps) — what a sweep would walk
+    /// before any limit or pruning. Cheap (no search runs); the seam
+    /// the allocation service's admission control classifies job size
+    /// by.
+    pub fn space_size(&self) -> u128 {
+        lycos_pace::space_size(&lycos_pace::search_space(&self.restrictions))
     }
 
     /// Sweeps the allocation space once under the Pareto-front
@@ -402,7 +468,22 @@ impl Allocated {
     ///
     /// [`LycosError::Pace`] from partition evaluation.
     pub fn pareto_with(&self, options: &SearchOptions) -> Result<ParetoResult, LycosError> {
-        Ok(pareto_with_store(
+        self.pareto_with_stop(options, &StopSignal::never())
+    }
+
+    /// [`Allocated::pareto_with`] under an external [`StopSignal`]: on
+    /// a trip the result is the partial frontier of everything visited
+    /// before the stop, marked by its [`lycos_pace::Completion`].
+    ///
+    /// # Errors
+    ///
+    /// [`LycosError::Pace`] from partition evaluation.
+    pub fn pareto_with_stop(
+        &self,
+        options: &SearchOptions,
+        stop: &StopSignal,
+    ) -> Result<ParetoResult, LycosError> {
+        Ok(pareto_with_store_stop(
             &self.bsbs,
             &self.library,
             self.budget,
@@ -410,6 +491,7 @@ impl Allocated {
             &self.pace,
             options,
             self.artifact_store.as_deref(),
+            stop,
         )?)
     }
 

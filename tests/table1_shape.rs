@@ -142,6 +142,57 @@ fn speedups_order_like_the_paper() {
 }
 
 #[test]
+fn table1_csv_pins_completion_and_unvisited_columns() {
+    use lycos::explore::{table1_csv_row, table1_row, Table1Options, TABLE1_CSV_HEADER};
+
+    assert!(
+        TABLE1_CSV_HEADER.ends_with(",completion,unvisited"),
+        "the anytime columns close the row: {TABLE1_CSV_HEADER}"
+    );
+    let lib = HwLibrary::standard();
+    let pace = PaceConfig::standard();
+
+    // A run-to-completion row keeps the pair even in stable mode:
+    // `complete,0` is deterministic and diffable.
+    let complete = table1_row(&lycos::apps::hal(), &lib, &pace, &Table1Options::default()).unwrap();
+    let stable = table1_csv_row(&complete, false);
+    assert!(
+        stable.ends_with(",complete,0"),
+        "complete rows pin the pair: {stable}"
+    );
+
+    // An already-expired deadline truncates deterministically — the
+    // sweep polls the stop signal before its first evaluation. Timed
+    // rows expose the marker; stable rows blank the pair, because
+    // where a *real* deadline lands is wall-clock-dependent.
+    let truncated = table1_row(
+        &lycos::apps::hal(),
+        &lib,
+        &pace,
+        &Table1Options {
+            deadline_ms: Some(0),
+            ..Table1Options::default()
+        },
+    )
+    .unwrap();
+    let timed = table1_csv_row(&truncated, true);
+    let completion_at = TABLE1_CSV_HEADER
+        .split(',')
+        .position(|c| c == "completion")
+        .expect("header names the completion column");
+    assert_eq!(
+        timed.split(',').nth(completion_at),
+        Some("deadline"),
+        "timed rows expose the truncation marker: {timed}"
+    );
+    let blanked = table1_csv_row(&truncated, false);
+    assert!(
+        blanked.ends_with(",,"),
+        "stable mode blanks a truncated pair: {blanked}"
+    );
+}
+
+#[test]
 fn reduce_only_walks_validate_section_5_1() {
     // §5.1: starting from the automatic allocation, a designer can
     // always *reduce* units to improve — never needs to add.
